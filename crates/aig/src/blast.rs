@@ -1,0 +1,407 @@
+//! Word-level to bit-level lowering (bit-blasting).
+//!
+//! [`SeqAig`] is the transition-relation view of a [`Module`]: a purely
+//! combinational AIG whose inputs are the module's input-port bits plus the
+//! current-state bits, and whose distinguished literals give the next-state
+//! functions, output-port bits, and the value of every word-level node.
+//! The bounded model checker unrolls this structure frame by frame.
+
+use crate::graph::{Aig, AigLit};
+use autocc_hdl::{BinOp, MemId, Module, Node, RegId};
+
+/// Where a flattened state bit lives in the original module.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StateSource {
+    /// Bit `bit` of a register.
+    Reg {
+        /// The register.
+        reg: RegId,
+        /// Bit index (0 = LSB).
+        bit: u32,
+    },
+    /// Bit `bit` of word `word` of a memory.
+    MemWord {
+        /// The memory.
+        mem: MemId,
+        /// Word index.
+        word: usize,
+        /// Bit index (0 = LSB).
+        bit: u32,
+    },
+}
+
+/// Metadata for one flattened state bit.
+#[derive(Clone, Debug)]
+pub struct StateBitInfo {
+    /// Human-readable name, e.g. `pc[3]` or `ram[2][5]`.
+    pub name: String,
+    /// Source state element.
+    pub source: StateSource,
+}
+
+/// Bit-blasted transition relation of a module.
+///
+/// AIG inputs are created in a fixed order: first every input-port bit
+/// (ports in declaration order, LSB first), then every state bit in
+/// [`SeqAig::state_info`] order. [`Aig::eval`] consumers must respect it.
+#[derive(Debug)]
+pub struct SeqAig {
+    /// The combinational graph.
+    pub aig: Aig,
+    /// Per input port: the AIG literals of its bits (LSB first).
+    pub input_lits: Vec<Vec<AigLit>>,
+    /// Current-state bits (AIG inputs), flattened.
+    pub state_cur: Vec<AigLit>,
+    /// Next-state functions, aligned with `state_cur`.
+    pub state_next: Vec<AigLit>,
+    /// Reset value of each state bit.
+    pub state_init: Vec<bool>,
+    /// Name and source of each state bit.
+    pub state_info: Vec<StateBitInfo>,
+    /// Per output port: the AIG literals of its bits (LSB first).
+    pub output_lits: Vec<Vec<AigLit>>,
+    /// Per word-level node: its bits, for trace extraction and for building
+    /// monitor properties over internal signals.
+    pub node_lits: Vec<Vec<AigLit>>,
+}
+
+impl SeqAig {
+    /// Bit-blasts `module` into a transition-relation AIG.
+    pub fn from_module(module: &Module) -> SeqAig {
+        Blaster::new(module).run()
+    }
+
+    /// Total number of AIG input bits (ports plus state).
+    pub fn num_aig_inputs(&self) -> usize {
+        self.aig.num_inputs()
+    }
+
+    /// Number of input-port bits (the AIG inputs preceding the state bits).
+    pub fn num_port_bits(&self) -> usize {
+        self.input_lits.iter().map(Vec::len).sum()
+    }
+}
+
+struct Blaster<'m> {
+    module: &'m Module,
+    aig: Aig,
+    input_lits: Vec<Vec<AigLit>>,
+    state_cur: Vec<AigLit>,
+    state_init: Vec<bool>,
+    state_info: Vec<StateBitInfo>,
+    /// Current-value bits of each register.
+    reg_cur: Vec<Vec<AigLit>>,
+    /// Current-value bits of each memory word: `mem_cur[mem][word]`.
+    mem_cur: Vec<Vec<Vec<AigLit>>>,
+    node_lits: Vec<Vec<AigLit>>,
+}
+
+impl<'m> Blaster<'m> {
+    fn new(module: &'m Module) -> Blaster<'m> {
+        Blaster {
+            module,
+            aig: Aig::new(),
+            input_lits: Vec::new(),
+            state_cur: Vec::new(),
+            state_init: Vec::new(),
+            state_info: Vec::new(),
+            reg_cur: Vec::new(),
+            mem_cur: Vec::new(),
+            node_lits: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> SeqAig {
+        // 1. Input-port bits, in declaration order.
+        for port in self.module.inputs() {
+            let bits: Vec<AigLit> = (0..port.width).map(|_| self.aig.input()).collect();
+            self.input_lits.push(bits);
+        }
+        // 2. State bits: registers then memory words.
+        for (ri, reg) in self.module.regs().iter().enumerate() {
+            let mut bits = Vec::with_capacity(reg.width as usize);
+            for b in 0..reg.width {
+                let lit = self.aig.input();
+                bits.push(lit);
+                self.state_cur.push(lit);
+                self.state_init.push(reg.init.get_bit(b));
+                self.state_info.push(StateBitInfo {
+                    name: format!("{}[{b}]", reg.name),
+                    source: StateSource::Reg {
+                        reg: reg_id(ri),
+                        bit: b,
+                    },
+                });
+            }
+            self.reg_cur.push(bits);
+        }
+        for (mi, mem) in self.module.mems().iter().enumerate() {
+            let mut words = Vec::with_capacity(mem.depth);
+            for w in 0..mem.depth {
+                let mut bits = Vec::with_capacity(mem.width as usize);
+                for b in 0..mem.width {
+                    let lit = self.aig.input();
+                    bits.push(lit);
+                    self.state_cur.push(lit);
+                    self.state_init.push(mem.init[w].get_bit(b));
+                    self.state_info.push(StateBitInfo {
+                        name: format!("{}[{w}][{b}]", mem.name),
+                        source: StateSource::MemWord {
+                            mem: mem_id(mi),
+                            word: w,
+                            bit: b,
+                        },
+                    });
+                }
+                words.push(bits);
+            }
+            self.mem_cur.push(words);
+        }
+
+        // 3. Combinational nodes, in creation order (operands precede users).
+        for node in self.module.nodes() {
+            let bits = self.blast_node(node);
+            self.node_lits.push(bits);
+        }
+
+        // 4. Next-state functions.
+        let mut state_next = Vec::with_capacity(self.state_cur.len());
+        for reg in self.module.regs() {
+            let next = reg.next.expect("validated module");
+            for b in 0..reg.width as usize {
+                state_next.push(self.node_lits[next.index()][b]);
+            }
+        }
+        for (mi, mem) in self.module.mems().iter().enumerate() {
+            for w in 0..mem.depth {
+                let mut word = self.mem_cur[mi][w].clone();
+                for port in &mem.writes {
+                    let en = self.node_lits[port.en.index()][0];
+                    let hit = self.addr_eq(port.addr.index(), w as u64);
+                    let cond = self.aig.and(en, hit);
+                    let data = self.node_lits[port.data.index()].clone();
+                    for (bit, d) in word.iter_mut().zip(data) {
+                        *bit = self.aig.mux(cond, d, *bit);
+                    }
+                }
+                state_next.extend(word);
+            }
+        }
+
+        // 5. Output ports.
+        let output_lits = self
+            .module
+            .outputs()
+            .iter()
+            .map(|o| self.node_lits[o.node.index()].clone())
+            .collect();
+
+        SeqAig {
+            aig: self.aig,
+            input_lits: self.input_lits,
+            state_cur: self.state_cur,
+            state_next,
+            state_init: self.state_init,
+            state_info: self.state_info,
+            output_lits,
+            node_lits: self.node_lits,
+        }
+    }
+
+    /// 1-bit condition `node == value` where `node` is a word-level node
+    /// index already blasted.
+    fn addr_eq(&mut self, node_index: usize, value: u64) -> AigLit {
+        let bits = self.node_lits[node_index].clone();
+        if bits.len() < 64 && value >= 1u64 << bits.len() {
+            return AigLit::FALSE;
+        }
+        let mut acc = AigLit::TRUE;
+        for (i, &b) in bits.iter().enumerate() {
+            let want = value >> i & 1 == 1;
+            let m = if want { b } else { !b };
+            acc = self.aig.and(acc, m);
+        }
+        acc
+    }
+
+    fn blast_node(&mut self, node: &Node) -> Vec<AigLit> {
+        match node {
+            Node::Input { port } => self.input_lits[*port].clone(),
+            Node::Const(bv) => (0..bv.width())
+                .map(|b| {
+                    if bv.get_bit(b) {
+                        AigLit::TRUE
+                    } else {
+                        AigLit::FALSE
+                    }
+                })
+                .collect(),
+            Node::Not(a) => self.node_lits[a.index()].iter().map(|&l| !l).collect(),
+            Node::Binary { op, a, b } => {
+                let x = self.node_lits[a.index()].clone();
+                let y = self.node_lits[b.index()].clone();
+                match op {
+                    BinOp::And => self.zip(&x, &y, Aig::and),
+                    BinOp::Or => self.zip(&x, &y, Aig::or),
+                    BinOp::Xor => self.zip(&x, &y, Aig::xor),
+                    BinOp::Add => self.adder(&x, &y, AigLit::FALSE, false),
+                    BinOp::Sub => {
+                        let ny: Vec<AigLit> = y.iter().map(|&l| !l).collect();
+                        self.adder(&x, &ny, AigLit::TRUE, false)
+                    }
+                    BinOp::Eq => {
+                        let eqs = self.zip(&x, &y, Aig::xnor);
+                        vec![self.aig.and_all(&eqs)]
+                    }
+                    BinOp::Ult => vec![self.borrow_out(&x, &y)],
+                    BinOp::Shl => self.barrel(&x, &y, true),
+                    BinOp::Shr => self.barrel(&x, &y, false),
+                }
+            }
+            Node::Mux { sel, t, e } => {
+                let s = self.node_lits[sel.index()][0];
+                let tv = self.node_lits[t.index()].clone();
+                let ev = self.node_lits[e.index()].clone();
+                tv.iter()
+                    .zip(&ev)
+                    .map(|(&tb, &eb)| self.aig.mux(s, tb, eb))
+                    .collect()
+            }
+            Node::Slice { a, hi, lo } => {
+                self.node_lits[a.index()][*lo as usize..=*hi as usize].to_vec()
+            }
+            Node::Concat { hi, lo } => {
+                let mut bits = self.node_lits[lo.index()].clone();
+                bits.extend_from_slice(&self.node_lits[hi.index()]);
+                bits
+            }
+            Node::Zext { a, width } => {
+                let mut bits = self.node_lits[a.index()].clone();
+                bits.resize(*width as usize, AigLit::FALSE);
+                bits
+            }
+            Node::Sext { a, width } => {
+                let mut bits = self.node_lits[a.index()].clone();
+                let sign = *bits.last().expect("non-empty");
+                bits.resize(*width as usize, sign);
+                bits
+            }
+            Node::ReduceOr(a) => {
+                let bits = self.node_lits[a.index()].clone();
+                vec![self.aig.or_all(&bits)]
+            }
+            Node::ReduceAnd(a) => {
+                let bits = self.node_lits[a.index()].clone();
+                vec![self.aig.and_all(&bits)]
+            }
+            Node::ReduceXor(a) => {
+                let bits = self.node_lits[a.index()].clone();
+                let mut acc = AigLit::FALSE;
+                for &b in &bits {
+                    acc = self.aig.xor(acc, b);
+                }
+                vec![acc]
+            }
+            Node::RegOut(r) => self.reg_cur[r.index()].clone(),
+            Node::MemRead { mem, addr } => {
+                let mi = mem.index();
+                let width = self.module.mems()[mi].width as usize;
+                let depth = self.module.mems()[mi].depth;
+                let mut result = vec![AigLit::FALSE; width];
+                for w in 0..depth {
+                    let hit = self.addr_eq(addr.index(), w as u64);
+                    let word = self.mem_cur[mi][w].clone();
+                    for (r, &bit) in result.iter_mut().zip(&word) {
+                        let sel = self.aig.and(hit, bit);
+                        *r = self.aig.or(*r, sel);
+                    }
+                }
+                result
+            }
+        }
+    }
+
+    fn zip(
+        &mut self,
+        x: &[AigLit],
+        y: &[AigLit],
+        f: fn(&mut Aig, AigLit, AigLit) -> AigLit,
+    ) -> Vec<AigLit> {
+        x.iter()
+            .zip(y)
+            .map(|(&a, &b)| f(&mut self.aig, a, b))
+            .collect()
+    }
+
+    /// Ripple-carry adder; returns sum bits, optionally appending carry-out.
+    fn adder(&mut self, x: &[AigLit], y: &[AigLit], carry_in: AigLit, keep_carry: bool) -> Vec<AigLit> {
+        let mut carry = carry_in;
+        let mut sum = Vec::with_capacity(x.len() + keep_carry as usize);
+        for (&a, &b) in x.iter().zip(y) {
+            let axb = self.aig.xor(a, b);
+            let s = self.aig.xor(axb, carry);
+            let c1 = self.aig.and(a, b);
+            let c2 = self.aig.and(carry, axb);
+            carry = self.aig.or(c1, c2);
+            sum.push(s);
+        }
+        if keep_carry {
+            sum.push(carry);
+        }
+        sum
+    }
+
+    /// Borrow-out of `x - y`, i.e. the 1-bit result of `x < y` (unsigned).
+    fn borrow_out(&mut self, x: &[AigLit], y: &[AigLit]) -> AigLit {
+        let mut borrow = AigLit::FALSE;
+        for (&a, &b) in x.iter().zip(y) {
+            let direct = self.aig.and(!a, b);
+            let same = self.aig.xnor(a, b);
+            let chain = self.aig.and(same, borrow);
+            borrow = self.aig.or(direct, chain);
+        }
+        borrow
+    }
+
+    /// Barrel shifter; `left` selects shift direction.
+    fn barrel(&mut self, x: &[AigLit], amount: &[AigLit], left: bool) -> Vec<AigLit> {
+        let width = x.len();
+        let mut value = x.to_vec();
+        let mut overflow = AigLit::FALSE;
+        for (j, &sh_bit) in amount.iter().enumerate() {
+            let step = 1usize.checked_shl(j as u32).unwrap_or(usize::MAX);
+            if step >= width {
+                overflow = self.aig.or(overflow, sh_bit);
+                continue;
+            }
+            let shifted: Vec<AigLit> = (0..width)
+                .map(|i| {
+                    let src = if left {
+                        i.checked_sub(step)
+                    } else {
+                        let s = i + step;
+                        (s < width).then_some(s)
+                    };
+                    src.map_or(AigLit::FALSE, |s| value[s])
+                })
+                .collect();
+            value = value
+                .iter()
+                .zip(&shifted)
+                .map(|(&v, &s)| self.aig.mux(sh_bit, s, v))
+                .collect();
+        }
+        value
+            .iter()
+            .map(|&v| self.aig.and(v, !overflow))
+            .collect()
+    }
+}
+
+fn reg_id(index: usize) -> RegId {
+    RegId::from_index(index)
+}
+
+fn mem_id(index: usize) -> MemId {
+    MemId::from_index(index)
+}

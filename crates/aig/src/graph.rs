@@ -1,0 +1,283 @@
+//! And-inverter graph (AIG) with structural hashing and constant folding.
+//!
+//! The bit-blaster lowers word-level netlists to this representation; the
+//! CNF emitter Tseitin-encodes it for the SAT solver. Structural hashing
+//! keeps the two-universe miter compact: identical logic in universes α and
+//! β collapses wherever it does not depend on universe-specific inputs.
+
+use std::collections::HashMap;
+use std::ops::Not;
+
+/// A literal over an AIG node: node index plus an inversion flag.
+///
+/// `AigLit::FALSE` and `AigLit::TRUE` are the constant literals (node 0).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AigLit(u32);
+
+impl AigLit {
+    /// Constant false.
+    pub const FALSE: AigLit = AigLit(0);
+    /// Constant true.
+    pub const TRUE: AigLit = AigLit(1);
+
+    fn new(node: u32, inverted: bool) -> AigLit {
+        AigLit(node << 1 | inverted as u32)
+    }
+
+    /// Index of the underlying node.
+    #[inline]
+    pub fn node(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Whether the literal inverts the node's value.
+    #[inline]
+    pub fn inverted(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Whether this is one of the constant literals.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.node() == 0
+    }
+}
+
+impl Not for AigLit {
+    type Output = AigLit;
+
+    #[inline]
+    fn not(self) -> AigLit {
+        AigLit(self.0 ^ 1)
+    }
+}
+
+/// An AIG node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AigNode {
+    /// The constant-false node (index 0 only).
+    False,
+    /// A free input bit.
+    Input,
+    /// Conjunction of two literals.
+    And(AigLit, AigLit),
+}
+
+/// An and-inverter graph.
+#[derive(Clone, Debug, Default)]
+pub struct Aig {
+    nodes: Vec<AigNode>,
+    strash: HashMap<(AigLit, AigLit), u32>,
+    num_inputs: usize,
+}
+
+impl Aig {
+    /// Creates an AIG containing only the constant node.
+    pub fn new() -> Aig {
+        Aig {
+            nodes: vec![AigNode::False],
+            strash: HashMap::new(),
+            num_inputs: 0,
+        }
+    }
+
+    /// Number of nodes, including the constant node.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of input nodes.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of AND gates.
+    pub fn num_ands(&self) -> usize {
+        self.nodes.len() - 1 - self.num_inputs
+    }
+
+    /// The node table.
+    pub fn nodes(&self) -> &[AigNode] {
+        &self.nodes
+    }
+
+    /// Creates a fresh input bit.
+    pub fn input(&mut self) -> AigLit {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(AigNode::Input);
+        self.num_inputs += 1;
+        AigLit::new(idx, false)
+    }
+
+    /// Conjunction with constant folding and structural hashing.
+    pub fn and(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        // Constant folding.
+        if a == AigLit::FALSE || b == AigLit::FALSE || a == !b {
+            return AigLit::FALSE;
+        }
+        if a == AigLit::TRUE {
+            return b;
+        }
+        if b == AigLit::TRUE || a == b {
+            return a;
+        }
+        // Canonical operand order for hashing.
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&idx) = self.strash.get(&(a, b)) {
+            return AigLit::new(idx, false);
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(AigNode::And(a, b));
+        self.strash.insert((a, b), idx);
+        AigLit::new(idx, false)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        !self.and(!a, !b)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let n1 = self.and(a, !b);
+        let n2 = self.and(!a, b);
+        self.or(n1, n2)
+    }
+
+    /// Equivalence (XNOR).
+    pub fn xnor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        !self.xor(a, b)
+    }
+
+    /// Multiplexer: `sel ? t : e`.
+    pub fn mux(&mut self, sel: AigLit, t: AigLit, e: AigLit) -> AigLit {
+        if t == e {
+            return t;
+        }
+        let a = self.and(sel, t);
+        let b = self.and(!sel, e);
+        self.or(a, b)
+    }
+
+    /// Conjunction of a list (true for the empty list).
+    pub fn and_all(&mut self, lits: &[AigLit]) -> AigLit {
+        let mut acc = AigLit::TRUE;
+        for &l in lits {
+            acc = self.and(acc, l);
+        }
+        acc
+    }
+
+    /// Disjunction of a list (false for the empty list).
+    pub fn or_all(&mut self, lits: &[AigLit]) -> AigLit {
+        let mut acc = AigLit::FALSE;
+        for &l in lits {
+            acc = self.or(acc, l);
+        }
+        acc
+    }
+
+    /// Evaluates the whole graph under an assignment of the input nodes
+    /// (in input creation order). Returns the value of every node.
+    ///
+    /// Used by differential tests to check the bit-blaster against the
+    /// word-level simulator.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs, "input arity mismatch");
+        let mut values = vec![false; self.nodes.len()];
+        let mut next_input = 0;
+        for (i, node) in self.nodes.iter().enumerate() {
+            values[i] = match node {
+                AigNode::False => false,
+                AigNode::Input => {
+                    let v = inputs[next_input];
+                    next_input += 1;
+                    v
+                }
+                AigNode::And(a, b) => {
+                    let va = values[a.node()] ^ a.inverted();
+                    let vb = values[b.node()] ^ b.inverted();
+                    va && vb
+                }
+            };
+        }
+        values
+    }
+
+    /// Value of a literal under previously computed node values.
+    pub fn lit_value(values: &[bool], lit: AigLit) -> bool {
+        values[lit.node()] ^ lit.inverted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding() {
+        let mut g = Aig::new();
+        let a = g.input();
+        assert_eq!(g.and(a, AigLit::FALSE), AigLit::FALSE);
+        assert_eq!(g.and(a, AigLit::TRUE), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, !a), AigLit::FALSE);
+        assert_eq!(g.num_ands(), 0);
+    }
+
+    #[test]
+    fn structural_hashing_reuses_nodes() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let x = g.and(a, b);
+        let y = g.and(b, a);
+        assert_eq!(x, y);
+        assert_eq!(g.num_ands(), 1);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let x = g.xor(a, b);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let values = g.eval(&[va, vb]);
+            assert_eq!(Aig::lit_value(&values, x), va ^ vb);
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut g = Aig::new();
+        let s = g.input();
+        let t = g.input();
+        let e = g.input();
+        let m = g.mux(s, t, e);
+        for s_v in [false, true] {
+            for t_v in [false, true] {
+                for e_v in [false, true] {
+                    let values = g.eval(&[s_v, t_v, e_v]);
+                    let expect = if s_v { t_v } else { e_v };
+                    assert_eq!(Aig::lit_value(&values, m), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn and_or_all() {
+        let mut g = Aig::new();
+        let ins: Vec<AigLit> = (0..3).map(|_| g.input()).collect();
+        let all = g.and_all(&ins);
+        let any = g.or_all(&ins);
+        let empty_all = g.and_all(&[]);
+        let empty_any = g.or_all(&[]);
+        assert_eq!(empty_all, AigLit::TRUE);
+        assert_eq!(empty_any, AigLit::FALSE);
+        let values = g.eval(&[true, true, false]);
+        assert!(!Aig::lit_value(&values, all));
+        assert!(Aig::lit_value(&values, any));
+    }
+}

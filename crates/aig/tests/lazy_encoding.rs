@@ -1,0 +1,62 @@
+//! The CNF encoder must be lazy: only the cone of influence of requested
+//! literals may allocate SAT variables.
+
+use autocc_aig::{assert_true_lit, Aig, FrameMap};
+use autocc_sat::Solver;
+
+#[test]
+fn only_the_requested_cone_is_encoded() {
+    let mut aig = Aig::new();
+    let a = aig.input();
+    let b = aig.input();
+    let c = aig.input();
+    // Small cone: a & b. Large unrelated cone: a 64-gate chain over c.
+    let small = aig.and(a, b);
+    let mut big = c;
+    for _ in 0..64 {
+        let x = aig.xor(big, a);
+        big = aig.and(x, c);
+    }
+
+    let mut solver = Solver::new();
+    let t = assert_true_lit(&mut solver);
+    let inputs: Vec<_> = (0..3).map(|_| solver.new_var().positive()).collect();
+    let mut frame = FrameMap::new(&aig, &inputs, t);
+    let before = solver.num_vars();
+    let _ = frame.sat_lit(&mut solver, &aig, small);
+    let after_small = solver.num_vars();
+    assert!(
+        after_small - before <= 2,
+        "small cone allocated {} vars",
+        after_small - before
+    );
+    let _ = frame.sat_lit(&mut solver, &aig, big);
+    let after_big = solver.num_vars();
+    assert!(after_big - after_small >= 32, "big cone now encoded");
+    // Re-requesting is free.
+    let _ = frame.sat_lit(&mut solver, &aig, big);
+    assert_eq!(solver.num_vars(), after_big);
+}
+
+#[test]
+fn structural_sharing_reduces_frame_cost() {
+    // Encoding a + shared subterm twice costs once.
+    let mut aig = Aig::new();
+    let a = aig.input();
+    let b = aig.input();
+    let shared = aig.and(a, b);
+    let x = aig.or(shared, a);
+    let y = aig.xor(shared, b);
+
+    let mut solver = Solver::new();
+    let t = assert_true_lit(&mut solver);
+    let inputs: Vec<_> = (0..2).map(|_| solver.new_var().positive()).collect();
+    let mut frame = FrameMap::new(&aig, &inputs, t);
+    let before = solver.num_vars();
+    let _ = frame.sat_lit(&mut solver, &aig, x);
+    let mid = solver.num_vars();
+    let _ = frame.sat_lit(&mut solver, &aig, y);
+    let after = solver.num_vars();
+    // y's cone reuses `shared`; only the xor structure is new.
+    assert!(after - mid <= mid - before + 1);
+}

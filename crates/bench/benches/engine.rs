@@ -1,0 +1,132 @@
+//! Engine ablations: SAT-solver scaling, BMC depth scaling, the
+//! transfer-period THRESHOLD sweep (Sec. 3.3.2), and the modularity /
+//! blackboxing tradeoff (Sec. 3.4).
+
+use autocc_bench::default_options;
+use autocc_core::FtSpec;
+use autocc_duts::aes::{build_aes, AesConfig};
+use autocc_duts::vscale::{arch, build_vscale, VscaleConfig};
+use autocc_hdl::{Bv, ModuleBuilder};
+use autocc_sat::{Lit, SolveResult, Solver, Var};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Pigeonhole principle: n pigeons, n-1 holes (UNSAT, exponentially hard).
+fn pigeonhole(n: usize) -> Solver {
+    let holes = n - 1;
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..n * holes).map(|_| s.new_var()).collect();
+    let p = |i: usize, j: usize| -> Lit { vars[i * holes + j].positive() };
+    for i in 0..n {
+        let row: Vec<Lit> = (0..holes).map(|j| p(i, j)).collect();
+        s.add_clause(&row);
+    }
+    for j in 0..holes {
+        for a in 0..n {
+            for b in (a + 1)..n {
+                s.add_clause(&[!p(a, j), !p(b, j)]);
+            }
+        }
+    }
+    s
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_pigeonhole");
+    group.sample_size(10);
+    for n in [6usize, 7, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = pigeonhole(n);
+                assert_eq!(s.solve(), SolveResult::Unsat);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bmc_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bmc_depth_scaling");
+    group.sample_size(10);
+    // Bounded-clean runs of a small sequential design at growing depth.
+    for depth in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let mut mb = ModuleBuilder::new("counter");
+                let c0 = mb.reg("count", 8, Bv::zero(8));
+                let one = mb.lit(8, 1);
+                let next = mb.add(c0, one);
+                mb.set_next(c0, next);
+                let limit = mb.lit(8, 200);
+                let ok = mb.ult(c0, limit);
+                mb.output("ok", ok);
+                let m = mb.build();
+                let mut bmc = autocc_bmc::Bmc::new(&m);
+                bmc.add_property("below", m.output_node("ok").unwrap());
+                let r = bmc.check(&default_options(depth));
+                assert!(matches!(r, autocc_bmc::CheckOutcome::BoundReached { .. }));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_threshold_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threshold_sweep");
+    group.sample_size(10);
+    // Sec. 3.3.2: a longer transfer period pushes the CEX deeper (and can
+    // rule out short-lived channels entirely).
+    for threshold in [1u32, 2, 4, 6] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &threshold| {
+                let dut = build_aes(&AesConfig::default());
+                b.iter(|| {
+                    let ft = FtSpec::new(&dut).threshold(threshold).generate();
+                    let r = ft.check(&default_options(16));
+                    assert!(r.outcome.cex().is_some());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_modularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modularity_blackbox");
+    group.sample_size(10);
+    // Sec. 3.4: blackboxing the CSR removes 64 state bits from the model.
+    // Both runs use the fully refined FT (bounded clean to depth 6 — deep
+    // enough to exercise the transfer period, shallow enough to bench).
+    for blackbox in [false, true] {
+        let label = if blackbox { "csr_blackboxed" } else { "csr_in_model" };
+        group.bench_function(label, |b| {
+            let dut = build_vscale(&VscaleConfig {
+                blackbox_csr: blackbox,
+                ..VscaleConfig::default()
+            });
+            b.iter(|| {
+                let mut spec = FtSpec::new(&dut).arch_mem(arch::REGFILE_MEM);
+                for r in arch::PIPELINE_REGS.iter().chain(arch::INT_REGS.iter()) {
+                    spec = spec.arch_reg(r);
+                }
+                if !blackbox {
+                    spec = spec.arch_mem("csr.file");
+                }
+                let ft = spec.generate();
+                let r = ft.check(&default_options(6));
+                assert!(r.outcome.is_clean(), "{:?}", r.outcome);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sat,
+    bench_bmc_depth,
+    bench_threshold_sweep,
+    bench_modularity
+);
+criterion_main!(benches);

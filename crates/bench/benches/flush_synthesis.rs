@@ -1,0 +1,47 @@
+//! Criterion bench for the Sec. 3.5 flush-synthesis algorithms.
+
+use autocc_bench::{banked_device, default_options};
+use autocc_core::{decremental_flush, incremental_flush, FlushSynthesisConfig, FtSpec};
+use autocc_hdl::{Instance, ModuleBuilder, NodeId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeSet;
+
+fn flush_input(b: &mut ModuleBuilder, _ua: &Instance, _ub: &Instance) -> NodeId {
+    b.input_node("flush").expect("common flush input")
+}
+
+fn bench_flush_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flush_synthesis");
+    group.sample_size(10);
+    let config = FlushSynthesisConfig {
+        check_options: default_options(12),
+        max_iterations: 12,
+    };
+    group.bench_function("algorithm1_incremental", |b| {
+        b.iter(|| {
+            let r = incremental_flush(banked_device, |s: FtSpec| s.flush_done(flush_input), &config);
+            assert!(r.converged);
+        })
+    });
+    group.bench_function("algorithm2_decremental", |b| {
+        let full: BTreeSet<String> = ["bank0", "bank1", "bank2", "scratch"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let candidates: Vec<String> = full.iter().cloned().collect();
+        b.iter(|| {
+            let r = decremental_flush(
+                banked_device,
+                |s: FtSpec| s.flush_done(flush_input),
+                &full,
+                &candidates,
+                &config,
+            );
+            assert!(r.converged);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flush_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion bench regenerating each Table-1 experiment (one benchmark per
+//! row). Times here are the "Time" column of the reproduced table.
+
+use autocc_bench::{cva6_cex_config, default_options, run_aes_a1, run_cva6, run_maple, run_vscale_stage, VSCALE_STAGES};
+use autocc_duts::maple::MapleConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    let options = default_options(20);
+
+    // The Vscale search takes minutes at full depth; bench it under a
+    // conflict budget so an iteration is a fixed amount of solver work
+    // (the full unbudgeted run is covered by `report_table1`).
+    group.bench_function("V5_interrupt_pending_budgeted", |b| {
+        let budgeted = autocc_bmc::BmcOptions {
+            conflict_budget: Some(20_000),
+            ..options.clone()
+        };
+        b.iter(|| {
+            let r = run_vscale_stage(&VSCALE_STAGES[2], &budgeted);
+            let _ = r.outcome;
+        })
+    });
+    for id in ["C1", "C2", "C3"] {
+        group.bench_function(format!("{id}_cva6"), |b| {
+            let config = cva6_cex_config(id);
+            b.iter(|| {
+                let r = run_cva6(&config, &options);
+                assert!(r.outcome.cex().is_some());
+            })
+        });
+    }
+    group.bench_function("M2_tlb_enable", |b| {
+        let config = MapleConfig {
+            fix_tlb_enable: false,
+            fix_array_base: true,
+        };
+        b.iter(|| {
+            let r = run_maple(&config, &options);
+            assert!(r.outcome.cex().is_some());
+        })
+    });
+    group.bench_function("M3_array_base", |b| {
+        let config = MapleConfig {
+            fix_tlb_enable: true,
+            fix_array_base: false,
+        };
+        b.iter(|| {
+            let r = run_maple(&config, &options);
+            assert!(r.outcome.cex().is_some());
+        })
+    });
+    group.bench_function("A1_inflight_request", |b| {
+        b.iter(|| {
+            let r = run_aes_a1(&options);
+            assert!(r.outcome.cex().is_some());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench regenerating each Table-2 stage (the Vscale ladder).
+
+use autocc_bench::{default_options, run_vscale_stage, VSCALE_STAGES};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    // Full-depth CEX searches take minutes; each bench iteration does a
+    // fixed amount of solver work instead (the unbudgeted runs live in
+    // `report_table2`). The proof stage is cheap and runs unbudgeted.
+    let options = autocc_bmc::BmcOptions {
+        conflict_budget: Some(20_000),
+        ..default_options(16)
+    };
+    for stage in &VSCALE_STAGES[..3] {
+        group.bench_function(stage.id.replace('/', "_"), |b| {
+            b.iter(|| {
+                let r = run_vscale_stage(stage, &options);
+                let _ = r.outcome;
+            })
+        });
+    }
+    let proof_options = default_options(12);
+    group.bench_function("proof_stage", |b| {
+        b.iter(|| {
+            let r = run_vscale_stage(&VSCALE_STAGES[4], &proof_options);
+            assert!(r.outcome.is_clean());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

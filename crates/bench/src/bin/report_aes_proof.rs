@@ -1,0 +1,28 @@
+//! Regenerates the Sec. A.5.4 result: full proof of the AES accelerator
+//! under the idle-pipeline flush condition.
+
+use autocc_bench::{default_options, run_aes_a1, run_aes_proof};
+use autocc_core::{format_duration, AutoCcOutcome};
+
+fn main() {
+    println!("== AES accelerator: A1 and the full proof (A.5.4) ==\n");
+    let options = default_options(14);
+    let report = run_aes_a1(&options);
+    match &report.outcome {
+        AutoCcOutcome::Cex(cex) => println!(
+            "A1   : CEX {} at depth {} in {} (paper: depth 42, seconds)",
+            cex.property,
+            cex.depth,
+            format_duration(report.elapsed)
+        ),
+        other => println!("A1   : unexpected {other:?}"),
+    }
+    let report = run_aes_proof(&options);
+    match &report.outcome {
+        AutoCcOutcome::Proved { induction_depth } => println!(
+            "proof: full proof at k={induction_depth} in {} (paper: full proof < 6h)",
+            format_duration(report.elapsed)
+        ),
+        other => println!("proof: unexpected {other:?}"),
+    }
+}

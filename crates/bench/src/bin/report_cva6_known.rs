@@ -1,0 +1,34 @@
+//! Regenerates the Sec. 4.2 "validating previously-found covert channels"
+//! result: the full-flush fence.t leaves FSM state behind (the killed-AXI
+//! I$ state and the PTW walk state), motivating microreset.
+
+use autocc_bench::{cva6_flush_done, default_options};
+use autocc_core::{format_duration, FtSpec};
+use autocc_duts::cva6::{build_cva6, Cva6Config, ARCH_REGS};
+
+fn main() {
+    println!("== CVA6 full-flush fence.t: the known channels ==\n");
+    let dut = build_cva6(&Cva6Config::full_flush());
+    let mut spec = FtSpec::new(&dut).flush_done(cva6_flush_done);
+    for r in ARCH_REGS {
+        spec = spec.arch_reg(r);
+    }
+    let ft = spec.generate();
+    let report = ft.check(&default_options(18));
+    match report.outcome.cex() {
+        Some(cex) => {
+            println!(
+                "CEX {} at depth {} in {}",
+                cex.property,
+                cex.depth,
+                format_duration(report.elapsed)
+            );
+            println!("surviving microarchitectural state:");
+            for d in &cex.diverging_state {
+                println!("  {:<22} a={} b={}", d.name, d.value_a, d.value_b);
+            }
+            println!("\nThe full flush misses FSM/AXI state — the motivation for microreset.");
+        }
+        None => println!("unexpected: {:?}", report.outcome),
+    }
+}

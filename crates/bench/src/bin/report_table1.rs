@@ -1,0 +1,16 @@
+//! Regenerates Table 1: the valuable CEXs across all four DUTs.
+
+use autocc_bench::{default_options, table1};
+use autocc_core::format_table;
+
+fn main() {
+    let options = default_options(20);
+    let rows = table1(&options);
+    println!(
+        "{}",
+        format_table("Table 1 (reproduced): valuable CEXs across the four DUTs", &rows)
+    );
+    println!("Paper reference (JasperGold, original RTL):");
+    println!("  V5 depth 9 <10min | C1 depth 76 <30min | C2 depth 80 <6h | C3 depth 80 <6h");
+    println!("  M2 depth 21 <30min | M3 depth 23 <3h | A1 depth 42 <1min");
+}

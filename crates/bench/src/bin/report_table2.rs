@@ -1,0 +1,19 @@
+//! Regenerates Table 2: the Vscale CEX ladder (description, depth, time).
+
+use autocc_bench::{default_options, table2};
+use autocc_core::format_table;
+
+fn main() {
+    let options = default_options(16);
+    let rows = table2(&options);
+    println!(
+        "{}",
+        format_table(
+            "Table 2 (reproduced): CEXs found in Vscale from the default AutoCC FT",
+            &rows
+        )
+    );
+    println!("Paper reference (JasperGold, original 32-bit Vscale RTL):");
+    println!("  V1 depth 6 <10s | V2 depth 6 <10s | V3 depth 7 <10s");
+    println!("  V4 depth 7 <10s | V5 depth 9 <100s | bounded proof depth 21 in 24h");
+}

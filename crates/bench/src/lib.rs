@@ -1,0 +1,13 @@
+//! # autocc-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! AutoCC paper (see `EXPERIMENTS.md` at the repository root for the
+//! paper-vs-measured record). Each experiment is a library function so the
+//! report binaries (`report_*`) and the Criterion benches share one
+//! definition of every testbench configuration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub use experiments::*;

@@ -1,0 +1,522 @@
+//! Incremental bounded model checking and k-induction.
+//!
+//! [`Bmc`] checks safety properties of a module: every property is a 1-bit
+//! node that must evaluate to 1 on every cycle, under 1-bit constraint
+//! nodes assumed to hold on every cycle. This is exactly the shape of the
+//! AutoCC properties (Listing 1 of the paper): single-cycle implications
+//! over interface signals, with assumptions constraining the environment.
+//!
+//! The checker unrolls the bit-blasted transition relation frame by frame
+//! into the CDCL solver, reusing learnt clauses across depths (the
+//! incremental analogue of JasperGold's bounded engines). Counterexamples
+//! are returned as input traces and are *replay-validated* against the
+//! word-level interpreter before being reported.
+
+use crate::trace::Trace;
+use autocc_aig::{assert_true_lit, FrameMap, SeqAig};
+use autocc_hdl::{Bv, Module, NodeId};
+use autocc_sat::{Lit, SolveResult, Solver};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a check run.
+#[derive(Clone, Debug)]
+pub struct BmcOptions {
+    /// Maximum unrolling depth (number of cycles).
+    pub max_depth: usize,
+    /// Total conflict budget across the run (`None` = unlimited).
+    pub conflict_budget: Option<u64>,
+    /// Wall-clock budget for the run (`None` = unlimited).
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for BmcOptions {
+    fn default() -> BmcOptions {
+        BmcOptions {
+            max_depth: 64,
+            conflict_budget: None,
+            time_budget: Some(Duration::from_secs(300)),
+        }
+    }
+}
+
+/// A counterexample to a property.
+#[derive(Clone, Debug)]
+pub struct Cex {
+    /// Name of the violated property.
+    pub property: String,
+    /// Trace length in cycles (the paper's "depth").
+    pub depth: usize,
+    /// The violating input sequence, starting from reset.
+    pub trace: Trace,
+}
+
+/// Outcome of a bounded check.
+#[derive(Clone, Debug)]
+pub enum CheckOutcome {
+    /// A property is violated; the trace proves it.
+    Cex(Cex),
+    /// No violation exists within `depth` cycles (bounded proof).
+    BoundReached {
+        /// The proven bound, in cycles.
+        depth: usize,
+    },
+    /// Budget exhausted before reaching the requested bound.
+    Exhausted {
+        /// Deepest fully-proven depth, in cycles.
+        depth: usize,
+    },
+}
+
+/// Outcome of a k-induction proof attempt.
+#[derive(Clone, Debug)]
+pub enum ProveOutcome {
+    /// The properties hold on all reachable states, for any depth.
+    Proved {
+        /// The induction depth at which the step case closed.
+        induction_depth: usize,
+    },
+    /// A real counterexample was found during the base case.
+    Cex(Cex),
+    /// Budget exhausted; `bound` cycles are still proven (base case).
+    Exhausted {
+        /// Deepest fully-proven depth, in cycles.
+        bound: usize,
+    },
+}
+
+/// Aggregate statistics of a checker instance.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BmcStats {
+    /// Frames encoded so far.
+    pub frames: usize,
+    /// SAT solver conflicts.
+    pub conflicts: u64,
+    /// SAT variables allocated.
+    pub vars: usize,
+    /// Wall-clock time spent inside `check`/`prove`.
+    pub solve_time: Duration,
+}
+
+struct Frame {
+    /// Fresh SAT literals for the input-port bits of this cycle.
+    port_lits: Vec<Lit>,
+    /// SAT literals of the next-state functions (inputs to the next frame).
+    next_state: Vec<Lit>,
+    /// SAT literal per property at this cycle.
+    prop_lits: Vec<Lit>,
+    /// Assumption literal that forces "some property violated here".
+    bad: Lit,
+}
+
+/// Incremental bounded model checker for one module.
+pub struct Bmc<'m> {
+    module: &'m Module,
+    seq: SeqAig,
+    solver: Solver,
+    const_true: Lit,
+    constraints: Vec<NodeId>,
+    properties: Vec<(String, NodeId)>,
+    frames: Vec<Frame>,
+    stats: BmcStats,
+}
+
+impl<'m> Bmc<'m> {
+    /// Creates a checker for `module`. Constraints and properties must be
+    /// added before the first [`Bmc::check`] call.
+    pub fn new(module: &'m Module) -> Bmc<'m> {
+        let seq = SeqAig::from_module(module);
+        let mut solver = Solver::new();
+        let const_true = assert_true_lit(&mut solver);
+        Bmc {
+            module,
+            seq,
+            solver,
+            const_true,
+            constraints: Vec::new(),
+            properties: Vec::new(),
+            frames: Vec::new(),
+            stats: BmcStats::default(),
+        }
+    }
+
+    /// The module under check.
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> BmcStats {
+        let mut s = self.stats;
+        s.conflicts = self.solver.stats().conflicts;
+        s.vars = self.solver.num_vars();
+        s.frames = self.frames.len();
+        s
+    }
+
+    /// Adds an environment constraint: `node` (1-bit) is assumed 1 on every
+    /// cycle. This is the paper's `assume property (...)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after checking started or if `node` is not 1 bit.
+    pub fn add_constraint(&mut self, node: NodeId) {
+        assert!(self.frames.is_empty(), "add constraints before checking");
+        assert_eq!(self.module.width(node), 1, "constraints must be 1 bit");
+        self.constraints.push(node);
+    }
+
+    /// Adds a safety property: `node` (1-bit) must be 1 on every cycle.
+    /// This is the paper's `assert property (...)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after checking started or if `node` is not 1 bit.
+    pub fn add_property(&mut self, name: impl Into<String>, node: NodeId) {
+        assert!(self.frames.is_empty(), "add properties before checking");
+        assert_eq!(self.module.width(node), 1, "properties must be 1 bit");
+        self.properties.push((name.into(), node));
+    }
+
+    /// Number of registered properties.
+    pub fn num_properties(&self) -> usize {
+        self.properties.len()
+    }
+
+    fn build_frame(&mut self) {
+        let t = self.frames.len();
+        let state_lits: Vec<Lit> = if t == 0 {
+            self.seq
+                .state_init
+                .iter()
+                .map(|&b| if b { self.const_true } else { !self.const_true })
+                .collect()
+        } else {
+            self.frames[t - 1].next_state.clone()
+        };
+        let port_lits: Vec<Lit> = (0..self.seq.num_port_bits())
+            .map(|_| self.solver.new_var().positive())
+            .collect();
+        let mut aig_inputs = port_lits.clone();
+        aig_inputs.extend_from_slice(&state_lits);
+        let mut map = FrameMap::new(&self.seq.aig, &aig_inputs, self.const_true);
+
+        // Constraints hold on every encoded cycle (hard clauses).
+        for &c in &self.constraints.clone() {
+            let lit = self.node_lit(&mut map, c);
+            self.solver.add_clause(&[lit]);
+        }
+        // Property literals and the per-frame "bad" selector.
+        let prop_lits: Vec<Lit> = self
+            .properties
+            .clone()
+            .iter()
+            .map(|(_, p)| self.node_lit(&mut map, *p))
+            .collect();
+        let bad = self.solver.new_var().positive();
+        // bad → at least one property is false at this cycle.
+        let mut clause: Vec<Lit> = vec![!bad];
+        clause.extend(prop_lits.iter().map(|&p| !p));
+        self.solver.add_clause(&clause);
+
+        // Next-state literals (wired into the following frame).
+        let next_state: Vec<Lit> = self
+            .seq
+            .state_next
+            .clone()
+            .iter()
+            .map(|&l| map.sat_lit(&mut self.solver, &self.seq.aig, l))
+            .collect();
+
+        self.frames.push(Frame {
+            port_lits,
+            next_state,
+            prop_lits,
+            bad,
+        });
+    }
+
+    fn node_lit(&mut self, map: &mut FrameMap, node: NodeId) -> Lit {
+        let aig_lit = self.seq.node_lits[node.index()][0];
+        map.sat_lit(&mut self.solver, &self.seq.aig, aig_lit)
+    }
+
+    /// Searches for a counterexample, deepening from the current frontier.
+    ///
+    /// Calling `check` again after [`CheckOutcome::Cex`] continues deepening
+    /// and may find further (deeper) counterexamples to other properties —
+    /// but the usual AutoCC workflow is to refine the testbench and re-run.
+    pub fn check(&mut self, options: &BmcOptions) -> CheckOutcome {
+        assert!(
+            !self.properties.is_empty(),
+            "no properties registered before check"
+        );
+        let start = Instant::now();
+        let conflicts_start = self.solver.stats().conflicts;
+        let mut depth = self.frames.len();
+        while depth < options.max_depth {
+            if let Some(tb) = options.time_budget {
+                if start.elapsed() > tb {
+                    self.stats.solve_time += start.elapsed();
+                    return CheckOutcome::Exhausted { depth };
+                }
+            }
+            if self.frames.len() == depth {
+                self.build_frame();
+            }
+            let frame_bad = self.frames[depth].bad;
+            if let Some(cb) = options.conflict_budget {
+                let used = self.solver.stats().conflicts - conflicts_start;
+                if used >= cb {
+                    self.stats.solve_time += start.elapsed();
+                    return CheckOutcome::Exhausted { depth };
+                }
+                self.solver.set_conflict_budget(Some(cb - used));
+            } else {
+                self.solver.set_conflict_budget(None);
+            }
+            match self.solver.solve_with(&[frame_bad]) {
+                SolveResult::Sat => {
+                    let cex = self.extract_cex(depth);
+                    self.stats.solve_time += start.elapsed();
+                    return CheckOutcome::Cex(cex);
+                }
+                SolveResult::Unsat => {
+                    depth += 1;
+                }
+                SolveResult::Unknown => {
+                    self.stats.solve_time += start.elapsed();
+                    return CheckOutcome::Exhausted { depth };
+                }
+            }
+        }
+        self.stats.solve_time += start.elapsed();
+        CheckOutcome::BoundReached {
+            depth: options.max_depth,
+        }
+    }
+
+    /// Reads the violating input sequence from the SAT model and
+    /// replay-validates it against the interpreter.
+    fn extract_cex(&mut self, depth: usize) -> Cex {
+        let mut inputs = Vec::with_capacity(depth + 1);
+        for frame in &self.frames[..=depth] {
+            let mut cycle = Vec::with_capacity(self.module.inputs().len());
+            let mut bit_idx = 0;
+            for port in self.module.inputs() {
+                let mut value = 0u64;
+                for b in 0..port.width {
+                    let lit = frame.port_lits[bit_idx];
+                    bit_idx += 1;
+                    let v = self.solver.lit_value_model(lit).unwrap_or(false);
+                    value |= (v as u64) << b;
+                }
+                cycle.push(Bv::new(port.width, value));
+            }
+            inputs.push(cycle);
+        }
+        let trace = Trace::new(inputs);
+
+        // Replay validation: the interpreter must agree that some property
+        // fails at `depth` and all constraints hold throughout.
+        let replay = trace.replay(self.module);
+        for (t, _) in (0..=depth).enumerate() {
+            for &c in &self.constraints {
+                assert!(
+                    replay.node(t, c).as_bool(),
+                    "encoder/simulator divergence: constraint violated at cycle {t} during replay"
+                );
+            }
+        }
+        let violated = self
+            .properties
+            .iter()
+            .find(|(_, p)| !replay.node(depth, *p).as_bool());
+        let (name, _) = violated.expect(
+            "encoder/simulator divergence: SAT model does not violate any property on replay",
+        );
+
+        Cex {
+            property: name.clone(),
+            depth: depth + 1,
+            trace,
+        }
+    }
+
+    /// Attempts a full (unbounded) proof by k-induction with simple-path
+    /// constraints, interleaved with base-case BMC.
+    ///
+    /// Auxiliary strengthening invariants should be supplied as additional
+    /// properties — they are proven too.
+    pub fn prove(&mut self, options: &BmcOptions) -> ProveOutcome {
+        let start = Instant::now();
+        let mut induction =
+            InductionStep::new(self.module, self.properties.clone(), self.constraints.clone());
+        for k in 1..=options.max_depth {
+            // Base case: no counterexample within k cycles.
+            let base_opts = BmcOptions {
+                max_depth: k,
+                conflict_budget: options.conflict_budget,
+                time_budget: options
+                    .time_budget
+                    .map(|tb| tb.saturating_sub(start.elapsed())),
+            };
+            match self.check(&base_opts) {
+                CheckOutcome::Cex(cex) => return ProveOutcome::Cex(cex),
+                CheckOutcome::Exhausted { depth } => {
+                    return ProveOutcome::Exhausted { bound: depth }
+                }
+                CheckOutcome::BoundReached { .. } => {}
+            }
+            // Step case: P holds for k consecutive (distinct) states ⇒ P
+            // holds in the next one.
+            if let Some(tb) = options.time_budget {
+                if start.elapsed() > tb {
+                    return ProveOutcome::Exhausted { bound: k };
+                }
+            }
+            match induction.step_holds(k, options) {
+                StepResult::Holds => {
+                    self.stats.solve_time += start.elapsed();
+                    return ProveOutcome::Proved {
+                        induction_depth: k,
+                    };
+                }
+                StepResult::Fails => {}
+                StepResult::Unknown => return ProveOutcome::Exhausted { bound: k },
+            }
+        }
+        ProveOutcome::Exhausted {
+            bound: options.max_depth,
+        }
+    }
+}
+
+enum StepResult {
+    Holds,
+    Fails,
+    Unknown,
+}
+
+/// Incremental encoding of the k-induction step case: frames with a free
+/// initial state, properties asserted on all but the last frame, pairwise
+/// state-distinctness (simple path), violation solved at the last frame.
+struct InductionStep {
+    seq: SeqAig,
+    properties: Vec<(String, NodeId)>,
+    constraints: Vec<NodeId>,
+    solver: Solver,
+    const_true: Lit,
+    frames: Vec<Frame>,
+    /// Per-frame state literals (inputs to that frame), for simple-path.
+    frame_states: Vec<Vec<Lit>>,
+}
+
+impl InductionStep {
+    fn new(
+        module: &Module,
+        properties: Vec<(String, NodeId)>,
+        constraints: Vec<NodeId>,
+    ) -> InductionStep {
+        let mut solver = Solver::new();
+        let const_true = assert_true_lit(&mut solver);
+        InductionStep {
+            seq: SeqAig::from_module(module),
+            properties,
+            constraints,
+            solver,
+            const_true,
+            frames: Vec::new(),
+            frame_states: Vec::new(),
+        }
+    }
+
+    fn build_frame(&mut self) {
+        let t = self.frames.len();
+        let state_lits: Vec<Lit> = if t == 0 {
+            // Free symbolic initial state.
+            (0..self.seq.state_cur.len())
+                .map(|_| self.solver.new_var().positive())
+                .collect()
+        } else {
+            self.frames[t - 1].next_state.clone()
+        };
+        let port_lits: Vec<Lit> = (0..self.seq.num_port_bits())
+            .map(|_| self.solver.new_var().positive())
+            .collect();
+        let mut aig_inputs = port_lits.clone();
+        aig_inputs.extend_from_slice(&state_lits);
+        let mut map = FrameMap::new(&self.seq.aig, &aig_inputs, self.const_true);
+
+        for &c in &self.constraints.clone() {
+            let aig_lit = self.seq.node_lits[c.index()][0];
+            let lit = map.sat_lit(&mut self.solver, &self.seq.aig, aig_lit);
+            self.solver.add_clause(&[lit]);
+        }
+        let prop_lits: Vec<Lit> = self
+            .properties
+            .clone()
+            .iter()
+            .map(|(_, p)| {
+                let aig_lit = self.seq.node_lits[p.index()][0];
+                map.sat_lit(&mut self.solver, &self.seq.aig, aig_lit)
+            })
+            .collect();
+        let bad = self.solver.new_var().positive();
+        let mut clause: Vec<Lit> = vec![!bad];
+        clause.extend(prop_lits.iter().map(|&p| !p));
+        self.solver.add_clause(&clause);
+
+        let next_state: Vec<Lit> = self
+            .seq
+            .state_next
+            .iter()
+            .map(|&l| map.sat_lit(&mut self.solver, &self.seq.aig, l))
+            .collect();
+
+        // Simple path: this frame's state differs from every earlier one.
+        // For each pair, a difference selector x with x → (a ⊕ b); the
+        // clause "some x is true" then forces a genuine state difference.
+        let states = state_lits.clone();
+        for earlier in self.frame_states.clone() {
+            let mut diff_bits = Vec::with_capacity(states.len());
+            for (&a, &b) in earlier.iter().zip(&states) {
+                let x = self.solver.new_var().positive();
+                self.solver.add_clause(&[!x, a, b]);
+                self.solver.add_clause(&[!x, !a, !b]);
+                diff_bits.push(x);
+            }
+            self.solver.add_clause(&diff_bits);
+        }
+
+        self.frame_states.push(states);
+        self.frames.push(Frame {
+            port_lits,
+            next_state,
+            prop_lits,
+            bad,
+        });
+    }
+
+    /// Checks whether the induction step closes at depth `k`:
+    /// P at frames `0..k` (with distinct states) forces P at frame `k`.
+    fn step_holds(&mut self, k: usize, options: &BmcOptions) -> StepResult {
+        while self.frames.len() <= k {
+            // Before adding frame `t`, assert P at frame `t - 1` (it is no
+            // longer the "last" frame).
+            if let Some(prev) = self.frames.len().checked_sub(1) {
+                for &p in &self.frames[prev].prop_lits.clone() {
+                    self.solver.add_clause(&[p]);
+                }
+            }
+            self.build_frame();
+        }
+        self.solver.set_conflict_budget(options.conflict_budget);
+        let bad = self.frames[k].bad;
+        let r = self.solver.solve_with(&[bad]);
+        match r {
+            SolveResult::Unsat => StepResult::Holds,
+            SolveResult::Sat => StepResult::Fails,
+            SolveResult::Unknown => StepResult::Unknown,
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # autocc-bmc
+//!
+//! Bounded model checking and k-induction over `autocc-hdl` netlists —
+//! the solver-engine layer of the AutoCC reproduction (Orenes-Vera et al.,
+//! MICRO 2023). Where the paper hands an FPV testbench to JasperGold or
+//! SBY, this crate unrolls the bit-blasted transition relation into the
+//! `autocc-sat` CDCL solver.
+//!
+//! * Safety properties and environment constraints are 1-bit module nodes
+//!   that must hold on every cycle — the shape of every AutoCC property.
+//! * Checking deepens incrementally; learnt clauses carry across depths.
+//! * Counterexamples come back as input [`Trace`]s and are replay-validated
+//!   against the interpreter before being reported, so a reported covert
+//!   channel always reproduces in simulation.
+//! * [`Bmc::prove`] runs k-induction with simple-path constraints for full
+//!   (unbounded) proofs, as used for the paper's AES full-proof result.
+//!
+//! ## Example: proving and refuting a counter property
+//!
+//! ```
+//! use autocc_hdl::{Bv, ModuleBuilder};
+//! use autocc_bmc::{Bmc, BmcOptions, CheckOutcome};
+//!
+//! let mut b = ModuleBuilder::new("counter");
+//! let c = b.reg("count", 3, Bv::zero(3));
+//! let one = b.lit(3, 1);
+//! let next = b.add(c, one);
+//! b.set_next(c, next);
+//! let five = b.lit(3, 5);
+//! let below = b.ult(c, five);
+//! b.output("small", below);
+//! let m = b.build();
+//!
+//! let mut bmc = Bmc::new(&m);
+//! bmc.add_property("count_below_5", m.output_node("small").unwrap());
+//! match bmc.check(&BmcOptions { max_depth: 16, ..Default::default() }) {
+//!     CheckOutcome::Cex(cex) => {
+//!         // The counter reaches 5 after 6 cycles (0,1,2,3,4,5).
+//!         assert_eq!(cex.depth, 6);
+//!     }
+//!     other => panic!("expected counterexample, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checker;
+mod trace;
+
+pub use checker::{Bmc, BmcOptions, BmcStats, CheckOutcome, Cex, ProveOutcome};
+pub use trace::{ReplayedTrace, Trace};

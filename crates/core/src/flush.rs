@@ -1,0 +1,211 @@
+//! Flush-mechanism synthesis — Algorithms 1 and 2 of the paper (Sec. 3.5).
+//!
+//! Both algorithms assist test-driven development of the microarchitectural
+//! flush: they search for the set of state elements that must be cleared on
+//! a context switch for the AutoCC properties to hold.
+//!
+//! * [`incremental_flush`] (Algorithm 1) starts from an empty flush set and
+//!   adds the state that each counterexample's root cause identifies, until
+//!   the testbench is clean.
+//! * [`decremental_flush`] (Algorithm 2) starts from a full flush and
+//!   removes candidates one at a time, keeping a removal only if the
+//!   testbench stays clean — yielding a minimal (with respect to the
+//!   candidate order) flush set.
+//!
+//! The DUT is supplied as a *builder function* from flush set to module,
+//! playing the role of the RTL edit between FPV runs.
+
+use crate::spec::FtSpec;
+use autocc_bmc::BmcOptions;
+use autocc_hdl::Module;
+use std::collections::BTreeSet;
+
+/// Configuration for flush synthesis.
+#[derive(Clone, Debug)]
+pub struct FlushSynthesisConfig {
+    /// Options for each AutoCC check run.
+    pub check_options: BmcOptions,
+    /// Safety bound on Algorithm-1 iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for FlushSynthesisConfig {
+    fn default() -> FlushSynthesisConfig {
+        FlushSynthesisConfig {
+            check_options: BmcOptions::default(),
+            max_iterations: 64,
+        }
+    }
+}
+
+/// One round of a synthesis run.
+#[derive(Clone, Debug)]
+pub struct FlushIteration {
+    /// The flush set this round was checked with.
+    pub flush_set: BTreeSet<String>,
+    /// Whether the testbench was clean (no CEX within the bound).
+    pub clean: bool,
+    /// Algorithm 1: the state the CEX root-caused to (then added).
+    /// Algorithm 2: the candidate whose removal was attempted.
+    pub state: Option<String>,
+}
+
+/// Result of a synthesis run.
+#[derive(Clone, Debug)]
+pub struct FlushSynthesisResult {
+    /// The final flush set.
+    pub flush_set: BTreeSet<String>,
+    /// Whether the final set makes the testbench clean.
+    pub converged: bool,
+    /// Per-round record.
+    pub iterations: Vec<FlushIteration>,
+}
+
+/// Strips a memory-word suffix: `tlb[3]` → `tlb`.
+fn base_state_name(name: &str) -> String {
+    match name.find('[') {
+        Some(i) => name[..i].to_string(),
+        None => name.to_string(),
+    }
+}
+
+/// Algorithm 1: incrementally grows the flush set from CEX root causes.
+///
+/// `build_dut` constructs the DUT with a given flush set; `configure`
+/// applies the testbench refinements (threshold, flush_done condition,
+/// architectural state) to the default spec.
+pub fn incremental_flush<B, S>(
+    build_dut: B,
+    configure: S,
+    config: &FlushSynthesisConfig,
+) -> FlushSynthesisResult
+where
+    B: Fn(&BTreeSet<String>) -> Module,
+    S: for<'d> Fn(FtSpec<'d>) -> FtSpec<'d>,
+{
+    let mut flush: BTreeSet<String> = BTreeSet::new();
+    let mut iterations = Vec::new();
+    for _ in 0..config.max_iterations {
+        let dut = build_dut(&flush);
+        let ft = configure(FtSpec::new(&dut)).generate();
+        let report = ft.check(&config.check_options);
+        if report.outcome.is_clean() {
+            iterations.push(FlushIteration {
+                flush_set: flush.clone(),
+                clean: true,
+                state: None,
+            });
+            return FlushSynthesisResult {
+                flush_set: flush,
+                converged: true,
+                iterations,
+            };
+        }
+        let Some(cex) = report.outcome.cex() else {
+            // Budget exhausted: cannot conclude.
+            iterations.push(FlushIteration {
+                flush_set: flush.clone(),
+                clean: false,
+                state: None,
+            });
+            return FlushSynthesisResult {
+                flush_set: flush,
+                converged: false,
+                iterations,
+            };
+        };
+        // FindCause: the first diverging state not already flushed.
+        let cause = cex
+            .diverging_state
+            .iter()
+            .map(|d| base_state_name(&d.name))
+            .find(|n| !flush.contains(n));
+        match cause {
+            Some(state) => {
+                iterations.push(FlushIteration {
+                    flush_set: flush.clone(),
+                    clean: false,
+                    state: Some(state.clone()),
+                });
+                flush.insert(state);
+            }
+            None => {
+                // The CEX does not root-cause to unflushed state: the
+                // builder cannot close this channel by flushing.
+                iterations.push(FlushIteration {
+                    flush_set: flush.clone(),
+                    clean: false,
+                    state: None,
+                });
+                return FlushSynthesisResult {
+                    flush_set: flush,
+                    converged: false,
+                    iterations,
+                };
+            }
+        }
+    }
+    FlushSynthesisResult {
+        flush_set: flush,
+        converged: false,
+        iterations,
+    }
+}
+
+/// Algorithm 2: starts from `full_flush` (which must be clean) and tries to
+/// remove each of `candidates` in order, keeping removals that stay clean.
+pub fn decremental_flush<B, S>(
+    build_dut: B,
+    configure: S,
+    full_flush: &BTreeSet<String>,
+    candidates: &[String],
+    config: &FlushSynthesisConfig,
+) -> FlushSynthesisResult
+where
+    B: Fn(&BTreeSet<String>) -> Module,
+    S: for<'d> Fn(FtSpec<'d>) -> FtSpec<'d>,
+{
+    let mut flush = full_flush.clone();
+    let mut iterations = Vec::new();
+
+    let run = |flush: &BTreeSet<String>| {
+        let dut = build_dut(flush);
+        let ft = configure(FtSpec::new(&dut)).generate();
+        ft.check(&config.check_options).outcome.is_clean()
+    };
+
+    // Precondition: the full flush achieves a (bounded) proof.
+    if !run(&flush) {
+        iterations.push(FlushIteration {
+            flush_set: flush.clone(),
+            clean: false,
+            state: None,
+        });
+        return FlushSynthesisResult {
+            flush_set: flush,
+            converged: false,
+            iterations,
+        };
+    }
+
+    for state in candidates {
+        if !flush.contains(state) {
+            continue;
+        }
+        flush.remove(state);
+        let clean = run(&flush);
+        iterations.push(FlushIteration {
+            flush_set: flush.clone(),
+            clean,
+            state: Some(state.clone()),
+        });
+        if !clean {
+            flush.insert(state.clone());
+        }
+    }
+    FlushSynthesisResult {
+        flush_set: flush,
+        converged: true,
+        iterations,
+    }
+}

@@ -1,0 +1,144 @@
+//! Plain-text report rendering for the experiment harness.
+//!
+//! The bench binaries regenerate the paper's tables with these helpers, so
+//! every experiment prints rows in the same `Description | Depth | Time`
+//! shape as Tables 1 and 2.
+
+use crate::testbench::AutoCcOutcome;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One row of an experiment table.
+#[derive(Clone, Debug)]
+pub struct TableRow {
+    /// Experiment id (`V1`, `C2`, `M3`, `A1`, ...).
+    pub id: String,
+    /// Human-readable description of the CEX or proof.
+    pub description: String,
+    /// CEX depth in cycles (`None` for proofs).
+    pub depth: Option<usize>,
+    /// FPV tool runtime.
+    pub time: Duration,
+    /// Outcome label (`CEX`, `clean@N`, `proved`, ...).
+    pub outcome: String,
+}
+
+impl TableRow {
+    /// Builds a row from a run outcome.
+    pub fn from_outcome(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        outcome: &AutoCcOutcome,
+        time: Duration,
+    ) -> TableRow {
+        let (depth, label) = match outcome {
+            AutoCcOutcome::Cex(cex) => (Some(cex.depth), format!("CEX {}", cex.property)),
+            AutoCcOutcome::Clean { bound } => (None, format!("clean@{bound}")),
+            AutoCcOutcome::Proved { induction_depth } => {
+                (None, format!("proved (k={induction_depth})"))
+            }
+            AutoCcOutcome::Exhausted { bound } => (None, format!("exhausted@{bound}")),
+        };
+        TableRow {
+            id: id.into(),
+            description: description.into(),
+            depth,
+            time,
+            outcome: label,
+        }
+    }
+}
+
+/// Formats a duration the way the paper's tables do (coarse buckets for
+/// long runs, precise values for short ones).
+pub fn format_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 1.0 {
+        format!("{:.0} ms", secs * 1e3)
+    } else if secs < 100.0 {
+        format!("{secs:.1} s")
+    } else if secs < 3600.0 {
+        format!("{:.1} min", secs / 60.0)
+    } else {
+        format!("{:.1} h", secs / 3600.0)
+    }
+}
+
+/// Renders rows as an aligned text table.
+pub fn format_table(title: &str, rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let id_w = rows.iter().map(|r| r.id.len()).max().unwrap_or(2).max(2);
+    let desc_w = rows
+        .iter()
+        .map(|r| r.description.len())
+        .max()
+        .unwrap_or(11)
+        .max(11);
+    let out_w = rows
+        .iter()
+        .map(|r| r.outcome.len())
+        .max()
+        .unwrap_or(7)
+        .max(7);
+    let _ = writeln!(
+        out,
+        "{:id_w$}  {:desc_w$}  {:>5}  {:>9}  {:out_w$}",
+        "Id", "Description", "Depth", "Time", "Outcome"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(id_w + desc_w + out_w + 23));
+    for r in rows {
+        let depth = r
+            .depth
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "{:id_w$}  {:desc_w$}  {:>5}  {:>9}  {:out_w$}",
+            r.id,
+            r.description,
+            depth,
+            format_duration(r.time),
+            r.outcome
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_buckets() {
+        assert_eq!(format_duration(Duration::from_millis(12)), "12 ms");
+        assert_eq!(format_duration(Duration::from_secs(5)), "5.0 s");
+        assert_eq!(format_duration(Duration::from_secs(120)), "2.0 min");
+        assert_eq!(format_duration(Duration::from_secs(7200)), "2.0 h");
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let rows = vec![
+            TableRow {
+                id: "V1".into(),
+                description: "Jump to address read from the reg. file".into(),
+                depth: Some(6),
+                time: Duration::from_millis(800),
+                outcome: "CEX as__dmem_hwrite_eq".into(),
+            },
+            TableRow {
+                id: "V5".into(),
+                description: "Interrupt in the WB stage stalls pipeline".into(),
+                depth: Some(9),
+                time: Duration::from_secs(12),
+                outcome: "CEX as__imem_haddr_eq".into(),
+            },
+        ];
+        let table = format_table("Table 2: Vscale", &rows);
+        assert!(table.contains("V1"));
+        assert!(table.contains("V5"));
+        assert!(table.contains("reg. file"));
+        assert!(table.lines().count() >= 5);
+    }
+}

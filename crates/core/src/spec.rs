@@ -1,0 +1,465 @@
+//! FPV testbench (FT) specification and generation — Sec. 3.3 of the paper.
+//!
+//! [`FtSpec`] captures everything the user may refine about an AutoCC
+//! testbench: the transfer-period `THRESHOLD`, the `flush_done` condition,
+//! the architectural-state equality set, and extra environment assumptions.
+//! [`FtSpec::generate`] then builds the two-universe miter:
+//!
+//! 1. a wrapper with the DUT instantiated twice (universes `a` and `b`),
+//!    each with its own copy of every non-`common` input;
+//! 2. the Listing-1 monitor — `eq_cnt`, `spy_mode`, `flush_done`,
+//!    `transfer_cond` — synthesised as netlist logic;
+//! 3. one *assumption* per DUT input (`spy_mode |-> input_eq`, payload
+//!    equality gated by transaction validity), and
+//! 4. one *assertion* per DUT output (`spy_mode |-> output_eq`, payload
+//!    assertions gated by the universe-a valid).
+//!
+//! The default spec needs nothing but the DUT — matching the paper's
+//! "no upfront user input" flow. Refinements are added as counterexamples
+//! are found, mirroring Sec. 4.1's workflow.
+
+use crate::testbench::{FpvTestbench, MonitorHandles, PortRole};
+use autocc_hdl::{Bv, Direction, Instance, Module, ModuleBuilder, NodeId};
+use std::collections::HashMap;
+
+/// A user hook evaluated inside the miter: receives the wrapper builder and
+/// the two DUT instances, returns a 1-bit node.
+pub type MiterHook = Box<dyn Fn(&mut ModuleBuilder, &Instance, &Instance) -> NodeId>;
+
+/// A user assumption evaluated after the monitor exists; may reference
+/// monitor signals (e.g. constrain behaviour only around the flush).
+pub type AssumeHook =
+    Box<dyn Fn(&mut ModuleBuilder, &Instance, &Instance, &MonitorHandles) -> NodeId>;
+
+/// How the end of the microarchitectural flush is detected (Listing 1's
+/// `flush_done`).
+pub enum FlushDone {
+    /// Left free: a fresh symbolic input the solver may assert at any time.
+    /// This is the default of the generated FT (`wire flush_done = 'x`).
+    Free,
+    /// A condition computed from both universes (e.g. "`fence.t` retired in
+    /// both" or "both pipelines idle").
+    Condition(MiterHook),
+}
+
+/// Specification of an AutoCC FPV testbench over one DUT.
+///
+/// # Examples
+///
+/// Generating the default testbench for a DUT takes one line, as in the
+/// paper's `autocc.py -f vscale_core.v` flow:
+///
+/// ```
+/// use autocc_hdl::{Bv, ModuleBuilder};
+/// use autocc_core::FtSpec;
+///
+/// let mut b = ModuleBuilder::new("dut");
+/// let x = b.input("x", 4);
+/// let r = b.reg("r", 4, Bv::zero(4));
+/// b.set_next(r, x);
+/// b.output("y", r);
+/// let dut = b.build();
+///
+/// let ft = FtSpec::new(&dut).generate();
+/// assert!(ft.properties().iter().any(|(name, _)| name == "as__y_eq"));
+/// ```
+pub struct FtSpec<'d> {
+    dut: &'d Module,
+    threshold: u32,
+    flush_done: FlushDone,
+    /// Register names whose equality joins `architectural_state_eq`.
+    arch_regs: Vec<String>,
+    /// Memory names whose (word-wise) equality joins `architectural_state_eq`.
+    arch_mems: Vec<String>,
+    /// Extra architectural-state conditions.
+    arch_hooks: Vec<MiterHook>,
+    /// Environment assumptions (constraints holding on every cycle).
+    assume_hooks: Vec<AssumeHook>,
+    /// Add `spy_mode |-> state_eq` auxiliary invariants for every DUT state
+    /// element (strengthens k-induction into a closable proof).
+    state_equality_invariants: bool,
+    /// Custom auxiliary assertions (checked like generated properties).
+    assert_hooks: Vec<(String, AssumeHook)>,
+}
+
+impl<'d> FtSpec<'d> {
+    /// Default testbench spec for `dut`: `THRESHOLD = 4`, free `flush_done`,
+    /// empty architectural state (`architectural_state_eq = 1'b1`).
+    pub fn new(dut: &'d Module) -> FtSpec<'d> {
+        FtSpec {
+            dut,
+            threshold: 4,
+            flush_done: FlushDone::Free,
+            arch_regs: Vec::new(),
+            arch_mems: Vec::new(),
+            arch_hooks: Vec::new(),
+            assume_hooks: Vec::new(),
+            state_equality_invariants: false,
+            assert_hooks: Vec::new(),
+        }
+    }
+
+    /// Sets the transfer-period length (Listing 1's `THRESHOLD`).
+    pub fn threshold(mut self, threshold: u32) -> FtSpec<'d> {
+        assert!(threshold >= 1, "threshold must be at least 1");
+        self.threshold = threshold;
+        self
+    }
+
+    /// Defines when the microarchitectural flush has finished in both
+    /// universes.
+    pub fn flush_done(
+        mut self,
+        hook: impl Fn(&mut ModuleBuilder, &Instance, &Instance) -> NodeId + 'static,
+    ) -> FtSpec<'d> {
+        self.flush_done = FlushDone::Condition(Box::new(hook));
+        self
+    }
+
+    /// Adds a DUT register (by hierarchical name) to the architectural
+    /// state: its values must match across universes for the context switch
+    /// to complete. This is the paper's iterative-refinement step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DUT has no such register.
+    pub fn arch_reg(mut self, name: &str) -> FtSpec<'d> {
+        assert!(
+            self.dut.find_reg(name).is_some(),
+            "DUT has no register named {name}"
+        );
+        self.arch_regs.push(name.to_string());
+        self
+    }
+
+    /// Adds every DUT register whose name starts with `prefix` to the
+    /// architectural state (convenient for whole submodules, e.g. a
+    /// blackboxed CSR file's neighbours).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no register matches.
+    pub fn arch_reg_prefix(mut self, prefix: &str) -> FtSpec<'d> {
+        let names: Vec<String> = self
+            .dut
+            .regs()
+            .iter()
+            .filter(|r| r.name.starts_with(prefix))
+            .map(|r| r.name.clone())
+            .collect();
+        assert!(!names.is_empty(), "no DUT register starts with {prefix}");
+        self.arch_regs.extend(names);
+        self
+    }
+
+    /// Adds a DUT memory (by name) to the architectural state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DUT has no such memory.
+    pub fn arch_mem(mut self, name: &str) -> FtSpec<'d> {
+        assert!(
+            self.dut.find_mem(name).is_some(),
+            "DUT has no memory named {name}"
+        );
+        self.arch_mems.push(name.to_string());
+        self
+    }
+
+    /// Adds a custom architectural-state condition.
+    pub fn arch_condition(
+        mut self,
+        hook: impl Fn(&mut ModuleBuilder, &Instance, &Instance) -> NodeId + 'static,
+    ) -> FtSpec<'d> {
+        self.arch_hooks.push(Box::new(hook));
+        self
+    }
+
+    /// Adds an environment assumption (a 1-bit condition assumed true on
+    /// every cycle). Used to rule out illegal input sequences (Def. 4) and
+    /// to refine spurious CEXs, e.g. "the NoC output buffer is empty during
+    /// the context switch".
+    pub fn assume(
+        mut self,
+        hook: impl Fn(&mut ModuleBuilder, &Instance, &Instance, &MonitorHandles) -> NodeId
+            + 'static,
+    ) -> FtSpec<'d> {
+        self.assume_hooks.push(Box::new(hook));
+        self
+    }
+
+    /// Adds a custom auxiliary assertion (a 1-bit condition that must hold
+    /// on every cycle, like the generated properties). Used to supply
+    /// design-specific strengthening invariants — the "architectural
+    /// modeling" the paper adds to the AES testbench to reach full proof.
+    pub fn assert_prop(
+        mut self,
+        name: &str,
+        hook: impl Fn(&mut ModuleBuilder, &Instance, &Instance, &MonitorHandles) -> NodeId
+            + 'static,
+    ) -> FtSpec<'d> {
+        self.assert_hooks.push((name.to_string(), Box::new(hook)));
+        self
+    }
+
+    /// Adds one auxiliary assertion `spy_mode |-> state_eq` per DUT state
+    /// element (register and memory word). These strengthen the property
+    /// set into an inductive invariant, which is what lets
+    /// [`FpvTestbench::prove`](crate::FpvTestbench::prove) close a *full*
+    /// proof — the paper's "architectural modeling" added to the AES
+    /// testbench to reach full proof (Sec. A.5.4). The invariants are also
+    /// checked in the base case, so they only pass when the flush/arch
+    /// refinement genuinely forces state convergence at spy start.
+    pub fn state_equality_invariants(mut self) -> FtSpec<'d> {
+        self.state_equality_invariants = true;
+        self
+    }
+
+    /// The DUT this spec targets.
+    pub fn dut(&self) -> &'d Module {
+        self.dut
+    }
+
+    /// Builds the FPV testbench: the miter module, its monitor handles,
+    /// the generated assumptions, and one assertion per DUT output.
+    pub fn generate(&self) -> FpvTestbench {
+        let dut = self.dut;
+        let mut b = ModuleBuilder::new(format!("ft_{}", dut.name()));
+        let mut port_roles = Vec::new();
+
+        // --- 1. Wrapper inputs -----------------------------------------
+        // Common inputs exist once; the rest are duplicated per universe.
+        let mut wires_a: HashMap<String, NodeId> = HashMap::new();
+        let mut wires_b: HashMap<String, NodeId> = HashMap::new();
+        // (dut input index, a-node, b-node) for equality conditions.
+        let mut input_pairs: Vec<(usize, NodeId, NodeId)> = Vec::new();
+        for (pi, port) in dut.inputs().iter().enumerate() {
+            if port.common {
+                let n = b.input(&port.name, port.width);
+                wires_a.insert(port.name.clone(), n);
+                wires_b.insert(port.name.clone(), n);
+                port_roles.push(PortRole::Common { dut_port: pi });
+            } else {
+                let na = b.input(&format!("a.{}", port.name), port.width);
+                let nb = b.input(&format!("b.{}", port.name), port.width);
+                wires_a.insert(port.name.clone(), na);
+                wires_b.insert(port.name.clone(), nb);
+                input_pairs.push((pi, na, nb));
+                port_roles.push(PortRole::UniverseA { dut_port: pi });
+                port_roles.push(PortRole::UniverseB { dut_port: pi });
+            }
+        }
+
+        // --- 2. Two universes ------------------------------------------
+        let inst_a = b.instantiate(dut, "ua", &wires_a);
+        let inst_b = b.instantiate(dut, "ub", &wires_b);
+
+        // --- 3. flush_done ----------------------------------------------
+        let flush_done = match &self.flush_done {
+            FlushDone::Free => {
+                let n = b.input("flush_done", 1);
+                port_roles.push(PortRole::FlushFree);
+                n
+            }
+            FlushDone::Condition(hook) => hook(&mut b, &inst_a, &inst_b),
+        };
+        assert_eq!(b.width(flush_done), 1, "flush_done must be 1 bit");
+
+        // --- 4. architectural_state_eq ----------------------------------
+        let mut arch_conds: Vec<NodeId> = Vec::new();
+        for name in &self.arch_regs {
+            let (ra, rb) = (inst_a.regs[name], inst_b.regs[name]);
+            let (na, nb) = (b.read_reg(ra), b.read_reg(rb));
+            arch_conds.push(b.eq(na, nb));
+        }
+        for name in &self.arch_mems {
+            let (ma, mb) = (inst_a.mems[name], inst_b.mems[name]);
+            let depth = b.mem_depth(ma);
+            for w in 0..depth {
+                let (wa, wb) = (b.read_mem_word(ma, w), b.read_mem_word(mb, w));
+                arch_conds.push(b.eq(wa, wb));
+            }
+        }
+        for hook in &self.arch_hooks {
+            let n = hook(&mut b, &inst_a, &inst_b);
+            assert_eq!(b.width(n), 1, "arch conditions must be 1 bit");
+            arch_conds.push(n);
+        }
+        let arch_state_eq = b.all(&arch_conds);
+
+        // --- 5. Interface equality conditions ---------------------------
+        // Transaction lookup: output/input name -> (is_valid, valid name).
+        let mut out_payload_valid: HashMap<String, String> = HashMap::new();
+        let mut out_valids: Vec<String> = Vec::new();
+        let mut in_payload_valid: HashMap<String, String> = HashMap::new();
+        for t in dut.transactions() {
+            match t.direction {
+                Direction::Output => {
+                    out_valids.push(t.valid.clone());
+                    for p in &t.payload {
+                        out_payload_valid.insert(p.clone(), t.valid.clone());
+                    }
+                }
+                Direction::Input => {
+                    for p in &t.payload {
+                        in_payload_valid.insert(p.clone(), t.valid.clone());
+                    }
+                }
+            }
+        }
+
+        // Input equality (payloads gated by the a-universe valid).
+        let mut input_eqs: Vec<NodeId> = Vec::new();
+        // (dut input name, equality node) for assumption generation.
+        let mut input_eq_by_name: Vec<(String, NodeId)> = Vec::new();
+        for &(pi, na, nb) in &input_pairs {
+            let name = dut.inputs()[pi].name.clone();
+            let eq = b.eq(na, nb);
+            let cond = if let Some(valid_name) = in_payload_valid.get(&name) {
+                let va = wires_a[valid_name];
+                let nv = b.not(va);
+                b.or(nv, eq)
+            } else {
+                eq
+            };
+            input_eqs.push(cond);
+            input_eq_by_name.push((name, cond));
+        }
+        let input_signal_eq = b.all(&input_eqs);
+
+        // Output equality (payloads gated by the a-universe valid).
+        let mut output_eqs: Vec<NodeId> = Vec::new();
+        // (property name, equality node) for assertion generation.
+        let mut output_eq_by_name: Vec<(String, NodeId)> = Vec::new();
+        for out in dut.outputs() {
+            let oa = inst_a.outputs[&out.name];
+            let ob = inst_b.outputs[&out.name];
+            let eq = b.eq(oa, ob);
+            let cond = if let Some(valid_name) = out_payload_valid.get(&out.name) {
+                let va = inst_a.outputs[valid_name];
+                let nv = b.not(va);
+                b.or(nv, eq)
+            } else {
+                eq
+            };
+            output_eqs.push(cond);
+            output_eq_by_name.push((out.name.clone(), cond));
+        }
+        let output_signal_eq = b.all(&output_eqs);
+
+        // --- 6. Monitor (Listing 1) -------------------------------------
+        let transfer_parts = [arch_state_eq, input_signal_eq, output_signal_eq];
+        let transfer_cond = b.all(&transfer_parts);
+
+        let cnt_width = 32 - (self.threshold + 1).leading_zeros();
+        let cnt_width = cnt_width.max(1) + 1;
+        let eq_cnt = b.reg("autocc.eq_cnt", cnt_width, Bv::zero(cnt_width));
+        let spy_mode = b.reg("autocc.spy_mode", 1, Bv::zero(1));
+
+        let threshold_lit = b.lit(cnt_width, u64::from(self.threshold));
+        let cnt_at_threshold = b.ule(threshold_lit, eq_cnt);
+        let spy_starts = b.and(transfer_cond, cnt_at_threshold);
+        let spy_next = b.or(spy_starts, spy_mode);
+        b.set_next(spy_mode, spy_next);
+
+        // eq_cnt <= (flush_done || eq_cnt > 0) && transfer_cond
+        //             ? eq_cnt + 1 : 0     (saturating at THRESHOLD + 1 so
+        // the counter cannot wrap during long transfer periods).
+        let cnt_nonzero = {
+            let zero = b.lit(cnt_width, 0);
+            b.ne(eq_cnt, zero)
+        };
+        let counting = {
+            let armed = b.or(flush_done, cnt_nonzero);
+            b.and(armed, transfer_cond)
+        };
+        let one = b.lit(cnt_width, 1);
+        let inc = b.add(eq_cnt, one);
+        let saturated = b.ult(eq_cnt, threshold_lit);
+        let inc_or_hold = b.mux(saturated, inc, eq_cnt);
+        let zero = b.lit(cnt_width, 0);
+        let cnt_next = b.mux(counting, inc_or_hold, zero);
+        b.set_next(eq_cnt, cnt_next);
+
+        // Expose monitor signals as outputs for trace inspection.
+        b.output("autocc.spy_mode", spy_mode);
+        b.output("autocc.eq_cnt", eq_cnt);
+        b.output("autocc.transfer_cond", transfer_cond);
+        b.output("autocc.flush_done", flush_done);
+        b.output("autocc.arch_state_eq", arch_state_eq);
+        b.output("autocc.input_eq", input_signal_eq);
+        b.output("autocc.output_eq", output_signal_eq);
+
+        let monitor = MonitorHandles {
+            spy_mode,
+            eq_cnt,
+            flush_done,
+            transfer_cond,
+            spy_starts,
+            arch_state_eq,
+            input_signal_eq,
+            output_signal_eq,
+        };
+
+        // --- 7. Assumptions ----------------------------------------------
+        // spy_mode |-> input_eq, one per duplicated input.
+        let mut constraints: Vec<NodeId> = Vec::new();
+        let not_spy = b.not(spy_mode);
+        for (_, eq) in &input_eq_by_name {
+            constraints.push(b.or(not_spy, *eq));
+        }
+        for hook in &self.assume_hooks {
+            let n = hook(&mut b, &inst_a, &inst_b, &monitor);
+            assert_eq!(b.width(n), 1, "assumptions must be 1 bit");
+            constraints.push(n);
+        }
+
+        // --- 8. Assertions -----------------------------------------------
+        let mut properties: Vec<(String, NodeId)> = Vec::new();
+        for (name, eq) in &output_eq_by_name {
+            let prop = b.or(not_spy, *eq);
+            properties.push((format!("as__{name}_eq"), prop));
+        }
+        let _ = out_valids;
+
+        for (name, hook) in &self.assert_hooks {
+            let n = hook(&mut b, &inst_a, &inst_b, &monitor);
+            assert_eq!(b.width(n), 1, "assertions must be 1 bit");
+            properties.push((format!("inv__{name}"), n));
+        }
+
+        if self.state_equality_invariants {
+            let reg_names: Vec<String> = dut.regs().iter().map(|r| r.name.clone()).collect();
+            for name in reg_names {
+                let (ra, rb) = (inst_a.regs[&name], inst_b.regs[&name]);
+                let (na, nb) = (b.read_reg(ra), b.read_reg(rb));
+                let eq = b.eq(na, nb);
+                let prop = b.or(not_spy, eq);
+                properties.push((format!("inv__{name}_eq"), prop));
+            }
+            let mem_names: Vec<String> = dut.mems().iter().map(|m| m.name.clone()).collect();
+            for name in mem_names {
+                let (ma, mb) = (inst_a.mems[&name], inst_b.mems[&name]);
+                let depth = b.mem_depth(ma);
+                for w in 0..depth {
+                    let (wa, wb) = (b.read_mem_word(ma, w), b.read_mem_word(mb, w));
+                    let eq = b.eq(wa, wb);
+                    let prop = b.or(not_spy, eq);
+                    properties.push((format!("inv__{name}[{w}]_eq"), prop));
+                }
+            }
+        }
+
+        let miter = b.build();
+        FpvTestbench::new(
+            miter,
+            properties,
+            constraints,
+            monitor,
+            inst_a,
+            inst_b,
+            port_roles,
+            self.threshold,
+        )
+    }
+}

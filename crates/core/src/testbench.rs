@@ -1,0 +1,475 @@
+//! The generated FPV testbench and its checking interface.
+//!
+//! [`FpvTestbench`] owns the two-universe miter module and the generated
+//! assumptions/assertions. [`FpvTestbench::check`] drives the bounded model
+//! checker; a counterexample comes back as a [`CovertChannelCex`] with the
+//! root-cause analysis of Sec. 4 already applied: the microarchitectural
+//! state that differed between universes when the spy process started.
+
+use autocc_bmc::{Bmc, BmcOptions, CheckOutcome, ProveOutcome, ReplayedTrace, Trace};
+use autocc_hdl::{Bv, Instance, Module, NodeId, RegId, Waveform};
+use std::time::{Duration, Instant};
+
+/// Role of each miter input port relative to the DUT interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortRole {
+    /// Shared by both universes (the paper's `//AutoCC Common`).
+    Common {
+        /// Index of the corresponding DUT input.
+        dut_port: usize,
+    },
+    /// Universe-a copy of a DUT input.
+    UniverseA {
+        /// Index of the corresponding DUT input.
+        dut_port: usize,
+    },
+    /// Universe-b copy of a DUT input.
+    UniverseB {
+        /// Index of the corresponding DUT input.
+        dut_port: usize,
+    },
+    /// The free `flush_done` oracle input.
+    FlushFree,
+}
+
+/// Handles to the Listing-1 monitor signals inside the miter.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorHandles {
+    /// Sticky register: set once the spy process is executing.
+    pub spy_mode: NodeId,
+    /// Consecutive-equality counter during the transfer period.
+    pub eq_cnt: NodeId,
+    /// Microarchitectural flush completion (free input or user condition).
+    pub flush_done: NodeId,
+    /// Equality of arch state, inputs, and outputs this cycle.
+    pub transfer_cond: NodeId,
+    /// Combinational condition that latches `spy_mode`.
+    pub spy_starts: NodeId,
+    /// The architectural-state equality condition.
+    pub arch_state_eq: NodeId,
+    /// All duplicated inputs equal this cycle (payloads valid-gated).
+    pub input_signal_eq: NodeId,
+    /// All outputs equal this cycle (payloads valid-gated).
+    pub output_signal_eq: NodeId,
+}
+
+/// A microarchitectural state element that differed between universes
+/// inside the context-switch window (the transfer period plus the spy-start
+/// cycle). Differences confined to the victim phase are not reported: they
+/// are the victim's legitimate divergence, not the channel's storage.
+#[derive(Clone, Debug)]
+pub struct StateDivergence {
+    /// DUT-relative name (`pc`, `dcache.tags[2]`, ...).
+    pub name: String,
+    /// First cycle within the window at which the values differed.
+    pub first_diff_cycle: usize,
+    /// Last cycle (≤ spy start) at which the values differed.
+    pub last_diff_cycle: usize,
+    /// Value in universe a at `last_diff_cycle`.
+    pub value_a: Bv,
+    /// Value in universe b at `last_diff_cycle`.
+    pub value_b: Bv,
+}
+
+/// A covert-channel counterexample: the paper's CEX, plus automatic
+/// root-cause analysis.
+#[derive(Clone, Debug)]
+pub struct CovertChannelCex {
+    /// The violated assertion (`as__<output>_eq`).
+    pub property: String,
+    /// Trace length in cycles — Table 1/2's "Depth".
+    pub depth: usize,
+    /// The miter-level input trace.
+    pub trace: Trace,
+    /// Cycle at which `spy_mode` first rose.
+    pub spy_start_cycle: usize,
+    /// Microarchitectural state that still differed between the universes
+    /// when the spy began — the covert channel's storage (Sec. 3.5's
+    /// `FindCause`). Ordered by DUT state declaration order.
+    pub diverging_state: Vec<StateDivergence>,
+}
+
+/// Outcome of running AutoCC on a DUT.
+#[derive(Clone, Debug)]
+pub enum AutoCcOutcome {
+    /// A covert channel (or RTL bug) was found.
+    Cex(Box<CovertChannelCex>),
+    /// No observable difference exists within the bound (bounded proof).
+    Clean {
+        /// Proven bound, in cycles.
+        bound: usize,
+    },
+    /// The assertions hold for unbounded executions (full proof).
+    Proved {
+        /// Induction depth that closed the proof.
+        induction_depth: usize,
+    },
+    /// Budget exhausted first.
+    Exhausted {
+        /// Deepest fully-proven depth, in cycles.
+        bound: usize,
+    },
+}
+
+impl AutoCcOutcome {
+    /// The counterexample, if any.
+    pub fn cex(&self) -> Option<&CovertChannelCex> {
+        match self {
+            AutoCcOutcome::Cex(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// True when no counterexample exists within the explored bound.
+    pub fn is_clean(&self) -> bool {
+        matches!(
+            self,
+            AutoCcOutcome::Clean { .. } | AutoCcOutcome::Proved { .. }
+        )
+    }
+}
+
+/// Result of a testbench run, with timing (Table 1/2's "Time").
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The outcome.
+    pub outcome: AutoCcOutcome,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+/// A generated AutoCC FPV testbench (Sec. 3.3).
+pub struct FpvTestbench {
+    miter: Module,
+    properties: Vec<(String, NodeId)>,
+    constraints: Vec<NodeId>,
+    monitor: MonitorHandles,
+    inst_a: Instance,
+    inst_b: Instance,
+    port_roles: Vec<PortRole>,
+    threshold: u32,
+}
+
+impl FpvTestbench {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        miter: Module,
+        properties: Vec<(String, NodeId)>,
+        constraints: Vec<NodeId>,
+        monitor: MonitorHandles,
+        inst_a: Instance,
+        inst_b: Instance,
+        port_roles: Vec<PortRole>,
+        threshold: u32,
+    ) -> FpvTestbench {
+        FpvTestbench {
+            miter,
+            properties,
+            constraints,
+            monitor,
+            inst_a,
+            inst_b,
+            port_roles,
+            threshold,
+        }
+    }
+
+    /// The two-universe wrapper module (the FT's `wrapper.v`).
+    pub fn miter(&self) -> &Module {
+        &self.miter
+    }
+
+    /// Generated assertions: `(name, 1-bit node)`, one per DUT output.
+    pub fn properties(&self) -> &[(String, NodeId)] {
+        &self.properties
+    }
+
+    /// Generated assumptions (including `spy_mode |-> input_eq`).
+    pub fn constraints(&self) -> &[NodeId] {
+        &self.constraints
+    }
+
+    /// Monitor signal handles.
+    pub fn monitor(&self) -> &MonitorHandles {
+        &self.monitor
+    }
+
+    /// Universe-a instance handles.
+    pub fn instance_a(&self) -> &Instance {
+        &self.inst_a
+    }
+
+    /// Universe-b instance handles.
+    pub fn instance_b(&self) -> &Instance {
+        &self.inst_b
+    }
+
+    /// Role of each miter input port.
+    pub fn port_roles(&self) -> &[PortRole] {
+        &self.port_roles
+    }
+
+    /// The configured transfer-period threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    fn configure<'t>(&'t self) -> Bmc<'t> {
+        let mut bmc = Bmc::new(&self.miter);
+        for &c in &self.constraints {
+            bmc.add_constraint(c);
+        }
+        for (name, p) in &self.properties {
+            bmc.add_property(name.clone(), *p);
+        }
+        bmc
+    }
+
+    /// Runs the exhaustive search for covert channels up to
+    /// `options.max_depth` cycles.
+    pub fn check(&self, options: &BmcOptions) -> RunReport {
+        let start = Instant::now();
+        let mut bmc = self.configure();
+        let outcome = match bmc.check(options) {
+            CheckOutcome::Cex(cex) => AutoCcOutcome::Cex(Box::new(self.analyze_cex(&cex))),
+            CheckOutcome::BoundReached { depth } => AutoCcOutcome::Clean { bound: depth },
+            CheckOutcome::Exhausted { depth } => AutoCcOutcome::Exhausted { bound: depth },
+        };
+        RunReport {
+            outcome,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Attempts a full proof by k-induction (plus base-case BMC).
+    pub fn prove(&self, options: &BmcOptions) -> RunReport {
+        let start = Instant::now();
+        let mut bmc = self.configure();
+        let outcome = match bmc.prove(options) {
+            ProveOutcome::Proved { induction_depth } => AutoCcOutcome::Proved { induction_depth },
+            ProveOutcome::Cex(cex) => AutoCcOutcome::Cex(Box::new(self.analyze_cex(&cex))),
+            ProveOutcome::Exhausted { bound } => AutoCcOutcome::Exhausted { bound },
+        };
+        RunReport {
+            outcome,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Root-cause analysis (the paper's `FindCause`): replay the trace and
+    /// diff all DUT state between universes at the spy-start cycle.
+    fn analyze_cex(&self, cex: &autocc_bmc::Cex) -> CovertChannelCex {
+        let replay = cex.trace.replay(&self.miter);
+        let spy_reg = self
+            .miter
+            .find_reg("autocc.spy_mode")
+            .expect("monitor register exists");
+        let spy_start_cycle = (0..replay.len())
+            .find(|&t| replay.reg(t, spy_reg).as_bool())
+            .unwrap_or(replay.len().saturating_sub(1));
+
+        // The context-switch window: the transfer period (at least
+        // THRESHOLD counting cycles plus the flush_done cycle) up to and
+        // including the spy-start cycle. State that differs anywhere inside
+        // this window survived — or was written during — the switch, and is
+        // the candidate storage of the channel.
+        let window_start = spy_start_cycle.saturating_sub(self.threshold as usize + 1);
+        let mut diverging = Vec::new();
+        let window_diff = |values: &dyn Fn(usize) -> (Bv, Bv)| -> Option<(usize, usize, Bv, Bv)> {
+            let mut first = None;
+            let mut last = None;
+            for t in window_start..=spy_start_cycle {
+                let (va, vb) = values(t);
+                if va != vb {
+                    first.get_or_insert(t);
+                    last = Some((t, va, vb));
+                }
+            }
+            last.map(|(t, va, vb)| (first.expect("set with last"), t, va, vb))
+        };
+
+        // Registers: pair instance-a and instance-b by DUT-relative name,
+        // in DUT declaration order for deterministic reports.
+        let dut_reg_names: Vec<&String> = {
+            let mut names: Vec<(&String, &RegId)> = self.inst_a.regs.iter().collect();
+            names.sort_by_key(|(_, rid)| rid.index());
+            names.into_iter().map(|(n, _)| n).collect()
+        };
+        for name in dut_reg_names {
+            let ra = self.inst_a.regs[name];
+            let rb = self.inst_b.regs[name];
+            let probe = |t: usize| (replay.reg(t, ra), replay.reg(t, rb));
+            if let Some((first, last, va, vb)) = window_diff(&probe) {
+                diverging.push(StateDivergence {
+                    name: name.clone(),
+                    first_diff_cycle: first,
+                    last_diff_cycle: last,
+                    value_a: va,
+                    value_b: vb,
+                });
+            }
+        }
+        // Memories: word-wise diff.
+        let mut mem_names: Vec<(&String, &autocc_hdl::MemId)> = self.inst_a.mems.iter().collect();
+        mem_names.sort_by_key(|(_, mid)| mid.index());
+        for (name, _) in mem_names {
+            let ma = self.inst_a.mems[name];
+            let mb = self.inst_b.mems[name];
+            let depth = self
+                .miter
+                .mems()
+                .get(ma.index())
+                .map(|m| m.depth)
+                .unwrap_or(0);
+            for w in 0..depth {
+                let probe = |t: usize| (replay.mem_word(t, ma, w), replay.mem_word(t, mb, w));
+                if let Some((first, last, va, vb)) = window_diff(&probe) {
+                    diverging.push(StateDivergence {
+                        name: format!("{name}[{w}]"),
+                        first_diff_cycle: first,
+                        last_diff_cycle: last,
+                        value_a: va,
+                        value_b: vb,
+                    });
+                }
+            }
+        }
+
+        CovertChannelCex {
+            property: cex.property.clone(),
+            depth: cex.depth,
+            trace: cex.trace.clone(),
+            spy_start_cycle,
+            diverging_state: diverging,
+        }
+    }
+
+    /// Replays a CEX trace over the miter (for waveforms and reports).
+    pub fn replay(&self, cex: &CovertChannelCex) -> ReplayedTrace {
+        cex.trace.replay(&self.miter)
+    }
+
+    /// Greedily simplifies a counterexample for human analysis: every input
+    /// value that can be zeroed — and every universe-b input that can be
+    /// made equal to its universe-a twin — without losing the violation is
+    /// rewritten, so the surviving differences are exactly the ones that
+    /// *operate* the channel. Root-cause analysis is recomputed on the
+    /// simplified trace.
+    ///
+    /// This needs no solver: candidates are validated by replaying through
+    /// the interpreter (the paper's "little engineering effort" goal for
+    /// CEX analysis, automated).
+    pub fn minimize_cex(&self, cex: &CovertChannelCex) -> CovertChannelCex {
+        let num_ports = self.miter.inputs().len();
+        let cycles = cex.trace.len();
+        let mut inputs: Vec<Vec<Bv>> = (0..cycles)
+            .map(|t| (0..num_ports).map(|p| cex.trace.input(t, p)).collect())
+            .collect();
+
+        let still_fails = |inputs: &Vec<Vec<Bv>>| -> bool {
+            let trace = Trace::new(inputs.clone());
+            let replay = trace.replay(&self.miter);
+            let last = cycles - 1;
+            // All constraints must hold and the original property must
+            // still be violated at the final cycle.
+            let constraints_ok = (0..cycles)
+                .all(|t| self.constraints.iter().all(|&c| replay.node(t, c).as_bool()));
+            let violated = self
+                .properties
+                .iter()
+                .find(|(name, _)| *name == cex.property)
+                .map(|(_, p)| !replay.node(last, *p).as_bool())
+                .unwrap_or(false);
+            constraints_ok && violated
+        };
+        debug_assert!(still_fails(&inputs));
+
+        // Pair universe-b ports with their universe-a twins.
+        let twin_of: Vec<Option<(usize, usize)>> = {
+            // map dut_port -> miter port index for universe a
+            let mut a_of_dut = vec![usize::MAX; self.miter.inputs().len().max(1)];
+            for (idx, role) in self.port_roles.iter().enumerate() {
+                if let PortRole::UniverseA { dut_port } = role {
+                    if *dut_port >= a_of_dut.len() {
+                        a_of_dut.resize(dut_port + 1, usize::MAX);
+                    }
+                    a_of_dut[*dut_port] = idx;
+                }
+            }
+            self.port_roles
+                .iter()
+                .enumerate()
+                .map(|(idx, role)| match role {
+                    PortRole::UniverseB { dut_port } => Some((idx, a_of_dut[*dut_port])),
+                    _ => None,
+                })
+                .collect()
+        };
+
+        for t in 0..cycles {
+            for p in 0..num_ports {
+                let width = self.miter.inputs()[p].width;
+                // 1. Try making a universe-b input equal to universe-a.
+                if let Some(Some((b_idx, a_idx))) = twin_of.get(p) {
+                    let a_val = inputs[t][*a_idx];
+                    if inputs[t][*b_idx] != a_val {
+                        let saved = inputs[t][*b_idx];
+                        inputs[t][*b_idx] = a_val;
+                        if !still_fails(&inputs) {
+                            inputs[t][*b_idx] = saved;
+                        }
+                    }
+                }
+                // 2. Try zeroing.
+                let zero = Bv::zero(width);
+                if inputs[t][p] != zero {
+                    let saved = inputs[t][p];
+                    inputs[t][p] = zero;
+                    if !still_fails(&inputs) {
+                        inputs[t][p] = saved;
+                    }
+                }
+            }
+        }
+
+        let trace = Trace::new(inputs);
+        let minimized = autocc_bmc::Cex {
+            property: cex.property.clone(),
+            depth: cex.depth,
+            trace,
+        };
+        self.analyze_cex(&minimized)
+    }
+
+    /// Builds the Fig.-3-style convergence waveform from a CEX: per-cycle
+    /// `arch_state_eq`, `input_eq`, `output_eq`, `flush_done`, `eq_cnt`,
+    /// `spy_mode`, and the violated output pair.
+    pub fn convergence_waveform(&self, cex: &CovertChannelCex) -> Waveform {
+        let replay = self.replay(cex);
+        let m = &self.monitor;
+        let mut signals: Vec<(String, NodeId)> = vec![
+            ("arch_state_eq".into(), m.arch_state_eq),
+            ("input_eq".into(), m.input_signal_eq),
+            ("output_eq".into(), m.output_signal_eq),
+            ("transfer_cond".into(), m.transfer_cond),
+            ("flush_done".into(), m.flush_done),
+            ("eq_cnt".into(), m.eq_cnt),
+            ("spy_mode".into(), m.spy_mode),
+        ];
+        // Add the diverging output pair (property "as__<name>_eq").
+        if let Some(out_name) = cex
+            .property
+            .strip_prefix("as__")
+            .and_then(|s| s.strip_suffix("_eq"))
+        {
+            if let (Some(&oa), Some(&ob)) = (
+                self.inst_a.outputs.get(out_name),
+                self.inst_b.outputs.get(out_name),
+            ) {
+                signals.push((format!("a.{out_name}"), oa));
+                signals.push((format!("b.{out_name}"), ob));
+            }
+        }
+        replay.waveform(&self.miter, &signals)
+    }
+}

@@ -1,0 +1,176 @@
+//! Simulation-level tests of the generated Listing-1 monitor: driving the
+//! miter module directly through the interpreter and checking `eq_cnt`,
+//! `spy_mode`, and `transfer_cond` behave exactly as specified.
+
+use autocc_core::FtSpec;
+use autocc_hdl::{Bv, Module, ModuleBuilder, Sim};
+
+/// A pass-through DUT: one input, registered once, then output.
+fn passthrough() -> Module {
+    let mut b = ModuleBuilder::new("passthrough");
+    let d = b.input("d", 4);
+    let r = b.reg("r", 4, Bv::zero(4));
+    b.set_next(r, d);
+    b.output("q", r);
+    b.build()
+}
+
+struct MiterDriver<'m> {
+    sim: Sim<'m>,
+}
+
+impl<'m> MiterDriver<'m> {
+    fn new(miter: &'m Module) -> MiterDriver<'m> {
+        let mut sim = Sim::new(miter);
+        sim.set_input("a.d", Bv::zero(4));
+        sim.set_input("b.d", Bv::zero(4));
+        sim.set_input("flush_done", Bv::bit(false));
+        MiterDriver { sim }
+    }
+
+    fn drive(&mut self, a: u64, b: u64, flush_done: bool) {
+        self.sim.set_input("a.d", Bv::new(4, a));
+        self.sim.set_input("b.d", Bv::new(4, b));
+        self.sim.set_input("flush_done", Bv::bit(flush_done));
+        self.sim.step();
+    }
+
+    fn eq_cnt(&mut self) -> u64 {
+        self.sim.output("autocc.eq_cnt").value()
+    }
+
+    fn spy_mode(&mut self) -> bool {
+        self.sim.output("autocc.spy_mode").as_bool()
+    }
+
+    fn transfer_cond(&mut self) -> bool {
+        self.sim.output("autocc.transfer_cond").as_bool()
+    }
+}
+
+#[test]
+fn eq_cnt_counts_only_after_flush_done() {
+    let dut = passthrough();
+    let ft = FtSpec::new(&dut).threshold(3).generate();
+    let mut m = MiterDriver::new(ft.miter());
+    // Equal inputs but no flush_done: the counter stays at zero.
+    for _ in 0..4 {
+        m.drive(5, 5, false);
+        assert_eq!(m.eq_cnt(), 0);
+    }
+    // flush_done arms the counter; it then counts on its own.
+    m.drive(5, 5, true);
+    assert_eq!(m.eq_cnt(), 1);
+    m.drive(5, 5, false);
+    assert_eq!(m.eq_cnt(), 2);
+    assert!(!m.spy_mode());
+}
+
+#[test]
+fn transfer_break_resets_the_counter() {
+    let dut = passthrough();
+    let ft = FtSpec::new(&dut).threshold(4).generate();
+    let mut m = MiterDriver::new(ft.miter());
+    m.drive(1, 1, true);
+    m.drive(1, 1, false);
+    assert_eq!(m.eq_cnt(), 2);
+    // Inputs diverge: transfer_cond falls, the counter resets.
+    assert!(m.transfer_cond());
+    m.drive(1, 9, false);
+    assert!(!m.transfer_cond());
+    m.drive(1, 1, false);
+    assert_eq!(m.eq_cnt(), 0, "a broken transfer restarts the period");
+    assert!(!m.spy_mode());
+}
+
+#[test]
+fn spy_mode_latches_after_threshold_and_sticks() {
+    let dut = passthrough();
+    let threshold = 3;
+    let ft = FtSpec::new(&dut).threshold(threshold).generate();
+    let mut m = MiterDriver::new(ft.miter());
+    m.drive(2, 2, true);
+    for _ in 0..threshold as usize {
+        assert!(!m.spy_mode());
+        m.drive(2, 2, false);
+    }
+    assert!(m.spy_mode(), "spy_mode rises after THRESHOLD equal cycles");
+    // Sticky: even if inputs diverge afterwards (which the generated
+    // assumptions would forbid in FPV, but simulation is unconstrained).
+    m.drive(2, 7, false);
+    assert!(m.spy_mode());
+}
+
+#[test]
+fn counter_saturates_instead_of_wrapping() {
+    // Listing 1's counter wraps at 2^clog2(T)+1; ours saturates so long
+    // transfer periods cannot silently restart the count.
+    let dut = passthrough();
+    let ft = FtSpec::new(&dut).threshold(2).generate();
+    let mut m = MiterDriver::new(ft.miter());
+    m.drive(0, 0, true);
+    for _ in 0..12 {
+        m.drive(0, 0, false);
+    }
+    assert_eq!(m.eq_cnt(), 2, "saturated at THRESHOLD");
+    assert!(m.spy_mode());
+}
+
+#[test]
+fn divergence_during_victim_phase_is_unconstrained() {
+    let dut = passthrough();
+    let ft = FtSpec::new(&dut).generate();
+    let mut m = MiterDriver::new(ft.miter());
+    // Victim phase: wildly different executions, outputs differ — no
+    // property is evaluated because spy_mode is low.
+    for t in 0..6 {
+        m.drive(t, 15 - t, false);
+        assert!(!m.spy_mode());
+    }
+    // Properties in the miter are pure combinational nodes; while spy_mode
+    // is low they are vacuously true.
+    for (name, node) in ft.properties() {
+        let v = {
+            let mut sim = Sim::new(ft.miter());
+            sim.node(*node)
+        };
+        assert!(v.as_bool(), "property {name} vacuous at reset");
+    }
+}
+
+#[test]
+fn miter_port_count_matches_duplication_rule() {
+    let dut = passthrough();
+    let ft = FtSpec::new(&dut).generate();
+    // One DUT input, duplicated, plus the free flush_done.
+    assert_eq!(ft.miter().inputs().len(), 3);
+    // Monitor outputs plus one assertion-relevant output pair is exposed
+    // through instance handles rather than ports; the miter's own outputs
+    // are the 7 monitor signals.
+    let monitor_outputs = ft
+        .miter()
+        .outputs()
+        .iter()
+        .filter(|o| o.name.starts_with("autocc."))
+        .count();
+    assert_eq!(monitor_outputs, 7);
+}
+
+#[test]
+fn generated_properties_one_per_dut_output() {
+    let mut b = ModuleBuilder::new("multi");
+    let d = b.input("d", 4);
+    let r = b.reg("r", 4, Bv::zero(4));
+    b.set_next(r, d);
+    b.output("q0", r);
+    let inv = b.not(r);
+    b.output("q1", inv);
+    let red = b.reduce_or(r);
+    b.output("q2", red);
+    let dut = b.build();
+    let ft = FtSpec::new(&dut).generate();
+    let names: Vec<&str> = ft.properties().iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, vec!["as__q0_eq", "as__q1_eq", "as__q2_eq"]);
+    // One input-equality assumption for the single duplicated input.
+    assert_eq!(ft.constraints().len(), 1);
+}

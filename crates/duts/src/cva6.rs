@@ -1,0 +1,729 @@
+//! A CVA6-like application-class core frontend (paper Sec. 4.2).
+//!
+//! CVA6 is a 64-bit application-class RISC-V core. The paper evaluates the
+//! frontend/MMU/cache cluster where all of its CVA6 findings live; this
+//! model rebuilds that cluster at reproduction scale (16-bit addresses,
+//! 2-line caches, 1-entry TLB) with the exact FSM interactions behind each
+//! counterexample:
+//!
+//! * **K1** (known full-flush channel): an outstanding I$ AXI request
+//!   killed by the flush leaves the I$ FSM in `KILL_MISS` while the other
+//!   universe sits in `IDLE`.
+//! * **K2** (known full-flush channel): the page-table walker is not reset
+//!   by the full flush; a walk in flight leaves `WAIT_RVALID` state behind.
+//! * **C1**: a fetch from the faulting region produces a *valid* response
+//!   whose payload is stale I$ data; the realigner derives its
+//!   compressed-instruction bit from that payload, so the next PC depends
+//!   on cache-array garbage (not reset even by microreset — SRAM contents
+//!   cannot be cleared in one cycle).
+//! * **C2**: the PTW FSM transitions `WAIT_RVALID → IDLE` when a *second*
+//!   flush (an exception) arrives mid-walk, orphaning the outstanding D$
+//!   request (upstream fix: openhwgroup/cva6#1184).
+//! * **C3**: a PTW-initiated D$ fill that completes in the flush's clear
+//!   cycle wins the write-port race and leaves a valid line after the
+//!   flush (upstream fix: pulp-platform/cva6@ae79ec5).
+//!
+//! `fence.t` comes in the two variants the paper studies: a *full flush*
+//! (clear caches/TLB in one cycle, FSMs untouched) and *microreset*
+//! (reset every microarchitectural flip-flop, constant padded latency —
+//! but neither the SRAM data arrays nor the AXI protocol state, which
+//! physically cannot be reset).
+
+use autocc_hdl::{Bv, Module, ModuleBuilder};
+
+/// The `fence.t` implementation (Sec. 4.2, after Wistoff et al.).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FenceImpl {
+    /// Clear cache/TLB valid bits in one cycle; FSMs keep running.
+    FullFlush,
+    /// Reset all microarchitectural flip-flops with a constant (padded)
+    /// latency; SRAM contents and AXI bookkeeping survive.
+    Microreset,
+}
+
+/// Configuration: fence variant plus the three upstream fixes.
+#[derive(Clone, Copy, Debug)]
+pub struct Cva6Config {
+    /// Which `fence.t` implementation to build.
+    pub fence: FenceImpl,
+    /// Zero the I$ response payload when the line is not a real hit (C1).
+    pub fix_c1: bool,
+    /// PTW stays in `WAIT_RVALID` even if flushed again (C2).
+    pub fix_c2: bool,
+    /// Accept D$ fills only for a live walk outside the fence window
+    /// (C3: drain before and after the write-back).
+    pub fix_c3: bool,
+}
+
+impl Cva6Config {
+    /// The unfixed microreset configuration the paper starts from.
+    pub fn microreset() -> Cva6Config {
+        Cva6Config {
+            fence: FenceImpl::Microreset,
+            fix_c1: false,
+            fix_c2: false,
+            fix_c3: false,
+        }
+    }
+
+    /// The unfixed full-flush configuration (for the known channels).
+    pub fn full_flush() -> Cva6Config {
+        Cva6Config {
+            fence: FenceImpl::FullFlush,
+            ..Cva6Config::microreset()
+        }
+    }
+
+    /// Microreset with every fix applied.
+    pub fn all_fixed() -> Cva6Config {
+        Cva6Config {
+            fence: FenceImpl::Microreset,
+            fix_c1: true,
+            fix_c2: true,
+            fix_c3: true,
+        }
+    }
+}
+
+/// I$ controller states.
+pub mod ic_state {
+    /// Ready for lookups.
+    pub const IDLE: u64 = 0;
+    /// AXI fill request outstanding.
+    pub const MISS: u64 = 1;
+    /// Fill killed by a flush; draining the response.
+    pub const KILL_MISS: u64 = 2;
+}
+
+/// PTW states.
+pub mod ptw_state {
+    /// No walk in progress.
+    pub const IDLE: u64 = 0;
+    /// Looking up the PTE in the D$.
+    pub const PTE_LOOKUP: u64 = 1;
+    /// Waiting for the D$ fill response.
+    pub const WAIT_RVALID: u64 = 2;
+}
+
+/// Fence controller states.
+pub mod fence_state {
+    /// No fence in progress.
+    pub const IDLE: u64 = 0;
+    /// Write-back cycle (microreset only).
+    pub const WB: u64 = 1;
+    /// Flip-flops and valid bits are cleared in this cycle.
+    pub const CLEAR: u64 = 2;
+    /// Post-clear padding cycle (microreset only; constant latency).
+    /// `fence_done` pulses here — responses landing in this window are
+    /// the C3 hazard: they arrive *after* the clear.
+    pub const PAD: u64 = 3;
+}
+
+/// Builds the CVA6 frontend model.
+///
+/// Interface: `fence_t` and `exception_i` control pulses; AXI-style fill
+/// channels for the I$ (`axi_*`) and D$ (`dmem_*`); observable outputs are
+/// the two request channels, the fetch response (`fetch_valid`/`fetch_pc`/
+/// `fetch_data`), and `fence_done`.
+pub fn build_cva6(config: &Cva6Config) -> Module {
+    let mut b = ModuleBuilder::new("cva6_frontend");
+
+    // ---- Inputs ---------------------------------------------------------
+    let fence_t = b.input("fence_t", 1);
+    let exception_i = b.input("exception_i", 1);
+    let axi_rvalid = b.input("axi_rvalid", 1);
+    let axi_rdata = b.input("axi_rdata", 16);
+    b.transaction_in("axi_r", "axi_rvalid", &["axi_rdata"]);
+    let dmem_rvalid = b.input("dmem_rvalid", 1);
+    let dmem_rdata = b.input("dmem_rdata", 16);
+    b.transaction_in("dmem_r", "dmem_rvalid", &["dmem_rdata"]);
+    // Backend redirect (branches, exceptions vectoring, returns): lets the
+    // PC move anywhere, in particular into the faulting region (C1).
+    let redirect_valid = b.input("redirect_valid", 1);
+    let redirect_target = b.input("redirect_target", 16);
+    b.transaction_in("redirect", "redirect_valid", &["redirect_target"]);
+
+    // ---- State ----------------------------------------------------------
+    let pc = b.reg("frontend.pc", 16, Bv::zero(16));
+    let icst = b.reg("icache.state", 2, Bv::zero(2));
+    let ic_miss_idx = b.reg("icache.miss_idx", 1, Bv::zero(1));
+    let ic_miss_tag = b.reg("icache.miss_tag", 7, Bv::zero(7));
+    let ptwst = b.reg("ptw.state", 2, Bv::zero(2));
+    let ptw_vpn = b.reg("ptw.vpn", 4, Bv::zero(4));
+    let dc_outstanding = b.reg("dcache.outstanding", 1, Bv::zero(1));
+    let dc_miss_idx = b.reg("dcache.miss_idx", 1, Bv::zero(1));
+    let dc_miss_tag = b.reg("dcache.miss_tag", 7, Bv::zero(7));
+    let tlb_valid = b.reg("itlb.valid", 1, Bv::zero(1));
+    let tlb_vpn = b.reg("itlb.vpn", 4, Bv::zero(4));
+    let tlb_ppn = b.reg("itlb.ppn", 4, Bv::zero(4));
+    let fencest = b.reg("fence.state", 2, Bv::zero(2));
+
+    let ic_tags = b.mem("icache.tags", 2, 7);
+    let ic_valids = b.mem("icache.valids", 2, 1);
+    let ic_data = b.mem("icache.data", 2, 16);
+    let dc_tags = b.mem("dcache.tags", 2, 7);
+    let dc_valids = b.mem("dcache.valids", 2, 1);
+    let dc_data = b.mem("dcache.data", 2, 16);
+
+    // ---- Fence controller -----------------------------------------------
+    let fence_idle = b.eq_lit(fencest, fence_state::IDLE);
+    let fence_wb = b.eq_lit(fencest, fence_state::WB);
+    let fence_clear = b.eq_lit(fencest, fence_state::CLEAR);
+    let fence_pad = b.eq_lit(fencest, fence_state::PAD);
+    let fence_active = b.not(fence_idle);
+    let fence_start = b.and(fence_t, fence_idle);
+
+    let idle_l = b.lit(2, fence_state::IDLE);
+    let wb_l = b.lit(2, fence_state::WB);
+    let clear_l = b.lit(2, fence_state::CLEAR);
+    let pad_l = b.lit(2, fence_state::PAD);
+    let (fence_next, fence_done) = match config.fence {
+        FenceImpl::Microreset => {
+            // Constant-latency: IDLE -> WB -> CLEAR -> PAD(done) -> IDLE.
+            let mut n = b.mux(fence_start, wb_l, fencest);
+            n = b.mux(fence_wb, clear_l, n);
+            n = b.mux(fence_clear, pad_l, n);
+            n = b.mux(fence_pad, idle_l, n);
+            (n, fence_pad)
+        }
+        FenceImpl::FullFlush => {
+            // Single clear cycle; done immediately.
+            let mut n = b.mux(fence_start, clear_l, fencest);
+            n = b.mux(fence_clear, idle_l, n);
+            (n, fence_clear)
+        }
+    };
+    b.set_next(fencest, fence_next);
+
+    // Flush pulse seen by the datapath FSMs: the fence starting, or an
+    // exception (the second flush source in the C2 scenario).
+    let flush_pulse = b.or(fence_start, exception_i);
+
+    // ---- Instruction TLB / translation -----------------------------------
+    let vpn = b.slice(pc, 15, 12);
+    let page_off = b.slice(pc, 11, 0);
+    let vpn_match = b.eq(vpn, tlb_vpn);
+    let tlb_hit = b.and(tlb_valid, vpn_match);
+    let paddr = b.concat(tlb_ppn, page_off);
+    // Fetches from the top region fault (device space).
+    let exception_region = b.eq_lit(vpn, 0xf);
+
+    // ---- I$ lookup --------------------------------------------------------
+    let ic_idle = b.eq_lit(icst, ic_state::IDLE);
+    let ic_missing = b.eq_lit(icst, ic_state::MISS);
+    let ic_killing = b.eq_lit(icst, ic_state::KILL_MISS);
+    let ptw_idle = b.eq_lit(ptwst, ptw_state::IDLE);
+
+    // A backend redirect cancels the fetch issued this cycle (and with it
+    // any walk it would have started).
+    let not_redirect = b.not(redirect_valid);
+    let fetch_ready = {
+        let a = b.and(fence_idle, ic_idle);
+        let a = b.and(a, ptw_idle);
+        b.and(a, not_redirect)
+    };
+    let ic_index = b.bit(pc, 0);
+    let ic_tag = b.slice(paddr, 7, 1);
+    let line_tag = b.mem_read(ic_tags, ic_index);
+    let line_valid_bit = b.mem_read(ic_valids, ic_index);
+    let line_valid = b.bit(line_valid_bit, 0);
+    let line_data = b.mem_read(ic_data, ic_index);
+    let tag_match = b.eq(line_tag, ic_tag);
+    let ic_hit = b.and(line_valid, tag_match);
+
+    // Fetch outcomes.
+    let fetch_exception = b.and(fetch_ready, exception_region);
+    let translated = {
+        let ne = b.not(exception_region);
+        let t = b.and(fetch_ready, ne);
+        b.and(t, tlb_hit)
+    };
+    let fetch_hit = b.and(translated, ic_hit);
+    let fetch_miss = {
+        let nh = b.not(ic_hit);
+        b.and(translated, nh)
+    };
+    let need_walk = {
+        let ne = b.not(exception_region);
+        let nt = b.not(tlb_hit);
+        let w = b.and(fetch_ready, ne);
+        b.and(w, nt)
+    };
+
+    // C1: an exception response is *valid* but carries whatever the indexed
+    // line holds — stale SRAM garbage. The fix zeroes the payload when the
+    // access was not a genuine hit.
+    let zero16 = b.lit(16, 0);
+    let exc_payload = if config.fix_c1 { zero16 } else { line_data };
+    let fetch_valid = b.or(fetch_hit, fetch_exception);
+    let fetch_data = b.mux(fetch_hit, line_data, exc_payload);
+
+    // Realigner: the compressed bit of the payload decides the PC step.
+    let compressed = b.bit(fetch_data, 0);
+    let one16 = b.lit(16, 1);
+    let two16 = b.lit(16, 2);
+    let step = b.mux(compressed, one16, two16);
+    let pc_stepped = b.add(pc, step);
+    let pc_seq = b.mux(fetch_valid, pc_stepped, pc);
+    let pc_next = b.mux(redirect_valid, redirect_target, pc_seq);
+    // Microreset resets the PC too (the OS restores it; modelling the reset
+    // keeps `arch_state_eq` free to treat the PC as arch state instead).
+    b.set_next(pc, pc_next);
+
+    // ---- I$ miss FSM ------------------------------------------------------
+    let ic_idle_l = b.lit(2, ic_state::IDLE);
+    let ic_miss_l = b.lit(2, ic_state::MISS);
+    let ic_kill_l = b.lit(2, ic_state::KILL_MISS);
+    let mut ic_next = b.mux(fetch_miss, ic_miss_l, icst);
+    // Fill completes.
+    let ic_fill = b.and(ic_missing, axi_rvalid);
+    ic_next = b.mux(ic_fill, ic_idle_l, ic_next);
+    // Flush kills an outstanding fill: MISS -> KILL_MISS.
+    let ic_killed = b.and(ic_missing, flush_pulse);
+    ic_next = b.mux(ic_killed, ic_kill_l, ic_next);
+    // KILL_MISS drains the response.
+    let ic_drained = b.and(ic_killing, axi_rvalid);
+    ic_next = b.mux(ic_drained, ic_idle_l, ic_next);
+    if config.fence == FenceImpl::Microreset {
+        // Microreset resets the FSM (the fence padding covers the drain).
+        ic_next = b.mux(fence_clear, ic_idle_l, ic_next);
+    }
+    b.set_next(icst, ic_next);
+    let ic_miss_idx_next = b.mux(fetch_miss, ic_index, ic_miss_idx);
+    b.set_next(ic_miss_idx, ic_miss_idx_next);
+    let ic_miss_tag_next = b.mux(fetch_miss, ic_tag, ic_miss_tag);
+    b.set_next(ic_miss_tag, ic_miss_tag_next);
+
+    // I$ fill ports: data/tag always written on fill; valid cleared by the
+    // fence (clear beats fill for the I$ — the bug lives in the D$).
+    b.mem_write(ic_tags, ic_fill, ic_miss_idx, ic_miss_tag);
+    b.mem_write(ic_data, ic_fill, ic_miss_idx, axi_rdata);
+    let one1 = b.lit(1, 1);
+    let zero1 = b.lit(1, 0);
+    b.mem_write(ic_valids, ic_fill, ic_miss_idx, one1);
+    for i in 0..2 {
+        let idx = b.lit(1, i);
+        b.mem_write(ic_valids, fence_clear, idx, zero1);
+    }
+
+    // ---- PTW --------------------------------------------------------------
+    let ptw_lookup = b.eq_lit(ptwst, ptw_state::PTE_LOOKUP);
+    let ptw_wait = b.eq_lit(ptwst, ptw_state::WAIT_RVALID);
+    let ptw_idle_l = b.lit(2, ptw_state::IDLE);
+    let ptw_lookup_l = b.lit(2, ptw_state::PTE_LOOKUP);
+    let ptw_wait_l = b.lit(2, ptw_state::WAIT_RVALID);
+
+    // PTE address: page-table base | vpn.
+    let pte_addr = {
+        let base = b.lit(16, 0x8000);
+        let v16 = b.zext(vpn, 16);
+        let walk_v16 = b.zext(ptw_vpn, 16);
+        let cur = b.mux(ptw_lookup, walk_v16, v16);
+        b.or(base, cur)
+    };
+    let dc_index = b.bit(pte_addr, 0);
+    let dc_tag = b.slice(pte_addr, 7, 1);
+    let dline_tag = b.mem_read(dc_tags, dc_index);
+    let dline_valid_bit = b.mem_read(dc_valids, dc_index);
+    let dline_valid = b.bit(dline_valid_bit, 0);
+    let dline_data = b.mem_read(dc_data, dc_index);
+    let dtag_match = b.eq(dline_tag, dc_tag);
+    let dc_hit = b.and(dline_valid, dtag_match);
+
+    // Walk start.
+    let mut ptw_next = b.mux(need_walk, ptw_lookup_l, ptwst);
+    // PTE_LOOKUP: hit -> fill TLB, IDLE; miss -> issue D$ fill, WAIT.
+    let lookup_hit = b.and(ptw_lookup, dc_hit);
+    let not_outstanding = b.not(dc_outstanding);
+    let lookup_miss = {
+        let nh = b.not(dc_hit);
+        let m = b.and(ptw_lookup, nh);
+        b.and(m, not_outstanding)
+    };
+    ptw_next = b.mux(lookup_hit, ptw_idle_l, ptw_next);
+    ptw_next = b.mux(lookup_miss, ptw_wait_l, ptw_next);
+    // Flush during PTE_LOOKUP: wait for the response if one is in flight.
+    let flushed_in_lookup = b.and(ptw_lookup, flush_pulse);
+    let flush_to_wait = b.and(flushed_in_lookup, dc_outstanding);
+    let flush_to_idle = b.and(flushed_in_lookup, not_outstanding);
+    ptw_next = b.mux(flush_to_wait, ptw_wait_l, ptw_next);
+    ptw_next = b.mux(flush_to_idle, ptw_idle_l, ptw_next);
+    // WAIT_RVALID: response completes the walk.
+    let wait_done = b.and(ptw_wait, dmem_rvalid);
+    ptw_next = b.mux(wait_done, ptw_idle_l, ptw_next);
+    if !config.fix_c2 {
+        // C2 bug: a second flush (exception) in WAIT_RVALID aborts the walk
+        // immediately, orphaning the outstanding request.
+        let aborted = b.and(ptw_wait, exception_i);
+        ptw_next = b.mux(aborted, ptw_idle_l, ptw_next);
+    }
+    if config.fence == FenceImpl::Microreset {
+        ptw_next = b.mux(fence_clear, ptw_idle_l, ptw_next);
+    }
+    b.set_next(ptwst, ptw_next);
+    let ptw_vpn_next = b.mux(need_walk, vpn, ptw_vpn);
+    b.set_next(ptw_vpn, ptw_vpn_next);
+
+    // D$ outstanding bookkeeping (AXI protocol state: never reset).
+    let dc_resp = b.and(dc_outstanding, dmem_rvalid);
+    let mut dc_out_next = b.or(lookup_miss, dc_outstanding);
+    let not_resp = b.not(dc_resp);
+    dc_out_next = b.and(dc_out_next, not_resp);
+    let keep_on_issue = b.or(lookup_miss, dc_out_next);
+    b.set_next(dc_outstanding, keep_on_issue);
+    let dc_miss_idx_next = b.mux(lookup_miss, dc_index, dc_miss_idx);
+    b.set_next(dc_miss_idx, dc_miss_idx_next);
+    let dc_miss_tag_next = b.mux(lookup_miss, dc_tag, dc_miss_tag);
+    b.set_next(dc_miss_tag, dc_miss_tag_next);
+
+    // D$ fill ports. C3 bug: a response always fills the array — even when
+    // the fence is active (the fill wins the write-port race against the
+    // clear) or when the walk that issued it is gone (an orphan). The fix
+    // drains instead: fills are only accepted for a live walk outside the
+    // fence window.
+    let dc_fill = if config.fix_c3 {
+        let nf = b.not(fence_active);
+        let live = b.and(ptw_wait, nf);
+        b.and(dc_resp, live)
+    } else {
+        dc_resp
+    };
+    for i in 0..2 {
+        let idx = b.lit(1, i);
+        b.mem_write(dc_valids, fence_clear, idx, zero1);
+    }
+    b.mem_write(dc_tags, dc_fill, dc_miss_idx, dc_miss_tag);
+    b.mem_write(dc_data, dc_fill, dc_miss_idx, dmem_rdata);
+    b.mem_write(dc_valids, dc_fill, dc_miss_idx, one1);
+
+    // TLB fill: walk completing (hit in D$, or response while waiting and
+    // not flushed away). A microreset clears the TLB.
+    let tlb_fill = b.or(lookup_hit, wait_done);
+    let mut tlb_v_next = b.or(tlb_fill, tlb_valid);
+    let clear_tlb = match config.fence {
+        FenceImpl::Microreset => fence_clear,
+        FenceImpl::FullFlush => fence_clear,
+    };
+    {
+        let nc = b.not(clear_tlb);
+        tlb_v_next = b.and(tlb_v_next, nc);
+    }
+    b.set_next(tlb_valid, tlb_v_next);
+    let walk_vpn = b.mux(ptw_lookup, ptw_vpn, vpn);
+    let tlb_vpn_next = b.mux(tlb_fill, walk_vpn, tlb_vpn);
+    b.set_next(tlb_vpn, tlb_vpn_next);
+    let pte_source = b.mux(lookup_hit, dline_data, dmem_rdata);
+    let pte_ppn = b.slice(pte_source, 3, 0);
+    let tlb_ppn_next = b.mux(tlb_fill, pte_ppn, tlb_ppn);
+    b.set_next(tlb_ppn, tlb_ppn_next);
+
+    // ---- Outputs -----------------------------------------------------------
+    let axi_req = b.or(ic_missing, ic_killing);
+    let axi_addr = {
+        let tag_idx = b.concat(ic_miss_tag, ic_miss_idx);
+        b.zext(tag_idx, 16)
+    };
+    b.output("axi_req", axi_req);
+    b.output("axi_addr", axi_addr);
+    b.transaction_out("axi_ar", "axi_req", &["axi_addr"]);
+    let dmem_req = dc_outstanding;
+    let dmem_addr = {
+        let tag_idx = b.concat(dc_miss_tag, dc_miss_idx);
+        b.zext(tag_idx, 16)
+    };
+    b.output("dmem_req", dmem_req);
+    b.output("dmem_addr", dmem_addr);
+    b.transaction_out("dmem_ar", "dmem_req", &["dmem_addr"]);
+    b.output("fetch_valid", fetch_valid);
+    b.output("fetch_data", fetch_data);
+    b.output("fetch_pc", pc);
+    b.transaction_out("fetch", "fetch_valid", &["fetch_data"]);
+    b.output("fence_done", fence_done);
+
+    b.build()
+}
+
+/// Architectural state of the frontend model: the PC (the OS swaps it).
+pub const ARCH_REGS: [&str; 1] = ["frontend.pc"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocc_hdl::Sim;
+
+    fn quiet(sim: &mut Sim<'_>) {
+        sim.set_input("fence_t", Bv::bit(false));
+        sim.set_input("exception_i", Bv::bit(false));
+        sim.set_input("axi_rvalid", Bv::bit(false));
+        sim.set_input("dmem_rvalid", Bv::bit(false));
+        sim.set_input("redirect_valid", Bv::bit(false));
+    }
+
+    /// Walks the TLB (PTE fetch through the D$) and fills the I$ so the
+    /// frontend reaches a steady fetch state.
+    fn warm_up(sim: &mut Sim<'_>) {
+        quiet(sim);
+        // Cycle 0: TLB miss at pc=0 -> walk starts.
+        sim.step();
+        // PTE lookup misses the D$ -> dmem request goes out.
+        sim.step();
+        assert!(sim.output("dmem_req").as_bool(), "PTE fetch issued");
+        // Respond: PTE maps vpn 0 -> ppn 2.
+        sim.set_input("dmem_rvalid", Bv::bit(true));
+        sim.set_input("dmem_rdata", Bv::new(16, 0x2));
+        sim.step();
+        sim.set_input("dmem_rvalid", Bv::bit(false));
+        // Fetch now misses the I$ -> axi request.
+        sim.step();
+        assert!(sim.output("axi_req").as_bool(), "I$ fill issued");
+        sim.set_input("axi_rvalid", Bv::bit(true));
+        sim.set_input("axi_rdata", Bv::new(16, 0xabcc)); // bit0=0: uncompressed
+        sim.step();
+        sim.set_input("axi_rvalid", Bv::bit(false));
+    }
+
+    #[test]
+    fn fetch_pipeline_warms_up_and_advances_pc() {
+        let m = build_cva6(&Cva6Config::microreset());
+        let mut sim = Sim::new(&m);
+        warm_up(&mut sim);
+        assert!(sim.output("fetch_valid").as_bool(), "hit after fill");
+        assert_eq!(sim.output("fetch_data").value(), 0xabcc);
+        let pc0 = sim.output("fetch_pc").value();
+        sim.step();
+        // Uncompressed instruction: pc += 2.
+        assert_eq!(sim.output("fetch_pc").value(), pc0 + 2);
+    }
+
+    #[test]
+    fn exception_fetch_leaks_stale_line_data_unless_fixed() {
+        for (fix, expect) in [(false, 0xabccu64), (true, 0)] {
+            let m = build_cva6(&Cva6Config {
+                fix_c1: fix,
+                ..Cva6Config::microreset()
+            });
+            let mut sim = Sim::new(&m);
+            warm_up(&mut sim);
+            // Jump the PC into the faulting region, aligned with the warm
+            // line's index (pc bit 0 = 0).
+            sim.set_input("redirect_valid", Bv::bit(true));
+            sim.set_input("redirect_target", Bv::new(16, 0xf000));
+            sim.step();
+            sim.set_input("redirect_valid", Bv::bit(false));
+            assert!(sim.output("fetch_valid").as_bool(), "exception responds");
+            assert_eq!(
+                sim.output("fetch_data").value(),
+                expect,
+                "fix_c1={fix}: payload must be {}",
+                if fix { "zeroed" } else { "stale line data" }
+            );
+        }
+    }
+
+    #[test]
+    fn full_flush_kills_outstanding_icache_fill() {
+        let m = build_cva6(&Cva6Config::full_flush());
+        let mut sim = Sim::new(&m);
+        quiet(&mut sim);
+        // Get into MISS: walk TLB first.
+        sim.step();
+        sim.step();
+        sim.set_input("dmem_rvalid", Bv::bit(true));
+        sim.set_input("dmem_rdata", Bv::new(16, 0x2));
+        sim.step();
+        sim.set_input("dmem_rvalid", Bv::bit(false));
+        sim.step(); // I$ miss -> MISS state
+        let st = m.find_reg("icache.state").unwrap();
+        assert_eq!(sim.reg(st).value(), ic_state::MISS);
+        // Fence while the fill is outstanding.
+        sim.set_input("fence_t", Bv::bit(true));
+        sim.step();
+        sim.set_input("fence_t", Bv::bit(false));
+        assert_eq!(sim.reg(st).value(), ic_state::KILL_MISS, "K1 state");
+        // The response drains it back to IDLE.
+        sim.set_input("axi_rvalid", Bv::bit(true));
+        sim.step();
+        sim.set_input("axi_rvalid", Bv::bit(false));
+        assert_eq!(sim.reg(st).value(), ic_state::IDLE);
+    }
+
+    #[test]
+    fn c2_second_flush_orphans_the_walk_unless_fixed() {
+        for fix in [false, true] {
+            let m = build_cva6(&Cva6Config {
+                fix_c2: fix,
+                ..Cva6Config::microreset()
+            });
+            let mut sim = Sim::new(&m);
+            quiet(&mut sim);
+            sim.step(); // walk starts
+            sim.step(); // PTE lookup misses -> WAIT_RVALID
+            let st = m.find_reg("ptw.state").unwrap();
+            assert_eq!(sim.reg(st).value(), ptw_state::WAIT_RVALID);
+            // Second flush: an exception mid-wait.
+            sim.set_input("exception_i", Bv::bit(true));
+            sim.step();
+            sim.set_input("exception_i", Bv::bit(false));
+            if fix {
+                assert_eq!(
+                    sim.reg(st).value(),
+                    ptw_state::WAIT_RVALID,
+                    "fixed PTW waits for the response"
+                );
+            } else {
+                assert_eq!(sim.reg(st).value(), ptw_state::IDLE, "C2: walk aborted");
+                let out = m.find_reg("dcache.outstanding").unwrap();
+                assert!(sim.reg(out).as_bool(), "request orphaned");
+            }
+        }
+    }
+
+    #[test]
+    fn c3_fill_in_clear_cycle_survives_the_flush_unless_fixed() {
+        for fix in [false, true] {
+            let m = build_cva6(&Cva6Config {
+                fix_c3: fix,
+                ..Cva6Config::microreset()
+            });
+            let mut sim = Sim::new(&m);
+            quiet(&mut sim);
+            sim.step(); // walk starts
+            sim.step(); // PTE lookup miss -> outstanding
+            // Fence starts; the response lands in the PAD window, *after*
+            // the clear cycle (microreset: WB, CLEAR, PAD).
+            sim.set_input("fence_t", Bv::bit(true));
+            sim.step(); // -> WB
+            sim.set_input("fence_t", Bv::bit(false));
+            sim.step(); // -> CLEAR
+            sim.step(); // -> PAD
+            let fs = m.find_reg("fence.state").unwrap();
+            assert_eq!(sim.reg(fs).value(), fence_state::PAD);
+            sim.set_input("dmem_rvalid", Bv::bit(true));
+            sim.set_input("dmem_rdata", Bv::new(16, 0x3));
+            sim.step(); // fill after the clear
+            sim.set_input("dmem_rvalid", Bv::bit(false));
+            let valids = m.find_mem("dcache.valids").unwrap();
+            let any_valid =
+                sim.mem_word(valids, 0).as_bool() || sim.mem_word(valids, 1).as_bool();
+            if fix {
+                assert!(!any_valid, "fix_c3 drains the fill");
+            } else {
+                assert!(any_valid, "C3: a line is valid after the flush");
+            }
+        }
+    }
+
+    #[test]
+    fn microreset_clears_fsms_but_not_data_arrays() {
+        let m = build_cva6(&Cva6Config::microreset());
+        let mut sim = Sim::new(&m);
+        warm_up(&mut sim);
+        let data = m.find_mem("icache.data").unwrap();
+        let idx = (0..2).find(|&w| sim.mem_word(data, w).value() == 0xabcc);
+        assert!(idx.is_some(), "warm line holds data");
+        sim.set_input("fence_t", Bv::bit(true));
+        sim.step();
+        sim.set_input("fence_t", Bv::bit(false));
+        for _ in 0..3 {
+            sim.step();
+        }
+        let valids = m.find_mem("icache.valids").unwrap();
+        assert!(!sim.mem_word(valids, 0).as_bool());
+        assert!(!sim.mem_word(valids, 1).as_bool());
+        let tlbv = m.find_reg("itlb.valid").unwrap();
+        assert!(!sim.reg(tlbv).as_bool());
+        // Data array survives: the C1 leak source.
+        assert_eq!(sim.mem_word(data, idx.unwrap()).value(), 0xabcc);
+    }
+
+    #[test]
+    fn fence_latency_is_constant_for_microreset() {
+        let m = build_cva6(&Cva6Config::microreset());
+        let mut sim = Sim::new(&m);
+        quiet(&mut sim);
+        sim.set_input("fence_t", Bv::bit(true));
+        sim.step();
+        sim.set_input("fence_t", Bv::bit(false));
+        let mut done_at = None;
+        for t in 0..6 {
+            if sim.output("fence_done").as_bool() {
+                done_at = Some(t);
+                break;
+            }
+            sim.step();
+        }
+        // After the start cycle: WB at t=0, CLEAR at t=1, PAD (done) at t=2.
+        assert_eq!(done_at, Some(2), "WB, CLEAR, then PAD pulses done");
+    }
+}
+
+#[cfg(test)]
+mod redirect_tests {
+    use super::*;
+    use autocc_hdl::{Bv, Sim};
+
+    fn quiet(sim: &mut Sim<'_>) {
+        sim.set_input("fence_t", Bv::bit(false));
+        sim.set_input("exception_i", Bv::bit(false));
+        sim.set_input("axi_rvalid", Bv::bit(false));
+        sim.set_input("dmem_rvalid", Bv::bit(false));
+        sim.set_input("redirect_valid", Bv::bit(false));
+    }
+
+    #[test]
+    fn backend_redirect_moves_the_pc() {
+        let m = build_cva6(&Cva6Config::microreset());
+        let mut sim = Sim::new(&m);
+        quiet(&mut sim);
+        sim.set_input("redirect_valid", Bv::bit(true));
+        sim.set_input("redirect_target", Bv::new(16, 0x3456));
+        sim.step();
+        sim.set_input("redirect_valid", Bv::bit(false));
+        assert_eq!(sim.output("fetch_pc").value(), 0x3456);
+    }
+
+    #[test]
+    fn fault_region_fetch_responds_without_a_walk() {
+        let m = build_cva6(&Cva6Config::microreset());
+        let mut sim = Sim::new(&m);
+        quiet(&mut sim);
+        sim.set_input("redirect_valid", Bv::bit(true));
+        sim.set_input("redirect_target", Bv::new(16, 0xf000));
+        sim.step();
+        sim.set_input("redirect_valid", Bv::bit(false));
+        // Exception fetches respond immediately (valid) with no PTW
+        // activity and no memory request.
+        assert!(sim.output("fetch_valid").as_bool());
+        assert!(!sim.output("dmem_req").as_bool());
+        assert!(!sim.output("axi_req").as_bool());
+        let ptw = m.find_reg("ptw.state").unwrap();
+        assert_eq!(sim.reg(ptw).value(), ptw_state::IDLE);
+    }
+
+    #[test]
+    fn compressed_bit_controls_the_pc_step() {
+        // C1's observable: the realigner steps the PC by 1 or 2 depending
+        // on payload bit 0 — here exercised through the fault path where
+        // the payload is the (stale) line data.
+        let m = build_cva6(&Cva6Config::microreset());
+        let mut sim = Sim::new(&m);
+        quiet(&mut sim);
+        let data = m.find_mem("icache.data").unwrap();
+        for (stale, step) in [(0x0000u64, 2u64), (0x0001, 1)] {
+            sim.reset();
+            quiet(&mut sim);
+            sim.set_mem_word(data, 0, Bv::new(16, stale));
+            sim.set_input("redirect_valid", Bv::bit(true));
+            sim.set_input("redirect_target", Bv::new(16, 0xf000));
+            sim.step();
+            sim.set_input("redirect_valid", Bv::bit(false));
+            let pc0 = sim.output("fetch_pc").value();
+            sim.step();
+            assert_eq!(
+                sim.output("fetch_pc").value(),
+                pc0 + step,
+                "stale={stale:#x}"
+            );
+        }
+    }
+}

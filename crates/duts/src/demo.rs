@@ -1,0 +1,206 @@
+//! Small teaching DUTs for the examples and quickstart.
+
+use autocc_hdl::{Bv, Module, ModuleBuilder};
+
+/// A direct-mapped cache model with a hit/miss timing interface — the
+/// Fig.-1 motivating substrate for the prime-and-probe example.
+///
+/// * `req`/`addr`: lookup request.
+/// * `hit`: combinational hit indication (the "timing" a spy observes).
+/// * Misses allocate the line on the next edge.
+/// * `flush`: common control that invalidates every line when high
+///   (present only when `with_flush` is set).
+pub fn direct_mapped_cache(lines: usize, tag_bits: u32, with_flush: bool) -> Module {
+    assert!(lines.is_power_of_two() && lines >= 2);
+    let index_bits = lines.trailing_zeros();
+    let mut b = ModuleBuilder::new("dm_cache");
+    let req = b.input("req", 1);
+    let addr = b.input("addr", index_bits + tag_bits);
+    let flush = with_flush.then(|| b.input_common("flush", 1));
+
+    let tags = b.mem("tags", lines, tag_bits);
+    let valids = b.mem("valids", lines, 1);
+
+    let index = b.slice(addr, index_bits - 1, 0);
+    let tag = b.slice(addr, index_bits + tag_bits - 1, index_bits);
+    let line_tag = b.mem_read(tags, index);
+    let line_valid = b.mem_read(valids, index);
+    let tag_match = b.eq(line_tag, tag);
+    let hit = {
+        let h = b.and(line_valid, tag_match);
+        b.and(h, req)
+    };
+    // Allocate on miss.
+    let miss = {
+        let nh = b.not(hit);
+        b.and(req, nh)
+    };
+    b.mem_write(tags, miss, index, tag);
+    let one = b.lit(1, 1);
+    b.mem_write(valids, miss, index, one);
+    if let Some(f) = flush {
+        // Invalidate every line: one write port per line, highest priority.
+        for i in 0..lines {
+            let idx = b.lit(index_bits, i as u64);
+            let zero = b.lit(1, 0);
+            b.mem_write(valids, f, idx, zero);
+        }
+    }
+    b.output("hit", hit);
+    b.build()
+}
+
+/// The quickstart DUT: a device with a configuration register that is
+/// readable back through a gated port — a minimal covert channel.
+pub fn config_device(with_flush: bool) -> Module {
+    let mut b = ModuleBuilder::new("config_device");
+    let we = b.input("we", 1);
+    let re = b.input("re", 1);
+    let data = b.input("data", 8);
+    let flush = with_flush.then(|| b.input_common("flush", 1));
+    let cfg = b.reg("cfg", 8, Bv::zero(8));
+    let wr = b.mux(we, data, cfg);
+    let next = match flush {
+        Some(f) => {
+            let zero = b.lit(8, 0);
+            b.mux(f, zero, wr)
+        }
+        None => wr,
+    };
+    b.set_next(cfg, next);
+    let zero = b.lit(8, 0);
+    let q = b.mux(re, cfg, zero);
+    b.output("q", q);
+    b.build()
+}
+
+/// A device whose flush *latency* depends on microarchitectural state —
+/// the Sec. 3.2 blind spot: synchronising on flush *completion* hides the
+/// channel, synchronising on flush *start* exposes it.
+///
+/// A dirty buffer needs an extra write-back cycle: a clean flush takes two
+/// cycles, a dirty one three. The buffer itself is cleared, so no *state*
+/// survives — only the latency differs.
+pub fn variable_latency_flush_device() -> Module {
+    let mut b = ModuleBuilder::new("var_latency_flush");
+    let we = b.input("we", 1);
+    let data = b.input("data", 8);
+    let flush_req = b.input("flush_req", 1);
+
+    let buf = b.reg("buf", 8, Bv::zero(8));
+    let dirty = b.reg("dirty", 1, Bv::zero(1));
+    // Down-counter: 0 = idle; loaded with the flush latency on start;
+    // `flush_done` pulses when it reaches 1.
+    let ctr = b.reg("flush_ctr", 2, Bv::zero(2));
+
+    let idle = b.eq_lit(ctr, 0);
+    let start = b.and(flush_req, idle);
+    let two_l = b.lit(2, 2);
+    let three_l = b.lit(2, 3);
+    let latency = b.mux(dirty, three_l, two_l);
+    let one2 = b.lit(2, 1);
+    let dec = b.sub(ctr, one2);
+    let running = b.not(idle);
+    let hold = b.mux(running, dec, ctr);
+    let ctr_next = b.mux(start, latency, hold);
+    b.set_next(ctr, ctr_next);
+
+    // Writes mark the buffer dirty; any flush activity clears both.
+    let flushing = running;
+    let wr = b.mux(we, data, buf);
+    let zero8 = b.lit(8, 0);
+    let buf_next = b.mux(flushing, zero8, wr);
+    b.set_next(buf, buf_next);
+    let one1 = b.lit(1, 1);
+    let d_set = b.mux(we, one1, dirty);
+    let zero1 = b.lit(1, 0);
+    let d_next = b.mux(flushing, zero1, d_set);
+    b.set_next(dirty, d_next);
+
+    // The externally visible handshake.
+    let done = b.eq_lit(ctr, 1);
+    b.output("flush_done", done);
+    b.output("busy", flushing);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocc_hdl::{Bv, Sim};
+
+    #[test]
+    fn cache_hits_after_allocation() {
+        let m = direct_mapped_cache(4, 4, false);
+        let mut sim = Sim::new(&m);
+        sim.set_input("req", Bv::bit(true));
+        sim.set_input("addr", Bv::new(6, 0b10_10_01));
+        assert!(!sim.output("hit").as_bool(), "cold miss");
+        sim.step();
+        assert!(sim.output("hit").as_bool(), "hit after allocation");
+        // Conflicting tag evicts.
+        sim.set_input("addr", Bv::new(6, 0b01_10_01));
+        assert!(!sim.output("hit").as_bool(), "conflict miss");
+        sim.step();
+        sim.set_input("addr", Bv::new(6, 0b10_10_01));
+        assert!(!sim.output("hit").as_bool(), "old line evicted");
+    }
+
+    #[test]
+    fn flush_invalidates_all_lines() {
+        let m = direct_mapped_cache(4, 4, true);
+        let mut sim = Sim::new(&m);
+        sim.set_input("req", Bv::bit(true));
+        for i in 0..4u64 {
+            sim.set_input("addr", Bv::new(6, i));
+            sim.step();
+        }
+        sim.set_input("addr", Bv::new(6, 2));
+        assert!(sim.output("hit").as_bool());
+        sim.set_input("flush", Bv::bit(true));
+        sim.set_input("req", Bv::bit(false));
+        sim.step();
+        sim.set_input("flush", Bv::bit(false));
+        sim.set_input("req", Bv::bit(true));
+        assert!(!sim.output("hit").as_bool(), "flushed");
+    }
+
+    #[test]
+    fn flush_latency_depends_on_dirtiness() {
+        let flush_latency = |dirty: bool| -> usize {
+            let m = variable_latency_flush_device();
+            let mut sim = Sim::new(&m);
+            sim.set_input("we", Bv::bit(dirty));
+            sim.set_input("data", Bv::new(8, 0xaa));
+            sim.set_input("flush_req", Bv::bit(false));
+            sim.step();
+            sim.set_input("we", Bv::bit(false));
+            sim.set_input("flush_req", Bv::bit(true));
+            sim.step();
+            sim.set_input("flush_req", Bv::bit(false));
+            for t in 1..6 {
+                if sim.output("flush_done").as_bool() {
+                    return t;
+                }
+                sim.step();
+            }
+            panic!("flush never completed");
+        };
+        assert_eq!(flush_latency(false), 2, "clean flush: base latency");
+        assert_eq!(flush_latency(true), 3, "dirty flush: one extra cycle");
+    }
+
+    #[test]
+    fn config_device_round_trips() {
+        let m = config_device(false);
+        let mut sim = Sim::new(&m);
+        sim.set_input("we", Bv::bit(true));
+        sim.set_input("data", Bv::new(8, 0x5c));
+        sim.step();
+        sim.set_input("we", Bv::bit(false));
+        sim.set_input("re", Bv::bit(true));
+        assert_eq!(sim.output("q").value(), 0x5c);
+        sim.set_input("re", Bv::bit(false));
+        assert_eq!(sim.output("q").value(), 0);
+    }
+}

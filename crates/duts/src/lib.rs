@@ -1,0 +1,27 @@
+//! # autocc-duts
+//!
+//! Netlist models of the four hardware projects the AutoCC paper evaluates
+//! (Sec. 4), rebuilt at reproduction scale against `autocc-hdl`:
+//!
+//! * [`vscale`] — a 3-stage RISC core (Table 2's V1–V5 counterexamples).
+//! * `cva6` — an application-class core model with caches, TLB, page-table
+//!   walker, and `fence.t` temporal partitioning (C1–C3).
+//! * `maple` — a memory-access engine with configuration registers and an
+//!   invalidation FSM (M1–M3 and the Listing-2 exploit).
+//! * `aes` — a pipelined encryption accelerator (A1 and the full proof).
+//! * [`demo`] — small teaching designs used by the examples and the
+//!   flush-synthesis experiments.
+//!
+//! Each model is engineered to contain exactly the microarchitectural
+//! mechanisms behind the paper's findings, plus `fixed` variants with the
+//! corresponding upstream patches applied, so the fix-validation runs
+//! (re-running the testbench after the RTL fix) can be reproduced too.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod cva6;
+pub mod demo;
+pub mod maple;
+pub mod vscale;

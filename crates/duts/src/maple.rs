@@ -1,0 +1,353 @@
+//! A MAPLE-like memory-access engine (paper Sec. 4.3).
+//!
+//! MAPLE is an accelerator for fetching memory patterns, configured through
+//! memory-mapped registers and cleaned between processes by an invalidation
+//! FSM. This model reproduces the three covert channels the paper found:
+//!
+//! * **M1** — outgoing requests parked in the NoC output buffer across the
+//!   context switch (refined away with an environment assumption).
+//! * **M2** — the TLB-enable flip-flop is not reset by the cleanup; a
+//!   Trojan disables the TLB and the spy observes a page-fault difference.
+//! * **M3** — the array base-address register is not reset by the cleanup;
+//!   the spy's loads are issued relative to the victim's base address
+//!   (the register exploited by the Listing-2 system-level attack).
+//!
+//! `MapleConfig::fix_*` applies the upstream patches (resetting the
+//! registers during invalidation) for the fix-validation runs.
+//!
+//! ## Interface
+//!
+//! | signal            | dir | meaning                                     |
+//! |-------------------|-----|---------------------------------------------|
+//! | `conf_we/addr/data` | in | configuration write port                   |
+//! | `load_valid/index`  | in | offload a load of `array[index]`           |
+//! | `cons_ready`        | in | consume one word from the response queue   |
+//! | `noc_ready`         | in | NoC accepts a request this cycle           |
+//! | `noc_resp_valid/data` | in | memory response                          |
+//! | `noc_req_valid/addr`  | out | memory request (transaction)            |
+//! | `resp_valid/data`     | out | response queue head (transaction)       |
+//! | `fault`               | out | translation fault pulse                 |
+//! | `inv_done`            | out | invalidation completing this cycle      |
+//!
+//! Configuration space: `0` = array base, `1` = TLB enable (bit 0),
+//! `2` = start invalidation, `3` = TLB entry 0 fill (`{vpn[3:0], ppn[3:0]}`
+//! in the low byte).
+
+use autocc_hdl::{Bv, Module, ModuleBuilder};
+
+/// Which RTL fixes are applied (the paper's upstream patches).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MapleConfig {
+    /// Reset the TLB-enable flip-flop during invalidation (fixes M2).
+    pub fix_tlb_enable: bool,
+    /// Reset the array base-address register during invalidation (fixes M3).
+    pub fix_array_base: bool,
+}
+
+impl MapleConfig {
+    /// Configuration with every fix applied.
+    pub fn all_fixed() -> MapleConfig {
+        MapleConfig {
+            fix_tlb_enable: true,
+            fix_array_base: true,
+        }
+    }
+}
+
+/// Invalidation FSM states.
+pub mod inv_state {
+    /// No invalidation in progress.
+    pub const IDLE: u64 = 0;
+    /// Clearing TLB and queues.
+    pub const CLEAR: u64 = 1;
+    /// Final cycle; `inv_done` pulses.
+    pub const DONE: u64 = 2;
+}
+
+/// Builds the MAPLE engine model.
+pub fn build_maple(config: &MapleConfig) -> Module {
+    let mut b = ModuleBuilder::new("maple");
+
+    // ---- Inputs --------------------------------------------------------
+    let conf_we = b.input("conf_we", 1);
+    let conf_addr = b.input("conf_addr", 2);
+    let conf_data = b.input("conf_data", 16);
+    let load_valid = b.input("load_valid", 1);
+    let load_index = b.input("load_index", 8);
+    let cons_ready = b.input("cons_ready", 1);
+    let noc_ready = b.input("noc_ready", 1);
+    let noc_resp_valid = b.input("noc_resp_valid", 1);
+    let noc_resp_data = b.input("noc_resp_data", 16);
+    b.transaction_in("noc_resp", "noc_resp_valid", &["noc_resp_data"]);
+
+    // ---- Configuration registers ----------------------------------------
+    let array_base = b.reg("array_base", 16, Bv::zero(16));
+    let tlb_enable = b.reg("tlb_enable", 1, Bv::new(1, 1)); // enabled at reset
+    // TLB entry 0: valid, vpn, ppn.
+    let tlb_valid = b.reg("tlb_valid", 1, Bv::zero(1));
+    let tlb_vpn = b.reg("tlb_vpn", 4, Bv::zero(4));
+    let tlb_ppn = b.reg("tlb_ppn", 4, Bv::zero(4));
+
+    // ---- Invalidation FSM ------------------------------------------------
+    let inv = b.reg("inv_state", 2, Bv::zero(2));
+    let conf_is_inv = b.eq_lit(conf_addr, 2);
+    let start_inv = {
+        let idle = b.eq_lit(inv, inv_state::IDLE);
+        let w = b.and(conf_we, conf_is_inv);
+        b.and(w, idle)
+    };
+    let in_clear = b.eq_lit(inv, inv_state::CLEAR);
+    let in_done = b.eq_lit(inv, inv_state::DONE);
+    let clear_lit = b.lit(2, inv_state::CLEAR);
+    let done_lit = b.lit(2, inv_state::DONE);
+    let idle_lit = b.lit(2, inv_state::IDLE);
+    let mut inv_next = b.mux(start_inv, clear_lit, inv);
+    inv_next = b.mux(in_clear, done_lit, inv_next);
+    inv_next = b.mux(in_done, idle_lit, inv_next);
+    b.set_next(inv, inv_next);
+    // The flush signal used inside the datapath: active during CLEAR.
+    let clearing = in_clear;
+
+    // ---- Configuration writes -------------------------------------------
+    let conf_is_base = b.eq_lit(conf_addr, 0);
+    let conf_is_tlben = b.eq_lit(conf_addr, 1);
+    let conf_is_tlbw = b.eq_lit(conf_addr, 3);
+
+    // array_base: written by config; reset by the cleanup only when fixed.
+    let base_we = b.and(conf_we, conf_is_base);
+    let mut base_next = b.mux(base_we, conf_data, array_base);
+    if config.fix_array_base {
+        let zero = b.lit(16, 0);
+        base_next = b.mux(clearing, zero, base_next);
+    }
+    b.set_next(array_base, base_next);
+
+    // tlb_enable: bit 0 of config writes; reset (to enabled) by the cleanup
+    // only when fixed.
+    let en_we = b.and(conf_we, conf_is_tlben);
+    let en_bit = b.bit(conf_data, 0);
+    let mut en_next = b.mux(en_we, en_bit, tlb_enable);
+    if config.fix_tlb_enable {
+        let one = b.lit(1, 1);
+        en_next = b.mux(clearing, one, en_next);
+    }
+    b.set_next(tlb_enable, en_next);
+
+    // TLB entry: filled by config, always invalidated by the cleanup.
+    let tlb_we = b.and(conf_we, conf_is_tlbw);
+    let wr_vpn = b.slice(conf_data, 7, 4);
+    let wr_ppn = b.slice(conf_data, 3, 0);
+    let one1 = b.lit(1, 1);
+    let mut tlb_v_next = b.mux(tlb_we, one1, tlb_valid);
+    {
+        let zero = b.lit(1, 0);
+        tlb_v_next = b.mux(clearing, zero, tlb_v_next);
+    }
+    b.set_next(tlb_valid, tlb_v_next);
+    let tlb_vpn_next = b.mux(tlb_we, wr_vpn, tlb_vpn);
+    b.set_next(tlb_vpn, tlb_vpn_next);
+    let tlb_ppn_next = b.mux(tlb_we, wr_ppn, tlb_ppn);
+    b.set_next(tlb_ppn, tlb_ppn_next);
+
+    // ---- Load unit --------------------------------------------------------
+    // Virtual address: base + index. Translation replaces the top nibble
+    // through the TLB when enabled; a lookup miss raises `fault`.
+    let idx16 = b.zext(load_index, 16);
+    let vaddr = b.add(array_base, idx16);
+    let vpn = b.slice(vaddr, 15, 12);
+    let offset = b.slice(vaddr, 11, 0);
+    let tlb_hit = {
+        let m = b.eq(vpn, tlb_vpn);
+        b.and(m, tlb_valid)
+    };
+    let paddr_translated = b.concat(tlb_ppn, offset);
+    let paddr = b.mux(tlb_enable, paddr_translated, vaddr);
+    let translation_ok = {
+        let bypass = b.not(tlb_enable);
+        b.or(bypass, tlb_hit)
+    };
+    let idle_path = b.eq_lit(inv, inv_state::IDLE);
+    let accept = b.and(load_valid, idle_path);
+    let fault = {
+        let bad = b.not(translation_ok);
+        b.and(accept, bad)
+    };
+    let issue = b.and(accept, translation_ok);
+
+    // ---- NoC output buffer (one entry; M1's parked request) ---------------
+    let obuf_valid = b.reg("obuf_valid", 1, Bv::zero(1));
+    let obuf_addr = b.reg("obuf_addr", 16, Bv::zero(16));
+    // Dequeue when the NoC is ready; enqueue on issue (issue wins when the
+    // buffer drains the same cycle).
+    let drained = b.and(obuf_valid, noc_ready);
+    let not_drained_valid = {
+        let nd = b.not(drained);
+        b.and(obuf_valid, nd)
+    };
+    let obuf_v_next = b.or(issue, not_drained_valid);
+    b.set_next(obuf_valid, obuf_v_next);
+    let obuf_a_next = b.mux(issue, paddr, obuf_addr);
+    b.set_next(obuf_addr, obuf_a_next);
+
+    // ---- Response queue (one entry, cleared by cleanup) -------------------
+    let rq_valid = b.reg("rq_valid", 1, Bv::zero(1));
+    let rq_data = b.reg("rq_data", 16, Bv::zero(16));
+    let consumed = b.and(rq_valid, cons_ready);
+    let keep = {
+        let nc = b.not(consumed);
+        b.and(rq_valid, nc)
+    };
+    let mut rq_v_next = b.or(noc_resp_valid, keep);
+    {
+        let zero = b.lit(1, 0);
+        rq_v_next = b.mux(clearing, zero, rq_v_next);
+    }
+    b.set_next(rq_valid, rq_v_next);
+    let mut rq_d_next = b.mux(noc_resp_valid, noc_resp_data, rq_data);
+    {
+        let zero = b.lit(16, 0);
+        rq_d_next = b.mux(clearing, zero, rq_d_next);
+    }
+    b.set_next(rq_data, rq_d_next);
+
+    // ---- Outputs -----------------------------------------------------------
+    b.output("noc_req_valid", obuf_valid);
+    b.output("noc_req_addr", obuf_addr);
+    b.transaction_out("noc_req", "noc_req_valid", &["noc_req_addr"]);
+    b.output("resp_valid", rq_valid);
+    b.output("resp_data", rq_data);
+    b.transaction_out("resp", "resp_valid", &["resp_data"]);
+    b.output("fault", fault);
+    b.output("inv_done", in_done);
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocc_hdl::Sim;
+
+    fn idle_inputs(sim: &mut Sim<'_>) {
+        sim.set_input("conf_we", Bv::bit(false));
+        sim.set_input("load_valid", Bv::bit(false));
+        sim.set_input("cons_ready", Bv::bit(false));
+        sim.set_input("noc_ready", Bv::bit(true));
+        sim.set_input("noc_resp_valid", Bv::bit(false));
+    }
+
+    fn write_conf(sim: &mut Sim<'_>, addr: u64, data: u64) {
+        sim.set_input("conf_we", Bv::bit(true));
+        sim.set_input("conf_addr", Bv::new(2, addr));
+        sim.set_input("conf_data", Bv::new(16, data));
+        sim.step();
+        sim.set_input("conf_we", Bv::bit(false));
+    }
+
+    #[test]
+    fn load_issues_base_plus_index() {
+        let m = build_maple(&MapleConfig::default());
+        let mut sim = Sim::new(&m);
+        idle_inputs(&mut sim);
+        write_conf(&mut sim, 1, 0); // disable TLB: physical addressing
+        write_conf(&mut sim, 0, 0x1000); // base
+        sim.set_input("load_valid", Bv::bit(true));
+        sim.set_input("load_index", Bv::new(8, 0x24));
+        sim.step();
+        sim.set_input("load_valid", Bv::bit(false));
+        assert!(sim.output("noc_req_valid").as_bool());
+        assert_eq!(sim.output("noc_req_addr").value(), 0x1024);
+    }
+
+    #[test]
+    fn tlb_translates_and_faults() {
+        let m = build_maple(&MapleConfig::default());
+        let mut sim = Sim::new(&m);
+        idle_inputs(&mut sim);
+        write_conf(&mut sim, 0, 0x5000); // base: vpn 5
+        // No TLB entry yet: fault.
+        sim.set_input("load_valid", Bv::bit(true));
+        sim.set_input("load_index", Bv::new(8, 0));
+        assert!(sim.output("fault").as_bool(), "miss faults");
+        sim.set_input("load_valid", Bv::bit(false));
+        // Fill vpn 5 -> ppn 9 and retry.
+        write_conf(&mut sim, 3, 0x59);
+        sim.set_input("load_valid", Bv::bit(true));
+        sim.set_input("load_index", Bv::new(8, 0x30));
+        assert!(!sim.output("fault").as_bool(), "hit does not fault");
+        sim.step();
+        assert_eq!(sim.output("noc_req_addr").value(), 0x9030);
+    }
+
+    #[test]
+    fn invalidation_clears_tlb_and_queues_but_not_buggy_registers() {
+        let m = build_maple(&MapleConfig::default());
+        let mut sim = Sim::new(&m);
+        idle_inputs(&mut sim);
+        write_conf(&mut sim, 0, 0x4000);
+        write_conf(&mut sim, 1, 0); // disable TLB (the M2 Trojan action)
+        write_conf(&mut sim, 3, 0x12);
+        // Park a response in the queue.
+        sim.set_input("noc_resp_valid", Bv::bit(true));
+        sim.set_input("noc_resp_data", Bv::new(16, 0xbeef));
+        sim.step();
+        sim.set_input("noc_resp_valid", Bv::bit(false));
+        assert!(sim.output("resp_valid").as_bool());
+        // Cleanup.
+        write_conf(&mut sim, 2, 0);
+        let mut done_seen = false;
+        for _ in 0..4 {
+            done_seen |= sim.output("inv_done").as_bool();
+            sim.step();
+        }
+        assert!(done_seen, "inv_done pulses");
+        assert!(!sim.output("resp_valid").as_bool(), "queue cleared");
+        assert!(!sim.reg_by_name("tlb_valid").as_bool(), "TLB cleared");
+        // The buggy registers survive — the M2/M3 covert channels.
+        assert_eq!(sim.reg_by_name("array_base").value(), 0x4000, "M3 bug");
+        assert_eq!(sim.reg_by_name("tlb_enable").value(), 0, "M2 bug");
+    }
+
+    #[test]
+    fn fixed_rtl_resets_registers_during_invalidation() {
+        let m = build_maple(&MapleConfig::all_fixed());
+        let mut sim = Sim::new(&m);
+        idle_inputs(&mut sim);
+        write_conf(&mut sim, 0, 0x4000);
+        write_conf(&mut sim, 1, 0);
+        write_conf(&mut sim, 2, 0); // cleanup
+        for _ in 0..4 {
+            sim.step();
+        }
+        assert_eq!(sim.reg_by_name("array_base").value(), 0, "M3 fixed");
+        assert_eq!(sim.reg_by_name("tlb_enable").value(), 1, "M2 fixed");
+    }
+
+    #[test]
+    fn loads_are_not_accepted_during_invalidation() {
+        let m = build_maple(&MapleConfig::default());
+        let mut sim = Sim::new(&m);
+        idle_inputs(&mut sim);
+        write_conf(&mut sim, 1, 0);
+        write_conf(&mut sim, 2, 0); // start cleanup
+        sim.set_input("load_valid", Bv::bit(true));
+        sim.set_input("load_index", Bv::new(8, 1));
+        sim.step(); // CLEAR state
+        assert!(!sim.output("noc_req_valid").as_bool(), "no issue mid-cleanup");
+    }
+
+    #[test]
+    fn response_queue_consumption() {
+        let m = build_maple(&MapleConfig::default());
+        let mut sim = Sim::new(&m);
+        idle_inputs(&mut sim);
+        sim.set_input("noc_resp_valid", Bv::bit(true));
+        sim.set_input("noc_resp_data", Bv::new(16, 0x1234));
+        sim.step();
+        sim.set_input("noc_resp_valid", Bv::bit(false));
+        assert_eq!(sim.output("resp_data").value(), 0x1234);
+        sim.set_input("cons_ready", Bv::bit(true));
+        sim.step();
+        assert!(!sim.output("resp_valid").as_bool(), "consumed");
+    }
+}

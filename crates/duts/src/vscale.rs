@@ -1,0 +1,419 @@
+//! A Vscale-like 3-stage RISC core (paper Sec. 4.1).
+//!
+//! The original Vscale is a 32-bit RV32I core with a 3-stage pipeline
+//! (fetch, decode/execute, write-back) and no caches. This model keeps that
+//! shape at reproduction scale: a 16-bit datapath, an 8-entry register
+//! file, a 4-entry CSR file (as a child module so it can be blackboxed,
+//! matching the paper's V2 refinement), PC registers along the pipeline,
+//! and the interrupt-in-WB stall path behind the paper's V5 counterexample.
+//!
+//! ## Interface
+//!
+//! | signal        | dir | meaning                                   |
+//! |---------------|-----|-------------------------------------------|
+//! | `imem_hrdata` | in  | instruction at the fetched address        |
+//! | `interrupt`   | in  | external interrupt request                |
+//! | `dmem_hrdata` | in  | load data                                 |
+//! | `imem_haddr`  | out | instruction fetch address (= PC)          |
+//! | `dmem_haddr`  | out | data address                              |
+//! | `dmem_hwrite` | out | store strobe                              |
+//! | `dmem_hwdata` | out | store data                                |
+//!
+//! ## Instruction encoding (16-bit)
+//!
+//! `[15:13] opcode, [12:10] rd, [9:7] rs1, [6:4] rs2, [3:0] imm4`
+//!
+//! | opcode | mnemonic | semantics                                   |
+//! |--------|----------|---------------------------------------------|
+//! | 0      | `ADD`    | `rd = rs1 + rs2`                            |
+//! | 1      | `ADDI`   | `rd = rs1 + sext(imm4)`                     |
+//! | 2      | `LOAD`   | `rd = dmem[rs1 + sext(imm4)]`               |
+//! | 3      | `STORE`  | `dmem[rs1 + sext(imm4)] = rs2`              |
+//! | 4      | `BEQZ`   | `if rs1 == 0: pc = pc_dx + sext(imm4)`      |
+//! | 5      | `JR`     | `pc = rs1`                                  |
+//! | 6      | `CSRR`   | `rd = csr[imm4[1:0]]`                       |
+//! | 7      | `CSRW`   | `csr[imm4[1:0]] = rs1`                      |
+
+use autocc_hdl::{Bv, Module, ModuleBuilder, NodeId};
+use std::collections::HashMap;
+
+/// Configuration of the Vscale model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VscaleConfig {
+    /// Replace the CSR child module by a blackbox (Sec. 3.4 / CEX V2):
+    /// its storage leaves the verification model; its read data becomes a
+    /// free input and the wires feeding it become checked outputs.
+    pub blackbox_csr: bool,
+    /// Mark the instruction input `//AutoCC Common`: both universes run
+    /// the *same program* and only data may differ — the constant-time
+    /// software analysis mode of Sec. 2.1.
+    pub common_imem: bool,
+}
+
+/// Architectural-state name groups used by the paper's iterative
+/// refinement of the Vscale testbench (Table 2).
+pub mod arch {
+    /// V1: the register file (`pipeline.regfile.data` in the paper).
+    pub const REGFILE_MEM: &str = "regfile";
+    /// V3/V4: the PC, decode and write-back stage registers — "all
+    /// instructions inside the pipeline should be equal when the spy
+    /// process is about to start" (Sec. 4.1).
+    pub const PIPELINE_REGS: [&str; 9] = [
+        "pc_f", "pc_dx", "pc_wb", "instr_dx", "valid_dx", "wb_valid", "wb_wen", "wb_rd",
+        "wb_val",
+    ];
+    /// V5: the interrupt-pending flip-flop.
+    pub const INT_REGS: [&str; 1] = ["int_flag"];
+}
+
+/// Builds the CSR file as a stand-alone module (so it can be blackboxed).
+/// `csr[3]` bit 0 is the interrupt-enable (`ie`) control.
+fn build_csr() -> Module {
+    let mut b = ModuleBuilder::new("csr");
+    let raddr = b.input("raddr", 2);
+    let wen = b.input("wen", 1);
+    let waddr = b.input("waddr", 2);
+    let wdata = b.input("wdata", 16);
+    let mem = b.mem("file", 4, 16);
+    b.mem_write(mem, wen, waddr, wdata);
+    let rdata = b.mem_read(mem, raddr);
+    b.output("rdata", rdata);
+    let status = b.read_mem_word(mem, 3);
+    let ie = b.bit(status, 0);
+    b.output("ie", ie);
+    b.build()
+}
+
+/// Builds the Vscale core model.
+pub fn build_vscale(config: &VscaleConfig) -> Module {
+    let mut b = ModuleBuilder::new("vscale");
+
+    // ---- Inputs ------------------------------------------------------
+    let imem_hrdata = if config.common_imem {
+        b.input_common("imem_hrdata", 16)
+    } else {
+        b.input("imem_hrdata", 16)
+    };
+    let interrupt = b.input("interrupt", 1);
+    let dmem_hrdata = b.input("dmem_hrdata", 16);
+
+    // ---- Pipeline state ----------------------------------------------
+    let pc_f = b.reg("pc_f", 16, Bv::zero(16));
+    let pc_dx = b.reg("pc_dx", 16, Bv::zero(16));
+    let pc_wb = b.reg("pc_wb", 16, Bv::zero(16));
+    let instr_dx = b.reg("instr_dx", 16, Bv::zero(16));
+    let valid_dx = b.reg("valid_dx", 1, Bv::zero(1));
+    let wb_valid = b.reg("wb_valid", 1, Bv::zero(1));
+    let wb_wen = b.reg("wb_wen", 1, Bv::zero(1));
+    let wb_rd = b.reg("wb_rd", 3, Bv::zero(3));
+    let wb_val = b.reg("wb_val", 16, Bv::zero(16));
+    // Interrupt-pending latch, sampled while an instruction is in WB and
+    // sticky until the interrupt is taken (the paper's V5 channel: pending
+    // state from the victim era fires once the spy unmasks interrupts).
+    let int_flag = b.reg("int_flag", 1, Bv::zero(1));
+
+    let regfile = b.mem("regfile", 8, 16);
+
+    // ---- Decode ------------------------------------------------------
+    let opcode = b.slice(instr_dx, 15, 13);
+    let rd = b.slice(instr_dx, 12, 10);
+    let rs1 = b.slice(instr_dx, 9, 7);
+    let rs2 = b.slice(instr_dx, 6, 4);
+    let imm4 = b.slice(instr_dx, 3, 0);
+    let imm = b.sext(imm4, 16);
+
+    let rs1_val = b.mem_read(regfile, rs1);
+    let rs2_val = b.mem_read(regfile, rs2);
+
+    let is_add = b.eq_lit(opcode, 0);
+    let is_addi = b.eq_lit(opcode, 1);
+    let is_load = b.eq_lit(opcode, 2);
+    let is_store = b.eq_lit(opcode, 3);
+    let is_beqz = b.eq_lit(opcode, 4);
+    let is_jr = b.eq_lit(opcode, 5);
+    let is_csrr = b.eq_lit(opcode, 6);
+    let is_csrw = b.eq_lit(opcode, 7);
+
+    // ---- CSR file (child module, optionally blackboxed) ---------------
+    let csr_raddr = b.slice(imm4, 1, 0);
+    let csr_wen = b.and(is_csrw, valid_dx);
+    let csr = build_csr();
+    let mut csr_wires: HashMap<String, NodeId> = HashMap::new();
+    csr_wires.insert("raddr".to_string(), csr_raddr);
+    csr_wires.insert("wen".to_string(), csr_wen);
+    csr_wires.insert("waddr".to_string(), csr_raddr);
+    csr_wires.insert("wdata".to_string(), rs1_val);
+    let csr_inst = if config.blackbox_csr {
+        b.instantiate_blackbox(&csr, "csr", &csr_wires)
+    } else {
+        b.instantiate(&csr, "csr", &csr_wires)
+    };
+    let csr_rdata = csr_inst.outputs["rdata"];
+    let int_enable = csr_inst.outputs["ie"];
+
+    // ---- Execute -----------------------------------------------------
+    let add_result = b.add(rs1_val, rs2_val);
+    let addi_result = b.add(rs1_val, imm);
+    let mem_addr = b.add(rs1_val, imm);
+
+    let rs1_zero = b.eq_lit(rs1_val, 0);
+    let branch_taken = {
+        let t = b.and(is_beqz, rs1_zero);
+        b.and(t, valid_dx)
+    };
+    let branch_target = b.add(pc_dx, imm);
+    let jump_taken = b.and(is_jr, valid_dx);
+
+    // Write-back value selection.
+    let mut wb_value = add_result;
+    wb_value = b.mux(is_addi, addi_result, wb_value);
+    wb_value = b.mux(is_load, dmem_hrdata, wb_value);
+    wb_value = b.mux(is_csrr, csr_rdata, wb_value);
+    let writes_rd = {
+        let alu = b.or(is_add, is_addi);
+        let ld = b.or(is_load, is_csrr);
+        let wr = b.or(alu, ld);
+        b.and(wr, valid_dx)
+    };
+
+    // ---- Fetch / next PC ----------------------------------------------
+    // A pending interrupt fires once enabled: fetch redirects to the
+    // vector and the in-flight fetch is squashed.
+    let int_taken = b.and(int_flag, int_enable);
+    let one = b.lit(16, 1);
+    let pc_plus1 = b.add(pc_f, one);
+    let exec_redirect = b.or(branch_taken, jump_taken);
+    let redirect = b.or(exec_redirect, int_taken);
+    let branch_or_jump = b.mux(jump_taken, rs1_val, branch_target);
+    let vector = b.lit(16, 0x10);
+    let redirect_target = b.mux(int_taken, vector, branch_or_jump);
+    let pc_next = b.mux(redirect, redirect_target, pc_plus1);
+    b.set_next(pc_f, pc_next);
+
+    // DX receives the fetched instruction unless squashed by a redirect
+    // (bubble).
+    let dx_valid_next = b.not(redirect);
+    b.set_next(instr_dx, imem_hrdata);
+    b.set_next(valid_dx, dx_valid_next);
+    b.set_next(pc_dx, pc_f);
+
+    // ---- Write-back stage ---------------------------------------------
+    b.set_next(wb_valid, valid_dx);
+    b.set_next(wb_wen, writes_rd);
+    b.set_next(wb_rd, rd);
+    b.set_next(wb_val, wb_value);
+    b.set_next(pc_wb, pc_dx);
+    let wb_write = b.and(wb_valid, wb_wen);
+    b.mem_write(regfile, wb_write, wb_rd, wb_val);
+
+    // Interrupt-pending latch: set when an instruction is in WB during an
+    // external interrupt; sticky until the interrupt is taken.
+    let int_sample = b.and(interrupt, wb_valid);
+    let not_taken = b.not(int_taken);
+    let keep = b.and(int_flag, not_taken);
+    let int_next = b.or(int_sample, keep);
+    b.set_next(int_flag, int_next);
+
+    // ---- Data memory interface ----------------------------------------
+    let dmem_write = b.and(is_store, valid_dx);
+    b.output("imem_haddr", pc_f);
+    b.output("dmem_haddr", mem_addr);
+    b.output("dmem_hwrite", dmem_write);
+    b.output("dmem_hwdata", rs2_val);
+
+    b.build()
+}
+
+/// Instruction assembler for directed tests and the system simulator.
+pub mod asm {
+    /// `rd = rs1 + rs2`
+    pub fn add(rd: u16, rs1: u16, rs2: u16) -> u16 {
+        encode(0, rd, rs1, rs2, 0)
+    }
+    /// `rd = rs1 + sext(imm4)`
+    pub fn addi(rd: u16, rs1: u16, imm4: u16) -> u16 {
+        encode(1, rd, rs1, 0, imm4)
+    }
+    /// `rd = dmem[rs1 + sext(imm4)]`
+    pub fn load(rd: u16, rs1: u16, imm4: u16) -> u16 {
+        encode(2, rd, rs1, 0, imm4)
+    }
+    /// `dmem[rs1 + sext(imm4)] = rs2`
+    pub fn store(rs1: u16, rs2: u16, imm4: u16) -> u16 {
+        encode(3, 0, rs1, rs2, imm4)
+    }
+    /// `if rs1 == 0: pc = pc_dx + sext(imm4)`
+    pub fn beqz(rs1: u16, imm4: u16) -> u16 {
+        encode(4, 0, rs1, 0, imm4)
+    }
+    /// `pc = rs1`
+    pub fn jr(rs1: u16) -> u16 {
+        encode(5, 0, rs1, 0, 0)
+    }
+    /// `rd = csr[imm4 & 3]`
+    pub fn csrr(rd: u16, csr: u16) -> u16 {
+        encode(6, rd, 0, 0, csr & 3)
+    }
+    /// `csr[imm4 & 3] = rs1`
+    pub fn csrw(csr: u16, rs1: u16) -> u16 {
+        encode(7, 0, rs1, 0, csr & 3)
+    }
+    /// No-operation (`r0 = r0 + r0`; r0 writes are real in this toy ISA,
+    /// so "nop" uses rd = 0 with rs1 = rs2 = 0, which keeps r0 at 0 only
+    /// if r0 is 0 — fine for programs that never write r0).
+    pub fn nop() -> u16 {
+        add(0, 0, 0)
+    }
+
+    fn encode(opcode: u16, rd: u16, rs1: u16, rs2: u16, imm4: u16) -> u16 {
+        assert!(opcode < 8 && rd < 8 && rs1 < 8 && rs2 < 8 && imm4 < 16);
+        opcode << 13 | rd << 10 | rs1 << 7 | rs2 << 4 | imm4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocc_hdl::Sim;
+
+    fn run_program(program: &[u16], cycles: usize) -> Sim<'static> {
+        let module = Box::leak(Box::new(build_vscale(&VscaleConfig::default())));
+        let mut sim = Sim::new(module);
+        for _ in 0..cycles {
+            let pc = sim.output("imem_haddr").value() as usize;
+            let instr = program.get(pc).copied().unwrap_or(asm::nop());
+            sim.set_input("imem_hrdata", Bv::new(16, u64::from(instr)));
+            sim.step();
+        }
+        sim
+    }
+
+    #[test]
+    fn addi_and_add_write_the_regfile() {
+        // No bypass network: dependent instructions need 2 cycles spacing.
+        let program = [
+            asm::addi(1, 0, 5), // r1 = 5
+            asm::addi(2, 0, 3), // r2 = 3
+            asm::nop(),
+            asm::nop(),
+            asm::add(3, 1, 2),  // r3 = 8
+        ];
+        let sim = run_program(&program, 10);
+        let rf = sim.module().find_mem("regfile").unwrap();
+        assert_eq!(sim.mem_word(rf, 1).value(), 5);
+        assert_eq!(sim.mem_word(rf, 2).value(), 3);
+        assert_eq!(sim.mem_word(rf, 3).value(), 8);
+    }
+
+    #[test]
+    fn store_drives_dmem_interface() {
+        // imm4 is sign-extended, so immediates stay in 0..=7.
+        let program = [
+            asm::addi(1, 0, 7),  // r1 = 7
+            asm::addi(2, 0, 4),  // r2 = 4
+            asm::nop(),
+            asm::nop(),
+            asm::store(2, 1, 1), // dmem[r2 + 1] = r1
+        ];
+        let module = build_vscale(&VscaleConfig::default());
+        let mut sim = Sim::new(&module);
+        let mut saw_write = false;
+        for _ in 0..10 {
+            let pc = sim.output("imem_haddr").value() as usize;
+            let instr = program.get(pc).copied().unwrap_or(asm::nop());
+            sim.set_input("imem_hrdata", Bv::new(16, u64::from(instr)));
+            if sim.output("dmem_hwrite").as_bool() {
+                assert_eq!(sim.output("dmem_haddr").value(), 5);
+                assert_eq!(sim.output("dmem_hwdata").value(), 7);
+                saw_write = true;
+            }
+            sim.step();
+        }
+        assert!(saw_write, "store must reach the dmem interface");
+    }
+
+    #[test]
+    fn beqz_and_jr_redirect_fetch() {
+        // r1 = 0 so beqz is taken; then at the target, jr r2 with r2 = 2.
+        let program = [
+            asm::addi(2, 0, 2), // r2 = 2
+            asm::nop(),
+            asm::beqz(1, 4),    // taken (r1 == 0): pc = 2 + 4 = 6
+            asm::nop(),
+            asm::nop(),
+            asm::nop(),
+            asm::jr(2),         // pc = r2 = 2
+        ];
+        let module = build_vscale(&VscaleConfig::default());
+        let mut sim = Sim::new(&module);
+        let mut pcs = Vec::new();
+        for _ in 0..12 {
+            let pc = sim.output("imem_haddr").value();
+            pcs.push(pc);
+            let instr = program.get(pc as usize).copied().unwrap_or(asm::nop());
+            sim.set_input("imem_hrdata", Bv::new(16, u64::from(instr)));
+            sim.step();
+        }
+        assert!(pcs.windows(2).any(|w| w[0] == 3 && w[1] == 6), "beqz redirect: {pcs:?}");
+        assert!(pcs.windows(2).any(|w| w[0] == 7 && w[1] == 2), "jr redirect: {pcs:?}");
+    }
+
+    #[test]
+    fn csr_round_trip() {
+        let program = [
+            asm::addi(1, 0, 7), // r1 = 7
+            asm::nop(),
+            asm::nop(),
+            asm::csrw(2, 1),    // csr[2] = 7
+            asm::nop(),
+            asm::csrr(3, 2),    // r3 = csr[2]
+        ];
+        let sim = run_program(&program, 12);
+        let rf = sim.module().find_mem("regfile").unwrap();
+        assert_eq!(sim.mem_word(rf, 3).value(), 7);
+    }
+
+    #[test]
+    fn pending_interrupt_fires_when_enabled() {
+        let module = build_vscale(&VscaleConfig::default());
+        let mut sim = Sim::new(&module);
+        let int_flag = module.find_reg("int_flag").unwrap();
+        // Phase 1: interrupts masked (csr[3] = 0); pulse the interrupt.
+        let mut pcs = Vec::new();
+        for t in 0..6 {
+            sim.set_input("imem_hrdata", Bv::new(16, u64::from(asm::nop())));
+            sim.set_input("interrupt", Bv::bit(t == 3));
+            pcs.push(sim.output("imem_haddr").value());
+            sim.step();
+        }
+        assert!(sim.reg(int_flag).as_bool(), "interrupt stays pending while masked");
+        assert!(pcs.windows(2).all(|w| w[1] == w[0] + 1), "no vectoring while masked: {pcs:?}");
+        // Phase 2: enable interrupts (csr[3] = 1 via r1 = 1; csrw 3, r1).
+        let program = [asm::addi(1, 0, 1), asm::nop(), asm::nop(), asm::csrw(3, 1)];
+        let mut vectored = false;
+        for t in 0..12 {
+            let pc = sim.output("imem_haddr").value();
+            if pc == 0x10 {
+                vectored = true;
+                break;
+            }
+            let instr = program.get(t).copied().unwrap_or(asm::nop());
+            sim.set_input("imem_hrdata", Bv::new(16, u64::from(instr)));
+            sim.set_input("interrupt", Bv::bit(false));
+            sim.step();
+        }
+        assert!(vectored, "pending interrupt must vector once enabled");
+        assert!(!sim.reg(int_flag).as_bool(), "pending flag clears when taken");
+    }
+
+    #[test]
+    fn blackboxed_csr_removes_storage() {
+        let plain = build_vscale(&VscaleConfig::default());
+        let bb = build_vscale(&VscaleConfig { blackbox_csr: true, ..VscaleConfig::default() });
+        assert!(plain.find_mem("csr.file").is_some());
+        assert!(bb.find_mem("csr.file").is_none());
+        assert!(bb.input_index("csr.rdata").is_some());
+        assert!(bb.output_node("csr.to_bb.wdata").is_some());
+        assert!(bb.state_bits() < plain.state_bits());
+    }
+}

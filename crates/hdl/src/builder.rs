@@ -1,0 +1,817 @@
+//! Construction DSL for [`Module`]s.
+//!
+//! [`ModuleBuilder`] is the hardware-construction API the DUT models are
+//! written against (playing the role the RTL source plays in the paper).
+//! Widths are checked at construction time; violations panic with a
+//! descriptive message, mirroring elaboration errors in an HDL compiler.
+
+use crate::bv::Bv;
+use crate::ir::{
+    BinOp, Direction, MemId, Memory, Module, Node, NodeId, OutputPort, Port, RegId, Register,
+    Transaction, WritePort,
+};
+use std::collections::HashMap;
+
+/// Result of instantiating one module inside another: name-keyed handles
+/// into the parent for the child's outputs and state elements.
+#[derive(Clone, Debug, Default)]
+pub struct Instance {
+    /// Child output name → parent node carrying that output.
+    pub outputs: HashMap<String, NodeId>,
+    /// Child register name (unprefixed) → parent register.
+    pub regs: HashMap<String, RegId>,
+    /// Child register name (unprefixed) → parent node reading that register.
+    pub reg_outs: HashMap<String, NodeId>,
+    /// Child memory name (unprefixed) → parent memory.
+    pub mems: HashMap<String, MemId>,
+}
+
+/// Incremental builder for a [`Module`].
+///
+/// # Examples
+///
+/// ```
+/// use autocc_hdl::{Bv, ModuleBuilder};
+///
+/// let mut b = ModuleBuilder::new("counter");
+/// let enable = b.input("enable", 1);
+/// let count = b.reg("count", 8, Bv::zero(8));
+/// let one = b.lit(8, 1);
+/// let next = b.add(count, one);
+/// let next = b.mux(enable, next, count);
+/// b.set_next(count, next);
+/// b.output("value", count);
+/// let module = b.build();
+/// assert_eq!(module.state_bits(), 8);
+/// ```
+pub struct ModuleBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    widths: Vec<u32>,
+    inputs: Vec<Port>,
+    outputs: Vec<OutputPort>,
+    regs: Vec<Register>,
+    /// Node reading each register, so `set_next` can be keyed by that node.
+    reg_read_nodes: Vec<NodeId>,
+    mems: Vec<Memory>,
+    transactions: Vec<Transaction>,
+    scope: Vec<String>,
+}
+
+impl ModuleBuilder {
+    /// Starts building a module called `name`.
+    pub fn new(name: impl Into<String>) -> ModuleBuilder {
+        ModuleBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            widths: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            regs: Vec::new(),
+            reg_read_nodes: Vec::new(),
+            mems: Vec::new(),
+            transactions: Vec::new(),
+            scope: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, node: Node, width: u32) -> NodeId {
+        debug_assert!((1..=64).contains(&width));
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.widths.push(width);
+        id
+    }
+
+    /// Width of an already-created node.
+    pub fn width(&self, id: NodeId) -> u32 {
+        self.widths[id.index()]
+    }
+
+    fn scoped(&self, name: &str) -> String {
+        if self.scope.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{}", self.scope.join("."), name)
+        }
+    }
+
+    /// Enters a hierarchical naming scope (affects subsequently created
+    /// inputs, outputs, registers, and memories).
+    pub fn scope_push(&mut self, name: impl Into<String>) {
+        self.scope.push(name.into());
+    }
+
+    /// Leaves the innermost naming scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn scope_pop(&mut self) {
+        self.scope.pop().expect("scope_pop without matching scope_push");
+    }
+
+    // ------------------------------------------------------------------
+    // Ports and state
+    // ------------------------------------------------------------------
+
+    /// Declares an input port.
+    pub fn input(&mut self, name: &str, width: u32) -> NodeId {
+        let name = self.scoped(name);
+        assert!(
+            !self.inputs.iter().any(|p| p.name == name),
+            "duplicate input {name}"
+        );
+        let port = self.inputs.len();
+        self.inputs.push(Port {
+            name,
+            width,
+            common: false,
+        });
+        self.push(Node::Input { port }, width)
+    }
+
+    /// Declares an input that the AutoCC wrapper must not replicate across
+    /// universes (the paper's `//AutoCC Common` annotation).
+    pub fn input_common(&mut self, name: &str, width: u32) -> NodeId {
+        let id = self.input(name, width);
+        self.inputs.last_mut().expect("just pushed").common = true;
+        id
+    }
+
+    /// Returns the node of an already-declared input port, by full name.
+    pub fn input_node(&self, name: &str) -> Option<NodeId> {
+        let port = self.inputs.iter().position(|p| p.name == name)?;
+        self.nodes
+            .iter()
+            .position(|n| matches!(n, Node::Input { port: p } if *p == port))
+            .map(NodeId::from_index)
+    }
+
+    /// Declares an output port driven by `node`.
+    pub fn output(&mut self, name: &str, node: NodeId) {
+        let name = self.scoped(name);
+        assert!(
+            !self.outputs.iter().any(|o| o.name == name),
+            "duplicate output {name}"
+        );
+        self.outputs.push(OutputPort { name, node });
+    }
+
+    /// Creates a register and returns the node reading its current value.
+    pub fn reg(&mut self, name: &str, width: u32, init: Bv) -> NodeId {
+        assert_eq!(init.width(), width, "register {name}: init width mismatch");
+        let name = self.scoped(name);
+        assert!(
+            !self.regs.iter().any(|r| r.name == name),
+            "duplicate register {name}"
+        );
+        let rid = RegId(self.regs.len() as u32);
+        self.regs.push(Register {
+            name,
+            width,
+            init,
+            next: None,
+        });
+        let node = self.push(Node::RegOut(rid), width);
+        self.reg_read_nodes.push(node);
+        node
+    }
+
+    /// Sets the next-state driver of a register created by [`Self::reg`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is not a register-read node, on width mismatch, or if
+    /// the next-state was already set.
+    pub fn set_next(&mut self, reg: NodeId, next: NodeId) {
+        let rid = match self.nodes[reg.index()] {
+            Node::RegOut(r) => r,
+            _ => panic!("set_next target is not a register"),
+        };
+        let r = &mut self.regs[rid.index()];
+        assert_eq!(
+            self.widths[next.index()],
+            r.width,
+            "register {}: next width mismatch",
+            r.name
+        );
+        assert!(r.next.is_none(), "register {} driven twice", r.name);
+        r.next = Some(next);
+    }
+
+    /// Creates a memory of `depth` words of `width` bits, zero-initialised.
+    pub fn mem(&mut self, name: &str, depth: usize, width: u32) -> MemId {
+        assert!(depth >= 1, "memory {name}: depth must be positive");
+        let name = self.scoped(name);
+        assert!(
+            !self.mems.iter().any(|m| m.name == name),
+            "duplicate memory {name}"
+        );
+        let id = MemId(self.mems.len() as u32);
+        self.mems.push(Memory {
+            name,
+            depth,
+            width,
+            init: vec![Bv::zero(width); depth],
+            writes: Vec::new(),
+        });
+        id
+    }
+
+    /// Overrides the initial contents of a memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` has the wrong length or word width.
+    pub fn mem_init(&mut self, mem: MemId, init: Vec<Bv>) {
+        let m = &mut self.mems[mem.index()];
+        assert_eq!(init.len(), m.depth, "memory {}: bad init length", m.name);
+        for w in &init {
+            assert_eq!(w.width(), m.width, "memory {}: bad init width", m.name);
+        }
+        m.init = init;
+    }
+
+    /// Asynchronous read of `mem` at `addr`.
+    pub fn mem_read(&mut self, mem: MemId, addr: NodeId) -> NodeId {
+        let width = self.mems[mem.index()].width;
+        self.push(Node::MemRead { mem, addr }, width)
+    }
+
+    /// Adds a write port: when `en` is 1 at the clock edge, `mem[addr] = data`.
+    /// Ports added later take priority on address collisions.
+    pub fn mem_write(&mut self, mem: MemId, en: NodeId, addr: NodeId, data: NodeId) {
+        assert_eq!(self.widths[en.index()], 1, "write enable must be 1 bit");
+        let m = &self.mems[mem.index()];
+        assert_eq!(
+            self.widths[data.index()],
+            m.width,
+            "memory {}: write data width mismatch",
+            m.name
+        );
+        self.mems[mem.index()].writes.push(WritePort { en, addr, data });
+    }
+
+    // ------------------------------------------------------------------
+    // Combinational operators
+    // ------------------------------------------------------------------
+
+    /// Constant node.
+    pub fn constant(&mut self, value: Bv) -> NodeId {
+        self.push(Node::Const(value), value.width())
+    }
+
+    /// Constant node from width and raw value.
+    pub fn lit(&mut self, width: u32, value: u64) -> NodeId {
+        self.constant(Bv::new(width, value))
+    }
+
+    fn binary(&mut self, op: BinOp, a: NodeId, b: NodeId) -> NodeId {
+        let (wa, wb) = (self.widths[a.index()], self.widths[b.index()]);
+        let width = match op {
+            BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Add | BinOp::Sub => {
+                assert_eq!(wa, wb, "{op:?}: width mismatch {wa} vs {wb}");
+                wa
+            }
+            BinOp::Eq | BinOp::Ult => {
+                assert_eq!(wa, wb, "{op:?}: width mismatch {wa} vs {wb}");
+                1
+            }
+            BinOp::Shl | BinOp::Shr => wa,
+        };
+        self.push(Node::Binary { op, a, b }, width)
+    }
+
+    /// Bitwise AND.
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.binary(BinOp::And, a, b)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.binary(BinOp::Or, a, b)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.binary(BinOp::Xor, a, b)
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        let w = self.widths[a.index()];
+        self.push(Node::Not(a), w)
+    }
+
+    /// Wrapping addition.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.binary(BinOp::Add, a, b)
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.binary(BinOp::Sub, a, b)
+    }
+
+    /// Equality comparison (1-bit result).
+    pub fn eq(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.binary(BinOp::Eq, a, b)
+    }
+
+    /// Inequality comparison (1-bit result).
+    pub fn ne(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+
+    /// Equality against a constant.
+    pub fn eq_lit(&mut self, a: NodeId, value: u64) -> NodeId {
+        let w = self.widths[a.index()];
+        let c = self.lit(w, value);
+        self.eq(a, c)
+    }
+
+    /// Unsigned less-than (1-bit result).
+    pub fn ult(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.binary(BinOp::Ult, a, b)
+    }
+
+    /// Unsigned less-or-equal (1-bit result).
+    pub fn ule(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let gt = self.binary(BinOp::Ult, b, a);
+        self.not(gt)
+    }
+
+    /// Logical shift left by a variable amount.
+    pub fn shl(&mut self, a: NodeId, amount: NodeId) -> NodeId {
+        self.binary(BinOp::Shl, a, amount)
+    }
+
+    /// Logical shift right by a variable amount.
+    pub fn shr(&mut self, a: NodeId, amount: NodeId) -> NodeId {
+        self.binary(BinOp::Shr, a, amount)
+    }
+
+    /// 2:1 multiplexer `sel ? t : e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sel` is 1 bit wide and `t`/`e` widths match.
+    pub fn mux(&mut self, sel: NodeId, t: NodeId, e: NodeId) -> NodeId {
+        assert_eq!(self.widths[sel.index()], 1, "mux select must be 1 bit");
+        let (wt, we) = (self.widths[t.index()], self.widths[e.index()]);
+        assert_eq!(wt, we, "mux arm width mismatch {wt} vs {we}");
+        self.push(Node::Mux { sel, t, e }, wt)
+    }
+
+    /// Bit slice `a[hi:lo]` (inclusive).
+    pub fn slice(&mut self, a: NodeId, hi: u32, lo: u32) -> NodeId {
+        let w = self.widths[a.index()];
+        assert!(hi >= lo && hi < w, "bad slice [{hi}:{lo}] of width {w}");
+        self.push(Node::Slice { a, hi, lo }, hi - lo + 1)
+    }
+
+    /// Extracts a single bit.
+    pub fn bit(&mut self, a: NodeId, i: u32) -> NodeId {
+        self.slice(a, i, i)
+    }
+
+    /// Concatenation; `hi` supplies the high bits.
+    pub fn concat(&mut self, hi: NodeId, lo: NodeId) -> NodeId {
+        let w = self.widths[hi.index()] + self.widths[lo.index()];
+        assert!(w <= 64, "concat width {w} exceeds 64");
+        self.push(Node::Concat { hi, lo }, w)
+    }
+
+    /// Zero extension.
+    pub fn zext(&mut self, a: NodeId, width: u32) -> NodeId {
+        let w = self.widths[a.index()];
+        assert!(width >= w, "zext target {width} below {w}");
+        if width == w {
+            return a;
+        }
+        self.push(Node::Zext { a, width }, width)
+    }
+
+    /// Sign extension.
+    pub fn sext(&mut self, a: NodeId, width: u32) -> NodeId {
+        let w = self.widths[a.index()];
+        assert!(width >= w, "sext target {width} below {w}");
+        if width == w {
+            return a;
+        }
+        self.push(Node::Sext { a, width }, width)
+    }
+
+    /// OR-reduction: 1 iff any bit of `a` is set.
+    pub fn reduce_or(&mut self, a: NodeId) -> NodeId {
+        self.push(Node::ReduceOr(a), 1)
+    }
+
+    /// AND-reduction: 1 iff all bits of `a` are set.
+    pub fn reduce_and(&mut self, a: NodeId) -> NodeId {
+        self.push(Node::ReduceAnd(a), 1)
+    }
+
+    /// XOR-reduction: parity of `a`.
+    pub fn reduce_xor(&mut self, a: NodeId) -> NodeId {
+        self.push(Node::ReduceXor(a), 1)
+    }
+
+    /// AND of a list of 1-bit nodes (1 for the empty list).
+    pub fn all(&mut self, bits: &[NodeId]) -> NodeId {
+        match bits.split_first() {
+            None => self.lit(1, 1),
+            Some((&first, rest)) => {
+                let mut acc = first;
+                for &b in rest {
+                    acc = self.and(acc, b);
+                }
+                acc
+            }
+        }
+    }
+
+    /// OR of a list of 1-bit nodes (0 for the empty list).
+    pub fn any(&mut self, bits: &[NodeId]) -> NodeId {
+        match bits.split_first() {
+            None => self.lit(1, 0),
+            Some((&first, rest)) => {
+                let mut acc = first;
+                for &b in rest {
+                    acc = self.or(acc, b);
+                }
+                acc
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Interface metadata
+    // ------------------------------------------------------------------
+
+    /// Declares an incoming transaction: `valid` (an input port name)
+    /// governs the listed payload input ports.
+    pub fn transaction_in(&mut self, name: &str, valid: &str, payload: &[&str]) {
+        self.transactions.push(Transaction {
+            name: self.scoped(name),
+            direction: Direction::Input,
+            valid: valid.to_string(),
+            payload: payload.iter().map(|s| s.to_string()).collect(),
+        });
+    }
+
+    /// Declares an outgoing transaction: `valid` (an output port name)
+    /// governs the listed payload output ports.
+    pub fn transaction_out(&mut self, name: &str, valid: &str, payload: &[&str]) {
+        self.transactions.push(Transaction {
+            name: self.scoped(name),
+            direction: Direction::Output,
+            valid: valid.to_string(),
+            payload: payload.iter().map(|s| s.to_string()).collect(),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Hierarchy
+    // ------------------------------------------------------------------
+
+    /// Copies `child` into this module under the naming scope `prefix`,
+    /// substituting the child's input ports with the given parent nodes.
+    ///
+    /// Returns handles to the child's outputs and state inside the parent.
+    /// Transactions of the child are not propagated (they describe the
+    /// child's own boundary, not the parent's).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input is missing from `inputs` or has the wrong width.
+    pub fn instantiate(
+        &mut self,
+        child: &Module,
+        prefix: &str,
+        inputs: &HashMap<String, NodeId>,
+    ) -> Instance {
+        let mut node_map: Vec<NodeId> = Vec::with_capacity(child.nodes.len());
+        let mut instance = Instance::default();
+
+        // Create all child registers and memories first so RegOut/MemRead
+        // nodes can reference them during the copy.
+        let reg_base = self.regs.len();
+        for r in &child.regs {
+            let name = self.scoped(&format!("{prefix}.{}", r.name));
+            assert!(
+                !self.regs.iter().any(|x| x.name == name),
+                "duplicate register {name}"
+            );
+            self.regs.push(Register {
+                name,
+                width: r.width,
+                init: r.init,
+                next: None,
+            });
+            self.reg_read_nodes.push(NodeId(u32::MAX)); // patched below
+        }
+        let mem_base = self.mems.len();
+        for m in &child.mems {
+            let name = self.scoped(&format!("{prefix}.{}", m.name));
+            assert!(
+                !self.mems.iter().any(|x| x.name == name),
+                "duplicate memory {name}"
+            );
+            self.mems.push(Memory {
+                name,
+                depth: m.depth,
+                width: m.width,
+                init: m.init.clone(),
+                writes: Vec::new(),
+            });
+        }
+
+        for (i, node) in child.nodes.iter().enumerate() {
+            let mapped = match node {
+                Node::Input { port } => {
+                    let p = &child.inputs[*port];
+                    let supplied = *inputs.get(&p.name).unwrap_or_else(|| {
+                        panic!("instantiate {prefix}: missing input {}", p.name)
+                    });
+                    assert_eq!(
+                        self.widths[supplied.index()],
+                        p.width,
+                        "instantiate {prefix}: width mismatch on input {}",
+                        p.name
+                    );
+                    supplied
+                }
+                Node::Const(bv) => self.constant(*bv),
+                Node::Not(a) => {
+                    let a = node_map[a.index()];
+                    self.not(a)
+                }
+                Node::Binary { op, a, b } => {
+                    let (a, b) = (node_map[a.index()], node_map[b.index()]);
+                    self.binary(*op, a, b)
+                }
+                Node::Mux { sel, t, e } => {
+                    let (sel, t, e) = (
+                        node_map[sel.index()],
+                        node_map[t.index()],
+                        node_map[e.index()],
+                    );
+                    self.mux(sel, t, e)
+                }
+                Node::Slice { a, hi, lo } => {
+                    let a = node_map[a.index()];
+                    self.slice(a, *hi, *lo)
+                }
+                Node::Concat { hi, lo } => {
+                    let (hi, lo) = (node_map[hi.index()], node_map[lo.index()]);
+                    self.concat(hi, lo)
+                }
+                Node::Zext { a, width } => {
+                    let a = node_map[a.index()];
+                    self.zext(a, *width)
+                }
+                Node::Sext { a, width } => {
+                    let a = node_map[a.index()];
+                    self.sext(a, *width)
+                }
+                Node::ReduceOr(a) => {
+                    let a = node_map[a.index()];
+                    self.reduce_or(a)
+                }
+                Node::ReduceAnd(a) => {
+                    let a = node_map[a.index()];
+                    self.reduce_and(a)
+                }
+                Node::ReduceXor(a) => {
+                    let a = node_map[a.index()];
+                    self.reduce_xor(a)
+                }
+                Node::RegOut(r) => {
+                    let rid = RegId((reg_base + r.index()) as u32);
+                    let width = self.regs[rid.index()].width;
+                    let nid = self.push(Node::RegOut(rid), width);
+                    self.reg_read_nodes[rid.index()] = nid;
+                    instance
+                        .reg_outs
+                        .insert(child.regs[r.index()].name.clone(), nid);
+                    nid
+                }
+                Node::MemRead { mem, addr } => {
+                    let addr = node_map[addr.index()];
+                    let mid = MemId((mem_base + mem.index()) as u32);
+                    self.mem_read(mid, addr)
+                }
+            };
+            debug_assert_eq!(node_map.len(), i);
+            node_map.push(mapped);
+        }
+
+        // Patch register next-state drivers and memory write ports.
+        for (i, r) in child.regs.iter().enumerate() {
+            let next = r
+                .next
+                .unwrap_or_else(|| panic!("instantiate {prefix}: register {} undriven", r.name));
+            self.regs[reg_base + i].next = Some(node_map[next.index()]);
+            instance
+                .regs
+                .insert(r.name.clone(), RegId((reg_base + i) as u32));
+        }
+        for (i, m) in child.mems.iter().enumerate() {
+            for w in &m.writes {
+                self.mems[mem_base + i].writes.push(WritePort {
+                    en: node_map[w.en.index()],
+                    addr: node_map[w.addr.index()],
+                    data: node_map[w.data.index()],
+                });
+            }
+            instance
+                .mems
+                .insert(m.name.clone(), MemId((mem_base + i) as u32));
+        }
+        for o in &child.outputs {
+            instance
+                .outputs
+                .insert(o.name.clone(), node_map[o.node.index()]);
+        }
+        instance
+    }
+
+    /// Instantiates `child` as a *blackbox* (Sec. 3.4 of the paper): its
+    /// internals vanish from the verification model. Each child output
+    /// becomes a fresh free input of this module (named
+    /// `<prefix>.<output>`), and each wire feeding the blackbox is exposed
+    /// as an output of this module (named `<prefix>.to_bb.<input>`) so the
+    /// AutoCC properties check it for equality across universes.
+    pub fn instantiate_blackbox(
+        &mut self,
+        child: &Module,
+        prefix: &str,
+        inputs: &HashMap<String, NodeId>,
+    ) -> Instance {
+        let mut instance = Instance::default();
+        for p in &child.inputs {
+            let supplied = *inputs
+                .get(&p.name)
+                .unwrap_or_else(|| panic!("blackbox {prefix}: missing input {}", p.name));
+            assert_eq!(
+                self.widths[supplied.index()],
+                p.width,
+                "blackbox {prefix}: width mismatch on input {}",
+                p.name
+            );
+            self.output(&format!("{prefix}.to_bb.{}", p.name), supplied);
+        }
+        for o in &child.outputs {
+            let width = child.widths[o.node.index()];
+            let free = self.input(&format!("{prefix}.{}", o.name), width);
+            instance.outputs.insert(o.name.clone(), free);
+        }
+        instance
+    }
+
+    /// Returns a node reading register `rid`, reusing the existing read
+    /// node when one exists (registers are only ever read through one node).
+    pub fn read_reg(&mut self, rid: RegId) -> NodeId {
+        let existing = self.reg_read_nodes[rid.index()];
+        if existing != NodeId(u32::MAX) {
+            return existing;
+        }
+        let width = self.regs[rid.index()].width;
+        let node = self.push(Node::RegOut(rid), width);
+        self.reg_read_nodes[rid.index()] = node;
+        node
+    }
+
+    /// Reads word `index` of memory `mid` through a constant address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the memory depth.
+    pub fn read_mem_word(&mut self, mid: MemId, index: usize) -> NodeId {
+        let m = &self.mems[mid.index()];
+        assert!(index < m.depth, "memory {}: word {index} out of range", m.name);
+        let addr_width =
+            (usize::BITS - m.depth.next_power_of_two().leading_zeros()).clamp(1, 64);
+        let addr = self.lit(addr_width, index as u64);
+        self.mem_read(mid, addr)
+    }
+
+    /// Depth of memory `mid` in words.
+    pub fn mem_depth(&self, mid: MemId) -> usize {
+        self.mems[mid.index()].depth
+    }
+
+    /// Finalises and validates the module.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed designs (see [`Module::validate`]), most commonly
+    /// a register whose next-state was never set.
+    pub fn build(self) -> Module {
+        assert!(self.scope.is_empty(), "unbalanced scope_push/scope_pop");
+        let module = Module {
+            name: self.name,
+            nodes: self.nodes,
+            widths: self.widths,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            regs: self.regs,
+            mems: self.mems,
+            transactions: self.transactions,
+        };
+        module.validate();
+        module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter() -> Module {
+        let mut b = ModuleBuilder::new("counter");
+        let en = b.input("en", 1);
+        let c = b.reg("count", 4, Bv::zero(4));
+        let one = b.lit(4, 1);
+        let inc = b.add(c, one);
+        let next = b.mux(en, inc, c);
+        b.set_next(c, next);
+        b.output("value", c);
+        b.build()
+    }
+
+    #[test]
+    fn builds_counter() {
+        let m = counter();
+        assert_eq!(m.inputs().len(), 1);
+        assert_eq!(m.outputs().len(), 1);
+        assert_eq!(m.regs().len(), 1);
+        assert_eq!(m.state_bits(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no next-state driver")]
+    fn undriven_register_panics() {
+        let mut b = ModuleBuilder::new("bad");
+        let _ = b.reg("r", 4, Bv::zero(4));
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut b = ModuleBuilder::new("bad");
+        let a = b.input("a", 4);
+        let c = b.input("b", 5);
+        let _ = b.add(a, c);
+    }
+
+    #[test]
+    fn instantiate_copies_state() {
+        let child = counter();
+        let mut b = ModuleBuilder::new("parent");
+        let en = b.input("en", 1);
+        let mut wires = HashMap::new();
+        wires.insert("en".to_string(), en);
+        let inst = b.instantiate(&child, "u0", &wires);
+        let inst2 = b.instantiate(&child, "u1", &wires);
+        b.output("v0", inst.outputs["value"]);
+        b.output("v1", inst2.outputs["value"]);
+        let m = b.build();
+        assert_eq!(m.regs().len(), 2);
+        assert!(m.find_reg("u0.count").is_some());
+        assert!(m.find_reg("u1.count").is_some());
+        assert_eq!(m.state_bits(), 8);
+    }
+
+    #[test]
+    fn blackbox_exposes_boundary() {
+        let child = counter();
+        let mut b = ModuleBuilder::new("parent");
+        let en = b.input("en", 1);
+        let mut wires = HashMap::new();
+        wires.insert("en".to_string(), en);
+        let inst = b.instantiate_blackbox(&child, "bb", &wires);
+        b.output("v", inst.outputs["value"]);
+        let m = b.build();
+        // Child register is gone; its output became a free input.
+        assert!(m.find_reg("bb.count").is_none());
+        assert!(m.input_index("bb.value").is_some());
+        assert!(m.output_node("bb.to_bb.en").is_some());
+        assert_eq!(m.state_bits(), 0);
+    }
+
+    #[test]
+    fn scopes_prefix_names() {
+        let mut b = ModuleBuilder::new("m");
+        b.scope_push("frontend");
+        let r = b.reg("pc", 8, Bv::zero(8));
+        b.scope_pop();
+        b.set_next(r, r);
+        let m = b.build();
+        assert!(m.find_reg("frontend.pc").is_some());
+    }
+}

@@ -1,0 +1,339 @@
+//! Fixed-width bit-vector values.
+//!
+//! [`Bv`] is the value domain of the netlist simulator: an unsigned integer
+//! of 1–64 bits with wrapping arithmetic, matching two-state RTL semantics.
+
+use std::fmt;
+
+/// Maximum supported bit width.
+pub const MAX_WIDTH: u32 = 64;
+
+/// A bit-vector value of fixed width (1..=64 bits).
+///
+/// All operations respect the width: arithmetic wraps, shifts discard bits
+/// shifted past the width, and the invariant `value < 2^width` always holds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bv {
+    width: u32,
+    value: u64,
+}
+
+#[allow(clippy::should_implement_trait)] // `add`/`sub`/`not`/`shl`/`shr` mirror
+// the netlist operator names; the std operator traits would hide the
+// width-checking panics behind operator sugar.
+impl Bv {
+    /// Creates a bit-vector of `width` bits holding `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_WIDTH`], or if `value`
+    /// does not fit in `width` bits.
+    pub fn new(width: u32, value: u64) -> Bv {
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "bit-vector width {width} out of range 1..={MAX_WIDTH}"
+        );
+        assert!(
+            width == 64 || value < 1u64 << width,
+            "value {value:#x} does not fit in {width} bits"
+        );
+        Bv { width, value }
+    }
+
+    /// Creates a bit-vector truncating `value` to `width` bits.
+    pub fn masked(width: u32, value: u64) -> Bv {
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "bit-vector width {width} out of range 1..={MAX_WIDTH}"
+        );
+        Bv {
+            width,
+            value: value & Self::mask(width),
+        }
+    }
+
+    /// The all-zeros vector of `width` bits.
+    pub fn zero(width: u32) -> Bv {
+        Bv::new(width, 0)
+    }
+
+    /// The all-ones vector of `width` bits.
+    pub fn ones(width: u32) -> Bv {
+        Bv::masked(width, u64::MAX)
+    }
+
+    /// Single-bit vector from a boolean.
+    pub fn bit(b: bool) -> Bv {
+        Bv::new(1, b as u64)
+    }
+
+    /// The bit mask for `width` bits.
+    #[inline]
+    pub fn mask(width: u32) -> u64 {
+        if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// Width in bits.
+    #[inline]
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// The raw value (always `< 2^width`).
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.value
+    }
+
+    /// Interprets the vector as a boolean (true iff non-zero).
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        self.value != 0
+    }
+
+    /// Extracts bit `i` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn get_bit(self, i: u32) -> bool {
+        assert!(i < self.width, "bit {i} out of range for width {}", self.width);
+        self.value >> i & 1 == 1
+    }
+
+    fn same_width(self, other: Bv) -> u32 {
+        assert_eq!(
+            self.width, other.width,
+            "width mismatch: {} vs {}",
+            self.width, other.width
+        );
+        self.width
+    }
+
+    /// Bitwise AND. Panics on width mismatch.
+    pub fn and(self, other: Bv) -> Bv {
+        Bv::new(self.same_width(other), self.value & other.value)
+    }
+
+    /// Bitwise OR. Panics on width mismatch.
+    pub fn or(self, other: Bv) -> Bv {
+        Bv::new(self.same_width(other), self.value | other.value)
+    }
+
+    /// Bitwise XOR. Panics on width mismatch.
+    pub fn xor(self, other: Bv) -> Bv {
+        Bv::new(self.same_width(other), self.value ^ other.value)
+    }
+
+    /// Bitwise NOT.
+    pub fn not(self) -> Bv {
+        Bv::masked(self.width, !self.value)
+    }
+
+    /// Wrapping addition. Panics on width mismatch.
+    pub fn add(self, other: Bv) -> Bv {
+        Bv::masked(self.same_width(other), self.value.wrapping_add(other.value))
+    }
+
+    /// Wrapping subtraction. Panics on width mismatch.
+    pub fn sub(self, other: Bv) -> Bv {
+        Bv::masked(self.same_width(other), self.value.wrapping_sub(other.value))
+    }
+
+    /// Equality as a 1-bit vector. Panics on width mismatch.
+    pub fn eq_bv(self, other: Bv) -> Bv {
+        self.same_width(other);
+        Bv::bit(self.value == other.value)
+    }
+
+    /// Unsigned less-than as a 1-bit vector. Panics on width mismatch.
+    pub fn ult(self, other: Bv) -> Bv {
+        self.same_width(other);
+        Bv::bit(self.value < other.value)
+    }
+
+    /// Logical shift left by a (possibly wider) shift amount.
+    pub fn shl(self, amount: Bv) -> Bv {
+        if amount.value >= u64::from(self.width) {
+            Bv::zero(self.width)
+        } else {
+            Bv::masked(self.width, self.value << amount.value)
+        }
+    }
+
+    /// Logical shift right by a (possibly wider) shift amount.
+    pub fn shr(self, amount: Bv) -> Bv {
+        if amount.value >= u64::from(self.width) {
+            Bv::zero(self.width)
+        } else {
+            Bv::new(self.width, self.value >> amount.value)
+        }
+    }
+
+    /// Extracts bits `hi..=lo` into a `(hi - lo + 1)`-bit vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= width`.
+    pub fn slice(self, hi: u32, lo: u32) -> Bv {
+        assert!(hi >= lo && hi < self.width, "bad slice [{hi}:{lo}] of width {}", self.width);
+        let w = hi - lo + 1;
+        Bv::masked(w, self.value >> lo)
+    }
+
+    /// Concatenation: `self` becomes the high bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds [`MAX_WIDTH`].
+    pub fn concat(self, low: Bv) -> Bv {
+        let w = self.width + low.width;
+        assert!(w <= MAX_WIDTH, "concat width {w} exceeds {MAX_WIDTH}");
+        Bv::new(w, self.value << low.width | low.value)
+    }
+
+    /// Zero-extends to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the current width.
+    pub fn zext(self, width: u32) -> Bv {
+        assert!(width >= self.width, "zext target {width} below {}", self.width);
+        Bv::new(width, self.value)
+    }
+
+    /// Sign-extends to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the current width.
+    pub fn sext(self, width: u32) -> Bv {
+        assert!(width >= self.width, "sext target {width} below {}", self.width);
+        if self.get_bit(self.width - 1) {
+            let ext = Self::mask(width) & !Self::mask(self.width);
+            Bv::new(width, self.value | ext)
+        } else {
+            Bv::new(width, self.value)
+        }
+    }
+
+    /// OR-reduction: 1 iff any bit set.
+    pub fn reduce_or(self) -> Bv {
+        Bv::bit(self.value != 0)
+    }
+
+    /// AND-reduction: 1 iff all bits set.
+    pub fn reduce_and(self) -> Bv {
+        Bv::bit(self.value == Self::mask(self.width))
+    }
+
+    /// XOR-reduction: parity of the bits.
+    pub fn reduce_xor(self) -> Bv {
+        Bv::bit(self.value.count_ones() % 2 == 1)
+    }
+}
+
+impl fmt::Debug for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h{:x}", self.width, self.value)
+    }
+}
+
+impl fmt::Display for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h{:x}", self.width, self.value)
+    }
+}
+
+impl fmt::LowerHex for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.value, f)
+    }
+}
+
+impl fmt::Binary for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.value, f)
+    }
+}
+
+impl From<bool> for Bv {
+    fn from(b: bool) -> Bv {
+        Bv::bit(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_masks() {
+        assert_eq!(Bv::new(8, 0xff).value(), 0xff);
+        assert_eq!(Bv::masked(4, 0x1f).value(), 0xf);
+        assert_eq!(Bv::ones(3).value(), 0b111);
+        assert_eq!(Bv::zero(64).value(), 0);
+        assert_eq!(Bv::mask(64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflow_panics() {
+        Bv::new(4, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let _ = Bv::new(4, 1).add(Bv::new(5, 1));
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let a = Bv::new(4, 0xf);
+        let one = Bv::new(4, 1);
+        assert_eq!(a.add(one), Bv::zero(4));
+        assert_eq!(Bv::zero(4).sub(one), Bv::ones(4));
+    }
+
+    #[test]
+    fn shifts_saturate() {
+        let a = Bv::new(8, 0b1010_0101);
+        assert_eq!(a.shl(Bv::new(4, 8)).value(), 0);
+        assert_eq!(a.shr(Bv::new(8, 200)).value(), 0);
+        assert_eq!(a.shl(Bv::new(3, 1)).value(), 0b0100_1010);
+        assert_eq!(a.shr(Bv::new(3, 1)).value(), 0b0101_0010);
+    }
+
+    #[test]
+    fn slice_concat_extend() {
+        let a = Bv::new(8, 0xa5);
+        assert_eq!(a.slice(7, 4).value(), 0xa);
+        assert_eq!(a.slice(3, 0).value(), 0x5);
+        assert_eq!(a.slice(7, 4).concat(a.slice(3, 0)), a);
+        assert_eq!(Bv::new(4, 0x8).sext(8).value(), 0xf8);
+        assert_eq!(Bv::new(4, 0x7).sext(8).value(), 0x07);
+        assert_eq!(Bv::new(4, 0x8).zext(8).value(), 0x08);
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(Bv::new(4, 0).reduce_or(), Bv::bit(false));
+        assert_eq!(Bv::new(4, 2).reduce_or(), Bv::bit(true));
+        assert_eq!(Bv::new(4, 0xf).reduce_and(), Bv::bit(true));
+        assert_eq!(Bv::new(4, 0x7).reduce_and(), Bv::bit(false));
+        assert_eq!(Bv::new(4, 0b0110).reduce_xor(), Bv::bit(false));
+        assert_eq!(Bv::new(4, 0b0111).reduce_xor(), Bv::bit(true));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(Bv::new(4, 3).ult(Bv::new(4, 5)), Bv::bit(true));
+        assert_eq!(Bv::new(4, 5).ult(Bv::new(4, 5)), Bv::bit(false));
+        assert_eq!(Bv::new(4, 5).eq_bv(Bv::new(4, 5)), Bv::bit(true));
+    }
+}

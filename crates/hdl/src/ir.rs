@@ -1,0 +1,466 @@
+//! Word-level netlist intermediate representation.
+//!
+//! A [`Module`] is a flat directed acyclic graph of combinational [`Node`]s
+//! over primary inputs, register outputs, and memory reads, plus the state
+//! tables (registers, memories) and interface metadata (ports, transactions)
+//! that the AutoCC testbench generator consumes.
+//!
+//! The only sequential elements are registers and memories; their next-state
+//! functions reference combinational nodes, which keeps the graph acyclic
+//! and lets both the simulator and the bit-blaster evaluate nodes in
+//! creation order.
+
+use crate::bv::Bv;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to a combinational node within a [`Module`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Dense index of the node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a handle from a dense index into [`Module::nodes`].
+    /// Only meaningful for the module the index came from.
+    #[inline]
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Handle to a register within a [`Module`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct RegId(pub(crate) u32);
+
+impl RegId {
+    /// Dense index of the register.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a handle from a dense index into [`Module::regs`].
+    /// Only meaningful for the module the index came from.
+    #[inline]
+    pub fn from_index(index: usize) -> RegId {
+        RegId(index as u32)
+    }
+}
+
+/// Handle to a memory within a [`Module`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct MemId(pub(crate) u32);
+
+impl MemId {
+    /// Dense index of the memory.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a handle from a dense index into [`Module::mems`].
+    /// Only meaningful for the module the index came from.
+    #[inline]
+    pub fn from_index(index: usize) -> MemId {
+        MemId(index as u32)
+    }
+}
+
+/// Two-operand combinational operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Equality (1-bit result).
+    Eq,
+    /// Unsigned less-than (1-bit result).
+    Ult,
+    /// Logical shift left (shift amount is the second operand).
+    Shl,
+    /// Logical shift right (shift amount is the second operand).
+    Shr,
+}
+
+/// A combinational node.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Node {
+    /// Primary input; `port` indexes [`Module::inputs`].
+    Input {
+        /// Index into the module's input port table.
+        port: usize,
+    },
+    /// Constant value.
+    Const(Bv),
+    /// Bitwise NOT.
+    Not(NodeId),
+    /// Binary operator.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        a: NodeId,
+        /// Right operand (shift amount for shifts).
+        b: NodeId,
+    },
+    /// 2:1 multiplexer: `sel ? t : e` (`sel` is 1 bit wide).
+    Mux {
+        /// 1-bit select.
+        sel: NodeId,
+        /// Value when `sel` is 1.
+        t: NodeId,
+        /// Value when `sel` is 0.
+        e: NodeId,
+    },
+    /// Bit slice `a[hi:lo]`.
+    Slice {
+        /// Source node.
+        a: NodeId,
+        /// High bit (inclusive).
+        hi: u32,
+        /// Low bit (inclusive).
+        lo: u32,
+    },
+    /// Concatenation; `hi` supplies the high bits.
+    Concat {
+        /// High part.
+        hi: NodeId,
+        /// Low part.
+        lo: NodeId,
+    },
+    /// Zero extension to `width`.
+    Zext {
+        /// Source node.
+        a: NodeId,
+        /// Target width.
+        width: u32,
+    },
+    /// Sign extension to `width`.
+    Sext {
+        /// Source node.
+        a: NodeId,
+        /// Target width.
+        width: u32,
+    },
+    /// OR-reduction to 1 bit.
+    ReduceOr(NodeId),
+    /// AND-reduction to 1 bit.
+    ReduceAnd(NodeId),
+    /// XOR-reduction (parity) to 1 bit.
+    ReduceXor(NodeId),
+    /// Current-cycle output of a register.
+    RegOut(RegId),
+    /// Asynchronous (combinational) memory read.
+    MemRead {
+        /// The memory.
+        mem: MemId,
+        /// Read address.
+        addr: NodeId,
+    },
+}
+
+/// An input port of a module.
+#[derive(Clone, Debug)]
+pub struct Port {
+    /// Hierarchical signal name.
+    pub name: String,
+    /// Width in bits.
+    pub width: u32,
+    /// `true` when the AutoCC wrapper should *not* replicate this signal
+    /// across universes (the paper's `//AutoCC Common` annotation).
+    pub common: bool,
+}
+
+/// An output port of a module.
+#[derive(Clone, Debug)]
+pub struct OutputPort {
+    /// Hierarchical signal name.
+    pub name: String,
+    /// The node driving the output.
+    pub node: NodeId,
+}
+
+/// A register (flip-flop vector) with its reset value and next-state driver.
+#[derive(Clone, Debug)]
+pub struct Register {
+    /// Hierarchical signal name.
+    pub name: String,
+    /// Width in bits.
+    pub width: u32,
+    /// Reset/initial value.
+    pub init: Bv,
+    /// Node computing the next-cycle value. `None` only while building.
+    pub next: Option<NodeId>,
+}
+
+/// A write port of a memory; write ports later in the list take priority.
+#[derive(Clone, Debug)]
+pub struct WritePort {
+    /// 1-bit write enable.
+    pub en: NodeId,
+    /// Write address.
+    pub addr: NodeId,
+    /// Write data.
+    pub data: NodeId,
+}
+
+/// A small word-addressed memory (register file, cache array, TLB, ...).
+#[derive(Clone, Debug)]
+pub struct Memory {
+    /// Hierarchical name.
+    pub name: String,
+    /// Number of words.
+    pub depth: usize,
+    /// Word width in bits.
+    pub width: u32,
+    /// Initial contents (length `depth`).
+    pub init: Vec<Bv>,
+    /// Write ports, applied in order each cycle (later ports win).
+    pub writes: Vec<WritePort>,
+}
+
+/// Direction of a transaction at the module boundary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Into the module.
+    Input,
+    /// Out of the module.
+    Output,
+}
+
+/// A valid-governed signal group at the interface (Sec. 3.3.2 of the paper):
+/// the payload is only meaningful while `valid` is asserted, so the AutoCC
+/// properties gate payload equality on validity.
+#[derive(Clone, Debug)]
+pub struct Transaction {
+    /// Transaction name.
+    pub name: String,
+    /// Whether the group enters or leaves the module.
+    pub direction: Direction,
+    /// Port name of the 1-bit valid signal.
+    pub valid: String,
+    /// Port names of the payload signals.
+    pub payload: Vec<String>,
+}
+
+/// A complete sequential design: the AutoCC design under test (DUT).
+#[derive(Clone, Debug)]
+pub struct Module {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) widths: Vec<u32>,
+    pub(crate) inputs: Vec<Port>,
+    pub(crate) outputs: Vec<OutputPort>,
+    pub(crate) regs: Vec<Register>,
+    pub(crate) mems: Vec<Memory>,
+    pub(crate) transactions: Vec<Transaction>,
+}
+
+impl Module {
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All combinational nodes, indexable by [`NodeId::index`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Width of a node's value in bits.
+    pub fn width(&self, id: NodeId) -> u32 {
+        self.widths[id.index()]
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Input ports in declaration order.
+    pub fn inputs(&self) -> &[Port] {
+        &self.inputs
+    }
+
+    /// Output ports in declaration order.
+    pub fn outputs(&self) -> &[OutputPort] {
+        &self.outputs
+    }
+
+    /// Registers in declaration order.
+    pub fn regs(&self) -> &[Register] {
+        &self.regs
+    }
+
+    /// Memories in declaration order.
+    pub fn mems(&self) -> &[Memory] {
+        &self.mems
+    }
+
+    /// Interface transactions.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// Index of the input port named `name`.
+    pub fn input_index(&self, name: &str) -> Option<usize> {
+        self.inputs.iter().position(|p| p.name == name)
+    }
+
+    /// The node driving the output named `name`.
+    pub fn output_node(&self, name: &str) -> Option<NodeId> {
+        self.outputs
+            .iter()
+            .find(|o| o.name == name)
+            .map(|o| o.node)
+    }
+
+    /// The register named `name`.
+    pub fn find_reg(&self, name: &str) -> Option<RegId> {
+        self.regs
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| RegId(i as u32))
+    }
+
+    /// The memory named `name`.
+    pub fn find_mem(&self, name: &str) -> Option<MemId> {
+        self.mems
+            .iter()
+            .position(|m| m.name == name)
+            .map(|i| MemId(i as u32))
+    }
+
+    /// Registers whose hierarchical name starts with `prefix`.
+    pub fn regs_with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = RegId> + 'a {
+        self.regs
+            .iter()
+            .enumerate()
+            .filter(move |(_, r)| r.name.starts_with(prefix))
+            .map(|(i, _)| RegId(i as u32))
+    }
+
+    /// Total state bits (registers plus memories) — the paper's measure of
+    /// FPV hardness.
+    pub fn state_bits(&self) -> usize {
+        let reg_bits: usize = self.regs.iter().map(|r| r.width as usize).sum();
+        let mem_bits: usize = self
+            .mems
+            .iter()
+            .map(|m| m.depth * m.width as usize)
+            .sum();
+        reg_bits + mem_bits
+    }
+
+    /// Maps node id to a human-readable description (for traces).
+    pub fn describe(&self, id: NodeId) -> String {
+        match &self.nodes[id.index()] {
+            Node::Input { port } => format!("input {}", self.inputs[*port].name),
+            Node::Const(bv) => format!("const {bv}"),
+            Node::RegOut(r) => format!("reg {}", self.regs[r.index()].name),
+            Node::MemRead { mem, .. } => format!("read {}", self.mems[mem.index()].name),
+            other => format!("{other:?}"),
+        }
+    }
+
+    /// Checks internal consistency; called by the builder and useful after
+    /// hand-written transforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on malformed modules (dangling
+    /// node references, unset register next-state, width violations).
+    pub fn validate(&self) {
+        let n = self.nodes.len();
+        let check = |id: NodeId, ctx: &str| {
+            assert!(id.index() < n, "{ctx}: dangling node reference {id:?}");
+        };
+        for (i, node) in self.nodes.iter().enumerate() {
+            let ctx = format!("node n{i}");
+            match node {
+                Node::Input { port } => assert!(*port < self.inputs.len(), "{ctx}: bad port"),
+                Node::Const(_) => {}
+                Node::Not(a)
+                | Node::Zext { a, .. }
+                | Node::Sext { a, .. }
+                | Node::Slice { a, .. }
+                | Node::ReduceOr(a)
+                | Node::ReduceAnd(a)
+                | Node::ReduceXor(a) => check(*a, &ctx),
+                Node::Binary { a, b, .. } | Node::Concat { hi: a, lo: b } => {
+                    check(*a, &ctx);
+                    check(*b, &ctx);
+                }
+                Node::Mux { sel, t, e } => {
+                    check(*sel, &ctx);
+                    check(*t, &ctx);
+                    check(*e, &ctx);
+                    assert_eq!(self.widths[sel.index()], 1, "{ctx}: mux select not 1 bit");
+                }
+                Node::RegOut(r) => assert!(r.index() < self.regs.len(), "{ctx}: bad reg"),
+                Node::MemRead { mem, addr } => {
+                    assert!(mem.index() < self.mems.len(), "{ctx}: bad mem");
+                    check(*addr, &ctx);
+                }
+            }
+        }
+        for r in &self.regs {
+            let next = r
+                .next
+                .unwrap_or_else(|| panic!("register {} has no next-state driver", r.name));
+            assert_eq!(
+                self.widths[next.index()],
+                r.width,
+                "register {}: next-state width mismatch",
+                r.name
+            );
+        }
+        for m in &self.mems {
+            assert_eq!(m.init.len(), m.depth, "memory {}: bad init length", m.name);
+            for w in &m.writes {
+                assert_eq!(self.widths[w.en.index()], 1, "memory {}: enable not 1 bit", m.name);
+                assert_eq!(
+                    self.widths[w.data.index()],
+                    m.width,
+                    "memory {}: write data width mismatch",
+                    m.name
+                );
+            }
+        }
+        let mut seen = HashMap::new();
+        for o in &self.outputs {
+            check(o.node, &format!("output {}", o.name));
+            if let Some(_prev) = seen.insert(&o.name, ()) {
+                panic!("duplicate output name {}", o.name);
+            }
+        }
+        for t in &self.transactions {
+            let lookup = |pname: &str| match t.direction {
+                Direction::Input => self.input_index(pname).is_some(),
+                Direction::Output => self.output_node(pname).is_some(),
+            };
+            assert!(lookup(&t.valid), "transaction {}: unknown valid {}", t.name, t.valid);
+            for p in &t.payload {
+                assert!(lookup(p), "transaction {}: unknown payload {}", t.name, p);
+            }
+        }
+    }
+}

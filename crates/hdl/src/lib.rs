@@ -1,0 +1,69 @@
+//! # autocc-hdl
+//!
+//! Word-level netlist infrastructure for the AutoCC reproduction
+//! (Orenes-Vera et al., MICRO 2023): a register-transfer-level
+//! intermediate representation, a hardware-construction DSL, a
+//! cycle-accurate interpreter, and VCD waveform output.
+//!
+//! In the paper, designs under test (DUTs) are SystemVerilog projects and
+//! interface metadata is recovered by parsing RTL with AutoSVA. Here, DUTs
+//! are built programmatically with [`ModuleBuilder`], which records the
+//! same metadata (ports, valid/payload transactions, `common` signals) as
+//! the design is constructed — so the AutoCC testbench generator in
+//! `autocc-core` still needs nothing beyond a handle to the [`Module`].
+//!
+//! ## Layers
+//!
+//! * [`Bv`] — fixed-width bit-vector values with RTL semantics.
+//! * [`Module`]/[`Node`] — a flat, acyclic word-level netlist with
+//!   registers and word-addressed memories as the only sequential state.
+//! * [`ModuleBuilder`] — width-checked construction DSL with hierarchy
+//!   (child modules are *instantiated*, flattening into the parent) and
+//!   blackboxing (Sec. 3.4 of the paper).
+//! * [`Sim`] — cycle-accurate interpreter used for system-level exploit
+//!   simulation and for replay-validating model-checker traces.
+//! * [`Waveform`] — trace capture with VCD and ASCII rendering.
+//!
+//! ## Example
+//!
+//! ```
+//! use autocc_hdl::{Bv, ModuleBuilder, Sim};
+//!
+//! // A 4-bit accumulator with an enable.
+//! let mut b = ModuleBuilder::new("acc");
+//! let en = b.input("en", 1);
+//! let d = b.input("d", 4);
+//! let acc = b.reg("acc", 4, Bv::zero(4));
+//! let sum = b.add(acc, d);
+//! let next = b.mux(en, sum, acc);
+//! b.set_next(acc, next);
+//! b.output("q", acc);
+//! let m = b.build();
+//!
+//! let mut sim = Sim::new(&m);
+//! sim.set_input("en", Bv::bit(true));
+//! sim.set_input("d", Bv::new(4, 3));
+//! sim.step();
+//! sim.step();
+//! assert_eq!(sim.output("q").value(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod bv;
+mod ir;
+mod sim;
+mod vcd;
+mod verilog;
+
+pub use builder::{Instance, ModuleBuilder};
+pub use bv::{Bv, MAX_WIDTH};
+pub use ir::{
+    BinOp, Direction, MemId, Memory, Module, Node, NodeId, OutputPort, Port, RegId, Register,
+    Transaction, WritePort,
+};
+pub use sim::Sim;
+pub use vcd::Waveform;
+pub use verilog::to_verilog;

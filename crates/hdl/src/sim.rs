@@ -1,0 +1,379 @@
+//! Cycle-accurate netlist interpreter.
+//!
+//! [`Sim`] evaluates a [`Module`] one clock cycle at a time. It serves three
+//! roles in the AutoCC flow: system-level simulation of exploits (the
+//! paper's VCS runs), replay-validation of BMC counterexample traces, and
+//! differential testing of the CNF encoder.
+
+use crate::bv::Bv;
+use crate::ir::{BinOp, MemId, Module, Node, NodeId, RegId};
+
+/// Interpreter state for one module instance.
+///
+/// # Examples
+///
+/// ```
+/// use autocc_hdl::{Bv, ModuleBuilder, Sim};
+///
+/// let mut b = ModuleBuilder::new("counter");
+/// let en = b.input("en", 1);
+/// let c = b.reg("count", 8, Bv::zero(8));
+/// let one = b.lit(8, 1);
+/// let inc = b.add(c, one);
+/// let next = b.mux(en, inc, c);
+/// b.set_next(c, next);
+/// b.output("value", c);
+/// let m = b.build();
+///
+/// let mut sim = Sim::new(&m);
+/// sim.set_input("en", Bv::new(1, 1));
+/// sim.step();
+/// sim.step();
+/// assert_eq!(sim.output("value").value(), 2);
+/// ```
+pub struct Sim<'m> {
+    module: &'m Module,
+    regs: Vec<Bv>,
+    mems: Vec<Vec<Bv>>,
+    inputs: Vec<Bv>,
+    nodes: Vec<Bv>,
+    /// Set when `nodes` reflects current `regs`/`mems`/`inputs`.
+    evaluated: bool,
+    cycle: u64,
+}
+
+impl<'m> Sim<'m> {
+    /// Creates a simulator with all state at its reset values.
+    pub fn new(module: &'m Module) -> Sim<'m> {
+        let regs = module.regs().iter().map(|r| r.init).collect();
+        let mems = module.mems().iter().map(|m| m.init.clone()).collect();
+        let inputs = module
+            .inputs()
+            .iter()
+            .map(|p| Bv::zero(p.width))
+            .collect();
+        let nodes = vec![Bv::zero(1); module.num_nodes()];
+        Sim {
+            module,
+            regs,
+            mems,
+            inputs,
+            nodes,
+            evaluated: false,
+            cycle: 0,
+        }
+    }
+
+    /// The module being simulated.
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    /// Number of completed clock cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Resets all state to initial values.
+    pub fn reset(&mut self) {
+        for (v, r) in self.regs.iter_mut().zip(self.module.regs()) {
+            *v = r.init;
+        }
+        for (v, m) in self.mems.iter_mut().zip(self.module.mems()) {
+            v.clone_from(&m.init);
+        }
+        self.cycle = 0;
+        self.evaluated = false;
+    }
+
+    /// Drives input port `name` for the upcoming cycle(s).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown port or width mismatch.
+    pub fn set_input(&mut self, name: &str, value: Bv) {
+        let idx = self
+            .module
+            .input_index(name)
+            .unwrap_or_else(|| panic!("unknown input {name}"));
+        assert_eq!(
+            value.width(),
+            self.module.inputs()[idx].width,
+            "input {name}: width mismatch"
+        );
+        self.inputs[idx] = value;
+        self.evaluated = false;
+    }
+
+    /// Drives input port by index (used by trace replay).
+    pub fn set_input_index(&mut self, idx: usize, value: Bv) {
+        assert_eq!(
+            value.width(),
+            self.module.inputs()[idx].width,
+            "input #{idx}: width mismatch"
+        );
+        self.inputs[idx] = value;
+        self.evaluated = false;
+    }
+
+    /// Evaluates all combinational nodes for the current state and inputs
+    /// without advancing the clock.
+    pub fn eval(&mut self) {
+        for i in 0..self.module.nodes().len() {
+            self.nodes[i] = self.eval_node(&self.module.nodes()[i]);
+        }
+        self.evaluated = true;
+    }
+
+    fn eval_node(&self, node: &Node) -> Bv {
+        match node {
+            Node::Input { port } => self.inputs[*port],
+            Node::Const(bv) => *bv,
+            Node::Not(a) => self.nodes[a.index()].not(),
+            Node::Binary { op, a, b } => {
+                let (x, y) = (self.nodes[a.index()], self.nodes[b.index()]);
+                match op {
+                    BinOp::And => x.and(y),
+                    BinOp::Or => x.or(y),
+                    BinOp::Xor => x.xor(y),
+                    BinOp::Add => x.add(y),
+                    BinOp::Sub => x.sub(y),
+                    BinOp::Eq => x.eq_bv(y),
+                    BinOp::Ult => x.ult(y),
+                    BinOp::Shl => x.shl(y),
+                    BinOp::Shr => x.shr(y),
+                }
+            }
+            Node::Mux { sel, t, e } => {
+                if self.nodes[sel.index()].as_bool() {
+                    self.nodes[t.index()]
+                } else {
+                    self.nodes[e.index()]
+                }
+            }
+            Node::Slice { a, hi, lo } => self.nodes[a.index()].slice(*hi, *lo),
+            Node::Concat { hi, lo } => self.nodes[hi.index()].concat(self.nodes[lo.index()]),
+            Node::Zext { a, width } => self.nodes[a.index()].zext(*width),
+            Node::Sext { a, width } => self.nodes[a.index()].sext(*width),
+            Node::ReduceOr(a) => self.nodes[a.index()].reduce_or(),
+            Node::ReduceAnd(a) => self.nodes[a.index()].reduce_and(),
+            Node::ReduceXor(a) => self.nodes[a.index()].reduce_xor(),
+            Node::RegOut(r) => self.regs[r.index()],
+            Node::MemRead { mem, addr } => {
+                let m = &self.mems[mem.index()];
+                let a = self.nodes[addr.index()].value() as usize;
+                // Out-of-range reads return zero, matching the bit-blasted
+                // mux-tree semantics in `autocc-aig`.
+                m.get(a)
+                    .copied()
+                    .unwrap_or_else(|| Bv::zero(self.module.mems()[mem.index()].width))
+            }
+        }
+    }
+
+    /// Advances one clock cycle: evaluates combinational logic, then commits
+    /// register next-states and memory writes.
+    pub fn step(&mut self) {
+        self.eval();
+        let new_regs: Vec<Bv> = self
+            .module
+            .regs()
+            .iter()
+            .map(|r| self.nodes[r.next.expect("validated module").index()])
+            .collect();
+        for (mi, m) in self.module.mems().iter().enumerate() {
+            for w in &m.writes {
+                if self.nodes[w.en.index()].as_bool() {
+                    let addr = self.nodes[w.addr.index()].value() as usize;
+                    if addr < m.depth {
+                        self.mems[mi][addr] = self.nodes[w.data.index()];
+                    }
+                }
+            }
+        }
+        self.regs = new_regs;
+        self.cycle += 1;
+        self.evaluated = false;
+    }
+
+    /// Value of a node after the most recent [`Sim::eval`]/[`Sim::step`].
+    /// Evaluates lazily if inputs or state changed since.
+    pub fn node(&mut self, id: NodeId) -> Bv {
+        if !self.evaluated {
+            self.eval();
+        }
+        self.nodes[id.index()]
+    }
+
+    /// Value of output port `name` for the current state and inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown output.
+    pub fn output(&mut self, name: &str) -> Bv {
+        let node = self
+            .module
+            .output_node(name)
+            .unwrap_or_else(|| panic!("unknown output {name}"));
+        self.node(node)
+    }
+
+    /// Current (pre-edge) value of a register.
+    pub fn reg(&self, id: RegId) -> Bv {
+        self.regs[id.index()]
+    }
+
+    /// Current value of register `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown register.
+    pub fn reg_by_name(&self, name: &str) -> Bv {
+        let id = self
+            .module
+            .find_reg(name)
+            .unwrap_or_else(|| panic!("unknown register {name}"));
+        self.reg(id)
+    }
+
+    /// Overwrites a register value (for directed tests and trace replay).
+    pub fn set_reg(&mut self, id: RegId, value: Bv) {
+        assert_eq!(
+            value.width(),
+            self.module.regs()[id.index()].width,
+            "set_reg width mismatch"
+        );
+        self.regs[id.index()] = value;
+        self.evaluated = false;
+    }
+
+    /// Current contents of a memory word.
+    pub fn mem_word(&self, id: MemId, index: usize) -> Bv {
+        self.mems[id.index()][index]
+    }
+
+    /// Overwrites a memory word (for directed tests).
+    pub fn set_mem_word(&mut self, id: MemId, index: usize, value: Bv) {
+        assert_eq!(
+            value.width(),
+            self.module.mems()[id.index()].width,
+            "set_mem_word width mismatch"
+        );
+        self.mems[id.index()][index] = value;
+        self.evaluated = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+
+    #[test]
+    fn counter_counts_and_resets() {
+        let mut b = ModuleBuilder::new("counter");
+        let en = b.input("en", 1);
+        let c = b.reg("count", 8, Bv::zero(8));
+        let one = b.lit(8, 1);
+        let inc = b.add(c, one);
+        let next = b.mux(en, inc, c);
+        b.set_next(c, next);
+        b.output("value", c);
+        let m = b.build();
+
+        let mut sim = Sim::new(&m);
+        sim.set_input("en", Bv::bit(true));
+        for _ in 0..5 {
+            sim.step();
+        }
+        assert_eq!(sim.output("value").value(), 5);
+        sim.set_input("en", Bv::bit(false));
+        sim.step();
+        assert_eq!(sim.output("value").value(), 5);
+        sim.reset();
+        assert_eq!(sim.output("value").value(), 0);
+        assert_eq!(sim.cycle(), 0);
+    }
+
+    #[test]
+    fn memory_write_then_read() {
+        let mut b = ModuleBuilder::new("ram");
+        let we = b.input("we", 1);
+        let addr = b.input("addr", 2);
+        let data = b.input("data", 8);
+        let mem = b.mem("ram", 4, 8);
+        b.mem_write(mem, we, addr, data);
+        let rd = b.mem_read(mem, addr);
+        b.output("q", rd);
+        let m = b.build();
+
+        let mut sim = Sim::new(&m);
+        sim.set_input("we", Bv::bit(true));
+        sim.set_input("addr", Bv::new(2, 2));
+        sim.set_input("data", Bv::new(8, 0xab));
+        // Asynchronous read sees the pre-write value this cycle.
+        assert_eq!(sim.output("q").value(), 0);
+        sim.step();
+        sim.set_input("we", Bv::bit(false));
+        assert_eq!(sim.output("q").value(), 0xab);
+        assert_eq!(sim.mem_word(mem, 2).value(), 0xab);
+    }
+
+    #[test]
+    fn write_port_priority_later_wins() {
+        let mut b = ModuleBuilder::new("dual");
+        let addr = b.input("addr", 1);
+        let d0 = b.input("d0", 4);
+        let d1 = b.input("d1", 4);
+        let en = b.lit(1, 1);
+        let mem = b.mem("m", 2, 4);
+        b.mem_write(mem, en, addr, d0);
+        b.mem_write(mem, en, addr, d1);
+        let rd = b.mem_read(mem, addr);
+        b.output("q", rd);
+        let m = b.build();
+
+        let mut sim = Sim::new(&m);
+        sim.set_input("addr", Bv::new(1, 0));
+        sim.set_input("d0", Bv::new(4, 3));
+        sim.set_input("d1", Bv::new(4, 9));
+        sim.step();
+        assert_eq!(sim.mem_word(mem, 0).value(), 9);
+    }
+
+    #[test]
+    fn instantiated_children_run_independently() {
+        use std::collections::HashMap;
+        let mut cb = ModuleBuilder::new("counter");
+        let en = cb.input("en", 1);
+        let c = cb.reg("count", 8, Bv::zero(8));
+        let one = cb.lit(8, 1);
+        let inc = cb.add(c, one);
+        let next = cb.mux(en, inc, c);
+        cb.set_next(c, next);
+        cb.output("value", c);
+        let child = cb.build();
+
+        let mut b = ModuleBuilder::new("pair");
+        let e0 = b.input("e0", 1);
+        let e1 = b.input("e1", 1);
+        let mut w0 = HashMap::new();
+        w0.insert("en".to_string(), e0);
+        let mut w1 = HashMap::new();
+        w1.insert("en".to_string(), e1);
+        let i0 = b.instantiate(&child, "u0", &w0);
+        let i1 = b.instantiate(&child, "u1", &w1);
+        b.output("v0", i0.outputs["value"]);
+        b.output("v1", i1.outputs["value"]);
+        let m = b.build();
+
+        let mut sim = Sim::new(&m);
+        sim.set_input("e0", Bv::bit(true));
+        sim.set_input("e1", Bv::bit(false));
+        for _ in 0..3 {
+            sim.step();
+        }
+        assert_eq!(sim.output("v0").value(), 3);
+        assert_eq!(sim.output("v1").value(), 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests of the bit-vector value type against plain `u64`
+//! reference semantics and algebraic laws.
+
+use autocc_hdl::Bv;
+use proptest::prelude::*;
+
+fn arb_bv() -> impl Strategy<Value = Bv> {
+    (1u32..=64, any::<u64>()).prop_map(|(w, v)| Bv::masked(w, v))
+}
+
+fn arb_pair() -> impl Strategy<Value = (Bv, Bv)> {
+    (1u32..=64, any::<u64>(), any::<u64>())
+        .prop_map(|(w, a, b)| (Bv::masked(w, a), Bv::masked(w, b)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn masked_always_fits((w, v) in (1u32..=64, any::<u64>())) {
+        let bv = Bv::masked(w, v);
+        prop_assert_eq!(bv.value() & Bv::mask(w), bv.value());
+        prop_assert_eq!(bv.value(), v & Bv::mask(w));
+    }
+
+    #[test]
+    fn add_matches_wrapping_u64((a, b) in arb_pair()) {
+        let w = a.width();
+        prop_assert_eq!(a.add(b).value(), a.value().wrapping_add(b.value()) & Bv::mask(w));
+    }
+
+    #[test]
+    fn sub_is_inverse_of_add((a, b) in arb_pair()) {
+        prop_assert_eq!(a.add(b).sub(b), a);
+        prop_assert_eq!(a.sub(b).add(b), a);
+    }
+
+    #[test]
+    fn bitwise_de_morgan((a, b) in arb_pair()) {
+        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
+        prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
+    }
+
+    #[test]
+    fn xor_is_add_without_carry_on_1bit(a in any::<bool>(), b in any::<bool>()) {
+        let (x, y) = (Bv::bit(a), Bv::bit(b));
+        prop_assert_eq!(x.xor(y), x.add(y));
+    }
+
+    #[test]
+    fn shifts_match_u64(a in arb_bv(), amount in 0u64..80) {
+        let w = a.width();
+        let sh = Bv::masked(7, amount);
+        let expect_l = if amount >= u64::from(w) { 0 } else { (a.value() << amount) & Bv::mask(w) };
+        let expect_r = if amount >= u64::from(w) { 0 } else { a.value() >> amount };
+        prop_assert_eq!(a.shl(sh).value(), expect_l);
+        prop_assert_eq!(a.shr(sh).value(), expect_r);
+    }
+
+    #[test]
+    fn slice_concat_round_trip(a in arb_bv(), split in 0u32..63) {
+        let w = a.width();
+        prop_assume!(w >= 2);
+        let mid = split % (w - 1); // 0..w-2: lo part is [mid:0]
+        let lo = a.slice(mid, 0);
+        let hi = a.slice(w - 1, mid + 1);
+        prop_assert_eq!(hi.concat(lo), a);
+    }
+
+    #[test]
+    fn sext_preserves_signed_value(a in arb_bv(), extra in 0u32..8) {
+        let w = a.width();
+        prop_assume!(w + extra <= 64);
+        let target = w + extra;
+        let extended = a.sext(target);
+        // Interpret both as signed and compare.
+        let sign = |bv: Bv| -> i64 {
+            let v = bv.value();
+            let wb = bv.width();
+            if wb == 64 {
+                v as i64
+            } else if v >> (wb - 1) & 1 == 1 {
+                (v | !Bv::mask(wb)) as i64
+            } else {
+                v as i64
+            }
+        };
+        prop_assert_eq!(sign(extended), sign(a));
+    }
+
+    #[test]
+    fn reductions_match_popcount(a in arb_bv()) {
+        prop_assert_eq!(a.reduce_or().as_bool(), a.value() != 0);
+        prop_assert_eq!(a.reduce_and().as_bool(), a.value() == Bv::mask(a.width()));
+        prop_assert_eq!(a.reduce_xor().as_bool(), a.value().count_ones() % 2 == 1);
+    }
+
+    #[test]
+    fn comparisons_match_u64((a, b) in arb_pair()) {
+        prop_assert_eq!(a.ult(b).as_bool(), a.value() < b.value());
+        prop_assert_eq!(a.eq_bv(b).as_bool(), a.value() == b.value());
+    }
+}

@@ -1,0 +1,63 @@
+//! Exhaustive reference solver for differential testing.
+//!
+//! Enumerates all assignments; only usable for formulas with a small number
+//! of variables, which is exactly what the property-based tests generate.
+
+use crate::dimacs::Cnf;
+use crate::lit::Lit;
+
+/// Maximum variable count accepted by [`solve_brute_force`].
+pub const BRUTE_FORCE_VAR_LIMIT: usize = 24;
+
+/// Exhaustively decides satisfiability of `cnf`, returning a model when one
+/// exists.
+///
+/// # Panics
+///
+/// Panics if `cnf.num_vars` exceeds [`BRUTE_FORCE_VAR_LIMIT`].
+pub fn solve_brute_force(cnf: &Cnf) -> Option<Vec<bool>> {
+    assert!(
+        cnf.num_vars <= BRUTE_FORCE_VAR_LIMIT,
+        "brute force limited to {BRUTE_FORCE_VAR_LIMIT} variables"
+    );
+    let n = cnf.num_vars;
+    for bits in 0u64..(1u64 << n) {
+        if cnf
+            .clauses
+            .iter()
+            .all(|clause| clause_satisfied(clause, bits))
+        {
+            return Some((0..n).map(|i| bits >> i & 1 == 1).collect());
+        }
+    }
+    None
+}
+
+fn clause_satisfied(clause: &[Lit], bits: u64) -> bool {
+    clause
+        .iter()
+        .any(|l| (bits >> l.var().index() & 1 == 1) == l.is_positive())
+}
+
+/// Checks that `model` satisfies every clause of `cnf`.
+pub fn check_model(cnf: &Cnf, model: &[bool]) -> bool {
+    cnf.clauses
+        .iter()
+        .all(|clause| clause.iter().any(|l| model[l.var().index()] == l.is_positive()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimacs::Cnf;
+
+    #[test]
+    fn brute_force_agrees_on_tiny_instances() {
+        let sat = Cnf::parse_dimacs("p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+        let model = solve_brute_force(&sat).unwrap();
+        assert!(check_model(&sat, &model));
+
+        let unsat = Cnf::parse_dimacs("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        assert!(solve_brute_force(&unsat).is_none());
+    }
+}

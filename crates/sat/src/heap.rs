@@ -1,0 +1,147 @@
+//! Indexed max-heap ordering variables by VSIDS activity.
+
+use crate::lit::Var;
+
+/// Binary max-heap over variables keyed by an external activity array,
+/// with an index map for O(log n) decrease/increase-key.
+#[derive(Default)]
+pub struct VarHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    positions: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    /// Creates an empty heap.
+    pub fn new() -> VarHeap {
+        VarHeap::default()
+    }
+
+    /// Grows the index map to cover `n` variables.
+    pub fn reserve_vars(&mut self, n: usize) {
+        if self.positions.len() < n {
+            self.positions.resize(n, ABSENT);
+        }
+    }
+
+    /// True when `v` is currently in the heap.
+    pub fn contains(&self, v: Var) -> bool {
+        self.positions
+            .get(v.index())
+            .is_some_and(|&p| p != ABSENT)
+    }
+
+    /// Inserts `v` if absent.
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        self.reserve_vars(v.index() + 1);
+        if self.contains(v) {
+            return;
+        }
+        self.heap.push(v);
+        let pos = self.heap.len() - 1;
+        self.positions[v.index()] = pos;
+        self.sift_up(pos, activity);
+    }
+
+    /// Removes and returns the variable with maximal activity.
+    pub fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.positions[top.index()] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.positions[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after `v`'s activity increased.
+    pub fn bumped(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&pos) = self.positions.get(v.index()) {
+            if pos != ABSENT {
+                self.sift_up(pos, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut pos: usize, activity: &[f64]) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if activity[self.heap[pos].index()] <= activity[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(pos, parent);
+            pos = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * pos + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let mut best = left;
+            if right < self.heap.len()
+                && activity[self.heap[right].index()] > activity[self.heap[left].index()]
+            {
+                best = right;
+            }
+            if activity[self.heap[best].index()] <= activity[self.heap[pos].index()] {
+                break;
+            }
+            self.swap(pos, best);
+            pos = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.positions[self.heap[a].index()] = a;
+        self.positions[self.heap[b].index()] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0];
+        let mut h = VarHeap::new();
+        for i in 0..4 {
+            h.insert(Var::from_index(i), &activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop(&activity))
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn bump_reorders() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        for i in 0..3 {
+            h.insert(Var::from_index(i), &activity);
+        }
+        activity[0] = 10.0;
+        h.bumped(Var::from_index(0), &activity);
+        assert_eq!(h.pop(&activity), Some(Var::from_index(0)));
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let activity = vec![1.0];
+        let mut h = VarHeap::new();
+        h.insert(Var::from_index(0), &activity);
+        h.insert(Var::from_index(0), &activity);
+        assert_eq!(h.pop(&activity), Some(Var::from_index(0)));
+        assert!(h.pop(&activity).is_none());
+    }
+}

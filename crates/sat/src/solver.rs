@@ -1,0 +1,899 @@
+//! Conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! The architecture follows MiniSat: two-watched-literal propagation,
+//! first-UIP conflict analysis with clause minimisation, VSIDS decision
+//! ordering with phase saving, Luby restarts, activity-driven learnt-clause
+//! deletion, and incremental solving under assumptions with failed-assumption
+//! extraction. This is the FPV engine backend of the AutoCC flow: the
+//! bounded model checker in `autocc-bmc` encodes unrolled netlists into CNF
+//! and drives this solver.
+
+use crate::clause::{ClauseDb, ClauseRef};
+use crate::heap::VarHeap;
+use crate::lit::{LBool, Lit, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with [`Solver::value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a verdict.
+    Unknown,
+}
+
+/// Aggregate search statistics, reset never; useful for benches and reports.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Number of learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+}
+
+#[derive(Clone, Copy)]
+struct Watcher {
+    cref: ClauseRef,
+    /// A literal of the clause other than the watched one; if it is already
+    /// true the clause is satisfied and the watch list walk can skip it.
+    blocker: Lit,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLAUSE_DECAY: f64 = 0.999;
+const RESCALE_LIMIT: f64 = 1e100;
+const LUBY_UNIT: u64 = 128;
+
+/// Incremental CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use autocc_sat::{Solver, SolveResult};
+///
+/// let mut solver = Solver::new();
+/// let a = solver.new_var().positive();
+/// let b = solver.new_var().positive();
+/// solver.add_clause(&[a, b]);
+/// solver.add_clause(&[!a, b]);
+/// assert_eq!(solver.solve(), SolveResult::Sat);
+/// assert_eq!(solver.value(b.var()), Some(true));
+/// ```
+pub struct Solver {
+    clauses: ClauseDb,
+    /// Handles of learnt clauses (subset of `clauses`).
+    learnts: Vec<ClauseRef>,
+    watches: Vec<Vec<Watcher>>,
+
+    assigns: Vec<LBool>,
+    levels: Vec<u32>,
+    reasons: Vec<Option<ClauseRef>>,
+    saved_phase: Vec<bool>,
+
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+
+    activity: Vec<f64>,
+    var_inc: f64,
+    clause_inc: f64,
+    order: VarHeap,
+
+    /// Scratch for conflict analysis.
+    seen: Vec<bool>,
+    /// Set false once an unconditional (empty-clause) contradiction is found.
+    ok: bool,
+    /// Failed assumptions of the last `Unsat` answer under assumptions.
+    conflict_core: Vec<Lit>,
+    model: Vec<bool>,
+
+    max_learnts: f64,
+    conflict_budget: Option<u64>,
+    stats: Stats,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: ClauseDb::new(),
+            learnts: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            levels: Vec::new(),
+            reasons: Vec::new(),
+            saved_phase: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            clause_inc: 1.0,
+            order: VarHeap::new(),
+            seen: Vec::new(),
+            ok: true,
+            conflict_core: Vec::new(),
+            model: Vec::new(),
+            max_learnts: 0.0,
+            conflict_budget: None,
+            stats: Stats::default(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assigns.len());
+        self.assigns.push(LBool::Undef);
+        self.levels.push(0);
+        self.reasons.push(None);
+        self.saved_phase.push(false);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.reserve_vars(self.assigns.len());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of clauses (original plus learnt) currently stored.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Limits the next `solve` calls to `conflicts` conflicts
+    /// (`None` removes the limit). When exhausted, `solve` returns
+    /// [`SolveResult::Unknown`].
+    pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
+        self.conflict_budget = conflicts;
+    }
+
+    /// Current value of a literal under the partial assignment.
+    #[inline]
+    fn lit_value(&self, l: Lit) -> LBool {
+        self.assigns[l.var().index()].xor(!l.is_positive())
+    }
+
+    /// Adds a clause. Returns `false` if the formula is now trivially
+    /// unsatisfiable (an empty clause arose at the root level).
+    ///
+    /// Duplicate literals are removed, tautologies are dropped, and literals
+    /// already false at the root level are stripped.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.cancel_until(0);
+        let mut sorted: Vec<Lit> = lits.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut cleaned: Vec<Lit> = Vec::with_capacity(sorted.len());
+        let mut prev: Option<Lit> = None;
+        for &l in &sorted {
+            if let Some(p) = prev {
+                if p == !l {
+                    return true; // tautology: p ∨ ¬p
+                }
+            }
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied at root
+                LBool::False => {}          // falsified at root: drop literal
+                LBool::Undef => cleaned.push(l),
+            }
+            prev = Some(l);
+        }
+        match cleaned.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(cleaned[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                let cref = self.clauses.insert(cleaned, false, 0);
+                self.attach(cref);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let (l0, l1) = {
+            let c = self.clauses.get(cref);
+            (c.lits()[0], c.lits()[1])
+        };
+        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+    }
+
+    fn detach(&mut self, cref: ClauseRef) {
+        let (l0, l1) = {
+            let c = self.clauses.get(cref);
+            (c.lits()[0], c.lits()[1])
+        };
+        self.watches[(!l0).code()].retain(|w| w.cref != cref);
+        self.watches[(!l1).code()].retain(|w| w.cref != cref);
+    }
+
+    #[inline]
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        let vi = l.var().index();
+        self.assigns[vi] = LBool::from_bool(l.is_positive());
+        self.levels[vi] = self.decision_level() as u32;
+        self.reasons[vi] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut i = 0;
+            let mut watch_list = std::mem::take(&mut self.watches[p.code()]);
+            'watchers: while i < watch_list.len() {
+                let w = watch_list[i];
+                if self.lit_value(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                // Normalise: watched literal !p at position 1.
+                let false_lit = !p;
+                {
+                    let c = self.clauses.get_mut(w.cref);
+                    if c.lits()[0] == false_lit {
+                        c.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits()[1], false_lit);
+                }
+                let first = self.clauses.get(w.cref).lits()[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    watch_list[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let len = self.clauses.get(w.cref).len();
+                for k in 2..len {
+                    let lk = self.clauses.get(w.cref).lits()[k];
+                    if self.lit_value(lk) != LBool::False {
+                        self.clauses.get_mut(w.cref).swap(1, k);
+                        self.watches[(!lk).code()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        watch_list.swap_remove(i);
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting.
+                watch_list[i].blocker = first;
+                if self.lit_value(first) == LBool::False {
+                    conflict = Some(w.cref);
+                    self.qhead = self.trail.len();
+                    break;
+                }
+                self.unchecked_enqueue(first, Some(w.cref));
+                i += 1;
+            }
+            debug_assert!(self.watches[p.code()].is_empty());
+            self.watches[p.code()] = watch_list;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    fn cancel_until(&mut self, level: usize) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level];
+        for idx in (bound..self.trail.len()).rev() {
+            let l = self.trail[idx];
+            let vi = l.var().index();
+            self.saved_phase[vi] = l.is_positive();
+            self.assigns[vi] = LBool::Undef;
+            self.reasons[vi] = None;
+            self.order.insert(l.var(), &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1.0 / RESCALE_LIMIT;
+            }
+            self.var_inc *= 1.0 / RESCALE_LIMIT;
+        }
+        self.order.bumped(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let inc = self.clause_inc;
+        let c = self.clauses.get_mut(cref);
+        c.activity += inc;
+        if c.activity > RESCALE_LIMIT {
+            for lref in &self.learnts {
+                self.clauses.get_mut(*lref).activity *= 1.0 / RESCALE_LIMIT;
+            }
+            self.clause_inc *= 1.0 / RESCALE_LIMIT;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder slot
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            if self.clauses.get(confl).learnt {
+                self.bump_clause(confl);
+            }
+            let start = usize::from(p.is_some());
+            let clen = self.clauses.get(confl).len();
+            for j in start..clen {
+                let q = self.clauses.get(confl).lits()[j];
+                let vi = q.var().index();
+                if !self.seen[vi] && self.levels[vi] > 0 {
+                    self.bump_var(q.var());
+                    self.seen[vi] = true;
+                    if self.levels[vi] as usize >= self.decision_level() {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next trail literal to expand.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            path_count -= 1;
+            p = Some(pl);
+            if path_count == 0 {
+                break;
+            }
+            confl = self.reasons[pl.var().index()].expect("non-decision must have a reason");
+        }
+        learnt[0] = !p.expect("first UIP exists");
+
+        // Cheap self-subsumption minimisation: a literal is redundant when
+        // its reason clause only contains literals already in the learnt
+        // clause (or fixed at the root level). The `seen` bits of all
+        // literals in `learnt[1..]` are still set from the main loop; keep
+        // the pre-minimisation list so every marked bit gets cleared — a
+        // stale `seen` bit would silently strengthen future learnt clauses
+        // into unsoundness.
+        let marked: Vec<Lit> = learnt[1..].to_vec();
+        let mut j = 1;
+        for i in 1..learnt.len() {
+            let l = learnt[i];
+            let redundant = match self.reasons[l.var().index()] {
+                None => false,
+                Some(r) => self.clauses.get(r).lits()[1..].iter().all(|&q| {
+                    self.seen[q.var().index()] || self.levels[q.var().index()] == 0
+                }),
+            };
+            if !redundant {
+                learnt[j] = l;
+                j += 1;
+            }
+        }
+        learnt.truncate(j);
+
+        for &l in &marked {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Backjump level: the second-highest decision level in the clause.
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.levels[learnt[i].var().index()] > self.levels[learnt[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.levels[learnt[1].var().index()] as usize
+        };
+        (learnt, bt_level)
+    }
+
+    /// Computes the subset of assumptions responsible for falsifying the
+    /// assumption literal `failed`, storing that subset (including `failed`
+    /// itself) in `conflict_core`. Every decision in the prefix is an
+    /// assumption literal, so the collected decisions are assumptions.
+    fn analyze_final(&mut self, failed: Lit) {
+        self.conflict_core.clear();
+        self.conflict_core.push(failed);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[failed.var().index()] = true;
+        self.collect_assumption_core();
+        self.seen[failed.var().index()] = false;
+    }
+
+    /// Like [`Solver::analyze_final`] but starting from a conflicting clause
+    /// found while the trail only contains assumption decisions.
+    fn analyze_final_conflict(&mut self, confl: ClauseRef) {
+        self.conflict_core.clear();
+        let clen = self.clauses.get(confl).len();
+        for j in 0..clen {
+            let q = self.clauses.get(confl).lits()[j];
+            if self.levels[q.var().index()] > 0 {
+                self.seen[q.var().index()] = true;
+            }
+        }
+        self.collect_assumption_core();
+    }
+
+    /// Walks the trail top-down resolving marked literals: decisions are
+    /// collected into `conflict_core`, propagated literals are replaced by
+    /// their reason-clause antecedents.
+    fn collect_assumption_core(&mut self) {
+        for idx in (self.trail_lim[0]..self.trail.len()).rev() {
+            let x = self.trail[idx];
+            let vi = x.var().index();
+            if !self.seen[vi] {
+                continue;
+            }
+            match self.reasons[vi] {
+                None => {
+                    debug_assert!(self.levels[vi] > 0);
+                    self.conflict_core.push(x);
+                }
+                Some(r) => {
+                    let clen = self.clauses.get(r).len();
+                    for j in 1..clen {
+                        let q = self.clauses.get(r).lits()[j];
+                        if self.levels[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[vi] = false;
+        }
+    }
+
+    fn reduce_db(&mut self) {
+        let clauses = &self.clauses;
+        self.learnts
+            .sort_by(|&a, &b| {
+                let (ca, cb) = (clauses.get(a), clauses.get(b));
+                cb.activity
+                    .partial_cmp(&ca.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        let keep_from = self.learnts.len() / 2;
+        let learnts = std::mem::take(&mut self.learnts);
+        let mut kept = Vec::with_capacity(keep_from + 8);
+        for (i, &cref) in learnts.iter().enumerate() {
+            let c = self.clauses.get(cref);
+            let locked = {
+                let l0 = c.lits()[0];
+                self.reasons[l0.var().index()] == Some(cref)
+                    && self.lit_value(l0) == LBool::True
+            };
+            if i < keep_from || locked || c.len() <= 2 || c.lbd <= 2 {
+                kept.push(cref);
+            } else {
+                self.detach(cref);
+                self.clauses.remove(cref);
+                self.stats.deleted_clauses += 1;
+            }
+        }
+        self.learnts = kept;
+        self.stats.learnt_clauses = self.learnts.len() as u64;
+    }
+
+    fn lbd(&mut self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.levels[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assigns[v.index()] == LBool::Undef {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Solves the formula with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// On [`SolveResult::Unsat`], [`Solver::failed_assumptions`] returns a
+    /// subset of the assumptions that is already inconsistent with the
+    /// formula. On [`SolveResult::Sat`], [`Solver::value`] reads the model.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.conflict_core.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.cancel_until(0);
+        if self.max_learnts == 0.0 {
+            self.max_learnts = (self.clauses.len() as f64 / 3.0).max(4000.0);
+        }
+        let budget_start = self.stats.conflicts;
+        let mut restart_number = 0u64;
+
+        loop {
+            let restart_budget = luby(restart_number) * LUBY_UNIT;
+            match self.search(assumptions, restart_budget, budget_start) {
+                SearchOutcome::Sat => {
+                    self.model = self
+                        .assigns
+                        .iter()
+                        .map(|a| a.to_option().unwrap_or(false))
+                        .collect();
+                    self.cancel_until(0);
+                    return SolveResult::Sat;
+                }
+                SearchOutcome::Unsat => {
+                    self.cancel_until(0);
+                    return SolveResult::Unsat;
+                }
+                SearchOutcome::Restart => {
+                    restart_number += 1;
+                    self.stats.restarts += 1;
+                    self.cancel_until(0);
+                }
+                SearchOutcome::BudgetExhausted => {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown;
+                }
+            }
+        }
+    }
+
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        restart_budget: u64,
+        budget_start: u64,
+    ) -> SearchOutcome {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SearchOutcome::Unsat;
+                }
+                if self.decision_level() <= assumptions.len() {
+                    // Conflict while only assumption decisions are on the
+                    // trail: everything assigned is entailed by the formula
+                    // plus a prefix of the assumptions, so the assumptions
+                    // are jointly inconsistent.
+                    self.analyze_final_conflict(confl);
+                    return SearchOutcome::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.backjump_and_learn(learnt, bt);
+                self.var_inc /= VAR_DECAY;
+                self.clause_inc /= CLAUSE_DECAY;
+
+                if let Some(b) = self.conflict_budget {
+                    if self.stats.conflicts - budget_start >= b {
+                        return SearchOutcome::BudgetExhausted;
+                    }
+                }
+                if conflicts_here >= restart_budget {
+                    return SearchOutcome::Restart;
+                }
+                if self.learnts.len() as f64 > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= 1.3;
+                }
+            } else {
+                // No conflict: place assumptions, then decide.
+                if self.decision_level() < assumptions.len() {
+                    let a = assumptions[self.decision_level()];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // Already satisfied: open an empty decision level
+                            // to keep level/assumption alignment.
+                            self.trail_lim.push(self.trail.len());
+                            continue;
+                        }
+                        LBool::False => {
+                            self.analyze_final(a);
+                            return SearchOutcome::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, None);
+                            continue;
+                        }
+                    }
+                }
+                match self.pick_branch_var() {
+                    None => return SearchOutcome::Sat,
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        let phase = self.saved_phase[v.index()];
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(Lit::new(v, phase), None);
+                    }
+                }
+            }
+        }
+    }
+
+    fn backjump_and_learn(&mut self, learnt: Vec<Lit>, bt_level: usize) {
+        self.cancel_until(bt_level);
+        if learnt.len() == 1 {
+            self.unchecked_enqueue(learnt[0], None);
+        } else {
+            let lbd = self.lbd(&learnt);
+            let asserting = learnt[0];
+            let cref = self.clauses.insert(learnt, true, lbd);
+            self.attach(cref);
+            self.learnts.push(cref);
+            self.stats.learnt_clauses = self.learnts.len() as u64;
+            self.bump_clause(cref);
+            self.unchecked_enqueue(asserting, Some(cref));
+        }
+    }
+
+    /// Model value of `v` after a [`SolveResult::Sat`] answer.
+    ///
+    /// Returns `None` if no model is available (before the first SAT answer
+    /// or for variables created afterwards).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        self.model.get(v.index()).copied()
+    }
+
+    /// Model value of a literal after a [`SolveResult::Sat`] answer.
+    pub fn lit_value_model(&self, l: Lit) -> Option<bool> {
+        self.value(l.var()).map(|b| b == l.is_positive())
+    }
+
+    /// Snapshot of the original (non-learnt) clauses plus root-level units,
+    /// for encoder debugging and differential tests.
+    pub fn dump_original(&self) -> Vec<Vec<Lit>> {
+        let mut out: Vec<Vec<Lit>> = Vec::new();
+        let bound = self.trail_lim.first().copied().unwrap_or(self.trail.len());
+        for &l in &self.trail[..bound] {
+            out.push(vec![l]);
+        }
+        for cref in self.clauses.iter_refs() {
+            let c = self.clauses.get(cref);
+            if !c.learnt {
+                let mut lits = c.lits().to_vec();
+                lits.sort_unstable();
+                out.push(lits);
+            }
+        }
+        out
+    }
+
+    /// After an `Unsat` answer to [`Solver::solve_with`], the subset of
+    /// assumption literals that is jointly inconsistent with the formula.
+    /// Empty when the formula is unsatisfiable regardless of assumptions.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.conflict_core
+    }
+}
+
+enum SearchOutcome {
+    Sat,
+    Unsat,
+    Restart,
+    BudgetExhausted,
+}
+
+/// Luby restart sequence: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence containing index i and its position.
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != i {
+        size = (size - 1) / 2;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(solver_vars: &[Var], x: i32) -> Lit {
+        let v = solver_vars[(x.unsigned_abs() - 1) as usize];
+        Lit::new(v, x > 0)
+    }
+
+    fn setup(n: usize) -> (Solver, Vec<Var>) {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        (s, vars)
+    }
+
+    #[test]
+    fn luby_prefix() {
+        let expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let (mut s, v) = setup(2);
+        s.add_clause(&[lit(&v, 1), lit(&v, 2)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let (mut s, v) = setup(1);
+        s.add_clause(&[lit(&v, 1)]);
+        s.add_clause(&[lit(&v, -1)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let (mut s, _v) = setup(3);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let (mut s, v) = setup(4);
+        s.add_clause(&[lit(&v, 1)]);
+        s.add_clause(&[lit(&v, -1), lit(&v, 2)]);
+        s.add_clause(&[lit(&v, -2), lit(&v, 3)]);
+        s.add_clause(&[lit(&v, -3), lit(&v, 4)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for i in 1..=4 {
+            assert_eq!(s.value(v[i - 1]), Some(true), "x{i}");
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: p[i][j] = pigeon i in hole j.
+        let (mut s, v) = setup(6);
+        let p = |i: usize, j: usize| lit(&v, (i * 2 + j + 1) as i32);
+        for i in 0..3 {
+            s.add_clause(&[p(i, 0), p(i, 1)]);
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    s.add_clause(&[!p(a, j), !p(b, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        let (mut s, v) = setup(2);
+        s.add_clause(&[lit(&v, 1), lit(&v, 2)]);
+        assert_eq!(s.solve_with(&[lit(&v, -1), lit(&v, -2)]), SolveResult::Unsat);
+        let failed = s.failed_assumptions().to_vec();
+        assert!(!failed.is_empty());
+        // Solver stays usable: without assumptions still SAT.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve_with(&[lit(&v, -1)]), SolveResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let (mut s, v) = setup(3);
+        s.add_clause(&[lit(&v, 1), lit(&v, 2)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause(&[lit(&v, -1)]);
+        s.add_clause(&[lit(&v, -2)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        // Once root-level unsat, it stays unsat.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_budget_yields_unknown_on_hard_instance() {
+        // A pigeonhole instance large enough to need > 1 conflict.
+        let n = 7; // 7 pigeons into 6 holes
+        let holes = n - 1;
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..n * holes).map(|_| s.new_var()).collect();
+        let p = |i: usize, j: usize| vars[i * holes + j].positive();
+        for i in 0..n {
+            let row: Vec<Lit> = (0..holes).map(|j| p(i, j)).collect();
+            s.add_clause(&row);
+        }
+        for j in 0..holes {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    s.add_clause(&[!p(a, j), !p(b, j)]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautologies_and_duplicates_are_handled() {
+        let (mut s, v) = setup(2);
+        assert!(s.add_clause(&[lit(&v, 1), lit(&v, -1)])); // tautology dropped
+        assert!(s.add_clause(&[lit(&v, 2), lit(&v, 2)])); // dedup to unit
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+    }
+}

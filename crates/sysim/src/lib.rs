@@ -1,0 +1,27 @@
+//! # autocc-sysim
+//!
+//! System-level co-simulation for the AutoCC reproduction: the role VCS
+//! plays in the paper's appendix (Sec. A.5.3), where a covert channel found
+//! by FPV is exploited end-to-end in RTL simulation.
+//!
+//! * [`BehavioralMemory`] — a sparse memory serving DUT request/response
+//!   interfaces.
+//! * [`MapleSystem`] — the MAPLE engine wired to memory, driven through the
+//!   `dec_*` API of the paper's Listing 2.
+//! * [`exploit`] — the Listing-2 Trojan/spy pair recovering a 32-bit secret
+//!   through the unflushed array-base register (M3), one byte per
+//!   context-switch round.
+//! * [`prime_probe`] — the Fig.-1 motivating example: a prime-and-probe
+//!   attack on a direct-mapped cache, counting miss latency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exploit;
+pub mod memory;
+pub mod prime_probe;
+pub mod system;
+
+pub use exploit::{run_exploit, run_m2_binary_exploit, ExploitOutcome};
+pub use memory::BehavioralMemory;
+pub use system::MapleSystem;

@@ -1,0 +1,73 @@
+//! Behavioural memory model.
+
+use std::collections::HashMap;
+
+/// A sparse, word-addressed behavioural memory with 16-bit words.
+///
+/// Plays the role of the OpenPiton memory system in the paper's
+/// system-level simulation: it answers the DUT's request interface one
+/// cycle after the request is accepted.
+#[derive(Clone, Debug, Default)]
+pub struct BehavioralMemory {
+    words: HashMap<u64, u16>,
+}
+
+impl BehavioralMemory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> BehavioralMemory {
+        BehavioralMemory::default()
+    }
+
+    /// Reads the word at `addr` (unmapped addresses read zero).
+    pub fn read(&self, addr: u64) -> u16 {
+        self.words.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Writes the word at `addr`.
+    pub fn write(&mut self, addr: u64, value: u16) {
+        self.words.insert(addr, value);
+    }
+
+    /// Fills `[base, base + values.len())` with consecutive values.
+    pub fn load(&mut self, base: u64, values: &[u16]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write(base + i as u64, v);
+        }
+    }
+
+    /// Installs the spy's identity array: `mem[base + i] = i` for
+    /// `0 <= i < len` — the Listing-2 observation buffer where
+    /// `array[index] == index`.
+    pub fn load_identity_array(&mut self, base: u64, len: usize) {
+        for i in 0..len {
+            self.write(base + i as u64, i as u16);
+        }
+    }
+
+    /// Number of explicitly-written words.
+    pub fn footprint(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_and_default_zero() {
+        let mut m = BehavioralMemory::new();
+        assert_eq!(m.read(0x1000), 0);
+        m.write(0x1000, 0xabcd);
+        assert_eq!(m.read(0x1000), 0xabcd);
+    }
+
+    #[test]
+    fn identity_array() {
+        let mut m = BehavioralMemory::new();
+        m.load_identity_array(0x2000, 256);
+        assert_eq!(m.read(0x2000), 0);
+        assert_eq!(m.read(0x20ff), 0xff);
+        assert_eq!(m.footprint(), 256);
+    }
+}

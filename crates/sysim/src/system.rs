@@ -1,0 +1,186 @@
+//! MAPLE-plus-memory system model and the `dec_*` driver API.
+
+use crate::memory::BehavioralMemory;
+use autocc_hdl::{Bv, Module, Sim};
+
+/// Cycles a driver call waits for a condition before giving up.
+const DRIVER_TIMEOUT: u64 = 64;
+
+/// The MAPLE engine wired to a behavioural memory, driven through the API
+/// of the paper's Listing 2 (`dec_init`, `dec_set_array_base`,
+/// `dec_load_word_async`, `dec_consume_word`, `dec_close`).
+pub struct MapleSystem<'m> {
+    sim: Sim<'m>,
+    memory: BehavioralMemory,
+    /// Response scheduled for the next cycle (addr accepted this cycle).
+    pending_response: Option<u16>,
+}
+
+impl<'m> MapleSystem<'m> {
+    /// Builds the system around a MAPLE module and initial memory contents.
+    pub fn new(module: &'m Module, memory: BehavioralMemory) -> MapleSystem<'m> {
+        let mut sim = Sim::new(module);
+        // Quiesce all inputs; the NoC is always ready in this system.
+        sim.set_input("conf_we", Bv::bit(false));
+        sim.set_input("conf_addr", Bv::new(2, 0));
+        sim.set_input("conf_data", Bv::new(16, 0));
+        sim.set_input("load_valid", Bv::bit(false));
+        sim.set_input("load_index", Bv::new(8, 0));
+        sim.set_input("cons_ready", Bv::bit(false));
+        sim.set_input("noc_ready", Bv::bit(true));
+        sim.set_input("noc_resp_valid", Bv::bit(false));
+        sim.set_input("noc_resp_data", Bv::new(16, 0));
+        MapleSystem {
+            sim,
+            memory,
+            pending_response: None,
+        }
+    }
+
+    /// Elapsed simulation cycles.
+    pub fn cycles(&self) -> u64 {
+        self.sim.cycle()
+    }
+
+    /// The memory model.
+    pub fn memory(&self) -> &BehavioralMemory {
+        &self.memory
+    }
+
+    /// Advances one cycle, serving the NoC: a request accepted this cycle
+    /// is answered with memory data on the next.
+    pub fn tick(&mut self) {
+        // Present any response scheduled from the previous cycle.
+        match self.pending_response.take() {
+            Some(data) => {
+                self.sim.set_input("noc_resp_valid", Bv::bit(true));
+                self.sim.set_input("noc_resp_data", Bv::new(16, u64::from(data)));
+            }
+            None => {
+                self.sim.set_input("noc_resp_valid", Bv::bit(false));
+            }
+        }
+        // Capture an outgoing request (noc_ready is held high, so a valid
+        // request is consumed this cycle).
+        if self.sim.output("noc_req_valid").as_bool() {
+            let addr = self.sim.output("noc_req_addr").value();
+            self.pending_response = Some(self.memory.read(addr));
+        }
+        self.sim.step();
+    }
+
+    fn write_conf(&mut self, addr: u64, data: u64) {
+        self.sim.set_input("conf_we", Bv::bit(true));
+        self.sim.set_input("conf_addr", Bv::new(2, addr));
+        self.sim.set_input("conf_data", Bv::new(16, data));
+        self.tick();
+        self.sim.set_input("conf_we", Bv::bit(false));
+    }
+
+    /// `dec_init`: allocates the engine. The cleanup (invalidation) runs as
+    /// the first step of initialisation, as the paper describes.
+    pub fn dec_init(&mut self) {
+        self.write_conf(2, 0); // start invalidation
+        for _ in 0..DRIVER_TIMEOUT {
+            if self.sim.output("inv_done").as_bool() {
+                self.tick();
+                return;
+            }
+            self.tick();
+        }
+        panic!("invalidation did not complete");
+    }
+
+    /// `dec_set_array_base`: configures the base address for offloaded
+    /// array accesses.
+    pub fn dec_set_array_base(&mut self, base: u64) {
+        self.write_conf(0, base);
+    }
+
+    /// Disables or enables address translation.
+    pub fn dec_set_tlb_enable(&mut self, enable: bool) {
+        self.write_conf(1, enable as u64);
+    }
+
+    /// Fills TLB entry 0 (`vpn -> ppn`, 4 bits each).
+    pub fn dec_fill_tlb(&mut self, vpn: u64, ppn: u64) {
+        self.write_conf(3, vpn << 4 | ppn);
+    }
+
+    /// `dec_load_word_async`: asks MAPLE to fetch `array[index]`.
+    pub fn dec_load_word_async(&mut self, index: u64) {
+        self.sim.set_input("load_valid", Bv::bit(true));
+        self.sim.set_input("load_index", Bv::new(8, index));
+        self.tick();
+        self.sim.set_input("load_valid", Bv::bit(false));
+    }
+
+    /// `dec_consume_word`: pops the next word from the response queue.
+    /// Returns `None` if no response arrives (e.g. the load faulted).
+    pub fn dec_consume_word(&mut self) -> Option<u16> {
+        for _ in 0..DRIVER_TIMEOUT {
+            if self.sim.output("resp_valid").as_bool() {
+                let data = self.sim.output("resp_data").value() as u16;
+                self.sim.set_input("cons_ready", Bv::bit(true));
+                self.tick();
+                self.sim.set_input("cons_ready", Bv::bit(false));
+                return Some(data);
+            }
+            self.tick();
+        }
+        None
+    }
+
+    /// `dec_close`: de-allocates the engine (a no-op at this level; the
+    /// next `dec_init` performs the cleanup).
+    pub fn dec_close(&mut self) {}
+
+    /// Whether the last issued load faulted (translation failure).
+    pub fn fault_seen(&mut self) -> bool {
+        self.sim.output("fault").as_bool()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocc_duts::maple::{build_maple, MapleConfig};
+
+    #[test]
+    fn load_round_trip_through_memory() {
+        let module = build_maple(&MapleConfig::default());
+        let mut memory = BehavioralMemory::new();
+        memory.write(0x1005, 0xcafe);
+        let mut sys = MapleSystem::new(&module, memory);
+        sys.dec_init();
+        sys.dec_set_tlb_enable(false);
+        sys.dec_set_array_base(0x1000);
+        sys.dec_load_word_async(5);
+        assert_eq!(sys.dec_consume_word(), Some(0xcafe));
+    }
+
+    #[test]
+    fn translated_load_uses_tlb_mapping() {
+        let module = build_maple(&MapleConfig::default());
+        let mut memory = BehavioralMemory::new();
+        // Virtual 0x5005 -> physical 0x9005.
+        memory.write(0x9005, 0xbead);
+        let mut sys = MapleSystem::new(&module, memory);
+        sys.dec_init();
+        sys.dec_fill_tlb(0x5, 0x9);
+        sys.dec_set_array_base(0x5000);
+        sys.dec_load_word_async(5);
+        assert_eq!(sys.dec_consume_word(), Some(0xbead));
+    }
+
+    #[test]
+    fn untranslatable_load_faults_and_times_out() {
+        let module = build_maple(&MapleConfig::default());
+        let mut sys = MapleSystem::new(&module, BehavioralMemory::new());
+        sys.dec_init();
+        // TLB enabled (reset default) and empty: the load faults.
+        sys.dec_set_array_base(0x5000);
+        sys.dec_load_word_async(0);
+        assert_eq!(sys.dec_consume_word(), None);
+    }
+}

@@ -1,0 +1,304 @@
+//! `autocc` — command-line front end, the equivalent of the paper's
+//! `autocc.py` flow: point it at a DUT, get a generated FPV testbench, a
+//! counterexample with root-cause analysis (or a proof), and optional
+//! artifact dumps (SVA property file, Verilog, VCD waveform).
+//!
+//! ```text
+//! autocc <dut> [--depth N] [--threshold N] [--prove] [--minimize]
+//!              [--sva] [--verilog] [--vcd FILE] [--list]
+//! ```
+//!
+//! Built-in DUTs: `vscale`, `vscale-refined`, `cva6`, `cva6-fixed`,
+//! `maple`, `maple-fixed`, `aes`, `aes-refined`, `config-device`,
+//! `config-device-fixed`.
+
+use autocc::bmc::BmcOptions;
+use autocc::core::{format_duration, to_sva, AutoCcOutcome, FpvTestbench, FtSpec};
+use autocc::duts::aes::{build_aes, stage_valid_names, AesConfig};
+use autocc::duts::cva6::{build_cva6, Cva6Config, ARCH_REGS};
+use autocc::duts::demo::config_device;
+use autocc::duts::maple::{build_maple, MapleConfig};
+use autocc::duts::vscale::{arch, build_vscale, VscaleConfig};
+use autocc::hdl::{to_verilog, Instance, Module, ModuleBuilder, NodeId};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const DUTS: &[(&str, &str)] = &[
+    ("vscale", "3-stage RISC core, default testbench (finds V1)"),
+    ("vscale-refined", "fully refined Vscale testbench (proof)"),
+    ("cva6", "CVA6 frontend, unfixed microreset (finds C1/C2/C3)"),
+    ("cva6-fixed", "CVA6 frontend with all upstream fixes"),
+    ("maple", "MAPLE engine, unfixed (finds M2/M3)"),
+    ("maple-fixed", "MAPLE engine with both fixes"),
+    ("aes", "pipelined cipher accelerator (finds A1)"),
+    ("aes-refined", "AES with idle-pipeline flush (full proof)"),
+    ("config-device", "quickstart demo device (leaks its register)"),
+    ("config-device-fixed", "demo device with a working flush"),
+];
+
+struct Args {
+    dut: String,
+    depth: usize,
+    threshold: Option<u32>,
+    prove: bool,
+    minimize: bool,
+    dump_sva: bool,
+    dump_verilog: bool,
+    vcd: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: autocc <dut> [--depth N] [--threshold N] [--prove]");
+    eprintln!("              [--minimize] [--sva] [--verilog] [--vcd FILE]");
+    eprintln!("       autocc --list");
+    ExitCode::FAILURE
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut argv = std::env::args().skip(1);
+    let mut args = Args {
+        dut: String::new(),
+        depth: 16,
+        threshold: None,
+        prove: false,
+        minimize: false,
+        dump_sva: false,
+        dump_verilog: false,
+        vcd: None,
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--list" => {
+                println!("built-in DUTs:");
+                for (name, desc) in DUTS {
+                    println!("  {name:<22} {desc}");
+                }
+                return Err(ExitCode::SUCCESS);
+            }
+            "--depth" => {
+                args.depth = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(usage)?;
+            }
+            "--threshold" => {
+                args.threshold = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(usage)?,
+                );
+            }
+            "--prove" => args.prove = true,
+            "--minimize" => args.minimize = true,
+            "--sva" => args.dump_sva = true,
+            "--verilog" => args.dump_verilog = true,
+            "--vcd" => args.vcd = Some(argv.next().ok_or_else(usage)?),
+            name if !name.starts_with('-') && args.dut.is_empty() => {
+                args.dut = name.to_string();
+            }
+            _ => return Err(usage()),
+        }
+    }
+    if args.dut.is_empty() {
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+fn maple_flush(b: &mut ModuleBuilder, ua: &Instance, ub: &Instance) -> NodeId {
+    let da = ua.outputs["inv_done"];
+    let db = ub.outputs["inv_done"];
+    b.and(da, db)
+}
+
+fn cva6_flush(b: &mut ModuleBuilder, ua: &Instance, ub: &Instance) -> NodeId {
+    let da = ua.outputs["fence_done"];
+    let db = ub.outputs["fence_done"];
+    b.and(da, db)
+}
+
+/// Builds a DUT and its canonical testbench spec by name.
+fn build(name: &str) -> Option<(Module, Box<dyn Fn(FtSpec) -> FtSpec>)> {
+    match name {
+        "vscale" => Some((
+            build_vscale(&VscaleConfig::default()),
+            Box::new(|s| s),
+        )),
+        "vscale-refined" => Some((
+            build_vscale(&VscaleConfig {
+                blackbox_csr: true,
+                ..VscaleConfig::default()
+            }),
+            Box::new(|mut s| {
+                s = s.arch_mem(arch::REGFILE_MEM).state_equality_invariants();
+                for r in arch::PIPELINE_REGS.iter().chain(arch::INT_REGS.iter()) {
+                    s = s.arch_reg(r);
+                }
+                s
+            }),
+        )),
+        "cva6" | "cva6-fixed" => {
+            let config = if name == "cva6" {
+                Cva6Config::microreset()
+            } else {
+                Cva6Config::all_fixed()
+            };
+            Some((
+                build_cva6(&config),
+                Box::new(|mut s| {
+                    s = s.flush_done(cva6_flush);
+                    for r in ARCH_REGS {
+                        s = s.arch_reg(r);
+                    }
+                    s
+                }),
+            ))
+        }
+        "maple" | "maple-fixed" => {
+            let config = if name == "maple" {
+                MapleConfig::default()
+            } else {
+                MapleConfig::all_fixed()
+            };
+            Some((
+                build_maple(&config),
+                Box::new(|s| s.flush_done(maple_flush)),
+            ))
+        }
+        "aes" => Some((build_aes(&AesConfig::default()), Box::new(|s| s))),
+        "aes-refined" => {
+            let config = AesConfig::default();
+            let names = stage_valid_names(&config);
+            Some((
+                build_aes(&config),
+                Box::new(move |s| {
+                    let names = names.clone();
+                    s.flush_done(move |b, ua, ub| {
+                        let mut all = Vec::new();
+                        for name in &names {
+                            let va = b.read_reg(ua.regs[name]);
+                            let vb = b.read_reg(ub.regs[name]);
+                            let na = b.not(va);
+                            let nb = b.not(vb);
+                            all.push(na);
+                            all.push(nb);
+                        }
+                        b.all(&all)
+                    })
+                }),
+            ))
+        }
+        "config-device" => Some((config_device(false), Box::new(|s| s))),
+        "config-device-fixed" => Some((
+            config_device(true),
+            Box::new(|s| {
+                s.flush_done(|b, _ua, _ub| b.input_node("flush").expect("common flush"))
+                    .state_equality_invariants()
+            }),
+        )),
+        _ => None,
+    }
+}
+
+fn report(ft: &FpvTestbench, outcome: &AutoCcOutcome, elapsed: Duration, minimize: bool, vcd: &Option<String>) {
+    match outcome {
+        AutoCcOutcome::Cex(cex) => {
+            let minimized;
+            let cex = if minimize {
+                println!("(trace minimised)");
+                minimized = ft.minimize_cex(cex);
+                &minimized
+            } else {
+                cex.as_ref()
+            };
+            println!("COVERT CHANNEL FOUND in {}", format_duration(elapsed));
+            println!("  violated : {}", cex.property);
+            println!("  depth    : {} cycles (spy starts at cycle {})", cex.depth, cex.spy_start_cycle);
+            println!("  leaking microarchitectural state:");
+            for d in &cex.diverging_state {
+                println!(
+                    "    {:<28} a={:<8} b={:<8} (cycles {}..{})",
+                    d.name, d.value_a.to_string(), d.value_b.to_string(), d.first_diff_cycle, d.last_diff_cycle
+                );
+            }
+            println!();
+            println!("{}", ft.convergence_waveform(cex).to_table());
+            if let Some(path) = vcd {
+                let wf = ft.convergence_waveform(cex);
+                if let Err(e) = std::fs::write(path, wf.to_vcd("autocc_cex")) {
+                    eprintln!("failed to write VCD {path}: {e}");
+                } else {
+                    println!("VCD written to {path}");
+                }
+            }
+        }
+        AutoCcOutcome::Clean { bound } => {
+            println!(
+                "CLEAN: no observable difference within {bound} cycles ({})",
+                format_duration(elapsed)
+            );
+        }
+        AutoCcOutcome::Proved { induction_depth } => {
+            println!(
+                "PROVED for unbounded executions (k-induction at k={induction_depth}, {})",
+                format_duration(elapsed)
+            );
+        }
+        AutoCcOutcome::Exhausted { bound } => {
+            println!(
+                "BUDGET EXHAUSTED at proven depth {bound} ({})",
+                format_duration(elapsed)
+            );
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let Some((dut, configure)) = build(&args.dut) else {
+        eprintln!("unknown DUT `{}`; try --list", args.dut);
+        return ExitCode::FAILURE;
+    };
+
+    println!(
+        "DUT `{}`: {} state bits, {} inputs, {} outputs",
+        dut.name(),
+        dut.state_bits(),
+        dut.inputs().len(),
+        dut.outputs().len()
+    );
+    if args.dump_verilog {
+        println!("\n{}", to_verilog(&dut));
+    }
+
+    let mut spec = FtSpec::new(&dut);
+    if let Some(t) = args.threshold {
+        spec = spec.threshold(t);
+    }
+    let ft = configure(spec).generate();
+    println!(
+        "FT generated: {} assumptions, {} assertions, THRESHOLD={}",
+        ft.constraints().len(),
+        ft.properties().len(),
+        ft.threshold()
+    );
+    if args.dump_sva {
+        println!("\n{}", to_sva(&ft, &dut));
+    }
+
+    let options = BmcOptions {
+        max_depth: args.depth,
+        conflict_budget: None,
+        time_budget: Some(Duration::from_secs(3600)),
+    };
+    let run = if args.prove {
+        ft.prove(&options)
+    } else {
+        ft.check(&options)
+    };
+    report(&ft, &run.outcome, run.elapsed, args.minimize, &args.vcd);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,145 @@
+//! The Sec. 4.2 workflow on the CVA6 frontend model: validating the known
+//! full-flush channels, then the microreset counterexamples C1–C3 and
+//! their fixes.
+
+use autocc::bmc::BmcOptions;
+use autocc::core::{AutoCcOutcome, FtSpec};
+use autocc::duts::cva6::{build_cva6, Cva6Config, FenceImpl, ARCH_REGS};
+use autocc::hdl::{Instance, ModuleBuilder, NodeId};
+use std::time::Duration;
+
+fn opts(depth: usize) -> BmcOptions {
+    BmcOptions {
+        max_depth: depth,
+        conflict_budget: None,
+        time_budget: Some(Duration::from_secs(900)),
+    }
+}
+
+/// flush_done: `fence.t` completes in both universes this cycle.
+fn fence_done_both(b: &mut ModuleBuilder, ua: &Instance, ub: &Instance) -> NodeId {
+    let da = ua.outputs["fence_done"];
+    let db = ub.outputs["fence_done"];
+    b.and(da, db)
+}
+
+fn spec<'d>(dut: &'d autocc::hdl::Module) -> FtSpec<'d> {
+    let mut s = FtSpec::new(dut).flush_done(fence_done_both);
+    for r in ARCH_REGS {
+        s = s.arch_reg(r);
+    }
+    s
+}
+
+fn roots(outcome: &AutoCcOutcome) -> Vec<String> {
+    outcome
+        .cex()
+        .map(|c| c.diverging_state.iter().map(|d| d.name.clone()).collect())
+        .unwrap_or_default()
+}
+
+/// Sec. 4.2, "validating previously-found covert channels": with the
+/// full-flush `fence.t`, state in smaller units (the I$ miss FSM, the PTW,
+/// the AXI bookkeeping) survives the flush.
+#[test]
+fn full_flush_leaves_fsm_state_behind() {
+    let dut = build_cva6(&Cva6Config::full_flush());
+    let ft = spec(&dut).generate();
+    let report = ft.check(&opts(18));
+    let r = roots(&report.outcome);
+    assert!(report.outcome.cex().is_some(), "known channels expected");
+    assert!(
+        r.iter().any(|n| n.starts_with("icache.")
+            || n.starts_with("ptw.")
+            || n.starts_with("dcache.")),
+        "root cause in the unflushed FSM cluster: {r:?}"
+    );
+}
+
+/// C1: stale I$ data escapes through the exception path's valid response,
+/// even under microreset (SRAM contents are not reset).
+#[test]
+fn c1_exception_payload_leaks_stale_cache_data() {
+    let dut = build_cva6(&Cva6Config {
+        fix_c2: true,
+        fix_c3: true,
+        ..Cva6Config::microreset()
+    });
+    let ft = spec(&dut).generate();
+    let report = ft.check(&opts(20));
+    let r = roots(&report.outcome);
+    assert!(report.outcome.cex().is_some(), "C1 CEX expected");
+    assert!(
+        r.iter().any(|n| n.starts_with("icache.data")),
+        "C1 root cause is the I$ data array: {r:?}"
+    );
+}
+
+/// C2: the PTW's illegal WAIT_RVALID -> IDLE transition on a second flush
+/// orphans the D$ request; the stray fill diverges the D$. (As in the
+/// paper, C2 is found before the C3 fix exists: the drain fix would also
+/// mask this orphan's fill.)
+#[test]
+fn c2_double_flush_aborts_walk_and_diverges_dcache() {
+    let dut = build_cva6(&Cva6Config {
+        fix_c1: true,
+        fix_c3: false,
+        ..Cva6Config::microreset()
+    });
+    let ft = spec(&dut).generate();
+    let report = ft.check(&opts(20));
+    let r = roots(&report.outcome);
+    assert!(report.outcome.cex().is_some(), "C2 CEX expected");
+    assert!(
+        r.iter()
+            .any(|n| n.starts_with("dcache.") || n.starts_with("ptw.")),
+        "C2 root cause is in the PTW/D$ cluster: {r:?}"
+    );
+}
+
+/// C3: a PTW-initiated fill completing inside the flush leaves a valid D$
+/// line behind.
+#[test]
+fn c3_fill_during_flush_leaves_valid_line() {
+    let dut = build_cva6(&Cva6Config {
+        fix_c1: true,
+        fix_c2: true,
+        ..Cva6Config::microreset()
+    });
+    let ft = spec(&dut).generate();
+    let report = ft.check(&opts(20));
+    let r = roots(&report.outcome);
+    assert!(report.outcome.cex().is_some(), "C3 CEX expected");
+    assert!(
+        r.iter().any(|n| n.starts_with("dcache.")),
+        "C3 root cause is the D$: {r:?}"
+    );
+}
+
+/// Fix validation: with all three upstream fixes, the microreset testbench
+/// is clean within the bound that exposed every CEX.
+#[test]
+fn all_fixes_make_microreset_clean() {
+    let dut = build_cva6(&Cva6Config::all_fixed());
+    let ft = spec(&dut).generate();
+    let report = ft.check(&opts(16));
+    assert!(
+        report.outcome.is_clean(),
+        "fixed microreset must be clean: {:?}",
+        report.outcome
+    );
+}
+
+/// The fence variants are structurally different modules.
+#[test]
+fn fence_variants_build_differently() {
+    let full = build_cva6(&Cva6Config::full_flush());
+    let micro = build_cva6(&Cva6Config::microreset());
+    assert_eq!(full.name(), micro.name());
+    assert_eq!(
+        full.state_bits(),
+        micro.state_bits(),
+        "same state, different flush wiring"
+    );
+    let _ = FenceImpl::FullFlush;
+}
