@@ -334,7 +334,13 @@ impl<'m> Blaster<'m> {
     }
 
     /// Ripple-carry adder; returns sum bits, optionally appending carry-out.
-    fn adder(&mut self, x: &[AigLit], y: &[AigLit], carry_in: AigLit, keep_carry: bool) -> Vec<AigLit> {
+    fn adder(
+        &mut self,
+        x: &[AigLit],
+        y: &[AigLit],
+        carry_in: AigLit,
+        keep_carry: bool,
+    ) -> Vec<AigLit> {
         let mut carry = carry_in;
         let mut sum = Vec::with_capacity(x.len() + keep_carry as usize);
         for (&a, &b) in x.iter().zip(y) {
@@ -391,10 +397,7 @@ impl<'m> Blaster<'m> {
                 .map(|(&v, &s)| self.aig.mux(sh_bit, s, v))
                 .collect();
         }
-        value
-            .iter()
-            .map(|&v| self.aig.and(v, !overflow))
-            .collect()
+        value.iter().map(|&v| self.aig.and(v, !overflow)).collect()
     }
 }
 

@@ -1,0 +1,172 @@
+//! Sequential cone-of-influence (COI) reduction.
+//!
+//! Given a set of root literals (properties and constraints), the COI is
+//! the set of input-port bits and state bits the roots transitively read —
+//! through combinational logic *and* through the sequential next-state
+//! functions. Everything outside the cone can be dropped from a bounded
+//! model checking encoding without changing any check outcome: out-of-cone
+//! state can never influence a root's value at any cycle.
+//!
+//! This is the slicing step JasperGold performs per property before
+//! dispatching its engines; here it lets the portfolio scheduler hand each
+//! property a model containing only what that property needs.
+
+use crate::blast::SeqAig;
+use crate::graph::{AigLit, AigNode};
+
+/// The sequential cone of influence of a set of root literals.
+#[derive(Clone, Debug)]
+pub struct SeqCoi {
+    /// Per flattened state bit (in [`SeqAig::state_info`] order): whether
+    /// the bit is inside the cone.
+    pub state_keep: Vec<bool>,
+    /// Per flattened input-port bit (ports in declaration order, LSB
+    /// first): whether the bit is inside the cone.
+    pub port_keep: Vec<bool>,
+}
+
+impl SeqCoi {
+    /// Number of state bits inside the cone.
+    pub fn num_kept_state(&self) -> usize {
+        self.state_keep.iter().filter(|&&k| k).count()
+    }
+
+    /// Number of input-port bits inside the cone.
+    pub fn num_kept_ports(&self) -> usize {
+        self.port_keep.iter().filter(|&&k| k).count()
+    }
+
+    /// True when slicing removed nothing (the cone covers the whole model).
+    pub fn keeps_all(&self) -> bool {
+        self.state_keep.iter().all(|&k| k) && self.port_keep.iter().all(|&k| k)
+    }
+}
+
+/// Computes the sequential COI of `roots` over `seq`.
+///
+/// The computation is a fixpoint: the combinational support of the roots
+/// seeds the cone; every state bit that enters the cone adds its
+/// next-state function's support, until no new state bit appears.
+pub fn sequential_coi(seq: &SeqAig, roots: &[AigLit]) -> SeqCoi {
+    let aig = &seq.aig;
+    let num_state = seq.state_cur.len();
+
+    // Map AIG node index -> state bit / port bit ordinal.
+    let mut state_of_node = vec![usize::MAX; aig.num_nodes()];
+    for (j, lit) in seq.state_cur.iter().enumerate() {
+        state_of_node[lit.node()] = j;
+    }
+    let mut port_of_node = vec![usize::MAX; aig.num_nodes()];
+    let mut num_ports = 0;
+    for (k, lit) in seq.input_lits.iter().flatten().enumerate() {
+        port_of_node[lit.node()] = k;
+        num_ports = k + 1;
+    }
+
+    let mut visited = vec![false; aig.num_nodes()];
+    let mut state_keep = vec![false; num_state];
+    let mut port_keep = vec![false; num_ports];
+    // Roots still to traverse; grows as state bits enter the cone.
+    let mut pending: Vec<AigLit> = roots.to_vec();
+    let mut stack: Vec<usize> = Vec::new();
+
+    while let Some(root) = pending.pop() {
+        stack.push(root.node());
+        while let Some(n) = stack.pop() {
+            if visited[n] {
+                continue;
+            }
+            visited[n] = true;
+            match aig.nodes()[n] {
+                AigNode::False => {}
+                AigNode::Input => {
+                    if state_of_node[n] != usize::MAX {
+                        let j = state_of_node[n];
+                        state_keep[j] = true;
+                        // The bit's next-state function joins the cone.
+                        pending.push(seq.state_next[j]);
+                    } else if port_of_node[n] != usize::MAX {
+                        port_keep[port_of_node[n]] = true;
+                    }
+                }
+                AigNode::And(a, b) => {
+                    stack.push(a.node());
+                    stack.push(b.node());
+                }
+            }
+        }
+    }
+
+    SeqCoi {
+        state_keep,
+        port_keep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocc_hdl::{Bv, ModuleBuilder};
+
+    /// Two independent counters; a property over one must slice the other
+    /// away along with its increment input.
+    #[test]
+    fn independent_state_is_sliced() {
+        let mut b = ModuleBuilder::new("two_counters");
+        let step_a = b.input("step_a", 1);
+        let step_b = b.input("step_b", 1);
+        let a = b.reg("a", 4, Bv::zero(4));
+        let bb = b.reg("b", 4, Bv::zero(4));
+        let one = b.lit(4, 1);
+        let a1 = b.add(a, one);
+        let an = b.mux(step_a, a1, a);
+        b.set_next(a, an);
+        let b1 = b.add(bb, one);
+        let bn = b.mux(step_b, b1, bb);
+        b.set_next(bb, bn);
+        let limit = b.lit(4, 12);
+        let ok = b.ult(a, limit);
+        b.output("a_small", ok);
+        let m = b.build();
+
+        let seq = SeqAig::from_module(&m);
+        let root = seq.node_lits[m.output_node("a_small").unwrap().index()][0];
+        let coi = sequential_coi(&seq, &[root]);
+
+        assert_eq!(coi.num_kept_state(), 4, "only counter `a` is in the cone");
+        assert_eq!(coi.num_kept_ports(), 1, "only `step_a` is in the cone");
+        assert!(!coi.keeps_all());
+        for (j, info) in seq.state_info.iter().enumerate() {
+            assert_eq!(
+                coi.state_keep[j],
+                info.name.starts_with("a["),
+                "{}",
+                info.name
+            );
+        }
+    }
+
+    /// A register feeding another register that feeds the property: the
+    /// sequential fixpoint must pull in the whole chain.
+    #[test]
+    fn sequential_chain_stays_in_cone() {
+        let mut b = ModuleBuilder::new("chain");
+        let d = b.input("d", 1);
+        let s1 = b.reg("s1", 1, Bv::zero(1));
+        let s2 = b.reg("s2", 1, Bv::zero(1));
+        let unused = b.reg("unused", 1, Bv::zero(1));
+        b.set_next(s1, d);
+        b.set_next(s2, s1);
+        let nu = b.not(unused);
+        b.set_next(unused, nu);
+        b.output("q", s2);
+        let m = b.build();
+
+        let seq = SeqAig::from_module(&m);
+        let root = seq.node_lits[m.output_node("q").unwrap().index()][0];
+        let coi = sequential_coi(&seq, &[root]);
+
+        assert_eq!(coi.num_kept_state(), 2, "s1 and s2 kept, `unused` dropped");
+        assert_eq!(coi.num_kept_ports(), 1, "d kept via s1's next-state");
+    }
+}

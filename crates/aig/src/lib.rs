@@ -40,8 +40,10 @@
 
 mod blast;
 mod cnf;
+mod coi;
 mod graph;
 
 pub use blast::{SeqAig, StateBitInfo, StateSource};
 pub use cnf::{assert_true_lit, FrameMap};
+pub use coi::{sequential_coi, SeqCoi};
 pub use graph::{Aig, AigLit, AigNode};

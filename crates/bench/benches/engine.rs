@@ -99,7 +99,11 @@ fn bench_modularity(c: &mut Criterion) {
     // Both runs use the fully refined FT (bounded clean to depth 6 — deep
     // enough to exercise the transfer period, shallow enough to bench).
     for blackbox in [false, true] {
-        let label = if blackbox { "csr_blackboxed" } else { "csr_in_model" };
+        let label = if blackbox {
+            "csr_blackboxed"
+        } else {
+            "csr_in_model"
+        };
         group.bench_function(label, |b| {
             let dut = build_vscale(&VscaleConfig {
                 blackbox_csr: blackbox,

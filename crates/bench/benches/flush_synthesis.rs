@@ -19,7 +19,11 @@ fn bench_flush_synthesis(c: &mut Criterion) {
     };
     group.bench_function("algorithm1_incremental", |b| {
         b.iter(|| {
-            let r = incremental_flush(banked_device, |s: FtSpec| s.flush_done(flush_input), &config);
+            let r = incremental_flush(
+                banked_device,
+                |s: FtSpec| s.flush_done(flush_input),
+                &config,
+            );
             assert!(r.converged);
         })
     });

@@ -1,7 +1,10 @@
 //! Criterion bench regenerating each Table-1 experiment (one benchmark per
 //! row). Times here are the "Time" column of the reproduced table.
 
-use autocc_bench::{cva6_cex_config, default_options, run_aes_a1, run_cva6, run_maple, run_vscale_stage, VSCALE_STAGES};
+use autocc_bench::{
+    cva6_cex_config, default_options, run_aes_a1, run_cva6, run_maple, run_vscale_stage,
+    VSCALE_STAGES,
+};
 use autocc_duts::maple::MapleConfig;
 use criterion::{criterion_group, criterion_main, Criterion};
 

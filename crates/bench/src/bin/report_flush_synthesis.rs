@@ -18,7 +18,11 @@ fn main() {
         max_iterations: 12,
     };
 
-    let inc = incremental_flush(banked_device, |s: FtSpec| s.flush_done(flush_input), &config);
+    let inc = incremental_flush(
+        banked_device,
+        |s: FtSpec| s.flush_done(flush_input),
+        &config,
+    );
     println!("Algorithm 1 (incremental):");
     for (i, it) in inc.iterations.iter().enumerate() {
         match (&it.state, it.clean) {
@@ -27,7 +31,10 @@ fn main() {
             (None, false) => println!("  round {i}: inconclusive"),
         }
     }
-    println!("  result: {:?} (converged: {})\n", inc.flush_set, inc.converged);
+    println!(
+        "  result: {:?} (converged: {})\n",
+        inc.flush_set, inc.converged
+    );
 
     let full: BTreeSet<String> = ["bank0", "bank1", "bank2", "scratch"]
         .iter()
@@ -46,11 +53,18 @@ fn main() {
         if let Some(state) = &it.state {
             println!(
                 "  remove {state}: {}",
-                if it.clean { "still clean — removed" } else { "CEX — kept" }
+                if it.clean {
+                    "still clean — removed"
+                } else {
+                    "CEX — kept"
+                }
             );
         }
     }
-    println!("  result: {:?} (converged: {})\n", dec.flush_set, dec.converged);
+    println!(
+        "  result: {:?} (converged: {})\n",
+        dec.flush_set, dec.converged
+    );
     assert_eq!(inc.flush_set, dec.flush_set);
     println!("Both algorithms agree on the minimal flush set.");
 }

@@ -1,15 +1,24 @@
 //! Regenerates Table 1: the valuable CEXs across all four DUTs.
 
-use autocc_bench::{default_options, table1};
-use autocc_core::format_table;
+use autocc_bench::{default_options, parse_report_args, table1_with};
+use autocc_core::{format_table, format_table_stable};
+
+const USAGE: &str = "usage: report_table1 [--jobs N] [--slice on|off] [--stable]
+  --jobs N        fan experiments across N portfolio workers (default 1)
+  --slice on|off  per-property cone-of-influence slicing (default off)
+  --stable        omit the Time column (byte-reproducible output)";
 
 fn main() {
+    let args = parse_report_args(USAGE);
     let options = default_options(20);
-    let rows = table1(&options);
-    println!(
-        "{}",
-        format_table("Table 1 (reproduced): valuable CEXs across the four DUTs", &rows)
-    );
+    let rows = table1_with(&options, args.exec);
+    let title = "Table 1 (reproduced): valuable CEXs across the four DUTs";
+    let table = if args.stable {
+        format_table_stable(title, &rows)
+    } else {
+        format_table(title, &rows)
+    };
+    println!("{table}");
     println!("Paper reference (JasperGold, original RTL):");
     println!("  V5 depth 9 <10min | C1 depth 76 <30min | C2 depth 80 <6h | C3 depth 80 <6h");
     println!("  M2 depth 21 <30min | M3 depth 23 <3h | A1 depth 42 <1min");

@@ -1,18 +1,24 @@
 //! Regenerates Table 2: the Vscale CEX ladder (description, depth, time).
 
-use autocc_bench::{default_options, table2};
-use autocc_core::format_table;
+use autocc_bench::{default_options, parse_report_args, table2_with};
+use autocc_core::{format_table, format_table_stable};
+
+const USAGE: &str = "usage: report_table2 [--jobs N] [--slice on|off] [--stable]
+  --jobs N        fan ladder stages across N portfolio workers (default 1)
+  --slice on|off  per-property cone-of-influence slicing (default off)
+  --stable        omit the Time column (byte-reproducible output)";
 
 fn main() {
+    let args = parse_report_args(USAGE);
     let options = default_options(16);
-    let rows = table2(&options);
-    println!(
-        "{}",
-        format_table(
-            "Table 2 (reproduced): CEXs found in Vscale from the default AutoCC FT",
-            &rows
-        )
-    );
+    let rows = table2_with(&options, args.exec);
+    let title = "Table 2 (reproduced): CEXs found in Vscale from the default AutoCC FT";
+    let table = if args.stable {
+        format_table_stable(title, &rows)
+    } else {
+        format_table(title, &rows)
+    };
+    println!("{table}");
     println!("Paper reference (JasperGold, original 32-bit Vscale RTL):");
     println!("  V1 depth 6 <10s | V2 depth 6 <10s | V3 depth 7 <10s");
     println!("  V4 depth 7 <10s | V5 depth 9 <100s | bounded proof depth 21 in 24h");

@@ -23,8 +23,8 @@ fn main() {
             blackbox_csr: true,
             ..Default::default()
         });
-        let mut spec = autocc_core::FtSpec::new(&dut)
-            .arch_mem(autocc_duts::vscale::arch::REGFILE_MEM);
+        let mut spec =
+            autocc_core::FtSpec::new(&dut).arch_mem(autocc_duts::vscale::arch::REGFILE_MEM);
         for r in autocc_duts::vscale::arch::PIPELINE_REGS
             .iter()
             .chain(autocc_duts::vscale::arch::INT_REGS.iter())

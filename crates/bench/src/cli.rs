@@ -1,0 +1,82 @@
+//! Tiny flag parser shared by the report binaries.
+
+use crate::experiments::Exec;
+
+/// Flags common to every report binary.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReportArgs {
+    /// Portfolio execution settings (`--jobs N`, `--slice on|off`).
+    pub exec: ExecArgs,
+    /// `--stable`: omit the Time column so output is byte-reproducible.
+    pub stable: bool,
+}
+
+/// `Exec` with a `Default` that matches the flags' defaults.
+pub type ExecArgs = Exec;
+
+/// Parses `--jobs N`, `--slice on|off`, and `--stable` from `argv`.
+/// Unknown flags print `usage` and exit with status 2.
+pub fn parse_report_args(usage: &str) -> ReportArgs {
+    parse_report_arg_list(usage, std::env::args().skip(1))
+}
+
+fn parse_report_arg_list(usage: &str, args: impl Iterator<Item = String>) -> ReportArgs {
+    let mut parsed = ReportArgs::default();
+    parsed.exec.jobs = 1;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                parsed.exec.jobs = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&j| j >= 1)
+                    .unwrap_or_else(|| die(usage, "--jobs needs a positive integer"));
+            }
+            "--slice" => {
+                parsed.exec.slice = match args.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => die(usage, "--slice needs `on` or `off`"),
+                };
+            }
+            "--stable" => parsed.stable = true,
+            "--help" | "-h" => {
+                println!("{usage}");
+                std::process::exit(0);
+            }
+            other => die(usage, &format!("unknown flag {other}")),
+        }
+    }
+    parsed
+}
+
+fn die(usage: &str, msg: &str) -> ! {
+    eprintln!("error: {msg}\n{usage}");
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ReportArgs {
+        parse_report_arg_list("usage", args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_serial_unsliced() {
+        let a = parse(&[]);
+        assert_eq!(a.exec.jobs, 1);
+        assert!(!a.exec.slice);
+        assert!(!a.stable);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let a = parse(&["--jobs", "4", "--slice", "on", "--stable"]);
+        assert_eq!(a.exec.jobs, 4);
+        assert!(a.exec.slice);
+        assert!(a.stable);
+    }
+}

@@ -1,8 +1,8 @@
 //! Canonical testbench configurations for every experiment in the paper's
 //! evaluation, shared by the report binaries and the Criterion benches.
 
-use autocc_bmc::BmcOptions;
-use autocc_core::{FtSpec, MonitorHandles, RunReport, TableRow};
+use autocc_bmc::{BmcOptions, Portfolio};
+use autocc_core::{CheckSettings, FtSpec, MonitorHandles, RunReport, TableRow};
 use autocc_duts::aes::{build_aes, stage_valid_names, AesConfig};
 use autocc_duts::cva6::{build_cva6, Cva6Config, ARCH_REGS};
 use autocc_duts::maple::{build_maple, MapleConfig};
@@ -16,6 +16,42 @@ pub fn default_options(max_depth: usize) -> BmcOptions {
         max_depth,
         conflict_budget: None,
         time_budget: Some(Duration::from_secs(1800)),
+    }
+}
+
+/// How an experiment batch executes: worker threads for the portfolio
+/// scheduler (parallelism is across experiments; each experiment checks
+/// its properties serially) and cone-of-influence slicing.
+///
+/// Jobs only change wall-clock behaviour: results merge in submission
+/// order, so any `jobs` value produces the same rows.
+#[derive(Clone, Copy, Debug)]
+pub struct Exec {
+    /// Worker threads for fanning out experiments (min 1).
+    pub jobs: usize,
+    /// Per-property cone-of-influence slicing inside each experiment.
+    pub slice: bool,
+}
+
+impl Default for Exec {
+    fn default() -> Exec {
+        Exec {
+            jobs: 1,
+            slice: false,
+        }
+    }
+}
+
+impl Exec {
+    /// Per-experiment check settings: serial inside the experiment (the
+    /// scheduler parallelises across experiments), sliced per `self`.
+    pub fn settings(&self, options: &BmcOptions) -> CheckSettings {
+        CheckSettings::serial(options).with_slice(self.slice)
+    }
+
+    /// The scheduler fanning experiments across workers.
+    pub fn portfolio(&self) -> Portfolio {
+        Portfolio::new(self.jobs)
     }
 }
 
@@ -69,8 +105,9 @@ pub const VSCALE_STAGES: [VscaleStage; 5] = [
     },
 ];
 
-/// Builds the Vscale FT for a ladder stage and runs it.
-pub fn run_vscale_stage(stage: &VscaleStage, options: &BmcOptions) -> RunReport {
+/// Builds the Vscale FT for a ladder stage and runs it through the check
+/// engines with the given execution settings.
+pub fn run_vscale_stage_with(stage: &VscaleStage, options: &BmcOptions, exec: Exec) -> RunReport {
     let dut = build_vscale(&VscaleConfig {
         blackbox_csr: stage.blackbox_csr,
         ..VscaleConfig::default()
@@ -92,21 +129,36 @@ pub fn run_vscale_stage(stage: &VscaleStage, options: &BmcOptions) -> RunReport 
     if stage.level >= 4 {
         spec = spec.state_equality_invariants();
         let ft = spec.generate();
-        return ft.prove(options);
+        return ft.prove_portfolio(&exec.settings(options));
     }
     let ft = spec.generate();
-    ft.check(options)
+    ft.check_portfolio(&exec.settings(options))
+}
+
+/// Builds the Vscale FT for a ladder stage and runs it (serial, unsliced).
+pub fn run_vscale_stage(stage: &VscaleStage, options: &BmcOptions) -> RunReport {
+    run_vscale_stage_with(stage, options, Exec::default())
+}
+
+/// Regenerates Table 2 (the Vscale ladder), fanning the stages across
+/// `exec.jobs` portfolio workers.
+pub fn table2_with(options: &BmcOptions, exec: Exec) -> Vec<TableRow> {
+    let tasks: Vec<Box<dyn FnOnce() -> TableRow + Send>> = VSCALE_STAGES
+        .iter()
+        .map(|stage| {
+            let task: Box<dyn FnOnce() -> TableRow + Send> = Box::new(move || {
+                let report = run_vscale_stage_with(stage, options, exec);
+                TableRow::from_outcome(stage.id, stage.description, &report.outcome, report.elapsed)
+            });
+            task
+        })
+        .collect();
+    exec.portfolio().run(tasks)
 }
 
 /// Regenerates Table 2 (the Vscale ladder).
 pub fn table2(options: &BmcOptions) -> Vec<TableRow> {
-    VSCALE_STAGES
-        .iter()
-        .map(|stage| {
-            let report = run_vscale_stage(stage, options);
-            TableRow::from_outcome(stage.id, stage.description, &report.outcome, report.elapsed)
-        })
-        .collect()
+    table2_with(options, Exec::default())
 }
 
 // ---------------------------------------------------------------------
@@ -143,20 +195,25 @@ pub fn maple_assume_obuf_empty(
 }
 
 /// Runs the MAPLE testbench with the M1 assumption in place.
-pub fn run_maple(config: &MapleConfig, options: &BmcOptions) -> RunReport {
+pub fn run_maple_with(config: &MapleConfig, options: &BmcOptions, exec: Exec) -> RunReport {
     let dut = build_maple(config);
     let ft = FtSpec::new(&dut)
         .flush_done(maple_flush_done)
         .assume(maple_assume_obuf_empty)
         .generate();
-    ft.check(options)
+    ft.check_portfolio(&exec.settings(options))
+}
+
+/// Runs the MAPLE testbench with the M1 assumption (serial, unsliced).
+pub fn run_maple(config: &MapleConfig, options: &BmcOptions) -> RunReport {
+    run_maple_with(config, options, Exec::default())
 }
 
 /// Runs the MAPLE testbench *without* the M1 assumption (the first CEX).
 pub fn run_maple_m1(options: &BmcOptions) -> RunReport {
     let dut = build_maple(&MapleConfig::default());
     let ft = FtSpec::new(&dut).flush_done(maple_flush_done).generate();
-    ft.check(options)
+    ft.check_portfolio(&CheckSettings::serial(options))
 }
 
 // ---------------------------------------------------------------------
@@ -171,14 +228,19 @@ pub fn cva6_flush_done(b: &mut ModuleBuilder, ua: &Instance, ub: &Instance) -> N
 }
 
 /// Runs the CVA6 frontend testbench for a given configuration.
-pub fn run_cva6(config: &Cva6Config, options: &BmcOptions) -> RunReport {
+pub fn run_cva6_with(config: &Cva6Config, options: &BmcOptions, exec: Exec) -> RunReport {
     let dut = build_cva6(config);
     let mut spec = FtSpec::new(&dut).flush_done(cva6_flush_done);
     for r in ARCH_REGS {
         spec = spec.arch_reg(r);
     }
     let ft = spec.generate();
-    ft.check(options)
+    ft.check_portfolio(&exec.settings(options))
+}
+
+/// Runs the CVA6 frontend testbench (serial, unsliced).
+pub fn run_cva6(config: &Cva6Config, options: &BmcOptions) -> RunReport {
+    run_cva6_with(config, options, Exec::default())
 }
 
 /// Per-CEX configurations, isolating each channel as the paper's
@@ -209,15 +271,25 @@ pub fn cva6_cex_config(which: &str) -> Cva6Config {
 // ---------------------------------------------------------------------
 
 /// Runs the default AES testbench (finds A1).
-pub fn run_aes_a1(options: &BmcOptions) -> RunReport {
+pub fn run_aes_a1_with(options: &BmcOptions, exec: Exec) -> RunReport {
     let dut = build_aes(&AesConfig::default());
     let ft = FtSpec::new(&dut).generate();
-    ft.check(options)
+    ft.check_portfolio(&exec.settings(options))
+}
+
+/// Runs the default AES testbench (serial, unsliced).
+pub fn run_aes_a1(options: &BmcOptions) -> RunReport {
+    run_aes_a1_with(options, Exec::default())
 }
 
 /// Runs the refined AES testbench to a full proof: idle-pipeline flush
 /// condition plus the Sec.-4.4 strengthening invariants.
 pub fn run_aes_proof(options: &BmcOptions) -> RunReport {
+    run_aes_proof_with(options, Exec::default())
+}
+
+/// Runs the refined AES full proof through the engine layer.
+pub fn run_aes_proof_with(options: &BmcOptions, exec: Exec) -> RunReport {
     let config = AesConfig::default();
     let dut = build_aes(&config);
     let idle_names = stage_valid_names(&config);
@@ -267,72 +339,87 @@ pub fn run_aes_proof(options: &BmcOptions) -> RunReport {
         .flush_done(idle)
         .assert_prop("pipeline_convergence", invariant)
         .generate();
-    ft.prove(options)
+    ft.prove_portfolio(&exec.settings(options))
 }
 
 // ---------------------------------------------------------------------
 // Table 1 (the valuable CEXs across all four DUTs)
 // ---------------------------------------------------------------------
 
-/// Regenerates Table 1: the valuable CEXs V5, C1, C2, C3, M2, M3, A1.
-pub fn table1(options: &BmcOptions) -> Vec<TableRow> {
-    let mut rows = Vec::new();
+/// Regenerates Table 1 (the valuable CEXs V5, C1, C2, C3, M2, M3, A1),
+/// fanning one check job per experiment across `exec.jobs` workers.
+/// Rows come back in table order regardless of worker count.
+pub fn table1_with(options: &BmcOptions, exec: Exec) -> Vec<TableRow> {
+    type RowTask<'a> = Box<dyn FnOnce() -> TableRow + Send + 'a>;
+    let row = |id: &'static str, desc: &'static str, report: RunReport| {
+        TableRow::from_outcome(id, desc, &report.outcome, report.elapsed)
+    };
+    let mut tasks: Vec<RowTask> = Vec::new();
 
     // V5: the Vscale pending-interrupt channel (ladder stage 3).
-    let report = run_vscale_stage(&VSCALE_STAGES[2], options);
-    rows.push(TableRow::from_outcome(
-        "V5",
-        "Interrupt in the WB stage stalls pipeline",
-        &report.outcome,
-        report.elapsed,
-    ));
+    tasks.push(Box::new(move || {
+        row(
+            "V5",
+            "Interrupt in the WB stage stalls pipeline",
+            run_vscale_stage_with(&VSCALE_STAGES[2], options, exec),
+        )
+    }));
 
     for (id, desc) in [
         ("C1", "Leaks invalid I-Cache data to the next PC"),
         ("C2", "Wrong transition in the FSM of the PTW"),
         ("C3", "Valid D$ line after flush caused by PTW"),
     ] {
-        let report = run_cva6(&cva6_cex_config(id), options);
-        rows.push(TableRow::from_outcome(id, desc, &report.outcome, report.elapsed));
+        tasks.push(Box::new(move || {
+            row(id, desc, run_cva6_with(&cva6_cex_config(id), options, exec))
+        }));
     }
 
     // M2: fix nothing except M3 so the TLB-enable channel is the target.
-    let report = run_maple(
-        &MapleConfig {
-            fix_tlb_enable: false,
-            fix_array_base: true,
-        },
-        options,
-    );
-    rows.push(TableRow::from_outcome(
-        "M2",
-        "Leak whether the TLB was disabled",
-        &report.outcome,
-        report.elapsed,
-    ));
+    tasks.push(Box::new(move || {
+        row(
+            "M2",
+            "Leak whether the TLB was disabled",
+            run_maple_with(
+                &MapleConfig {
+                    fix_tlb_enable: false,
+                    fix_array_base: true,
+                },
+                options,
+                exec,
+            ),
+        )
+    }));
     // M3: fix M2 so the array-base channel is the target.
-    let report = run_maple(
-        &MapleConfig {
-            fix_tlb_enable: true,
-            fix_array_base: false,
-        },
-        options,
-    );
-    rows.push(TableRow::from_outcome(
-        "M3",
-        "Leak the value of a configuration register",
-        &report.outcome,
-        report.elapsed,
-    ));
+    tasks.push(Box::new(move || {
+        row(
+            "M3",
+            "Leak the value of a configuration register",
+            run_maple_with(
+                &MapleConfig {
+                    fix_tlb_enable: true,
+                    fix_array_base: false,
+                },
+                options,
+                exec,
+            ),
+        )
+    }));
 
-    let report = run_aes_a1(options);
-    rows.push(TableRow::from_outcome(
-        "A1",
-        "Request in the pipeline during the switch",
-        &report.outcome,
-        report.elapsed,
-    ));
-    rows
+    tasks.push(Box::new(move || {
+        row(
+            "A1",
+            "Request in the pipeline during the switch",
+            run_aes_a1_with(options, exec),
+        )
+    }));
+
+    exec.portfolio().run(tasks)
+}
+
+/// Regenerates Table 1: the valuable CEXs V5, C1, C2, C3, M2, M3, A1.
+pub fn table1(options: &BmcOptions) -> Vec<TableRow> {
+    table1_with(options, Exec::default())
 }
 
 /// Fix-validation runs: every fixed DUT configuration must be clean.

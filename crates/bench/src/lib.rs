@@ -9,5 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod experiments;
+pub use cli::{parse_report_args, ReportArgs};
 pub use experiments::*;

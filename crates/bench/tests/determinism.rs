@@ -1,0 +1,53 @@
+//! The portfolio scheduler must be invisible in the results: running the
+//! Table 1/Table 2 experiments with `--jobs 4` yields byte-identical
+//! stable report output to `--jobs 1`, with and without slicing.
+//!
+//! Depths are reduced against the report binaries' defaults so the suite
+//! stays fast; determinism is about scheduling, not about bound size. The
+//! time budget is `None` because wall-clock budgets are inherently
+//! load-dependent (the stable table format omits runtimes for the same
+//! reason).
+
+use autocc_bench::{table1_with, table2_with, Exec};
+use autocc_bmc::BmcOptions;
+use autocc_core::format_table_stable;
+
+fn options(max_depth: usize) -> BmcOptions {
+    BmcOptions {
+        max_depth,
+        conflict_budget: None,
+        time_budget: None,
+    }
+}
+
+#[test]
+fn table2_is_jobs_invariant() {
+    let options = options(7);
+    let render = |jobs: usize, slice: bool| {
+        let rows = table2_with(&options, Exec { jobs, slice });
+        format_table_stable("Table 2 (determinism check)", &rows)
+    };
+    let serial = render(1, false);
+    assert_eq!(serial, render(4, false), "jobs=4 changed Table 2");
+    assert_eq!(
+        serial,
+        render(4, true),
+        "jobs=4 with slicing changed Table 2"
+    );
+}
+
+#[test]
+fn table1_is_jobs_invariant() {
+    let options = options(5);
+    let render = |jobs: usize, slice: bool| {
+        let rows = table1_with(&options, Exec { jobs, slice });
+        format_table_stable("Table 1 (determinism check)", &rows)
+    };
+    let serial = render(1, false);
+    assert_eq!(serial, render(4, false), "jobs=4 changed Table 1");
+    assert_eq!(
+        serial,
+        render(4, true),
+        "jobs=4 with slicing changed Table 1"
+    );
+}

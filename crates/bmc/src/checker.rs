@@ -12,8 +12,9 @@
 //! are returned as input traces and are *replay-validated* against the
 //! word-level interpreter before being reported.
 
+use crate::engine::CancelToken;
 use crate::trace::Trace;
-use autocc_aig::{assert_true_lit, FrameMap, SeqAig};
+use autocc_aig::{assert_true_lit, sequential_coi, FrameMap, SeqAig, SeqCoi};
 use autocc_hdl::{Bv, Module, NodeId};
 use autocc_sat::{Lit, SolveResult, Solver};
 use std::time::{Duration, Instant};
@@ -118,6 +119,9 @@ pub struct Bmc<'m> {
     properties: Vec<(String, NodeId)>,
     frames: Vec<Frame>,
     stats: BmcStats,
+    slice: bool,
+    coi: Option<SeqCoi>,
+    cancel: CancelToken,
 }
 
 impl<'m> Bmc<'m> {
@@ -136,7 +140,55 @@ impl<'m> Bmc<'m> {
             properties: Vec::new(),
             frames: Vec::new(),
             stats: BmcStats::default(),
+            slice: false,
+            coi: None,
+            cancel: CancelToken::new(),
         }
+    }
+
+    /// Enables or disables sequential cone-of-influence slicing: state and
+    /// input bits outside the cone of the registered properties and
+    /// constraints are never encoded, shrinking the SAT instance without
+    /// changing any outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after checking started.
+    pub fn set_slicing(&mut self, on: bool) {
+        assert!(self.frames.is_empty(), "set slicing before checking");
+        self.slice = on;
+        self.coi = None;
+    }
+
+    /// Installs a cancellation token, polled between depth steps. A
+    /// cancelled check returns [`CheckOutcome::Exhausted`] at the deepest
+    /// fully-proven depth.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
+    /// The cone-of-influence computed for the registered properties, if
+    /// slicing is enabled and checking has started.
+    pub fn coi(&self) -> Option<&SeqCoi> {
+        self.coi.as_ref()
+    }
+
+    /// Computes the COI once, from the property and constraint roots.
+    fn ensure_coi(&mut self) -> Option<SeqCoi> {
+        if !self.slice {
+            return None;
+        }
+        if self.coi.is_none() {
+            let roots: Vec<_> = self
+                .properties
+                .iter()
+                .map(|(_, p)| *p)
+                .chain(self.constraints.iter().copied())
+                .map(|n| self.seq.node_lits[n.index()][0])
+                .collect();
+            self.coi = Some(sequential_coi(&self.seq, &roots));
+        }
+        self.coi.clone()
     }
 
     /// The module under check.
@@ -183,6 +235,9 @@ impl<'m> Bmc<'m> {
     }
 
     fn build_frame(&mut self) {
+        let coi = self.ensure_coi();
+        let keep_port = |k: usize| coi.as_ref().is_none_or(|c| c.port_keep[k]);
+        let keep_state = |j: usize| coi.as_ref().is_none_or(|c| c.state_keep[j]);
         let t = self.frames.len();
         let state_lits: Vec<Lit> = if t == 0 {
             self.seq
@@ -193,8 +248,17 @@ impl<'m> Bmc<'m> {
         } else {
             self.frames[t - 1].next_state.clone()
         };
+        // Out-of-cone port bits get a constant placeholder instead of a
+        // fresh variable; no encoded cone ever reads them (the COI is
+        // transitively closed), so the placeholder value is never observed.
         let port_lits: Vec<Lit> = (0..self.seq.num_port_bits())
-            .map(|_| self.solver.new_var().positive())
+            .map(|k| {
+                if keep_port(k) {
+                    self.solver.new_var().positive()
+                } else {
+                    !self.const_true
+                }
+            })
             .collect();
         let mut aig_inputs = port_lits.clone();
         aig_inputs.extend_from_slice(&state_lits);
@@ -218,13 +282,22 @@ impl<'m> Bmc<'m> {
         clause.extend(prop_lits.iter().map(|&p| !p));
         self.solver.add_clause(&clause);
 
-        // Next-state literals (wired into the following frame).
+        // Next-state literals (wired into the following frame). Dropped
+        // bits keep a constant placeholder so their cones never reach the
+        // lazy encoder.
         let next_state: Vec<Lit> = self
             .seq
             .state_next
             .clone()
             .iter()
-            .map(|&l| map.sat_lit(&mut self.solver, &self.seq.aig, l))
+            .enumerate()
+            .map(|(j, &l)| {
+                if keep_state(j) {
+                    map.sat_lit(&mut self.solver, &self.seq.aig, l)
+                } else {
+                    !self.const_true
+                }
+            })
             .collect();
 
         self.frames.push(Frame {
@@ -254,6 +327,10 @@ impl<'m> Bmc<'m> {
         let conflicts_start = self.solver.stats().conflicts;
         let mut depth = self.frames.len();
         while depth < options.max_depth {
+            if self.cancel.is_cancelled() {
+                self.stats.solve_time += start.elapsed();
+                return CheckOutcome::Exhausted { depth };
+            }
             if let Some(tb) = options.time_budget {
                 if start.elapsed() > tb {
                     self.stats.solve_time += start.elapsed();
@@ -349,9 +426,19 @@ impl<'m> Bmc<'m> {
     /// properties — they are proven too.
     pub fn prove(&mut self, options: &BmcOptions) -> ProveOutcome {
         let start = Instant::now();
-        let mut induction =
-            InductionStep::new(self.module, self.properties.clone(), self.constraints.clone());
+        let coi = self.ensure_coi();
+        let mut induction = InductionStep::new(
+            self.module,
+            self.properties.clone(),
+            self.constraints.clone(),
+            coi,
+        );
         for k in 1..=options.max_depth {
+            if self.cancel.is_cancelled() {
+                return ProveOutcome::Exhausted {
+                    bound: self.frames.len(),
+                };
+            }
             // Base case: no counterexample within k cycles.
             let base_opts = BmcOptions {
                 max_depth: k,
@@ -377,9 +464,7 @@ impl<'m> Bmc<'m> {
             match induction.step_holds(k, options) {
                 StepResult::Holds => {
                     self.stats.solve_time += start.elapsed();
-                    return ProveOutcome::Proved {
-                        induction_depth: k,
-                    };
+                    return ProveOutcome::Proved { induction_depth: k };
                 }
                 StepResult::Fails => {}
                 StepResult::Unknown => return ProveOutcome::Exhausted { bound: k },
@@ -409,6 +494,8 @@ struct InductionStep {
     frames: Vec<Frame>,
     /// Per-frame state literals (inputs to that frame), for simple-path.
     frame_states: Vec<Vec<Lit>>,
+    /// Cone-of-influence restriction shared with the base case, if slicing.
+    coi: Option<SeqCoi>,
 }
 
 impl InductionStep {
@@ -416,6 +503,7 @@ impl InductionStep {
         module: &Module,
         properties: Vec<(String, NodeId)>,
         constraints: Vec<NodeId>,
+        coi: Option<SeqCoi>,
     ) -> InductionStep {
         let mut solver = Solver::new();
         let const_true = assert_true_lit(&mut solver);
@@ -427,21 +515,40 @@ impl InductionStep {
             const_true,
             frames: Vec::new(),
             frame_states: Vec::new(),
+            coi,
         }
+    }
+
+    fn keep_state(&self, j: usize) -> bool {
+        self.coi.as_ref().is_none_or(|c| c.state_keep[j])
     }
 
     fn build_frame(&mut self) {
         let t = self.frames.len();
         let state_lits: Vec<Lit> = if t == 0 {
-            // Free symbolic initial state.
+            // Free symbolic initial state; out-of-cone bits are constant
+            // placeholders (the kept bits form a closed sub-FSM, so the
+            // step case over them is unchanged by the dropped ones).
             (0..self.seq.state_cur.len())
-                .map(|_| self.solver.new_var().positive())
+                .map(|j| {
+                    if self.keep_state(j) {
+                        self.solver.new_var().positive()
+                    } else {
+                        !self.const_true
+                    }
+                })
                 .collect()
         } else {
             self.frames[t - 1].next_state.clone()
         };
         let port_lits: Vec<Lit> = (0..self.seq.num_port_bits())
-            .map(|_| self.solver.new_var().positive())
+            .map(|k| {
+                if self.coi.as_ref().is_none_or(|c| c.port_keep[k]) {
+                    self.solver.new_var().positive()
+                } else {
+                    !self.const_true
+                }
+            })
             .collect();
         let mut aig_inputs = port_lits.clone();
         aig_inputs.extend_from_slice(&state_lits);
@@ -469,23 +576,39 @@ impl InductionStep {
         let next_state: Vec<Lit> = self
             .seq
             .state_next
+            .clone()
             .iter()
-            .map(|&l| map.sat_lit(&mut self.solver, &self.seq.aig, l))
+            .enumerate()
+            .map(|(j, &l)| {
+                if self.keep_state(j) {
+                    map.sat_lit(&mut self.solver, &self.seq.aig, l)
+                } else {
+                    !self.const_true
+                }
+            })
             .collect();
 
         // Simple path: this frame's state differs from every earlier one.
         // For each pair, a difference selector x with x → (a ⊕ b); the
         // clause "some x is true" then forces a genuine state difference.
+        // Only in-cone bits participate: dropped bits carry placeholder
+        // constants, and distinctness over the kept sub-FSM is what the
+        // sliced step case needs.
         let states = state_lits.clone();
         for earlier in self.frame_states.clone() {
             let mut diff_bits = Vec::with_capacity(states.len());
-            for (&a, &b) in earlier.iter().zip(&states) {
+            for (j, (&a, &b)) in earlier.iter().zip(&states).enumerate() {
+                if !self.keep_state(j) {
+                    continue;
+                }
                 let x = self.solver.new_var().positive();
                 self.solver.add_clause(&[!x, a, b]);
                 self.solver.add_clause(&[!x, !a, !b]);
                 diff_bits.push(x);
             }
-            self.solver.add_clause(&diff_bits);
+            if !diff_bits.is_empty() {
+                self.solver.add_clause(&diff_bits);
+            }
         }
 
         self.frame_states.push(states);

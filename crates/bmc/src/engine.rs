@@ -1,0 +1,346 @@
+//! Pluggable check engines.
+//!
+//! A [`CheckEngine`] turns a [`CheckSpec`] (module + properties +
+//! constraints) into an [`EngineOutcome`] under [`EngineOptions`] budgets.
+//! Engines are `Send + Sync` and take a [`CancelToken`], so a portfolio
+//! scheduler can race several of them over the same spec and cancel the
+//! losers — the software analogue of JasperGold's engine portfolio that
+//! the paper drives with a single property set.
+//!
+//! Two engines ship with the crate:
+//!
+//! * [`BmcEngine`] — incremental bounded model checking ([`Bmc::check`]).
+//! * [`KInductionEngine`] — k-induction with simple-path constraints
+//!   ([`Bmc::prove`]); can return [`EngineOutcome::Proved`].
+//!
+//! Cancellation is polled *between* depth steps only, never inside a
+//! solver call, so a run's SAT-level behaviour (and therefore its outcome
+//! and counterexample depth) is bit-identical whether or not a token is
+//! installed — the invariant the deterministic scheduler relies on.
+
+use crate::checker::{Bmc, BmcOptions, Cex, CheckOutcome, ProveOutcome};
+use autocc_hdl::{Module, NodeId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared cancellation flag, cloned into every job of a race.
+///
+/// Engines poll [`CancelToken::is_cancelled`] at depth-step boundaries and
+/// bail out with [`EngineOutcome::Exhausted`] once it is set.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; every clone observes it.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// What to check: a module plus the properties asserted over it and the
+/// environment constraints assumed over it.
+#[derive(Clone, Debug)]
+pub struct CheckSpec<'m> {
+    /// The design under test.
+    pub module: &'m Module,
+    /// `(name, node)` safety properties; each node is 1 bit and must be 1
+    /// on every cycle.
+    pub properties: Vec<(String, NodeId)>,
+    /// 1-bit constraint nodes assumed 1 on every cycle.
+    pub constraints: Vec<NodeId>,
+}
+
+impl<'m> CheckSpec<'m> {
+    /// An empty spec over `module`.
+    pub fn new(module: &'m Module) -> CheckSpec<'m> {
+        CheckSpec {
+            module,
+            properties: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a property (builder style).
+    pub fn property(mut self, name: impl Into<String>, node: NodeId) -> Self {
+        self.properties.push((name.into(), node));
+        self
+    }
+
+    /// Adds a constraint (builder style).
+    pub fn constraint(mut self, node: NodeId) -> Self {
+        self.constraints.push(node);
+        self
+    }
+
+    /// Adds a batch of constraints (builder style).
+    pub fn constraints(mut self, nodes: &[NodeId]) -> Self {
+        self.constraints.extend_from_slice(nodes);
+        self
+    }
+}
+
+/// Per-job budgets and switches for a check engine run.
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    /// Maximum unrolling depth (number of cycles).
+    pub max_depth: usize,
+    /// Conflict budget for the job (`None` = unlimited).
+    pub conflict_budget: Option<u64>,
+    /// Wall-clock budget for the job (`None` = unlimited). Time budgets
+    /// make outcomes machine-dependent; deterministic runs should prefer
+    /// conflict budgets.
+    pub time_budget: Option<Duration>,
+    /// Apply per-property cone-of-influence slicing before encoding.
+    pub slice: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions::from_bmc(&BmcOptions::default())
+    }
+}
+
+impl EngineOptions {
+    /// Lifts legacy [`BmcOptions`] into engine options (slicing off).
+    pub fn from_bmc(options: &BmcOptions) -> EngineOptions {
+        EngineOptions {
+            max_depth: options.max_depth,
+            conflict_budget: options.conflict_budget,
+            time_budget: options.time_budget,
+            slice: false,
+        }
+    }
+
+    /// The checker-level options this job runs with.
+    pub fn to_bmc(&self) -> BmcOptions {
+        BmcOptions {
+            max_depth: self.max_depth,
+            conflict_budget: self.conflict_budget,
+            time_budget: self.time_budget,
+        }
+    }
+
+    /// Returns the options with slicing switched on or off.
+    pub fn with_slice(mut self, slice: bool) -> EngineOptions {
+        self.slice = slice;
+        self
+    }
+}
+
+/// Result of one engine run over one spec.
+#[derive(Clone, Debug)]
+pub enum EngineOutcome {
+    /// A property is violated; the trace proves it.
+    Cex(Cex),
+    /// No violation exists within `depth` cycles (bounded proof).
+    BoundReached {
+        /// The proven bound, in cycles.
+        depth: usize,
+    },
+    /// The properties hold on all reachable states, for any depth.
+    Proved {
+        /// The induction depth at which the step case closed.
+        induction_depth: usize,
+    },
+    /// Budget exhausted or cancelled; `depth` cycles are still proven.
+    Exhausted {
+        /// Deepest fully-proven depth, in cycles.
+        depth: usize,
+    },
+}
+
+impl EngineOutcome {
+    /// A conclusive outcome settles the question the job asked; only
+    /// [`EngineOutcome::Exhausted`] is inconclusive. Races stop on the
+    /// first conclusive result.
+    pub fn is_conclusive(&self) -> bool {
+        !matches!(self, EngineOutcome::Exhausted { .. })
+    }
+}
+
+/// A check engine: one strategy for deciding a [`CheckSpec`].
+pub trait CheckEngine: Send + Sync {
+    /// Short stable name, used in logs and reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs the engine to completion, budget exhaustion, or cancellation.
+    fn check(
+        &self,
+        spec: &CheckSpec<'_>,
+        options: &EngineOptions,
+        cancel: &CancelToken,
+    ) -> EngineOutcome;
+}
+
+fn configure<'m>(spec: &CheckSpec<'m>, options: &EngineOptions, cancel: &CancelToken) -> Bmc<'m> {
+    let mut bmc = Bmc::new(spec.module);
+    for &c in &spec.constraints {
+        bmc.add_constraint(c);
+    }
+    for (name, p) in &spec.properties {
+        bmc.add_property(name.clone(), *p);
+    }
+    bmc.set_slicing(options.slice);
+    bmc.set_cancel_token(cancel.clone());
+    bmc
+}
+
+/// Incremental bounded model checking (falsification / bounded proof).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BmcEngine;
+
+impl CheckEngine for BmcEngine {
+    fn name(&self) -> &'static str {
+        "bmc"
+    }
+
+    fn check(
+        &self,
+        spec: &CheckSpec<'_>,
+        options: &EngineOptions,
+        cancel: &CancelToken,
+    ) -> EngineOutcome {
+        let mut bmc = configure(spec, options, cancel);
+        match bmc.check(&options.to_bmc()) {
+            CheckOutcome::Cex(cex) => EngineOutcome::Cex(cex),
+            CheckOutcome::BoundReached { depth } => EngineOutcome::BoundReached { depth },
+            CheckOutcome::Exhausted { depth } => EngineOutcome::Exhausted { depth },
+        }
+    }
+}
+
+/// K-induction with simple-path constraints (full proofs), interleaved
+/// with base-case BMC (so it also finds counterexamples).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KInductionEngine;
+
+impl CheckEngine for KInductionEngine {
+    fn name(&self) -> &'static str {
+        "k-induction"
+    }
+
+    fn check(
+        &self,
+        spec: &CheckSpec<'_>,
+        options: &EngineOptions,
+        cancel: &CancelToken,
+    ) -> EngineOutcome {
+        let mut bmc = configure(spec, options, cancel);
+        match bmc.prove(&options.to_bmc()) {
+            ProveOutcome::Proved { induction_depth } => EngineOutcome::Proved { induction_depth },
+            ProveOutcome::Cex(cex) => EngineOutcome::Cex(cex),
+            ProveOutcome::Exhausted { bound } => EngineOutcome::Exhausted { depth: bound },
+        }
+    }
+}
+
+/// Demotes an engine's [`EngineOutcome::BoundReached`] to
+/// [`EngineOutcome::Exhausted`], making it inconclusive.
+///
+/// Use this to enter a bounded engine into a *full-proof* race: the
+/// falsifier can win only by finding a counterexample; merely reaching its
+/// bound must not cancel a prover that could still close the proof.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Falsifier<E>(pub E);
+
+impl<E: CheckEngine> CheckEngine for Falsifier<E> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn check(
+        &self,
+        spec: &CheckSpec<'_>,
+        options: &EngineOptions,
+        cancel: &CancelToken,
+    ) -> EngineOutcome {
+        match self.0.check(spec, options, cancel) {
+            EngineOutcome::BoundReached { depth } => EngineOutcome::Exhausted { depth },
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocc_hdl::{Bv, ModuleBuilder};
+
+    fn counter_module() -> Module {
+        let mut b = ModuleBuilder::new("counter");
+        let c = b.reg("count", 3, Bv::zero(3));
+        let one = b.lit(3, 1);
+        let next = b.add(c, one);
+        b.set_next(c, next);
+        let five = b.lit(3, 5);
+        let below = b.ult(c, five);
+        b.output("small", below);
+        b.build()
+    }
+
+    #[test]
+    fn bmc_engine_finds_cex() {
+        let m = counter_module();
+        let spec = CheckSpec::new(&m).property("count_below_5", m.output_node("small").unwrap());
+        let opts = EngineOptions {
+            max_depth: 16,
+            conflict_budget: None,
+            time_budget: None,
+            slice: false,
+        };
+        match BmcEngine.check(&spec, &opts, &CancelToken::new()) {
+            EngineOutcome::Cex(cex) => assert_eq!(cex.depth, 6),
+            other => panic!("expected cex, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_job_exhausts_immediately() {
+        let m = counter_module();
+        let spec = CheckSpec::new(&m).property("count_below_5", m.output_node("small").unwrap());
+        let opts = EngineOptions {
+            max_depth: 16,
+            conflict_budget: None,
+            time_budget: None,
+            slice: false,
+        };
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        match BmcEngine.check(&spec, &opts, &cancel) {
+            EngineOutcome::Exhausted { depth: 0 } => {}
+            other => panic!("expected immediate exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sliced_and_unsliced_agree() {
+        let m = counter_module();
+        let spec = CheckSpec::new(&m).property("count_below_5", m.output_node("small").unwrap());
+        let opts = EngineOptions {
+            max_depth: 16,
+            conflict_budget: None,
+            time_budget: None,
+            slice: false,
+        };
+        let plain = BmcEngine.check(&spec, &opts, &CancelToken::new());
+        let sliced = BmcEngine.check(&spec, &opts.clone().with_slice(true), &CancelToken::new());
+        match (plain, sliced) {
+            (EngineOutcome::Cex(a), EngineOutcome::Cex(b)) => {
+                assert_eq!(a.depth, b.depth);
+                assert_eq!(a.property, b.property);
+            }
+            other => panic!("expected matching cexes, got {other:?}"),
+        }
+    }
+}

@@ -14,6 +14,11 @@
 //!   channel always reproduces in simulation.
 //! * [`Bmc::prove`] runs k-induction with simple-path constraints for full
 //!   (unbounded) proofs, as used for the paper's AES full-proof result.
+//! * The [`engine`] layer wraps both strategies behind the pluggable
+//!   [`CheckEngine`] trait, with per-property cone-of-influence slicing
+//!   and cooperative cancellation; the [`portfolio`] scheduler fans
+//!   independent jobs across threads (deterministic, order-indexed merge)
+//!   and races engines over one spec (first conclusive result wins).
 //!
 //! ## Example: proving and refuting a counter property
 //!
@@ -46,7 +51,14 @@
 #![warn(missing_docs)]
 
 mod checker;
+pub mod engine;
+pub mod portfolio;
 mod trace;
 
-pub use checker::{Bmc, BmcOptions, BmcStats, CheckOutcome, Cex, ProveOutcome};
+pub use checker::{Bmc, BmcOptions, BmcStats, Cex, CheckOutcome, ProveOutcome};
+pub use engine::{
+    BmcEngine, CancelToken, CheckEngine, CheckSpec, EngineOptions, EngineOutcome, Falsifier,
+    KInductionEngine,
+};
+pub use portfolio::Portfolio;
 pub use trace::{ReplayedTrace, Trace};

@@ -1,0 +1,186 @@
+//! Deterministic parallel portfolio scheduler.
+//!
+//! Two scheduling shapes, mirroring how the paper drives JasperGold:
+//!
+//! * [`Portfolio::run`] fans a batch of *independent* jobs (one per
+//!   property, or one per experiment) across worker threads and returns
+//!   results **in submission order**. Each job is a pure function of its
+//!   inputs and runs on a private solver, so the merged result is
+//!   bit-identical no matter how many workers execute the batch — `--jobs
+//!   4` and `--jobs 1` agree byte for byte.
+//! * [`Portfolio::race`] runs several engines over the *same* spec with a
+//!   shared [`CancelToken`]; the first conclusive result wins and the
+//!   losers are cancelled at their next depth-step boundary.
+//!
+//! Workers claim jobs from an atomic counter (work stealing by index), so
+//! scheduling is dynamic but the *result vector* is positional — merging
+//! never depends on completion order.
+
+use crate::engine::{CancelToken, CheckEngine, CheckSpec, EngineOptions, EngineOutcome};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// A fixed-width pool of check workers.
+#[derive(Clone, Copy, Debug)]
+pub struct Portfolio {
+    jobs: usize,
+}
+
+impl Portfolio {
+    /// A scheduler running at most `jobs` tasks concurrently (min 1).
+    pub fn new(jobs: usize) -> Portfolio {
+        Portfolio { jobs: jobs.max(1) }
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs every task and returns the results in submission order.
+    ///
+    /// With `jobs == 1` (or a single task) the tasks run inline on the
+    /// calling thread; otherwise worker threads claim tasks from an atomic
+    /// counter. Either way the result at index `i` is task `i`'s result,
+    /// so downstream merging is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task panics (the panic is propagated).
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        if self.jobs == 1 || n <= 1 {
+            return tasks.into_iter().map(|task| task()).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        thread::scope(|s| {
+            for _ in 0..self.jobs.min(n) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let task = slots[i].lock().unwrap().take().expect("task claimed once");
+                    let result = task();
+                    *results[i].lock().unwrap() = Some(result);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker panics propagate through scope join")
+                    .expect("every claimed task stores a result")
+            })
+            .collect()
+    }
+
+    /// Races `engines` over one spec; the first *conclusive* outcome (see
+    /// [`EngineOutcome::is_conclusive`]) wins and cancels the rest.
+    ///
+    /// Returns the winning engine's index and outcome. If no engine is
+    /// conclusive, engine 0's outcome is returned (a deterministic
+    /// fallback). Which engine wins a race can depend on machine timing —
+    /// races trade determinism of the *winner* for wall-clock speed, while
+    /// the outcome itself is still a correct answer whoever produces it.
+    pub fn race(
+        &self,
+        engines: &[&dyn CheckEngine],
+        spec: &CheckSpec<'_>,
+        options: &EngineOptions,
+    ) -> (usize, EngineOutcome) {
+        assert!(!engines.is_empty(), "race needs at least one engine");
+        let tokens: Vec<CancelToken> = engines.iter().map(|_| CancelToken::new()).collect();
+        let winner: Mutex<Option<usize>> = Mutex::new(None);
+        let outcomes: Vec<Mutex<Option<EngineOutcome>>> =
+            engines.iter().map(|_| Mutex::new(None)).collect();
+        thread::scope(|s| {
+            for (i, engine) in engines.iter().enumerate() {
+                let tokens = &tokens;
+                let winner = &winner;
+                let outcomes = &outcomes;
+                s.spawn(move || {
+                    let outcome = engine.check(spec, options, &tokens[i]);
+                    if outcome.is_conclusive() {
+                        let mut w = winner.lock().unwrap();
+                        if w.is_none() {
+                            *w = Some(i);
+                            for (j, t) in tokens.iter().enumerate() {
+                                if j != i {
+                                    t.cancel();
+                                }
+                            }
+                        }
+                    }
+                    *outcomes[i].lock().unwrap() = Some(outcome);
+                });
+            }
+        });
+        let outcomes: Vec<EngineOutcome> = outcomes
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("every racer reports"))
+            .collect();
+        let idx = winner.into_inner().unwrap().unwrap_or(0);
+        let outcome = outcomes.into_iter().nth(idx).expect("winner index valid");
+        (idx, outcome)
+    }
+}
+
+impl Default for Portfolio {
+    fn default() -> Portfolio {
+        Portfolio::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{BmcEngine, KInductionEngine};
+    use autocc_hdl::{Bv, Module, ModuleBuilder};
+
+    #[test]
+    fn run_preserves_submission_order() {
+        let tasks: Vec<_> = (0..17).map(|i| move || i * i).collect();
+        let serial = Portfolio::new(1).run(tasks.clone());
+        let parallel = Portfolio::new(4).run(tasks);
+        assert_eq!(serial, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(serial, parallel);
+    }
+
+    fn toggle_module() -> Module {
+        let mut b = ModuleBuilder::new("toggle");
+        let t = b.reg("t", 1, Bv::zero(1));
+        let n = b.not(t);
+        b.set_next(t, n);
+        let stuck = b.or(t, n);
+        b.output("stuck", stuck);
+        b.build()
+    }
+
+    #[test]
+    fn race_returns_first_conclusive_result() {
+        let m = toggle_module();
+        let spec = CheckSpec::new(&m).property("t_or_not_t", m.output_node("stuck").unwrap());
+        let opts = EngineOptions {
+            max_depth: 8,
+            conflict_budget: None,
+            time_budget: None,
+            slice: false,
+        };
+        let (idx, outcome) = Portfolio::new(2).race(&[&KInductionEngine, &BmcEngine], &spec, &opts);
+        assert!(idx < 2);
+        assert!(outcome.is_conclusive(), "got {outcome:?}");
+        match outcome {
+            EngineOutcome::Proved { .. } | EngineOutcome::BoundReached { .. } => {}
+            other => panic!("tautology must not be refuted: {other:?}"),
+        }
+    }
+}

@@ -71,11 +71,7 @@ impl Trace {
             nodes.push(node_vals);
             sim.step();
         }
-        ReplayedTrace {
-            nodes,
-            regs,
-            mems,
-        }
+        ReplayedTrace { nodes, regs, mems }
     }
 }
 
@@ -147,7 +143,10 @@ impl ReplayedTrace {
             wf.add_signal(label.clone(), module.width(*node));
         }
         for &r in regs {
-            wf.add_signal(module.regs()[r.index()].name.clone(), module.regs()[r.index()].width);
+            wf.add_signal(
+                module.regs()[r.index()].name.clone(),
+                module.regs()[r.index()].width,
+            );
         }
         for cycle in 0..self.len() {
             let mut row: Vec<Bv> = signals

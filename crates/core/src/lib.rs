@@ -71,10 +71,10 @@ pub use flush::{
     decremental_flush, incremental_flush, FlushIteration, FlushSynthesisConfig,
     FlushSynthesisResult,
 };
-pub use report::{format_duration, format_table, TableRow};
-pub use sva::to_sva;
+pub use report::{format_duration, format_table, format_table_stable, TableRow};
 pub use spec::{AssumeHook, FlushDone, FtSpec, MiterHook};
+pub use sva::to_sva;
 pub use testbench::{
-    AutoCcOutcome, CovertChannelCex, FpvTestbench, MonitorHandles, PortRole, RunReport,
-    StateDivergence,
+    AutoCcOutcome, CheckSettings, CovertChannelCex, FpvTestbench, MonitorHandles, PortRole,
+    RunReport, StateDivergence,
 };

@@ -105,6 +105,47 @@ pub fn format_table(title: &str, rows: &[TableRow]) -> String {
     out
 }
 
+/// Renders rows as an aligned text table **without** the Time column.
+///
+/// Runtimes vary run to run, so this is the form to use when output must
+/// be reproducible byte for byte — e.g. diffing a `--jobs 4` report
+/// against a `--jobs 1` report, or committing golden outputs.
+pub fn format_table_stable(title: &str, rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let id_w = rows.iter().map(|r| r.id.len()).max().unwrap_or(2).max(2);
+    let desc_w = rows
+        .iter()
+        .map(|r| r.description.len())
+        .max()
+        .unwrap_or(11)
+        .max(11);
+    let out_w = rows
+        .iter()
+        .map(|r| r.outcome.len())
+        .max()
+        .unwrap_or(7)
+        .max(7);
+    let _ = writeln!(
+        out,
+        "{:id_w$}  {:desc_w$}  {:>5}  {:out_w$}",
+        "Id", "Description", "Depth", "Outcome"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(id_w + desc_w + out_w + 12));
+    for r in rows {
+        let depth = r
+            .depth
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "{:id_w$}  {:desc_w$}  {:>5}  {:out_w$}",
+            r.id, r.description, depth, r.outcome
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +181,20 @@ mod tests {
         assert!(table.contains("V5"));
         assert!(table.contains("reg. file"));
         assert!(table.lines().count() >= 5);
+    }
+
+    #[test]
+    fn stable_table_ignores_runtimes() {
+        let row = |time| TableRow {
+            id: "V1".into(),
+            description: "Jump to address read from the reg. file".into(),
+            depth: Some(6),
+            time,
+            outcome: "CEX as__dmem_hwrite_eq".into(),
+        };
+        let fast = format_table_stable("Table 2: Vscale", &[row(Duration::from_millis(3))]);
+        let slow = format_table_stable("Table 2: Vscale", &[row(Duration::from_secs(90))]);
+        assert_eq!(fast, slow, "stable tables must not encode runtimes");
+        assert!(!fast.contains("Time"));
     }
 }

@@ -181,8 +181,7 @@ impl<'d> FtSpec<'d> {
     /// the context switch".
     pub fn assume(
         mut self,
-        hook: impl Fn(&mut ModuleBuilder, &Instance, &Instance, &MonitorHandles) -> NodeId
-            + 'static,
+        hook: impl Fn(&mut ModuleBuilder, &Instance, &Instance, &MonitorHandles) -> NodeId + 'static,
     ) -> FtSpec<'d> {
         self.assume_hooks.push(Box::new(hook));
         self
@@ -195,8 +194,7 @@ impl<'d> FtSpec<'d> {
     pub fn assert_prop(
         mut self,
         name: &str,
-        hook: impl Fn(&mut ModuleBuilder, &Instance, &Instance, &MonitorHandles) -> NodeId
-            + 'static,
+        hook: impl Fn(&mut ModuleBuilder, &Instance, &Instance, &MonitorHandles) -> NodeId + 'static,
     ) -> FtSpec<'d> {
         self.assert_hooks.push((name.to_string(), Box::new(hook)));
         self

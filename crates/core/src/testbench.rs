@@ -6,7 +6,10 @@
 //! root-cause analysis of Sec. 4 already applied: the microarchitectural
 //! state that differed between universes when the spy process started.
 
-use autocc_bmc::{Bmc, BmcOptions, CheckOutcome, ProveOutcome, ReplayedTrace, Trace};
+use autocc_bmc::{
+    Bmc, BmcEngine, BmcOptions, CancelToken, CheckEngine, CheckOutcome, CheckSpec, EngineOptions,
+    EngineOutcome, Falsifier, KInductionEngine, Portfolio, ProveOutcome, ReplayedTrace, Trace,
+};
 use autocc_hdl::{Bv, Instance, Module, NodeId, RegId, Waveform};
 use std::time::{Duration, Instant};
 
@@ -138,6 +141,49 @@ pub struct RunReport {
     pub elapsed: Duration,
 }
 
+/// Execution settings for the engine/portfolio checking path: solver
+/// budgets plus worker count and cone-of-influence slicing.
+///
+/// With no time budget, the merged outcome is identical for every `jobs`
+/// value: per-property jobs run on private solvers and the merge is
+/// order-indexed, never completion-ordered.
+#[derive(Clone, Debug)]
+pub struct CheckSettings {
+    /// Solver budgets (depth, conflicts, wall-clock).
+    pub options: BmcOptions,
+    /// Worker threads for the portfolio scheduler (min 1).
+    pub jobs: usize,
+    /// Per-property cone-of-influence slicing.
+    pub slice: bool,
+}
+
+impl CheckSettings {
+    /// Serial, unsliced settings — the legacy behaviour.
+    pub fn serial(options: &BmcOptions) -> CheckSettings {
+        CheckSettings {
+            options: options.clone(),
+            jobs: 1,
+            slice: false,
+        }
+    }
+
+    /// Sets the worker count (clamped to at least 1).
+    pub fn with_jobs(mut self, jobs: usize) -> CheckSettings {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Switches cone-of-influence slicing on or off.
+    pub fn with_slice(mut self, slice: bool) -> CheckSettings {
+        self.slice = slice;
+        self
+    }
+
+    fn engine_options(&self) -> EngineOptions {
+        EngineOptions::from_bmc(&self.options).with_slice(self.slice)
+    }
+}
+
 /// A generated AutoCC FPV testbench (Sec. 3.3).
 pub struct FpvTestbench {
     miter: Module,
@@ -234,6 +280,104 @@ impl FpvTestbench {
             CheckOutcome::Cex(cex) => AutoCcOutcome::Cex(Box::new(self.analyze_cex(&cex))),
             CheckOutcome::BoundReached { depth } => AutoCcOutcome::Clean { bound: depth },
             CheckOutcome::Exhausted { depth } => AutoCcOutcome::Exhausted { bound: depth },
+        };
+        RunReport {
+            outcome,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Runs the covert-channel search through the check-engine portfolio:
+    /// one [`BmcEngine`] job per generated assertion, optionally sliced to
+    /// that assertion's sequential cone of influence, fanned across
+    /// `settings.jobs` worker threads.
+    ///
+    /// The merge is deterministic: the reported counterexample is the one
+    /// with the smallest `(depth, property index)`, exhaustion bounds take
+    /// the minimum over jobs, and results are merged in property order —
+    /// so `jobs = 1` and `jobs = N` agree exactly (absent time budgets,
+    /// which are inherently machine-dependent).
+    pub fn check_portfolio(&self, settings: &CheckSettings) -> RunReport {
+        let start = Instant::now();
+        let engine_opts = settings.engine_options();
+        let tasks: Vec<_> = self
+            .properties
+            .iter()
+            .map(|(name, p)| {
+                let spec = CheckSpec::new(&self.miter)
+                    .property(name.clone(), *p)
+                    .constraints(&self.constraints);
+                let opts = engine_opts.clone();
+                move || BmcEngine.check(&spec, &opts, &CancelToken::new())
+            })
+            .collect();
+        let outcomes = Portfolio::new(settings.jobs).run(tasks);
+
+        // Deterministic merge, in property-registration order.
+        let mut best_cex: Option<(usize, usize, autocc_bmc::Cex)> = None;
+        let mut exhausted_bound: Option<usize> = None;
+        let mut clean_bound: Option<usize> = None;
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                EngineOutcome::Cex(cex) => {
+                    if best_cex
+                        .as_ref()
+                        .is_none_or(|(d, j, _)| (cex.depth, i) < (*d, *j))
+                    {
+                        best_cex = Some((cex.depth, i, cex));
+                    }
+                }
+                EngineOutcome::Exhausted { depth } => {
+                    exhausted_bound = Some(exhausted_bound.map_or(depth, |b| b.min(depth)));
+                }
+                EngineOutcome::BoundReached { depth }
+                | EngineOutcome::Proved {
+                    induction_depth: depth,
+                } => {
+                    clean_bound = Some(clean_bound.map_or(depth, |b| b.min(depth)));
+                }
+            }
+        }
+        let outcome = if let Some((_, _, cex)) = best_cex {
+            AutoCcOutcome::Cex(Box::new(self.analyze_cex(&cex)))
+        } else if let Some(bound) = exhausted_bound {
+            AutoCcOutcome::Exhausted { bound }
+        } else {
+            AutoCcOutcome::Clean {
+                bound: clean_bound.unwrap_or(settings.options.max_depth),
+            }
+        };
+        RunReport {
+            outcome,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Attempts a full proof through the engine layer. With `jobs > 1`
+    /// this races [`KInductionEngine`] against a [`Falsifier`]-wrapped
+    /// [`BmcEngine`] over the whole assertion set (first conclusive result
+    /// wins, the loser is cancelled); serially it runs k-induction alone.
+    pub fn prove_portfolio(&self, settings: &CheckSettings) -> RunReport {
+        let start = Instant::now();
+        let spec = CheckSpec {
+            module: &self.miter,
+            properties: self.properties.clone(),
+            constraints: self.constraints.clone(),
+        };
+        let opts = settings.engine_options();
+        let engine_outcome = if settings.jobs > 1 {
+            let falsifier = Falsifier(BmcEngine);
+            let (_, outcome) =
+                Portfolio::new(settings.jobs).race(&[&KInductionEngine, &falsifier], &spec, &opts);
+            outcome
+        } else {
+            KInductionEngine.check(&spec, &opts, &CancelToken::new())
+        };
+        let outcome = match engine_outcome {
+            EngineOutcome::Proved { induction_depth } => AutoCcOutcome::Proved { induction_depth },
+            EngineOutcome::Cex(cex) => AutoCcOutcome::Cex(Box::new(self.analyze_cex(&cex))),
+            EngineOutcome::BoundReached { depth } => AutoCcOutcome::Clean { bound: depth },
+            EngineOutcome::Exhausted { depth } => AutoCcOutcome::Exhausted { bound: depth },
         };
         RunReport {
             outcome,
@@ -372,8 +516,11 @@ impl FpvTestbench {
             let last = cycles - 1;
             // All constraints must hold and the original property must
             // still be violated at the final cycle.
-            let constraints_ok = (0..cycles)
-                .all(|t| self.constraints.iter().all(|&c| replay.node(t, c).as_bool()));
+            let constraints_ok = (0..cycles).all(|t| {
+                self.constraints
+                    .iter()
+                    .all(|&c| replay.node(t, c).as_bool())
+            });
             let violated = self
                 .properties
                 .iter()

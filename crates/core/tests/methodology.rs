@@ -4,9 +4,7 @@
 //! flush-synthesis algorithms.
 
 use autocc_bmc::BmcOptions;
-use autocc_core::{
-    decremental_flush, incremental_flush, FlushSynthesisConfig, FtSpec, PortRole,
-};
+use autocc_core::{decremental_flush, incremental_flush, FlushSynthesisConfig, FtSpec, PortRole};
 use autocc_hdl::{Bv, Module, ModuleBuilder, NodeId};
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -57,7 +55,11 @@ fn unflushed_register_is_a_covert_channel() {
     assert_eq!(cex.diverging_state.len(), 1);
     assert_eq!(cex.diverging_state[0].name, "cfg");
     // Depth: at least victim-write + transfer period + observation.
-    assert!(cex.depth >= ft.threshold() as usize + 2, "depth {}", cex.depth);
+    assert!(
+        cex.depth >= ft.threshold() as usize + 2,
+        "depth {}",
+        cex.depth
+    );
 }
 
 #[test]
@@ -84,7 +86,10 @@ fn broken_flush_still_leaks() {
     let dut = cfg_device(true, false);
     let ft = FtSpec::new(&dut).generate();
     let report = ft.check(&opts(12));
-    assert!(report.outcome.cex().is_some(), "broken flush must still leak");
+    assert!(
+        report.outcome.cex().is_some(),
+        "broken flush must still leak"
+    );
 }
 
 #[test]
@@ -138,7 +143,9 @@ fn transaction_metadata_gates_payload_checks() {
         .expect("ungated payload must report a (spurious) CEX");
     assert_eq!(cex.property, "as__resp_data_eq");
     assert!(
-        cex.diverging_state.iter().any(|d| d.name.starts_with("junk")),
+        cex.diverging_state
+            .iter()
+            .any(|d| d.name.starts_with("junk")),
         "root cause is the junk chain: {:?}",
         cex.diverging_state
     );
@@ -295,7 +302,11 @@ fn algorithm1_converges_to_observable_registers() {
     );
     assert!(result.converged, "algorithm 1 must converge");
     let expected: BTreeSet<String> = ["bank0", "bank1"].iter().map(|s| s.to_string()).collect();
-    assert_eq!(result.flush_set, expected, "iterations: {:#?}", result.iterations);
+    assert_eq!(
+        result.flush_set, expected,
+        "iterations: {:#?}",
+        result.iterations
+    );
 }
 
 #[test]

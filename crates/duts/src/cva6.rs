@@ -589,8 +589,8 @@ mod tests {
             quiet(&mut sim);
             sim.step(); // walk starts
             sim.step(); // PTE lookup miss -> outstanding
-            // Fence starts; the response lands in the PAD window, *after*
-            // the clear cycle (microreset: WB, CLEAR, PAD).
+                        // Fence starts; the response lands in the PAD window, *after*
+                        // the clear cycle (microreset: WB, CLEAR, PAD).
             sim.set_input("fence_t", Bv::bit(true));
             sim.step(); // -> WB
             sim.set_input("fence_t", Bv::bit(false));
@@ -603,8 +603,7 @@ mod tests {
             sim.step(); // fill after the clear
             sim.set_input("dmem_rvalid", Bv::bit(false));
             let valids = m.find_mem("dcache.valids").unwrap();
-            let any_valid =
-                sim.mem_word(valids, 0).as_bool() || sim.mem_word(valids, 1).as_bool();
+            let any_valid = sim.mem_word(valids, 0).as_bool() || sim.mem_word(valids, 1).as_bool();
             if fix {
                 assert!(!any_valid, "fix_c3 drains the fill");
             } else {

@@ -167,7 +167,7 @@ mod tests {
 
     #[test]
     fn flush_latency_depends_on_dirtiness() {
-        let flush_latency = |dirty: bool| -> usize {
+        let flush_latency = |dirty: bool| -> Result<usize, String> {
             let m = variable_latency_flush_device();
             let mut sim = Sim::new(&m);
             sim.set_input("we", Bv::bit(dirty));
@@ -180,14 +180,16 @@ mod tests {
             sim.set_input("flush_req", Bv::bit(false));
             for t in 1..6 {
                 if sim.output("flush_done").as_bool() {
-                    return t;
+                    return Ok(t);
                 }
                 sim.step();
             }
-            panic!("flush never completed");
+            Err("flush did not complete within 6 cycles".into())
         };
-        assert_eq!(flush_latency(false), 2, "clean flush: base latency");
-        assert_eq!(flush_latency(true), 3, "dirty flush: one extra cycle");
+        let clean = flush_latency(false).expect("clean flush completes");
+        assert_eq!(clean, 2, "clean flush: base latency");
+        let dirty = flush_latency(true).expect("dirty flush completes");
+        assert_eq!(dirty, 3, "dirty flush: one extra cycle");
     }
 
     #[test]

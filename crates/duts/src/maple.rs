@@ -83,7 +83,7 @@ pub fn build_maple(config: &MapleConfig) -> Module {
     // ---- Configuration registers ----------------------------------------
     let array_base = b.reg("array_base", 16, Bv::zero(16));
     let tlb_enable = b.reg("tlb_enable", 1, Bv::new(1, 1)); // enabled at reset
-    // TLB entry 0: valid, vpn, ppn.
+                                                            // TLB entry 0: valid, vpn, ppn.
     let tlb_valid = b.reg("tlb_valid", 1, Bv::zero(1));
     let tlb_vpn = b.reg("tlb_vpn", 4, Bv::zero(4));
     let tlb_ppn = b.reg("tlb_ppn", 4, Bv::zero(4));
@@ -265,7 +265,7 @@ mod tests {
         let mut sim = Sim::new(&m);
         idle_inputs(&mut sim);
         write_conf(&mut sim, 0, 0x5000); // base: vpn 5
-        // No TLB entry yet: fault.
+                                         // No TLB entry yet: fault.
         sim.set_input("load_valid", Bv::bit(true));
         sim.set_input("load_index", Bv::new(8, 0));
         assert!(sim.output("fault").as_bool(), "miss faults");
@@ -333,7 +333,10 @@ mod tests {
         sim.set_input("load_valid", Bv::bit(true));
         sim.set_input("load_index", Bv::new(8, 1));
         sim.step(); // CLEAR state
-        assert!(!sim.output("noc_req_valid").as_bool(), "no issue mid-cleanup");
+        assert!(
+            !sim.output("noc_req_valid").as_bool(),
+            "no issue mid-cleanup"
+        );
     }
 
     #[test]

@@ -59,8 +59,7 @@ pub mod arch {
     /// instructions inside the pipeline should be equal when the spy
     /// process is about to start" (Sec. 4.1).
     pub const PIPELINE_REGS: [&str; 9] = [
-        "pc_f", "pc_dx", "pc_wb", "instr_dx", "valid_dx", "wb_valid", "wb_wen", "wb_rd",
-        "wb_val",
+        "pc_f", "pc_dx", "pc_wb", "instr_dx", "valid_dx", "wb_valid", "wb_wen", "wb_rd", "wb_val",
     ];
     /// V5: the interrupt-pending flip-flop.
     pub const INT_REGS: [&str; 1] = ["int_flag"];
@@ -296,7 +295,7 @@ mod tests {
             asm::addi(2, 0, 3), // r2 = 3
             asm::nop(),
             asm::nop(),
-            asm::add(3, 1, 2),  // r3 = 8
+            asm::add(3, 1, 2), // r3 = 8
         ];
         let sim = run_program(&program, 10);
         let rf = sim.module().find_mem("regfile").unwrap();
@@ -309,8 +308,8 @@ mod tests {
     fn store_drives_dmem_interface() {
         // imm4 is sign-extended, so immediates stay in 0..=7.
         let program = [
-            asm::addi(1, 0, 7),  // r1 = 7
-            asm::addi(2, 0, 4),  // r2 = 4
+            asm::addi(1, 0, 7), // r1 = 7
+            asm::addi(2, 0, 4), // r2 = 4
             asm::nop(),
             asm::nop(),
             asm::store(2, 1, 1), // dmem[r2 + 1] = r1
@@ -338,11 +337,11 @@ mod tests {
         let program = [
             asm::addi(2, 0, 2), // r2 = 2
             asm::nop(),
-            asm::beqz(1, 4),    // taken (r1 == 0): pc = 2 + 4 = 6
+            asm::beqz(1, 4), // taken (r1 == 0): pc = 2 + 4 = 6
             asm::nop(),
             asm::nop(),
             asm::nop(),
-            asm::jr(2),         // pc = r2 = 2
+            asm::jr(2), // pc = r2 = 2
         ];
         let module = build_vscale(&VscaleConfig::default());
         let mut sim = Sim::new(&module);
@@ -354,8 +353,14 @@ mod tests {
             sim.set_input("imem_hrdata", Bv::new(16, u64::from(instr)));
             sim.step();
         }
-        assert!(pcs.windows(2).any(|w| w[0] == 3 && w[1] == 6), "beqz redirect: {pcs:?}");
-        assert!(pcs.windows(2).any(|w| w[0] == 7 && w[1] == 2), "jr redirect: {pcs:?}");
+        assert!(
+            pcs.windows(2).any(|w| w[0] == 3 && w[1] == 6),
+            "beqz redirect: {pcs:?}"
+        );
+        assert!(
+            pcs.windows(2).any(|w| w[0] == 7 && w[1] == 2),
+            "jr redirect: {pcs:?}"
+        );
     }
 
     #[test]
@@ -364,9 +369,9 @@ mod tests {
             asm::addi(1, 0, 7), // r1 = 7
             asm::nop(),
             asm::nop(),
-            asm::csrw(2, 1),    // csr[2] = 7
+            asm::csrw(2, 1), // csr[2] = 7
             asm::nop(),
-            asm::csrr(3, 2),    // r3 = csr[2]
+            asm::csrr(3, 2), // r3 = csr[2]
         ];
         let sim = run_program(&program, 12);
         let rf = sim.module().find_mem("regfile").unwrap();
@@ -386,8 +391,14 @@ mod tests {
             pcs.push(sim.output("imem_haddr").value());
             sim.step();
         }
-        assert!(sim.reg(int_flag).as_bool(), "interrupt stays pending while masked");
-        assert!(pcs.windows(2).all(|w| w[1] == w[0] + 1), "no vectoring while masked: {pcs:?}");
+        assert!(
+            sim.reg(int_flag).as_bool(),
+            "interrupt stays pending while masked"
+        );
+        assert!(
+            pcs.windows(2).all(|w| w[1] == w[0] + 1),
+            "no vectoring while masked: {pcs:?}"
+        );
         // Phase 2: enable interrupts (csr[3] = 1 via r1 = 1; csrw 3, r1).
         let program = [asm::addi(1, 0, 1), asm::nop(), asm::nop(), asm::csrw(3, 1)];
         let mut vectored = false;
@@ -403,13 +414,19 @@ mod tests {
             sim.step();
         }
         assert!(vectored, "pending interrupt must vector once enabled");
-        assert!(!sim.reg(int_flag).as_bool(), "pending flag clears when taken");
+        assert!(
+            !sim.reg(int_flag).as_bool(),
+            "pending flag clears when taken"
+        );
     }
 
     #[test]
     fn blackboxed_csr_removes_storage() {
         let plain = build_vscale(&VscaleConfig::default());
-        let bb = build_vscale(&VscaleConfig { blackbox_csr: true, ..VscaleConfig::default() });
+        let bb = build_vscale(&VscaleConfig {
+            blackbox_csr: true,
+            ..VscaleConfig::default()
+        });
         assert!(plain.find_mem("csr.file").is_some());
         assert!(bb.find_mem("csr.file").is_none());
         assert!(bb.input_index("csr.rdata").is_some());

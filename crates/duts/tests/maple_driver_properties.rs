@@ -72,9 +72,7 @@ impl Model {
         }
         let vpn = (vaddr >> 12) as u8;
         match self.tlb {
-            Some((tvpn, ppn)) if tvpn == vpn => {
-                Some(u16::from(ppn) << 12 | (vaddr & 0x0fff))
-            }
+            Some((tvpn, ppn)) if tvpn == vpn => Some(u16::from(ppn) << 12 | (vaddr & 0x0fff)),
             _ => None,
         }
     }

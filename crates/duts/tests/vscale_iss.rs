@@ -40,14 +40,26 @@ fn arb_insn() -> impl Strategy<Value = Insn> {
     let reg = 1u16..8;
     let imm = 0u16..8;
     prop_oneof![
-        (reg.clone(), reg.clone(), imm.clone())
-            .prop_map(|(rd, rs1, imm)| Insn::Addi { rd, rs1, imm }),
-        (reg.clone(), reg.clone(), reg.clone())
-            .prop_map(|(rd, rs1, rs2)| Insn::Add { rd, rs1, rs2 }),
-        (reg.clone(), reg.clone(), imm.clone())
-            .prop_map(|(rd, rs1, imm)| Insn::Load { rd, rs1, imm }),
-        (reg.clone(), reg.clone(), imm.clone())
-            .prop_map(|(rs1, rs2, imm)| Insn::Store { rs1, rs2, imm }),
+        (reg.clone(), reg.clone(), imm.clone()).prop_map(|(rd, rs1, imm)| Insn::Addi {
+            rd,
+            rs1,
+            imm
+        }),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, rs1, rs2)| Insn::Add {
+            rd,
+            rs1,
+            rs2
+        }),
+        (reg.clone(), reg.clone(), imm.clone()).prop_map(|(rd, rs1, imm)| Insn::Load {
+            rd,
+            rs1,
+            imm
+        }),
+        (reg.clone(), reg.clone(), imm.clone()).prop_map(|(rs1, rs2, imm)| Insn::Store {
+            rs1,
+            rs2,
+            imm
+        }),
         (0u16..4, reg.clone()).prop_map(|(csr, rs1)| Insn::Csrw { csr, rs1 }),
         (reg, 0u16..4).prop_map(|(rd, csr)| Insn::Csrr { rd, csr }),
     ]

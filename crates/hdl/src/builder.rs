@@ -108,7 +108,9 @@ impl ModuleBuilder {
     ///
     /// Panics if no scope is open.
     pub fn scope_pop(&mut self) {
-        self.scope.pop().expect("scope_pop without matching scope_push");
+        self.scope
+            .pop()
+            .expect("scope_pop without matching scope_push");
     }
 
     // ------------------------------------------------------------------
@@ -250,7 +252,9 @@ impl ModuleBuilder {
             "memory {}: write data width mismatch",
             m.name
         );
-        self.mems[mem.index()].writes.push(WritePort { en, addr, data });
+        self.mems[mem.index()]
+            .writes
+            .push(WritePort { en, addr, data });
     }
 
     // ------------------------------------------------------------------
@@ -692,9 +696,12 @@ impl ModuleBuilder {
     /// Panics if `index` is outside the memory depth.
     pub fn read_mem_word(&mut self, mid: MemId, index: usize) -> NodeId {
         let m = &self.mems[mid.index()];
-        assert!(index < m.depth, "memory {}: word {index} out of range", m.name);
-        let addr_width =
-            (usize::BITS - m.depth.next_power_of_two().leading_zeros()).clamp(1, 64);
+        assert!(
+            index < m.depth,
+            "memory {}: word {index} out of range",
+            m.name
+        );
+        let addr_width = (usize::BITS - m.depth.next_power_of_two().leading_zeros()).clamp(1, 64);
         let addr = self.lit(addr_width, index as u64);
         self.mem_read(mid, addr)
     }

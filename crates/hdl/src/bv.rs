@@ -19,8 +19,8 @@ pub struct Bv {
 }
 
 #[allow(clippy::should_implement_trait)] // `add`/`sub`/`not`/`shl`/`shr` mirror
-// the netlist operator names; the std operator traits would hide the
-// width-checking panics behind operator sugar.
+                                         // the netlist operator names; the std operator traits would hide the
+                                         // width-checking panics behind operator sugar.
 impl Bv {
     /// Creates a bit-vector of `width` bits holding `value`.
     ///
@@ -101,7 +101,11 @@ impl Bv {
     ///
     /// Panics if `i >= width`.
     pub fn get_bit(self, i: u32) -> bool {
-        assert!(i < self.width, "bit {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit {i} out of range for width {}",
+            self.width
+        );
         self.value >> i & 1 == 1
     }
 
@@ -180,7 +184,11 @@ impl Bv {
     ///
     /// Panics if `hi < lo` or `hi >= width`.
     pub fn slice(self, hi: u32, lo: u32) -> Bv {
-        assert!(hi >= lo && hi < self.width, "bad slice [{hi}:{lo}] of width {}", self.width);
+        assert!(
+            hi >= lo && hi < self.width,
+            "bad slice [{hi}:{lo}] of width {}",
+            self.width
+        );
         let w = hi - lo + 1;
         Bv::masked(w, self.value >> lo)
     }
@@ -202,7 +210,11 @@ impl Bv {
     ///
     /// Panics if `width` is smaller than the current width.
     pub fn zext(self, width: u32) -> Bv {
-        assert!(width >= self.width, "zext target {width} below {}", self.width);
+        assert!(
+            width >= self.width,
+            "zext target {width} below {}",
+            self.width
+        );
         Bv::new(width, self.value)
     }
 
@@ -212,7 +224,11 @@ impl Bv {
     ///
     /// Panics if `width` is smaller than the current width.
     pub fn sext(self, width: u32) -> Bv {
-        assert!(width >= self.width, "sext target {width} below {}", self.width);
+        assert!(
+            width >= self.width,
+            "sext target {width} below {}",
+            self.width
+        );
         if self.get_bit(self.width - 1) {
             let ext = Self::mask(width) & !Self::mask(self.width);
             Bv::new(width, self.value | ext)

@@ -327,10 +327,7 @@ impl Module {
 
     /// The node driving the output named `name`.
     pub fn output_node(&self, name: &str) -> Option<NodeId> {
-        self.outputs
-            .iter()
-            .find(|o| o.name == name)
-            .map(|o| o.node)
+        self.outputs.iter().find(|o| o.name == name).map(|o| o.node)
     }
 
     /// The register named `name`.
@@ -362,11 +359,7 @@ impl Module {
     /// FPV hardness.
     pub fn state_bits(&self) -> usize {
         let reg_bits: usize = self.regs.iter().map(|r| r.width as usize).sum();
-        let mem_bits: usize = self
-            .mems
-            .iter()
-            .map(|m| m.depth * m.width as usize)
-            .sum();
+        let mem_bits: usize = self.mems.iter().map(|m| m.depth * m.width as usize).sum();
         reg_bits + mem_bits
     }
 
@@ -436,7 +429,12 @@ impl Module {
         for m in &self.mems {
             assert_eq!(m.init.len(), m.depth, "memory {}: bad init length", m.name);
             for w in &m.writes {
-                assert_eq!(self.widths[w.en.index()], 1, "memory {}: enable not 1 bit", m.name);
+                assert_eq!(
+                    self.widths[w.en.index()],
+                    1,
+                    "memory {}: enable not 1 bit",
+                    m.name
+                );
                 assert_eq!(
                     self.widths[w.data.index()],
                     m.width,
@@ -457,7 +455,12 @@ impl Module {
                 Direction::Input => self.input_index(pname).is_some(),
                 Direction::Output => self.output_node(pname).is_some(),
             };
-            assert!(lookup(&t.valid), "transaction {}: unknown valid {}", t.name, t.valid);
+            assert!(
+                lookup(&t.valid),
+                "transaction {}: unknown valid {}",
+                t.name,
+                t.valid
+            );
             for p in &t.payload {
                 assert!(lookup(p), "transaction {}: unknown payload {}", t.name, p);
             }

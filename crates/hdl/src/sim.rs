@@ -47,11 +47,7 @@ impl<'m> Sim<'m> {
     pub fn new(module: &'m Module) -> Sim<'m> {
         let regs = module.regs().iter().map(|r| r.init).collect();
         let mems = module.mems().iter().map(|m| m.init.clone()).collect();
-        let inputs = module
-            .inputs()
-            .iter()
-            .map(|p| Bv::zero(p.width))
-            .collect();
+        let inputs = module.inputs().iter().map(|p| Bv::zero(p.width)).collect();
         let nodes = vec![Bv::zero(1); module.num_nodes()];
         Sim {
             module,

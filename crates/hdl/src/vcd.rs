@@ -67,7 +67,12 @@ impl Waveform {
     pub fn sample(&mut self, values: &[Bv]) {
         assert_eq!(values.len(), self.signals.len(), "sample count mismatch");
         for (s, v) in self.signals.iter_mut().zip(values) {
-            assert_eq!(v.width(), s.width, "signal {}: sample width mismatch", s.name);
+            assert_eq!(
+                v.width(),
+                s.width,
+                "signal {}: sample width mismatch",
+                s.name
+            );
             s.values.push(*v);
         }
         self.cycles += 1;

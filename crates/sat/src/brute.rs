@@ -41,9 +41,11 @@ fn clause_satisfied(clause: &[Lit], bits: u64) -> bool {
 
 /// Checks that `model` satisfies every clause of `cnf`.
 pub fn check_model(cnf: &Cnf, model: &[bool]) -> bool {
-    cnf.clauses
-        .iter()
-        .all(|clause| clause.iter().any(|l| model[l.var().index()] == l.is_positive()))
+    cnf.clauses.iter().all(|clause| {
+        clause
+            .iter()
+            .any(|l| model[l.var().index()] == l.is_positive())
+    })
 }
 
 #[cfg(test)]

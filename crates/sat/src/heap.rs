@@ -28,9 +28,7 @@ impl VarHeap {
 
     /// True when `v` is currently in the heap.
     pub fn contains(&self, v: Var) -> bool {
-        self.positions
-            .get(v.index())
-            .is_some_and(|&p| p != ABSENT)
+        self.positions.get(v.index()).is_some_and(|&p| p != ABSENT)
     }
 
     /// Inserts `v` if absent.

@@ -420,9 +420,9 @@ impl Solver {
             let l = learnt[i];
             let redundant = match self.reasons[l.var().index()] {
                 None => false,
-                Some(r) => self.clauses.get(r).lits()[1..].iter().all(|&q| {
-                    self.seen[q.var().index()] || self.levels[q.var().index()] == 0
-                }),
+                Some(r) => self.clauses.get(r).lits()[1..]
+                    .iter()
+                    .all(|&q| self.seen[q.var().index()] || self.levels[q.var().index()] == 0),
             };
             if !redundant {
                 learnt[j] = l;
@@ -441,8 +441,7 @@ impl Solver {
         } else {
             let mut max_i = 1;
             for i in 2..learnt.len() {
-                if self.levels[learnt[i].var().index()] > self.levels[learnt[max_i].var().index()]
-                {
+                if self.levels[learnt[i].var().index()] > self.levels[learnt[max_i].var().index()] {
                     max_i = i;
                 }
             }
@@ -512,13 +511,12 @@ impl Solver {
 
     fn reduce_db(&mut self) {
         let clauses = &self.clauses;
-        self.learnts
-            .sort_by(|&a, &b| {
-                let (ca, cb) = (clauses.get(a), clauses.get(b));
-                cb.activity
-                    .partial_cmp(&ca.activity)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+        self.learnts.sort_by(|&a, &b| {
+            let (ca, cb) = (clauses.get(a), clauses.get(b));
+            cb.activity
+                .partial_cmp(&ca.activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let keep_from = self.learnts.len() / 2;
         let learnts = std::mem::take(&mut self.learnts);
         let mut kept = Vec::with_capacity(keep_from + 8);
@@ -526,8 +524,7 @@ impl Solver {
             let c = self.clauses.get(cref);
             let locked = {
                 let l0 = c.lits()[0];
-                self.reasons[l0.var().index()] == Some(cref)
-                    && self.lit_value(l0) == LBool::True
+                self.reasons[l0.var().index()] == Some(cref) && self.lit_value(l0) == LBool::True
             };
             if i < keep_from || locked || c.len() <= 2 || c.lbd <= 2 {
                 kept.push(cref);
@@ -842,7 +839,10 @@ mod tests {
     fn assumptions_flip_result() {
         let (mut s, v) = setup(2);
         s.add_clause(&[lit(&v, 1), lit(&v, 2)]);
-        assert_eq!(s.solve_with(&[lit(&v, -1), lit(&v, -2)]), SolveResult::Unsat);
+        assert_eq!(
+            s.solve_with(&[lit(&v, -1), lit(&v, -2)]),
+            SolveResult::Unsat
+        );
         let failed = s.failed_assumptions().to_vec();
         assert!(!failed.is_empty());
         // Solver stays usable: without assumptions still SAT.

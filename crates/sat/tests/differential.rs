@@ -13,8 +13,10 @@ fn arb_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
                     .collect()
             },
         );
-        proptest::collection::vec(clause, 0..=max_clauses)
-            .prop_map(move |clauses| Cnf { num_vars: nv, clauses })
+        proptest::collection::vec(clause, 0..=max_clauses).prop_map(move |clauses| Cnf {
+            num_vars: nv,
+            clauses,
+        })
     })
 }
 

@@ -24,4 +24,4 @@ pub mod system;
 
 pub use exploit::{run_exploit, run_m2_binary_exploit, ExploitOutcome};
 pub use memory::BehavioralMemory;
-pub use system::MapleSystem;
+pub use system::{DriverTimeout, MapleSystem};

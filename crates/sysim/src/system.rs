@@ -6,6 +6,29 @@ use autocc_hdl::{Bv, Module, Sim};
 /// Cycles a driver call waits for a condition before giving up.
 const DRIVER_TIMEOUT: u64 = 64;
 
+/// A driver call's bounded wait expired before the hardware responded —
+/// a misconfigured or broken DUT, reported as a value instead of a panic
+/// so a batch (or portfolio) run can log the failure and continue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DriverTimeout {
+    /// The driver operation that timed out (`"dec_init"`, ...).
+    pub op: &'static str,
+    /// How many cycles the driver waited.
+    pub waited_cycles: u64,
+}
+
+impl std::fmt::Display for DriverTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} did not complete within {} cycles",
+            self.op, self.waited_cycles
+        )
+    }
+}
+
+impl std::error::Error for DriverTimeout {}
+
 /// The MAPLE engine wired to a behavioural memory, driven through the API
 /// of the paper's Listing 2 (`dec_init`, `dec_set_array_base`,
 /// `dec_load_word_async`, `dec_consume_word`, `dec_close`).
@@ -54,7 +77,8 @@ impl<'m> MapleSystem<'m> {
         match self.pending_response.take() {
             Some(data) => {
                 self.sim.set_input("noc_resp_valid", Bv::bit(true));
-                self.sim.set_input("noc_resp_data", Bv::new(16, u64::from(data)));
+                self.sim
+                    .set_input("noc_resp_data", Bv::new(16, u64::from(data)));
             }
             None => {
                 self.sim.set_input("noc_resp_valid", Bv::bit(false));
@@ -79,16 +103,24 @@ impl<'m> MapleSystem<'m> {
 
     /// `dec_init`: allocates the engine. The cleanup (invalidation) runs as
     /// the first step of initialisation, as the paper describes.
-    pub fn dec_init(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverTimeout`] if the invalidation does not complete
+    /// within the driver's bounded wait.
+    pub fn dec_init(&mut self) -> Result<(), DriverTimeout> {
         self.write_conf(2, 0); // start invalidation
         for _ in 0..DRIVER_TIMEOUT {
             if self.sim.output("inv_done").as_bool() {
                 self.tick();
-                return;
+                return Ok(());
             }
             self.tick();
         }
-        panic!("invalidation did not complete");
+        Err(DriverTimeout {
+            op: "dec_init",
+            waited_cycles: DRIVER_TIMEOUT,
+        })
     }
 
     /// `dec_set_array_base`: configures the base address for offloaded
@@ -152,7 +184,7 @@ mod tests {
         let mut memory = BehavioralMemory::new();
         memory.write(0x1005, 0xcafe);
         let mut sys = MapleSystem::new(&module, memory);
-        sys.dec_init();
+        sys.dec_init().expect("invalidation completes");
         sys.dec_set_tlb_enable(false);
         sys.dec_set_array_base(0x1000);
         sys.dec_load_word_async(5);
@@ -166,7 +198,7 @@ mod tests {
         // Virtual 0x5005 -> physical 0x9005.
         memory.write(0x9005, 0xbead);
         let mut sys = MapleSystem::new(&module, memory);
-        sys.dec_init();
+        sys.dec_init().expect("invalidation completes");
         sys.dec_fill_tlb(0x5, 0x9);
         sys.dec_set_array_base(0x5000);
         sys.dec_load_word_async(5);
@@ -177,7 +209,7 @@ mod tests {
     fn untranslatable_load_faults_and_times_out() {
         let module = build_maple(&MapleConfig::default());
         let mut sys = MapleSystem::new(&module, BehavioralMemory::new());
-        sys.dec_init();
+        sys.dec_init().expect("invalidation completes");
         // TLB enabled (reset default) and empty: the load faults.
         sys.dec_set_array_base(0x5000);
         sys.dec_load_word_async(0);

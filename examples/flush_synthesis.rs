@@ -103,7 +103,11 @@ fn main() {
         if let Some(state) = &it.state {
             println!(
                 "  try removing {state}: {}",
-                if it.clean { "still clean — removed" } else { "CEX — kept" }
+                if it.clean {
+                    "still clean — removed"
+                } else {
+                    "CEX — kept"
+                }
             );
         }
     }

@@ -12,7 +12,10 @@ fn main() {
     println!("cache: {LINES} direct-mapped lines; secret S in 0..={LINES}\n");
 
     println!("-- no flush on the context switch --");
-    println!("{:<8} {:>14} {:>14}", "secret", "probe misses", "probe latency");
+    println!(
+        "{:<8} {:>14} {:>14}",
+        "secret", "probe misses", "probe latency"
+    );
     let cache = build_cache(false);
     for secret in 0..=LINES {
         let o = run_round(&cache, secret, false);
@@ -25,7 +28,10 @@ fn main() {
     println!("\nThe spy decodes the secret from its probe latency alone.\n");
 
     println!("-- with a flush on the context switch --");
-    println!("{:<8} {:>14} {:>14}", "secret", "probe misses", "probe latency");
+    println!(
+        "{:<8} {:>14} {:>14}",
+        "secret", "probe misses", "probe latency"
+    );
     let cache = build_cache(true);
     let mut outcomes = Vec::new();
     for secret in 0..=LINES {

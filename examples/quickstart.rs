@@ -77,7 +77,10 @@ fn main() {
         .state_equality_invariants()
         .generate();
     let report = ft.check(&options);
-    println!("bounded check: {:?} in {:?}", report.outcome, report.elapsed);
+    println!(
+        "bounded check: {:?} in {:?}",
+        report.outcome, report.elapsed
+    );
     let report = ft.prove(&options);
     match report.outcome {
         AutoCcOutcome::Proved { induction_depth } => println!(

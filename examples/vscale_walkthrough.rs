@@ -104,7 +104,10 @@ fn main() {
 
     // Stage 5: blackbox the CSR (the paper's V2 action) — clean, and
     // provable for unbounded executions.
-    let bb = build_vscale(&VscaleConfig { blackbox_csr: true, ..VscaleConfig::default() });
+    let bb = build_vscale(&VscaleConfig {
+        blackbox_csr: true,
+        ..VscaleConfig::default()
+    });
     let mut spec = FtSpec::new(&bb)
         .arch_mem(arch::REGFILE_MEM)
         .state_equality_invariants();

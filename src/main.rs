@@ -4,16 +4,24 @@
 //! artifact dumps (SVA property file, Verilog, VCD waveform).
 //!
 //! ```text
-//! autocc <dut> [--depth N] [--threshold N] [--prove] [--minimize]
-//!              [--sva] [--verilog] [--vcd FILE] [--list]
+//! autocc <dut> [--depth N] [--threshold N] [--jobs N] [--slice on|off]
+//!              [--prove] [--minimize] [--sva] [--verilog] [--vcd FILE]
+//!              [--list]
 //! ```
+//!
+//! Checks run through the portfolio scheduler: one check-engine job per
+//! generated assertion, fanned across `--jobs` worker threads, each
+//! optionally sliced to its cone of influence with `--slice on`. The
+//! merged result is identical for every `--jobs` value. `--prove --jobs
+//! N>1` races k-induction against a BMC falsifier, first conclusive
+//! result wins.
 //!
 //! Built-in DUTs: `vscale`, `vscale-refined`, `cva6`, `cva6-fixed`,
 //! `maple`, `maple-fixed`, `aes`, `aes-refined`, `config-device`,
 //! `config-device-fixed`.
 
 use autocc::bmc::BmcOptions;
-use autocc::core::{format_duration, to_sva, AutoCcOutcome, FpvTestbench, FtSpec};
+use autocc::core::{format_duration, to_sva, AutoCcOutcome, CheckSettings, FpvTestbench, FtSpec};
 use autocc::duts::aes::{build_aes, stage_valid_names, AesConfig};
 use autocc::duts::cva6::{build_cva6, Cva6Config, ARCH_REGS};
 use autocc::duts::demo::config_device;
@@ -32,7 +40,10 @@ const DUTS: &[(&str, &str)] = &[
     ("maple-fixed", "MAPLE engine with both fixes"),
     ("aes", "pipelined cipher accelerator (finds A1)"),
     ("aes-refined", "AES with idle-pipeline flush (full proof)"),
-    ("config-device", "quickstart demo device (leaks its register)"),
+    (
+        "config-device",
+        "quickstart demo device (leaks its register)",
+    ),
     ("config-device-fixed", "demo device with a working flush"),
 ];
 
@@ -40,6 +51,8 @@ struct Args {
     dut: String,
     depth: usize,
     threshold: Option<u32>,
+    jobs: usize,
+    slice: bool,
     prove: bool,
     minimize: bool,
     dump_sva: bool,
@@ -48,8 +61,9 @@ struct Args {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: autocc <dut> [--depth N] [--threshold N] [--prove]");
-    eprintln!("              [--minimize] [--sva] [--verilog] [--vcd FILE]");
+    eprintln!("usage: autocc <dut> [--depth N] [--threshold N] [--jobs N]");
+    eprintln!("              [--slice on|off] [--prove] [--minimize]");
+    eprintln!("              [--sva] [--verilog] [--vcd FILE]");
     eprintln!("       autocc --list");
     ExitCode::FAILURE
 }
@@ -60,6 +74,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         dut: String::new(),
         depth: 16,
         threshold: None,
+        jobs: 1,
+        slice: false,
         prove: false,
         minimize: false,
         dump_sva: false,
@@ -76,17 +92,24 @@ fn parse_args() -> Result<Args, ExitCode> {
                 return Err(ExitCode::SUCCESS);
             }
             "--depth" => {
-                args.depth = argv
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(usage)?;
+                args.depth = argv.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
             }
             "--threshold" => {
-                args.threshold = Some(
-                    argv.next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or_else(usage)?,
-                );
+                args.threshold = Some(argv.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
+            "--jobs" => {
+                args.jobs = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&j| j >= 1)
+                    .ok_or_else(usage)?;
+            }
+            "--slice" => {
+                args.slice = match argv.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => return Err(usage()),
+                };
             }
             "--prove" => args.prove = true,
             "--minimize" => args.minimize = true,
@@ -117,13 +140,13 @@ fn cva6_flush(b: &mut ModuleBuilder, ua: &Instance, ub: &Instance) -> NodeId {
     b.and(da, db)
 }
 
+/// Per-DUT testbench refinement applied to the generated `FtSpec`.
+type SpecRefiner = Box<dyn Fn(FtSpec) -> FtSpec>;
+
 /// Builds a DUT and its canonical testbench spec by name.
-fn build(name: &str) -> Option<(Module, Box<dyn Fn(FtSpec) -> FtSpec>)> {
+fn build(name: &str) -> Option<(Module, SpecRefiner)> {
     match name {
-        "vscale" => Some((
-            build_vscale(&VscaleConfig::default()),
-            Box::new(|s| s),
-        )),
+        "vscale" => Some((build_vscale(&VscaleConfig::default()), Box::new(|s| s))),
         "vscale-refined" => Some((
             build_vscale(&VscaleConfig {
                 blackbox_csr: true,
@@ -200,7 +223,13 @@ fn build(name: &str) -> Option<(Module, Box<dyn Fn(FtSpec) -> FtSpec>)> {
     }
 }
 
-fn report(ft: &FpvTestbench, outcome: &AutoCcOutcome, elapsed: Duration, minimize: bool, vcd: &Option<String>) {
+fn report(
+    ft: &FpvTestbench,
+    outcome: &AutoCcOutcome,
+    elapsed: Duration,
+    minimize: bool,
+    vcd: &Option<String>,
+) {
     match outcome {
         AutoCcOutcome::Cex(cex) => {
             let minimized;
@@ -213,12 +242,19 @@ fn report(ft: &FpvTestbench, outcome: &AutoCcOutcome, elapsed: Duration, minimiz
             };
             println!("COVERT CHANNEL FOUND in {}", format_duration(elapsed));
             println!("  violated : {}", cex.property);
-            println!("  depth    : {} cycles (spy starts at cycle {})", cex.depth, cex.spy_start_cycle);
+            println!(
+                "  depth    : {} cycles (spy starts at cycle {})",
+                cex.depth, cex.spy_start_cycle
+            );
             println!("  leaking microarchitectural state:");
             for d in &cex.diverging_state {
                 println!(
                     "    {:<28} a={:<8} b={:<8} (cycles {}..{})",
-                    d.name, d.value_a.to_string(), d.value_b.to_string(), d.first_diff_cycle, d.last_diff_cycle
+                    d.name,
+                    d.value_a.to_string(),
+                    d.value_b.to_string(),
+                    d.first_diff_cycle,
+                    d.last_diff_cycle
                 );
             }
             println!();
@@ -294,10 +330,13 @@ fn main() -> ExitCode {
         conflict_budget: None,
         time_budget: Some(Duration::from_secs(3600)),
     };
+    let settings = CheckSettings::serial(&options)
+        .with_jobs(args.jobs)
+        .with_slice(args.slice);
     let run = if args.prove {
-        ft.prove(&options)
+        ft.prove_portfolio(&settings)
     } else {
-        ft.check(&options)
+        ft.check_portfolio(&settings)
     };
     report(&ft, &run.outcome, run.elapsed, args.minimize, &args.vcd);
     ExitCode::SUCCESS

@@ -18,8 +18,9 @@ fn opts(depth: usize) -> BmcOptions {
 
 /// "Both universes have no ongoing requests": every stage valid bit is low
 /// in both instances — the refined flush condition of Sec. 4.4.
-fn pipelines_idle(config: AesConfig) -> impl Fn(&mut ModuleBuilder, &Instance, &Instance) -> NodeId
-{
+fn pipelines_idle(
+    config: AesConfig,
+) -> impl Fn(&mut ModuleBuilder, &Instance, &Instance) -> NodeId {
     move |b, ua, ub| {
         let mut all = Vec::new();
         for name in stage_valid_names(&config) {
@@ -45,7 +46,9 @@ fn a1_inflight_request_is_a_covert_channel() {
     let cex = report.outcome.cex().expect("A1 CEX expected");
     assert_eq!(cex.property, "as__resp_valid_eq");
     assert!(
-        cex.diverging_state.iter().any(|d| d.name.ends_with(".valid")),
+        cex.diverging_state
+            .iter()
+            .any(|d| d.name.ends_with(".valid")),
         "root cause is a stage valid bit: {:?}",
         cex.diverging_state
     );

@@ -49,9 +49,8 @@ fn full_flush_leaves_fsm_state_behind() {
     let r = roots(&report.outcome);
     assert!(report.outcome.cex().is_some(), "known channels expected");
     assert!(
-        r.iter().any(|n| n.starts_with("icache.")
-            || n.starts_with("ptw.")
-            || n.starts_with("dcache.")),
+        r.iter()
+            .any(|n| n.starts_with("icache.") || n.starts_with("ptw.") || n.starts_with("dcache.")),
         "root cause in the unflushed FSM cluster: {r:?}"
     );
 }

@@ -43,11 +43,17 @@ fn stage1_v1_regfile_leaks_via_default_ft() {
     let report = ft.check(&opts(12));
     let cex = report.outcome.cex().expect("V1 CEX");
     assert!(
-        root_names(&report.outcome).iter().any(|n| n.starts_with("regfile[")),
+        root_names(&report.outcome)
+            .iter()
+            .any(|n| n.starts_with("regfile[")),
         "V1 root cause is the register file: {:?}",
         root_names(&report.outcome)
     );
-    assert!(cex.depth >= 6, "depth {} at least victim+transfer", cex.depth);
+    assert!(
+        cex.depth >= 6,
+        "depth {} at least victim+transfer",
+        cex.depth
+    );
 }
 
 #[test]
@@ -105,7 +111,10 @@ fn stage4_v2_csr_leaks_once_interrupt_is_architectural() {
 
 #[test]
 fn stage5_fully_refined_testbench_is_clean_and_provable() {
-    let dut = build_vscale(&VscaleConfig { blackbox_csr: true, ..VscaleConfig::default() });
+    let dut = build_vscale(&VscaleConfig {
+        blackbox_csr: true,
+        ..VscaleConfig::default()
+    });
     let mut spec = FtSpec::new(&dut)
         .arch_mem(arch::REGFILE_MEM)
         .state_equality_invariants();
