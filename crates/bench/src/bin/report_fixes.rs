@@ -2,7 +2,7 @@
 //! RTL eliminates the CEXs.
 
 use autocc_bench::{default_options, fix_validation};
-use autocc_core::format_table;
+use autocc_core::{failure_summary, format_table, report_exit_code};
 
 fn main() {
     let options = default_options(16);
@@ -11,4 +11,8 @@ fn main() {
         "{}",
         format_table("Fix validation: every fixed configuration is clean", &rows)
     );
+    if let Some(summary) = failure_summary(&rows) {
+        eprintln!("\n{summary}");
+    }
+    std::process::exit(report_exit_code(&rows));
 }

@@ -1,12 +1,15 @@
 //! Regenerates Table 1: the valuable CEXs across all four DUTs.
 
 use autocc_bench::{default_options, parse_report_args, table1_with};
-use autocc_core::{format_table, format_table_stable};
+use autocc_core::{failure_summary, format_table, format_table_stable, report_exit_code};
 
 const USAGE: &str = "usage: report_table1 [--jobs N] [--slice on|off] [--stable]
+                     [--retries N] [--timeout SECS]
   --jobs N        fan experiments across N portfolio workers (default 1)
   --slice on|off  per-property cone-of-influence slicing (default off)
-  --stable        omit the Time column (byte-reproducible output)";
+  --stable        omit the Time column (byte-reproducible output)
+  --retries N     retry panicked engine jobs up to N times (default 1)
+  --timeout SECS  wall-clock budget per check job (degrades to UNKNOWN)";
 
 fn main() {
     let args = parse_report_args(USAGE);
@@ -22,4 +25,8 @@ fn main() {
     println!("Paper reference (JasperGold, original RTL):");
     println!("  V5 depth 9 <10min | C1 depth 76 <30min | C2 depth 80 <6h | C3 depth 80 <6h");
     println!("  M2 depth 21 <30min | M3 depth 23 <3h | A1 depth 42 <1min");
+    if let Some(summary) = failure_summary(&rows) {
+        eprintln!("\n{summary}");
+    }
+    std::process::exit(report_exit_code(&rows));
 }

@@ -1,12 +1,15 @@
 //! Regenerates Table 2: the Vscale CEX ladder (description, depth, time).
 
 use autocc_bench::{default_options, parse_report_args, table2_with};
-use autocc_core::{format_table, format_table_stable};
+use autocc_core::{failure_summary, format_table, format_table_stable, report_exit_code};
 
 const USAGE: &str = "usage: report_table2 [--jobs N] [--slice on|off] [--stable]
+                     [--retries N] [--timeout SECS]
   --jobs N        fan ladder stages across N portfolio workers (default 1)
   --slice on|off  per-property cone-of-influence slicing (default off)
-  --stable        omit the Time column (byte-reproducible output)";
+  --stable        omit the Time column (byte-reproducible output)
+  --retries N     retry panicked engine jobs up to N times (default 1)
+  --timeout SECS  wall-clock budget per check job (degrades to UNKNOWN)";
 
 fn main() {
     let args = parse_report_args(USAGE);
@@ -22,4 +25,8 @@ fn main() {
     println!("Paper reference (JasperGold, original 32-bit Vscale RTL):");
     println!("  V1 depth 6 <10s | V2 depth 6 <10s | V3 depth 7 <10s");
     println!("  V4 depth 7 <10s | V5 depth 9 <100s | bounded proof depth 21 in 24h");
+    if let Some(summary) = failure_summary(&rows) {
+        eprintln!("\n{summary}");
+    }
+    std::process::exit(report_exit_code(&rows));
 }

@@ -14,8 +14,9 @@ pub struct ReportArgs {
 /// `Exec` with a `Default` that matches the flags' defaults.
 pub type ExecArgs = Exec;
 
-/// Parses `--jobs N`, `--slice on|off`, and `--stable` from `argv`.
-/// Unknown flags print `usage` and exit with status 2.
+/// Parses `--jobs N`, `--slice on|off`, `--retries N`, `--timeout SECS`,
+/// and `--stable` from `argv`. Unknown flags print `usage` and exit with
+/// status 2.
 pub fn parse_report_args(usage: &str) -> ReportArgs {
     parse_report_arg_list(usage, std::env::args().skip(1))
 }
@@ -39,6 +40,20 @@ fn parse_report_arg_list(usage: &str, args: impl Iterator<Item = String>) -> Rep
                     Some("off") => false,
                     _ => die(usage, "--slice needs `on` or `off`"),
                 };
+            }
+            "--retries" => {
+                parsed.exec.retries = args
+                    .next()
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .unwrap_or_else(|| die(usage, "--retries needs a non-negative integer"));
+            }
+            "--timeout" => {
+                let secs = args
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .filter(|&s| s >= 1)
+                    .unwrap_or_else(|| die(usage, "--timeout needs a positive number of seconds"));
+                parsed.exec.timeout = Some(std::time::Duration::from_secs(secs));
             }
             "--stable" => parsed.stable = true,
             "--help" | "-h" => {
@@ -70,13 +85,27 @@ mod tests {
         assert_eq!(a.exec.jobs, 1);
         assert!(!a.exec.slice);
         assert!(!a.stable);
+        assert_eq!(a.exec.retries, 1);
+        assert!(a.exec.timeout.is_none());
     }
 
     #[test]
     fn all_flags_parse() {
-        let a = parse(&["--jobs", "4", "--slice", "on", "--stable"]);
+        let a = parse(&[
+            "--jobs",
+            "4",
+            "--slice",
+            "on",
+            "--stable",
+            "--retries",
+            "3",
+            "--timeout",
+            "600",
+        ]);
         assert_eq!(a.exec.jobs, 4);
         assert!(a.exec.slice);
         assert!(a.stable);
+        assert_eq!(a.exec.retries, 3);
+        assert_eq!(a.exec.timeout, Some(std::time::Duration::from_secs(600)));
     }
 }

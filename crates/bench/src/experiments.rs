@@ -21,7 +21,8 @@ pub fn default_options(max_depth: usize) -> BmcOptions {
 
 /// How an experiment batch executes: worker threads for the portfolio
 /// scheduler (parallelism is across experiments; each experiment checks
-/// its properties serially) and cone-of-influence slicing.
+/// its properties serially), cone-of-influence slicing, the retry budget
+/// for contained panics, and an optional wall-clock budget override.
 ///
 /// Jobs only change wall-clock behaviour: results merge in submission
 /// order, so any `jobs` value produces the same rows.
@@ -31,6 +32,14 @@ pub struct Exec {
     pub jobs: usize,
     /// Per-property cone-of-influence slicing inside each experiment.
     pub slice: bool,
+    /// Retries for panicked check jobs (`--retries N`).
+    pub retries: u32,
+    /// Wall-clock budget per check job (`--timeout SECS`); overrides the
+    /// experiment's default time budget. Enforced mid-solve. Per job, not
+    /// per experiment: a shared experiment-level deadline would make each
+    /// job's remaining time depend on scheduling order and break the
+    /// `jobs`-invariance of the merged outcome.
+    pub timeout: Option<Duration>,
 }
 
 impl Default for Exec {
@@ -38,6 +47,8 @@ impl Default for Exec {
         Exec {
             jobs: 1,
             slice: false,
+            retries: 1,
+            timeout: None,
         }
     }
 }
@@ -46,7 +57,13 @@ impl Exec {
     /// Per-experiment check settings: serial inside the experiment (the
     /// scheduler parallelises across experiments), sliced per `self`.
     pub fn settings(&self, options: &BmcOptions) -> CheckSettings {
-        CheckSettings::serial(options).with_slice(self.slice)
+        let mut options = options.clone();
+        if self.timeout.is_some() {
+            options.time_budget = self.timeout;
+        }
+        CheckSettings::serial(&options)
+            .with_slice(self.slice)
+            .with_retries(self.retries)
     }
 
     /// The scheduler fanning experiments across workers.
@@ -153,7 +170,14 @@ pub fn table2_with(options: &BmcOptions, exec: Exec) -> Vec<TableRow> {
             task
         })
         .collect();
-    exec.portfolio().run(tasks)
+    exec.portfolio()
+        .try_run(tasks)
+        .into_iter()
+        .zip(VSCALE_STAGES.iter())
+        .map(|(result, stage)| {
+            result.unwrap_or_else(|p| TableRow::failed(stage.id, stage.description, p.payload))
+        })
+        .collect()
 }
 
 /// Regenerates Table 2 (the Vscale ladder).
@@ -354,9 +378,11 @@ pub fn table1_with(options: &BmcOptions, exec: Exec) -> Vec<TableRow> {
     let row = |id: &'static str, desc: &'static str, report: RunReport| {
         TableRow::from_outcome(id, desc, &report.outcome, report.elapsed)
     };
+    let mut meta: Vec<(&'static str, &'static str)> = Vec::new();
     let mut tasks: Vec<RowTask> = Vec::new();
 
     // V5: the Vscale pending-interrupt channel (ladder stage 3).
+    meta.push(("V5", "Interrupt in the WB stage stalls pipeline"));
     tasks.push(Box::new(move || {
         row(
             "V5",
@@ -370,12 +396,14 @@ pub fn table1_with(options: &BmcOptions, exec: Exec) -> Vec<TableRow> {
         ("C2", "Wrong transition in the FSM of the PTW"),
         ("C3", "Valid D$ line after flush caused by PTW"),
     ] {
+        meta.push((id, desc));
         tasks.push(Box::new(move || {
             row(id, desc, run_cva6_with(&cva6_cex_config(id), options, exec))
         }));
     }
 
     // M2: fix nothing except M3 so the TLB-enable channel is the target.
+    meta.push(("M2", "Leak whether the TLB was disabled"));
     tasks.push(Box::new(move || {
         row(
             "M2",
@@ -391,6 +419,7 @@ pub fn table1_with(options: &BmcOptions, exec: Exec) -> Vec<TableRow> {
         )
     }));
     // M3: fix M2 so the array-base channel is the target.
+    meta.push(("M3", "Leak the value of a configuration register"));
     tasks.push(Box::new(move || {
         row(
             "M3",
@@ -406,6 +435,7 @@ pub fn table1_with(options: &BmcOptions, exec: Exec) -> Vec<TableRow> {
         )
     }));
 
+    meta.push(("A1", "Request in the pipeline during the switch"));
     tasks.push(Box::new(move || {
         row(
             "A1",
@@ -414,7 +444,16 @@ pub fn table1_with(options: &BmcOptions, exec: Exec) -> Vec<TableRow> {
         )
     }));
 
-    exec.portfolio().run(tasks)
+    // Panic containment at the experiment level: a harness panic costs
+    // that row only, rendered FAILED, while the rest of the table fills.
+    exec.portfolio()
+        .try_run(tasks)
+        .into_iter()
+        .zip(meta)
+        .map(|(result, (id, desc))| {
+            result.unwrap_or_else(|p| TableRow::failed(id, desc, p.payload))
+        })
+        .collect()
 }
 
 /// Regenerates Table 1: the valuable CEXs V5, C1, C2, C3, M2, M3, A1.
@@ -424,29 +463,33 @@ pub fn table1(options: &BmcOptions) -> Vec<TableRow> {
 
 /// Fix-validation runs: every fixed DUT configuration must be clean.
 pub fn fix_validation(options: &BmcOptions) -> Vec<TableRow> {
-    let mut rows = Vec::new();
-    let report = run_cva6(&Cva6Config::all_fixed(), options);
-    rows.push(TableRow::from_outcome(
-        "C1-C3 fixed",
-        "CVA6 microreset with all upstream fixes",
-        &report.outcome,
-        report.elapsed,
-    ));
-    let report = run_maple(&MapleConfig::all_fixed(), options);
-    rows.push(TableRow::from_outcome(
-        "M2+M3 fixed",
-        "MAPLE cleanup resets config registers",
-        &report.outcome,
-        report.elapsed,
-    ));
-    let report = run_aes_proof(options);
-    rows.push(TableRow::from_outcome(
-        "A1 refined",
-        "AES with idle-pipeline flush condition",
-        &report.outcome,
-        report.elapsed,
-    ));
-    rows
+    let meta = [
+        ("C1-C3 fixed", "CVA6 microreset with all upstream fixes"),
+        ("M2+M3 fixed", "MAPLE cleanup resets config registers"),
+        ("A1 refined", "AES with idle-pipeline flush condition"),
+    ];
+    let tasks: Vec<Box<dyn FnOnce() -> TableRow + Send>> = vec![
+        Box::new(move || {
+            let report = run_cva6(&Cva6Config::all_fixed(), options);
+            TableRow::from_outcome(meta[0].0, meta[0].1, &report.outcome, report.elapsed)
+        }),
+        Box::new(move || {
+            let report = run_maple(&MapleConfig::all_fixed(), options);
+            TableRow::from_outcome(meta[1].0, meta[1].1, &report.outcome, report.elapsed)
+        }),
+        Box::new(move || {
+            let report = run_aes_proof(options);
+            TableRow::from_outcome(meta[2].0, meta[2].1, &report.outcome, report.elapsed)
+        }),
+    ];
+    Portfolio::default()
+        .try_run(tasks)
+        .into_iter()
+        .zip(meta)
+        .map(|(result, (id, desc))| {
+            result.unwrap_or_else(|p| TableRow::failed(id, desc, p.payload))
+        })
+        .collect()
 }
 
 /// A demo DUT for the flush-synthesis experiments: banked registers with a

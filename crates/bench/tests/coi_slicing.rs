@@ -25,7 +25,8 @@ fn digest(outcome: &CheckOutcome) -> (u8, usize, String) {
     match outcome {
         CheckOutcome::Cex(c) => (0, c.depth, c.property.clone()),
         CheckOutcome::BoundReached { depth } => (1, *depth, String::new()),
-        CheckOutcome::Exhausted { depth } => (2, *depth, String::new()),
+        CheckOutcome::Exhausted { depth, .. } => (2, *depth, String::new()),
+        CheckOutcome::Failed(f) => panic!("checker fault in a slicing test: {f}"),
     }
 }
 

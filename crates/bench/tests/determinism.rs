@@ -24,7 +24,14 @@ fn options(max_depth: usize) -> BmcOptions {
 fn table2_is_jobs_invariant() {
     let options = options(7);
     let render = |jobs: usize, slice: bool| {
-        let rows = table2_with(&options, Exec { jobs, slice });
+        let rows = table2_with(
+            &options,
+            Exec {
+                jobs,
+                slice,
+                ..Exec::default()
+            },
+        );
         format_table_stable("Table 2 (determinism check)", &rows)
     };
     let serial = render(1, false);
@@ -40,7 +47,14 @@ fn table2_is_jobs_invariant() {
 fn table1_is_jobs_invariant() {
     let options = options(5);
     let render = |jobs: usize, slice: bool| {
-        let rows = table1_with(&options, Exec { jobs, slice });
+        let rows = table1_with(
+            &options,
+            Exec {
+                jobs,
+                slice,
+                ..Exec::default()
+            },
+        );
         format_table_stable("Table 1 (determinism check)", &rows)
     };
     let serial = render(1, false);

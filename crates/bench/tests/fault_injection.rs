@@ -1,0 +1,287 @@
+//! Fault-injection suite for the resilient check path: engines that
+//! panic, hang past their wall-clock budget, or fabricate counterexamples
+//! must each degrade a single property — never tear down the run, never
+//! smuggle an uncertified CEX into a report, and never perturb the
+//! deterministic `jobs = 1` vs `jobs = N` merge.
+
+use autocc_bmc::{
+    BmcEngine, BmcOptions, CancelToken, Cex, CheckEngine, CheckSpec, EngineOptions, EngineOutcome,
+    FailureReason, Trace, UnknownCause,
+};
+use autocc_core::{AutoCcOutcome, CheckSettings, FtSpec};
+use autocc_duts::aes::{build_aes, AesConfig};
+use autocc_duts::demo::config_device;
+use autocc_hdl::{Bv, Module, ModuleBuilder};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+fn options(max_depth: usize) -> BmcOptions {
+    BmcOptions {
+        max_depth,
+        conflict_budget: None,
+        time_budget: None,
+    }
+}
+
+/// Panics the first `panics_per_property` attempts on every property it is
+/// handed, then delegates to the real BMC engine. Counters are keyed by
+/// property name, so the injected faults are identical for every worker
+/// count and scheduling order.
+struct FlakyBmc {
+    panics_per_property: u32,
+    attempts: Mutex<HashMap<String, u32>>,
+}
+
+impl FlakyBmc {
+    fn new(panics_per_property: u32) -> FlakyBmc {
+        FlakyBmc {
+            panics_per_property,
+            attempts: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl CheckEngine for FlakyBmc {
+    fn name(&self) -> &'static str {
+        "flaky-bmc"
+    }
+
+    fn check(
+        &self,
+        spec: &CheckSpec<'_>,
+        options: &EngineOptions,
+        cancel: &CancelToken,
+    ) -> EngineOutcome {
+        let key = spec
+            .properties
+            .first()
+            .map(|(n, _)| n.clone())
+            .unwrap_or_default();
+        let attempt = {
+            let mut attempts = self.attempts.lock().unwrap();
+            let count = attempts.entry(key).or_insert(0);
+            *count += 1;
+            *count
+        };
+        if attempt <= self.panics_per_property {
+            panic!("injected fault (attempt {attempt})");
+        }
+        BmcEngine.check(spec, options, cancel)
+    }
+}
+
+/// Panics unconditionally on one named property; real BMC everywhere else.
+struct TargetedPanic {
+    property: String,
+}
+
+impl CheckEngine for TargetedPanic {
+    fn name(&self) -> &'static str {
+        "targeted-panic"
+    }
+
+    fn check(
+        &self,
+        spec: &CheckSpec<'_>,
+        options: &EngineOptions,
+        cancel: &CancelToken,
+    ) -> EngineOutcome {
+        if spec.properties.iter().any(|(n, _)| *n == self.property) {
+            panic!("injected fault on {}", self.property);
+        }
+        BmcEngine.check(spec, options, cancel)
+    }
+}
+
+/// Claims a counterexample it never found: an all-zero input trace that
+/// replays clean. Certification must reject it.
+struct CorruptCexEngine;
+
+impl CheckEngine for CorruptCexEngine {
+    fn name(&self) -> &'static str {
+        "corrupt-cex"
+    }
+
+    fn check(
+        &self,
+        spec: &CheckSpec<'_>,
+        _options: &EngineOptions,
+        _cancel: &CancelToken,
+    ) -> EngineOutcome {
+        let depth = 3;
+        let cycle: Vec<Bv> = spec
+            .module
+            .inputs()
+            .iter()
+            .map(|p| Bv::zero(p.width))
+            .collect();
+        EngineOutcome::Cex(Cex {
+            property: spec.properties[0].0.clone(),
+            depth,
+            trace: Trace::new(vec![cycle; depth]),
+        })
+    }
+}
+
+/// A combinational two-output pass-through: outputs depend only on the
+/// current (converged) inputs, so the testbench is clean — which makes the
+/// fate of every individual property visible in the merged outcome.
+fn mirror_device() -> Module {
+    let mut b = ModuleBuilder::new("mirror2");
+    let a = b.input("a", 4);
+    let c = b.input("c", 4);
+    b.output("pa", a);
+    b.output("pc", c);
+    b.build()
+}
+
+/// The leaky config register plus a clean pass-through output: one
+/// property has a genuine CEX, the other is clean.
+fn leaky_pair_device() -> Module {
+    let mut b = ModuleBuilder::new("leaky2");
+    let we = b.input("we", 1);
+    let re = b.input("re", 1);
+    let data = b.input("data", 4);
+    let cfg = b.reg("cfg", 4, Bv::zero(4));
+    let next = b.mux(we, data, cfg);
+    b.set_next(cfg, next);
+    let zero = b.lit(4, 0);
+    let q = b.mux(re, cfg, zero);
+    b.output("q", q);
+    b.output("mirror", data);
+    b.build()
+}
+
+#[test]
+fn panicking_job_degrades_only_its_property() {
+    let dut = mirror_device();
+    let ft = FtSpec::new(&dut).generate();
+    let settings = CheckSettings::serial(&options(6));
+    let engine = TargetedPanic {
+        property: "as__pa_eq".to_string(),
+    };
+    let report = ft.check_portfolio_with(&settings, &engine);
+    match report.outcome {
+        AutoCcOutcome::Failed { failures } => {
+            assert_eq!(failures.len(), 1, "only the injected property fails");
+            let f = &failures[0];
+            assert_eq!(f.property.as_deref(), Some("as__pa_eq"));
+            assert_eq!(f.reason, FailureReason::Panic);
+            assert_eq!(f.attempts, 2, "default policy retries a panic once");
+            assert!(
+                f.detail.contains("injected fault"),
+                "panic payload is preserved: {}",
+                f.detail
+            );
+        }
+        other => panic!("expected a contained failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn panicked_job_recovers_through_retries() {
+    let dut = config_device(false);
+    let ft = FtSpec::new(&dut).generate();
+    let settings = CheckSettings::serial(&options(12));
+    let baseline = ft.check_portfolio(&settings);
+    let baseline_cex = baseline.outcome.cex().expect("cfg register leaks");
+
+    // One injected panic per property; the default policy's single retry
+    // recovers and the run ends exactly where the healthy run does.
+    let flaky = FlakyBmc::new(1);
+    let report = ft.check_portfolio_with(&settings, &flaky);
+    let cex = report
+        .outcome
+        .cex()
+        .expect("retry recovers the genuine counterexample");
+    assert_eq!(cex.property, baseline_cex.property);
+    assert_eq!(cex.depth, baseline_cex.depth);
+}
+
+#[test]
+fn spent_retries_degrade_to_failed_not_panic() {
+    let dut = config_device(false);
+    let ft = FtSpec::new(&dut).generate();
+    let settings = CheckSettings::serial(&options(12)).with_retries(2);
+    let flaky = FlakyBmc::new(10); // more faults than retries
+    let report = ft.check_portfolio_with(&settings, &flaky);
+    match report.outcome {
+        AutoCcOutcome::Failed { failures } => {
+            assert_eq!(failures.len(), 1);
+            assert_eq!(failures[0].reason, FailureReason::Panic);
+            assert_eq!(failures[0].attempts, 3, "initial attempt + 2 retries");
+        }
+        other => panic!("expected a contained failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupt_cex_is_rejected_by_replay_certification() {
+    let dut = config_device(false);
+    let ft = FtSpec::new(&dut).generate();
+    let settings = CheckSettings::serial(&options(12));
+    let report = ft.check_portfolio_with(&settings, &CorruptCexEngine);
+    match report.outcome {
+        AutoCcOutcome::Failed { failures } => {
+            assert!(!failures.is_empty());
+            let f = &failures[0];
+            assert_eq!(f.reason, FailureReason::ReplayMismatch);
+            assert_eq!(f.engine, "certify");
+            assert_eq!(f.property.as_deref(), Some("as__q_eq"));
+        }
+        other => panic!("a fabricated CEX must never be reported, got {other:?}"),
+    }
+}
+
+#[test]
+fn hung_check_is_stopped_by_the_wall_clock_budget() {
+    // AES at depth 64 runs for minutes uninterrupted; the in-solver
+    // deadline has to stop it mid-solve, not at the next depth boundary.
+    let dut = build_aes(&AesConfig::default());
+    let ft = FtSpec::new(&dut).generate();
+    let opts = BmcOptions {
+        max_depth: 64,
+        conflict_budget: None,
+        time_budget: Some(Duration::from_millis(50)),
+    };
+    let start = Instant::now();
+    let report = ft.check_portfolio(&CheckSettings::serial(&opts));
+    let elapsed = start.elapsed();
+    match report.outcome {
+        AutoCcOutcome::Unknown { cause, .. } => {
+            assert_eq!(cause, UnknownCause::TimeBudget);
+        }
+        other => panic!("expected a time-budget degrade, got {other:?}"),
+    }
+    // Generous bound: the point is "soon after the budget", not "never".
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "hung check ran {elapsed:?} past a 50 ms budget"
+    );
+}
+
+#[test]
+fn injected_faults_preserve_jobs_invariance() {
+    let dut = leaky_pair_device();
+    let ft = FtSpec::new(&dut).generate();
+
+    // Recovered faults: every property panics once, retries recover.
+    let outcome = |jobs: usize| {
+        let settings = CheckSettings::serial(&options(12)).with_jobs(jobs);
+        let flaky = FlakyBmc::new(1);
+        format!("{:?}", ft.check_portfolio_with(&settings, &flaky).outcome)
+    };
+    assert_eq!(outcome(1), outcome(4), "recovered faults broke determinism");
+
+    // Unrecovered faults: panics outlast the retries, every property
+    // degrades — and the failure list is identical for any worker count.
+    let failed = |jobs: usize| {
+        let settings = CheckSettings::serial(&options(12))
+            .with_jobs(jobs)
+            .with_retries(1);
+        let flaky = FlakyBmc::new(10);
+        format!("{:?}", ft.check_portfolio_with(&settings, &flaky).outcome)
+    };
+    assert_eq!(failed(1), failed(4), "contained failures broke determinism");
+}

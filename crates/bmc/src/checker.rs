@@ -51,6 +51,71 @@ pub struct Cex {
     pub trace: Trace,
 }
 
+/// Why a check stopped before reaching a verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopCause {
+    /// The conflict budget ran out — deterministic and machine-independent.
+    ConflictBudget,
+    /// The wall-clock budget ran out (machine-dependent by nature).
+    TimeBudget,
+    /// Cancellation was requested, e.g. the job lost a portfolio race.
+    Cancelled,
+}
+
+impl std::fmt::Display for StopCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StopCause::ConflictBudget => "conflict budget",
+            StopCause::TimeBudget => "timeout",
+            StopCause::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// Why a check *failed* (as opposed to stopping at a budget): a fault that
+/// is reported as a structured outcome instead of tearing the process down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureReason {
+    /// A SAT-level counterexample did not reproduce on interpreter replay —
+    /// an encoder/simulator divergence, i.e. a checker bug, never a finding.
+    ReplayMismatch,
+    /// An internal invariant of the check stack broke.
+    InternalInconsistency,
+    /// The job panicked and the panic was contained.
+    Panic,
+}
+
+impl std::fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FailureReason::ReplayMismatch => "replay mismatch",
+            FailureReason::InternalInconsistency => "internal inconsistency",
+            FailureReason::Panic => "panic",
+        })
+    }
+}
+
+/// A structured checker failure.
+#[derive(Clone, Debug)]
+pub struct CheckFailure {
+    /// What went wrong.
+    pub reason: FailureReason,
+    /// Human-readable diagnostic.
+    pub detail: String,
+    /// Depth reached when the failure was detected, in cycles.
+    pub depth: usize,
+}
+
+impl std::fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at depth {}: {}",
+            self.reason, self.depth, self.detail
+        )
+    }
+}
+
 /// Outcome of a bounded check.
 #[derive(Clone, Debug)]
 pub enum CheckOutcome {
@@ -61,11 +126,16 @@ pub enum CheckOutcome {
         /// The proven bound, in cycles.
         depth: usize,
     },
-    /// Budget exhausted before reaching the requested bound.
+    /// Budget exhausted or cancelled before reaching the requested bound.
     Exhausted {
         /// Deepest fully-proven depth, in cycles.
         depth: usize,
+        /// Which budget (or cancellation) stopped the check.
+        cause: StopCause,
     },
+    /// The check hit an internal fault; the result is unusable but the
+    /// process survives.
+    Failed(CheckFailure),
 }
 
 /// Outcome of a k-induction proof attempt.
@@ -82,7 +152,11 @@ pub enum ProveOutcome {
     Exhausted {
         /// Deepest fully-proven depth, in cycles.
         bound: usize,
+        /// Which budget (or cancellation) stopped the attempt.
+        cause: StopCause,
     },
+    /// The proof attempt hit an internal fault.
+    Failed(CheckFailure),
 }
 
 /// Aggregate statistics of a checker instance.
@@ -324,17 +398,31 @@ impl<'m> Bmc<'m> {
             "no properties registered before check"
         );
         let start = Instant::now();
+        // Budgets are enforced *inside* the solver: the deadline and the
+        // cancellation hook are polled every few conflicts, so a single
+        // pathological SAT call cannot run past its wall-clock budget.
+        self.solver
+            .set_deadline(options.time_budget.map(|tb| start + tb));
+        let token = self.cancel.clone();
+        self.solver
+            .set_interrupt_hook(Some(Box::new(move || token.is_cancelled())));
         let conflicts_start = self.solver.stats().conflicts;
         let mut depth = self.frames.len();
         while depth < options.max_depth {
             if self.cancel.is_cancelled() {
                 self.stats.solve_time += start.elapsed();
-                return CheckOutcome::Exhausted { depth };
+                return CheckOutcome::Exhausted {
+                    depth,
+                    cause: StopCause::Cancelled,
+                };
             }
             if let Some(tb) = options.time_budget {
                 if start.elapsed() > tb {
                     self.stats.solve_time += start.elapsed();
-                    return CheckOutcome::Exhausted { depth };
+                    return CheckOutcome::Exhausted {
+                        depth,
+                        cause: StopCause::TimeBudget,
+                    };
                 }
             }
             if self.frames.len() == depth {
@@ -345,7 +433,10 @@ impl<'m> Bmc<'m> {
                 let used = self.solver.stats().conflicts - conflicts_start;
                 if used >= cb {
                     self.stats.solve_time += start.elapsed();
-                    return CheckOutcome::Exhausted { depth };
+                    return CheckOutcome::Exhausted {
+                        depth,
+                        cause: StopCause::ConflictBudget,
+                    };
                 }
                 self.solver.set_conflict_budget(Some(cb - used));
             } else {
@@ -353,16 +444,31 @@ impl<'m> Bmc<'m> {
             }
             match self.solver.solve_with(&[frame_bad]) {
                 SolveResult::Sat => {
-                    let cex = self.extract_cex(depth);
+                    let extracted = self.extract_cex(depth);
                     self.stats.solve_time += start.elapsed();
-                    return CheckOutcome::Cex(cex);
+                    return match extracted {
+                        Ok(cex) => CheckOutcome::Cex(cex),
+                        Err(failure) => CheckOutcome::Failed(failure),
+                    };
                 }
                 SolveResult::Unsat => {
                     depth += 1;
                 }
                 SolveResult::Unknown => {
                     self.stats.solve_time += start.elapsed();
-                    return CheckOutcome::Exhausted { depth };
+                    return CheckOutcome::Exhausted {
+                        depth,
+                        cause: StopCause::ConflictBudget,
+                    };
+                }
+                SolveResult::Stopped => {
+                    self.stats.solve_time += start.elapsed();
+                    let cause = if self.cancel.is_cancelled() {
+                        StopCause::Cancelled
+                    } else {
+                        StopCause::TimeBudget
+                    };
+                    return CheckOutcome::Exhausted { depth, cause };
                 }
             }
         }
@@ -373,8 +479,10 @@ impl<'m> Bmc<'m> {
     }
 
     /// Reads the violating input sequence from the SAT model and
-    /// replay-validates it against the interpreter.
-    fn extract_cex(&mut self, depth: usize) -> Cex {
+    /// replay-validates it against the interpreter. A replay that disagrees
+    /// with the SAT model is an encoder/simulator divergence — a checker
+    /// bug — and is returned as a structured failure, never as a finding.
+    fn extract_cex(&mut self, depth: usize) -> Result<Cex, CheckFailure> {
         let mut inputs = Vec::with_capacity(depth + 1);
         for frame in &self.frames[..=depth] {
             let mut cycle = Vec::with_capacity(self.module.inputs().len());
@@ -398,25 +506,35 @@ impl<'m> Bmc<'m> {
         let replay = trace.replay(self.module);
         for (t, _) in (0..=depth).enumerate() {
             for &c in &self.constraints {
-                assert!(
-                    replay.node(t, c).as_bool(),
-                    "encoder/simulator divergence: constraint violated at cycle {t} during replay"
-                );
+                if !replay.node(t, c).as_bool() {
+                    return Err(CheckFailure {
+                        reason: FailureReason::ReplayMismatch,
+                        detail: format!(
+                            "encoder/simulator divergence: constraint violated at \
+                             cycle {t} during replay"
+                        ),
+                        depth: depth + 1,
+                    });
+                }
             }
         }
         let violated = self
             .properties
             .iter()
             .find(|(_, p)| !replay.node(depth, *p).as_bool());
-        let (name, _) = violated.expect(
-            "encoder/simulator divergence: SAT model does not violate any property on replay",
-        );
+        let (name, _) = violated.ok_or_else(|| CheckFailure {
+            reason: FailureReason::ReplayMismatch,
+            detail: "encoder/simulator divergence: SAT model does not violate any \
+                     property on replay"
+                .to_string(),
+            depth: depth + 1,
+        })?;
 
-        Cex {
+        Ok(Cex {
             property: name.clone(),
             depth: depth + 1,
             trace,
-        }
+        })
     }
 
     /// Attempts a full (unbounded) proof by k-induction with simple-path
@@ -433,10 +551,15 @@ impl<'m> Bmc<'m> {
             self.constraints.clone(),
             coi,
         );
+        induction.set_interrupts(
+            options.time_budget.map(|tb| start + tb),
+            self.cancel.clone(),
+        );
         for k in 1..=options.max_depth {
             if self.cancel.is_cancelled() {
                 return ProveOutcome::Exhausted {
                     bound: self.frames.len(),
+                    cause: StopCause::Cancelled,
                 };
             }
             // Base case: no counterexample within k cycles.
@@ -449,16 +572,23 @@ impl<'m> Bmc<'m> {
             };
             match self.check(&base_opts) {
                 CheckOutcome::Cex(cex) => return ProveOutcome::Cex(cex),
-                CheckOutcome::Exhausted { depth } => {
-                    return ProveOutcome::Exhausted { bound: depth }
+                CheckOutcome::Exhausted { depth, cause } => {
+                    return ProveOutcome::Exhausted {
+                        bound: depth,
+                        cause,
+                    }
                 }
+                CheckOutcome::Failed(failure) => return ProveOutcome::Failed(failure),
                 CheckOutcome::BoundReached { .. } => {}
             }
             // Step case: P holds for k consecutive (distinct) states ⇒ P
             // holds in the next one.
             if let Some(tb) = options.time_budget {
                 if start.elapsed() > tb {
-                    return ProveOutcome::Exhausted { bound: k };
+                    return ProveOutcome::Exhausted {
+                        bound: k,
+                        cause: StopCause::TimeBudget,
+                    };
                 }
             }
             match induction.step_holds(k, options) {
@@ -467,11 +597,25 @@ impl<'m> Bmc<'m> {
                     return ProveOutcome::Proved { induction_depth: k };
                 }
                 StepResult::Fails => {}
-                StepResult::Unknown => return ProveOutcome::Exhausted { bound: k },
+                StepResult::Unknown => {
+                    return ProveOutcome::Exhausted {
+                        bound: k,
+                        cause: StopCause::ConflictBudget,
+                    }
+                }
+                StepResult::Stopped => {
+                    let cause = if self.cancel.is_cancelled() {
+                        StopCause::Cancelled
+                    } else {
+                        StopCause::TimeBudget
+                    };
+                    return ProveOutcome::Exhausted { bound: k, cause };
+                }
             }
         }
         ProveOutcome::Exhausted {
             bound: options.max_depth,
+            cause: StopCause::ConflictBudget,
         }
     }
 }
@@ -480,6 +624,7 @@ enum StepResult {
     Holds,
     Fails,
     Unknown,
+    Stopped,
 }
 
 /// Incremental encoding of the k-induction step case: frames with a free
@@ -517,6 +662,14 @@ impl InductionStep {
             frame_states: Vec::new(),
             coi,
         }
+    }
+
+    /// Installs the wall-clock deadline and cancellation hook on the step
+    /// solver, so the step case is interruptible mid-solve like the base.
+    fn set_interrupts(&mut self, deadline: Option<Instant>, cancel: CancelToken) {
+        self.solver.set_deadline(deadline);
+        self.solver
+            .set_interrupt_hook(Some(Box::new(move || cancel.is_cancelled())));
     }
 
     fn keep_state(&self, j: usize) -> bool {
@@ -640,6 +793,7 @@ impl InductionStep {
             SolveResult::Unsat => StepResult::Holds,
             SolveResult::Sat => StepResult::Fails,
             SolveResult::Unknown => StepResult::Unknown,
+            SolveResult::Stopped => StepResult::Stopped,
         }
     }
 }

@@ -13,12 +13,17 @@
 //! * [`KInductionEngine`] — k-induction with simple-path constraints
 //!   ([`Bmc::prove`]); can return [`EngineOutcome::Proved`].
 //!
-//! Cancellation is polled *between* depth steps only, never inside a
-//! solver call, so a run's SAT-level behaviour (and therefore its outcome
-//! and counterexample depth) is bit-identical whether or not a token is
-//! installed — the invariant the deterministic scheduler relies on.
+//! Cancellation and wall-clock deadlines are enforced *inside* the solver
+//! (polled every few conflicts), so runaway solves are bounded — but an
+//! uncancelled token and an absent deadline never alter the search, so a
+//! run's SAT-level behaviour (and therefore its outcome and counterexample
+//! depth) is bit-identical whether or not a token is installed — the
+//! invariant the deterministic scheduler relies on. Outcomes that depend
+//! on wall-clock time or cancellation are reported as
+//! [`EngineOutcome::Unknown`] (machine-dependent), while conflict-budget
+//! exhaustion stays [`EngineOutcome::Exhausted`] (deterministic).
 
-use crate::checker::{Bmc, BmcOptions, Cex, CheckOutcome, ProveOutcome};
+use crate::checker::{Bmc, BmcOptions, Cex, CheckOutcome, FailureReason, ProveOutcome, StopCause};
 use autocc_hdl::{Module, NodeId};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -138,6 +143,64 @@ impl EngineOptions {
     }
 }
 
+/// Why a job ended [`EngineOutcome::Unknown`]: a machine-dependent stop
+/// (wall-clock or cancellation), as opposed to the deterministic
+/// conflict-budget exhaustion of [`EngineOutcome::Exhausted`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnknownCause {
+    /// The wall-clock budget ran out mid-check.
+    TimeBudget,
+    /// The job was cancelled (e.g. it lost a portfolio race).
+    Cancelled,
+}
+
+impl std::fmt::Display for UnknownCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            UnknownCause::TimeBudget => "timeout",
+            UnknownCause::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// A contained job fault: which engine failed, on what, how far it got,
+/// why, and after how many attempts. Carried by [`EngineOutcome::Failed`]
+/// instead of tearing down the batch.
+#[derive(Clone, Debug)]
+pub struct JobFailure {
+    /// Name of the failing engine ([`CheckEngine::name`]).
+    pub engine: String,
+    /// The property being checked, when the failure is attributable.
+    pub property: Option<String>,
+    /// Depth reached when the fault hit, in cycles.
+    pub depth: usize,
+    /// Failure classification.
+    pub reason: FailureReason,
+    /// Human-readable diagnostic (panic payload, divergence report, ...).
+    pub detail: String,
+    /// Number of attempts made (1 = no retries).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "engine `{}` failed ({}) at depth {} after {} attempt{}: {}",
+            self.engine,
+            self.reason,
+            self.depth,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.detail
+        )?;
+        if let Some(p) = &self.property {
+            write!(f, " [property {p}]")?;
+        }
+        Ok(())
+    }
+}
+
 /// Result of one engine run over one spec.
 #[derive(Clone, Debug)]
 pub enum EngineOutcome {
@@ -153,19 +216,63 @@ pub enum EngineOutcome {
         /// The induction depth at which the step case closed.
         induction_depth: usize,
     },
-    /// Budget exhausted or cancelled; `depth` cycles are still proven.
+    /// Conflict budget exhausted; `depth` cycles are still proven.
+    /// Deterministic: identical on every machine and run.
     Exhausted {
         /// Deepest fully-proven depth, in cycles.
         depth: usize,
     },
+    /// Stopped by wall-clock budget or cancellation; `depth` cycles are
+    /// still proven, but where the run stopped is machine-dependent.
+    Unknown {
+        /// Deepest fully-proven depth, in cycles.
+        depth: usize,
+        /// What stopped the run.
+        cause: UnknownCause,
+    },
+    /// The job hit an internal fault (panic, replay mismatch, ...); the
+    /// result is unusable but the rest of the batch continues.
+    Failed(JobFailure),
 }
 
 impl EngineOutcome {
-    /// A conclusive outcome settles the question the job asked; only
-    /// [`EngineOutcome::Exhausted`] is inconclusive. Races stop on the
-    /// first conclusive result.
+    /// A conclusive outcome settles the question the job asked;
+    /// [`EngineOutcome::Exhausted`], [`EngineOutcome::Unknown`] and
+    /// [`EngineOutcome::Failed`] do not. Races stop on the first
+    /// conclusive result.
     pub fn is_conclusive(&self) -> bool {
-        !matches!(self, EngineOutcome::Exhausted { .. })
+        matches!(
+            self,
+            EngineOutcome::Cex(_)
+                | EngineOutcome::BoundReached { .. }
+                | EngineOutcome::Proved { .. }
+        )
+    }
+
+    /// The deepest fully-proven depth this outcome still guarantees, when
+    /// it guarantees one ([`EngineOutcome::Failed`] guarantees nothing).
+    pub fn proven_depth(&self) -> Option<usize> {
+        match self {
+            EngineOutcome::Cex(_) | EngineOutcome::Failed(_) => None,
+            EngineOutcome::BoundReached { depth }
+            | EngineOutcome::Exhausted { depth }
+            | EngineOutcome::Unknown { depth, .. } => Some(*depth),
+            EngineOutcome::Proved { .. } => Some(usize::MAX),
+        }
+    }
+}
+
+fn stop_outcome(depth: usize, cause: StopCause) -> EngineOutcome {
+    match cause {
+        StopCause::ConflictBudget => EngineOutcome::Exhausted { depth },
+        StopCause::TimeBudget => EngineOutcome::Unknown {
+            depth,
+            cause: UnknownCause::TimeBudget,
+        },
+        StopCause::Cancelled => EngineOutcome::Unknown {
+            depth,
+            cause: UnknownCause::Cancelled,
+        },
     }
 }
 
@@ -215,7 +322,15 @@ impl CheckEngine for BmcEngine {
         match bmc.check(&options.to_bmc()) {
             CheckOutcome::Cex(cex) => EngineOutcome::Cex(cex),
             CheckOutcome::BoundReached { depth } => EngineOutcome::BoundReached { depth },
-            CheckOutcome::Exhausted { depth } => EngineOutcome::Exhausted { depth },
+            CheckOutcome::Exhausted { depth, cause } => stop_outcome(depth, cause),
+            CheckOutcome::Failed(failure) => EngineOutcome::Failed(JobFailure {
+                engine: self.name().to_string(),
+                property: None,
+                depth: failure.depth,
+                reason: failure.reason,
+                detail: failure.detail,
+                attempts: 1,
+            }),
         }
     }
 }
@@ -240,7 +355,15 @@ impl CheckEngine for KInductionEngine {
         match bmc.prove(&options.to_bmc()) {
             ProveOutcome::Proved { induction_depth } => EngineOutcome::Proved { induction_depth },
             ProveOutcome::Cex(cex) => EngineOutcome::Cex(cex),
-            ProveOutcome::Exhausted { bound } => EngineOutcome::Exhausted { depth: bound },
+            ProveOutcome::Exhausted { bound, cause } => stop_outcome(bound, cause),
+            ProveOutcome::Failed(failure) => EngineOutcome::Failed(JobFailure {
+                engine: self.name().to_string(),
+                property: None,
+                depth: failure.depth,
+                reason: failure.reason,
+                detail: failure.detail,
+                attempts: 1,
+            }),
         }
     }
 }
@@ -318,8 +441,11 @@ mod tests {
         let cancel = CancelToken::new();
         cancel.cancel();
         match BmcEngine.check(&spec, &opts, &cancel) {
-            EngineOutcome::Exhausted { depth: 0 } => {}
-            other => panic!("expected immediate exhaustion, got {other:?}"),
+            EngineOutcome::Unknown {
+                depth: 0,
+                cause: UnknownCause::Cancelled,
+            } => {}
+            other => panic!("expected immediate cancelled Unknown, got {other:?}"),
         }
     }
 

@@ -55,10 +55,13 @@ pub mod engine;
 pub mod portfolio;
 mod trace;
 
-pub use checker::{Bmc, BmcOptions, BmcStats, Cex, CheckOutcome, ProveOutcome};
+pub use checker::{
+    Bmc, BmcOptions, BmcStats, Cex, CheckFailure, CheckOutcome, FailureReason, ProveOutcome,
+    StopCause,
+};
 pub use engine::{
     BmcEngine, CancelToken, CheckEngine, CheckSpec, EngineOptions, EngineOutcome, Falsifier,
-    KInductionEngine,
+    JobFailure, KInductionEngine, UnknownCause,
 };
-pub use portfolio::Portfolio;
+pub use portfolio::{EngineJob, JobPanic, Portfolio, RetryPolicy};
 pub use trace::{ReplayedTrace, Trace};

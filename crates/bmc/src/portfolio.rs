@@ -10,16 +10,152 @@
 //!   4` and `--jobs 1` agree byte for byte.
 //! * [`Portfolio::race`] runs several engines over the *same* spec with a
 //!   shared [`CancelToken`]; the first conclusive result wins and the
-//!   losers are cancelled at their next depth-step boundary.
+//!   losers are cancelled mid-solve via the solver's interrupt hook.
 //!
 //! Workers claim jobs from an atomic counter (work stealing by index), so
 //! scheduling is dynamic but the *result vector* is positional — merging
 //! never depends on completion order.
+//!
+//! Every job is contained with `catch_unwind`: a panicking worker poisons
+//! only its own slot, never the batch. [`Portfolio::try_run`] exposes the
+//! contained panics as values; [`Portfolio::run`] re-raises the
+//! lowest-index panic *after* all other jobs finish, so even the panic
+//! propagation path is independent of worker count. Engine jobs go one
+//! step further: [`Portfolio::run_engine_jobs`] retries panicked jobs
+//! under a [`RetryPolicy`] with escalated conflict budgets, and degrades
+//! to [`EngineOutcome::Failed`] only when the retries are spent.
 
-use crate::engine::{CancelToken, CheckEngine, CheckSpec, EngineOptions, EngineOutcome};
+use crate::checker::FailureReason;
+use crate::engine::{
+    CancelToken, CheckEngine, CheckSpec, EngineOptions, EngineOutcome, JobFailure,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
+
+/// A contained panic from one job of a batch.
+#[derive(Clone, Debug)]
+pub struct JobPanic {
+    /// Index of the panicking job in the submitted batch.
+    pub index: usize,
+    /// Stringified panic payload.
+    pub payload: String,
+}
+
+/// Renders a panic payload (`&str` or `String` in practice) for reports.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Bounded-retry policy for contained job panics.
+///
+/// A panicked engine job is re-run up to `max_retries` more times; each
+/// attempt multiplies the job's conflict budget by `escalation` (attempt
+/// `a` runs with `budget * escalation^a`), on the theory that transient
+/// faults near a budget edge deserve more room before giving up. Retries
+/// are deterministic: the same job panics (or not) identically on every
+/// machine, so retry counts — and therefore outcomes — do not depend on
+/// worker count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = fail fast).
+    pub max_retries: u32,
+    /// Conflict-budget multiplier applied per retry.
+    pub escalation: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 1,
+            escalation: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Fail fast: no retries.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Default escalation with `n` retries.
+    pub fn with_retries(n: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: n,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The conflict budget for attempt `attempt` (0-based): the base
+    /// budget scaled by `escalation^attempt`, saturating.
+    pub fn escalated_budget(&self, base: Option<u64>, attempt: u32) -> Option<u64> {
+        let factor = u64::from(self.escalation.max(1));
+        base.map(|b| b.saturating_mul(factor.saturating_pow(attempt)))
+    }
+}
+
+/// One engine job of a batch: an engine, what to check, and its budgets.
+///
+/// The optional `property` names the property under check so a contained
+/// failure can be attributed in reports.
+pub struct EngineJob<'e, 'm> {
+    /// The engine to run.
+    pub engine: &'e dyn CheckEngine,
+    /// What to check.
+    pub spec: CheckSpec<'m>,
+    /// Budgets and switches.
+    pub options: EngineOptions,
+    /// Property name for failure attribution, if the job is per-property.
+    pub property: Option<String>,
+    /// Cancellation token observed by the job (fresh = never cancelled).
+    pub cancel: CancelToken,
+}
+
+/// Runs one engine job with panic containment and bounded retries.
+fn run_engine_job(job: &EngineJob<'_, '_>, retry: RetryPolicy) -> EngineOutcome {
+    let mut attempt = 0u32;
+    loop {
+        let mut options = job.options.clone();
+        options.conflict_budget = retry.escalated_budget(job.options.conflict_budget, attempt);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            job.engine.check(&job.spec, &options, &job.cancel)
+        }));
+        attempt += 1;
+        match result {
+            Ok(EngineOutcome::Failed(mut failure)) => {
+                failure.attempts = attempt;
+                if failure.property.is_none() {
+                    failure.property.clone_from(&job.property);
+                }
+                return EngineOutcome::Failed(failure);
+            }
+            Ok(outcome) => return outcome,
+            Err(payload) => {
+                if attempt > retry.max_retries {
+                    return EngineOutcome::Failed(JobFailure {
+                        engine: job.engine.name().to_string(),
+                        property: job.property.clone(),
+                        depth: 0,
+                        reason: FailureReason::Panic,
+                        detail: panic_message(payload.as_ref()),
+                        attempts: attempt,
+                    });
+                }
+            }
+        }
+    }
+}
 
 /// A fixed-width pool of check workers.
 #[derive(Clone, Copy, Debug)]
@@ -38,28 +174,37 @@ impl Portfolio {
         self.jobs
     }
 
-    /// Runs every task and returns the results in submission order.
+    /// Runs every task and returns the results in submission order, with
+    /// panics contained per slot.
     ///
     /// With `jobs == 1` (or a single task) the tasks run inline on the
     /// calling thread; otherwise worker threads claim tasks from an atomic
-    /// counter. Either way the result at index `i` is task `i`'s result,
-    /// so downstream merging is deterministic.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any task panics (the panic is propagated).
-    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    /// counter. Either way the result at index `i` is task `i`'s result
+    /// (or its contained panic), so downstream merging is deterministic
+    /// and one bad job cannot take down its batch.
+    pub fn try_run<T, F>(&self, tasks: Vec<F>) -> Vec<Result<T, JobPanic>>
     where
         T: Send,
         F: FnOnce() -> T + Send,
     {
+        let contain = |i: usize, task: F| {
+            catch_unwind(AssertUnwindSafe(task)).map_err(|payload| JobPanic {
+                index: i,
+                payload: panic_message(payload.as_ref()),
+            })
+        };
         let n = tasks.len();
         if self.jobs == 1 || n <= 1 {
-            return tasks.into_iter().map(|task| task()).collect();
+            return tasks
+                .into_iter()
+                .enumerate()
+                .map(|(i, task)| contain(i, task))
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
-        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let results: Vec<Mutex<Option<Result<T, JobPanic>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
         thread::scope(|s| {
             for _ in 0..self.jobs.min(n) {
                 s.spawn(|| loop {
@@ -68,7 +213,7 @@ impl Portfolio {
                         break;
                     }
                     let task = slots[i].lock().unwrap().take().expect("task claimed once");
-                    let result = task();
+                    let result = contain(i, task);
                     *results[i].lock().unwrap() = Some(result);
                 });
             }
@@ -77,20 +222,76 @@ impl Portfolio {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("worker panics propagate through scope join")
+                    .expect("result mutex never poisoned: workers contain panics")
                     .expect("every claimed task stores a result")
             })
             .collect()
     }
 
-    /// Races `engines` over one spec; the first *conclusive* outcome (see
-    /// [`EngineOutcome::is_conclusive`]) wins and cancels the rest.
+    /// Runs every task and returns the results in submission order.
     ///
-    /// Returns the winning engine's index and outcome. If no engine is
-    /// conclusive, engine 0's outcome is returned (a deterministic
-    /// fallback). Which engine wins a race can depend on machine timing —
-    /// races trade determinism of the *winner* for wall-clock speed, while
-    /// the outcome itself is still a correct answer whoever produces it.
+    /// # Panics
+    ///
+    /// If any task panics, the panic of the *lowest-index* panicking task
+    /// is re-raised — after every other task has run to completion — so
+    /// the propagated panic is the same whatever the worker count.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let mut results = Vec::new();
+        let mut first_panic: Option<JobPanic> = None;
+        for r in self.try_run(tasks) {
+            match r {
+                Ok(v) => results.push(v),
+                Err(p) => first_panic = first_panic.or(Some(p)),
+            }
+        }
+        if let Some(p) = first_panic {
+            panic!("job {} panicked: {}", p.index, p.payload);
+        }
+        results
+    }
+
+    /// Runs a batch of engine jobs with panic containment and the given
+    /// [`RetryPolicy`], returning outcomes in submission order. A job
+    /// whose retries are spent degrades to [`EngineOutcome::Failed`]
+    /// (reason [`FailureReason::Panic`]); the rest of the batch always
+    /// completes.
+    pub fn run_engine_jobs(
+        &self,
+        jobs: Vec<EngineJob<'_, '_>>,
+        retry: RetryPolicy,
+    ) -> Vec<EngineOutcome> {
+        let tasks: Vec<_> = jobs
+            .into_iter()
+            .map(|job| move || run_engine_job(&job, retry))
+            .collect();
+        self.try_run(tasks)
+            .into_iter()
+            .map(|r| r.expect("run_engine_job contains panics internally"))
+            .collect()
+    }
+
+    /// Races `engines` over one spec; a conclusive outcome (see
+    /// [`EngineOutcome::is_conclusive`]) cancels the remaining racers
+    /// mid-solve.
+    ///
+    /// Returns the winning engine's index and outcome. The winner is
+    /// chosen *after* every racer has stopped: the lowest-index conclusive
+    /// engine wins, so the engine list order is a deterministic priority —
+    /// a conclusive outcome can no longer lose to a later engine that
+    /// merely grabbed a lock first. If no engine is conclusive, the
+    /// inconclusive outcome with the deepest proven depth wins (ties to
+    /// the lowest index) and failures are reported only when *every*
+    /// engine failed. Wall-clock timing still decides how far cancelled
+    /// losers get, but never which outcome is reported for a fixed set of
+    /// finished outcomes.
+    ///
+    /// A panicking racer is contained and scored as
+    /// [`EngineOutcome::Failed`]; races never apply retries (the point of
+    /// a race is that some other engine covers for the failed one).
     pub fn race(
         &self,
         engines: &[&dyn CheckEngine],
@@ -99,24 +300,29 @@ impl Portfolio {
     ) -> (usize, EngineOutcome) {
         assert!(!engines.is_empty(), "race needs at least one engine");
         let tokens: Vec<CancelToken> = engines.iter().map(|_| CancelToken::new()).collect();
-        let winner: Mutex<Option<usize>> = Mutex::new(None);
         let outcomes: Vec<Mutex<Option<EngineOutcome>>> =
             engines.iter().map(|_| Mutex::new(None)).collect();
         thread::scope(|s| {
             for (i, engine) in engines.iter().enumerate() {
                 let tokens = &tokens;
-                let winner = &winner;
                 let outcomes = &outcomes;
                 s.spawn(move || {
-                    let outcome = engine.check(spec, options, &tokens[i]);
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| engine.check(spec, options, &tokens[i])))
+                            .unwrap_or_else(|payload| {
+                                EngineOutcome::Failed(JobFailure {
+                                    engine: engine.name().to_string(),
+                                    property: None,
+                                    depth: 0,
+                                    reason: FailureReason::Panic,
+                                    detail: panic_message(payload.as_ref()),
+                                    attempts: 1,
+                                })
+                            });
                     if outcome.is_conclusive() {
-                        let mut w = winner.lock().unwrap();
-                        if w.is_none() {
-                            *w = Some(i);
-                            for (j, t) in tokens.iter().enumerate() {
-                                if j != i {
-                                    t.cancel();
-                                }
+                        for (j, t) in tokens.iter().enumerate() {
+                            if j != i {
+                                t.cancel();
                             }
                         }
                     }
@@ -128,8 +334,22 @@ impl Portfolio {
             .into_iter()
             .map(|slot| slot.into_inner().unwrap().expect("every racer reports"))
             .collect();
-        let idx = winner.into_inner().unwrap().unwrap_or(0);
-        let outcome = outcomes.into_iter().nth(idx).expect("winner index valid");
+        // Lowest-index conclusive outcome wins.
+        if let Some(idx) = outcomes.iter().position(|o| o.is_conclusive()) {
+            let outcome = outcomes.into_iter().nth(idx).expect("winner index valid");
+            return (idx, outcome);
+        }
+        // No winner: deepest proven depth among the inconclusive outcomes,
+        // ties to the lowest index; Failed outcomes guarantee nothing and
+        // are reported only when there is nothing else.
+        let idx = outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.proven_depth().map(|d| (i, d)))
+            .max_by(|(ia, da), (ib, db)| da.cmp(db).then(ib.cmp(ia)))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let outcome = outcomes.into_iter().nth(idx).expect("fallback index valid");
         (idx, outcome)
     }
 }
@@ -145,6 +365,7 @@ mod tests {
     use super::*;
     use crate::engine::{BmcEngine, KInductionEngine};
     use autocc_hdl::{Bv, Module, ModuleBuilder};
+    use std::sync::atomic::AtomicU32;
 
     #[test]
     fn run_preserves_submission_order() {
@@ -155,6 +376,55 @@ mod tests {
         assert_eq!(serial, parallel);
     }
 
+    #[test]
+    fn try_run_contains_panics_per_slot() {
+        for jobs in [1, 4] {
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+                Box::new(|| 10),
+                Box::new(|| panic!("boom in slot 1")),
+                Box::new(|| 30),
+            ];
+            let results = Portfolio::new(jobs).try_run(tasks);
+            assert_eq!(results.len(), 3);
+            assert_eq!(*results[0].as_ref().unwrap(), 10);
+            let p = results[1].as_ref().unwrap_err();
+            assert_eq!(p.index, 1);
+            assert!(p.payload.contains("boom in slot 1"));
+            assert_eq!(*results[2].as_ref().unwrap(), 30);
+        }
+    }
+
+    #[test]
+    fn run_reraises_the_lowest_index_panic() {
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(|| 0),
+            Box::new(|| panic!("first")),
+            Box::new(|| panic!("second")),
+        ];
+        let err = catch_unwind(AssertUnwindSafe(|| Portfolio::new(4).run(tasks)))
+            .expect_err("panic must propagate");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("first"), "got: {msg}");
+    }
+
+    #[test]
+    fn retry_policy_escalates_conflict_budgets() {
+        let p = RetryPolicy {
+            max_retries: 3,
+            escalation: 2,
+        };
+        assert_eq!(p.escalated_budget(Some(100), 0), Some(100));
+        assert_eq!(p.escalated_budget(Some(100), 1), Some(200));
+        assert_eq!(p.escalated_budget(Some(100), 2), Some(400));
+        assert_eq!(p.escalated_budget(None, 2), None);
+        // Escalation below 1 is clamped; budgets never shrink to zero.
+        let flat = RetryPolicy {
+            max_retries: 1,
+            escalation: 0,
+        };
+        assert_eq!(flat.escalated_budget(Some(7), 5), Some(7));
+    }
+
     fn toggle_module() -> Module {
         let mut b = ModuleBuilder::new("toggle");
         let t = b.reg("t", 1, Bv::zero(1));
@@ -163,6 +433,96 @@ mod tests {
         let stuck = b.or(t, n);
         b.output("stuck", stuck);
         b.build()
+    }
+
+    /// Test double: panics on the first `panics` attempts, then delegates.
+    struct FlakyEngine {
+        panics: u32,
+        calls: AtomicU32,
+        budgets: Mutex<Vec<Option<u64>>>,
+    }
+
+    impl FlakyEngine {
+        fn new(panics: u32) -> FlakyEngine {
+            FlakyEngine {
+                panics,
+                calls: AtomicU32::new(0),
+                budgets: Mutex::new(Vec::new()),
+            }
+        }
+    }
+
+    impl CheckEngine for FlakyEngine {
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+
+        fn check(
+            &self,
+            spec: &CheckSpec<'_>,
+            options: &EngineOptions,
+            cancel: &CancelToken,
+        ) -> EngineOutcome {
+            self.budgets.lock().unwrap().push(options.conflict_budget);
+            let call = self.calls.fetch_add(1, Ordering::SeqCst);
+            if call < self.panics {
+                panic!("injected fault on attempt {call}");
+            }
+            BmcEngine.check(spec, options, cancel)
+        }
+    }
+
+    fn job<'e, 'm>(engine: &'e dyn CheckEngine, spec: CheckSpec<'m>) -> EngineJob<'e, 'm> {
+        EngineJob {
+            engine,
+            spec,
+            options: EngineOptions {
+                max_depth: 8,
+                conflict_budget: Some(1000),
+                time_budget: None,
+                slice: false,
+            },
+            property: Some("t_or_not_t".to_string()),
+            cancel: CancelToken::new(),
+        }
+    }
+
+    #[test]
+    fn engine_job_retries_after_panic_with_escalated_budget() {
+        let m = toggle_module();
+        let spec = CheckSpec::new(&m).property("t_or_not_t", m.output_node("stuck").unwrap());
+        let flaky = FlakyEngine::new(2);
+        let outcomes = Portfolio::new(1)
+            .run_engine_jobs(vec![job(&flaky, spec)], RetryPolicy::with_retries(2));
+        assert_eq!(outcomes.len(), 1);
+        match &outcomes[0] {
+            EngineOutcome::BoundReached { depth: 8 } => {}
+            other => panic!("expected recovery to BoundReached, got {other:?}"),
+        }
+        // Attempt 0 at the base budget, then 2x, then 4x.
+        assert_eq!(
+            *flaky.budgets.lock().unwrap(),
+            vec![Some(1000), Some(2000), Some(4000)]
+        );
+    }
+
+    #[test]
+    fn engine_job_degrades_to_failed_when_retries_are_spent() {
+        let m = toggle_module();
+        let spec = CheckSpec::new(&m).property("t_or_not_t", m.output_node("stuck").unwrap());
+        let flaky = FlakyEngine::new(u32::MAX);
+        let outcomes = Portfolio::new(1)
+            .run_engine_jobs(vec![job(&flaky, spec)], RetryPolicy::with_retries(1));
+        match &outcomes[0] {
+            EngineOutcome::Failed(f) => {
+                assert_eq!(f.reason, FailureReason::Panic);
+                assert_eq!(f.attempts, 2);
+                assert_eq!(f.engine, "flaky");
+                assert_eq!(f.property.as_deref(), Some("t_or_not_t"));
+                assert!(f.detail.contains("injected fault"));
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
     }
 
     #[test]
@@ -182,5 +542,89 @@ mod tests {
             EngineOutcome::Proved { .. } | EngineOutcome::BoundReached { .. } => {}
             other => panic!("tautology must not be refuted: {other:?}"),
         }
+    }
+
+    /// Test double returning a fixed outcome, optionally after a delay.
+    struct FixedEngine {
+        outcome: EngineOutcome,
+        delay: std::time::Duration,
+    }
+
+    impl CheckEngine for FixedEngine {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+
+        fn check(
+            &self,
+            _spec: &CheckSpec<'_>,
+            _options: &EngineOptions,
+            _cancel: &CancelToken,
+        ) -> EngineOutcome {
+            if !self.delay.is_zero() {
+                thread::sleep(self.delay);
+            }
+            self.outcome.clone()
+        }
+    }
+
+    #[test]
+    fn race_winner_is_lowest_index_conclusive_not_first_to_finish() {
+        let m = toggle_module();
+        let spec = CheckSpec::new(&m).property("t_or_not_t", m.output_node("stuck").unwrap());
+        let opts = EngineOptions::default();
+        // Engine 0 is conclusive but slow; engine 1 is conclusive and
+        // instant. Priority order must still pick engine 0.
+        let slow = FixedEngine {
+            outcome: EngineOutcome::BoundReached { depth: 8 },
+            delay: std::time::Duration::from_millis(50),
+        };
+        let fast = FixedEngine {
+            outcome: EngineOutcome::Proved { induction_depth: 1 },
+            delay: std::time::Duration::ZERO,
+        };
+        let (idx, outcome) = Portfolio::new(2).race(&[&slow, &fast], &spec, &opts);
+        assert_eq!(idx, 0, "lowest-index conclusive engine must win");
+        match outcome {
+            EngineOutcome::BoundReached { depth: 8 } => {}
+            other => panic!("expected engine 0's outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn race_fallback_prefers_deepest_inconclusive_outcome() {
+        let m = toggle_module();
+        let spec = CheckSpec::new(&m).property("t_or_not_t", m.output_node("stuck").unwrap());
+        let opts = EngineOptions::default();
+        let shallow = FixedEngine {
+            outcome: EngineOutcome::Exhausted { depth: 3 },
+            delay: std::time::Duration::ZERO,
+        };
+        let deep = FixedEngine {
+            outcome: EngineOutcome::Exhausted { depth: 7 },
+            delay: std::time::Duration::ZERO,
+        };
+        let (idx, outcome) = Portfolio::new(2).race(&[&shallow, &deep], &spec, &opts);
+        assert_eq!(idx, 1, "deeper exhausted outcome must win the fallback");
+        match outcome {
+            EngineOutcome::Exhausted { depth: 7 } => {}
+            other => panic!("expected depth-7 exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn race_survives_a_panicking_racer() {
+        let m = toggle_module();
+        let spec = CheckSpec::new(&m).property("t_or_not_t", m.output_node("stuck").unwrap());
+        let opts = EngineOptions {
+            max_depth: 8,
+            conflict_budget: None,
+            time_budget: None,
+            slice: false,
+        };
+        let flaky = FlakyEngine::new(u32::MAX);
+        let (idx, outcome) = Portfolio::new(2).race(&[&flaky, &BmcEngine], &spec, &opts);
+        assert_eq!(idx, 1, "healthy engine must win over the panicking one");
+        assert!(outcome.is_conclusive(), "got {outcome:?}");
     }
 }

@@ -71,7 +71,10 @@ pub use flush::{
     decremental_flush, incremental_flush, FlushIteration, FlushSynthesisConfig,
     FlushSynthesisResult,
 };
-pub use report::{format_duration, format_table, format_table_stable, TableRow};
+pub use report::{
+    failure_summary, format_duration, format_table, format_table_stable, report_exit_code,
+    RowStatus, TableRow,
+};
 pub use spec::{AssumeHook, FlushDone, FtSpec, MiterHook};
 pub use sva::to_sva;
 pub use testbench::{

@@ -8,6 +8,19 @@ use crate::testbench::AutoCcOutcome;
 use std::fmt::Write as _;
 use std::time::Duration;
 
+/// Health of a table row: did the experiment answer, stop on a
+/// machine-dependent budget, or fail outright?
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RowStatus {
+    /// A real answer (CEX, clean, proved, or deterministic exhaustion).
+    #[default]
+    Ok,
+    /// Degraded: stopped by wall-clock budget or cancellation.
+    Unknown,
+    /// A contained fault (panic, replay mismatch, ...).
+    Failed,
+}
+
 /// One row of an experiment table.
 #[derive(Clone, Debug)]
 pub struct TableRow {
@@ -19,8 +32,13 @@ pub struct TableRow {
     pub depth: Option<usize>,
     /// FPV tool runtime.
     pub time: Duration,
-    /// Outcome label (`CEX`, `clean@N`, `proved`, ...).
+    /// Outcome label (`CEX`, `clean@N`, `proved`, `UNKNOWN@N`, ...).
     pub outcome: String,
+    /// Row health, for exit codes and the failure summary.
+    pub status: RowStatus,
+    /// Diagnostic detail for degraded rows (panic payloads, replay
+    /// divergence reports), printed in the failure summary.
+    pub detail: Option<String>,
 }
 
 impl TableRow {
@@ -31,13 +49,41 @@ impl TableRow {
         outcome: &AutoCcOutcome,
         time: Duration,
     ) -> TableRow {
-        let (depth, label) = match outcome {
-            AutoCcOutcome::Cex(cex) => (Some(cex.depth), format!("CEX {}", cex.property)),
-            AutoCcOutcome::Clean { bound } => (None, format!("clean@{bound}")),
-            AutoCcOutcome::Proved { induction_depth } => {
-                (None, format!("proved (k={induction_depth})"))
+        let (depth, label, status, detail) = match outcome {
+            AutoCcOutcome::Cex(cex) => (
+                Some(cex.depth),
+                format!("CEX {}", cex.property),
+                RowStatus::Ok,
+                None,
+            ),
+            AutoCcOutcome::Clean { bound } => (None, format!("clean@{bound}"), RowStatus::Ok, None),
+            AutoCcOutcome::Proved { induction_depth } => (
+                None,
+                format!("proved (k={induction_depth})"),
+                RowStatus::Ok,
+                None,
+            ),
+            AutoCcOutcome::Exhausted { bound } => {
+                (None, format!("exhausted@{bound}"), RowStatus::Ok, None)
             }
-            AutoCcOutcome::Exhausted { bound } => (None, format!("exhausted@{bound}")),
+            AutoCcOutcome::Unknown { bound, cause } => (
+                None,
+                format!("UNKNOWN@{bound} ({cause})"),
+                RowStatus::Unknown,
+                None,
+            ),
+            AutoCcOutcome::Failed { failures } => {
+                let label = match failures.len() {
+                    1 => format!("FAILED ({})", failures[0].reason),
+                    n => format!("FAILED ({}, +{} more)", failures[0].reason, n - 1),
+                };
+                let detail = failures
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                (None, label, RowStatus::Failed, Some(detail))
+            }
         };
         TableRow {
             id: id.into(),
@@ -45,8 +91,59 @@ impl TableRow {
             depth,
             time,
             outcome: label,
+            status,
+            detail,
         }
     }
+
+    /// A row for an experiment whose harness itself failed (e.g. a panic
+    /// contained outside any engine job).
+    pub fn failed(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> TableRow {
+        TableRow {
+            id: id.into(),
+            description: description.into(),
+            depth: None,
+            time: Duration::ZERO,
+            outcome: "FAILED (panic)".to_string(),
+            status: RowStatus::Failed,
+            detail: Some(detail.into()),
+        }
+    }
+}
+
+/// A human-readable summary of every degraded row, or `None` when the
+/// whole table is healthy. Report binaries print this after the table.
+pub fn failure_summary(rows: &[TableRow]) -> Option<String> {
+    let bad: Vec<&TableRow> = rows.iter().filter(|r| r.status != RowStatus::Ok).collect();
+    if bad.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} of {} experiments degraded (UNKNOWN/FAILED):",
+        bad.len(),
+        rows.len()
+    );
+    for r in bad {
+        let _ = writeln!(out, "  {}: {}", r.id, r.outcome);
+        if let Some(d) = &r.detail {
+            for line in d.lines() {
+                let _ = writeln!(out, "      {line}");
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Process exit code for a finished report: non-zero iff any row degraded
+/// to `UNKNOWN` or `FAILED` (deterministic exhaustion is still an answer).
+pub fn report_exit_code(rows: &[TableRow]) -> i32 {
+    i32::from(rows.iter().any(|r| r.status != RowStatus::Ok))
 }
 
 /// Formats a duration the way the paper's tables do (coarse buckets for
@@ -167,6 +264,8 @@ mod tests {
                 depth: Some(6),
                 time: Duration::from_millis(800),
                 outcome: "CEX as__dmem_hwrite_eq".into(),
+                status: RowStatus::Ok,
+                detail: None,
             },
             TableRow {
                 id: "V5".into(),
@@ -174,6 +273,8 @@ mod tests {
                 depth: Some(9),
                 time: Duration::from_secs(12),
                 outcome: "CEX as__imem_haddr_eq".into(),
+                status: RowStatus::Ok,
+                detail: None,
             },
         ];
         let table = format_table("Table 2: Vscale", &rows);
@@ -191,10 +292,52 @@ mod tests {
             depth: Some(6),
             time,
             outcome: "CEX as__dmem_hwrite_eq".into(),
+            status: RowStatus::Ok,
+            detail: None,
         };
         let fast = format_table_stable("Table 2: Vscale", &[row(Duration::from_millis(3))]);
         let slow = format_table_stable("Table 2: Vscale", &[row(Duration::from_secs(90))]);
         assert_eq!(fast, slow, "stable tables must not encode runtimes");
         assert!(!fast.contains("Time"));
+    }
+
+    #[test]
+    fn degraded_rows_drive_summary_and_exit_code() {
+        let ok = TableRow {
+            id: "V1".into(),
+            description: "healthy".into(),
+            depth: Some(6),
+            time: Duration::ZERO,
+            outcome: "CEX as__y_eq".into(),
+            status: RowStatus::Ok,
+            detail: None,
+        };
+        assert_eq!(report_exit_code(std::slice::from_ref(&ok)), 0);
+        assert!(failure_summary(std::slice::from_ref(&ok)).is_none());
+
+        let failed = TableRow::failed("V2", "broken", "engine `bmc` panicked: boom");
+        let rows = vec![ok, failed];
+        assert_eq!(report_exit_code(&rows), 1);
+        let summary = failure_summary(&rows).expect("summary for degraded table");
+        assert!(summary.contains("1 of 2 experiments degraded"));
+        assert!(summary.contains("V2: FAILED (panic)"));
+        assert!(summary.contains("boom"));
+    }
+
+    #[test]
+    fn unknown_outcome_renders_with_cause() {
+        use autocc_bmc::UnknownCause;
+        let row = TableRow::from_outcome(
+            "A1",
+            "timed out",
+            &AutoCcOutcome::Unknown {
+                bound: 12,
+                cause: UnknownCause::TimeBudget,
+            },
+            Duration::ZERO,
+        );
+        assert_eq!(row.outcome, "UNKNOWN@12 (timeout)");
+        assert_eq!(row.status, RowStatus::Unknown);
+        assert_eq!(report_exit_code(&[row]), 1);
     }
 }

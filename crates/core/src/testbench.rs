@@ -7,8 +7,10 @@
 //! state that differed between universes when the spy process started.
 
 use autocc_bmc::{
-    Bmc, BmcEngine, BmcOptions, CancelToken, CheckEngine, CheckOutcome, CheckSpec, EngineOptions,
-    EngineOutcome, Falsifier, KInductionEngine, Portfolio, ProveOutcome, ReplayedTrace, Trace,
+    Bmc, BmcEngine, BmcOptions, CancelToken, CheckEngine, CheckFailure, CheckOutcome, CheckSpec,
+    EngineJob, EngineOptions, EngineOutcome, FailureReason, Falsifier, JobFailure,
+    KInductionEngine, Portfolio, ProveOutcome, ReplayedTrace, RetryPolicy, StopCause, Trace,
+    UnknownCause,
 };
 use autocc_hdl::{Bv, Instance, Module, NodeId, RegId, Waveform};
 use std::time::{Duration, Instant};
@@ -107,10 +109,24 @@ pub enum AutoCcOutcome {
         /// Induction depth that closed the proof.
         induction_depth: usize,
     },
-    /// Budget exhausted first.
+    /// Conflict budget exhausted first (deterministic).
     Exhausted {
         /// Deepest fully-proven depth, in cycles.
         bound: usize,
+    },
+    /// Stopped by a wall-clock budget or cancellation (machine-dependent,
+    /// so kept apart from [`AutoCcOutcome::Exhausted`]).
+    Unknown {
+        /// Deepest fully-proven depth, in cycles.
+        bound: usize,
+        /// What stopped the run.
+        cause: UnknownCause,
+    },
+    /// One or more check jobs failed internally (contained panic, replay
+    /// mismatch, ...). The run survives; the failures carry the details.
+    Failed {
+        /// Every contained failure, in property order.
+        failures: Vec<JobFailure>,
     },
 }
 
@@ -128,6 +144,15 @@ impl AutoCcOutcome {
         matches!(
             self,
             AutoCcOutcome::Clean { .. } | AutoCcOutcome::Proved { .. }
+        )
+    }
+
+    /// True when the run degraded instead of answering: a failure or a
+    /// machine-dependent stop.
+    pub fn is_degraded(&self) -> bool {
+        matches!(
+            self,
+            AutoCcOutcome::Unknown { .. } | AutoCcOutcome::Failed { .. }
         )
     }
 }
@@ -155,6 +180,8 @@ pub struct CheckSettings {
     pub jobs: usize,
     /// Per-property cone-of-influence slicing.
     pub slice: bool,
+    /// Retry policy for contained job panics.
+    pub retry: RetryPolicy,
 }
 
 impl CheckSettings {
@@ -164,6 +191,7 @@ impl CheckSettings {
             options: options.clone(),
             jobs: 1,
             slice: false,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -179,8 +207,43 @@ impl CheckSettings {
         self
     }
 
+    /// Sets the number of retries for panicked jobs.
+    pub fn with_retries(mut self, retries: u32) -> CheckSettings {
+        self.retry = RetryPolicy::with_retries(retries);
+        self
+    }
+
     fn engine_options(&self) -> EngineOptions {
         EngineOptions::from_bmc(&self.options).with_slice(self.slice)
+    }
+}
+
+/// Maps a checker stop cause onto the outcome taxonomy: conflict budgets
+/// stay deterministic exhaustion, wall-clock and cancellation degrade to
+/// [`AutoCcOutcome::Unknown`].
+fn stop_to_outcome(bound: usize, cause: StopCause) -> AutoCcOutcome {
+    match cause {
+        StopCause::ConflictBudget => AutoCcOutcome::Exhausted { bound },
+        StopCause::TimeBudget => AutoCcOutcome::Unknown {
+            bound,
+            cause: UnknownCause::TimeBudget,
+        },
+        StopCause::Cancelled => AutoCcOutcome::Unknown {
+            bound,
+            cause: UnknownCause::Cancelled,
+        },
+    }
+}
+
+/// Lifts a checker-level failure into a job failure for reporting.
+fn check_failure_to_job(engine: &str, failure: CheckFailure) -> JobFailure {
+    JobFailure {
+        engine: engine.to_string(),
+        property: None,
+        depth: failure.depth,
+        reason: failure.reason,
+        detail: failure.detail,
+        attempts: 1,
     }
 }
 
@@ -277,9 +340,12 @@ impl FpvTestbench {
         let start = Instant::now();
         let mut bmc = self.configure();
         let outcome = match bmc.check(options) {
-            CheckOutcome::Cex(cex) => AutoCcOutcome::Cex(Box::new(self.analyze_cex(&cex))),
+            CheckOutcome::Cex(cex) => self.certified_outcome(&cex),
             CheckOutcome::BoundReached { depth } => AutoCcOutcome::Clean { bound: depth },
-            CheckOutcome::Exhausted { depth } => AutoCcOutcome::Exhausted { bound: depth },
+            CheckOutcome::Exhausted { depth, cause } => stop_to_outcome(depth, cause),
+            CheckOutcome::Failed(failure) => AutoCcOutcome::Failed {
+                failures: vec![check_failure_to_job("bmc", failure)],
+            },
         };
         RunReport {
             outcome,
@@ -297,24 +363,44 @@ impl FpvTestbench {
     /// the minimum over jobs, and results are merged in property order —
     /// so `jobs = 1` and `jobs = N` agree exactly (absent time budgets,
     /// which are inherently machine-dependent).
+    ///
+    /// Every job runs panic-contained under `settings.retry`; a job whose
+    /// retries are spent degrades that property to a failure instead of
+    /// aborting the batch. A counterexample is reported only after
+    /// [`FpvTestbench::certify_cex`] replays it successfully.
     pub fn check_portfolio(&self, settings: &CheckSettings) -> RunReport {
+        self.check_portfolio_with(settings, &BmcEngine)
+    }
+
+    /// [`FpvTestbench::check_portfolio`] with an explicit engine — the
+    /// seam the fault-injection tests use to exercise panic containment,
+    /// hang interruption, and CEX certification with misbehaving engines.
+    pub fn check_portfolio_with(
+        &self,
+        settings: &CheckSettings,
+        engine: &dyn CheckEngine,
+    ) -> RunReport {
         let start = Instant::now();
         let engine_opts = settings.engine_options();
-        let tasks: Vec<_> = self
+        let jobs: Vec<EngineJob<'_, '_>> = self
             .properties
             .iter()
-            .map(|(name, p)| {
-                let spec = CheckSpec::new(&self.miter)
+            .map(|(name, p)| EngineJob {
+                engine,
+                spec: CheckSpec::new(&self.miter)
                     .property(name.clone(), *p)
-                    .constraints(&self.constraints);
-                let opts = engine_opts.clone();
-                move || BmcEngine.check(&spec, &opts, &CancelToken::new())
+                    .constraints(&self.constraints),
+                options: engine_opts.clone(),
+                property: Some(name.clone()),
+                cancel: CancelToken::new(),
             })
             .collect();
-        let outcomes = Portfolio::new(settings.jobs).run(tasks);
+        let outcomes = Portfolio::new(settings.jobs).run_engine_jobs(jobs, settings.retry);
 
         // Deterministic merge, in property-registration order.
         let mut best_cex: Option<(usize, usize, autocc_bmc::Cex)> = None;
+        let mut failures: Vec<JobFailure> = Vec::new();
+        let mut unknown: Option<(usize, UnknownCause)> = None;
         let mut exhausted_bound: Option<usize> = None;
         let mut clean_bound: Option<usize> = None;
         for (i, outcome) in outcomes.into_iter().enumerate() {
@@ -330,6 +416,15 @@ impl FpvTestbench {
                 EngineOutcome::Exhausted { depth } => {
                     exhausted_bound = Some(exhausted_bound.map_or(depth, |b| b.min(depth)));
                 }
+                EngineOutcome::Unknown { depth, cause } => {
+                    unknown = Some(match unknown {
+                        None => (depth, cause),
+                        // Minimum bound; the cause of the first (property
+                        // order) unknown job keeps the merge deterministic.
+                        Some((b, c)) => (b.min(depth), c),
+                    });
+                }
+                EngineOutcome::Failed(f) => failures.push(f),
                 EngineOutcome::BoundReached { depth }
                 | EngineOutcome::Proved {
                     induction_depth: depth,
@@ -338,8 +433,21 @@ impl FpvTestbench {
                 }
             }
         }
-        let outcome = if let Some((_, _, cex)) = best_cex {
-            AutoCcOutcome::Cex(Box::new(self.analyze_cex(&cex)))
+        // A certified counterexample outranks everything; a CEX that fails
+        // certification is a checker fault and joins the failures instead.
+        let mut certified: Option<CovertChannelCex> = None;
+        if let Some((_, _, cex)) = best_cex {
+            match self.certify_cex(&cex) {
+                Ok(cc) => certified = Some(cc),
+                Err(f) => failures.push(f),
+            }
+        }
+        let outcome = if let Some(cc) = certified {
+            AutoCcOutcome::Cex(Box::new(cc))
+        } else if !failures.is_empty() {
+            AutoCcOutcome::Failed { failures }
+        } else if let Some((bound, cause)) = unknown {
+            AutoCcOutcome::Unknown { bound, cause }
         } else if let Some(bound) = exhausted_bound {
             AutoCcOutcome::Exhausted { bound }
         } else {
@@ -375,9 +483,14 @@ impl FpvTestbench {
         };
         let outcome = match engine_outcome {
             EngineOutcome::Proved { induction_depth } => AutoCcOutcome::Proved { induction_depth },
-            EngineOutcome::Cex(cex) => AutoCcOutcome::Cex(Box::new(self.analyze_cex(&cex))),
+            EngineOutcome::Cex(cex) => self.certified_outcome(&cex),
             EngineOutcome::BoundReached { depth } => AutoCcOutcome::Clean { bound: depth },
             EngineOutcome::Exhausted { depth } => AutoCcOutcome::Exhausted { bound: depth },
+            EngineOutcome::Unknown { depth, cause } => AutoCcOutcome::Unknown {
+                bound: depth,
+                cause,
+            },
+            EngineOutcome::Failed(f) => AutoCcOutcome::Failed { failures: vec![f] },
         };
         RunReport {
             outcome,
@@ -391,12 +504,92 @@ impl FpvTestbench {
         let mut bmc = self.configure();
         let outcome = match bmc.prove(options) {
             ProveOutcome::Proved { induction_depth } => AutoCcOutcome::Proved { induction_depth },
-            ProveOutcome::Cex(cex) => AutoCcOutcome::Cex(Box::new(self.analyze_cex(&cex))),
-            ProveOutcome::Exhausted { bound } => AutoCcOutcome::Exhausted { bound },
+            ProveOutcome::Cex(cex) => self.certified_outcome(&cex),
+            ProveOutcome::Exhausted { bound, cause } => stop_to_outcome(bound, cause),
+            ProveOutcome::Failed(failure) => AutoCcOutcome::Failed {
+                failures: vec![check_failure_to_job("k-induction", failure)],
+            },
         };
         RunReport {
             outcome,
             elapsed: start.elapsed(),
+        }
+    }
+
+    /// Certifies a checker counterexample by replaying it on the miter
+    /// interpreter before anything is reported: every generated assumption
+    /// must hold on every cycle, the asserted property node must be false
+    /// at the final cycle, and the asserted output pair must actually
+    /// diverge there. A mismatch is a checker bug (encoder/simulator
+    /// divergence) and comes back as a [`FailureReason::ReplayMismatch`]
+    /// failure — never as a discovered channel.
+    pub fn certify_cex(&self, cex: &autocc_bmc::Cex) -> Result<CovertChannelCex, JobFailure> {
+        let fail = |detail: String| JobFailure {
+            engine: "certify".to_string(),
+            property: Some(cex.property.clone()),
+            depth: cex.depth,
+            reason: FailureReason::ReplayMismatch,
+            detail,
+            attempts: 1,
+        };
+        if cex.trace.is_empty() || cex.trace.len() != cex.depth {
+            return Err(fail(format!(
+                "trace length {} disagrees with reported depth {}",
+                cex.trace.len(),
+                cex.depth
+            )));
+        }
+        let replay = cex.trace.replay(&self.miter);
+        let last = cex.depth - 1;
+        for t in 0..cex.depth {
+            for (ci, &c) in self.constraints.iter().enumerate() {
+                if !replay.node(t, c).as_bool() {
+                    return Err(fail(format!(
+                        "assumption {ci} violated at cycle {t} on replay"
+                    )));
+                }
+            }
+        }
+        let Some((_, prop)) = self.properties.iter().find(|(n, _)| *n == cex.property) else {
+            return Err(fail(format!(
+                "reported property `{}` is not a generated assertion",
+                cex.property
+            )));
+        };
+        if replay.node(last, *prop).as_bool() {
+            return Err(fail(format!(
+                "asserted property holds at cycle {last} on replay"
+            )));
+        }
+        // The violated assertion is `spy_mode |-> <out>_eq`, so the raw
+        // output pair must diverge at the violation cycle.
+        if let Some(out_name) = cex
+            .property
+            .strip_prefix("as__")
+            .and_then(|s| s.strip_suffix("_eq"))
+        {
+            if let (Some(&oa), Some(&ob)) = (
+                self.inst_a.outputs.get(out_name),
+                self.inst_b.outputs.get(out_name),
+            ) {
+                let va = replay.node(last, oa);
+                let vb = replay.node(last, ob);
+                if va == vb {
+                    return Err(fail(format!(
+                        "output pair `{out_name}` does not diverge at cycle {last} \
+                         (both universes read {va})"
+                    )));
+                }
+            }
+        }
+        Ok(self.analyze_cex(cex))
+    }
+
+    /// Certifies `cex` and wraps the result as an outcome.
+    fn certified_outcome(&self, cex: &autocc_bmc::Cex) -> AutoCcOutcome {
+        match self.certify_cex(cex) {
+            Ok(cc) => AutoCcOutcome::Cex(Box::new(cc)),
+            Err(f) => AutoCcOutcome::Failed { failures: vec![f] },
         }
     }
 

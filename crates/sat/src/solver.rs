@@ -7,10 +7,18 @@
 //! extraction. This is the FPV engine backend of the AutoCC flow: the
 //! bounded model checker in `autocc-bmc` encodes unrolled netlists into CNF
 //! and drives this solver.
+//!
+//! Solves are interruptible from inside the conflict loop: a wall-clock
+//! [`Solver::set_deadline`] and a pluggable [`Solver::set_interrupt_hook`]
+//! are polled every few conflicts (see [`Solver::set_poll_interval`]) and
+//! stop a runaway solve with [`SolveResult::Stopped`], alongside the
+//! deterministic conflict budget. Neither source alters the search while it
+//! has not fired, so verdicts are bit-identical with or without them.
 
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
 use crate::lit::{LBool, Lit, Var};
+use std::time::Instant;
 
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -21,7 +29,19 @@ pub enum SolveResult {
     Unsat,
     /// The conflict budget was exhausted before a verdict.
     Unknown,
+    /// The solve was interrupted mid-search by the wall-clock deadline or
+    /// the interrupt hook (see [`Solver::set_deadline`] and
+    /// [`Solver::set_interrupt_hook`]). The solver stays usable; clearing
+    /// the interrupt sources and solving again resumes from the learnt
+    /// clauses accumulated so far.
+    Stopped,
 }
+
+/// How often (in conflicts) the search loop polls the deadline and the
+/// interrupt hook. Small enough that a runaway solve is stopped within
+/// milliseconds of its budget, large enough that `Instant::now` never
+/// shows up in a profile.
+const DEFAULT_POLL_INTERVAL: u64 = 128;
 
 /// Aggregate search statistics, reset never; useful for benches and reports.
 #[derive(Clone, Copy, Debug, Default)]
@@ -98,6 +118,16 @@ pub struct Solver {
 
     max_learnts: f64,
     conflict_budget: Option<u64>,
+    /// Absolute wall-clock deadline; the search stops with
+    /// [`SolveResult::Stopped`] once it is passed.
+    deadline: Option<Instant>,
+    /// Pluggable interrupt source, polled every `poll_interval` conflicts;
+    /// returning `true` stops the search with [`SolveResult::Stopped`].
+    interrupt: Option<Box<dyn Fn() -> bool + Send>>,
+    /// Conflicts between interrupt/deadline polls.
+    poll_interval: u64,
+    /// Conflicts since the last poll.
+    conflicts_since_poll: u64,
     stats: Stats,
 }
 
@@ -131,6 +161,10 @@ impl Solver {
             model: Vec::new(),
             max_learnts: 0.0,
             conflict_budget: None,
+            deadline: None,
+            interrupt: None,
+            poll_interval: DEFAULT_POLL_INTERVAL,
+            conflicts_since_poll: 0,
             stats: Stats::default(),
         }
     }
@@ -171,6 +205,66 @@ impl Solver {
     /// [`SolveResult::Unknown`].
     pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
         self.conflict_budget = conflicts;
+    }
+
+    /// Installs (or clears) an absolute wall-clock deadline. Once it is
+    /// passed, `solve` returns [`SolveResult::Stopped`] within
+    /// [`Solver::set_poll_interval`] conflicts — interruption happens *inside*
+    /// the search loop, so even a single pathological solve call is bounded.
+    ///
+    /// With no deadline installed the search never reads the clock, so the
+    /// solve is bit-identical to one on a solver without this feature.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Installs (or clears) a pluggable interrupt hook, polled every
+    /// [`Solver::set_poll_interval`] conflicts inside the search loop. When
+    /// the hook returns `true`, `solve` returns [`SolveResult::Stopped`].
+    ///
+    /// The hook is how external cancellation (a portfolio race's cancel
+    /// token) reaches into a running solve. A hook that returns `false`
+    /// never alters the search: verdicts and statistics are identical with
+    /// or without it installed.
+    pub fn set_interrupt_hook(&mut self, hook: Option<Box<dyn Fn() -> bool + Send>>) {
+        self.interrupt = hook;
+    }
+
+    /// Sets how many conflicts pass between deadline/hook polls (min 1).
+    /// Smaller values tighten the interruption latency; the default (128)
+    /// keeps polling cost unmeasurable.
+    pub fn set_poll_interval(&mut self, conflicts: u64) {
+        self.poll_interval = conflicts.max(1);
+    }
+
+    /// Whether an installed interrupt source has fired (deadline passed or
+    /// hook returning `true`). Does not consult the poll interval.
+    fn interrupt_fired(&self) -> bool {
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        if let Some(hook) = &self.interrupt {
+            if hook() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Per-conflict interrupt check: cheap counter decrement, with the
+    /// actual clock/hook poll only every `poll_interval` conflicts.
+    fn poll_interrupt(&mut self) -> bool {
+        if self.deadline.is_none() && self.interrupt.is_none() {
+            return false;
+        }
+        self.conflicts_since_poll += 1;
+        if self.conflicts_since_poll < self.poll_interval {
+            return false;
+        }
+        self.conflicts_since_poll = 0;
+        self.interrupt_fired()
     }
 
     /// Current value of a literal under the partial assignment.
@@ -569,6 +663,12 @@ impl Solver {
         if !self.ok {
             return SolveResult::Unsat;
         }
+        // An already-expired deadline or already-fired hook stops the solve
+        // before any search happens (zero conflicts, zero decisions).
+        if (self.deadline.is_some() || self.interrupt.is_some()) && self.interrupt_fired() {
+            return SolveResult::Stopped;
+        }
+        self.conflicts_since_poll = 0;
         self.cancel_until(0);
         if self.max_learnts == 0.0 {
             self.max_learnts = (self.clauses.len() as f64 / 3.0).max(4000.0);
@@ -600,6 +700,10 @@ impl Solver {
                 SearchOutcome::BudgetExhausted => {
                     self.cancel_until(0);
                     return SolveResult::Unknown;
+                }
+                SearchOutcome::Interrupted => {
+                    self.cancel_until(0);
+                    return SolveResult::Stopped;
                 }
             }
         }
@@ -637,6 +741,9 @@ impl Solver {
                     if self.stats.conflicts - budget_start >= b {
                         return SearchOutcome::BudgetExhausted;
                     }
+                }
+                if self.poll_interrupt() {
+                    return SearchOutcome::Interrupted;
                 }
                 if conflicts_here >= restart_budget {
                     return SearchOutcome::Restart;
@@ -742,6 +849,7 @@ enum SearchOutcome {
     Unsat,
     Restart,
     BudgetExhausted,
+    Interrupted,
 }
 
 /// Luby restart sequence: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
@@ -863,10 +971,9 @@ mod tests {
         assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
-    #[test]
-    fn conflict_budget_yields_unknown_on_hard_instance() {
-        // A pigeonhole instance large enough to need > 1 conflict.
-        let n = 7; // 7 pigeons into 6 holes
+    /// `n` pigeons into `n - 1` holes: unsatisfiable, and exponentially
+    /// hard for CDCL — the standard "runaway solve" instance.
+    fn pigeonhole(n: usize) -> Solver {
         let holes = n - 1;
         let mut s = Solver::new();
         let vars: Vec<Var> = (0..n * holes).map(|_| s.new_var()).collect();
@@ -882,10 +989,94 @@ mod tests {
                 }
             }
         }
+        s
+    }
+
+    #[test]
+    fn conflict_budget_yields_unknown_on_hard_instance() {
+        let mut s = pigeonhole(7);
         s.set_conflict_budget(Some(1));
         assert_eq!(s.solve(), SolveResult::Unknown);
         s.set_conflict_budget(None);
         assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn deadline_interrupts_a_runaway_solve() {
+        use std::time::{Duration, Instant};
+        // PHP(11) takes minutes unaided; the deadline must stop it
+        // mid-solve within the poll interval.
+        let mut s = pigeonhole(11);
+        s.set_poll_interval(16);
+        s.set_deadline(Some(Instant::now() + Duration::from_millis(50)));
+        let start = Instant::now();
+        assert_eq!(s.solve(), SolveResult::Stopped);
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "deadline ignored: solve ran {:?}",
+            start.elapsed()
+        );
+        // The solver stays usable once the deadline is cleared.
+        s.set_deadline(None);
+        s.set_conflict_budget(Some(10));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn expired_deadline_stops_before_any_search() {
+        use std::time::{Duration, Instant};
+        let mut s = pigeonhole(7);
+        s.set_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        assert_eq!(s.solve(), SolveResult::Stopped);
+        assert_eq!(
+            s.stats().conflicts,
+            0,
+            "no search under an expired deadline"
+        );
+    }
+
+    #[test]
+    fn interrupt_hook_stops_the_solve() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut s = pigeonhole(11);
+        s.set_poll_interval(1);
+        let f = flag.clone();
+        s.set_interrupt_hook(Some(Box::new(move || f.load(Ordering::Relaxed))));
+        // Not yet fired: a budgeted solve ends in Unknown, not Stopped.
+        s.set_conflict_budget(Some(50));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        // Fired: the next solve stops.
+        flag.store(true, Ordering::Relaxed);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Stopped);
+    }
+
+    #[test]
+    fn stopped_never_returned_without_interrupt_sources() {
+        let mut s = pigeonhole(7);
+        s.set_conflict_budget(Some(5));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unfired_hook_leaves_the_verdict_and_stats_identical() {
+        // The same instance solved with and without an (unfired) interrupt
+        // hook must agree bit for bit — the determinism invariant the
+        // portfolio scheduler relies on.
+        let mut plain = pigeonhole(7);
+        let mut hooked = pigeonhole(7);
+        hooked.set_poll_interval(1);
+        hooked.set_interrupt_hook(Some(Box::new(|| false)));
+        assert_eq!(plain.solve(), SolveResult::Unsat);
+        assert_eq!(hooked.solve(), SolveResult::Unsat);
+        assert_eq!(plain.stats().conflicts, hooked.stats().conflicts);
+        assert_eq!(plain.stats().decisions, hooked.stats().decisions);
+        assert_eq!(plain.stats().propagations, hooked.stats().propagations);
+        assert_eq!(plain.stats().restarts, hooked.stats().restarts);
     }
 
     #[test]

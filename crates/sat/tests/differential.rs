@@ -41,7 +41,9 @@ proptest! {
             SolveResult::Unsat => {
                 prop_assert!(brute.is_none(), "CDCL said UNSAT, brute force found a model");
             }
-            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+            SolveResult::Unknown | SolveResult::Stopped => {
+                prop_assert!(false, "no budget or interrupt was set")
+            }
         }
     }
 
@@ -167,7 +169,9 @@ fn minimisation_does_not_corrupt_seen() {
                     last_model
                 );
             }
-            SolveResult::Unknown => panic!("no budget set"),
+            SolveResult::Unknown | SolveResult::Stopped => {
+                panic!("no budget or interrupt set")
+            }
         }
     }
 }

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! autocc <dut> [--depth N] [--threshold N] [--jobs N] [--slice on|off]
+//!              [--retries N] [--timeout SECS]
 //!              [--prove] [--minimize] [--sva] [--verilog] [--vcd FILE]
 //!              [--list]
 //! ```
@@ -53,6 +54,8 @@ struct Args {
     threshold: Option<u32>,
     jobs: usize,
     slice: bool,
+    retries: u32,
+    timeout: Duration,
     prove: bool,
     minimize: bool,
     dump_sva: bool,
@@ -62,7 +65,8 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!("usage: autocc <dut> [--depth N] [--threshold N] [--jobs N]");
-    eprintln!("              [--slice on|off] [--prove] [--minimize]");
+    eprintln!("              [--slice on|off] [--retries N] [--timeout SECS]");
+    eprintln!("              [--prove] [--minimize]");
     eprintln!("              [--sva] [--verilog] [--vcd FILE]");
     eprintln!("       autocc --list");
     ExitCode::FAILURE
@@ -76,6 +80,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         threshold: None,
         jobs: 1,
         slice: false,
+        retries: 1,
+        timeout: Duration::from_secs(3600),
         prove: false,
         minimize: false,
         dump_sva: false,
@@ -110,6 +116,17 @@ fn parse_args() -> Result<Args, ExitCode> {
                     Some("off") => false,
                     _ => return Err(usage()),
                 };
+            }
+            "--retries" => {
+                args.retries = argv.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
+            }
+            "--timeout" => {
+                let secs: u64 = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s >= 1)
+                    .ok_or_else(usage)?;
+                args.timeout = Duration::from_secs(secs);
             }
             "--prove" => args.prove = true,
             "--minimize" => args.minimize = true,
@@ -286,6 +303,20 @@ fn report(
                 format_duration(elapsed)
             );
         }
+        AutoCcOutcome::Unknown { bound, cause } => {
+            println!(
+                "UNKNOWN ({cause}) at proven depth {bound} ({})",
+                format_duration(elapsed)
+            );
+            println!("  the run was stopped by a machine-dependent budget; rerun with a");
+            println!("  larger --timeout (or no timeout) for a definitive answer");
+        }
+        AutoCcOutcome::Failed { failures } => {
+            println!("CHECK FAILED ({}):", format_duration(elapsed));
+            for f in failures {
+                println!("  {f}");
+            }
+        }
     }
 }
 
@@ -328,16 +359,21 @@ fn main() -> ExitCode {
     let options = BmcOptions {
         max_depth: args.depth,
         conflict_budget: None,
-        time_budget: Some(Duration::from_secs(3600)),
+        time_budget: Some(args.timeout),
     };
     let settings = CheckSettings::serial(&options)
         .with_jobs(args.jobs)
-        .with_slice(args.slice);
+        .with_slice(args.slice)
+        .with_retries(args.retries);
     let run = if args.prove {
         ft.prove_portfolio(&settings)
     } else {
         ft.check_portfolio(&settings)
     };
     report(&ft, &run.outcome, run.elapsed, args.minimize, &args.vcd);
-    ExitCode::SUCCESS
+    if run.outcome.is_degraded() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

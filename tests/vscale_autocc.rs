@@ -25,7 +25,11 @@ fn opts(depth: usize) -> BmcOptions {
     BmcOptions {
         max_depth: depth,
         conflict_budget: None,
-        time_budget: Some(Duration::from_secs(600)),
+        // Safety net only: the stage-4 CSR check runs ~8 min in debug on a
+        // loaded single-core box, and the budget is now enforced mid-solve,
+        // so a tight value would degrade the run to Unknown instead of
+        // finding the CEX.
+        time_budget: Some(Duration::from_secs(1800)),
     }
 }
 
