@@ -17,10 +17,7 @@ fn bench_table1(c: &mut Criterion) {
     // conflict budget so an iteration is a fixed amount of solver work
     // (the full unbudgeted run is covered by `report_table1`).
     group.bench_function("V5_interrupt_pending_budgeted", |b| {
-        let budgeted = autocc_bmc::BmcOptions {
-            conflict_budget: Some(20_000),
-            ..options.clone()
-        };
+        let budgeted = options.clone().conflicts(Some(20_000));
         b.iter(|| {
             let r = run_vscale_stage(&VSCALE_STAGES[2], &budgeted);
             let _ = r.outcome;

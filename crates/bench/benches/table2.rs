@@ -9,10 +9,7 @@ fn bench_table2(c: &mut Criterion) {
     // Full-depth CEX searches take minutes; each bench iteration does a
     // fixed amount of solver work instead (the unbudgeted runs live in
     // `report_table2`). The proof stage is cheap and runs unbudgeted.
-    let options = autocc_bmc::BmcOptions {
-        conflict_budget: Some(20_000),
-        ..default_options(16)
-    };
+    let options = default_options(16).conflicts(Some(20_000));
     for stage in &VSCALE_STAGES[..3] {
         group.bench_function(stage.id.replace('/', "_"), |b| {
             b.iter(|| {

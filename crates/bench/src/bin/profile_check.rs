@@ -1,0 +1,43 @@
+//! Validate an emitted `--profile` JSON file against the profile schema.
+//!
+//! Exits 0 and prints a one-line summary when the file parses as a
+//! current-version `RunProfile`; exits 2 with the validation error
+//! otherwise. CI runs this on the profile a report binary just wrote.
+
+use autocc_telemetry::validate_profile_json;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: profile_check <profile.json>";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let json = match std::fs::read_to_string(&path) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("profile_check: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match validate_profile_json(&json) {
+        Ok(summary) => {
+            println!(
+                "{path}: valid profile v{} — {} spans, {} us wall, {} solve calls, {} conflicts, phases: {}",
+                summary.version,
+                summary.span_count,
+                summary.wall_us,
+                summary.solve_calls,
+                summary.conflicts,
+                summary.phase_names.join(", ")
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("profile_check: {path} failed validation: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,13 +1,24 @@
 //! Regenerates the Sec. A.5.4 result: full proof of the AES accelerator
 //! under the idle-pipeline flush condition.
 
-use autocc_bench::{default_options, run_aes_a1, run_aes_proof};
+use autocc_bench::{default_options, finish_profile, parse_report_args, run_aes_a1, run_aes_proof};
 use autocc_core::{format_duration, AutoCcOutcome};
 
+const USAGE: &str = "usage: report_aes_proof [--jobs N] [--slice on|off]
+                     [--retries N] [--timeout SECS] [--poll-interval N]
+                     [--profile PATH]
+  --jobs N          portfolio workers for experiment fan-out (default 1)
+  --slice on|off    per-property cone-of-influence slicing (default off)
+  --retries N       retry panicked engine jobs up to N times (default 1)
+  --timeout SECS    wall-clock budget per check job (degrades to UNKNOWN)
+  --poll-interval N solver conflicts between deadline polls (default 128)
+  --profile PATH    write a JSON run profile (span tree + rollups)";
+
 fn main() {
+    let args = parse_report_args(USAGE);
     println!("== AES accelerator: A1 and the full proof (A.5.4) ==\n");
-    let options = default_options(14);
-    let report = run_aes_a1(&options);
+    let (config, sink) = args.instrument(default_options(14), "aes-proof");
+    let report = run_aes_a1(&config);
     match &report.outcome {
         AutoCcOutcome::Cex(cex) => println!(
             "A1   : CEX {} at depth {} in {} (paper: depth 42, seconds)",
@@ -17,7 +28,7 @@ fn main() {
         ),
         other => println!("A1   : unexpected {other:?}"),
     }
-    let report = run_aes_proof(&options);
+    let report = run_aes_proof(&config);
     match &report.outcome {
         AutoCcOutcome::Proved { induction_depth } => println!(
             "proof: full proof at k={induction_depth} in {} (paper: full proof < 6h)",
@@ -25,4 +36,5 @@ fn main() {
         ),
         other => println!("proof: unexpected {other:?}"),
     }
+    finish_profile(&sink);
 }

@@ -1,18 +1,30 @@
 //! Fix-validation runs (Sec. 4): re-running each testbench on the fixed
 //! RTL eliminates the CEXs.
 
-use autocc_bench::{default_options, fix_validation};
-use autocc_core::{failure_summary, format_table, report_exit_code};
+use autocc_bench::{default_options, finish_profile, fix_validation, parse_report_args};
+use autocc_core::{failure_summary, report_exit_code};
+
+const USAGE: &str = "usage: report_fixes [--jobs N] [--slice on|off] [--stable] [--detailed]
+                     [--retries N] [--timeout SECS] [--poll-interval N]
+                     [--profile PATH]
+  --jobs N          fan experiments across N portfolio workers (default 1)
+  --slice on|off    per-property cone-of-influence slicing (default off)
+  --stable          omit the Time column (byte-reproducible output)
+  --detailed        per-row solver-work columns (solves, conflicts)
+  --retries N       retry panicked engine jobs up to N times (default 1)
+  --timeout SECS    wall-clock budget per check job (degrades to UNKNOWN)
+  --poll-interval N solver conflicts between deadline polls (default 128)
+  --profile PATH    write a JSON run profile (span tree + rollups)";
 
 fn main() {
-    let options = default_options(16);
-    let rows = fix_validation(&options);
-    println!(
-        "{}",
-        format_table("Fix validation: every fixed configuration is clean", &rows)
-    );
+    let args = parse_report_args(USAGE);
+    let (config, sink) = args.instrument(default_options(16), "fixes");
+    let rows = fix_validation(&config);
+    let title = "Fix validation: every fixed configuration is clean";
+    println!("{}", args.render_table(title, &rows));
     if let Some(summary) = failure_summary(&rows) {
         eprintln!("\n{summary}");
     }
+    finish_profile(&sink);
     std::process::exit(report_exit_code(&rows));
 }

@@ -1,32 +1,32 @@
 //! Regenerates Table 1: the valuable CEXs across all four DUTs.
 
-use autocc_bench::{default_options, parse_report_args, table1_with};
-use autocc_core::{failure_summary, format_table, format_table_stable, report_exit_code};
+use autocc_bench::{default_options, finish_profile, parse_report_args, table1};
+use autocc_core::{failure_summary, report_exit_code};
 
-const USAGE: &str = "usage: report_table1 [--jobs N] [--slice on|off] [--stable]
-                     [--retries N] [--timeout SECS]
-  --jobs N        fan experiments across N portfolio workers (default 1)
-  --slice on|off  per-property cone-of-influence slicing (default off)
-  --stable        omit the Time column (byte-reproducible output)
-  --retries N     retry panicked engine jobs up to N times (default 1)
-  --timeout SECS  wall-clock budget per check job (degrades to UNKNOWN)";
+const USAGE: &str = "usage: report_table1 [--jobs N] [--slice on|off] [--stable] [--detailed]
+                     [--retries N] [--timeout SECS] [--poll-interval N]
+                     [--profile PATH]
+  --jobs N          fan experiments across N portfolio workers (default 1)
+  --slice on|off    per-property cone-of-influence slicing (default off)
+  --stable          omit the Time column (byte-reproducible output)
+  --detailed        per-row solver-work columns (solves, conflicts)
+  --retries N       retry panicked engine jobs up to N times (default 1)
+  --timeout SECS    wall-clock budget per check job (degrades to UNKNOWN)
+  --poll-interval N solver conflicts between deadline polls (default 128)
+  --profile PATH    write a JSON run profile (span tree + rollups)";
 
 fn main() {
     let args = parse_report_args(USAGE);
-    let options = default_options(20);
-    let rows = table1_with(&options, args.exec);
+    let (config, sink) = args.instrument(default_options(20), "table1");
+    let rows = table1(&config);
     let title = "Table 1 (reproduced): valuable CEXs across the four DUTs";
-    let table = if args.stable {
-        format_table_stable(title, &rows)
-    } else {
-        format_table(title, &rows)
-    };
-    println!("{table}");
+    println!("{}", args.render_table(title, &rows));
     println!("Paper reference (JasperGold, original RTL):");
     println!("  V5 depth 9 <10min | C1 depth 76 <30min | C2 depth 80 <6h | C3 depth 80 <6h");
     println!("  M2 depth 21 <30min | M3 depth 23 <3h | A1 depth 42 <1min");
     if let Some(summary) = failure_summary(&rows) {
         eprintln!("\n{summary}");
     }
+    finish_profile(&sink);
     std::process::exit(report_exit_code(&rows));
 }

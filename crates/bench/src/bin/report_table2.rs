@@ -1,32 +1,32 @@
 //! Regenerates Table 2: the Vscale CEX ladder (description, depth, time).
 
-use autocc_bench::{default_options, parse_report_args, table2_with};
-use autocc_core::{failure_summary, format_table, format_table_stable, report_exit_code};
+use autocc_bench::{default_options, finish_profile, parse_report_args, table2};
+use autocc_core::{failure_summary, report_exit_code};
 
-const USAGE: &str = "usage: report_table2 [--jobs N] [--slice on|off] [--stable]
-                     [--retries N] [--timeout SECS]
-  --jobs N        fan ladder stages across N portfolio workers (default 1)
-  --slice on|off  per-property cone-of-influence slicing (default off)
-  --stable        omit the Time column (byte-reproducible output)
-  --retries N     retry panicked engine jobs up to N times (default 1)
-  --timeout SECS  wall-clock budget per check job (degrades to UNKNOWN)";
+const USAGE: &str = "usage: report_table2 [--jobs N] [--slice on|off] [--stable] [--detailed]
+                     [--retries N] [--timeout SECS] [--poll-interval N]
+                     [--profile PATH]
+  --jobs N          fan ladder stages across N portfolio workers (default 1)
+  --slice on|off    per-property cone-of-influence slicing (default off)
+  --stable          omit the Time column (byte-reproducible output)
+  --detailed        per-row solver-work columns (solves, conflicts)
+  --retries N       retry panicked engine jobs up to N times (default 1)
+  --timeout SECS    wall-clock budget per check job (degrades to UNKNOWN)
+  --poll-interval N solver conflicts between deadline polls (default 128)
+  --profile PATH    write a JSON run profile (span tree + rollups)";
 
 fn main() {
     let args = parse_report_args(USAGE);
-    let options = default_options(16);
-    let rows = table2_with(&options, args.exec);
+    let (config, sink) = args.instrument(default_options(16), "table2");
+    let rows = table2(&config);
     let title = "Table 2 (reproduced): CEXs found in Vscale from the default AutoCC FT";
-    let table = if args.stable {
-        format_table_stable(title, &rows)
-    } else {
-        format_table(title, &rows)
-    };
-    println!("{table}");
+    println!("{}", args.render_table(title, &rows));
     println!("Paper reference (JasperGold, original 32-bit Vscale RTL):");
     println!("  V1 depth 6 <10s | V2 depth 6 <10s | V3 depth 7 <10s");
     println!("  V4 depth 7 <10s | V5 depth 9 <100s | bounded proof depth 21 in 24h");
     if let Some(summary) = failure_summary(&rows) {
         eprintln!("\n{summary}");
     }
+    finish_profile(&sink);
     std::process::exit(report_exit_code(&rows));
 }

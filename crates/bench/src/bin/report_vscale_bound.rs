@@ -2,21 +2,17 @@
 //! refinement, the FPV engine keeps deepening until the time budget runs
 //! out (the paper reached depth 21 in 24 hours; we run a 5-minute budget).
 
-use autocc_bmc::BmcOptions;
+use autocc_bmc::CheckConfig;
 use autocc_core::{format_duration, AutoCcOutcome};
 use std::time::Duration;
 
 fn main() {
     println!("== Vscale bounded proof under a time budget ==\n");
-    let options = BmcOptions {
-        max_depth: 64,
-        conflict_budget: None,
-        time_budget: Some(Duration::from_secs(300)),
-    };
+    let config = CheckConfig::default()
+        .depth(48)
+        .timeout(Duration::from_secs(300));
     // The fully refined testbench, run as plain BMC deepening.
     let report = {
-        let mut o = options.clone();
-        o.max_depth = 48;
         // `run_vscale_stage` proves at level 4; rebuild manually for a
         // pure bounded run instead.
         let dut = autocc_duts::vscale::build_vscale(&autocc_duts::vscale::VscaleConfig {
@@ -32,7 +28,7 @@ fn main() {
             spec = spec.arch_reg(r);
         }
         let ft = spec.generate();
-        ft.check(&o)
+        ft.check(&config)
     };
     match report.outcome {
         AutoCcOutcome::Clean { bound } => println!(

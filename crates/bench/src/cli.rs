@@ -1,48 +1,164 @@
 //! Tiny flag parser shared by the report binaries.
 
-use crate::experiments::Exec;
+use autocc_bmc::CheckConfig;
+use autocc_core::{format_table, format_table_detailed, format_table_stable, TableRow};
+use autocc_telemetry::{ProfileRecorder, Telemetry};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Flags common to every report binary.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ReportArgs {
-    /// Portfolio execution settings (`--jobs N`, `--slice on|off`).
-    pub exec: ExecArgs,
+    /// `--jobs N`: portfolio workers fanning experiments (min 1).
+    pub jobs: usize,
+    /// `--slice on|off`: per-property cone-of-influence slicing.
+    pub slice: bool,
+    /// `--retries N`: retries for panicked check jobs.
+    pub retries: u32,
+    /// `--timeout SECS`: wall-clock budget per check job; overrides the
+    /// experiment's default time budget. Enforced mid-solve. Per job, not
+    /// per experiment: a shared experiment-level deadline would make each
+    /// job's remaining time depend on scheduling order and break the
+    /// `jobs`-invariance of the merged outcome.
+    pub timeout: Option<Duration>,
+    /// `--poll-interval N`: conflicts between solver deadline/hook polls.
+    pub poll_interval: u64,
     /// `--stable`: omit the Time column so output is byte-reproducible.
     pub stable: bool,
+    /// `--detailed`: per-row solver-work columns (solves, conflicts).
+    pub detailed: bool,
+    /// `--profile PATH`: write a JSON run profile (span tree + rollups).
+    pub profile: Option<PathBuf>,
 }
 
-/// `Exec` with a `Default` that matches the flags' defaults.
-pub type ExecArgs = Exec;
+impl Default for ReportArgs {
+    fn default() -> ReportArgs {
+        ReportArgs {
+            jobs: 1,
+            slice: false,
+            retries: 1,
+            timeout: None,
+            poll_interval: 128,
+            stable: false,
+            detailed: false,
+            profile: None,
+        }
+    }
+}
+
+impl ReportArgs {
+    /// Applies the parsed flags to an experiment's base config.
+    pub fn configure(&self, base: CheckConfig) -> CheckConfig {
+        let mut config = base
+            .jobs(self.jobs)
+            .slice(self.slice)
+            .retries(self.retries)
+            .poll_interval(self.poll_interval);
+        if let Some(t) = self.timeout {
+            config = config.timeout(t);
+        }
+        config
+    }
+
+    /// [`ReportArgs::configure`] plus profile instrumentation: with
+    /// `--profile PATH`, attaches a [`ProfileRecorder`] whose root run
+    /// span is named `root` and returns the sink that serializes the
+    /// profile once the run finishes. Without the flag, telemetry stays
+    /// disabled and instrumentation is a no-op.
+    pub fn instrument(&self, base: CheckConfig, root: &str) -> (CheckConfig, Option<ProfileSink>) {
+        let mut config = self.configure(base);
+        let Some(path) = &self.profile else {
+            return (config, None);
+        };
+        let recorder = Arc::new(ProfileRecorder::new());
+        let telemetry = Telemetry::root(recorder.clone(), root);
+        config.telemetry = telemetry.clone();
+        (
+            config,
+            Some(ProfileSink {
+                path: path.clone(),
+                recorder,
+                root: telemetry,
+            }),
+        )
+    }
+
+    /// Renders `rows` honouring `--stable` (no Time column) and
+    /// `--detailed` (per-row solver-work columns). `--stable` wins when
+    /// both are given: reproducible output is the point of that flag.
+    pub fn render_table(&self, title: &str, rows: &[TableRow]) -> String {
+        if self.stable {
+            format_table_stable(title, rows)
+        } else if self.detailed {
+            format_table_detailed(title, rows)
+        } else {
+            format_table(title, rows)
+        }
+    }
+}
+
+/// Where a `--profile` run writes its JSON profile.
+pub struct ProfileSink {
+    path: PathBuf,
+    recorder: Arc<ProfileRecorder>,
+    root: Telemetry,
+}
+
+impl ProfileSink {
+    /// Closes the root run span and writes the versioned JSON profile.
+    pub fn write(&self) -> std::io::Result<()> {
+        self.root.close();
+        std::fs::write(&self.path, self.recorder.profile().to_json())
+    }
+
+    /// The destination path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Writes the profile (if a sink exists) and reports where it went.
+/// Serialization failures are fatal: a requested profile that cannot be
+/// written exits with status 2.
+pub fn finish_profile(sink: &Option<ProfileSink>) {
+    if let Some(sink) = sink {
+        if let Err(e) = sink.write() {
+            eprintln!("error: cannot write profile {}: {e}", sink.path().display());
+            std::process::exit(2);
+        }
+        eprintln!("profile written to {}", sink.path().display());
+    }
+}
 
 /// Parses `--jobs N`, `--slice on|off`, `--retries N`, `--timeout SECS`,
-/// and `--stable` from `argv`. Unknown flags print `usage` and exit with
-/// status 2.
+/// `--poll-interval N`, `--profile PATH`, and `--stable` from `argv`.
+/// Unknown flags print `usage` and exit with status 2.
 pub fn parse_report_args(usage: &str) -> ReportArgs {
     parse_report_arg_list(usage, std::env::args().skip(1))
 }
 
 fn parse_report_arg_list(usage: &str, args: impl Iterator<Item = String>) -> ReportArgs {
     let mut parsed = ReportArgs::default();
-    parsed.exec.jobs = 1;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--jobs" => {
-                parsed.exec.jobs = args
+                parsed.jobs = args
                     .next()
                     .and_then(|v| v.parse::<usize>().ok())
                     .filter(|&j| j >= 1)
                     .unwrap_or_else(|| die(usage, "--jobs needs a positive integer"));
             }
             "--slice" => {
-                parsed.exec.slice = match args.next().as_deref() {
+                parsed.slice = match args.next().as_deref() {
                     Some("on") => true,
                     Some("off") => false,
                     _ => die(usage, "--slice needs `on` or `off`"),
                 };
             }
             "--retries" => {
-                parsed.exec.retries = args
+                parsed.retries = args
                     .next()
                     .and_then(|v| v.parse::<u32>().ok())
                     .unwrap_or_else(|| die(usage, "--retries needs a non-negative integer"));
@@ -53,9 +169,23 @@ fn parse_report_arg_list(usage: &str, args: impl Iterator<Item = String>) -> Rep
                     .and_then(|v| v.parse::<u64>().ok())
                     .filter(|&s| s >= 1)
                     .unwrap_or_else(|| die(usage, "--timeout needs a positive number of seconds"));
-                parsed.exec.timeout = Some(std::time::Duration::from_secs(secs));
+                parsed.timeout = Some(Duration::from_secs(secs));
+            }
+            "--poll-interval" => {
+                parsed.poll_interval = args
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .filter(|&p| p >= 1)
+                    .unwrap_or_else(|| die(usage, "--poll-interval needs a positive integer"));
+            }
+            "--profile" => {
+                parsed.profile =
+                    Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                        die(usage, "--profile needs an output path")
+                    })));
             }
             "--stable" => parsed.stable = true,
+            "--detailed" => parsed.detailed = true,
             "--help" | "-h" => {
                 println!("{usage}");
                 std::process::exit(0);
@@ -82,11 +212,13 @@ mod tests {
     #[test]
     fn defaults_are_serial_unsliced() {
         let a = parse(&[]);
-        assert_eq!(a.exec.jobs, 1);
-        assert!(!a.exec.slice);
+        assert_eq!(a.jobs, 1);
+        assert!(!a.slice);
         assert!(!a.stable);
-        assert_eq!(a.exec.retries, 1);
-        assert!(a.exec.timeout.is_none());
+        assert_eq!(a.retries, 1);
+        assert!(a.timeout.is_none());
+        assert_eq!(a.poll_interval, 128);
+        assert!(a.profile.is_none());
     }
 
     #[test]
@@ -101,11 +233,44 @@ mod tests {
             "3",
             "--timeout",
             "600",
+            "--poll-interval",
+            "32",
+            "--profile",
+            "out.json",
         ]);
-        assert_eq!(a.exec.jobs, 4);
-        assert!(a.exec.slice);
+        assert_eq!(a.jobs, 4);
+        assert!(a.slice);
         assert!(a.stable);
-        assert_eq!(a.exec.retries, 3);
-        assert_eq!(a.exec.timeout, Some(std::time::Duration::from_secs(600)));
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.timeout, Some(Duration::from_secs(600)));
+        assert_eq!(a.poll_interval, 32);
+        assert_eq!(a.profile.as_deref(), Some(Path::new("out.json")));
+    }
+
+    #[test]
+    fn configure_applies_every_knob() {
+        let mut a = parse(&["--jobs", "2", "--slice", "on", "--poll-interval", "16"]);
+        a.timeout = Some(Duration::from_secs(7));
+        let c = a.configure(CheckConfig::default().depth(20));
+        assert_eq!(c.max_depth, 20);
+        assert_eq!(c.jobs, 2);
+        assert!(c.slice);
+        assert_eq!(c.poll_interval, 16);
+        assert_eq!(c.time_budget, Some(Duration::from_secs(7)));
+        assert!(!c.telemetry.enabled(), "no --profile, no telemetry");
+    }
+
+    #[test]
+    fn instrument_attaches_a_recorder_only_with_profile() {
+        let plain = parse(&[]);
+        let (c, sink) = plain.instrument(CheckConfig::default(), "test");
+        assert!(!c.telemetry.enabled());
+        assert!(sink.is_none());
+
+        let mut profiled = parse(&[]);
+        profiled.profile = Some(PathBuf::from("/tmp/ignored.json"));
+        let (c, sink) = profiled.instrument(CheckConfig::default(), "test");
+        assert!(c.telemetry.enabled());
+        assert!(sink.is_some());
     }
 }

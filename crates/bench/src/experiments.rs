@@ -1,75 +1,47 @@
 //! Canonical testbench configurations for every experiment in the paper's
 //! evaluation, shared by the report binaries and the Criterion benches.
+//!
+//! Every runner takes one [`CheckConfig`]: depth/budgets plus execution
+//! knobs (jobs, slicing, retries) plus the telemetry handle. Parallelism
+//! is *across* experiments — each runner opens a [`SpanKind::Experiment`]
+//! span and forces `jobs = 1` inside it, so the table functions fan whole
+//! experiments over `config.jobs` workers while each experiment checks
+//! its properties serially. Jobs only change wall-clock behaviour:
+//! results merge in submission order, so any `jobs` value produces the
+//! same rows.
 
-use autocc_bmc::{BmcOptions, Portfolio};
-use autocc_core::{CheckSettings, FtSpec, MonitorHandles, RunReport, TableRow};
+use autocc_bmc::{CheckConfig, Portfolio};
+use autocc_core::{CheckReport, FtSpec, MonitorHandles, TableRow};
 use autocc_duts::aes::{build_aes, stage_valid_names, AesConfig};
 use autocc_duts::cva6::{build_cva6, Cva6Config, ARCH_REGS};
 use autocc_duts::maple::{build_maple, MapleConfig};
 use autocc_duts::vscale::{arch, build_vscale, VscaleConfig};
 use autocc_hdl::{Instance, Module, ModuleBuilder, NodeId};
+use autocc_telemetry::SpanKind;
 use std::time::Duration;
 
-/// Default options for CEX-hunting runs.
-pub fn default_options(max_depth: usize) -> BmcOptions {
-    BmcOptions {
-        max_depth,
-        conflict_budget: None,
-        time_budget: Some(Duration::from_secs(1800)),
-    }
+/// Default config for CEX-hunting runs: serial, unsliced, 30-minute
+/// wall-clock budget per check job.
+pub fn default_options(max_depth: usize) -> CheckConfig {
+    CheckConfig::default()
+        .depth(max_depth)
+        .timeout(Duration::from_secs(1800))
 }
 
-/// How an experiment batch executes: worker threads for the portfolio
-/// scheduler (parallelism is across experiments; each experiment checks
-/// its properties serially), cone-of-influence slicing, the retry budget
-/// for contained panics, and an optional wall-clock budget override.
-///
-/// Jobs only change wall-clock behaviour: results merge in submission
-/// order, so any `jobs` value produces the same rows.
-#[derive(Clone, Copy, Debug)]
-pub struct Exec {
-    /// Worker threads for fanning out experiments (min 1).
-    pub jobs: usize,
-    /// Per-property cone-of-influence slicing inside each experiment.
-    pub slice: bool,
-    /// Retries for panicked check jobs (`--retries N`).
-    pub retries: u32,
-    /// Wall-clock budget per check job (`--timeout SECS`); overrides the
-    /// experiment's default time budget. Enforced mid-solve. Per job, not
-    /// per experiment: a shared experiment-level deadline would make each
-    /// job's remaining time depend on scheduling order and break the
-    /// `jobs`-invariance of the merged outcome.
-    pub timeout: Option<Duration>,
-}
-
-impl Default for Exec {
-    fn default() -> Exec {
-        Exec {
-            jobs: 1,
-            slice: false,
-            retries: 1,
-            timeout: None,
-        }
-    }
-}
-
-impl Exec {
-    /// Per-experiment check settings: serial inside the experiment (the
-    /// scheduler parallelises across experiments), sliced per `self`.
-    pub fn settings(&self, options: &BmcOptions) -> CheckSettings {
-        let mut options = options.clone();
-        if self.timeout.is_some() {
-            options.time_budget = self.timeout;
-        }
-        CheckSettings::serial(&options)
-            .with_slice(self.slice)
-            .with_retries(self.retries)
-    }
-
-    /// The scheduler fanning experiments across workers.
-    pub fn portfolio(&self) -> Portfolio {
-        Portfolio::new(self.jobs)
-    }
+/// Runs one experiment under its own [`SpanKind::Experiment`] span with
+/// properties checked serially (the schedulers above parallelise across
+/// experiments, never inside one).
+fn with_experiment(
+    config: &CheckConfig,
+    name: &str,
+    run: impl FnOnce(&CheckConfig) -> CheckReport,
+) -> CheckReport {
+    let span = config.telemetry.child(SpanKind::Experiment, name);
+    let mut scoped = config.clone().jobs(1);
+    scoped.telemetry = span.clone();
+    let report = run(&scoped);
+    span.close();
+    report
 }
 
 // ---------------------------------------------------------------------
@@ -123,54 +95,51 @@ pub const VSCALE_STAGES: [VscaleStage; 5] = [
 ];
 
 /// Builds the Vscale FT for a ladder stage and runs it through the check
-/// engines with the given execution settings.
-pub fn run_vscale_stage_with(stage: &VscaleStage, options: &BmcOptions, exec: Exec) -> RunReport {
-    let dut = build_vscale(&VscaleConfig {
-        blackbox_csr: stage.blackbox_csr,
-        ..VscaleConfig::default()
-    });
-    let mut spec = FtSpec::new(&dut);
-    if stage.level >= 1 {
-        spec = spec.arch_mem(arch::REGFILE_MEM);
-    }
-    if stage.level >= 2 {
-        for r in arch::PIPELINE_REGS {
-            spec = spec.arch_reg(r);
+/// engines.
+pub fn run_vscale_stage(stage: &VscaleStage, config: &CheckConfig) -> CheckReport {
+    with_experiment(config, &format!("vscale:{}", stage.id), |config| {
+        let dut = build_vscale(&VscaleConfig {
+            blackbox_csr: stage.blackbox_csr,
+            ..VscaleConfig::default()
+        });
+        let mut spec = FtSpec::new(&dut);
+        if stage.level >= 1 {
+            spec = spec.arch_mem(arch::REGFILE_MEM);
         }
-    }
-    if stage.level >= 3 {
-        for r in arch::INT_REGS {
-            spec = spec.arch_reg(r);
+        if stage.level >= 2 {
+            for r in arch::PIPELINE_REGS {
+                spec = spec.arch_reg(r);
+            }
         }
-    }
-    if stage.level >= 4 {
-        spec = spec.state_equality_invariants();
+        if stage.level >= 3 {
+            for r in arch::INT_REGS {
+                spec = spec.arch_reg(r);
+            }
+        }
+        if stage.level >= 4 {
+            spec = spec.state_equality_invariants();
+            let ft = spec.generate();
+            return ft.prove_portfolio(config);
+        }
         let ft = spec.generate();
-        return ft.prove_portfolio(&exec.settings(options));
-    }
-    let ft = spec.generate();
-    ft.check_portfolio(&exec.settings(options))
-}
-
-/// Builds the Vscale FT for a ladder stage and runs it (serial, unsliced).
-pub fn run_vscale_stage(stage: &VscaleStage, options: &BmcOptions) -> RunReport {
-    run_vscale_stage_with(stage, options, Exec::default())
+        ft.check_portfolio(config)
+    })
 }
 
 /// Regenerates Table 2 (the Vscale ladder), fanning the stages across
-/// `exec.jobs` portfolio workers.
-pub fn table2_with(options: &BmcOptions, exec: Exec) -> Vec<TableRow> {
+/// `config.jobs` portfolio workers.
+pub fn table2(config: &CheckConfig) -> Vec<TableRow> {
     let tasks: Vec<Box<dyn FnOnce() -> TableRow + Send>> = VSCALE_STAGES
         .iter()
         .map(|stage| {
             let task: Box<dyn FnOnce() -> TableRow + Send> = Box::new(move || {
-                let report = run_vscale_stage_with(stage, options, exec);
-                TableRow::from_outcome(stage.id, stage.description, &report.outcome, report.elapsed)
+                let report = run_vscale_stage(stage, config);
+                TableRow::from_report(stage.id, stage.description, &report)
             });
             task
         })
         .collect();
-    exec.portfolio()
+    Portfolio::new(config.jobs)
         .try_run(tasks)
         .into_iter()
         .zip(VSCALE_STAGES.iter())
@@ -178,11 +147,6 @@ pub fn table2_with(options: &BmcOptions, exec: Exec) -> Vec<TableRow> {
             result.unwrap_or_else(|p| TableRow::failed(stage.id, stage.description, p.payload))
         })
         .collect()
-}
-
-/// Regenerates Table 2 (the Vscale ladder).
-pub fn table2(options: &BmcOptions) -> Vec<TableRow> {
-    table2_with(options, Exec::default())
 }
 
 // ---------------------------------------------------------------------
@@ -219,25 +183,24 @@ pub fn maple_assume_obuf_empty(
 }
 
 /// Runs the MAPLE testbench with the M1 assumption in place.
-pub fn run_maple_with(config: &MapleConfig, options: &BmcOptions, exec: Exec) -> RunReport {
-    let dut = build_maple(config);
-    let ft = FtSpec::new(&dut)
-        .flush_done(maple_flush_done)
-        .assume(maple_assume_obuf_empty)
-        .generate();
-    ft.check_portfolio(&exec.settings(options))
-}
-
-/// Runs the MAPLE testbench with the M1 assumption (serial, unsliced).
-pub fn run_maple(config: &MapleConfig, options: &BmcOptions) -> RunReport {
-    run_maple_with(config, options, Exec::default())
+pub fn run_maple(config: &MapleConfig, check: &CheckConfig) -> CheckReport {
+    with_experiment(check, "maple", |check| {
+        let dut = build_maple(config);
+        let ft = FtSpec::new(&dut)
+            .flush_done(maple_flush_done)
+            .assume(maple_assume_obuf_empty)
+            .generate();
+        ft.check_portfolio(check)
+    })
 }
 
 /// Runs the MAPLE testbench *without* the M1 assumption (the first CEX).
-pub fn run_maple_m1(options: &BmcOptions) -> RunReport {
-    let dut = build_maple(&MapleConfig::default());
-    let ft = FtSpec::new(&dut).flush_done(maple_flush_done).generate();
-    ft.check_portfolio(&CheckSettings::serial(options))
+pub fn run_maple_m1(check: &CheckConfig) -> CheckReport {
+    with_experiment(check, "maple-m1", |check| {
+        let dut = build_maple(&MapleConfig::default());
+        let ft = FtSpec::new(&dut).flush_done(maple_flush_done).generate();
+        ft.check_portfolio(check)
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -252,19 +215,16 @@ pub fn cva6_flush_done(b: &mut ModuleBuilder, ua: &Instance, ub: &Instance) -> N
 }
 
 /// Runs the CVA6 frontend testbench for a given configuration.
-pub fn run_cva6_with(config: &Cva6Config, options: &BmcOptions, exec: Exec) -> RunReport {
-    let dut = build_cva6(config);
-    let mut spec = FtSpec::new(&dut).flush_done(cva6_flush_done);
-    for r in ARCH_REGS {
-        spec = spec.arch_reg(r);
-    }
-    let ft = spec.generate();
-    ft.check_portfolio(&exec.settings(options))
-}
-
-/// Runs the CVA6 frontend testbench (serial, unsliced).
-pub fn run_cva6(config: &Cva6Config, options: &BmcOptions) -> RunReport {
-    run_cva6_with(config, options, Exec::default())
+pub fn run_cva6(config: &Cva6Config, check: &CheckConfig) -> CheckReport {
+    with_experiment(check, "cva6", |check| {
+        let dut = build_cva6(config);
+        let mut spec = FtSpec::new(&dut).flush_done(cva6_flush_done);
+        for r in ARCH_REGS {
+            spec = spec.arch_reg(r);
+        }
+        let ft = spec.generate();
+        ft.check_portfolio(check)
+    })
 }
 
 /// Per-CEX configurations, isolating each channel as the paper's
@@ -295,75 +255,69 @@ pub fn cva6_cex_config(which: &str) -> Cva6Config {
 // ---------------------------------------------------------------------
 
 /// Runs the default AES testbench (finds A1).
-pub fn run_aes_a1_with(options: &BmcOptions, exec: Exec) -> RunReport {
-    let dut = build_aes(&AesConfig::default());
-    let ft = FtSpec::new(&dut).generate();
-    ft.check_portfolio(&exec.settings(options))
-}
-
-/// Runs the default AES testbench (serial, unsliced).
-pub fn run_aes_a1(options: &BmcOptions) -> RunReport {
-    run_aes_a1_with(options, Exec::default())
+pub fn run_aes_a1(check: &CheckConfig) -> CheckReport {
+    with_experiment(check, "aes-a1", |check| {
+        let dut = build_aes(&AesConfig::default());
+        let ft = FtSpec::new(&dut).generate();
+        ft.check_portfolio(check)
+    })
 }
 
 /// Runs the refined AES testbench to a full proof: idle-pipeline flush
 /// condition plus the Sec.-4.4 strengthening invariants.
-pub fn run_aes_proof(options: &BmcOptions) -> RunReport {
-    run_aes_proof_with(options, Exec::default())
-}
-
-/// Runs the refined AES full proof through the engine layer.
-pub fn run_aes_proof_with(options: &BmcOptions, exec: Exec) -> RunReport {
-    let config = AesConfig::default();
-    let dut = build_aes(&config);
-    let idle_names = stage_valid_names(&config);
-    let idle = move |b: &mut ModuleBuilder, ua: &Instance, ub: &Instance| -> NodeId {
-        let mut all = Vec::new();
-        for name in &idle_names {
-            let va = b.read_reg(ua.regs[name]);
-            let vb = b.read_reg(ub.regs[name]);
-            let na = b.not(va);
-            let nb = b.not(vb);
-            all.push(na);
-            all.push(nb);
-        }
-        b.all(&all)
-    };
-    let inv_names = stage_valid_names(&config);
-    let invariant = move |b: &mut ModuleBuilder,
-                          ua: &Instance,
-                          ub: &Instance,
-                          mon: &MonitorHandles|
-          -> NodeId {
-        let zero = {
-            let w = b.width(mon.eq_cnt);
-            b.lit(w, 0)
-        };
-        let counting = b.ne(mon.eq_cnt, zero);
-        let engaged = b.or(counting, mon.spy_mode);
-        let mut conds = Vec::new();
-        for name in &inv_names {
-            let va = b.read_reg(ua.regs[name]);
-            let vb = b.read_reg(ub.regs[name]);
-            conds.push(b.eq(va, vb));
-            let stage = name.strip_suffix(".valid").expect("valid name");
-            for field in ["data", "key"] {
-                let da = b.read_reg(ua.regs[&format!("{stage}.{field}")]);
-                let db = b.read_reg(ub.regs[&format!("{stage}.{field}")]);
-                let eq = b.eq(da, db);
-                let nv = b.not(va);
-                conds.push(b.or(nv, eq));
+pub fn run_aes_proof(check: &CheckConfig) -> CheckReport {
+    with_experiment(check, "aes-proof", |check| {
+        let config = AesConfig::default();
+        let dut = build_aes(&config);
+        let idle_names = stage_valid_names(&config);
+        let idle = move |b: &mut ModuleBuilder, ua: &Instance, ub: &Instance| -> NodeId {
+            let mut all = Vec::new();
+            for name in &idle_names {
+                let va = b.read_reg(ua.regs[name]);
+                let vb = b.read_reg(ub.regs[name]);
+                let na = b.not(va);
+                let nb = b.not(vb);
+                all.push(na);
+                all.push(nb);
             }
-        }
-        let all = b.all(&conds);
-        let ne = b.not(engaged);
-        b.or(ne, all)
-    };
-    let ft = FtSpec::new(&dut)
-        .flush_done(idle)
-        .assert_prop("pipeline_convergence", invariant)
-        .generate();
-    ft.prove_portfolio(&exec.settings(options))
+            b.all(&all)
+        };
+        let inv_names = stage_valid_names(&config);
+        let invariant = move |b: &mut ModuleBuilder,
+                              ua: &Instance,
+                              ub: &Instance,
+                              mon: &MonitorHandles|
+              -> NodeId {
+            let zero = {
+                let w = b.width(mon.eq_cnt);
+                b.lit(w, 0)
+            };
+            let counting = b.ne(mon.eq_cnt, zero);
+            let engaged = b.or(counting, mon.spy_mode);
+            let mut conds = Vec::new();
+            for name in &inv_names {
+                let va = b.read_reg(ua.regs[name]);
+                let vb = b.read_reg(ub.regs[name]);
+                conds.push(b.eq(va, vb));
+                let stage = name.strip_suffix(".valid").expect("valid name");
+                for field in ["data", "key"] {
+                    let da = b.read_reg(ua.regs[&format!("{stage}.{field}")]);
+                    let db = b.read_reg(ub.regs[&format!("{stage}.{field}")]);
+                    let eq = b.eq(da, db);
+                    let nv = b.not(va);
+                    conds.push(b.or(nv, eq));
+                }
+            }
+            let all = b.all(&conds);
+            let ne = b.not(engaged);
+            b.or(ne, all)
+        };
+        let ft = FtSpec::new(&dut)
+            .flush_done(idle)
+            .assert_prop("pipeline_convergence", invariant)
+            .generate();
+        ft.prove_portfolio(check)
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -371,23 +325,20 @@ pub fn run_aes_proof_with(options: &BmcOptions, exec: Exec) -> RunReport {
 // ---------------------------------------------------------------------
 
 /// Regenerates Table 1 (the valuable CEXs V5, C1, C2, C3, M2, M3, A1),
-/// fanning one check job per experiment across `exec.jobs` workers.
+/// fanning one check job per experiment across `config.jobs` workers.
 /// Rows come back in table order regardless of worker count.
-pub fn table1_with(options: &BmcOptions, exec: Exec) -> Vec<TableRow> {
+pub fn table1(config: &CheckConfig) -> Vec<TableRow> {
     type RowTask<'a> = Box<dyn FnOnce() -> TableRow + Send + 'a>;
-    let row = |id: &'static str, desc: &'static str, report: RunReport| {
-        TableRow::from_outcome(id, desc, &report.outcome, report.elapsed)
-    };
     let mut meta: Vec<(&'static str, &'static str)> = Vec::new();
     let mut tasks: Vec<RowTask> = Vec::new();
 
     // V5: the Vscale pending-interrupt channel (ladder stage 3).
     meta.push(("V5", "Interrupt in the WB stage stalls pipeline"));
     tasks.push(Box::new(move || {
-        row(
+        TableRow::from_report(
             "V5",
             "Interrupt in the WB stage stalls pipeline",
-            run_vscale_stage_with(&VSCALE_STAGES[2], options, exec),
+            &run_vscale_stage(&VSCALE_STAGES[2], config),
         )
     }));
 
@@ -398,55 +349,53 @@ pub fn table1_with(options: &BmcOptions, exec: Exec) -> Vec<TableRow> {
     ] {
         meta.push((id, desc));
         tasks.push(Box::new(move || {
-            row(id, desc, run_cva6_with(&cva6_cex_config(id), options, exec))
+            TableRow::from_report(id, desc, &run_cva6(&cva6_cex_config(id), config))
         }));
     }
 
     // M2: fix nothing except M3 so the TLB-enable channel is the target.
     meta.push(("M2", "Leak whether the TLB was disabled"));
     tasks.push(Box::new(move || {
-        row(
+        TableRow::from_report(
             "M2",
             "Leak whether the TLB was disabled",
-            run_maple_with(
+            &run_maple(
                 &MapleConfig {
                     fix_tlb_enable: false,
                     fix_array_base: true,
                 },
-                options,
-                exec,
+                config,
             ),
         )
     }));
     // M3: fix M2 so the array-base channel is the target.
     meta.push(("M3", "Leak the value of a configuration register"));
     tasks.push(Box::new(move || {
-        row(
+        TableRow::from_report(
             "M3",
             "Leak the value of a configuration register",
-            run_maple_with(
+            &run_maple(
                 &MapleConfig {
                     fix_tlb_enable: true,
                     fix_array_base: false,
                 },
-                options,
-                exec,
+                config,
             ),
         )
     }));
 
     meta.push(("A1", "Request in the pipeline during the switch"));
     tasks.push(Box::new(move || {
-        row(
+        TableRow::from_report(
             "A1",
             "Request in the pipeline during the switch",
-            run_aes_a1_with(options, exec),
+            &run_aes_a1(config),
         )
     }));
 
     // Panic containment at the experiment level: a harness panic costs
     // that row only, rendered FAILED, while the rest of the table fills.
-    exec.portfolio()
+    Portfolio::new(config.jobs)
         .try_run(tasks)
         .into_iter()
         .zip(meta)
@@ -456,13 +405,8 @@ pub fn table1_with(options: &BmcOptions, exec: Exec) -> Vec<TableRow> {
         .collect()
 }
 
-/// Regenerates Table 1: the valuable CEXs V5, C1, C2, C3, M2, M3, A1.
-pub fn table1(options: &BmcOptions) -> Vec<TableRow> {
-    table1_with(options, Exec::default())
-}
-
 /// Fix-validation runs: every fixed DUT configuration must be clean.
-pub fn fix_validation(options: &BmcOptions) -> Vec<TableRow> {
+pub fn fix_validation(config: &CheckConfig) -> Vec<TableRow> {
     let meta = [
         ("C1-C3 fixed", "CVA6 microreset with all upstream fixes"),
         ("M2+M3 fixed", "MAPLE cleanup resets config registers"),
@@ -470,19 +414,19 @@ pub fn fix_validation(options: &BmcOptions) -> Vec<TableRow> {
     ];
     let tasks: Vec<Box<dyn FnOnce() -> TableRow + Send>> = vec![
         Box::new(move || {
-            let report = run_cva6(&Cva6Config::all_fixed(), options);
-            TableRow::from_outcome(meta[0].0, meta[0].1, &report.outcome, report.elapsed)
+            let report = run_cva6(&Cva6Config::all_fixed(), config);
+            TableRow::from_report(meta[0].0, meta[0].1, &report)
         }),
         Box::new(move || {
-            let report = run_maple(&MapleConfig::all_fixed(), options);
-            TableRow::from_outcome(meta[1].0, meta[1].1, &report.outcome, report.elapsed)
+            let report = run_maple(&MapleConfig::all_fixed(), config);
+            TableRow::from_report(meta[1].0, meta[1].1, &report)
         }),
         Box::new(move || {
-            let report = run_aes_proof(options);
-            TableRow::from_outcome(meta[2].0, meta[2].1, &report.outcome, report.elapsed)
+            let report = run_aes_proof(config);
+            TableRow::from_report(meta[2].0, meta[2].1, &report)
         }),
     ];
-    Portfolio::default()
+    Portfolio::new(config.jobs)
         .try_run(tasks)
         .into_iter()
         .zip(meta)
@@ -546,5 +490,14 @@ mod tests {
             }
         }
         assert_eq!(VSCALE_STAGES.len(), 5);
+    }
+
+    #[test]
+    fn default_options_are_serial_with_a_wall_clock_budget() {
+        let c = default_options(20);
+        assert_eq!(c.max_depth, 20);
+        assert_eq!(c.jobs, 1);
+        assert!(!c.slice);
+        assert_eq!(c.time_budget, Some(Duration::from_secs(1800)));
     }
 }

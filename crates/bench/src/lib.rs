@@ -11,5 +11,5 @@
 
 pub mod cli;
 pub mod experiments;
-pub use cli::{parse_report_args, ReportArgs};
+pub use cli::{finish_profile, parse_report_args, ProfileSink, ReportArgs};
 pub use experiments::*;

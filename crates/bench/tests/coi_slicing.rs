@@ -4,18 +4,14 @@
 //! SAT variables.
 
 use autocc_aig::{sequential_coi, AigLit, SeqAig};
-use autocc_bmc::{Bmc, BmcOptions, CheckOutcome};
+use autocc_bmc::{Bmc, CheckConfig, CheckOutcome};
 use autocc_core::{FpvTestbench, FtSpec};
 use autocc_duts::vscale::{build_vscale, VscaleConfig};
 use autocc_hdl::{Module, ModuleBuilder, NodeId};
 use std::collections::HashMap;
 
-fn options(max_depth: usize) -> BmcOptions {
-    BmcOptions {
-        max_depth,
-        conflict_budget: None,
-        time_budget: None,
-    }
+fn options(max_depth: usize) -> CheckConfig {
+    CheckConfig::default().depth(max_depth).no_timeout()
 }
 
 /// Variant + depth + property name: the observable verdict. Traces are

@@ -8,30 +8,19 @@
 //! load-dependent (the stable table format omits runtimes for the same
 //! reason).
 
-use autocc_bench::{table1_with, table2_with, Exec};
-use autocc_bmc::BmcOptions;
+use autocc_bench::{table1, table2};
+use autocc_bmc::CheckConfig;
 use autocc_core::format_table_stable;
 
-fn options(max_depth: usize) -> BmcOptions {
-    BmcOptions {
-        max_depth,
-        conflict_budget: None,
-        time_budget: None,
-    }
+fn options(max_depth: usize) -> CheckConfig {
+    CheckConfig::default().depth(max_depth).no_timeout()
 }
 
 #[test]
 fn table2_is_jobs_invariant() {
     let options = options(7);
     let render = |jobs: usize, slice: bool| {
-        let rows = table2_with(
-            &options,
-            Exec {
-                jobs,
-                slice,
-                ..Exec::default()
-            },
-        );
+        let rows = table2(&options.clone().jobs(jobs).slice(slice));
         format_table_stable("Table 2 (determinism check)", &rows)
     };
     let serial = render(1, false);
@@ -47,14 +36,7 @@ fn table2_is_jobs_invariant() {
 fn table1_is_jobs_invariant() {
     let options = options(5);
     let render = |jobs: usize, slice: bool| {
-        let rows = table1_with(
-            &options,
-            Exec {
-                jobs,
-                slice,
-                ..Exec::default()
-            },
-        );
+        let rows = table1(&options.clone().jobs(jobs).slice(slice));
         format_table_stable("Table 1 (determinism check)", &rows)
     };
     let serial = render(1, false);

@@ -5,10 +5,10 @@
 //! deterministic `jobs = 1` vs `jobs = N` merge.
 
 use autocc_bmc::{
-    BmcEngine, BmcOptions, CancelToken, Cex, CheckEngine, CheckSpec, EngineOptions, EngineOutcome,
+    BmcEngine, CancelToken, Cex, CheckConfig, CheckEngine, CheckSpec, EngineOutcome, EngineRun,
     FailureReason, Trace, UnknownCause,
 };
-use autocc_core::{AutoCcOutcome, CheckSettings, FtSpec};
+use autocc_core::{AutoCcOutcome, FtSpec};
 use autocc_duts::aes::{build_aes, AesConfig};
 use autocc_duts::demo::config_device;
 use autocc_hdl::{Bv, Module, ModuleBuilder};
@@ -16,12 +16,8 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-fn options(max_depth: usize) -> BmcOptions {
-    BmcOptions {
-        max_depth,
-        conflict_budget: None,
-        time_budget: None,
-    }
+fn options(max_depth: usize) -> CheckConfig {
+    CheckConfig::default().depth(max_depth).no_timeout()
 }
 
 /// Panics the first `panics_per_property` attempts on every property it is
@@ -47,12 +43,7 @@ impl CheckEngine for FlakyBmc {
         "flaky-bmc"
     }
 
-    fn check(
-        &self,
-        spec: &CheckSpec<'_>,
-        options: &EngineOptions,
-        cancel: &CancelToken,
-    ) -> EngineOutcome {
+    fn check(&self, spec: &CheckSpec<'_>, config: &CheckConfig, cancel: &CancelToken) -> EngineRun {
         let key = spec
             .properties
             .first()
@@ -67,7 +58,7 @@ impl CheckEngine for FlakyBmc {
         if attempt <= self.panics_per_property {
             panic!("injected fault (attempt {attempt})");
         }
-        BmcEngine.check(spec, options, cancel)
+        BmcEngine.check(spec, config, cancel)
     }
 }
 
@@ -81,16 +72,11 @@ impl CheckEngine for TargetedPanic {
         "targeted-panic"
     }
 
-    fn check(
-        &self,
-        spec: &CheckSpec<'_>,
-        options: &EngineOptions,
-        cancel: &CancelToken,
-    ) -> EngineOutcome {
+    fn check(&self, spec: &CheckSpec<'_>, config: &CheckConfig, cancel: &CancelToken) -> EngineRun {
         if spec.properties.iter().any(|(n, _)| *n == self.property) {
             panic!("injected fault on {}", self.property);
         }
-        BmcEngine.check(spec, options, cancel)
+        BmcEngine.check(spec, config, cancel)
     }
 }
 
@@ -106,9 +92,9 @@ impl CheckEngine for CorruptCexEngine {
     fn check(
         &self,
         spec: &CheckSpec<'_>,
-        _options: &EngineOptions,
+        _config: &CheckConfig,
         _cancel: &CancelToken,
-    ) -> EngineOutcome {
+    ) -> EngineRun {
         let depth = 3;
         let cycle: Vec<Bv> = spec
             .module
@@ -121,6 +107,7 @@ impl CheckEngine for CorruptCexEngine {
             depth,
             trace: Trace::new(vec![cycle; depth]),
         })
+        .into()
     }
 }
 
@@ -157,11 +144,11 @@ fn leaky_pair_device() -> Module {
 fn panicking_job_degrades_only_its_property() {
     let dut = mirror_device();
     let ft = FtSpec::new(&dut).generate();
-    let settings = CheckSettings::serial(&options(6));
+    let config = options(6);
     let engine = TargetedPanic {
         property: "as__pa_eq".to_string(),
     };
-    let report = ft.check_portfolio_with(&settings, &engine);
+    let report = ft.check_portfolio_with(&config, &engine);
     match report.outcome {
         AutoCcOutcome::Failed { failures } => {
             assert_eq!(failures.len(), 1, "only the injected property fails");
@@ -183,14 +170,14 @@ fn panicking_job_degrades_only_its_property() {
 fn panicked_job_recovers_through_retries() {
     let dut = config_device(false);
     let ft = FtSpec::new(&dut).generate();
-    let settings = CheckSettings::serial(&options(12));
-    let baseline = ft.check_portfolio(&settings);
+    let config = options(12);
+    let baseline = ft.check_portfolio(&config);
     let baseline_cex = baseline.outcome.cex().expect("cfg register leaks");
 
     // One injected panic per property; the default policy's single retry
     // recovers and the run ends exactly where the healthy run does.
     let flaky = FlakyBmc::new(1);
-    let report = ft.check_portfolio_with(&settings, &flaky);
+    let report = ft.check_portfolio_with(&config, &flaky);
     let cex = report
         .outcome
         .cex()
@@ -203,9 +190,9 @@ fn panicked_job_recovers_through_retries() {
 fn spent_retries_degrade_to_failed_not_panic() {
     let dut = config_device(false);
     let ft = FtSpec::new(&dut).generate();
-    let settings = CheckSettings::serial(&options(12)).with_retries(2);
+    let config = options(12).retries(2);
     let flaky = FlakyBmc::new(10); // more faults than retries
-    let report = ft.check_portfolio_with(&settings, &flaky);
+    let report = ft.check_portfolio_with(&config, &flaky);
     match report.outcome {
         AutoCcOutcome::Failed { failures } => {
             assert_eq!(failures.len(), 1);
@@ -220,8 +207,8 @@ fn spent_retries_degrade_to_failed_not_panic() {
 fn corrupt_cex_is_rejected_by_replay_certification() {
     let dut = config_device(false);
     let ft = FtSpec::new(&dut).generate();
-    let settings = CheckSettings::serial(&options(12));
-    let report = ft.check_portfolio_with(&settings, &CorruptCexEngine);
+    let config = options(12);
+    let report = ft.check_portfolio_with(&config, &CorruptCexEngine);
     match report.outcome {
         AutoCcOutcome::Failed { failures } => {
             assert!(!failures.is_empty());
@@ -240,13 +227,11 @@ fn hung_check_is_stopped_by_the_wall_clock_budget() {
     // deadline has to stop it mid-solve, not at the next depth boundary.
     let dut = build_aes(&AesConfig::default());
     let ft = FtSpec::new(&dut).generate();
-    let opts = BmcOptions {
-        max_depth: 64,
-        conflict_budget: None,
-        time_budget: Some(Duration::from_millis(50)),
-    };
+    let config = CheckConfig::default()
+        .depth(64)
+        .timeout(Duration::from_millis(50));
     let start = Instant::now();
-    let report = ft.check_portfolio(&CheckSettings::serial(&opts));
+    let report = ft.check_portfolio(&config);
     let elapsed = start.elapsed();
     match report.outcome {
         AutoCcOutcome::Unknown { cause, .. } => {
@@ -268,20 +253,18 @@ fn injected_faults_preserve_jobs_invariance() {
 
     // Recovered faults: every property panics once, retries recover.
     let outcome = |jobs: usize| {
-        let settings = CheckSettings::serial(&options(12)).with_jobs(jobs);
+        let config = options(12).jobs(jobs);
         let flaky = FlakyBmc::new(1);
-        format!("{:?}", ft.check_portfolio_with(&settings, &flaky).outcome)
+        format!("{:?}", ft.check_portfolio_with(&config, &flaky).outcome)
     };
     assert_eq!(outcome(1), outcome(4), "recovered faults broke determinism");
 
     // Unrecovered faults: panics outlast the retries, every property
     // degrades — and the failure list is identical for any worker count.
     let failed = |jobs: usize| {
-        let settings = CheckSettings::serial(&options(12))
-            .with_jobs(jobs)
-            .with_retries(1);
+        let config = options(12).jobs(jobs).retries(1);
         let flaky = FlakyBmc::new(10);
-        format!("{:?}", ft.check_portfolio_with(&settings, &flaky).outcome)
+        format!("{:?}", ft.check_portfolio_with(&config, &flaky).outcome)
     };
     assert_eq!(failed(1), failed(4), "contained failures broke determinism");
 }

@@ -1,0 +1,152 @@
+//! Telemetry integration: attaching a recorder must not change verdicts
+//! or solver work, the disabled path must stay cheap, and an emitted
+//! profile must satisfy its own schema with the span kinds and phases the
+//! check pipeline promises.
+
+use autocc_bench::{default_options, run_vscale_stage, VSCALE_STAGES};
+use autocc_bmc::CheckConfig;
+use autocc_core::FtSpec;
+use autocc_duts::demo::config_device;
+use autocc_telemetry::{
+    validate_profile_json, ProfileRecorder, SpanKind, Telemetry, PROFILE_VERSION,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn profiled(config: CheckConfig, root: &str) -> (CheckConfig, Arc<ProfileRecorder>) {
+    let recorder = Arc::new(ProfileRecorder::new());
+    let mut config = config;
+    config.telemetry = Telemetry::root(recorder.clone(), root);
+    (config, recorder)
+}
+
+/// The tentpole determinism contract: a recorder observes the run, it
+/// never steers it. Verdict, CEX shape, and solver counters are identical
+/// with telemetry on and off.
+#[test]
+fn enabling_telemetry_does_not_change_the_verdict() {
+    let dut = config_device(false);
+    let ft = FtSpec::new(&dut).generate();
+    let plain_config = CheckConfig::default().depth(12).no_timeout();
+    let plain = ft.check_portfolio(&plain_config);
+    let (config, _recorder) = profiled(plain_config.clone(), "test");
+    let instrumented = ft.check_portfolio(&config);
+    assert_eq!(
+        format!("{:?}", plain.outcome),
+        format!("{:?}", instrumented.outcome),
+        "telemetry changed the outcome"
+    );
+    assert_eq!(
+        plain.stats, instrumented.stats,
+        "telemetry changed solver work"
+    );
+}
+
+/// Same contract on a real experiment (a Vscale ladder stage), through
+/// the experiment/check/attempt span stack rather than a bare testbench.
+#[test]
+fn profiled_experiment_matches_unprofiled_run() {
+    let base = default_options(7).no_timeout();
+    let plain = run_vscale_stage(&VSCALE_STAGES[0], &base);
+    let (config, recorder) = profiled(base, "vscale-test");
+    let instrumented = run_vscale_stage(&VSCALE_STAGES[0], &config);
+    assert_eq!(
+        format!("{:?}", plain.outcome),
+        format!("{:?}", instrumented.outcome)
+    );
+    assert_eq!(plain.stats, instrumented.stats);
+    let profile = recorder.profile();
+    assert!(
+        profile
+            .spans
+            .iter()
+            .any(|s| s.kind == SpanKind::Experiment && s.name == "vscale:V1"),
+        "experiment span missing from the profile"
+    );
+}
+
+/// Round-trip: emit a profile, validate it against the schema, and check
+/// that every pipeline level shows up for a CEX-producing check.
+#[test]
+fn emitted_profile_validates_and_covers_the_pipeline() {
+    let dut = config_device(false);
+    let ft = FtSpec::new(&dut).generate();
+    // Slicing on so the `coi-slice` phase is exercised too.
+    let (config, recorder) = profiled(
+        CheckConfig::default().depth(12).no_timeout().slice(true),
+        "schema-test",
+    );
+    let report = ft.check_portfolio(&config);
+    assert!(report.outcome.cex().is_some(), "cfg register leaks");
+    config.telemetry.close();
+
+    let profile = recorder.profile();
+    assert_eq!(profile.version, PROFILE_VERSION);
+    let json = profile.to_json();
+    let summary = validate_profile_json(&json).expect("profile satisfies its own schema");
+    assert_eq!(summary.version, PROFILE_VERSION);
+    assert_eq!(summary.span_count, profile.spans.len());
+    assert!(summary.solve_calls > 0, "no solve calls recorded");
+    assert_eq!(summary.solve_calls, report.stats.solve_calls);
+
+    for phase in ["bit-blast", "coi-slice", "cnf-encode", "solve", "certify"] {
+        assert!(
+            summary.phase_names.iter().any(|n| n == phase),
+            "missing phase `{phase}` in {:?}",
+            summary.phase_names
+        );
+    }
+    for kind in [
+        SpanKind::Run,
+        SpanKind::Check,
+        SpanKind::Attempt,
+        SpanKind::Phase,
+        SpanKind::Solve,
+    ] {
+        assert!(
+            profile.spans.iter().any(|s| s.kind == kind),
+            "missing span kind {kind:?}"
+        );
+    }
+    // Every check job is covered: one Check span per generated property.
+    let checks = profile
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Check)
+        .count();
+    assert_eq!(checks, ft.properties().len());
+}
+
+/// The disabled path is close enough to free that the same workload under
+/// a no-op telemetry handle stays within a generous factor of the
+/// recorded one. This is a tripwire for accidentally putting clock reads
+/// or allocation on the disabled path, not a benchmark.
+#[test]
+fn disabled_telemetry_overhead_guard() {
+    let dut = config_device(false);
+    let ft = FtSpec::new(&dut).generate();
+    let config = CheckConfig::default().depth(12).no_timeout();
+    // Warm up (first run pays one-time setup costs).
+    let _ = ft.check_portfolio(&config);
+
+    let start = Instant::now();
+    for _ in 0..3 {
+        let _ = ft.check_portfolio(&config);
+    }
+    let disabled = start.elapsed();
+
+    let start = Instant::now();
+    for _ in 0..3 {
+        let (c, _r) = profiled(config.clone(), "overhead");
+        let _ = ft.check_portfolio(&c);
+    }
+    let enabled = start.elapsed();
+
+    // Generous by design: CI boxes are noisy. The disabled path must not
+    // be slower than the recording path by more than 2x plus a constant.
+    assert!(
+        disabled <= enabled * 2 + Duration::from_millis(250),
+        "telemetry-disabled run ({disabled:?}) is unexpectedly slower than \
+         the recorded run ({enabled:?}): the no-op path is doing real work"
+    );
+}

@@ -12,14 +12,17 @@
 //! are returned as input traces and are *replay-validated* against the
 //! word-level interpreter before being reported.
 
+use crate::config::{solver_counters, CheckConfig};
 use crate::engine::CancelToken;
 use crate::trace::Trace;
 use autocc_aig::{assert_true_lit, sequential_coi, FrameMap, SeqAig, SeqCoi};
 use autocc_hdl::{Bv, Module, NodeId};
 use autocc_sat::{Lit, SolveResult, Solver};
+use autocc_telemetry::{SolverCounters, SpanKind, Telemetry};
 use std::time::{Duration, Instant};
 
-/// Tuning knobs for a check run.
+/// Legacy tuning knobs for a check run.
+#[deprecated(note = "use `CheckConfig`; convert with `CheckConfig::from(&options)`")]
 #[derive(Clone, Debug)]
 pub struct BmcOptions {
     /// Maximum unrolling depth (number of cycles).
@@ -30,6 +33,7 @@ pub struct BmcOptions {
     pub time_budget: Option<Duration>,
 }
 
+#[allow(deprecated)]
 impl Default for BmcOptions {
     fn default() -> BmcOptions {
         BmcOptions {
@@ -196,6 +200,10 @@ pub struct Bmc<'m> {
     slice: bool,
     coi: Option<SeqCoi>,
     cancel: CancelToken,
+    telemetry: Telemetry,
+    /// Solver work done outside the base solver (the k-induction step
+    /// solver), folded into [`Bmc::counters`].
+    aux_counters: SolverCounters,
 }
 
 impl<'m> Bmc<'m> {
@@ -217,7 +225,25 @@ impl<'m> Bmc<'m> {
             slice: false,
             coi: None,
             cancel: CancelToken::new(),
+            telemetry: Telemetry::off(),
+            aux_counters: SolverCounters::default(),
         }
+    }
+
+    /// Creates a checker with a telemetry handle attached; the bit-blast
+    /// (word-level module → AIG) is timed under a `bit-blast` phase span.
+    pub fn with_telemetry(module: &'m Module, telemetry: Telemetry) -> Bmc<'m> {
+        let span = telemetry.child(SpanKind::Phase, "bit-blast");
+        let mut bmc = Bmc::new(module);
+        span.close();
+        bmc.telemetry = telemetry;
+        bmc
+    }
+
+    /// Attaches (or replaces) the telemetry handle; spans opened by this
+    /// checker become children of its current span.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Enables or disables sequential cone-of-influence slicing: state and
@@ -277,6 +303,14 @@ impl<'m> Bmc<'m> {
         s.vars = self.solver.num_vars();
         s.frames = self.frames.len();
         s
+    }
+
+    /// Cumulative solver counters across this checker's lifetime — the
+    /// base solver plus any k-induction step solver it has driven.
+    pub fn counters(&self) -> SolverCounters {
+        let mut c = solver_counters(&self.solver.stats());
+        c += &self.aux_counters;
+        c
     }
 
     /// Adds an environment constraint: `node` (1-bit) is assumed 1 on every
@@ -392,7 +426,7 @@ impl<'m> Bmc<'m> {
     /// Calling `check` again after [`CheckOutcome::Cex`] continues deepening
     /// and may find further (deeper) counterexamples to other properties —
     /// but the usual AutoCC workflow is to refine the testbench and re-run.
-    pub fn check(&mut self, options: &BmcOptions) -> CheckOutcome {
+    pub fn check(&mut self, config: &CheckConfig) -> CheckOutcome {
         assert!(
             !self.properties.is_empty(),
             "no properties registered before check"
@@ -401,14 +435,31 @@ impl<'m> Bmc<'m> {
         // Budgets are enforced *inside* the solver: the deadline and the
         // cancellation hook are polled every few conflicts, so a single
         // pathological SAT call cannot run past its wall-clock budget.
+        self.solver.set_poll_interval(config.poll_interval);
         self.solver
-            .set_deadline(options.time_budget.map(|tb| start + tb));
+            .set_deadline(config.time_budget.map(|tb| start + tb));
         let token = self.cancel.clone();
         self.solver
             .set_interrupt_hook(Some(Box::new(move || token.is_cancelled())));
+        if self.telemetry.enabled() {
+            // Live counter samples, at the same poll cadence as the
+            // interrupt hook. A gauge overwrites its previous value, so
+            // long searches stay bounded in the recorder.
+            let t = self.telemetry.clone();
+            self.solver.set_progress_hook(Some(Box::new(move |stats| {
+                t.gauge("live_conflicts", stats.conflicts);
+            })));
+        }
+        // The slice phase is recorded even with slicing off (near-zero
+        // duration): profiles always show where COI time would go.
+        if self.frames.is_empty() {
+            let span = self.telemetry.child(SpanKind::Phase, "coi-slice");
+            self.ensure_coi();
+            span.close();
+        }
         let conflicts_start = self.solver.stats().conflicts;
         let mut depth = self.frames.len();
-        while depth < options.max_depth {
+        while depth < config.max_depth {
             if self.cancel.is_cancelled() {
                 self.stats.solve_time += start.elapsed();
                 return CheckOutcome::Exhausted {
@@ -416,7 +467,7 @@ impl<'m> Bmc<'m> {
                     cause: StopCause::Cancelled,
                 };
             }
-            if let Some(tb) = options.time_budget {
+            if let Some(tb) = config.time_budget {
                 if start.elapsed() > tb {
                     self.stats.solve_time += start.elapsed();
                     return CheckOutcome::Exhausted {
@@ -426,10 +477,13 @@ impl<'m> Bmc<'m> {
                 }
             }
             if self.frames.len() == depth {
+                let span = self.telemetry.child(SpanKind::Phase, "cnf-encode");
                 self.build_frame();
+                span.gauge("depth", depth as u64);
+                span.close();
             }
             let frame_bad = self.frames[depth].bad;
-            if let Some(cb) = options.conflict_budget {
+            if let Some(cb) = config.conflict_budget {
                 let used = self.solver.stats().conflicts - conflicts_start;
                 if used >= cb {
                     self.stats.solve_time += start.elapsed();
@@ -442,9 +496,17 @@ impl<'m> Bmc<'m> {
             } else {
                 self.solver.set_conflict_budget(None);
             }
-            match self.solver.solve_with(&[frame_bad]) {
+            let span = self.telemetry.child(SpanKind::Solve, "solve");
+            span.gauge("depth", depth as u64);
+            let before = self.solver.stats();
+            let verdict = self.solver.solve_with(&[frame_bad]);
+            span.counters(&solver_counters(&self.solver.stats().diff(&before)));
+            span.close();
+            match verdict {
                 SolveResult::Sat => {
+                    let span = self.telemetry.child(SpanKind::Phase, "certify");
                     let extracted = self.extract_cex(depth);
+                    span.close();
                     self.stats.solve_time += start.elapsed();
                     return match extracted {
                         Ok(cex) => CheckOutcome::Cex(cex),
@@ -474,7 +536,7 @@ impl<'m> Bmc<'m> {
         }
         self.stats.solve_time += start.elapsed();
         CheckOutcome::BoundReached {
-            depth: options.max_depth,
+            depth: config.max_depth,
         }
     }
 
@@ -542,20 +604,36 @@ impl<'m> Bmc<'m> {
     ///
     /// Auxiliary strengthening invariants should be supplied as additional
     /// properties — they are proven too.
-    pub fn prove(&mut self, options: &BmcOptions) -> ProveOutcome {
+    pub fn prove(&mut self, config: &CheckConfig) -> ProveOutcome {
         let start = Instant::now();
         let coi = self.ensure_coi();
+        let span = self.telemetry.child(SpanKind::Phase, "bit-blast");
         let mut induction = InductionStep::new(
             self.module,
             self.properties.clone(),
             self.constraints.clone(),
             coi,
         );
-        induction.set_interrupts(
-            options.time_budget.map(|tb| start + tb),
+        span.close();
+        induction.configure_run(
+            config.time_budget.map(|tb| start + tb),
             self.cancel.clone(),
+            config.poll_interval,
+            self.telemetry.clone(),
         );
-        for k in 1..=options.max_depth {
+        let outcome = self.prove_loop(config, &mut induction, start);
+        // Step-solver work counts toward this checker's totals.
+        self.aux_counters += &solver_counters(&induction.solver.stats());
+        outcome
+    }
+
+    fn prove_loop(
+        &mut self,
+        config: &CheckConfig,
+        induction: &mut InductionStep,
+        start: Instant,
+    ) -> ProveOutcome {
+        for k in 1..=config.max_depth {
             if self.cancel.is_cancelled() {
                 return ProveOutcome::Exhausted {
                     bound: self.frames.len(),
@@ -563,14 +641,12 @@ impl<'m> Bmc<'m> {
                 };
             }
             // Base case: no counterexample within k cycles.
-            let base_opts = BmcOptions {
-                max_depth: k,
-                conflict_budget: options.conflict_budget,
-                time_budget: options
-                    .time_budget
-                    .map(|tb| tb.saturating_sub(start.elapsed())),
-            };
-            match self.check(&base_opts) {
+            let mut base = config.clone();
+            base.max_depth = k;
+            base.time_budget = config
+                .time_budget
+                .map(|tb| tb.saturating_sub(start.elapsed()));
+            match self.check(&base) {
                 CheckOutcome::Cex(cex) => return ProveOutcome::Cex(cex),
                 CheckOutcome::Exhausted { depth, cause } => {
                     return ProveOutcome::Exhausted {
@@ -583,7 +659,7 @@ impl<'m> Bmc<'m> {
             }
             // Step case: P holds for k consecutive (distinct) states ⇒ P
             // holds in the next one.
-            if let Some(tb) = options.time_budget {
+            if let Some(tb) = config.time_budget {
                 if start.elapsed() > tb {
                     return ProveOutcome::Exhausted {
                         bound: k,
@@ -591,7 +667,7 @@ impl<'m> Bmc<'m> {
                     };
                 }
             }
-            match induction.step_holds(k, options) {
+            match induction.step_holds(k, config) {
                 StepResult::Holds => {
                     self.stats.solve_time += start.elapsed();
                     return ProveOutcome::Proved { induction_depth: k };
@@ -614,7 +690,7 @@ impl<'m> Bmc<'m> {
             }
         }
         ProveOutcome::Exhausted {
-            bound: options.max_depth,
+            bound: config.max_depth,
             cause: StopCause::ConflictBudget,
         }
     }
@@ -641,6 +717,7 @@ struct InductionStep {
     frame_states: Vec<Vec<Lit>>,
     /// Cone-of-influence restriction shared with the base case, if slicing.
     coi: Option<SeqCoi>,
+    telemetry: Telemetry,
 }
 
 impl InductionStep {
@@ -661,15 +738,25 @@ impl InductionStep {
             frames: Vec::new(),
             frame_states: Vec::new(),
             coi,
+            telemetry: Telemetry::off(),
         }
     }
 
     /// Installs the wall-clock deadline and cancellation hook on the step
-    /// solver, so the step case is interruptible mid-solve like the base.
-    fn set_interrupts(&mut self, deadline: Option<Instant>, cancel: CancelToken) {
+    /// solver (so the step case is interruptible mid-solve like the base),
+    /// plus the poll interval and telemetry handle of the run.
+    fn configure_run(
+        &mut self,
+        deadline: Option<Instant>,
+        cancel: CancelToken,
+        poll_interval: u64,
+        telemetry: Telemetry,
+    ) {
+        self.solver.set_poll_interval(poll_interval);
         self.solver.set_deadline(deadline);
         self.solver
             .set_interrupt_hook(Some(Box::new(move || cancel.is_cancelled())));
+        self.telemetry = telemetry;
     }
 
     fn keep_state(&self, j: usize) -> bool {
@@ -775,7 +862,8 @@ impl InductionStep {
 
     /// Checks whether the induction step closes at depth `k`:
     /// P at frames `0..k` (with distinct states) forces P at frame `k`.
-    fn step_holds(&mut self, k: usize, options: &BmcOptions) -> StepResult {
+    fn step_holds(&mut self, k: usize, config: &CheckConfig) -> StepResult {
+        let encode = self.telemetry.child(SpanKind::Phase, "cnf-encode");
         while self.frames.len() <= k {
             // Before adding frame `t`, assert P at frame `t - 1` (it is no
             // longer the "last" frame).
@@ -786,9 +874,15 @@ impl InductionStep {
             }
             self.build_frame();
         }
-        self.solver.set_conflict_budget(options.conflict_budget);
+        encode.close();
+        self.solver.set_conflict_budget(config.conflict_budget);
         let bad = self.frames[k].bad;
+        let span = self.telemetry.child(SpanKind::Solve, "solve");
+        span.gauge("induction_k", k as u64);
+        let before = self.solver.stats();
         let r = self.solver.solve_with(&[bad]);
+        span.counters(&solver_counters(&self.solver.stats().diff(&before)));
+        span.close();
         match r {
             SolveResult::Unsat => StepResult::Holds,
             SolveResult::Sat => StepResult::Fails,

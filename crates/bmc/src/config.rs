@@ -1,0 +1,245 @@
+//! The unified check configuration.
+//!
+//! [`CheckConfig`] is the one knob surface for the whole check pipeline:
+//! checker budgets (depth, conflicts, wall clock), engine switches
+//! (slicing), scheduler shape (worker count, retry policy), solver tuning
+//! (poll interval) and the telemetry handle. It replaces the former
+//! `BmcOptions` + `EngineOptions` + `CheckSettings` + ad-hoc retry plumbing
+//! with a single builder:
+//!
+//! ```
+//! use autocc_bmc::CheckConfig;
+//! use std::time::Duration;
+//!
+//! let config = CheckConfig::default()
+//!     .depth(32)
+//!     .jobs(8)
+//!     .slice(true)
+//!     .timeout(Duration::from_secs(60));
+//! assert_eq!(config.max_depth, 32);
+//! assert_eq!(config.jobs, 8);
+//! ```
+
+use crate::portfolio::RetryPolicy;
+use autocc_telemetry::{SolverCounters, Telemetry};
+use std::time::Duration;
+
+/// Lifts the SAT solver's [`autocc_sat::Stats`] into telemetry
+/// [`SolverCounters`] (the two crates do not know each other).
+pub fn solver_counters(stats: &autocc_sat::Stats) -> SolverCounters {
+    SolverCounters {
+        solve_calls: stats.solve_calls,
+        conflicts: stats.conflicts,
+        decisions: stats.decisions,
+        propagations: stats.propagations,
+        restarts: stats.restarts,
+        learnt_clauses: stats.learnt_clauses,
+        deleted_clauses: stats.deleted_clauses,
+    }
+}
+
+/// Unified configuration for a check or proof run — budgets, scheduling,
+/// solver tuning, and the telemetry handle — consumed by the checker, the
+/// engines, the portfolio scheduler, the testbench, and every binary.
+#[derive(Clone, Debug)]
+pub struct CheckConfig {
+    /// Maximum unrolling depth (number of cycles).
+    pub max_depth: usize,
+    /// Total conflict budget across the run (`None` = unlimited).
+    /// Deterministic: exhaustion is identical on every machine.
+    pub conflict_budget: Option<u64>,
+    /// Wall-clock budget for the run (`None` = unlimited). Time budgets
+    /// make outcomes machine-dependent; deterministic runs should prefer
+    /// conflict budgets.
+    pub time_budget: Option<Duration>,
+    /// Apply per-property cone-of-influence slicing before encoding.
+    pub slice: bool,
+    /// Portfolio worker count (min 1). Results are merged positionally,
+    /// so any worker count produces bit-identical output.
+    pub jobs: usize,
+    /// Additional attempts after a contained engine-job panic
+    /// (0 = fail fast).
+    pub retries: u32,
+    /// Conflict-budget multiplier applied per retry attempt.
+    pub retry_escalation: u32,
+    /// How many conflicts pass between solver deadline/hook polls
+    /// (min 1). Smaller values tighten interruption latency.
+    pub poll_interval: u64,
+    /// Telemetry handle; spans opened by the pipeline become children of
+    /// its current span. Disabled ([`Telemetry::off`]) by default, in
+    /// which case instrumentation is a no-op with no clock reads.
+    pub telemetry: Telemetry,
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        CheckConfig {
+            max_depth: 64,
+            conflict_budget: None,
+            time_budget: Some(Duration::from_secs(300)),
+            slice: false,
+            jobs: 1,
+            retries: 1,
+            retry_escalation: 2,
+            poll_interval: 128,
+            telemetry: Telemetry::off(),
+        }
+    }
+}
+
+impl CheckConfig {
+    /// Sets the maximum unrolling depth.
+    pub fn depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+
+    /// Sets (or clears) the total conflict budget.
+    pub fn conflicts(mut self, budget: Option<u64>) -> Self {
+        self.conflict_budget = budget;
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn timeout(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Removes the wall-clock budget (fully deterministic runs).
+    pub fn no_timeout(mut self) -> Self {
+        self.time_budget = None;
+        self
+    }
+
+    /// Sets the portfolio worker count (clamped to at least 1).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Switches cone-of-influence slicing on or off.
+    pub fn slice(mut self, slice: bool) -> Self {
+        self.slice = slice;
+        self
+    }
+
+    /// Sets the retry count for contained engine-job panics.
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the per-retry conflict-budget escalation factor.
+    pub fn retry_escalation(mut self, escalation: u32) -> Self {
+        self.retry_escalation = escalation;
+        self
+    }
+
+    /// Sets the solver poll interval (clamped to at least 1).
+    pub fn poll_interval(mut self, conflicts: u64) -> Self {
+        self.poll_interval = conflicts.max(1);
+        self
+    }
+
+    /// Attaches a telemetry handle.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The retry policy derived from `retries`/`retry_escalation`.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: self.retries,
+            escalation: self.retry_escalation,
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<&crate::checker::BmcOptions> for CheckConfig {
+    fn from(options: &crate::checker::BmcOptions) -> CheckConfig {
+        CheckConfig {
+            max_depth: options.max_depth,
+            conflict_budget: options.conflict_budget,
+            time_budget: options.time_budget,
+            ..CheckConfig::default()
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<&crate::engine::EngineOptions> for CheckConfig {
+    fn from(options: &crate::engine::EngineOptions) -> CheckConfig {
+        CheckConfig {
+            max_depth: options.max_depth,
+            conflict_budget: options.conflict_budget,
+            time_budget: options.time_budget,
+            slice: options.slice,
+            ..CheckConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes_and_clamps() {
+        let c = CheckConfig::default()
+            .depth(12)
+            .conflicts(Some(5_000))
+            .no_timeout()
+            .jobs(0)
+            .slice(true)
+            .retries(3)
+            .retry_escalation(4)
+            .poll_interval(0);
+        assert_eq!(c.max_depth, 12);
+        assert_eq!(c.conflict_budget, Some(5_000));
+        assert_eq!(c.time_budget, None);
+        assert_eq!(c.jobs, 1, "jobs clamps to 1");
+        assert!(c.slice);
+        assert_eq!(c.poll_interval, 1, "poll interval clamps to 1");
+        let policy = c.retry_policy();
+        assert_eq!(policy.max_retries, 3);
+        assert_eq!(policy.escalation, 4);
+    }
+
+    #[test]
+    fn default_matches_the_legacy_bmc_options() {
+        // Behaviour preservation: `CheckConfig::default()` must reproduce
+        // the semantics every caller of `BmcOptions::default()` relied on.
+        let c = CheckConfig::default();
+        assert_eq!(c.max_depth, 64);
+        assert_eq!(c.conflict_budget, None);
+        assert_eq!(c.time_budget, Some(Duration::from_secs(300)));
+        assert!(!c.slice);
+        assert_eq!(c.jobs, 1);
+        assert_eq!(c.poll_interval, 128);
+        assert!(!c.telemetry.enabled());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_convert_in_one_hop() {
+        use crate::checker::BmcOptions;
+        use crate::engine::EngineOptions;
+        let bmc = BmcOptions {
+            max_depth: 9,
+            conflict_budget: Some(77),
+            time_budget: None,
+        };
+        let c = CheckConfig::from(&bmc);
+        assert_eq!(c.max_depth, 9);
+        assert_eq!(c.conflict_budget, Some(77));
+        assert_eq!(c.time_budget, None);
+
+        let eng = EngineOptions::from_bmc(&bmc).with_slice(true);
+        let c = CheckConfig::from(&eng);
+        assert!(c.slice);
+        assert_eq!(c.max_depth, 9);
+    }
+}

@@ -23,8 +23,10 @@
 //! [`EngineOutcome::Unknown`] (machine-dependent), while conflict-budget
 //! exhaustion stays [`EngineOutcome::Exhausted`] (deterministic).
 
-use crate::checker::{Bmc, BmcOptions, Cex, CheckOutcome, FailureReason, ProveOutcome, StopCause};
+use crate::checker::{Bmc, Cex, CheckOutcome, FailureReason, ProveOutcome, StopCause};
+use crate::config::CheckConfig;
 use autocc_hdl::{Module, NodeId};
+use autocc_telemetry::SolverCounters;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -95,7 +97,8 @@ impl<'m> CheckSpec<'m> {
     }
 }
 
-/// Per-job budgets and switches for a check engine run.
+/// Legacy per-job budgets and switches for a check engine run.
+#[deprecated(note = "use `CheckConfig`; convert with `CheckConfig::from(&options)`")]
 #[derive(Clone, Debug)]
 pub struct EngineOptions {
     /// Maximum unrolling depth (number of cycles).
@@ -110,15 +113,18 @@ pub struct EngineOptions {
     pub slice: bool,
 }
 
+#[allow(deprecated)]
 impl Default for EngineOptions {
     fn default() -> EngineOptions {
-        EngineOptions::from_bmc(&BmcOptions::default())
+        EngineOptions::from_bmc(&crate::checker::BmcOptions::default())
     }
 }
 
+#[allow(deprecated)]
 impl EngineOptions {
-    /// Lifts legacy [`BmcOptions`] into engine options (slicing off).
-    pub fn from_bmc(options: &BmcOptions) -> EngineOptions {
+    /// Lifts legacy [`BmcOptions`](crate::checker::BmcOptions) into engine
+    /// options (slicing off).
+    pub fn from_bmc(options: &crate::checker::BmcOptions) -> EngineOptions {
         EngineOptions {
             max_depth: options.max_depth,
             conflict_budget: options.conflict_budget,
@@ -128,8 +134,8 @@ impl EngineOptions {
     }
 
     /// The checker-level options this job runs with.
-    pub fn to_bmc(&self) -> BmcOptions {
-        BmcOptions {
+    pub fn to_bmc(&self) -> crate::checker::BmcOptions {
+        crate::checker::BmcOptions {
             max_depth: self.max_depth,
             conflict_budget: self.conflict_budget,
             time_budget: self.time_budget,
@@ -276,29 +282,45 @@ fn stop_outcome(depth: usize, cause: StopCause) -> EngineOutcome {
     }
 }
 
+/// One finished engine run: the outcome plus the solver work it cost.
+///
+/// Engines report their counters unconditionally (a struct copy, no clock
+/// reads), so run reports carry stats even with telemetry disabled.
+#[derive(Clone, Debug)]
+pub struct EngineRun {
+    /// What the engine concluded.
+    pub outcome: EngineOutcome,
+    /// Solver work spent reaching it.
+    pub counters: SolverCounters,
+}
+
+impl From<EngineOutcome> for EngineRun {
+    fn from(outcome: EngineOutcome) -> EngineRun {
+        EngineRun {
+            outcome,
+            counters: SolverCounters::default(),
+        }
+    }
+}
+
 /// A check engine: one strategy for deciding a [`CheckSpec`].
 pub trait CheckEngine: Send + Sync {
     /// Short stable name, used in logs and reports.
     fn name(&self) -> &'static str;
 
     /// Runs the engine to completion, budget exhaustion, or cancellation.
-    fn check(
-        &self,
-        spec: &CheckSpec<'_>,
-        options: &EngineOptions,
-        cancel: &CancelToken,
-    ) -> EngineOutcome;
+    fn check(&self, spec: &CheckSpec<'_>, config: &CheckConfig, cancel: &CancelToken) -> EngineRun;
 }
 
-fn configure<'m>(spec: &CheckSpec<'m>, options: &EngineOptions, cancel: &CancelToken) -> Bmc<'m> {
-    let mut bmc = Bmc::new(spec.module);
+fn configure<'m>(spec: &CheckSpec<'m>, config: &CheckConfig, cancel: &CancelToken) -> Bmc<'m> {
+    let mut bmc = Bmc::with_telemetry(spec.module, config.telemetry.clone());
     for &c in &spec.constraints {
         bmc.add_constraint(c);
     }
     for (name, p) in &spec.properties {
         bmc.add_property(name.clone(), *p);
     }
-    bmc.set_slicing(options.slice);
+    bmc.set_slicing(config.slice);
     bmc.set_cancel_token(cancel.clone());
     bmc
 }
@@ -312,14 +334,9 @@ impl CheckEngine for BmcEngine {
         "bmc"
     }
 
-    fn check(
-        &self,
-        spec: &CheckSpec<'_>,
-        options: &EngineOptions,
-        cancel: &CancelToken,
-    ) -> EngineOutcome {
-        let mut bmc = configure(spec, options, cancel);
-        match bmc.check(&options.to_bmc()) {
+    fn check(&self, spec: &CheckSpec<'_>, config: &CheckConfig, cancel: &CancelToken) -> EngineRun {
+        let mut bmc = configure(spec, config, cancel);
+        let outcome = match bmc.check(config) {
             CheckOutcome::Cex(cex) => EngineOutcome::Cex(cex),
             CheckOutcome::BoundReached { depth } => EngineOutcome::BoundReached { depth },
             CheckOutcome::Exhausted { depth, cause } => stop_outcome(depth, cause),
@@ -331,6 +348,10 @@ impl CheckEngine for BmcEngine {
                 detail: failure.detail,
                 attempts: 1,
             }),
+        };
+        EngineRun {
+            outcome,
+            counters: bmc.counters(),
         }
     }
 }
@@ -345,14 +366,9 @@ impl CheckEngine for KInductionEngine {
         "k-induction"
     }
 
-    fn check(
-        &self,
-        spec: &CheckSpec<'_>,
-        options: &EngineOptions,
-        cancel: &CancelToken,
-    ) -> EngineOutcome {
-        let mut bmc = configure(spec, options, cancel);
-        match bmc.prove(&options.to_bmc()) {
+    fn check(&self, spec: &CheckSpec<'_>, config: &CheckConfig, cancel: &CancelToken) -> EngineRun {
+        let mut bmc = configure(spec, config, cancel);
+        let outcome = match bmc.prove(config) {
             ProveOutcome::Proved { induction_depth } => EngineOutcome::Proved { induction_depth },
             ProveOutcome::Cex(cex) => EngineOutcome::Cex(cex),
             ProveOutcome::Exhausted { bound, cause } => stop_outcome(bound, cause),
@@ -364,6 +380,10 @@ impl CheckEngine for KInductionEngine {
                 detail: failure.detail,
                 attempts: 1,
             }),
+        };
+        EngineRun {
+            outcome,
+            counters: bmc.counters(),
         }
     }
 }
@@ -382,16 +402,12 @@ impl<E: CheckEngine> CheckEngine for Falsifier<E> {
         self.0.name()
     }
 
-    fn check(
-        &self,
-        spec: &CheckSpec<'_>,
-        options: &EngineOptions,
-        cancel: &CancelToken,
-    ) -> EngineOutcome {
-        match self.0.check(spec, options, cancel) {
-            EngineOutcome::BoundReached { depth } => EngineOutcome::Exhausted { depth },
-            other => other,
+    fn check(&self, spec: &CheckSpec<'_>, config: &CheckConfig, cancel: &CancelToken) -> EngineRun {
+        let mut run = self.0.check(spec, config, cancel);
+        if let EngineOutcome::BoundReached { depth } = run.outcome {
+            run.outcome = EngineOutcome::Exhausted { depth };
         }
+        run
     }
 }
 
@@ -416,31 +432,27 @@ mod tests {
     fn bmc_engine_finds_cex() {
         let m = counter_module();
         let spec = CheckSpec::new(&m).property("count_below_5", m.output_node("small").unwrap());
-        let opts = EngineOptions {
-            max_depth: 16,
-            conflict_budget: None,
-            time_budget: None,
-            slice: false,
-        };
-        match BmcEngine.check(&spec, &opts, &CancelToken::new()) {
+        let config = CheckConfig::default().depth(16).no_timeout();
+        let run = BmcEngine.check(&spec, &config, &CancelToken::new());
+        match run.outcome {
             EngineOutcome::Cex(cex) => assert_eq!(cex.depth, 6),
             other => panic!("expected cex, got {other:?}"),
         }
+        assert!(
+            run.counters.solve_calls >= 6,
+            "one solve call per depth step: {:?}",
+            run.counters
+        );
     }
 
     #[test]
     fn cancelled_job_exhausts_immediately() {
         let m = counter_module();
         let spec = CheckSpec::new(&m).property("count_below_5", m.output_node("small").unwrap());
-        let opts = EngineOptions {
-            max_depth: 16,
-            conflict_budget: None,
-            time_budget: None,
-            slice: false,
-        };
+        let config = CheckConfig::default().depth(16).no_timeout();
         let cancel = CancelToken::new();
         cancel.cancel();
-        match BmcEngine.check(&spec, &opts, &cancel) {
+        match BmcEngine.check(&spec, &config, &cancel).outcome {
             EngineOutcome::Unknown {
                 depth: 0,
                 cause: UnknownCause::Cancelled,
@@ -453,15 +465,10 @@ mod tests {
     fn sliced_and_unsliced_agree() {
         let m = counter_module();
         let spec = CheckSpec::new(&m).property("count_below_5", m.output_node("small").unwrap());
-        let opts = EngineOptions {
-            max_depth: 16,
-            conflict_budget: None,
-            time_budget: None,
-            slice: false,
-        };
-        let plain = BmcEngine.check(&spec, &opts, &CancelToken::new());
-        let sliced = BmcEngine.check(&spec, &opts.clone().with_slice(true), &CancelToken::new());
-        match (plain, sliced) {
+        let config = CheckConfig::default().depth(16).no_timeout();
+        let plain = BmcEngine.check(&spec, &config, &CancelToken::new());
+        let sliced = BmcEngine.check(&spec, &config.clone().slice(true), &CancelToken::new());
+        match (plain.outcome, sliced.outcome) {
             (EngineOutcome::Cex(a), EngineOutcome::Cex(b)) => {
                 assert_eq!(a.depth, b.depth);
                 assert_eq!(a.property, b.property);

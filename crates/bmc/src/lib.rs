@@ -24,7 +24,7 @@
 //!
 //! ```
 //! use autocc_hdl::{Bv, ModuleBuilder};
-//! use autocc_bmc::{Bmc, BmcOptions, CheckOutcome};
+//! use autocc_bmc::{Bmc, CheckConfig, CheckOutcome};
 //!
 //! let mut b = ModuleBuilder::new("counter");
 //! let c = b.reg("count", 3, Bv::zero(3));
@@ -38,7 +38,7 @@
 //!
 //! let mut bmc = Bmc::new(&m);
 //! bmc.add_property("count_below_5", m.output_node("small").unwrap());
-//! match bmc.check(&BmcOptions { max_depth: 16, ..Default::default() }) {
+//! match bmc.check(&CheckConfig::default().depth(16)) {
 //!     CheckOutcome::Cex(cex) => {
 //!         // The counter reaches 5 after 6 cycles (0,1,2,3,4,5).
 //!         assert_eq!(cex.depth, 6);
@@ -51,16 +51,21 @@
 #![warn(missing_docs)]
 
 mod checker;
+pub mod config;
 pub mod engine;
 pub mod portfolio;
 mod trace;
 
+#[allow(deprecated)]
+pub use checker::BmcOptions;
 pub use checker::{
-    Bmc, BmcOptions, BmcStats, Cex, CheckFailure, CheckOutcome, FailureReason, ProveOutcome,
-    StopCause,
+    Bmc, BmcStats, Cex, CheckFailure, CheckOutcome, FailureReason, ProveOutcome, StopCause,
 };
+pub use config::{solver_counters, CheckConfig};
+#[allow(deprecated)]
+pub use engine::EngineOptions;
 pub use engine::{
-    BmcEngine, CancelToken, CheckEngine, CheckSpec, EngineOptions, EngineOutcome, Falsifier,
+    BmcEngine, CancelToken, CheckEngine, CheckSpec, EngineOutcome, EngineRun, Falsifier,
     JobFailure, KInductionEngine, UnknownCause,
 };
 pub use portfolio::{EngineJob, JobPanic, Portfolio, RetryPolicy};

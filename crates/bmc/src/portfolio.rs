@@ -26,13 +26,14 @@
 //! to [`EngineOutcome::Failed`] only when the retries are spent.
 
 use crate::checker::FailureReason;
-use crate::engine::{
-    CancelToken, CheckEngine, CheckSpec, EngineOptions, EngineOutcome, JobFailure,
-};
+use crate::config::CheckConfig;
+use crate::engine::{CancelToken, CheckEngine, CheckSpec, EngineOutcome, EngineRun, JobFailure};
+use autocc_telemetry::{SolverCounters, SpanKind};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
+use std::time::Instant;
 
 /// A contained panic from one job of a batch.
 #[derive(Clone, Debug)]
@@ -114,43 +115,67 @@ pub struct EngineJob<'e, 'm> {
     pub engine: &'e dyn CheckEngine,
     /// What to check.
     pub spec: CheckSpec<'m>,
-    /// Budgets and switches.
-    pub options: EngineOptions,
+    /// Budgets, switches, retry policy, and the job's telemetry handle
+    /// (spans opened by the job nest under its current span).
+    pub config: CheckConfig,
     /// Property name for failure attribution, if the job is per-property.
     pub property: Option<String>,
     /// Cancellation token observed by the job (fresh = never cancelled).
     pub cancel: CancelToken,
 }
 
-/// Runs one engine job with panic containment and bounded retries.
-fn run_engine_job(job: &EngineJob<'_, '_>, retry: RetryPolicy) -> EngineOutcome {
+/// Runs one engine job with panic containment and the bounded retries of
+/// its config's [`CheckConfig::retry_policy`]. Each attempt runs under an
+/// `attempt` span; counters from every attempt accumulate into the
+/// returned run (panicked attempts report nothing — their checker died
+/// with them).
+fn run_engine_job(job: &EngineJob<'_, '_>) -> EngineRun {
+    let retry = job.config.retry_policy();
     let mut attempt = 0u32;
+    let mut counters = SolverCounters::default();
     loop {
-        let mut options = job.options.clone();
-        options.conflict_budget = retry.escalated_budget(job.options.conflict_budget, attempt);
+        let mut config = job.config.clone();
+        config.conflict_budget = retry.escalated_budget(job.config.conflict_budget, attempt);
+        let span = job
+            .config
+            .telemetry
+            .child(SpanKind::Attempt, job.engine.name());
+        span.gauge("attempt", u64::from(attempt) + 1);
+        config.telemetry = span.clone();
         let result = catch_unwind(AssertUnwindSafe(|| {
-            job.engine.check(&job.spec, &options, &job.cancel)
+            job.engine.check(&job.spec, &config, &job.cancel)
         }));
+        span.close();
         attempt += 1;
+        job.config.telemetry.gauge("attempts", u64::from(attempt));
         match result {
-            Ok(EngineOutcome::Failed(mut failure)) => {
-                failure.attempts = attempt;
-                if failure.property.is_none() {
-                    failure.property.clone_from(&job.property);
-                }
-                return EngineOutcome::Failed(failure);
+            Ok(run) => {
+                counters += &run.counters;
+                let outcome = match run.outcome {
+                    EngineOutcome::Failed(mut failure) => {
+                        failure.attempts = attempt;
+                        if failure.property.is_none() {
+                            failure.property.clone_from(&job.property);
+                        }
+                        EngineOutcome::Failed(failure)
+                    }
+                    outcome => outcome,
+                };
+                return EngineRun { outcome, counters };
             }
-            Ok(outcome) => return outcome,
             Err(payload) => {
                 if attempt > retry.max_retries {
-                    return EngineOutcome::Failed(JobFailure {
-                        engine: job.engine.name().to_string(),
-                        property: job.property.clone(),
-                        depth: 0,
-                        reason: FailureReason::Panic,
-                        detail: panic_message(payload.as_ref()),
-                        attempts: attempt,
-                    });
+                    return EngineRun {
+                        outcome: EngineOutcome::Failed(JobFailure {
+                            engine: job.engine.name().to_string(),
+                            property: job.property.clone(),
+                            depth: 0,
+                            reason: FailureReason::Panic,
+                            detail: panic_message(payload.as_ref()),
+                            attempts: attempt,
+                        }),
+                        counters,
+                    };
                 }
             }
         }
@@ -254,19 +279,34 @@ impl Portfolio {
         results
     }
 
-    /// Runs a batch of engine jobs with panic containment and the given
-    /// [`RetryPolicy`], returning outcomes in submission order. A job
-    /// whose retries are spent degrades to [`EngineOutcome::Failed`]
-    /// (reason [`FailureReason::Panic`]); the rest of the batch always
-    /// completes.
-    pub fn run_engine_jobs(
-        &self,
-        jobs: Vec<EngineJob<'_, '_>>,
-        retry: RetryPolicy,
-    ) -> Vec<EngineOutcome> {
+    /// Runs a batch of engine jobs with panic containment and each job's
+    /// own retry policy ([`CheckConfig::retry_policy`]), returning runs in
+    /// submission order. A job whose retries are spent degrades to
+    /// [`EngineOutcome::Failed`] (reason [`FailureReason::Panic`]); the
+    /// rest of the batch always completes.
+    ///
+    /// When telemetry is enabled, each job's span records a
+    /// `queue_wait_us` gauge: how long the job sat in the queue before a
+    /// worker picked it up. The clock is read only on the enabled path.
+    pub fn run_engine_jobs(&self, jobs: Vec<EngineJob<'_, '_>>) -> Vec<EngineRun> {
+        let submitted = jobs
+            .iter()
+            .any(|j| j.config.telemetry.enabled())
+            .then(Instant::now);
         let tasks: Vec<_> = jobs
             .into_iter()
-            .map(|job| move || run_engine_job(&job, retry))
+            .map(|job| {
+                move || {
+                    if let Some(t0) = submitted {
+                        if job.config.telemetry.enabled() {
+                            job.config
+                                .telemetry
+                                .gauge("queue_wait_us", t0.elapsed().as_micros() as u64);
+                        }
+                    }
+                    run_engine_job(&job)
+                }
+            })
             .collect();
         self.try_run(tasks)
             .into_iter()
@@ -296,61 +336,96 @@ impl Portfolio {
         &self,
         engines: &[&dyn CheckEngine],
         spec: &CheckSpec<'_>,
-        options: &EngineOptions,
-    ) -> (usize, EngineOutcome) {
+        config: &CheckConfig,
+    ) -> (usize, EngineRun) {
         assert!(!engines.is_empty(), "race needs at least one engine");
         let tokens: Vec<CancelToken> = engines.iter().map(|_| CancelToken::new()).collect();
-        let outcomes: Vec<Mutex<Option<EngineOutcome>>> =
+        // Each racer runs under its own attempt span; all spans are opened
+        // up front so their ids are deterministic in the profile even
+        // though racers finish in wall-clock order.
+        let racer_configs: Vec<CheckConfig> = engines
+            .iter()
+            .map(|e| {
+                let mut c = config.clone();
+                c.telemetry = config.telemetry.child(SpanKind::Attempt, e.name());
+                c
+            })
+            .collect();
+        let runs: Vec<Mutex<Option<EngineRun>>> =
             engines.iter().map(|_| Mutex::new(None)).collect();
         thread::scope(|s| {
             for (i, engine) in engines.iter().enumerate() {
                 let tokens = &tokens;
-                let outcomes = &outcomes;
+                let runs = &runs;
+                let racer_config = &racer_configs[i];
                 s.spawn(move || {
-                    let outcome =
-                        catch_unwind(AssertUnwindSafe(|| engine.check(spec, options, &tokens[i])))
-                            .unwrap_or_else(|payload| {
-                                EngineOutcome::Failed(JobFailure {
-                                    engine: engine.name().to_string(),
-                                    property: None,
-                                    depth: 0,
-                                    reason: FailureReason::Panic,
-                                    detail: panic_message(payload.as_ref()),
-                                    attempts: 1,
-                                })
-                            });
-                    if outcome.is_conclusive() {
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        engine.check(spec, racer_config, &tokens[i])
+                    }))
+                    .unwrap_or_else(|payload| {
+                        EngineRun::from(EngineOutcome::Failed(JobFailure {
+                            engine: engine.name().to_string(),
+                            property: None,
+                            depth: 0,
+                            reason: FailureReason::Panic,
+                            detail: panic_message(payload.as_ref()),
+                            attempts: 1,
+                        }))
+                    });
+                    racer_config.telemetry.close();
+                    if run.outcome.is_conclusive() {
                         for (j, t) in tokens.iter().enumerate() {
                             if j != i {
                                 t.cancel();
                             }
                         }
                     }
-                    *outcomes[i].lock().unwrap() = Some(outcome);
+                    *runs[i].lock().unwrap() = Some(run);
                 });
             }
         });
-        let outcomes: Vec<EngineOutcome> = outcomes
+        let runs: Vec<EngineRun> = runs
             .into_iter()
             .map(|slot| slot.into_inner().unwrap().expect("every racer reports"))
             .collect();
-        // Lowest-index conclusive outcome wins.
-        if let Some(idx) = outcomes.iter().position(|o| o.is_conclusive()) {
-            let outcome = outcomes.into_iter().nth(idx).expect("winner index valid");
-            return (idx, outcome);
+        // The race's total work (every racer, winners and cancelled
+        // losers alike) is charged to the winning run.
+        let mut total = SolverCounters::default();
+        for r in &runs {
+            total += &r.counters;
         }
-        // No winner: deepest proven depth among the inconclusive outcomes,
-        // ties to the lowest index; Failed outcomes guarantee nothing and
-        // are reported only when there is nothing else.
-        let idx = outcomes
+        let cancelled = runs
             .iter()
-            .enumerate()
-            .filter_map(|(i, o)| o.proven_depth().map(|d| (i, d)))
-            .max_by(|(ia, da), (ib, db)| da.cmp(db).then(ib.cmp(ia)))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        let outcome = outcomes.into_iter().nth(idx).expect("fallback index valid");
-        (idx, outcome)
+            .filter(|r| {
+                matches!(
+                    r.outcome,
+                    EngineOutcome::Unknown {
+                        cause: crate::engine::UnknownCause::Cancelled,
+                        ..
+                    }
+                )
+            })
+            .count() as u64;
+        // Lowest-index conclusive outcome wins; otherwise the deepest
+        // proven depth among the inconclusive outcomes, ties to the lowest
+        // index. Failed outcomes guarantee nothing and are reported only
+        // when there is nothing else.
+        let idx = runs
+            .iter()
+            .position(|r| r.outcome.is_conclusive())
+            .unwrap_or_else(|| {
+                runs.iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| r.outcome.proven_depth().map(|d| (i, d)))
+                    .max_by(|(ia, da), (ib, db)| da.cmp(db).then(ib.cmp(ia)))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            });
+        config.telemetry.gauge("race_winner", idx as u64);
+        config.telemetry.gauge("race_cancelled", cancelled);
+        let mut run = runs.into_iter().nth(idx).expect("winner index valid");
+        run.counters = total;
+        (idx, run)
     }
 }
 
@@ -460,15 +535,15 @@ mod tests {
         fn check(
             &self,
             spec: &CheckSpec<'_>,
-            options: &EngineOptions,
+            config: &CheckConfig,
             cancel: &CancelToken,
-        ) -> EngineOutcome {
-            self.budgets.lock().unwrap().push(options.conflict_budget);
+        ) -> EngineRun {
+            self.budgets.lock().unwrap().push(config.conflict_budget);
             let call = self.calls.fetch_add(1, Ordering::SeqCst);
             if call < self.panics {
                 panic!("injected fault on attempt {call}");
             }
-            BmcEngine.check(spec, options, cancel)
+            BmcEngine.check(spec, config, cancel)
         }
     }
 
@@ -476,12 +551,10 @@ mod tests {
         EngineJob {
             engine,
             spec,
-            options: EngineOptions {
-                max_depth: 8,
-                conflict_budget: Some(1000),
-                time_budget: None,
-                slice: false,
-            },
+            config: CheckConfig::default()
+                .depth(8)
+                .conflicts(Some(1000))
+                .no_timeout(),
             property: Some("t_or_not_t".to_string()),
             cancel: CancelToken::new(),
         }
@@ -492,13 +565,18 @@ mod tests {
         let m = toggle_module();
         let spec = CheckSpec::new(&m).property("t_or_not_t", m.output_node("stuck").unwrap());
         let flaky = FlakyEngine::new(2);
-        let outcomes = Portfolio::new(1)
-            .run_engine_jobs(vec![job(&flaky, spec)], RetryPolicy::with_retries(2));
-        assert_eq!(outcomes.len(), 1);
-        match &outcomes[0] {
+        let mut j = job(&flaky, spec);
+        j.config = j.config.retries(2);
+        let runs = Portfolio::new(1).run_engine_jobs(vec![j]);
+        assert_eq!(runs.len(), 1);
+        match &runs[0].outcome {
             EngineOutcome::BoundReached { depth: 8 } => {}
             other => panic!("expected recovery to BoundReached, got {other:?}"),
         }
+        assert!(
+            runs[0].counters.solve_calls > 0,
+            "the surviving attempt's solver work must be reported"
+        );
         // Attempt 0 at the base budget, then 2x, then 4x.
         assert_eq!(
             *flaky.budgets.lock().unwrap(),
@@ -511,9 +589,10 @@ mod tests {
         let m = toggle_module();
         let spec = CheckSpec::new(&m).property("t_or_not_t", m.output_node("stuck").unwrap());
         let flaky = FlakyEngine::new(u32::MAX);
-        let outcomes = Portfolio::new(1)
-            .run_engine_jobs(vec![job(&flaky, spec)], RetryPolicy::with_retries(1));
-        match &outcomes[0] {
+        let mut j = job(&flaky, spec);
+        j.config = j.config.retries(1);
+        let runs = Portfolio::new(1).run_engine_jobs(vec![j]);
+        match &runs[0].outcome {
             EngineOutcome::Failed(f) => {
                 assert_eq!(f.reason, FailureReason::Panic);
                 assert_eq!(f.attempts, 2);
@@ -529,16 +608,11 @@ mod tests {
     fn race_returns_first_conclusive_result() {
         let m = toggle_module();
         let spec = CheckSpec::new(&m).property("t_or_not_t", m.output_node("stuck").unwrap());
-        let opts = EngineOptions {
-            max_depth: 8,
-            conflict_budget: None,
-            time_budget: None,
-            slice: false,
-        };
-        let (idx, outcome) = Portfolio::new(2).race(&[&KInductionEngine, &BmcEngine], &spec, &opts);
+        let config = CheckConfig::default().depth(8).no_timeout();
+        let (idx, run) = Portfolio::new(2).race(&[&KInductionEngine, &BmcEngine], &spec, &config);
         assert!(idx < 2);
-        assert!(outcome.is_conclusive(), "got {outcome:?}");
-        match outcome {
+        assert!(run.outcome.is_conclusive(), "got {:?}", run.outcome);
+        match run.outcome {
             EngineOutcome::Proved { .. } | EngineOutcome::BoundReached { .. } => {}
             other => panic!("tautology must not be refuted: {other:?}"),
         }
@@ -558,13 +632,13 @@ mod tests {
         fn check(
             &self,
             _spec: &CheckSpec<'_>,
-            _options: &EngineOptions,
+            _config: &CheckConfig,
             _cancel: &CancelToken,
-        ) -> EngineOutcome {
+        ) -> EngineRun {
             if !self.delay.is_zero() {
                 thread::sleep(self.delay);
             }
-            self.outcome.clone()
+            self.outcome.clone().into()
         }
     }
 
@@ -572,7 +646,7 @@ mod tests {
     fn race_winner_is_lowest_index_conclusive_not_first_to_finish() {
         let m = toggle_module();
         let spec = CheckSpec::new(&m).property("t_or_not_t", m.output_node("stuck").unwrap());
-        let opts = EngineOptions::default();
+        let config = CheckConfig::default();
         // Engine 0 is conclusive but slow; engine 1 is conclusive and
         // instant. Priority order must still pick engine 0.
         let slow = FixedEngine {
@@ -583,9 +657,9 @@ mod tests {
             outcome: EngineOutcome::Proved { induction_depth: 1 },
             delay: std::time::Duration::ZERO,
         };
-        let (idx, outcome) = Portfolio::new(2).race(&[&slow, &fast], &spec, &opts);
+        let (idx, run) = Portfolio::new(2).race(&[&slow, &fast], &spec, &config);
         assert_eq!(idx, 0, "lowest-index conclusive engine must win");
-        match outcome {
+        match run.outcome {
             EngineOutcome::BoundReached { depth: 8 } => {}
             other => panic!("expected engine 0's outcome, got {other:?}"),
         }
@@ -595,7 +669,7 @@ mod tests {
     fn race_fallback_prefers_deepest_inconclusive_outcome() {
         let m = toggle_module();
         let spec = CheckSpec::new(&m).property("t_or_not_t", m.output_node("stuck").unwrap());
-        let opts = EngineOptions::default();
+        let config = CheckConfig::default();
         let shallow = FixedEngine {
             outcome: EngineOutcome::Exhausted { depth: 3 },
             delay: std::time::Duration::ZERO,
@@ -604,9 +678,9 @@ mod tests {
             outcome: EngineOutcome::Exhausted { depth: 7 },
             delay: std::time::Duration::ZERO,
         };
-        let (idx, outcome) = Portfolio::new(2).race(&[&shallow, &deep], &spec, &opts);
+        let (idx, run) = Portfolio::new(2).race(&[&shallow, &deep], &spec, &config);
         assert_eq!(idx, 1, "deeper exhausted outcome must win the fallback");
-        match outcome {
+        match run.outcome {
             EngineOutcome::Exhausted { depth: 7 } => {}
             other => panic!("expected depth-7 exhaustion, got {other:?}"),
         }
@@ -616,15 +690,10 @@ mod tests {
     fn race_survives_a_panicking_racer() {
         let m = toggle_module();
         let spec = CheckSpec::new(&m).property("t_or_not_t", m.output_node("stuck").unwrap());
-        let opts = EngineOptions {
-            max_depth: 8,
-            conflict_budget: None,
-            time_budget: None,
-            slice: false,
-        };
+        let config = CheckConfig::default().depth(8).no_timeout();
         let flaky = FlakyEngine::new(u32::MAX);
-        let (idx, outcome) = Portfolio::new(2).race(&[&flaky, &BmcEngine], &spec, &opts);
+        let (idx, run) = Portfolio::new(2).race(&[&flaky, &BmcEngine], &spec, &config);
         assert_eq!(idx, 1, "healthy engine must win over the panicking one");
-        assert!(outcome.is_conclusive(), "got {outcome:?}");
+        assert!(run.outcome.is_conclusive(), "got {:?}", run.outcome);
     }
 }

@@ -1,15 +1,13 @@
 //! End-to-end model-checking tests on small sequential designs.
 
-use autocc_bmc::{Bmc, BmcOptions, CheckOutcome, ProveOutcome};
+use autocc_bmc::{Bmc, CheckConfig, CheckOutcome, ProveOutcome};
 use autocc_hdl::{Bv, Module, ModuleBuilder};
 use std::time::Duration;
 
-fn options(depth: usize) -> BmcOptions {
-    BmcOptions {
-        max_depth: depth,
-        conflict_budget: None,
-        time_budget: Some(Duration::from_secs(60)),
-    }
+fn options(depth: usize) -> CheckConfig {
+    CheckConfig::default()
+        .depth(depth)
+        .timeout(Duration::from_secs(60))
 }
 
 /// A counter that saturates at a limit.
@@ -199,11 +197,10 @@ fn budget_exhaustion_reports_depth() {
     let m = saturating_counter(5);
     let mut bmc = Bmc::new(&m);
     bmc.add_property("le_limit", m.output_node("le_limit").unwrap());
-    let opts = BmcOptions {
-        max_depth: 1000,
-        conflict_budget: Some(1),
-        time_budget: None,
-    };
+    let opts = CheckConfig::default()
+        .depth(1000)
+        .conflicts(Some(1))
+        .no_timeout();
     match bmc.check(&opts) {
         CheckOutcome::Exhausted { .. } | CheckOutcome::BoundReached { .. } => {}
         other => panic!("unexpected {other:?}"),

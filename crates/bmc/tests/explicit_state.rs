@@ -3,7 +3,7 @@
 //! counterexample depth — with an explicit-state breadth-first reachability
 //! search that enumerates every input at every step.
 
-use autocc_bmc::{Bmc, BmcOptions, CheckOutcome};
+use autocc_bmc::{Bmc, CheckConfig, CheckOutcome};
 use autocc_hdl::{Bv, Module, ModuleBuilder, NodeId, Sim};
 use proptest::prelude::*;
 use std::collections::{HashSet, VecDeque};
@@ -137,11 +137,9 @@ proptest! {
 
         let mut bmc = Bmc::new(&module);
         bmc.add_property("prop", prop);
-        let outcome = bmc.check(&BmcOptions {
-            max_depth,
-            conflict_budget: None,
-            time_budget: Some(Duration::from_secs(60)),
-        });
+        let outcome = bmc.check(&CheckConfig::default()
+            .depth(max_depth)
+            .timeout(Duration::from_secs(60)));
         match (outcome, expected) {
             (CheckOutcome::Cex(cex), Some(depth)) => {
                 prop_assert_eq!(cex.depth, depth, "minimal CEX depth must match BFS");

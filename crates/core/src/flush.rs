@@ -16,7 +16,7 @@
 //! playing the role of the RTL edit between FPV runs.
 
 use crate::spec::FtSpec;
-use autocc_bmc::BmcOptions;
+use autocc_bmc::CheckConfig;
 use autocc_hdl::Module;
 use std::collections::BTreeSet;
 
@@ -24,7 +24,7 @@ use std::collections::BTreeSet;
 #[derive(Clone, Debug)]
 pub struct FlushSynthesisConfig {
     /// Options for each AutoCC check run.
-    pub check_options: BmcOptions,
+    pub check_options: CheckConfig,
     /// Safety bound on Algorithm-1 iterations.
     pub max_iterations: usize,
 }
@@ -32,7 +32,7 @@ pub struct FlushSynthesisConfig {
 impl Default for FlushSynthesisConfig {
     fn default() -> FlushSynthesisConfig {
         FlushSynthesisConfig {
-            check_options: BmcOptions::default(),
+            check_options: CheckConfig::default(),
             max_iterations: 64,
         }
     }

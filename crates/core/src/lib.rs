@@ -32,7 +32,7 @@
 //! ```
 //! use autocc_hdl::{Bv, ModuleBuilder};
 //! use autocc_core::FtSpec;
-//! use autocc_bmc::BmcOptions;
+//! use autocc_bmc::CheckConfig;
 //!
 //! // A 4-bit "configuration register" device: writes latch, reads expose
 //! // the stored value only while `re` is high — so the victim can park a
@@ -52,7 +52,7 @@
 //! // Default testbench: no flush, no arch state. The register leaks:
 //! // the spy reads back whatever the victim configured.
 //! let ft = FtSpec::new(&dut).generate();
-//! let report = ft.check(&BmcOptions { max_depth: 12, ..Default::default() });
+//! let report = ft.check(&CheckConfig::default().depth(12));
 //! let cex = report.outcome.cex().expect("cfg register is a covert channel");
 //! assert_eq!(cex.property, "as__q_eq");
 //! assert_eq!(cex.diverging_state[0].name, "cfg");
@@ -72,12 +72,14 @@ pub use flush::{
     FlushSynthesisResult,
 };
 pub use report::{
-    failure_summary, format_duration, format_table, format_table_stable, report_exit_code,
-    RowStatus, TableRow,
+    failure_summary, format_duration, format_table, format_table_detailed, format_table_stable,
+    report_exit_code, RowStatus, TableRow,
 };
 pub use spec::{AssumeHook, FlushDone, FtSpec, MiterHook};
 pub use sva::to_sva;
 pub use testbench::{
-    AutoCcOutcome, CheckSettings, CovertChannelCex, FpvTestbench, MonitorHandles, PortRole,
-    RunReport, StateDivergence,
+    AutoCcOutcome, CheckReport, CovertChannelCex, FpvTestbench, MonitorHandles, PortRole,
+    StateDivergence,
 };
+#[allow(deprecated)]
+pub use testbench::{CheckSettings, RunReport};

@@ -4,7 +4,8 @@
 //! every experiment prints rows in the same `Description | Depth | Time`
 //! shape as Tables 1 and 2.
 
-use crate::testbench::AutoCcOutcome;
+use crate::testbench::{AutoCcOutcome, CheckReport};
+use autocc_telemetry::SolverCounters;
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -39,6 +40,9 @@ pub struct TableRow {
     /// Diagnostic detail for degraded rows (panic payloads, replay
     /// divergence reports), printed in the failure summary.
     pub detail: Option<String>,
+    /// Solver work behind the row, when the run collected it. Rendered
+    /// only by [`format_table_detailed`]; the plain tables ignore it.
+    pub stats: Option<SolverCounters>,
 }
 
 impl TableRow {
@@ -93,7 +97,26 @@ impl TableRow {
             outcome: label,
             status,
             detail,
+            stats: None,
         }
+    }
+
+    /// Builds a row from a whole [`CheckReport`]: outcome, wall-clock time
+    /// and solver counters in one step.
+    pub fn from_report(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        report: &CheckReport,
+    ) -> TableRow {
+        TableRow::from_outcome(id, description, &report.outcome, report.elapsed)
+            .with_stats(report.stats)
+    }
+
+    /// Attaches solver counters to the row (shown by
+    /// [`format_table_detailed`]).
+    pub fn with_stats(mut self, stats: SolverCounters) -> TableRow {
+        self.stats = Some(stats);
+        self
     }
 
     /// A row for an experiment whose harness itself failed (e.g. a panic
@@ -111,6 +134,7 @@ impl TableRow {
             outcome: "FAILED (panic)".to_string(),
             status: RowStatus::Failed,
             detail: Some(detail.into()),
+            stats: None,
         }
     }
 }
@@ -202,6 +226,59 @@ pub fn format_table(title: &str, rows: &[TableRow]) -> String {
     out
 }
 
+/// Renders rows as an aligned text table with the per-row solver-work
+/// breakdown: Time plus Solves and Conflicts columns (from
+/// [`TableRow::stats`]; `-` for rows without counters).
+pub fn format_table_detailed(title: &str, rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let id_w = rows.iter().map(|r| r.id.len()).max().unwrap_or(2).max(2);
+    let desc_w = rows
+        .iter()
+        .map(|r| r.description.len())
+        .max()
+        .unwrap_or(11)
+        .max(11);
+    let out_w = rows
+        .iter()
+        .map(|r| r.outcome.len())
+        .max()
+        .unwrap_or(7)
+        .max(7);
+    let _ = writeln!(
+        out,
+        "{:id_w$}  {:desc_w$}  {:>5}  {:>9}  {:>7}  {:>10}  {:out_w$}",
+        "Id", "Description", "Depth", "Time", "Solves", "Conflicts", "Outcome"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(id_w + desc_w + out_w + 44));
+    for r in rows {
+        let depth = r
+            .depth
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        let solves = r
+            .stats
+            .map(|s| s.solve_calls.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        let conflicts = r
+            .stats
+            .map(|s| s.conflicts.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "{:id_w$}  {:desc_w$}  {:>5}  {:>9}  {:>7}  {:>10}  {:out_w$}",
+            r.id,
+            r.description,
+            depth,
+            format_duration(r.time),
+            solves,
+            conflicts,
+            r.outcome
+        );
+    }
+    out
+}
+
 /// Renders rows as an aligned text table **without** the Time column.
 ///
 /// Runtimes vary run to run, so this is the form to use when output must
@@ -266,6 +343,7 @@ mod tests {
                 outcome: "CEX as__dmem_hwrite_eq".into(),
                 status: RowStatus::Ok,
                 detail: None,
+                stats: None,
             },
             TableRow {
                 id: "V5".into(),
@@ -275,6 +353,7 @@ mod tests {
                 outcome: "CEX as__imem_haddr_eq".into(),
                 status: RowStatus::Ok,
                 detail: None,
+                stats: None,
             },
         ];
         let table = format_table("Table 2: Vscale", &rows);
@@ -294,11 +373,59 @@ mod tests {
             outcome: "CEX as__dmem_hwrite_eq".into(),
             status: RowStatus::Ok,
             detail: None,
+            stats: None,
         };
         let fast = format_table_stable("Table 2: Vscale", &[row(Duration::from_millis(3))]);
         let slow = format_table_stable("Table 2: Vscale", &[row(Duration::from_secs(90))]);
         assert_eq!(fast, slow, "stable tables must not encode runtimes");
         assert!(!fast.contains("Time"));
+    }
+
+    #[test]
+    fn detailed_table_shows_solver_work_per_row() {
+        let with = TableRow {
+            id: "V1".into(),
+            description: "with counters".into(),
+            depth: Some(6),
+            time: Duration::from_millis(800),
+            outcome: "CEX as__y_eq".into(),
+            status: RowStatus::Ok,
+            detail: None,
+            stats: None,
+        }
+        .with_stats(SolverCounters {
+            solve_calls: 12,
+            conflicts: 3456,
+            ..SolverCounters::default()
+        });
+        let without = TableRow {
+            id: "V2".into(),
+            description: "without counters".into(),
+            depth: None,
+            time: Duration::from_secs(2),
+            outcome: "clean@20".into(),
+            status: RowStatus::Ok,
+            detail: None,
+            stats: None,
+        };
+        let table = format_table_detailed("Detailed", &[with, without]);
+        assert!(table.contains("Solves"));
+        assert!(table.contains("Conflicts"));
+        assert!(table.contains("3456"));
+        assert!(table.contains("12"));
+        let v2 = table.lines().find(|l| l.starts_with("V2")).unwrap();
+        assert!(v2.contains('-'), "missing stats render as dashes: {v2}");
+        // The plain table is unchanged by stats.
+        let plain = format_table(
+            "Plain",
+            &[TableRow::from_outcome(
+                "V3",
+                "x",
+                &AutoCcOutcome::Clean { bound: 4 },
+                Duration::ZERO,
+            )],
+        );
+        assert!(!plain.contains("Conflicts"));
     }
 
     #[test]
@@ -311,6 +438,7 @@ mod tests {
             outcome: "CEX as__y_eq".into(),
             status: RowStatus::Ok,
             detail: None,
+            stats: None,
         };
         assert_eq!(report_exit_code(std::slice::from_ref(&ok)), 0);
         assert!(failure_summary(std::slice::from_ref(&ok)).is_none());

@@ -6,13 +6,15 @@
 //! root-cause analysis of Sec. 4 already applied: the microarchitectural
 //! state that differed between universes when the spy process started.
 
+#[allow(deprecated)]
+use autocc_bmc::BmcOptions;
 use autocc_bmc::{
-    Bmc, BmcEngine, BmcOptions, CancelToken, CheckEngine, CheckFailure, CheckOutcome, CheckSpec,
-    EngineJob, EngineOptions, EngineOutcome, FailureReason, Falsifier, JobFailure,
-    KInductionEngine, Portfolio, ProveOutcome, ReplayedTrace, RetryPolicy, StopCause, Trace,
-    UnknownCause,
+    Bmc, BmcEngine, CancelToken, CheckConfig, CheckEngine, CheckFailure, CheckOutcome, CheckSpec,
+    EngineJob, EngineOutcome, FailureReason, Falsifier, JobFailure, KInductionEngine, Portfolio,
+    ProveOutcome, ReplayedTrace, RetryPolicy, StopCause, Trace, UnknownCause,
 };
 use autocc_hdl::{Bv, Instance, Module, NodeId, RegId, Waveform};
+use autocc_telemetry::{SolverCounters, SpanKind, Telemetry};
 use std::time::{Duration, Instant};
 
 /// Role of each miter input port relative to the DUT interface.
@@ -157,21 +159,27 @@ impl AutoCcOutcome {
     }
 }
 
-/// Result of a testbench run, with timing (Table 1/2's "Time").
+/// Result of a testbench run: the outcome, its wall-clock time (Table
+/// 1/2's "Time"), and the solver work behind it. `stats` is collected
+/// unconditionally (a struct copy per job, no clock reads), so reports can
+/// print conflict counts even with telemetry disabled.
 #[derive(Clone, Debug)]
-pub struct RunReport {
+pub struct CheckReport {
     /// The outcome.
     pub outcome: AutoCcOutcome,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
+    /// Aggregate solver counters across every job of the run.
+    pub stats: SolverCounters,
 }
 
-/// Execution settings for the engine/portfolio checking path: solver
-/// budgets plus worker count and cone-of-influence slicing.
-///
-/// With no time budget, the merged outcome is identical for every `jobs`
-/// value: per-property jobs run on private solvers and the merge is
-/// order-indexed, never completion-ordered.
+/// The former name of [`CheckReport`].
+#[deprecated(note = "use `CheckReport`")]
+pub type RunReport = CheckReport;
+
+/// Execution settings for the engine/portfolio checking path.
+#[deprecated(note = "use `CheckConfig`; convert with `CheckConfig::from(&settings)`")]
+#[allow(deprecated)]
 #[derive(Clone, Debug)]
 pub struct CheckSettings {
     /// Solver budgets (depth, conflicts, wall-clock).
@@ -184,6 +192,7 @@ pub struct CheckSettings {
     pub retry: RetryPolicy,
 }
 
+#[allow(deprecated)]
 impl CheckSettings {
     /// Serial, unsliced settings — the legacy behaviour.
     pub fn serial(options: &BmcOptions) -> CheckSettings {
@@ -212,9 +221,16 @@ impl CheckSettings {
         self.retry = RetryPolicy::with_retries(retries);
         self
     }
+}
 
-    fn engine_options(&self) -> EngineOptions {
-        EngineOptions::from_bmc(&self.options).with_slice(self.slice)
+#[allow(deprecated)]
+impl From<&CheckSettings> for CheckConfig {
+    fn from(settings: &CheckSettings) -> CheckConfig {
+        CheckConfig::from(&settings.options)
+            .jobs(settings.jobs)
+            .slice(settings.slice)
+            .retries(settings.retry.max_retries)
+            .retry_escalation(settings.retry.escalation)
     }
 }
 
@@ -323,8 +339,8 @@ impl FpvTestbench {
         self.threshold
     }
 
-    fn configure<'t>(&'t self) -> Bmc<'t> {
-        let mut bmc = Bmc::new(&self.miter);
+    fn configure<'t>(&'t self, telemetry: Telemetry) -> Bmc<'t> {
+        let mut bmc = Bmc::with_telemetry(&self.miter, telemetry);
         for &c in &self.constraints {
             bmc.add_constraint(c);
         }
@@ -335,21 +351,27 @@ impl FpvTestbench {
     }
 
     /// Runs the exhaustive search for covert channels up to
-    /// `options.max_depth` cycles.
-    pub fn check(&self, options: &BmcOptions) -> RunReport {
+    /// `config.max_depth` cycles.
+    pub fn check(&self, config: &CheckConfig) -> CheckReport {
         let start = Instant::now();
-        let mut bmc = self.configure();
-        let outcome = match bmc.check(options) {
-            CheckOutcome::Cex(cex) => self.certified_outcome(&cex),
+        let span = config.telemetry.child(SpanKind::Check, "check");
+        let mut run_config = config.clone();
+        run_config.telemetry = span.clone();
+        let mut bmc = self.configure(span.clone());
+        let outcome = match bmc.check(&run_config) {
+            CheckOutcome::Cex(cex) => self.certified_outcome(&cex, &span),
             CheckOutcome::BoundReached { depth } => AutoCcOutcome::Clean { bound: depth },
             CheckOutcome::Exhausted { depth, cause } => stop_to_outcome(depth, cause),
             CheckOutcome::Failed(failure) => AutoCcOutcome::Failed {
                 failures: vec![check_failure_to_job("bmc", failure)],
             },
         };
-        RunReport {
+        let stats = bmc.counters();
+        span.close();
+        CheckReport {
             outcome,
             elapsed: start.elapsed(),
+            stats,
         }
     }
 
@@ -364,12 +386,12 @@ impl FpvTestbench {
     /// so `jobs = 1` and `jobs = N` agree exactly (absent time budgets,
     /// which are inherently machine-dependent).
     ///
-    /// Every job runs panic-contained under `settings.retry`; a job whose
-    /// retries are spent degrades that property to a failure instead of
-    /// aborting the batch. A counterexample is reported only after
-    /// [`FpvTestbench::certify_cex`] replays it successfully.
-    pub fn check_portfolio(&self, settings: &CheckSettings) -> RunReport {
-        self.check_portfolio_with(settings, &BmcEngine)
+    /// Every job runs panic-contained under the config's retry policy; a
+    /// job whose retries are spent degrades that property to a failure
+    /// instead of aborting the batch. A counterexample is reported only
+    /// after [`FpvTestbench::certify_cex`] replays it successfully.
+    pub fn check_portfolio(&self, config: &CheckConfig) -> CheckReport {
+        self.check_portfolio_with(config, &BmcEngine)
     }
 
     /// [`FpvTestbench::check_portfolio`] with an explicit engine — the
@@ -377,25 +399,40 @@ impl FpvTestbench {
     /// hang interruption, and CEX certification with misbehaving engines.
     pub fn check_portfolio_with(
         &self,
-        settings: &CheckSettings,
+        config: &CheckConfig,
         engine: &dyn CheckEngine,
-    ) -> RunReport {
+    ) -> CheckReport {
         let start = Instant::now();
-        let engine_opts = settings.engine_options();
+        // One check span per generated assertion; the spans stay open
+        // while the scheduler runs and close once their job has reported.
+        let mut spans: Vec<Telemetry> = Vec::with_capacity(self.properties.len());
         let jobs: Vec<EngineJob<'_, '_>> = self
             .properties
             .iter()
-            .map(|(name, p)| EngineJob {
-                engine,
-                spec: CheckSpec::new(&self.miter)
-                    .property(name.clone(), *p)
-                    .constraints(&self.constraints),
-                options: engine_opts.clone(),
-                property: Some(name.clone()),
-                cancel: CancelToken::new(),
+            .map(|(name, p)| {
+                let span = config.telemetry.child(SpanKind::Check, name);
+                spans.push(span.clone());
+                let mut job_config = config.clone();
+                job_config.telemetry = span;
+                EngineJob {
+                    engine,
+                    spec: CheckSpec::new(&self.miter)
+                        .property(name.clone(), *p)
+                        .constraints(&self.constraints),
+                    config: job_config,
+                    property: Some(name.clone()),
+                    cancel: CancelToken::new(),
+                }
             })
             .collect();
-        let outcomes = Portfolio::new(settings.jobs).run_engine_jobs(jobs, settings.retry);
+        let runs = Portfolio::new(config.jobs).run_engine_jobs(jobs);
+        for span in &spans {
+            span.close();
+        }
+        let mut stats = SolverCounters::default();
+        for run in &runs {
+            stats += &run.counters;
+        }
 
         // Deterministic merge, in property-registration order.
         let mut best_cex: Option<(usize, usize, autocc_bmc::Cex)> = None;
@@ -403,8 +440,8 @@ impl FpvTestbench {
         let mut unknown: Option<(usize, UnknownCause)> = None;
         let mut exhausted_bound: Option<usize> = None;
         let mut clean_bound: Option<usize> = None;
-        for (i, outcome) in outcomes.into_iter().enumerate() {
-            match outcome {
+        for (i, run) in runs.into_iter().enumerate() {
+            match run.outcome {
                 EngineOutcome::Cex(cex) => {
                     if best_cex
                         .as_ref()
@@ -437,10 +474,12 @@ impl FpvTestbench {
         // certification is a checker fault and joins the failures instead.
         let mut certified: Option<CovertChannelCex> = None;
         if let Some((_, _, cex)) = best_cex {
+            let certify = config.telemetry.child(SpanKind::Phase, "certify");
             match self.certify_cex(&cex) {
                 Ok(cc) => certified = Some(cc),
                 Err(f) => failures.push(f),
             }
+            certify.close();
         }
         let outcome = if let Some(cc) = certified {
             AutoCcOutcome::Cex(Box::new(cc))
@@ -452,12 +491,13 @@ impl FpvTestbench {
             AutoCcOutcome::Exhausted { bound }
         } else {
             AutoCcOutcome::Clean {
-                bound: clean_bound.unwrap_or(settings.options.max_depth),
+                bound: clean_bound.unwrap_or(config.max_depth),
             }
         };
-        RunReport {
+        CheckReport {
             outcome,
             elapsed: start.elapsed(),
+            stats,
         }
     }
 
@@ -465,25 +505,30 @@ impl FpvTestbench {
     /// this races [`KInductionEngine`] against a [`Falsifier`]-wrapped
     /// [`BmcEngine`] over the whole assertion set (first conclusive result
     /// wins, the loser is cancelled); serially it runs k-induction alone.
-    pub fn prove_portfolio(&self, settings: &CheckSettings) -> RunReport {
+    pub fn prove_portfolio(&self, config: &CheckConfig) -> CheckReport {
         let start = Instant::now();
+        let span = config.telemetry.child(SpanKind::Check, "prove");
         let spec = CheckSpec {
             module: &self.miter,
             properties: self.properties.clone(),
             constraints: self.constraints.clone(),
         };
-        let opts = settings.engine_options();
-        let engine_outcome = if settings.jobs > 1 {
+        let mut run_config = config.clone();
+        run_config.telemetry = span.clone();
+        let run = if config.jobs > 1 {
             let falsifier = Falsifier(BmcEngine);
-            let (_, outcome) =
-                Portfolio::new(settings.jobs).race(&[&KInductionEngine, &falsifier], &spec, &opts);
-            outcome
+            let (_, run) = Portfolio::new(config.jobs).race(
+                &[&KInductionEngine, &falsifier],
+                &spec,
+                &run_config,
+            );
+            run
         } else {
-            KInductionEngine.check(&spec, &opts, &CancelToken::new())
+            KInductionEngine.check(&spec, &run_config, &CancelToken::new())
         };
-        let outcome = match engine_outcome {
+        let outcome = match run.outcome {
             EngineOutcome::Proved { induction_depth } => AutoCcOutcome::Proved { induction_depth },
-            EngineOutcome::Cex(cex) => self.certified_outcome(&cex),
+            EngineOutcome::Cex(cex) => self.certified_outcome(&cex, &span),
             EngineOutcome::BoundReached { depth } => AutoCcOutcome::Clean { bound: depth },
             EngineOutcome::Exhausted { depth } => AutoCcOutcome::Exhausted { bound: depth },
             EngineOutcome::Unknown { depth, cause } => AutoCcOutcome::Unknown {
@@ -492,27 +537,35 @@ impl FpvTestbench {
             },
             EngineOutcome::Failed(f) => AutoCcOutcome::Failed { failures: vec![f] },
         };
-        RunReport {
+        span.close();
+        CheckReport {
             outcome,
             elapsed: start.elapsed(),
+            stats: run.counters,
         }
     }
 
     /// Attempts a full proof by k-induction (plus base-case BMC).
-    pub fn prove(&self, options: &BmcOptions) -> RunReport {
+    pub fn prove(&self, config: &CheckConfig) -> CheckReport {
         let start = Instant::now();
-        let mut bmc = self.configure();
-        let outcome = match bmc.prove(options) {
+        let span = config.telemetry.child(SpanKind::Check, "prove");
+        let mut run_config = config.clone();
+        run_config.telemetry = span.clone();
+        let mut bmc = self.configure(span.clone());
+        let outcome = match bmc.prove(&run_config) {
             ProveOutcome::Proved { induction_depth } => AutoCcOutcome::Proved { induction_depth },
-            ProveOutcome::Cex(cex) => self.certified_outcome(&cex),
+            ProveOutcome::Cex(cex) => self.certified_outcome(&cex, &span),
             ProveOutcome::Exhausted { bound, cause } => stop_to_outcome(bound, cause),
             ProveOutcome::Failed(failure) => AutoCcOutcome::Failed {
                 failures: vec![check_failure_to_job("k-induction", failure)],
             },
         };
-        RunReport {
+        let stats = bmc.counters();
+        span.close();
+        CheckReport {
             outcome,
             elapsed: start.elapsed(),
+            stats,
         }
     }
 
@@ -585,12 +638,16 @@ impl FpvTestbench {
         Ok(self.analyze_cex(cex))
     }
 
-    /// Certifies `cex` and wraps the result as an outcome.
-    fn certified_outcome(&self, cex: &autocc_bmc::Cex) -> AutoCcOutcome {
-        match self.certify_cex(cex) {
+    /// Certifies `cex` (under a `certify` phase span) and wraps the result
+    /// as an outcome.
+    fn certified_outcome(&self, cex: &autocc_bmc::Cex, telemetry: &Telemetry) -> AutoCcOutcome {
+        let certify = telemetry.child(SpanKind::Phase, "certify");
+        let outcome = match self.certify_cex(cex) {
             Ok(cc) => AutoCcOutcome::Cex(Box::new(cc)),
             Err(f) => AutoCcOutcome::Failed { failures: vec![f] },
-        }
+        };
+        certify.close();
+        outcome
     }
 
     /// Root-cause analysis (the paper's `FindCause`): replay the trace and

@@ -3,18 +3,16 @@
 //! architectural-state refinement, transfer-period effects, and the
 //! flush-synthesis algorithms.
 
-use autocc_bmc::BmcOptions;
+use autocc_bmc::CheckConfig;
 use autocc_core::{decremental_flush, incremental_flush, FlushSynthesisConfig, FtSpec, PortRole};
 use autocc_hdl::{Bv, Module, ModuleBuilder, NodeId};
 use std::collections::BTreeSet;
 use std::time::Duration;
 
-fn opts(depth: usize) -> BmcOptions {
-    BmcOptions {
-        max_depth: depth,
-        conflict_budget: None,
-        time_budget: Some(Duration::from_secs(120)),
-    }
+fn opts(depth: usize) -> CheckConfig {
+    CheckConfig::default()
+        .depth(depth)
+        .timeout(Duration::from_secs(120))
 }
 
 /// A device with a write-once config register readable via `re`, plus an

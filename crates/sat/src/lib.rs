@@ -51,4 +51,4 @@ pub use brute::{check_model, solve_brute_force, BRUTE_FORCE_VAR_LIMIT};
 pub use clause::{Clause, ClauseDb, ClauseRef};
 pub use dimacs::{Cnf, ParseDimacsError};
 pub use lit::{LBool, Lit, Var};
-pub use solver::{SolveResult, Solver, Stats};
+pub use solver::{ProgressHook, SolveResult, Solver, Stats};

@@ -44,8 +44,10 @@ pub enum SolveResult {
 const DEFAULT_POLL_INTERVAL: u64 = 128;
 
 /// Aggregate search statistics, reset never; useful for benches and reports.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
+    /// Number of `solve`/`solve_with` invocations.
+    pub solve_calls: u64,
     /// Number of conflicts encountered.
     pub conflicts: u64,
     /// Number of decisions made.
@@ -60,6 +62,26 @@ pub struct Stats {
     pub deleted_clauses: u64,
 }
 
+impl Stats {
+    /// Component-wise difference against an earlier snapshot — the work
+    /// done *since* `baseline`. Saturating, because `learnt_clauses` is a
+    /// level (clauses currently held) rather than a monotone counter and
+    /// can shrink across database reductions.
+    pub fn diff(&self, baseline: &Stats) -> Stats {
+        Stats {
+            solve_calls: self.solve_calls.saturating_sub(baseline.solve_calls),
+            conflicts: self.conflicts.saturating_sub(baseline.conflicts),
+            decisions: self.decisions.saturating_sub(baseline.decisions),
+            propagations: self.propagations.saturating_sub(baseline.propagations),
+            restarts: self.restarts.saturating_sub(baseline.restarts),
+            learnt_clauses: self.learnt_clauses.saturating_sub(baseline.learnt_clauses),
+            deleted_clauses: self
+                .deleted_clauses
+                .saturating_sub(baseline.deleted_clauses),
+        }
+    }
+}
+
 #[derive(Clone, Copy)]
 struct Watcher {
     cref: ClauseRef,
@@ -67,6 +89,11 @@ struct Watcher {
     /// true the clause is satisfied and the watch list walk can skip it.
     blocker: Lit,
 }
+
+/// Read-only mid-search observer installed with
+/// [`Solver::set_progress_hook`]; sees a [`Stats`] snapshot at every
+/// deadline/interrupt poll.
+pub type ProgressHook = Box<dyn Fn(&Stats) + Send>;
 
 const VAR_DECAY: f64 = 0.95;
 const CLAUSE_DECAY: f64 = 0.999;
@@ -124,6 +151,9 @@ pub struct Solver {
     /// Pluggable interrupt source, polled every `poll_interval` conflicts;
     /// returning `true` stops the search with [`SolveResult::Stopped`].
     interrupt: Option<Box<dyn Fn() -> bool + Send>>,
+    /// Read-only observer, polled at the same cadence as `interrupt`;
+    /// never influences the search.
+    progress: Option<ProgressHook>,
     /// Conflicts between interrupt/deadline polls.
     poll_interval: u64,
     /// Conflicts since the last poll.
@@ -163,6 +193,7 @@ impl Solver {
             conflict_budget: None,
             deadline: None,
             interrupt: None,
+            progress: None,
             poll_interval: DEFAULT_POLL_INTERVAL,
             conflicts_since_poll: 0,
             stats: Stats::default(),
@@ -230,6 +261,19 @@ impl Solver {
         self.interrupt = hook;
     }
 
+    /// Installs (or clears) a read-only progress observer, polled at the
+    /// same [`Solver::set_poll_interval`] cadence as the interrupt hook.
+    /// The observer sees a snapshot of [`Stats`] mid-search — telemetry
+    /// recorders use it for live counter samples.
+    ///
+    /// The observer cannot influence the search: verdicts, statistics and
+    /// models are identical with or without it installed, and with no
+    /// observer (and no deadline/interrupt) the polling path stays a
+    /// single branch per conflict.
+    pub fn set_progress_hook(&mut self, hook: Option<ProgressHook>) {
+        self.progress = hook;
+    }
+
     /// Sets how many conflicts pass between deadline/hook polls (min 1).
     /// Smaller values tighten the interruption latency; the default (128)
     /// keeps polling cost unmeasurable.
@@ -256,7 +300,7 @@ impl Solver {
     /// Per-conflict interrupt check: cheap counter decrement, with the
     /// actual clock/hook poll only every `poll_interval` conflicts.
     fn poll_interrupt(&mut self) -> bool {
-        if self.deadline.is_none() && self.interrupt.is_none() {
+        if self.deadline.is_none() && self.interrupt.is_none() && self.progress.is_none() {
             return false;
         }
         self.conflicts_since_poll += 1;
@@ -264,6 +308,9 @@ impl Solver {
             return false;
         }
         self.conflicts_since_poll = 0;
+        if let Some(observer) = &self.progress {
+            observer(&self.stats);
+        }
         self.interrupt_fired()
     }
 
@@ -659,6 +706,7 @@ impl Solver {
     /// subset of the assumptions that is already inconsistent with the
     /// formula. On [`SolveResult::Sat`], [`Solver::value`] reads the model.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.stats.solve_calls += 1;
         self.conflict_core.clear();
         if !self.ok {
             return SolveResult::Unsat;
@@ -1077,6 +1125,42 @@ mod tests {
         assert_eq!(plain.stats().decisions, hooked.stats().decisions);
         assert_eq!(plain.stats().propagations, hooked.stats().propagations);
         assert_eq!(plain.stats().restarts, hooked.stats().restarts);
+    }
+
+    #[test]
+    fn progress_observer_sees_samples_but_never_alters_the_search() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let mut plain = pigeonhole(7);
+        let mut observed = pigeonhole(7);
+        let samples = Arc::new(AtomicU64::new(0));
+        let s = Arc::clone(&samples);
+        observed.set_poll_interval(8);
+        observed.set_progress_hook(Some(Box::new(move |stats| {
+            s.fetch_add(1, Ordering::Relaxed);
+            let _ = stats.conflicts;
+        })));
+        assert_eq!(plain.solve(), SolveResult::Unsat);
+        assert_eq!(observed.solve(), SolveResult::Unsat);
+        assert!(
+            samples.load(Ordering::Relaxed) > 0,
+            "observer must be polled during a non-trivial search"
+        );
+        // Same work with or without the observer installed.
+        assert_eq!(plain.stats(), observed.stats());
+    }
+
+    #[test]
+    fn solve_calls_count_and_diff_subtracts_baselines() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        s.add_clause(&[a]);
+        let before = s.stats();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve_with(&[!a]), SolveResult::Unsat);
+        let delta = s.stats().diff(&before);
+        assert_eq!(delta.solve_calls, 2);
+        assert_eq!(s.stats().diff(&s.stats()), Stats::default());
     }
 
     #[test]

@@ -6,18 +6,16 @@
 //! cargo run --release --example aes_proof
 //! ```
 
-use autocc::bmc::BmcOptions;
+use autocc::bmc::CheckConfig;
 use autocc::core::{format_duration, AutoCcOutcome, FtSpec, MonitorHandles};
 use autocc::duts::aes::{build_aes, stage_valid_names, AesConfig};
 use autocc::hdl::{Instance, ModuleBuilder, NodeId};
 use std::time::Duration;
 
 fn main() {
-    let options = BmcOptions {
-        max_depth: 14,
-        conflict_budget: None,
-        time_budget: Some(Duration::from_secs(900)),
-    };
+    let options = CheckConfig::default()
+        .depth(14)
+        .timeout(Duration::from_secs(900));
     let config = AesConfig::default();
     let dut = build_aes(&config);
     println!("== AutoCC on the AES accelerator ==\n");

@@ -10,7 +10,7 @@
 //! proves unnecessary. Both converge on the same answer: only the
 //! observable registers need flushing.
 
-use autocc::bmc::BmcOptions;
+use autocc::bmc::CheckConfig;
 use autocc::core::{decremental_flush, incremental_flush, FlushSynthesisConfig, FtSpec};
 use autocc::hdl::{Bv, Module, ModuleBuilder, NodeId};
 use std::collections::BTreeSet;
@@ -61,11 +61,9 @@ fn build_device(flush_set: &BTreeSet<String>) -> Module {
 fn main() {
     println!("== Flush synthesis (Algorithms 1 & 2) ==\n");
     let config = FlushSynthesisConfig {
-        check_options: BmcOptions {
-            max_depth: 12,
-            conflict_budget: None,
-            time_budget: Some(Duration::from_secs(300)),
-        },
+        check_options: CheckConfig::default()
+            .depth(12)
+            .timeout(Duration::from_secs(300)),
         max_iterations: 12,
     };
     let flush_done =

@@ -10,17 +10,15 @@
 //! channel. AutoCC finds it from the default testbench, names the register
 //! responsible, and after the one-line RTL fix proves the channel closed.
 
-use autocc::bmc::BmcOptions;
+use autocc::bmc::CheckConfig;
 use autocc::core::{AutoCcOutcome, FtSpec};
 use autocc::duts::demo::config_device;
 use std::time::Duration;
 
 fn main() {
-    let options = BmcOptions {
-        max_depth: 16,
-        conflict_budget: None,
-        time_budget: Some(Duration::from_secs(120)),
-    };
+    let options = CheckConfig::default()
+        .depth(16)
+        .timeout(Duration::from_secs(120));
 
     // --- 1. The buggy device: no flush at all -------------------------
     println!("== AutoCC quickstart ==\n");

@@ -6,20 +6,18 @@
 //! cargo run --release --example vscale_walkthrough
 //! ```
 
-use autocc::bmc::BmcOptions;
+use autocc::bmc::CheckConfig;
 use autocc::core::{AutoCcOutcome, FtSpec, TableRow};
 use autocc::duts::vscale::{arch, build_vscale, VscaleConfig};
 use std::time::Duration;
 
-fn options() -> BmcOptions {
-    BmcOptions {
-        max_depth: 16,
-        conflict_budget: None,
-        time_budget: Some(Duration::from_secs(600)),
-    }
+fn options() -> CheckConfig {
+    CheckConfig::default()
+        .depth(16)
+        .timeout(Duration::from_secs(600))
 }
 
-fn show_stage(stage: &str, description: &str, report: &autocc::core::RunReport) {
+fn show_stage(stage: &str, description: &str, report: &autocc::core::CheckReport) {
     println!("--- {stage}: {description}");
     match &report.outcome {
         AutoCcOutcome::Cex(cex) => {

@@ -12,6 +12,8 @@
 //!   channel discovery, root-cause analysis, flush synthesis.
 //! * [`duts`] — models of the paper's four evaluation targets.
 //! * [`sysim`] — system-level co-simulation and exploits.
+//! * [`telemetry`] — check-pipeline observability: spans, solver
+//!   counters, run profiles.
 //!
 //! See the repository README for a quickstart, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -26,3 +28,4 @@ pub use autocc_duts as duts;
 pub use autocc_hdl as hdl;
 pub use autocc_sat as sat;
 pub use autocc_sysim as sysim;
+pub use autocc_telemetry as telemetry;

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! autocc <dut> [--depth N] [--threshold N] [--jobs N] [--slice on|off]
-//!              [--retries N] [--timeout SECS]
+//!              [--retries N] [--timeout SECS] [--poll-interval N]
+//!              [--profile FILE]
 //!              [--prove] [--minimize] [--sva] [--verilog] [--vcd FILE]
 //!              [--list]
 //! ```
@@ -21,15 +22,17 @@
 //! `maple`, `maple-fixed`, `aes`, `aes-refined`, `config-device`,
 //! `config-device-fixed`.
 
-use autocc::bmc::BmcOptions;
-use autocc::core::{format_duration, to_sva, AutoCcOutcome, CheckSettings, FpvTestbench, FtSpec};
+use autocc::bmc::CheckConfig;
+use autocc::core::{format_duration, to_sva, AutoCcOutcome, FpvTestbench, FtSpec};
 use autocc::duts::aes::{build_aes, stage_valid_names, AesConfig};
 use autocc::duts::cva6::{build_cva6, Cva6Config, ARCH_REGS};
 use autocc::duts::demo::config_device;
 use autocc::duts::maple::{build_maple, MapleConfig};
 use autocc::duts::vscale::{arch, build_vscale, VscaleConfig};
 use autocc::hdl::{to_verilog, Instance, Module, ModuleBuilder, NodeId};
+use autocc::telemetry::{ProfileRecorder, Telemetry};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 const DUTS: &[(&str, &str)] = &[
@@ -56,6 +59,8 @@ struct Args {
     slice: bool,
     retries: u32,
     timeout: Duration,
+    poll_interval: u64,
+    profile: Option<String>,
     prove: bool,
     minimize: bool,
     dump_sva: bool,
@@ -66,6 +71,7 @@ struct Args {
 fn usage() -> ExitCode {
     eprintln!("usage: autocc <dut> [--depth N] [--threshold N] [--jobs N]");
     eprintln!("              [--slice on|off] [--retries N] [--timeout SECS]");
+    eprintln!("              [--poll-interval N] [--profile FILE]");
     eprintln!("              [--prove] [--minimize]");
     eprintln!("              [--sva] [--verilog] [--vcd FILE]");
     eprintln!("       autocc --list");
@@ -82,6 +88,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         slice: false,
         retries: 1,
         timeout: Duration::from_secs(3600),
+        poll_interval: 128,
+        profile: None,
         prove: false,
         minimize: false,
         dump_sva: false,
@@ -128,6 +136,14 @@ fn parse_args() -> Result<Args, ExitCode> {
                     .ok_or_else(usage)?;
                 args.timeout = Duration::from_secs(secs);
             }
+            "--poll-interval" => {
+                args.poll_interval = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&p| p >= 1)
+                    .ok_or_else(usage)?;
+            }
+            "--profile" => args.profile = Some(argv.next().ok_or_else(usage)?),
             "--prove" => args.prove = true,
             "--minimize" => args.minimize = true,
             "--sva" => args.dump_sva = true,
@@ -356,21 +372,38 @@ fn main() -> ExitCode {
         println!("\n{}", to_sva(&ft, &dut));
     }
 
-    let options = BmcOptions {
-        max_depth: args.depth,
-        conflict_budget: None,
-        time_budget: Some(args.timeout),
-    };
-    let settings = CheckSettings::serial(&options)
-        .with_jobs(args.jobs)
-        .with_slice(args.slice)
-        .with_retries(args.retries);
+    let mut config = CheckConfig::default()
+        .depth(args.depth)
+        .timeout(args.timeout)
+        .jobs(args.jobs)
+        .slice(args.slice)
+        .retries(args.retries)
+        .poll_interval(args.poll_interval);
+    // `--profile` attaches a recorder; without it telemetry stays a no-op
+    // and the run is bit-identical to an uninstrumented build.
+    let recorder = args
+        .profile
+        .as_ref()
+        .map(|_| Arc::new(ProfileRecorder::new()));
+    if let Some(recorder) = &recorder {
+        config.telemetry = Telemetry::root(recorder.clone(), &args.dut);
+    }
     let run = if args.prove {
-        ft.prove_portfolio(&settings)
+        ft.prove_portfolio(&config)
     } else {
-        ft.check_portfolio(&settings)
+        ft.check_portfolio(&config)
     };
     report(&ft, &run.outcome, run.elapsed, args.minimize, &args.vcd);
+    if let (Some(path), Some(recorder)) = (&args.profile, &recorder) {
+        config.telemetry.close();
+        match std::fs::write(path, recorder.profile().to_json()) {
+            Ok(()) => println!("profile written to {path}"),
+            Err(e) => {
+                eprintln!("failed to write profile {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if run.outcome.is_degraded() {
         ExitCode::FAILURE
     } else {

@@ -2,18 +2,16 @@
 //! (a request in the pipeline during the switch) and the full proof under
 //! the idle-pipeline flush condition.
 
-use autocc::bmc::BmcOptions;
+use autocc::bmc::CheckConfig;
 use autocc::core::{AutoCcOutcome, FtSpec, MonitorHandles};
 use autocc::duts::aes::{build_aes, stage_valid_names, AesConfig};
 use autocc::hdl::{Instance, ModuleBuilder, NodeId};
 use std::time::Duration;
 
-fn opts(depth: usize) -> BmcOptions {
-    BmcOptions {
-        max_depth: depth,
-        conflict_budget: None,
-        time_budget: Some(Duration::from_secs(900)),
-    }
+fn opts(depth: usize) -> CheckConfig {
+    CheckConfig::default()
+        .depth(depth)
+        .timeout(Duration::from_secs(900))
 }
 
 /// "Both universes have no ongoing requests": every stage valid bit is low

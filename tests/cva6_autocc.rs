@@ -2,18 +2,16 @@
 //! full-flush channels, then the microreset counterexamples C1–C3 and
 //! their fixes.
 
-use autocc::bmc::BmcOptions;
+use autocc::bmc::CheckConfig;
 use autocc::core::{AutoCcOutcome, FtSpec};
 use autocc::duts::cva6::{build_cva6, Cva6Config, FenceImpl, ARCH_REGS};
 use autocc::hdl::{Instance, ModuleBuilder, NodeId};
 use std::time::Duration;
 
-fn opts(depth: usize) -> BmcOptions {
-    BmcOptions {
-        max_depth: depth,
-        conflict_budget: None,
-        time_budget: Some(Duration::from_secs(900)),
-    }
+fn opts(depth: usize) -> CheckConfig {
+    CheckConfig::default()
+        .depth(depth)
+        .timeout(Duration::from_secs(900))
 }
 
 /// flush_done: `fence.t` completes in both universes this cycle.

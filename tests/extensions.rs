@@ -9,18 +9,16 @@
 //!   universes on flush *completion* hides channels carried by the flush
 //!   latency itself; synchronising on flush *start* exposes them.
 
-use autocc::bmc::BmcOptions;
+use autocc::bmc::CheckConfig;
 use autocc::core::FtSpec;
 use autocc::duts::demo::variable_latency_flush_device;
 use autocc::duts::vscale::{arch, build_vscale, VscaleConfig};
 use std::time::Duration;
 
-fn opts(depth: usize) -> BmcOptions {
-    BmcOptions {
-        max_depth: depth,
-        conflict_budget: None,
-        time_budget: Some(Duration::from_secs(600)),
-    }
+fn opts(depth: usize) -> CheckConfig {
+    CheckConfig::default()
+        .depth(depth)
+        .timeout(Duration::from_secs(600))
 }
 
 /// Same program in both universes (the instruction input is `common`),

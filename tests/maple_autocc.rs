@@ -5,18 +5,16 @@
 //! paper: "we used the FSM that controls the invalidation process to set
 //! up the flush signal").
 
-use autocc::bmc::BmcOptions;
+use autocc::bmc::CheckConfig;
 use autocc::core::{AutoCcOutcome, FtSpec};
 use autocc::duts::maple::{build_maple, MapleConfig};
 use autocc::hdl::{Instance, ModuleBuilder, NodeId};
 use std::time::Duration;
 
-fn opts(depth: usize) -> BmcOptions {
-    BmcOptions {
-        max_depth: depth,
-        conflict_budget: None,
-        time_budget: Some(Duration::from_secs(600)),
-    }
+fn opts(depth: usize) -> CheckConfig {
+    CheckConfig::default()
+        .depth(depth)
+        .timeout(Duration::from_secs(600))
 }
 
 /// flush_done: the invalidation completes in both universes this cycle.

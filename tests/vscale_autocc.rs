@@ -16,21 +16,19 @@
 //! emerge, and the final refinement — blackboxing the CSR file, exactly the
 //! paper's V2 action — yields the clean, fully-proven testbench.
 
-use autocc::bmc::BmcOptions;
+use autocc::bmc::CheckConfig;
 use autocc::core::{AutoCcOutcome, FtSpec};
 use autocc::duts::vscale::{arch, build_vscale, VscaleConfig};
 use std::time::Duration;
 
-fn opts(depth: usize) -> BmcOptions {
-    BmcOptions {
-        max_depth: depth,
-        conflict_budget: None,
-        // Safety net only: the stage-4 CSR check runs ~8 min in debug on a
-        // loaded single-core box, and the budget is now enforced mid-solve,
-        // so a tight value would degrade the run to Unknown instead of
-        // finding the CEX.
-        time_budget: Some(Duration::from_secs(1800)),
-    }
+fn opts(depth: usize) -> CheckConfig {
+    // Safety net only: the stage-4 CSR check runs ~8 min in debug on a
+    // loaded single-core box, and the budget is now enforced mid-solve,
+    // so a tight value would degrade the run to Unknown instead of
+    // finding the CEX.
+    CheckConfig::default()
+        .depth(depth)
+        .timeout(Duration::from_secs(1800))
 }
 
 fn root_names(outcome: &AutoCcOutcome) -> Vec<String> {
