@@ -1,30 +1,51 @@
 //! Fix-validation runs (Sec. 4): re-running each testbench on the fixed
 //! RTL eliminates the CEXs.
 
-use autocc_bench::{default_options, finish_profile, fix_validation, parse_report_args};
+use autocc_bench::{
+    default_options, finish_profile, fix_validation_tasks, parse_report_args, run_campaign,
+};
 use autocc_core::{failure_summary, report_exit_code};
 
 const USAGE: &str = "usage: report_fixes [--jobs N] [--slice on|off] [--stable] [--detailed]
                      [--retries N] [--timeout SECS] [--poll-interval N]
-                     [--profile PATH]
+                     [--depth N] [--profile PATH]
+                     [--journal PATH] [--resume | --fresh] [--retry-failed]
+                     [--hang-factor N]
   --jobs N          fan experiments across N portfolio workers (default 1)
   --slice on|off    per-property cone-of-influence slicing (default off)
   --stable          omit the Time column (byte-reproducible output)
-  --detailed        per-row solver-work columns (solves, conflicts)
+  --detailed        per-row solver-work columns (solves, conflicts, src)
   --retries N       retry panicked engine jobs up to N times (default 1)
   --timeout SECS    wall-clock budget per check job (degrades to UNKNOWN)
   --poll-interval N solver conflicts between deadline polls (default 128)
-  --profile PATH    write a JSON run profile (span tree + rollups)";
+  --depth N         override the default check depth (default 16)
+  --profile PATH    write a JSON run profile (span tree + rollups)
+  --journal PATH    crash-safe campaign journal (content-addressed cache)
+  --resume          continue an existing journal, skipping finished checks
+  --fresh           discard any existing journal and start over
+  --retry-failed    re-run journaled FAILED checks instead of serving them
+  --hang-factor N   watchdog limit as a multiple of the time budget
+                    (default 4; 0 disarms)";
 
 fn main() {
     let args = parse_report_args(USAGE);
     let (config, sink) = args.instrument(default_options(16), "fixes");
-    let rows = fix_validation(&config);
+    let options = args.campaign_options();
+    let outcome = match run_campaign("fix_validation", fix_validation_tasks(), &config, &options) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let title = "Fix validation: every fixed configuration is clean";
-    println!("{}", args.render_table(title, &rows));
-    if let Some(summary) = failure_summary(&rows) {
+    println!("{}", args.render_table(title, &outcome.rows));
+    if options.journal.is_some() {
+        eprintln!("journal: {}", outcome.stats);
+    }
+    if let Some(summary) = failure_summary(&outcome.rows) {
         eprintln!("\n{summary}");
     }
     finish_profile(&sink);
-    std::process::exit(report_exit_code(&rows));
+    std::process::exit(report_exit_code(&outcome.rows));
 }

@@ -1,32 +1,53 @@
 //! Regenerates Table 1: the valuable CEXs across all four DUTs.
 
-use autocc_bench::{default_options, finish_profile, parse_report_args, table1};
+use autocc_bench::{
+    default_options, finish_profile, parse_report_args, run_campaign, table1_tasks,
+};
 use autocc_core::{failure_summary, report_exit_code};
 
 const USAGE: &str = "usage: report_table1 [--jobs N] [--slice on|off] [--stable] [--detailed]
                      [--retries N] [--timeout SECS] [--poll-interval N]
-                     [--profile PATH]
+                     [--depth N] [--profile PATH]
+                     [--journal PATH] [--resume | --fresh] [--retry-failed]
+                     [--hang-factor N]
   --jobs N          fan experiments across N portfolio workers (default 1)
   --slice on|off    per-property cone-of-influence slicing (default off)
   --stable          omit the Time column (byte-reproducible output)
-  --detailed        per-row solver-work columns (solves, conflicts)
+  --detailed        per-row solver-work columns (solves, conflicts, src)
   --retries N       retry panicked engine jobs up to N times (default 1)
   --timeout SECS    wall-clock budget per check job (degrades to UNKNOWN)
   --poll-interval N solver conflicts between deadline polls (default 128)
-  --profile PATH    write a JSON run profile (span tree + rollups)";
+  --depth N         override the default check depth (default 20)
+  --profile PATH    write a JSON run profile (span tree + rollups)
+  --journal PATH    crash-safe campaign journal (content-addressed cache)
+  --resume          continue an existing journal, skipping finished checks
+  --fresh           discard any existing journal and start over
+  --retry-failed    re-run journaled FAILED checks instead of serving them
+  --hang-factor N   watchdog limit as a multiple of the time budget
+                    (default 4; 0 disarms)";
 
 fn main() {
     let args = parse_report_args(USAGE);
     let (config, sink) = args.instrument(default_options(20), "table1");
-    let rows = table1(&config);
+    let options = args.campaign_options();
+    let outcome = match run_campaign("table1", table1_tasks(), &config, &options) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let title = "Table 1 (reproduced): valuable CEXs across the four DUTs";
-    println!("{}", args.render_table(title, &rows));
+    println!("{}", args.render_table(title, &outcome.rows));
     println!("Paper reference (JasperGold, original RTL):");
     println!("  V5 depth 9 <10min | C1 depth 76 <30min | C2 depth 80 <6h | C3 depth 80 <6h");
     println!("  M2 depth 21 <30min | M3 depth 23 <3h | A1 depth 42 <1min");
-    if let Some(summary) = failure_summary(&rows) {
+    if options.journal.is_some() {
+        eprintln!("journal: {}", outcome.stats);
+    }
+    if let Some(summary) = failure_summary(&outcome.rows) {
         eprintln!("\n{summary}");
     }
     finish_profile(&sink);
-    std::process::exit(report_exit_code(&rows));
+    std::process::exit(report_exit_code(&outcome.rows));
 }

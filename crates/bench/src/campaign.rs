@@ -1,0 +1,578 @@
+//! The campaign runner: drives a set of experiments through the
+//! crash-safe journal with checkpoint/resume and a content-addressed
+//! check cache.
+//!
+//! Every campaign task builds one [`FpvTestbench`] and runs it in one
+//! mode (bounded check or unbounded proof). With a journal attached
+//! (`--journal`), each completed check is appended — durably, fsync'd —
+//! under its [`content_key`]: a stable hash of the COI-sliced AIG, the
+//! property set, and the deterministic check budgets. A resumed campaign
+//! (`--resume`) recovers the journal, serves completed checks from it,
+//! and re-runs exactly the ones whose content changed or that were lost
+//! to a torn tail. Cached counterexamples are never trusted blindly:
+//! they are replay-certified against the freshly built testbench
+//! ([`FpvTestbench::certify_cex`]) and re-run live if certification
+//! fails.
+//!
+//! A coarse supervisor watchdog sits above the portfolio: a live check
+//! that produces no result within `hang_factor` times its configured
+//! time budget (scaled by the property count, since properties check
+//! serially) is abandoned, journaled as `FAILED (hang)`, and the
+//! campaign continues. On resume such rows are served from the journal
+//! (skipped) unless `--retry-failed` asks for another attempt.
+
+use autocc_bmc::{
+    config_fingerprint, content_key, CheckConfig, CheckEngine, CheckMode, ContentKey,
+    FailureReason, JobFailure, Portfolio,
+};
+use autocc_core::{AutoCcOutcome, CheckReport, FpvTestbench, TableRow};
+use autocc_journal::{Journal, JournalEntry, JournalError, JournalHeader, JOURNAL_SCHEMA_VERSION};
+use autocc_telemetry::{SolverCounters, SpanKind};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// One experiment of a campaign: a testbench builder plus the metadata
+/// that names its table row and telemetry span.
+pub struct CampaignTask {
+    /// Table-row id (`V5`, `C2`, ...).
+    pub id: String,
+    /// Table-row description.
+    pub description: String,
+    /// Experiment span name (`vscale:V5`, `cva6`, ...).
+    pub span: String,
+    /// Bounded check or unbounded proof.
+    pub mode: CheckMode,
+    /// Builds the testbench (runs inside the worker, under the span).
+    pub build: Box<dyn FnOnce() -> FpvTestbench + Send>,
+    /// Check-engine override — the seam hang/fault tests use to inject
+    /// misbehaving engines. `None` runs the standard portfolio. Only
+    /// honoured in [`CheckMode::Check`].
+    pub engine: Option<Arc<dyn CheckEngine + Send + Sync>>,
+}
+
+impl CampaignTask {
+    /// A bounded-check task.
+    pub fn check(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        span: impl Into<String>,
+        build: impl FnOnce() -> FpvTestbench + Send + 'static,
+    ) -> CampaignTask {
+        CampaignTask {
+            id: id.into(),
+            description: description.into(),
+            span: span.into(),
+            mode: CheckMode::Check,
+            build: Box::new(build),
+            engine: None,
+        }
+    }
+
+    /// An unbounded-proof task.
+    pub fn prove(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        span: impl Into<String>,
+        build: impl FnOnce() -> FpvTestbench + Send + 'static,
+    ) -> CampaignTask {
+        CampaignTask {
+            mode: CheckMode::Prove,
+            ..CampaignTask::check(id, description, span, build)
+        }
+    }
+
+    /// Overrides the check engine (test seam).
+    pub fn with_engine(mut self, engine: Arc<dyn CheckEngine + Send + Sync>) -> CampaignTask {
+        self.engine = Some(engine);
+        self
+    }
+}
+
+/// Journal and watchdog knobs for one campaign run.
+#[derive(Clone, Debug)]
+pub struct CampaignOptions {
+    /// Journal path; `None` runs the campaign without durability.
+    pub journal: Option<PathBuf>,
+    /// Resume from an existing journal (`--resume`).
+    pub resume: bool,
+    /// Discard any existing journal and start over (`--fresh`).
+    pub fresh: bool,
+    /// Re-run journaled `FAILED` checks instead of serving them
+    /// (`--retry-failed`).
+    pub retry_failed: bool,
+    /// Watchdog hard limit as a multiple of the per-job time budget
+    /// (scaled by property count for bounded checks). `0` disarms the
+    /// watchdog; it is also disarmed when no time budget is configured.
+    pub hang_factor: u32,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> CampaignOptions {
+        CampaignOptions {
+            journal: None,
+            resume: false,
+            fresh: false,
+            retry_failed: false,
+            hang_factor: 4,
+        }
+    }
+}
+
+impl CampaignOptions {
+    /// No journal, default watchdog — the mode the plain table functions
+    /// use.
+    pub fn off() -> CampaignOptions {
+        CampaignOptions::default()
+    }
+}
+
+/// Counters describing how a campaign's rows were produced.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CampaignStats {
+    /// Rows served from the journal (including skipped failures).
+    pub cached: u64,
+    /// Rows produced by live checks this run.
+    pub live: u64,
+    /// Journaled CEXs that failed replay certification and were re-run
+    /// live (counted under `live` as well).
+    pub stale: u64,
+    /// Live checks abandoned by the watchdog this run.
+    pub hangs: u64,
+    /// Journaled `FAILED` rows served without a retry (subset of
+    /// `cached`; pass `--retry-failed` to re-run them).
+    pub skipped_failed: u64,
+}
+
+impl fmt::Display for CampaignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} served from cache ({} failed rows skipped), {} live ({} stale re-runs, {} hangs)",
+            self.cached, self.skipped_failed, self.live, self.stale, self.hangs
+        )
+    }
+}
+
+/// A finished campaign: the table rows plus the journal statistics.
+#[derive(Clone, Debug)]
+pub struct CampaignOutcome {
+    /// Table rows, in task order.
+    pub rows: Vec<TableRow>,
+    /// How the rows were produced.
+    pub stats: CampaignStats,
+}
+
+/// Why a campaign could not start.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The journal file could not be created, read, or recovered.
+    Journal(JournalError),
+    /// A journal exists at the path but neither `--resume` nor `--fresh`
+    /// was given; refusing to guess whether to reuse or destroy it.
+    ExistsWithoutResume(PathBuf),
+    /// The journal was written under a different check configuration;
+    /// its cached answers would not match this campaign's questions.
+    FingerprintMismatch {
+        /// Fingerprint of the current configuration.
+        expected: u64,
+        /// Fingerprint pinned in the journal header.
+        found: u64,
+    },
+    /// The journal belongs to a different campaign (`table1` journal
+    /// passed to `report_table2`, ...).
+    RootMismatch {
+        /// This campaign's name.
+        expected: String,
+        /// Campaign name pinned in the journal header.
+        found: String,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Journal(e) => write!(f, "{e}"),
+            CampaignError::ExistsWithoutResume(path) => write!(
+                f,
+                "journal {} already exists: pass --resume to continue it or --fresh to discard it",
+                path.display()
+            ),
+            CampaignError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "journal was written under a different check configuration \
+                 (fingerprint {found:016x}, current {expected:016x}); \
+                 re-run with the original flags or pass --fresh"
+            ),
+            CampaignError::RootMismatch { expected, found } => write!(
+                f,
+                "journal belongs to campaign `{found}`, not `{expected}`; \
+                 pass a different --journal path or --fresh"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<JournalError> for CampaignError {
+    fn from(e: JournalError) -> CampaignError {
+        CampaignError::Journal(e)
+    }
+}
+
+/// Journal handle plus the recovered check cache, shared by the workers.
+struct SharedJournal {
+    journal: Mutex<Journal>,
+    /// Recovered entries by content key; for re-run checks the latest
+    /// record wins.
+    cache: HashMap<ContentKey, JournalEntry>,
+}
+
+#[derive(Default)]
+struct Counters {
+    cached: AtomicU64,
+    live: AtomicU64,
+    stale: AtomicU64,
+    hangs: AtomicU64,
+    skipped_failed: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> CampaignStats {
+        CampaignStats {
+            cached: self.cached.load(Ordering::Relaxed),
+            live: self.live.load(Ordering::Relaxed),
+            stale: self.stale.load(Ordering::Relaxed),
+            hangs: self.hangs.load(Ordering::Relaxed),
+            skipped_failed: self.skipped_failed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Runs a campaign: fans `tasks` across `config.jobs` portfolio workers
+/// (results merge in task order), journaling each completed check when
+/// `options.journal` is set. Fails fast — before any check runs — if the
+/// journal cannot be opened or belongs to a different campaign or
+/// configuration.
+pub fn run_campaign(
+    name: &str,
+    tasks: Vec<CampaignTask>,
+    config: &CheckConfig,
+    options: &CampaignOptions,
+) -> Result<CampaignOutcome, CampaignError> {
+    let shared = match &options.journal {
+        None => None,
+        Some(path) => Some(open_journal(path, name, config, options)?),
+    };
+    let counters = Counters::default();
+
+    let meta: Vec<(String, String)> = tasks
+        .iter()
+        .map(|t| (t.id.clone(), t.description.clone()))
+        .collect();
+    let jobs = config.jobs;
+    let workers: Vec<Box<dyn FnOnce() -> TableRow + Send + '_>> = tasks
+        .into_iter()
+        .map(|task| {
+            let shared = shared.as_ref();
+            let counters = &counters;
+            let worker: Box<dyn FnOnce() -> TableRow + Send + '_> =
+                Box::new(move || run_task(task, config, options, shared, counters));
+            worker
+        })
+        .collect();
+    let rows: Vec<TableRow> = Portfolio::new(jobs)
+        .try_run(workers)
+        .into_iter()
+        .zip(meta)
+        .map(|(result, (id, desc))| {
+            result.unwrap_or_else(|p| TableRow::failed(id, desc, p.payload))
+        })
+        .collect();
+
+    let stats = counters.snapshot();
+    if config.telemetry.enabled() {
+        config.telemetry.gauge("journal_cache_hits", stats.cached);
+        config.telemetry.gauge("journal_live_checks", stats.live);
+        config.telemetry.gauge("journal_hangs", stats.hangs);
+    }
+    Ok(CampaignOutcome { rows, stats })
+}
+
+/// Opens the campaign journal per the `--resume`/`--fresh` policy and
+/// builds the content-addressed cache from its recovered entries.
+fn open_journal(
+    path: &std::path::Path,
+    name: &str,
+    config: &CheckConfig,
+    options: &CampaignOptions,
+) -> Result<SharedJournal, CampaignError> {
+    let fingerprint = config_fingerprint(config);
+    let header = JournalHeader {
+        schema: JOURNAL_SCHEMA_VERSION,
+        fingerprint,
+        root: name.to_string(),
+    };
+    if options.fresh || !path.exists() {
+        let journal = Journal::create(path, &header)?;
+        return Ok(SharedJournal {
+            journal: Mutex::new(journal),
+            cache: HashMap::new(),
+        });
+    }
+    if !options.resume {
+        return Err(CampaignError::ExistsWithoutResume(path.to_path_buf()));
+    }
+    let (journal, recovered) = Journal::resume(path)?;
+    if recovered.header.root != name {
+        return Err(CampaignError::RootMismatch {
+            expected: name.to_string(),
+            found: recovered.header.root,
+        });
+    }
+    if recovered.header.fingerprint != fingerprint {
+        return Err(CampaignError::FingerprintMismatch {
+            expected: fingerprint,
+            found: recovered.header.fingerprint,
+        });
+    }
+    if recovered.torn_bytes > 0 {
+        eprintln!(
+            "journal {}: discarded a torn final record ({} bytes); its check will re-run",
+            path.display(),
+            recovered.torn_bytes
+        );
+    }
+    let mut cache = HashMap::new();
+    for entry in recovered.entries {
+        cache.insert(entry.key, entry);
+    }
+    Ok(SharedJournal {
+        journal: Mutex::new(journal),
+        cache,
+    })
+}
+
+/// Runs one task under its experiment span: cache lookup, certification,
+/// live run with watchdog, journal append.
+fn run_task(
+    task: CampaignTask,
+    config: &CheckConfig,
+    options: &CampaignOptions,
+    shared: Option<&SharedJournal>,
+    counters: &Counters,
+) -> TableRow {
+    let span = config.telemetry.child(SpanKind::Experiment, &task.span);
+    let mut scoped = config.clone().jobs(1);
+    scoped.telemetry = span.clone();
+
+    let CampaignTask {
+        id,
+        description,
+        mode,
+        build,
+        engine,
+        ..
+    } = task;
+    let ft = build();
+    let id = &id;
+    let mode = &mode;
+
+    let row = match shared {
+        None => {
+            counters.live.fetch_add(1, Ordering::Relaxed);
+            let (report, _) = run_live(ft, &scoped, *mode, engine.clone(), options, 1, counters);
+            TableRow::from_report(id, &description, &report)
+        }
+        Some(shared) => {
+            let key = content_key(
+                ft.miter(),
+                ft.properties(),
+                ft.constraints(),
+                &scoped,
+                *mode,
+            );
+            let cached = shared.cache.get(&key);
+            match serve_cached(cached, &ft, options, &scoped, counters) {
+                Some(report) => TableRow::from_report(id, &description, &report).cached(true),
+                None => {
+                    counters.live.fetch_add(1, Ordering::Relaxed);
+                    let attempt = cached.map_or(1, |e| e.attempt + 1);
+                    let (report, hung) = run_live(
+                        ft,
+                        &scoped,
+                        *mode,
+                        engine.clone(),
+                        options,
+                        attempt,
+                        counters,
+                    );
+                    let entry = JournalEntry {
+                        key,
+                        id: id.clone(),
+                        mode: *mode,
+                        engine: if hung { "watchdog" } else { "portfolio" }.to_string(),
+                        attempt,
+                        report: report.clone(),
+                    };
+                    match shared.journal.lock() {
+                        Ok(mut journal) => {
+                            if let Err(e) = journal.append(&entry) {
+                                eprintln!(
+                                    "warning: journal append failed for {id}: {e}; \
+                                     this check will re-run on resume"
+                                );
+                            }
+                        }
+                        Err(_) => eprintln!(
+                            "warning: journal poisoned by a panicked worker; \
+                             {id} will re-run on resume"
+                        ),
+                    }
+                    TableRow::from_report(id, &description, &report)
+                }
+            }
+        }
+    };
+    span.close();
+    row
+}
+
+/// Decides whether a journaled entry can answer this check. Returns the
+/// report to serve, or `None` to run live.
+fn serve_cached(
+    cached: Option<&JournalEntry>,
+    ft: &FpvTestbench,
+    options: &CampaignOptions,
+    scoped: &CheckConfig,
+    counters: &Counters,
+) -> Option<CheckReport> {
+    let entry = cached?;
+    let failed = matches!(entry.report.outcome, AutoCcOutcome::Failed { .. });
+    if failed && options.retry_failed {
+        return None;
+    }
+    let report = match &entry.report.outcome {
+        AutoCcOutcome::Cex(cex) => {
+            // Never trust a cached counterexample: replay-certify it
+            // against the freshly built testbench. A journal edited or
+            // produced by a diverging build re-runs instead of lying.
+            let raw = autocc_bmc::Cex {
+                property: cex.property.clone(),
+                depth: cex.depth,
+                trace: cex.trace.clone(),
+            };
+            match ft.certify_cex(&raw) {
+                Ok(certified) => CheckReport {
+                    outcome: AutoCcOutcome::Cex(Box::new(certified)),
+                    elapsed: entry.report.elapsed,
+                    stats: entry.report.stats,
+                },
+                Err(failure) => {
+                    eprintln!(
+                        "journal: cached CEX for {} failed certification ({}); re-running",
+                        entry.id, failure.detail
+                    );
+                    counters.stale.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+            }
+        }
+        _ => entry.report.clone(),
+    };
+    // Telemetry marks the row as replayed, not solved.
+    let replay = scoped.telemetry.child(SpanKind::Phase, "journal-replay");
+    replay.gauge("journal_cached", 1);
+    replay.close();
+    counters.cached.fetch_add(1, Ordering::Relaxed);
+    if failed {
+        counters.skipped_failed.fetch_add(1, Ordering::Relaxed);
+    }
+    Some(report)
+}
+
+/// Runs the check live, under the supervisor watchdog when armed.
+/// Returns the report and whether the watchdog fired.
+fn run_live(
+    ft: FpvTestbench,
+    scoped: &CheckConfig,
+    mode: CheckMode,
+    engine: Option<Arc<dyn CheckEngine + Send + Sync>>,
+    options: &CampaignOptions,
+    attempt: u32,
+    counters: &Counters,
+) -> (CheckReport, bool) {
+    // Bounded checks run their properties serially, each with its own
+    // time budget; the hard limit scales accordingly.
+    let serial_jobs = match mode {
+        CheckMode::Check => ft.properties().len().max(1) as u32,
+        CheckMode::Prove => 1,
+    };
+    let limit = scoped
+        .time_budget
+        .filter(|_| options.hang_factor >= 1)
+        .map(|budget| budget * options.hang_factor * serial_jobs);
+    let config = scoped.clone();
+    let solve = move || match mode {
+        CheckMode::Check => match engine {
+            Some(engine) => ft.check_portfolio_with(&config, &*engine),
+            None => ft.check_portfolio(&config),
+        },
+        CheckMode::Prove => ft.prove_portfolio(&config),
+    };
+    let Some(limit) = limit else {
+        return (solve(), false);
+    };
+    match run_under_watchdog(limit, solve) {
+        Some(report) => (report, false),
+        None => {
+            counters.hangs.fetch_add(1, Ordering::Relaxed);
+            let failure = JobFailure {
+                engine: "watchdog".to_string(),
+                property: None,
+                depth: 0,
+                reason: FailureReason::Hang,
+                detail: format!(
+                    "no result within {}x the configured time budget ({}s hard limit)",
+                    options.hang_factor,
+                    limit.as_secs()
+                ),
+                attempts: attempt,
+            };
+            let report = CheckReport {
+                outcome: AutoCcOutcome::Failed {
+                    failures: vec![failure],
+                },
+                elapsed: limit,
+                stats: SolverCounters::default(),
+            };
+            (report, true)
+        }
+    }
+}
+
+/// Runs `solve` on a supervised thread; `None` means the hard limit
+/// elapsed with no result. The abandoned solver thread is detached — it
+/// still holds its testbench, a deliberate leak that trades memory for
+/// letting the rest of the campaign proceed past a wedged solver.
+fn run_under_watchdog(
+    limit: Duration,
+    solve: impl FnOnce() -> CheckReport + Send + 'static,
+) -> Option<CheckReport> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(solve));
+        let _ = tx.send(result);
+    });
+    match rx.recv_timeout(limit) {
+        Ok(Ok(report)) => Some(report),
+        // Re-raise on the worker so the portfolio's panic containment
+        // renders the row FAILED exactly as it would without a watchdog.
+        Ok(Err(payload)) => std::panic::resume_unwind(payload),
+        Err(_) => None,
+    }
+}

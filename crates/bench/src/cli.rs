@@ -1,5 +1,6 @@
 //! Tiny flag parser shared by the report binaries.
 
+use crate::campaign::CampaignOptions;
 use autocc_bmc::CheckConfig;
 use autocc_core::{format_table, format_table_detailed, format_table_stable, TableRow};
 use autocc_telemetry::{ProfileRecorder, Telemetry};
@@ -30,6 +31,22 @@ pub struct ReportArgs {
     pub detailed: bool,
     /// `--profile PATH`: write a JSON run profile (span tree + rollups).
     pub profile: Option<PathBuf>,
+    /// `--depth N`: override the experiment's default check depth.
+    pub depth: Option<usize>,
+    /// `--journal PATH`: crash-safe campaign journal with a
+    /// content-addressed check cache.
+    pub journal: Option<PathBuf>,
+    /// `--resume`: continue an existing journal, serving completed
+    /// checks from it.
+    pub resume: bool,
+    /// `--fresh`: discard any existing journal and start over.
+    pub fresh: bool,
+    /// `--retry-failed`: re-run journaled FAILED checks on resume
+    /// instead of serving them.
+    pub retry_failed: bool,
+    /// `--hang-factor N`: watchdog hard limit as a multiple of the
+    /// per-job time budget (0 disarms the watchdog).
+    pub hang_factor: u32,
 }
 
 impl Default for ReportArgs {
@@ -43,6 +60,12 @@ impl Default for ReportArgs {
             stable: false,
             detailed: false,
             profile: None,
+            depth: None,
+            journal: None,
+            resume: false,
+            fresh: false,
+            retry_failed: false,
+            hang_factor: CampaignOptions::default().hang_factor,
         }
     }
 }
@@ -58,7 +81,21 @@ impl ReportArgs {
         if let Some(t) = self.timeout {
             config = config.timeout(t);
         }
+        if let Some(d) = self.depth {
+            config = config.depth(d);
+        }
         config
+    }
+
+    /// The campaign journal/watchdog options these flags describe.
+    pub fn campaign_options(&self) -> CampaignOptions {
+        CampaignOptions {
+            journal: self.journal.clone(),
+            resume: self.resume,
+            fresh: self.fresh,
+            retry_failed: self.retry_failed,
+            hang_factor: self.hang_factor,
+        }
     }
 
     /// [`ReportArgs::configure`] plus profile instrumentation: with
@@ -132,8 +169,10 @@ pub fn finish_profile(sink: &Option<ProfileSink>) {
 }
 
 /// Parses `--jobs N`, `--slice on|off`, `--retries N`, `--timeout SECS`,
-/// `--poll-interval N`, `--profile PATH`, and `--stable` from `argv`.
-/// Unknown flags print `usage` and exit with status 2.
+/// `--poll-interval N`, `--profile PATH`, `--depth N`, `--stable`,
+/// `--detailed`, and the journal flags (`--journal PATH`, `--resume`,
+/// `--fresh`, `--retry-failed`, `--hang-factor N`) from `argv`. Unknown
+/// flags print `usage` and exit with status 2.
 pub fn parse_report_args(usage: &str) -> ReportArgs {
     parse_report_arg_list(usage, std::env::args().skip(1))
 }
@@ -183,6 +222,29 @@ fn parse_report_arg_list(usage: &str, args: impl Iterator<Item = String>) -> Rep
                     Some(PathBuf::from(args.next().unwrap_or_else(|| {
                         die(usage, "--profile needs an output path")
                     })));
+            }
+            "--depth" => {
+                parsed.depth = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .filter(|&d| d >= 1)
+                        .unwrap_or_else(|| die(usage, "--depth needs a positive integer")),
+                );
+            }
+            "--journal" => {
+                parsed.journal =
+                    Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                        die(usage, "--journal needs a file path")
+                    })));
+            }
+            "--resume" => parsed.resume = true,
+            "--fresh" => parsed.fresh = true,
+            "--retry-failed" => parsed.retry_failed = true,
+            "--hang-factor" => {
+                parsed.hang_factor = args
+                    .next()
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .unwrap_or_else(|| die(usage, "--hang-factor needs a non-negative integer"));
             }
             "--stable" => parsed.stable = true,
             "--detailed" => parsed.detailed = true,
@@ -245,6 +307,36 @@ mod tests {
         assert_eq!(a.timeout, Some(Duration::from_secs(600)));
         assert_eq!(a.poll_interval, 32);
         assert_eq!(a.profile.as_deref(), Some(Path::new("out.json")));
+    }
+
+    #[test]
+    fn journal_flags_parse_and_map_to_campaign_options() {
+        let a = parse(&[]);
+        assert!(a.journal.is_none());
+        assert!(a.depth.is_none());
+        let o = a.campaign_options();
+        assert!(o.journal.is_none());
+        assert!(!o.resume && !o.fresh && !o.retry_failed);
+        assert_eq!(o.hang_factor, 4);
+
+        let a = parse(&[
+            "--journal",
+            "run.jsonl",
+            "--resume",
+            "--retry-failed",
+            "--hang-factor",
+            "2",
+            "--depth",
+            "9",
+        ]);
+        let o = a.campaign_options();
+        assert_eq!(o.journal.as_deref(), Some(Path::new("run.jsonl")));
+        assert!(o.resume);
+        assert!(!o.fresh);
+        assert!(o.retry_failed);
+        assert_eq!(o.hang_factor, 2);
+        let c = a.configure(CheckConfig::default().depth(20));
+        assert_eq!(c.max_depth, 9, "--depth overrides the experiment default");
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! results merge in submission order, so any `jobs` value produces the
 //! same rows.
 
-use autocc_bmc::{CheckConfig, Portfolio};
-use autocc_core::{CheckReport, FtSpec, MonitorHandles, TableRow};
+use crate::campaign::{run_campaign, CampaignOptions, CampaignTask};
+use autocc_bmc::CheckConfig;
+use autocc_core::{CheckReport, FpvTestbench, FtSpec, MonitorHandles, TableRow};
 use autocc_duts::aes::{build_aes, stage_valid_names, AesConfig};
 use autocc_duts::cva6::{build_cva6, Cva6Config, ARCH_REGS};
 use autocc_duts::maple::{build_maple, MapleConfig};
@@ -94,59 +95,68 @@ pub const VSCALE_STAGES: [VscaleStage; 5] = [
     },
 ];
 
+/// Builds the Vscale testbench for a ladder stage (the check itself runs
+/// separately — see [`run_vscale_stage`] / [`table2_tasks`]).
+pub fn vscale_stage_testbench(stage: &VscaleStage) -> FpvTestbench {
+    let dut = build_vscale(&VscaleConfig {
+        blackbox_csr: stage.blackbox_csr,
+        ..VscaleConfig::default()
+    });
+    let mut spec = FtSpec::new(&dut);
+    if stage.level >= 1 {
+        spec = spec.arch_mem(arch::REGFILE_MEM);
+    }
+    if stage.level >= 2 {
+        for r in arch::PIPELINE_REGS {
+            spec = spec.arch_reg(r);
+        }
+    }
+    if stage.level >= 3 {
+        for r in arch::INT_REGS {
+            spec = spec.arch_reg(r);
+        }
+    }
+    if stage.level >= 4 {
+        spec = spec.state_equality_invariants();
+    }
+    spec.generate()
+}
+
 /// Builds the Vscale FT for a ladder stage and runs it through the check
 /// engines.
 pub fn run_vscale_stage(stage: &VscaleStage, config: &CheckConfig) -> CheckReport {
     with_experiment(config, &format!("vscale:{}", stage.id), |config| {
-        let dut = build_vscale(&VscaleConfig {
-            blackbox_csr: stage.blackbox_csr,
-            ..VscaleConfig::default()
-        });
-        let mut spec = FtSpec::new(&dut);
-        if stage.level >= 1 {
-            spec = spec.arch_mem(arch::REGFILE_MEM);
-        }
-        if stage.level >= 2 {
-            for r in arch::PIPELINE_REGS {
-                spec = spec.arch_reg(r);
-            }
-        }
-        if stage.level >= 3 {
-            for r in arch::INT_REGS {
-                spec = spec.arch_reg(r);
-            }
-        }
+        let ft = vscale_stage_testbench(stage);
         if stage.level >= 4 {
-            spec = spec.state_equality_invariants();
-            let ft = spec.generate();
-            return ft.prove_portfolio(config);
+            ft.prove_portfolio(config)
+        } else {
+            ft.check_portfolio(config)
         }
-        let ft = spec.generate();
-        ft.check_portfolio(config)
     })
+}
+
+/// The Table-2 ladder as campaign tasks, one per stage.
+pub fn table2_tasks() -> Vec<CampaignTask> {
+    VSCALE_STAGES
+        .iter()
+        .map(|stage| {
+            let span = format!("vscale:{}", stage.id);
+            let build = move || vscale_stage_testbench(stage);
+            if stage.level >= 4 {
+                CampaignTask::prove(stage.id, stage.description, span, build)
+            } else {
+                CampaignTask::check(stage.id, stage.description, span, build)
+            }
+        })
+        .collect()
 }
 
 /// Regenerates Table 2 (the Vscale ladder), fanning the stages across
 /// `config.jobs` portfolio workers.
 pub fn table2(config: &CheckConfig) -> Vec<TableRow> {
-    let tasks: Vec<Box<dyn FnOnce() -> TableRow + Send>> = VSCALE_STAGES
-        .iter()
-        .map(|stage| {
-            let task: Box<dyn FnOnce() -> TableRow + Send> = Box::new(move || {
-                let report = run_vscale_stage(stage, config);
-                TableRow::from_report(stage.id, stage.description, &report)
-            });
-            task
-        })
-        .collect();
-    Portfolio::new(config.jobs)
-        .try_run(tasks)
-        .into_iter()
-        .zip(VSCALE_STAGES.iter())
-        .map(|(result, stage)| {
-            result.unwrap_or_else(|p| TableRow::failed(stage.id, stage.description, p.payload))
-        })
-        .collect()
+    run_campaign("table2", table2_tasks(), config, &CampaignOptions::off())
+        .expect("campaign without a journal cannot fail to start")
+        .rows
 }
 
 // ---------------------------------------------------------------------
@@ -182,24 +192,32 @@ pub fn maple_assume_obuf_empty(
     b.or(idle, empty)
 }
 
+/// Builds the MAPLE testbench with the M1 assumption in place.
+pub fn maple_testbench(config: &MapleConfig) -> FpvTestbench {
+    let dut = build_maple(config);
+    FtSpec::new(&dut)
+        .flush_done(maple_flush_done)
+        .assume(maple_assume_obuf_empty)
+        .generate()
+}
+
+/// Builds the MAPLE testbench *without* the M1 assumption.
+pub fn maple_m1_testbench() -> FpvTestbench {
+    let dut = build_maple(&MapleConfig::default());
+    FtSpec::new(&dut).flush_done(maple_flush_done).generate()
+}
+
 /// Runs the MAPLE testbench with the M1 assumption in place.
 pub fn run_maple(config: &MapleConfig, check: &CheckConfig) -> CheckReport {
     with_experiment(check, "maple", |check| {
-        let dut = build_maple(config);
-        let ft = FtSpec::new(&dut)
-            .flush_done(maple_flush_done)
-            .assume(maple_assume_obuf_empty)
-            .generate();
-        ft.check_portfolio(check)
+        maple_testbench(config).check_portfolio(check)
     })
 }
 
 /// Runs the MAPLE testbench *without* the M1 assumption (the first CEX).
 pub fn run_maple_m1(check: &CheckConfig) -> CheckReport {
     with_experiment(check, "maple-m1", |check| {
-        let dut = build_maple(&MapleConfig::default());
-        let ft = FtSpec::new(&dut).flush_done(maple_flush_done).generate();
-        ft.check_portfolio(check)
+        maple_m1_testbench().check_portfolio(check)
     })
 }
 
@@ -214,16 +232,20 @@ pub fn cva6_flush_done(b: &mut ModuleBuilder, ua: &Instance, ub: &Instance) -> N
     b.and(da, db)
 }
 
+/// Builds the CVA6 frontend testbench for a given configuration.
+pub fn cva6_testbench(config: &Cva6Config) -> FpvTestbench {
+    let dut = build_cva6(config);
+    let mut spec = FtSpec::new(&dut).flush_done(cva6_flush_done);
+    for r in ARCH_REGS {
+        spec = spec.arch_reg(r);
+    }
+    spec.generate()
+}
+
 /// Runs the CVA6 frontend testbench for a given configuration.
 pub fn run_cva6(config: &Cva6Config, check: &CheckConfig) -> CheckReport {
     with_experiment(check, "cva6", |check| {
-        let dut = build_cva6(config);
-        let mut spec = FtSpec::new(&dut).flush_done(cva6_flush_done);
-        for r in ARCH_REGS {
-            spec = spec.arch_reg(r);
-        }
-        let ft = spec.generate();
-        ft.check_portfolio(check)
+        cva6_testbench(config).check_portfolio(check)
     })
 }
 
@@ -254,12 +276,71 @@ pub fn cva6_cex_config(which: &str) -> Cva6Config {
 // AES (Table 1 row A1; full proof)
 // ---------------------------------------------------------------------
 
+/// Builds the default AES testbench (the one that finds A1).
+pub fn aes_a1_testbench() -> FpvTestbench {
+    let dut = build_aes(&AesConfig::default());
+    FtSpec::new(&dut).generate()
+}
+
+/// Builds the refined AES testbench used for the full proof:
+/// idle-pipeline flush condition plus the Sec.-4.4 strengthening
+/// invariants.
+pub fn aes_proof_testbench() -> FpvTestbench {
+    let config = AesConfig::default();
+    let dut = build_aes(&config);
+    let idle_names = stage_valid_names(&config);
+    let idle = move |b: &mut ModuleBuilder, ua: &Instance, ub: &Instance| -> NodeId {
+        let mut all = Vec::new();
+        for name in &idle_names {
+            let va = b.read_reg(ua.regs[name]);
+            let vb = b.read_reg(ub.regs[name]);
+            let na = b.not(va);
+            let nb = b.not(vb);
+            all.push(na);
+            all.push(nb);
+        }
+        b.all(&all)
+    };
+    let inv_names = stage_valid_names(&config);
+    let invariant = move |b: &mut ModuleBuilder,
+                          ua: &Instance,
+                          ub: &Instance,
+                          mon: &MonitorHandles|
+          -> NodeId {
+        let zero = {
+            let w = b.width(mon.eq_cnt);
+            b.lit(w, 0)
+        };
+        let counting = b.ne(mon.eq_cnt, zero);
+        let engaged = b.or(counting, mon.spy_mode);
+        let mut conds = Vec::new();
+        for name in &inv_names {
+            let va = b.read_reg(ua.regs[name]);
+            let vb = b.read_reg(ub.regs[name]);
+            conds.push(b.eq(va, vb));
+            let stage = name.strip_suffix(".valid").expect("valid name");
+            for field in ["data", "key"] {
+                let da = b.read_reg(ua.regs[&format!("{stage}.{field}")]);
+                let db = b.read_reg(ub.regs[&format!("{stage}.{field}")]);
+                let eq = b.eq(da, db);
+                let nv = b.not(va);
+                conds.push(b.or(nv, eq));
+            }
+        }
+        let all = b.all(&conds);
+        let ne = b.not(engaged);
+        b.or(ne, all)
+    };
+    FtSpec::new(&dut)
+        .flush_done(idle)
+        .assert_prop("pipeline_convergence", invariant)
+        .generate()
+}
+
 /// Runs the default AES testbench (finds A1).
 pub fn run_aes_a1(check: &CheckConfig) -> CheckReport {
     with_experiment(check, "aes-a1", |check| {
-        let dut = build_aes(&AesConfig::default());
-        let ft = FtSpec::new(&dut).generate();
-        ft.check_portfolio(check)
+        aes_a1_testbench().check_portfolio(check)
     })
 }
 
@@ -267,56 +348,7 @@ pub fn run_aes_a1(check: &CheckConfig) -> CheckReport {
 /// condition plus the Sec.-4.4 strengthening invariants.
 pub fn run_aes_proof(check: &CheckConfig) -> CheckReport {
     with_experiment(check, "aes-proof", |check| {
-        let config = AesConfig::default();
-        let dut = build_aes(&config);
-        let idle_names = stage_valid_names(&config);
-        let idle = move |b: &mut ModuleBuilder, ua: &Instance, ub: &Instance| -> NodeId {
-            let mut all = Vec::new();
-            for name in &idle_names {
-                let va = b.read_reg(ua.regs[name]);
-                let vb = b.read_reg(ub.regs[name]);
-                let na = b.not(va);
-                let nb = b.not(vb);
-                all.push(na);
-                all.push(nb);
-            }
-            b.all(&all)
-        };
-        let inv_names = stage_valid_names(&config);
-        let invariant = move |b: &mut ModuleBuilder,
-                              ua: &Instance,
-                              ub: &Instance,
-                              mon: &MonitorHandles|
-              -> NodeId {
-            let zero = {
-                let w = b.width(mon.eq_cnt);
-                b.lit(w, 0)
-            };
-            let counting = b.ne(mon.eq_cnt, zero);
-            let engaged = b.or(counting, mon.spy_mode);
-            let mut conds = Vec::new();
-            for name in &inv_names {
-                let va = b.read_reg(ua.regs[name]);
-                let vb = b.read_reg(ub.regs[name]);
-                conds.push(b.eq(va, vb));
-                let stage = name.strip_suffix(".valid").expect("valid name");
-                for field in ["data", "key"] {
-                    let da = b.read_reg(ua.regs[&format!("{stage}.{field}")]);
-                    let db = b.read_reg(ub.regs[&format!("{stage}.{field}")]);
-                    let eq = b.eq(da, db);
-                    let nv = b.not(va);
-                    conds.push(b.or(nv, eq));
-                }
-            }
-            let all = b.all(&conds);
-            let ne = b.not(engaged);
-            b.or(ne, all)
-        };
-        let ft = FtSpec::new(&dut)
-            .flush_done(idle)
-            .assert_prop("pipeline_convergence", invariant)
-            .generate();
-        ft.prove_portfolio(check)
+        aes_proof_testbench().prove_portfolio(check)
     })
 }
 
@@ -324,116 +356,109 @@ pub fn run_aes_proof(check: &CheckConfig) -> CheckReport {
 // Table 1 (the valuable CEXs across all four DUTs)
 // ---------------------------------------------------------------------
 
-/// Regenerates Table 1 (the valuable CEXs V5, C1, C2, C3, M2, M3, A1),
-/// fanning one check job per experiment across `config.jobs` workers.
-/// Rows come back in table order regardless of worker count.
-pub fn table1(config: &CheckConfig) -> Vec<TableRow> {
-    type RowTask<'a> = Box<dyn FnOnce() -> TableRow + Send + 'a>;
-    let mut meta: Vec<(&'static str, &'static str)> = Vec::new();
-    let mut tasks: Vec<RowTask> = Vec::new();
+/// Table 1 (the valuable CEXs V5, C1, C2, C3, M2, M3, A1) as campaign
+/// tasks, in table order.
+pub fn table1_tasks() -> Vec<CampaignTask> {
+    let mut tasks = Vec::new();
 
     // V5: the Vscale pending-interrupt channel (ladder stage 3).
-    meta.push(("V5", "Interrupt in the WB stage stalls pipeline"));
-    tasks.push(Box::new(move || {
-        TableRow::from_report(
-            "V5",
-            "Interrupt in the WB stage stalls pipeline",
-            &run_vscale_stage(&VSCALE_STAGES[2], config),
-        )
-    }));
+    tasks.push(CampaignTask::check(
+        "V5",
+        "Interrupt in the WB stage stalls pipeline",
+        "vscale:V5",
+        || vscale_stage_testbench(&VSCALE_STAGES[2]),
+    ));
 
     for (id, desc) in [
         ("C1", "Leaks invalid I-Cache data to the next PC"),
         ("C2", "Wrong transition in the FSM of the PTW"),
         ("C3", "Valid D$ line after flush caused by PTW"),
     ] {
-        meta.push((id, desc));
-        tasks.push(Box::new(move || {
-            TableRow::from_report(id, desc, &run_cva6(&cva6_cex_config(id), config))
+        tasks.push(CampaignTask::check(id, desc, "cva6", move || {
+            cva6_testbench(&cva6_cex_config(id))
         }));
     }
 
     // M2: fix nothing except M3 so the TLB-enable channel is the target.
-    meta.push(("M2", "Leak whether the TLB was disabled"));
-    tasks.push(Box::new(move || {
-        TableRow::from_report(
-            "M2",
-            "Leak whether the TLB was disabled",
-            &run_maple(
-                &MapleConfig {
-                    fix_tlb_enable: false,
-                    fix_array_base: true,
-                },
-                config,
-            ),
-        )
-    }));
+    tasks.push(CampaignTask::check(
+        "M2",
+        "Leak whether the TLB was disabled",
+        "maple",
+        || {
+            maple_testbench(&MapleConfig {
+                fix_tlb_enable: false,
+                fix_array_base: true,
+            })
+        },
+    ));
     // M3: fix M2 so the array-base channel is the target.
-    meta.push(("M3", "Leak the value of a configuration register"));
-    tasks.push(Box::new(move || {
-        TableRow::from_report(
-            "M3",
-            "Leak the value of a configuration register",
-            &run_maple(
-                &MapleConfig {
-                    fix_tlb_enable: true,
-                    fix_array_base: false,
-                },
-                config,
-            ),
-        )
-    }));
+    tasks.push(CampaignTask::check(
+        "M3",
+        "Leak the value of a configuration register",
+        "maple",
+        || {
+            maple_testbench(&MapleConfig {
+                fix_tlb_enable: true,
+                fix_array_base: false,
+            })
+        },
+    ));
 
-    meta.push(("A1", "Request in the pipeline during the switch"));
-    tasks.push(Box::new(move || {
-        TableRow::from_report(
-            "A1",
-            "Request in the pipeline during the switch",
-            &run_aes_a1(config),
-        )
-    }));
+    tasks.push(CampaignTask::check(
+        "A1",
+        "Request in the pipeline during the switch",
+        "aes-a1",
+        aes_a1_testbench,
+    ));
+    tasks
+}
 
-    // Panic containment at the experiment level: a harness panic costs
-    // that row only, rendered FAILED, while the rest of the table fills.
-    Portfolio::new(config.jobs)
-        .try_run(tasks)
-        .into_iter()
-        .zip(meta)
-        .map(|(result, (id, desc))| {
-            result.unwrap_or_else(|p| TableRow::failed(id, desc, p.payload))
-        })
-        .collect()
+/// Regenerates Table 1 (the valuable CEXs V5, C1, C2, C3, M2, M3, A1),
+/// fanning one check job per experiment across `config.jobs` workers.
+/// Rows come back in table order regardless of worker count. Panic
+/// containment happens at the experiment level: a harness panic costs
+/// that row only, rendered FAILED, while the rest of the table fills.
+pub fn table1(config: &CheckConfig) -> Vec<TableRow> {
+    run_campaign("table1", table1_tasks(), config, &CampaignOptions::off())
+        .expect("campaign without a journal cannot fail to start")
+        .rows
+}
+
+/// Fix-validation runs as campaign tasks: every fixed DUT configuration
+/// must be clean.
+pub fn fix_validation_tasks() -> Vec<CampaignTask> {
+    vec![
+        CampaignTask::check(
+            "C1-C3 fixed",
+            "CVA6 microreset with all upstream fixes",
+            "cva6",
+            || cva6_testbench(&Cva6Config::all_fixed()),
+        ),
+        CampaignTask::check(
+            "M2+M3 fixed",
+            "MAPLE cleanup resets config registers",
+            "maple",
+            || maple_testbench(&MapleConfig::all_fixed()),
+        ),
+        CampaignTask::prove(
+            "A1 refined",
+            "AES with idle-pipeline flush condition",
+            "aes-proof",
+            aes_proof_testbench,
+        ),
+    ]
 }
 
 /// Fix-validation runs: every fixed DUT configuration must be clean.
 pub fn fix_validation(config: &CheckConfig) -> Vec<TableRow> {
-    let meta = [
-        ("C1-C3 fixed", "CVA6 microreset with all upstream fixes"),
-        ("M2+M3 fixed", "MAPLE cleanup resets config registers"),
-        ("A1 refined", "AES with idle-pipeline flush condition"),
-    ];
-    let tasks: Vec<Box<dyn FnOnce() -> TableRow + Send>> = vec![
-        Box::new(move || {
-            let report = run_cva6(&Cva6Config::all_fixed(), config);
-            TableRow::from_report(meta[0].0, meta[0].1, &report)
-        }),
-        Box::new(move || {
-            let report = run_maple(&MapleConfig::all_fixed(), config);
-            TableRow::from_report(meta[1].0, meta[1].1, &report)
-        }),
-        Box::new(move || {
-            let report = run_aes_proof(config);
-            TableRow::from_report(meta[2].0, meta[2].1, &report)
-        }),
-    ];
-    Portfolio::new(config.jobs)
-        .try_run(tasks)
-        .into_iter()
-        .zip(meta)
-        .map(|(result, (id, desc))| {
-            result.unwrap_or_else(|p| TableRow::failed(id, desc, p.payload))
-        })
-        .collect()
+    run_campaign(
+        "fix_validation",
+        fix_validation_tasks(),
+        config,
+        &CampaignOptions::off(),
+    )
+    .expect("campaign without a journal cannot fail to start")
+    .rows
 }
 
 /// A demo DUT for the flush-synthesis experiments: banked registers with a

@@ -9,7 +9,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod cli;
 pub mod experiments;
+pub use campaign::{
+    run_campaign, CampaignError, CampaignOptions, CampaignOutcome, CampaignStats, CampaignTask,
+};
 pub use cli::{finish_profile, parse_report_args, ProfileSink, ReportArgs};
 pub use experiments::*;

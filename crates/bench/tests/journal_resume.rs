@@ -1,0 +1,110 @@
+//! Crash/resume integration test: SIGKILL a journaled `report_table1`
+//! mid-campaign, resume it, and require the final stable table to be
+//! byte-identical to an uninterrupted run — with the already-completed
+//! checks served from the journal instead of re-solved.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const DEPTH: &str = "7";
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_report_table1")
+}
+
+fn tmp_journal() -> PathBuf {
+    let path = std::env::temp_dir().join(format!("autocc-resume-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Counts committed (newline-terminated) journal lines.
+fn committed_lines(path: &Path) -> usize {
+    std::fs::read(path)
+        .map(|b| b.iter().filter(|&&c| c == b'\n').count())
+        .unwrap_or(0)
+}
+
+#[test]
+fn sigkill_mid_campaign_then_resume_is_byte_identical() {
+    let journal = tmp_journal();
+
+    // The uninterrupted reference: same depth, same stable table, no
+    // journal involved.
+    let reference = Command::new(bin())
+        .args(["--depth", DEPTH, "--stable"])
+        .output()
+        .expect("reference run");
+    assert!(
+        !reference.stdout.is_empty(),
+        "reference run produced no table"
+    );
+
+    // Start a journaled campaign and SIGKILL it once at least one check
+    // has been committed (header + 1 entry = 2 lines).
+    let mut child = Command::new(bin())
+        .args(["--depth", DEPTH, "--stable"])
+        .arg("--journal")
+        .arg(&journal)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn journaled run");
+    let deadline = Instant::now() + Duration::from_secs(240);
+    let finished_early = loop {
+        if committed_lines(&journal) >= 2 {
+            break false;
+        }
+        match child.try_wait().expect("poll child") {
+            Some(_) => break true,
+            None => {
+                assert!(
+                    Instant::now() < deadline,
+                    "no check committed within the deadline"
+                );
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    };
+    if !finished_early {
+        child.kill().expect("SIGKILL the campaign");
+    }
+    let _ = child.wait();
+    assert!(
+        committed_lines(&journal) >= 2,
+        "the interrupted run never committed a check"
+    );
+
+    // Resume: completed checks come from the journal, the rest run live,
+    // and the table is exactly the uninterrupted one.
+    let resumed = Command::new(bin())
+        .args(["--depth", DEPTH, "--stable"])
+        .arg("--journal")
+        .arg(&journal)
+        .arg("--resume")
+        .output()
+        .expect("resumed run");
+    assert_eq!(
+        resumed.stdout, reference.stdout,
+        "resumed stable table differs from the uninterrupted run:\n--- resumed\n{}\n--- reference\n{}",
+        String::from_utf8_lossy(&resumed.stdout),
+        String::from_utf8_lossy(&reference.stdout)
+    );
+    assert_eq!(resumed.status.code(), reference.status.code());
+
+    // The journal stats line proves the cache did the work.
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    let stats = stderr
+        .lines()
+        .find(|l| l.starts_with("journal: "))
+        .unwrap_or_else(|| panic!("no journal stats on stderr:\n{stderr}"));
+    let cached: u64 = stats
+        .strip_prefix("journal: ")
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable stats line: {stats}"));
+    assert!(cached > 0, "resume served nothing from the cache: {stats}");
+
+    let _ = std::fs::remove_file(&journal);
+}

@@ -87,6 +87,10 @@ pub enum FailureReason {
     InternalInconsistency,
     /// The job panicked and the panic was contained.
     Panic,
+    /// The job exceeded the campaign watchdog's hard wall-clock limit (a
+    /// multiple of its configured time budget) and was abandoned — a hang
+    /// in a phase the in-solver deadline poll cannot see.
+    Hang,
 }
 
 impl std::fmt::Display for FailureReason {
@@ -95,6 +99,7 @@ impl std::fmt::Display for FailureReason {
             FailureReason::ReplayMismatch => "replay mismatch",
             FailureReason::InternalInconsistency => "internal inconsistency",
             FailureReason::Panic => "panic",
+            FailureReason::Hang => "hang",
         })
     }
 }

@@ -50,12 +50,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod checker;
 pub mod config;
 pub mod engine;
 pub mod portfolio;
 mod trace;
 
+pub use cache::{config_fingerprint, content_key, CheckMode, ContentKey};
 #[allow(deprecated)]
 pub use checker::BmcOptions;
 pub use checker::{

@@ -32,6 +32,11 @@ impl Trace {
         self.inputs.is_empty()
     }
 
+    /// Number of input ports driven per cycle (0 for an empty trace).
+    pub fn num_ports(&self) -> usize {
+        self.inputs.first().map_or(0, Vec::len)
+    }
+
     /// Input value of `port` at `cycle`.
     pub fn input(&self, cycle: usize, port: usize) -> Bv {
         self.inputs[cycle][port]

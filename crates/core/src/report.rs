@@ -43,6 +43,11 @@ pub struct TableRow {
     /// Solver work behind the row, when the run collected it. Rendered
     /// only by [`format_table_detailed`]; the plain tables ignore it.
     pub stats: Option<SolverCounters>,
+    /// Whether the row was served from a campaign journal instead of a
+    /// live solver run. Rendered only by [`format_table_detailed`] (as the
+    /// `Src` column); the plain and stable tables ignore it so a resumed
+    /// campaign stays byte-identical to an uninterrupted one.
+    pub cached: bool,
 }
 
 impl TableRow {
@@ -98,6 +103,7 @@ impl TableRow {
             status,
             detail,
             stats: None,
+            cached: false,
         }
     }
 
@@ -119,6 +125,13 @@ impl TableRow {
         self
     }
 
+    /// Marks the row as served from a campaign journal (shown in the
+    /// `Src` column of [`format_table_detailed`]).
+    pub fn cached(mut self, cached: bool) -> TableRow {
+        self.cached = cached;
+        self
+    }
+
     /// A row for an experiment whose harness itself failed (e.g. a panic
     /// contained outside any engine job).
     pub fn failed(
@@ -135,6 +148,7 @@ impl TableRow {
             status: RowStatus::Failed,
             detail: Some(detail.into()),
             stats: None,
+            cached: false,
         }
     }
 }
@@ -247,10 +261,10 @@ pub fn format_table_detailed(title: &str, rows: &[TableRow]) -> String {
         .max(7);
     let _ = writeln!(
         out,
-        "{:id_w$}  {:desc_w$}  {:>5}  {:>9}  {:>7}  {:>10}  {:out_w$}",
-        "Id", "Description", "Depth", "Time", "Solves", "Conflicts", "Outcome"
+        "{:id_w$}  {:desc_w$}  {:>5}  {:>9}  {:>7}  {:>10}  {:>6}  {:out_w$}",
+        "Id", "Description", "Depth", "Time", "Solves", "Conflicts", "Src", "Outcome"
     );
-    let _ = writeln!(out, "{}", "-".repeat(id_w + desc_w + out_w + 44));
+    let _ = writeln!(out, "{}", "-".repeat(id_w + desc_w + out_w + 52));
     for r in rows {
         let depth = r
             .depth
@@ -266,13 +280,14 @@ pub fn format_table_detailed(title: &str, rows: &[TableRow]) -> String {
             .unwrap_or_else(|| "-".to_string());
         let _ = writeln!(
             out,
-            "{:id_w$}  {:desc_w$}  {:>5}  {:>9}  {:>7}  {:>10}  {:out_w$}",
+            "{:id_w$}  {:desc_w$}  {:>5}  {:>9}  {:>7}  {:>10}  {:>6}  {:out_w$}",
             r.id,
             r.description,
             depth,
             format_duration(r.time),
             solves,
             conflicts,
+            if r.cached { "cache" } else { "live" },
             r.outcome
         );
     }
@@ -344,6 +359,7 @@ mod tests {
                 status: RowStatus::Ok,
                 detail: None,
                 stats: None,
+                cached: false,
             },
             TableRow {
                 id: "V5".into(),
@@ -354,6 +370,7 @@ mod tests {
                 status: RowStatus::Ok,
                 detail: None,
                 stats: None,
+                cached: false,
             },
         ];
         let table = format_table("Table 2: Vscale", &rows);
@@ -374,6 +391,7 @@ mod tests {
             status: RowStatus::Ok,
             detail: None,
             stats: None,
+            cached: false,
         };
         let fast = format_table_stable("Table 2: Vscale", &[row(Duration::from_millis(3))]);
         let slow = format_table_stable("Table 2: Vscale", &[row(Duration::from_secs(90))]);
@@ -392,6 +410,7 @@ mod tests {
             status: RowStatus::Ok,
             detail: None,
             stats: None,
+            cached: false,
         }
         .with_stats(SolverCounters {
             solve_calls: 12,
@@ -407,6 +426,7 @@ mod tests {
             status: RowStatus::Ok,
             detail: None,
             stats: None,
+            cached: false,
         };
         let table = format_table_detailed("Detailed", &[with, without]);
         assert!(table.contains("Solves"));
@@ -439,6 +459,7 @@ mod tests {
             status: RowStatus::Ok,
             detail: None,
             stats: None,
+            cached: false,
         };
         assert_eq!(report_exit_code(std::slice::from_ref(&ok)), 0);
         assert!(failure_summary(std::slice::from_ref(&ok)).is_none());

@@ -1,0 +1,351 @@
+//! The append-only journal file: creation, durable appends, and
+//! torn-tail-tolerant recovery.
+//!
+//! A journal is a newline-delimited JSON file. Line 1 is the header
+//! (schema version, campaign-config fingerprint, campaign name); every
+//! later line is one completed check. Appends are committed with
+//! `sync_data` before [`Journal::append`] returns, so a record that the
+//! caller has seen acknowledged survives a crash — including `kill -9` —
+//! at any later point.
+//!
+//! Recovery ([`load`]) replays the file line by line. A parse failure in
+//! the **final** content region is treated as a torn write (the crash hit
+//! mid-append): the tail is discarded and the journal resumes from the
+//! last intact record. A parse failure anywhere *earlier* is real
+//! corruption and is reported as an error rather than silently dropped —
+//! recovery never discards an intact record and never trusts a torn one.
+
+use crate::record::{
+    entry_line, header_line, parse_entry, parse_header, JournalEntry, JournalHeader,
+    JOURNAL_SCHEMA_VERSION,
+};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Why a journal could not be opened or appended to.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem-level failure.
+    Io(std::io::Error),
+    /// A record before the final one failed to parse — the file is
+    /// damaged beyond the torn-tail rule's tolerance.
+    Corrupt {
+        /// 1-based line number of the bad record.
+        line: usize,
+        /// Parser diagnostic.
+        detail: String,
+    },
+    /// The header line is missing, malformed, or from another schema
+    /// version.
+    Header(String),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Corrupt { line, detail } => {
+                write!(f, "journal corrupt at line {line}: {detail}")
+            }
+            JournalError::Header(detail) => write!(f, "journal header invalid: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> JournalError {
+        JournalError::Io(e)
+    }
+}
+
+/// The result of recovering a journal file from disk.
+#[derive(Debug)]
+pub struct RecoveredJournal {
+    /// The parsed header.
+    pub header: JournalHeader,
+    /// Every intact check record, in append order. A check re-run with
+    /// `--retry-failed` appears more than once; later records supersede
+    /// earlier ones.
+    pub entries: Vec<JournalEntry>,
+    /// Bytes discarded from the tail as a torn final record (0 when the
+    /// file ended cleanly).
+    pub torn_bytes: usize,
+}
+
+/// Parses journal bytes, tolerating a torn final record.
+///
+/// Returns the header, the intact entries, and how many trailing bytes
+/// were discarded as torn. Errors if the header is invalid or any
+/// non-final record fails to parse.
+pub fn recover(bytes: &[u8]) -> Result<RecoveredJournal, JournalError> {
+    let text = std::str::from_utf8(bytes).map_or_else(
+        // A torn write can cut a multi-byte character; decode the longest
+        // valid prefix and let the line logic classify the ragged tail.
+        |e| &bytes[..e.valid_up_to()],
+        |_| bytes,
+    );
+    let text = std::str::from_utf8(text).expect("prefix is valid UTF-8");
+    let invalid_suffix = bytes.len() - text.len();
+
+    // Split into content regions. Only a region terminated by '\n' was
+    // fully committed; an unterminated tail is by definition torn.
+    let mut regions: Vec<(usize, &str, bool)> = Vec::new(); // (offset, line, terminated)
+    let mut offset = 0;
+    while offset < text.len() {
+        match text[offset..].find('\n') {
+            Some(rel) => {
+                regions.push((offset, &text[offset..offset + rel], true));
+                offset += rel + 1;
+            }
+            None => {
+                regions.push((offset, &text[offset..], false));
+                break;
+            }
+        }
+    }
+
+    let Some(&(_, header_text, header_terminated)) = regions.first() else {
+        return Err(JournalError::Header("journal file is empty".to_string()));
+    };
+    if !header_terminated {
+        return Err(JournalError::Header(
+            "journal ends inside the header record".to_string(),
+        ));
+    }
+    let header = parse_header(header_text).map_err(JournalError::Header)?;
+    if header.schema != JOURNAL_SCHEMA_VERSION {
+        return Err(JournalError::Header(format!(
+            "schema version {} (this build reads version {})",
+            header.schema, JOURNAL_SCHEMA_VERSION
+        )));
+    }
+
+    let mut entries = Vec::new();
+    let mut torn_bytes = 0;
+    for (i, &(start, line, terminated)) in regions.iter().enumerate().skip(1) {
+        let last = i + 1 == regions.len();
+        match parse_entry(line) {
+            Ok(entry) if terminated => entries.push(entry),
+            // Parsed but unterminated: the '\n' (and possibly the
+            // sync_data) never landed — the record was not committed.
+            Ok(_) => torn_bytes = bytes.len() - start,
+            Err(detail) => {
+                if last {
+                    torn_bytes = bytes.len() - start;
+                } else {
+                    return Err(JournalError::Corrupt {
+                        line: i + 1,
+                        detail,
+                    });
+                }
+            }
+        }
+    }
+    if torn_bytes == 0 && invalid_suffix > 0 {
+        // Invalid UTF-8 dangling after the last complete line.
+        torn_bytes = invalid_suffix;
+    }
+    Ok(RecoveredJournal {
+        header,
+        entries,
+        torn_bytes,
+    })
+}
+
+/// An open journal file accepting durable appends.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path`, truncating any existing file,
+    /// and durably writes the header.
+    pub fn create(path: &Path, header: &JournalHeader) -> Result<Journal, JournalError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(header_line(header).as_bytes())?;
+        file.sync_data()?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Re-opens an existing journal for resumption: recovers its records,
+    /// truncates any torn tail, and positions for appending.
+    ///
+    /// The caller checks the returned header's fingerprint against the
+    /// current campaign configuration before trusting the entries.
+    pub fn resume(path: &Path) -> Result<(Journal, RecoveredJournal), JournalError> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let recovered = recover(&bytes)?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        if recovered.torn_bytes > 0 {
+            let keep = (bytes.len() - recovered.torn_bytes) as u64;
+            file.set_len(keep)?;
+            file.sync_data()?;
+        }
+        Ok((
+            Journal {
+                file,
+                path: path.to_path_buf(),
+            },
+            recovered,
+        ))
+    }
+
+    /// Durably appends one check record. On return the record has been
+    /// handed to the device (`sync_data`), so a later crash cannot lose it.
+    pub fn append(&mut self, entry: &JournalEntry) -> Result<(), JournalError> {
+        self.file.write_all(entry_line(entry).as_bytes())?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocc_bmc::{CheckMode, ContentKey};
+    use autocc_core::{AutoCcOutcome, CheckReport};
+    use autocc_telemetry::SolverCounters;
+    use std::time::Duration;
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            schema: JOURNAL_SCHEMA_VERSION,
+            fingerprint: 0xabcd,
+            root: "test".to_string(),
+        }
+    }
+
+    fn entry(id: &str, key: u64, bound: usize) -> JournalEntry {
+        JournalEntry {
+            key: ContentKey(key),
+            id: id.to_string(),
+            mode: CheckMode::Check,
+            engine: "portfolio".to_string(),
+            attempt: 1,
+            report: CheckReport {
+                outcome: AutoCcOutcome::Clean { bound },
+                elapsed: Duration::from_micros(77),
+                stats: SolverCounters::default(),
+            },
+        }
+    }
+
+    fn journal_bytes(entries: &[JournalEntry]) -> Vec<u8> {
+        let mut bytes = header_line(&header()).into_bytes();
+        for e in entries {
+            bytes.extend_from_slice(entry_line(e).as_bytes());
+        }
+        bytes
+    }
+
+    #[test]
+    fn clean_journal_recovers_fully() {
+        let entries = vec![entry("A", 1, 5), entry("B", 2, 6)];
+        let rec = recover(&journal_bytes(&entries)).expect("recover");
+        assert_eq!(rec.header, header());
+        assert_eq!(rec.entries.len(), 2);
+        assert_eq!(rec.entries[1].key, ContentKey(2));
+        assert_eq!(rec.torn_bytes, 0);
+    }
+
+    #[test]
+    fn empty_and_headerless_files_are_rejected() {
+        assert!(matches!(recover(b""), Err(JournalError::Header(_))));
+        assert!(matches!(
+            recover(b"{\"kind\":\"check\"}\n"),
+            Err(JournalError::Header(_))
+        ));
+        // Torn header (no newline) is unrecoverable: nothing was committed.
+        let full = header_line(&header());
+        let torn = &full.as_bytes()[..full.len() - 5];
+        assert!(matches!(recover(torn), Err(JournalError::Header(_))));
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let mut h = header();
+        h.schema = JOURNAL_SCHEMA_VERSION + 1;
+        let bytes = header_line(&h).into_bytes();
+        let err = recover(&bytes).unwrap_err();
+        assert!(err.to_string().contains("schema version"), "{err}");
+    }
+
+    #[test]
+    fn torn_final_record_is_discarded() {
+        let entries = vec![entry("A", 1, 5), entry("B", 2, 6)];
+        let full = journal_bytes(&entries);
+        // Cut 10 bytes into the final record.
+        let torn_at = full.len() - 10;
+        let rec = recover(&full[..torn_at]).expect("recover");
+        assert_eq!(rec.entries.len(), 1);
+        assert_eq!(rec.entries[0].key, ContentKey(1));
+        assert!(rec.torn_bytes > 0);
+    }
+
+    #[test]
+    fn complete_but_unterminated_final_record_is_torn() {
+        // Everything but the trailing '\n' landed: still not committed.
+        let entries = vec![entry("A", 1, 5), entry("B", 2, 6)];
+        let full = journal_bytes(&entries);
+        let rec = recover(&full[..full.len() - 1]).expect("recover");
+        assert_eq!(rec.entries.len(), 1);
+        assert!(rec.torn_bytes > 0);
+    }
+
+    #[test]
+    fn corruption_before_the_tail_is_an_error() {
+        let mut bytes = header_line(&header()).into_bytes();
+        bytes.extend_from_slice(b"garbage line\n");
+        bytes.extend_from_slice(entry_line(&entry("B", 2, 6)).as_bytes());
+        match recover(&bytes) {
+            Err(JournalError::Corrupt { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_append_resume_round_trip() {
+        let dir = std::env::temp_dir().join(format!("autocc-journal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.jsonl");
+
+        let mut j = Journal::create(&path, &header()).expect("create");
+        j.append(&entry("A", 1, 5)).expect("append");
+        j.append(&entry("B", 2, 6)).expect("append");
+        drop(j);
+
+        // Tear the tail on disk, then resume: the torn record is gone and
+        // the file is truncated back to the last intact entry.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let (mut j, rec) = Journal::resume(&path).expect("resume");
+        assert_eq!(rec.entries.len(), 1);
+        assert!(rec.torn_bytes > 0);
+        j.append(&entry("B", 2, 6)).expect("re-append");
+        drop(j);
+
+        let (_, rec) = Journal::resume(&path).expect("second resume");
+        assert_eq!(rec.entries.len(), 2);
+        assert_eq!(rec.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

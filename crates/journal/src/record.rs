@@ -1,0 +1,574 @@
+//! Journal record serialization: one JSON line per record.
+//!
+//! Two record kinds exist. The **header** (always line 1) pins the journal
+//! schema version and the [`config_fingerprint`] of the campaign
+//! configuration, so a resume under a different configuration is rejected
+//! instead of silently mixing regimes. Every following line is a **check
+//! record**: the content key, the full [`CheckReport`] (outcome including
+//! any counterexample trace, wall-clock time, solver counters), and
+//! engine/attempt provenance.
+//!
+//! The encoding is versioned (`JOURNAL_SCHEMA_VERSION`) and pinned by a
+//! byte-exact test; any format change must bump the version.
+//!
+//! [`config_fingerprint`]: autocc_bmc::config_fingerprint
+
+use crate::json::Json;
+use autocc_bmc::{CheckMode, ContentKey, FailureReason, JobFailure, Trace, UnknownCause};
+use autocc_core::{AutoCcOutcome, CheckReport, CovertChannelCex, StateDivergence};
+use autocc_hdl::Bv;
+use autocc_telemetry::SolverCounters;
+use std::time::Duration;
+
+/// Version of the journal line format. Bump on any encoding change; the
+/// recovery loader refuses journals from other versions.
+pub const JOURNAL_SCHEMA_VERSION: u64 = 1;
+
+/// The journal's first record: schema + campaign-config identity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// [`JOURNAL_SCHEMA_VERSION`] at write time.
+    pub schema: u64,
+    /// [`autocc_bmc::config_fingerprint`] of the campaign's `CheckConfig`.
+    pub fingerprint: u64,
+    /// Campaign name (`table1`, `table2`, `fix_validation`, a DUT name).
+    pub root: String,
+}
+
+/// One completed (or watchdog-abandoned) check.
+#[derive(Clone, Debug)]
+pub struct JournalEntry {
+    /// Content address of the check (COI-sliced AIG + property +
+    /// deterministic budgets + mode).
+    pub key: ContentKey,
+    /// Experiment id (`V5`, `C2`, ...) — display provenance only; cache
+    /// lookups go through `key`.
+    pub id: String,
+    /// Bounded check or proof attempt.
+    pub mode: CheckMode,
+    /// What produced the record (`portfolio`, `watchdog`, ...).
+    pub engine: String,
+    /// Campaign attempt ordinal (1 = first run; `--retry-failed` reruns
+    /// append a fresh record with the next ordinal).
+    pub attempt: u32,
+    /// The full result: outcome, wall-clock time, solver counters.
+    pub report: CheckReport,
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn hex16(v: u64) -> Json {
+    Json::Str(format!("{v:016x}"))
+}
+
+fn bv_json(v: Bv) -> Json {
+    Json::Arr(vec![Json::Num(u64::from(v.width())), Json::Num(v.value())])
+}
+
+fn counters_json(c: &SolverCounters) -> Json {
+    Json::Arr(vec![
+        Json::Num(c.solve_calls),
+        Json::Num(c.conflicts),
+        Json::Num(c.decisions),
+        Json::Num(c.propagations),
+        Json::Num(c.restarts),
+        Json::Num(c.learnt_clauses),
+        Json::Num(c.deleted_clauses),
+    ])
+}
+
+fn trace_json(trace: &Trace, num_ports: usize) -> Json {
+    Json::Arr(
+        (0..trace.len())
+            .map(|t| Json::Arr((0..num_ports).map(|p| bv_json(trace.input(t, p))).collect()))
+            .collect(),
+    )
+}
+
+fn divergence_json(d: &StateDivergence) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str(d.name.clone())),
+        ("first".to_string(), Json::Num(d.first_diff_cycle as u64)),
+        ("last".to_string(), Json::Num(d.last_diff_cycle as u64)),
+        ("a".to_string(), bv_json(d.value_a)),
+        ("b".to_string(), bv_json(d.value_b)),
+    ])
+}
+
+fn reason_str(r: FailureReason) -> &'static str {
+    match r {
+        FailureReason::ReplayMismatch => "replay-mismatch",
+        FailureReason::InternalInconsistency => "internal-inconsistency",
+        FailureReason::Panic => "panic",
+        FailureReason::Hang => "hang",
+    }
+}
+
+fn parse_reason(s: &str) -> Option<FailureReason> {
+    Some(match s {
+        "replay-mismatch" => FailureReason::ReplayMismatch,
+        "internal-inconsistency" => FailureReason::InternalInconsistency,
+        "panic" => FailureReason::Panic,
+        "hang" => FailureReason::Hang,
+        _ => return None,
+    })
+}
+
+fn cause_str(c: UnknownCause) -> &'static str {
+    match c {
+        UnknownCause::TimeBudget => "time-budget",
+        UnknownCause::Cancelled => "cancelled",
+    }
+}
+
+fn parse_cause(s: &str) -> Option<UnknownCause> {
+    Some(match s {
+        "time-budget" => UnknownCause::TimeBudget,
+        "cancelled" => UnknownCause::Cancelled,
+        _ => return None,
+    })
+}
+
+fn failure_json(f: &JobFailure) -> Json {
+    Json::Obj(vec![
+        ("engine".to_string(), Json::Str(f.engine.clone())),
+        (
+            "property".to_string(),
+            f.property
+                .as_ref()
+                .map_or(Json::Null, |p| Json::Str(p.clone())),
+        ),
+        ("depth".to_string(), Json::Num(f.depth as u64)),
+        ("reason".to_string(), Json::Str(reason_str(f.reason).into())),
+        ("detail".to_string(), Json::Str(f.detail.clone())),
+        ("attempts".to_string(), Json::Num(u64::from(f.attempts))),
+    ])
+}
+
+/// Encodes an outcome as a tagged JSON object.
+pub fn outcome_json(outcome: &AutoCcOutcome) -> Json {
+    let kind = |k: &str| ("kind".to_string(), Json::Str(k.to_string()));
+    match outcome {
+        AutoCcOutcome::Cex(cex) => {
+            let num_ports = cex.trace.num_ports();
+            Json::Obj(vec![
+                kind("cex"),
+                ("property".to_string(), Json::Str(cex.property.clone())),
+                ("depth".to_string(), Json::Num(cex.depth as u64)),
+                (
+                    "spy_start".to_string(),
+                    Json::Num(cex.spy_start_cycle as u64),
+                ),
+                ("trace".to_string(), trace_json(&cex.trace, num_ports)),
+                (
+                    "diverging".to_string(),
+                    Json::Arr(cex.diverging_state.iter().map(divergence_json).collect()),
+                ),
+            ])
+        }
+        AutoCcOutcome::Clean { bound } => Json::Obj(vec![
+            kind("clean"),
+            ("bound".to_string(), Json::Num(*bound as u64)),
+        ]),
+        AutoCcOutcome::Proved { induction_depth } => Json::Obj(vec![
+            kind("proved"),
+            ("k".to_string(), Json::Num(*induction_depth as u64)),
+        ]),
+        AutoCcOutcome::Exhausted { bound } => Json::Obj(vec![
+            kind("exhausted"),
+            ("bound".to_string(), Json::Num(*bound as u64)),
+        ]),
+        AutoCcOutcome::Unknown { bound, cause } => Json::Obj(vec![
+            kind("unknown"),
+            ("bound".to_string(), Json::Num(*bound as u64)),
+            ("cause".to_string(), Json::Str(cause_str(*cause).into())),
+        ]),
+        AutoCcOutcome::Failed { failures } => Json::Obj(vec![
+            kind("failed"),
+            (
+                "failures".to_string(),
+                Json::Arr(failures.iter().map(failure_json).collect()),
+            ),
+        ]),
+    }
+}
+
+/// Serializes the header as one newline-terminated JSON line.
+pub fn header_line(header: &JournalHeader) -> String {
+    let mut out = Json::Obj(vec![
+        ("kind".to_string(), Json::Str("header".to_string())),
+        ("schema".to_string(), Json::Num(header.schema)),
+        ("fingerprint".to_string(), hex16(header.fingerprint)),
+        ("root".to_string(), Json::Str(header.root.clone())),
+    ])
+    .to_string_compact();
+    out.push('\n');
+    out
+}
+
+/// Serializes a check record as one newline-terminated JSON line.
+pub fn entry_line(entry: &JournalEntry) -> String {
+    let mut out = Json::Obj(vec![
+        ("kind".to_string(), Json::Str("check".to_string())),
+        ("key".to_string(), Json::Str(entry.key.to_string())),
+        ("id".to_string(), Json::Str(entry.id.clone())),
+        (
+            "mode".to_string(),
+            Json::Str(entry.mode.as_str().to_string()),
+        ),
+        ("engine".to_string(), Json::Str(entry.engine.clone())),
+        ("attempt".to_string(), Json::Num(u64::from(entry.attempt))),
+        (
+            "elapsed_us".to_string(),
+            Json::Num(entry.report.elapsed.as_micros() as u64),
+        ),
+        ("stats".to_string(), counters_json(&entry.report.stats)),
+        ("outcome".to_string(), outcome_json(&entry.report.outcome)),
+    ])
+    .to_string_compact();
+    out.push('\n');
+    out
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+fn field<'j>(v: &'j Json, key: &str) -> Result<&'j Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, String> {
+    Ok(field(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field `{key}` is not a string"))?
+        .to_string())
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field `{key}` is not an integer"))
+}
+
+fn usize_field(v: &Json, key: &str) -> Result<usize, String> {
+    Ok(u64_field(v, key)? as usize)
+}
+
+fn hex_field(v: &Json, key: &str) -> Result<u64, String> {
+    let s = str_field(v, key)?;
+    ContentKey::parse_hex(&s)
+        .map(|k| k.0)
+        .ok_or_else(|| format!("field `{key}` is not a 16-hex-digit value"))
+}
+
+fn parse_bv(v: &Json) -> Result<Bv, String> {
+    let pair = v.as_arr().ok_or("bit-vector is not a [width,value] pair")?;
+    let (w, val) = match pair {
+        [w, val] => (
+            w.as_u64().ok_or("bad bit-vector width")?,
+            val.as_u64().ok_or("bad bit-vector value")?,
+        ),
+        _ => return Err("bit-vector is not a 2-element array".to_string()),
+    };
+    if w == 0 || w > 64 {
+        return Err(format!("bit-vector width {w} out of range"));
+    }
+    Ok(Bv::new(w as u32, val))
+}
+
+fn parse_counters(v: &Json) -> Result<SolverCounters, String> {
+    let items = v.as_arr().ok_or("stats is not an array")?;
+    let get = |i: usize| -> Result<u64, String> {
+        items
+            .get(i)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("stats[{i}] missing or non-integer"))
+    };
+    if items.len() != 7 {
+        return Err(format!("stats has {} fields, expected 7", items.len()));
+    }
+    Ok(SolverCounters {
+        solve_calls: get(0)?,
+        conflicts: get(1)?,
+        decisions: get(2)?,
+        propagations: get(3)?,
+        restarts: get(4)?,
+        learnt_clauses: get(5)?,
+        deleted_clauses: get(6)?,
+    })
+}
+
+fn parse_trace(v: &Json) -> Result<Trace, String> {
+    let cycles = v.as_arr().ok_or("trace is not an array")?;
+    let mut inputs = Vec::with_capacity(cycles.len());
+    for cycle in cycles {
+        let ports = cycle.as_arr().ok_or("trace cycle is not an array")?;
+        inputs.push(ports.iter().map(parse_bv).collect::<Result<Vec<_>, _>>()?);
+    }
+    Ok(Trace::new(inputs))
+}
+
+fn parse_divergence(v: &Json) -> Result<StateDivergence, String> {
+    Ok(StateDivergence {
+        name: str_field(v, "name")?,
+        first_diff_cycle: usize_field(v, "first")?,
+        last_diff_cycle: usize_field(v, "last")?,
+        value_a: parse_bv(field(v, "a")?)?,
+        value_b: parse_bv(field(v, "b")?)?,
+    })
+}
+
+fn parse_failure(v: &Json) -> Result<JobFailure, String> {
+    let property = match field(v, "property")? {
+        Json::Null => None,
+        p => Some(
+            p.as_str()
+                .ok_or("failure property is neither null nor a string")?
+                .to_string(),
+        ),
+    };
+    let reason_s = str_field(v, "reason")?;
+    Ok(JobFailure {
+        engine: str_field(v, "engine")?,
+        property,
+        depth: usize_field(v, "depth")?,
+        reason: parse_reason(&reason_s).ok_or_else(|| format!("unknown reason `{reason_s}`"))?,
+        detail: str_field(v, "detail")?,
+        attempts: u64_field(v, "attempts")? as u32,
+    })
+}
+
+/// Decodes an outcome encoded by [`outcome_json`].
+pub fn parse_outcome(v: &Json) -> Result<AutoCcOutcome, String> {
+    let kind = str_field(v, "kind")?;
+    Ok(match kind.as_str() {
+        "cex" => AutoCcOutcome::Cex(Box::new(CovertChannelCex {
+            property: str_field(v, "property")?,
+            depth: usize_field(v, "depth")?,
+            trace: parse_trace(field(v, "trace")?)?,
+            spy_start_cycle: usize_field(v, "spy_start")?,
+            diverging_state: field(v, "diverging")?
+                .as_arr()
+                .ok_or("diverging is not an array")?
+                .iter()
+                .map(parse_divergence)
+                .collect::<Result<Vec<_>, _>>()?,
+        })),
+        "clean" => AutoCcOutcome::Clean {
+            bound: usize_field(v, "bound")?,
+        },
+        "proved" => AutoCcOutcome::Proved {
+            induction_depth: usize_field(v, "k")?,
+        },
+        "exhausted" => AutoCcOutcome::Exhausted {
+            bound: usize_field(v, "bound")?,
+        },
+        "unknown" => {
+            let cause_s = str_field(v, "cause")?;
+            AutoCcOutcome::Unknown {
+                bound: usize_field(v, "bound")?,
+                cause: parse_cause(&cause_s).ok_or_else(|| format!("unknown cause `{cause_s}`"))?,
+            }
+        }
+        "failed" => AutoCcOutcome::Failed {
+            failures: field(v, "failures")?
+                .as_arr()
+                .ok_or("failures is not an array")?
+                .iter()
+                .map(parse_failure)
+                .collect::<Result<Vec<_>, _>>()?,
+        },
+        other => return Err(format!("unknown outcome kind `{other}`")),
+    })
+}
+
+/// Decodes a header line.
+pub fn parse_header(line: &str) -> Result<JournalHeader, String> {
+    let v = Json::parse(line)?;
+    let kind = str_field(&v, "kind")?;
+    if kind != "header" {
+        return Err(format!("first record has kind `{kind}`, expected `header`"));
+    }
+    Ok(JournalHeader {
+        schema: u64_field(&v, "schema")?,
+        fingerprint: hex_field(&v, "fingerprint")?,
+        root: str_field(&v, "root")?,
+    })
+}
+
+/// Decodes a check-record line.
+pub fn parse_entry(line: &str) -> Result<JournalEntry, String> {
+    let v = Json::parse(line)?;
+    let kind = str_field(&v, "kind")?;
+    if kind != "check" {
+        return Err(format!("record has kind `{kind}`, expected `check`"));
+    }
+    let mode_s = str_field(&v, "mode")?;
+    Ok(JournalEntry {
+        key: ContentKey(hex_field(&v, "key")?),
+        id: str_field(&v, "id")?,
+        mode: CheckMode::parse(&mode_s).ok_or_else(|| format!("unknown mode `{mode_s}`"))?,
+        engine: str_field(&v, "engine")?,
+        attempt: u64_field(&v, "attempt")? as u32,
+        report: CheckReport {
+            outcome: parse_outcome(field(&v, "outcome")?)?,
+            elapsed: Duration::from_micros(u64_field(&v, "elapsed_us")?),
+            stats: parse_counters(field(&v, "stats")?)?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let h = JournalHeader {
+            schema: JOURNAL_SCHEMA_VERSION,
+            fingerprint: 0xdead_beef_0bad_cafe,
+            root: "table1".to_string(),
+        };
+        let line = header_line(&h);
+        assert!(line.ends_with('\n'));
+        assert_eq!(parse_header(line.trim_end()).unwrap(), h);
+    }
+
+    #[test]
+    fn non_header_first_record_is_rejected() {
+        assert!(parse_header("{\"kind\":\"check\"}").is_err());
+        assert!(parse_header("garbage").is_err());
+    }
+
+    #[test]
+    fn cex_entry_round_trips_through_bytes() {
+        let cex = CovertChannelCex {
+            property: "as__q_eq".to_string(),
+            depth: 2,
+            trace: Trace::new(vec![
+                vec![Bv::new(1, 1), Bv::new(8, 0xab)],
+                vec![Bv::new(1, 0), Bv::new(8, 0)],
+            ]),
+            spy_start_cycle: 1,
+            diverging_state: vec![StateDivergence {
+                name: "bank0".to_string(),
+                first_diff_cycle: 0,
+                last_diff_cycle: 1,
+                value_a: Bv::new(8, 0xab),
+                value_b: Bv::new(8, 0),
+            }],
+        };
+        let entry = JournalEntry {
+            key: ContentKey(42),
+            id: "A1".to_string(),
+            mode: CheckMode::Check,
+            engine: "portfolio".to_string(),
+            attempt: 1,
+            report: CheckReport {
+                outcome: AutoCcOutcome::Cex(Box::new(cex)),
+                elapsed: Duration::from_micros(12345),
+                stats: SolverCounters {
+                    solve_calls: 3,
+                    conflicts: 99,
+                    ..SolverCounters::default()
+                },
+            },
+        };
+        let line = entry_line(&entry);
+        let decoded = parse_entry(line.trim_end()).expect("decode");
+        // Encoding is canonical, so a decode/encode cycle is byte-stable.
+        assert_eq!(entry_line(&decoded), line);
+        let cex = decoded.report.outcome.cex().expect("cex");
+        assert_eq!(cex.property, "as__q_eq");
+        assert_eq!(cex.trace.len(), 2);
+        assert_eq!(cex.trace.input(0, 1), Bv::new(8, 0xab));
+        assert_eq!(cex.diverging_state[0].name, "bank0");
+        assert_eq!(decoded.report.elapsed, Duration::from_micros(12345));
+        assert_eq!(decoded.report.stats.conflicts, 99);
+    }
+
+    #[test]
+    fn every_plain_outcome_round_trips() {
+        use autocc_bmc::{FailureReason, JobFailure, UnknownCause};
+        let outcomes = vec![
+            AutoCcOutcome::Clean { bound: 12 },
+            AutoCcOutcome::Proved { induction_depth: 4 },
+            AutoCcOutcome::Exhausted { bound: 7 },
+            AutoCcOutcome::Unknown {
+                bound: 3,
+                cause: UnknownCause::TimeBudget,
+            },
+            AutoCcOutcome::Unknown {
+                bound: 0,
+                cause: UnknownCause::Cancelled,
+            },
+            AutoCcOutcome::Failed {
+                failures: vec![JobFailure {
+                    engine: "watchdog".to_string(),
+                    property: None,
+                    depth: 0,
+                    reason: FailureReason::Hang,
+                    detail: "exceeded 4x budget".to_string(),
+                    attempts: 2,
+                }],
+            },
+        ];
+        for outcome in outcomes {
+            let j = outcome_json(&outcome);
+            let back = parse_outcome(&j).expect("decode");
+            assert_eq!(outcome_json(&back), j);
+        }
+    }
+
+    #[test]
+    fn pinned_bytes_guard_the_schema() {
+        // Byte-exact golden lines: if this test fails, the on-disk format
+        // changed — bump JOURNAL_SCHEMA_VERSION and update the goldens.
+        assert_eq!(JOURNAL_SCHEMA_VERSION, 1);
+        let header = JournalHeader {
+            schema: JOURNAL_SCHEMA_VERSION,
+            fingerprint: 0x0123_4567_89ab_cdef,
+            root: "table1".to_string(),
+        };
+        assert_eq!(
+            header_line(&header),
+            "{\"kind\":\"header\",\"schema\":1,\"fingerprint\":\"0123456789abcdef\",\
+             \"root\":\"table1\"}\n"
+        );
+        let entry = JournalEntry {
+            key: ContentKey(0xfeed_face_cafe_f00d),
+            id: "V5".to_string(),
+            mode: CheckMode::Check,
+            engine: "portfolio".to_string(),
+            attempt: 1,
+            report: CheckReport {
+                outcome: AutoCcOutcome::Clean { bound: 20 },
+                elapsed: Duration::from_micros(250),
+                stats: SolverCounters::default(),
+            },
+        };
+        assert_eq!(
+            entry_line(&entry),
+            "{\"kind\":\"check\",\"key\":\"feedfacecafef00d\",\"id\":\"V5\",\
+             \"mode\":\"check\",\"engine\":\"portfolio\",\"attempt\":1,\
+             \"elapsed_us\":250,\"stats\":[0,0,0,0,0,0,0],\
+             \"outcome\":{\"kind\":\"clean\",\"bound\":20}}\n"
+        );
+    }
+
+    #[test]
+    fn corrupt_entries_are_rejected_with_context() {
+        for bad in [
+            "{\"kind\":\"check\"}",
+            "{\"kind\":\"header\",\"schema\":1,\"fingerprint\":\"00\",\"root\":\"x\"}",
+            "{\"kind\":\"check\",\"key\":\"zz\",\"id\":\"a\",\"mode\":\"check\",\
+             \"engine\":\"e\",\"attempt\":1,\"elapsed_us\":0,\
+             \"stats\":[0,0,0,0,0,0,0],\"outcome\":{\"kind\":\"clean\",\"bound\":1}}",
+        ] {
+            assert!(parse_entry(bad).is_err(), "accepted {bad}");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Torn-write recovery, exhaustively: truncate the final journal record
+//! at every byte offset and require that recovery keeps every intact
+//! entry, reports exactly the torn tail, and that a resumed journal
+//! heals the file so the lost check can be recommitted.
+
+use autocc_bmc::{CheckMode, ContentKey};
+use autocc_core::{AutoCcOutcome, CheckReport};
+use autocc_journal::{
+    entry_line, header_line, recover, Journal, JournalEntry, JournalHeader, JOURNAL_SCHEMA_VERSION,
+};
+use autocc_telemetry::SolverCounters;
+use std::time::Duration;
+
+fn header() -> JournalHeader {
+    JournalHeader {
+        schema: JOURNAL_SCHEMA_VERSION,
+        fingerprint: 0x00c0_ffee,
+        root: "torn-suite".to_string(),
+    }
+}
+
+fn entry(n: u64) -> JournalEntry {
+    JournalEntry {
+        key: ContentKey(0x1000 + n),
+        id: format!("E{n}"),
+        mode: CheckMode::Check,
+        engine: "portfolio".to_string(),
+        attempt: 1,
+        report: CheckReport {
+            outcome: AutoCcOutcome::Clean {
+                bound: 8 + n as usize,
+            },
+            elapsed: Duration::from_micros(100 + n),
+            stats: SolverCounters {
+                solve_calls: n,
+                conflicts: 2 * n,
+                ..SolverCounters::default()
+            },
+        },
+    }
+}
+
+/// Header plus two committed entries, then the final record — returned
+/// separately so tests can tear it apart byte by byte.
+fn journal_parts() -> (Vec<u8>, String) {
+    let mut intact = header_line(&header()).into_bytes();
+    intact.extend(entry_line(&entry(1)).into_bytes());
+    intact.extend(entry_line(&entry(2)).into_bytes());
+    (intact, entry_line(&entry(3)))
+}
+
+#[test]
+fn truncation_at_every_offset_keeps_exactly_the_intact_entries() {
+    let (intact, last) = journal_parts();
+    // `kept == last.len()` would be the complete record; everything short
+    // of that — including zero bytes — is a torn tail.
+    for kept in 0..last.len() {
+        let mut bytes = intact.clone();
+        bytes.extend(&last.as_bytes()[..kept]);
+        let recovered = recover(&bytes)
+            .unwrap_or_else(|e| panic!("recovery failed with {kept} torn bytes: {e}"));
+        assert_eq!(recovered.entries.len(), 2, "kept={kept}");
+        assert_eq!(recovered.torn_bytes, kept, "kept={kept}");
+        assert_eq!(entry_line(&recovered.entries[0]), entry_line(&entry(1)));
+        assert_eq!(entry_line(&recovered.entries[1]), entry_line(&entry(2)));
+        assert_eq!(recovered.header, header());
+    }
+}
+
+#[test]
+fn complete_final_record_is_never_discarded() {
+    let (intact, last) = journal_parts();
+    let mut bytes = intact;
+    bytes.extend(last.as_bytes());
+    let recovered = recover(&bytes).unwrap();
+    assert_eq!(recovered.entries.len(), 3);
+    assert_eq!(recovered.torn_bytes, 0);
+    assert_eq!(entry_line(&recovered.entries[2]), last);
+}
+
+#[test]
+fn resume_truncates_the_torn_tail_and_recommits_the_lost_record() {
+    let (intact, last) = journal_parts();
+    let path = std::env::temp_dir().join(format!(
+        "autocc-journal-recovery-{}.jsonl",
+        std::process::id()
+    ));
+    // A spread of tear points: first byte, mid-record, one byte short of
+    // the commit (the newline itself).
+    for kept in [1, last.len() / 2, last.len() - 1] {
+        let mut bytes = intact.clone();
+        bytes.extend(&last.as_bytes()[..kept]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (mut journal, recovered) = Journal::resume(&path).unwrap();
+        assert_eq!(recovered.entries.len(), 2, "kept={kept}");
+        assert_eq!(recovered.torn_bytes, kept, "kept={kept}");
+        // The file itself healed: the torn bytes are gone from disk.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), intact.len() as u64);
+
+        // Re-running "exactly the lost check" appends it after the intact
+        // prefix, as if the crash had never happened.
+        journal.append(&entry(3)).unwrap();
+        drop(journal);
+        let healed = recover(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(healed.entries.len(), 3);
+        assert_eq!(healed.torn_bytes, 0);
+        assert_eq!(entry_line(&healed.entries[2]), last);
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -14,6 +14,8 @@
 //! * [`sysim`] — system-level co-simulation and exploits.
 //! * [`telemetry`] — check-pipeline observability: spans, solver
 //!   counters, run profiles.
+//! * [`journal`] — crash-safe run journal: append-only fsync'd check
+//!   records, torn-tail recovery, content-addressed resume.
 //!
 //! See the repository README for a quickstart, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -26,6 +28,7 @@ pub use autocc_bmc as bmc;
 pub use autocc_core as core;
 pub use autocc_duts as duts;
 pub use autocc_hdl as hdl;
+pub use autocc_journal as journal;
 pub use autocc_sat as sat;
 pub use autocc_sysim as sysim;
 pub use autocc_telemetry as telemetry;

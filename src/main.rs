@@ -7,6 +7,7 @@
 //! autocc <dut> [--depth N] [--threshold N] [--jobs N] [--slice on|off]
 //!              [--retries N] [--timeout SECS] [--poll-interval N]
 //!              [--profile FILE]
+//!              [--journal FILE] [--resume | --fresh]
 //!              [--prove] [--minimize] [--sva] [--verilog] [--vcd FILE]
 //!              [--list]
 //! ```
@@ -22,15 +23,17 @@
 //! `maple`, `maple-fixed`, `aes`, `aes-refined`, `config-device`,
 //! `config-device-fixed`.
 
-use autocc::bmc::CheckConfig;
-use autocc::core::{format_duration, to_sva, AutoCcOutcome, FpvTestbench, FtSpec};
+use autocc::bmc::{config_fingerprint, content_key, CheckConfig, CheckMode};
+use autocc::core::{format_duration, to_sva, AutoCcOutcome, CheckReport, FpvTestbench, FtSpec};
 use autocc::duts::aes::{build_aes, stage_valid_names, AesConfig};
 use autocc::duts::cva6::{build_cva6, Cva6Config, ARCH_REGS};
 use autocc::duts::demo::config_device;
 use autocc::duts::maple::{build_maple, MapleConfig};
 use autocc::duts::vscale::{arch, build_vscale, VscaleConfig};
 use autocc::hdl::{to_verilog, Instance, Module, ModuleBuilder, NodeId};
+use autocc::journal::{Journal, JournalEntry, JournalHeader, JOURNAL_SCHEMA_VERSION};
 use autocc::telemetry::{ProfileRecorder, Telemetry};
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -61,6 +64,9 @@ struct Args {
     timeout: Duration,
     poll_interval: u64,
     profile: Option<String>,
+    journal: Option<String>,
+    resume: bool,
+    fresh: bool,
     prove: bool,
     minimize: bool,
     dump_sva: bool,
@@ -72,6 +78,7 @@ fn usage() -> ExitCode {
     eprintln!("usage: autocc <dut> [--depth N] [--threshold N] [--jobs N]");
     eprintln!("              [--slice on|off] [--retries N] [--timeout SECS]");
     eprintln!("              [--poll-interval N] [--profile FILE]");
+    eprintln!("              [--journal FILE] [--resume | --fresh]");
     eprintln!("              [--prove] [--minimize]");
     eprintln!("              [--sva] [--verilog] [--vcd FILE]");
     eprintln!("       autocc --list");
@@ -90,6 +97,9 @@ fn parse_args() -> Result<Args, ExitCode> {
         timeout: Duration::from_secs(3600),
         poll_interval: 128,
         profile: None,
+        journal: None,
+        resume: false,
+        fresh: false,
         prove: false,
         minimize: false,
         dump_sva: false,
@@ -144,6 +154,9 @@ fn parse_args() -> Result<Args, ExitCode> {
                     .ok_or_else(usage)?;
             }
             "--profile" => args.profile = Some(argv.next().ok_or_else(usage)?),
+            "--journal" => args.journal = Some(argv.next().ok_or_else(usage)?),
+            "--resume" => args.resume = true,
+            "--fresh" => args.fresh = true,
             "--prove" => args.prove = true,
             "--minimize" => args.minimize = true,
             "--sva" => args.dump_sva = true,
@@ -336,6 +349,122 @@ fn report(
     }
 }
 
+/// Runs the check through the crash-safe journal: an identical completed
+/// check (same content key: COI-sliced miter, properties, deterministic
+/// budgets, mode) is served from the journal — replay-certifying any
+/// cached counterexample first — and anything else runs live and is
+/// committed durably before being reported.
+fn run_journaled(
+    ft: &FpvTestbench,
+    config: &CheckConfig,
+    args: &Args,
+    path: &Path,
+) -> Result<CheckReport, String> {
+    let mode = if args.prove {
+        CheckMode::Prove
+    } else {
+        CheckMode::Check
+    };
+    let key = content_key(ft.miter(), ft.properties(), ft.constraints(), config, mode);
+    let fingerprint = config_fingerprint(config);
+    let header = JournalHeader {
+        schema: JOURNAL_SCHEMA_VERSION,
+        fingerprint,
+        root: args.dut.clone(),
+    };
+    let (mut journal, cached) = if args.fresh || !path.exists() {
+        let journal = Journal::create(path, &header).map_err(|e| e.to_string())?;
+        (journal, None)
+    } else if args.resume {
+        let (journal, recovered) = Journal::resume(path).map_err(|e| e.to_string())?;
+        if recovered.header.root != header.root {
+            return Err(format!(
+                "journal {} belongs to DUT `{}`, not `{}`",
+                path.display(),
+                recovered.header.root,
+                header.root
+            ));
+        }
+        if recovered.header.fingerprint != fingerprint {
+            return Err(format!(
+                "journal {} was written under a different check configuration; \
+                 rerun with --fresh",
+                path.display()
+            ));
+        }
+        if recovered.torn_bytes > 0 {
+            eprintln!(
+                "journal: discarded {} torn trailing bytes",
+                recovered.torn_bytes
+            );
+        }
+        // Latest entry wins: a re-run of the same key supersedes its
+        // predecessors.
+        let entry = recovered
+            .entries
+            .into_iter()
+            .rev()
+            .find(|e| e.key == key && e.mode == mode);
+        (journal, entry)
+    } else {
+        return Err(format!(
+            "journal {} already exists; pass --resume to continue it or --fresh to start over",
+            path.display()
+        ));
+    };
+    let attempt = cached.as_ref().map_or(1, |e| e.attempt + 1);
+    if let Some(entry) = &cached {
+        match &entry.report.outcome {
+            AutoCcOutcome::Cex(cex) => {
+                // Never trust a cached counterexample: replay-certify it
+                // against the freshly built testbench; re-run on mismatch.
+                let raw = autocc::bmc::Cex {
+                    property: cex.property.clone(),
+                    depth: cex.depth,
+                    trace: cex.trace.clone(),
+                };
+                match ft.certify_cex(&raw) {
+                    Ok(certified) => {
+                        println!("journal: serving replay-certified cached CEX ({key})");
+                        return Ok(CheckReport {
+                            outcome: AutoCcOutcome::Cex(Box::new(certified)),
+                            elapsed: entry.report.elapsed,
+                            stats: entry.report.stats,
+                        });
+                    }
+                    Err(failure) => eprintln!(
+                        "journal: cached CEX failed certification ({}); re-running",
+                        failure.detail
+                    ),
+                }
+            }
+            _ => {
+                println!("journal: serving cached result ({key})");
+                return Ok(entry.report.clone());
+            }
+        }
+    }
+    let run = if args.prove {
+        ft.prove_portfolio(config)
+    } else {
+        ft.check_portfolio(config)
+    };
+    let entry = JournalEntry {
+        key,
+        id: args.dut.clone(),
+        mode,
+        engine: "portfolio".to_string(),
+        attempt,
+        report: run.clone(),
+    };
+    // An append failure costs only durability of this one record — warn
+    // and still report the live result.
+    if let Err(e) = journal.append(&entry) {
+        eprintln!("journal: failed to append to {}: {e}", path.display());
+    }
+    Ok(run)
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -388,10 +517,16 @@ fn main() -> ExitCode {
     if let Some(recorder) = &recorder {
         config.telemetry = Telemetry::root(recorder.clone(), &args.dut);
     }
-    let run = if args.prove {
-        ft.prove_portfolio(&config)
-    } else {
-        ft.check_portfolio(&config)
+    let run = match &args.journal {
+        Some(path) => match run_journaled(&ft, &config, &args, Path::new(path)) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None if args.prove => ft.prove_portfolio(&config),
+        None => ft.check_portfolio(&config),
     };
     report(&ft, &run.outcome, run.elapsed, args.minimize, &args.vcd);
     if let (Some(path), Some(recorder)) = (&args.profile, &recorder) {
