@@ -10,6 +10,7 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: profile_check <profile.json>";
 
 fn main() -> ExitCode {
+    autocc_bench::maybe_run_worker();
     let mut args = std::env::args().skip(1);
     let (Some(path), None) = (args.next(), args.next()) else {
         eprintln!("{USAGE}");

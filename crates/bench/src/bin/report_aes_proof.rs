@@ -15,6 +15,7 @@ const USAGE: &str = "usage: report_aes_proof [--jobs N] [--slice on|off]
   --profile PATH    write a JSON run profile (span tree + rollups)";
 
 fn main() {
+    autocc_bench::maybe_run_worker();
     let args = parse_report_args(USAGE);
     println!("== AES accelerator: A1 and the full proof (A.5.4) ==\n");
     let (config, sink) = args.instrument(default_options(14), "aes-proof");

@@ -7,6 +7,7 @@ use autocc_core::{format_duration, FtSpec};
 use autocc_duts::cva6::{build_cva6, Cva6Config, ARCH_REGS};
 
 fn main() {
+    autocc_bench::maybe_run_worker();
     println!("== CVA6 full-flush fence.t: the known channels ==\n");
     let dut = build_cva6(&Cva6Config::full_flush());
     let mut spec = FtSpec::new(&dut).flush_done(cva6_flush_done);

@@ -7,6 +7,7 @@ use autocc_core::FtSpec;
 use autocc_duts::aes::{build_aes, AesConfig};
 
 fn main() {
+    autocc_bench::maybe_run_worker();
     println!("== Fig. 3 (reproduced): context-switch convergence in a CEX ==\n");
     let dut = build_aes(&AesConfig::default());
     let ft = FtSpec::new(&dut).generate();

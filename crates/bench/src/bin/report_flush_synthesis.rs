@@ -12,6 +12,7 @@ fn flush_input(b: &mut ModuleBuilder, _ua: &Instance, _ub: &Instance) -> NodeId 
 }
 
 fn main() {
+    autocc_bench::maybe_run_worker();
     println!("== Flush synthesis (Algorithms 1 & 2) on the banked device ==\n");
     let config = FlushSynthesisConfig {
         check_options: default_options(12),

@@ -9,7 +9,8 @@ const USAGE: &str = "usage: report_table2 [--jobs N] [--slice on|off] [--stable]
                      [--retries N] [--timeout SECS] [--poll-interval N]
                      [--depth N] [--profile PATH]
                      [--journal PATH] [--resume | --fresh] [--retry-failed]
-                     [--hang-factor N]
+                     [--hang-factor N] [--isolate] [--memory-limit-mb N]
+                     [--worker-heartbeat-ms N]
   --jobs N          fan ladder stages across N portfolio workers (default 1)
   --slice on|off    per-property cone-of-influence slicing (default off)
   --stable          omit the Time column (byte-reproducible output)
@@ -24,9 +25,14 @@ const USAGE: &str = "usage: report_table2 [--jobs N] [--slice on|off] [--stable]
   --fresh           discard any existing journal and start over
   --retry-failed    re-run journaled FAILED checks instead of serving them
   --hang-factor N   watchdog limit as a multiple of the time budget
-                    (default 4; 0 disarms)";
+                    (default 4; 0 disarms)
+  --isolate         run each check attempt in a supervised worker subprocess
+  --memory-limit-mb N  kill (and quarantine repeat offenders) any worker
+                    whose RSS exceeds N MiB (needs --isolate)
+  --worker-heartbeat-ms N  isolated-worker heartbeat period (default 250)";
 
 fn main() {
+    autocc_bench::maybe_run_worker();
     let args = parse_report_args(USAGE);
     let (config, sink) = args.instrument(default_options(16), "table2");
     let options = args.campaign_options();

@@ -7,6 +7,7 @@ use autocc_core::{format_duration, AutoCcOutcome};
 use std::time::Duration;
 
 fn main() {
+    autocc_bench::maybe_run_worker();
     println!("== Vscale bounded proof under a time budget ==\n");
     let config = CheckConfig::default()
         .depth(48)

@@ -21,9 +21,10 @@
 //! campaign continues. On resume such rows are served from the journal
 //! (skipped) unless `--retry-failed` asks for another attempt.
 
+use crate::workers::{ProcEngine, WorkerLimits, WorkerPool};
 use autocc_bmc::{
     config_fingerprint, content_key, CheckConfig, CheckEngine, CheckMode, ContentKey,
-    FailureReason, JobFailure, Portfolio,
+    FailureReason, Isolation, JobFailure, Portfolio,
 };
 use autocc_core::{AutoCcOutcome, CheckReport, FpvTestbench, TableRow};
 use autocc_journal::{Journal, JournalEntry, JournalError, JournalHeader, JOURNAL_SCHEMA_VERSION};
@@ -108,6 +109,12 @@ pub struct CampaignOptions {
     /// (scaled by property count for bounded checks). `0` disarms the
     /// watchdog; it is also disarmed when no time budget is configured.
     pub hang_factor: u32,
+    /// Worker pool for process-isolated checks. Only consulted when the
+    /// campaign config asks for [`Isolation::Subprocess`]; `None` then
+    /// builds a default pool (`current_exe() worker`, limits from the
+    /// config). Tests inject pools pointing at a report binary or
+    /// carrying fault-injection environment.
+    pub pool: Option<Arc<WorkerPool>>,
 }
 
 impl Default for CampaignOptions {
@@ -118,6 +125,7 @@ impl Default for CampaignOptions {
             fresh: false,
             retry_failed: false,
             hang_factor: 4,
+            pool: None,
         }
     }
 }
@@ -269,6 +277,17 @@ pub fn run_campaign(
         Some(path) => Some(open_journal(path, name, config, options)?),
     };
     let counters = Counters::default();
+    // One pool supervises the whole campaign, so kill counts and the
+    // quarantine ledger aggregate across tasks and retries.
+    let pool: Option<Arc<WorkerPool>> = match config.isolation {
+        Isolation::InProcess => None,
+        Isolation::Subprocess => Some(
+            options
+                .pool
+                .clone()
+                .unwrap_or_else(|| Arc::new(WorkerPool::new(WorkerLimits::from_config(config)))),
+        ),
+    };
 
     let meta: Vec<(String, String)> = tasks
         .iter()
@@ -280,8 +299,9 @@ pub fn run_campaign(
         .map(|task| {
             let shared = shared.as_ref();
             let counters = &counters;
+            let pool = pool.as_ref();
             let worker: Box<dyn FnOnce() -> TableRow + Send + '_> =
-                Box::new(move || run_task(task, config, options, shared, counters));
+                Box::new(move || run_task(task, config, options, shared, pool, counters));
             worker
         })
         .collect();
@@ -364,6 +384,7 @@ fn run_task(
     config: &CheckConfig,
     options: &CampaignOptions,
     shared: Option<&SharedJournal>,
+    pool: Option<&Arc<WorkerPool>>,
     counters: &Counters,
 ) -> TableRow {
     let span = config.telemetry.child(SpanKind::Experiment, &task.span);
@@ -385,7 +406,16 @@ fn run_task(
     let row = match shared {
         None => {
             counters.live.fetch_add(1, Ordering::Relaxed);
-            let (report, _) = run_live(ft, &scoped, *mode, engine.clone(), options, 1, counters);
+            let (report, _) = run_live(
+                ft,
+                &scoped,
+                *mode,
+                engine.clone(),
+                pool,
+                options,
+                1,
+                counters,
+            );
             TableRow::from_report(id, &description, &report)
         }
         Some(shared) => {
@@ -407,6 +437,7 @@ fn run_task(
                         &scoped,
                         *mode,
                         engine.clone(),
+                        pool,
                         options,
                         attempt,
                         counters,
@@ -497,11 +528,13 @@ fn serve_cached(
 
 /// Runs the check live, under the supervisor watchdog when armed.
 /// Returns the report and whether the watchdog fired.
+#[allow(clippy::too_many_arguments)]
 fn run_live(
     ft: FpvTestbench,
     scoped: &CheckConfig,
     mode: CheckMode,
     engine: Option<Arc<dyn CheckEngine + Send + Sync>>,
+    pool: Option<&Arc<WorkerPool>>,
     options: &CampaignOptions,
     attempt: u32,
     counters: &Counters,
@@ -517,12 +550,29 @@ fn run_live(
         .filter(|_| options.hang_factor >= 1)
         .map(|budget| budget * options.hang_factor * serial_jobs);
     let config = scoped.clone();
+    let pool = pool.map(Arc::clone);
     let solve = move || match mode {
-        CheckMode::Check => match engine {
-            Some(engine) => ft.check_portfolio_with(&config, &*engine),
-            None => ft.check_portfolio(&config),
+        // An explicit engine override (the test seam) wins even over
+        // isolation; otherwise a pool substitutes the subprocess engines.
+        CheckMode::Check => match (engine, &pool) {
+            (Some(engine), _) => ft.check_portfolio_with(&config, &*engine),
+            (None, Some(pool)) => {
+                ft.check_portfolio_with(&config, &ProcEngine::for_check(Arc::clone(pool)))
+            }
+            (None, None) => ft.check_portfolio(&config),
         },
-        CheckMode::Prove => ft.prove_portfolio(&config),
+        CheckMode::Prove => match &pool {
+            Some(pool) => {
+                let induction = ProcEngine::for_prove(Arc::clone(pool));
+                if config.jobs > 1 {
+                    let falsifier = ProcEngine::falsifier(Arc::clone(pool));
+                    ft.prove_portfolio_with(&config, &[&induction, &falsifier])
+                } else {
+                    ft.prove_portfolio_with(&config, &[&induction])
+                }
+            }
+            None => ft.prove_portfolio(&config),
+        },
     };
     let Some(limit) = limit else {
         return (solve(), false);

@@ -47,6 +47,15 @@ pub struct ReportArgs {
     /// `--hang-factor N`: watchdog hard limit as a multiple of the
     /// per-job time budget (0 disarms the watchdog).
     pub hang_factor: u32,
+    /// `--isolate`: run each check attempt in a supervised worker
+    /// subprocess (same answers, process-sized blast radius).
+    pub isolate: bool,
+    /// `--memory-limit-mb N`: RSS ceiling per isolated worker, enforced
+    /// by the supervisor on every heartbeat. Implies nothing without
+    /// `--isolate`.
+    pub memory_limit_mb: Option<u64>,
+    /// `--worker-heartbeat-ms N`: heartbeat period for isolated workers.
+    pub worker_heartbeat_ms: Option<u64>,
 }
 
 impl Default for ReportArgs {
@@ -66,6 +75,9 @@ impl Default for ReportArgs {
             fresh: false,
             retry_failed: false,
             hang_factor: CampaignOptions::default().hang_factor,
+            isolate: false,
+            memory_limit_mb: None,
+            worker_heartbeat_ms: None,
         }
     }
 }
@@ -84,10 +96,18 @@ impl ReportArgs {
         if let Some(d) = self.depth {
             config = config.depth(d);
         }
+        if self.isolate {
+            config = config.isolate().memory_limit_mb(self.memory_limit_mb);
+        }
+        if let Some(ms) = self.worker_heartbeat_ms {
+            config = config.heartbeat_ms(ms);
+        }
         config
     }
 
-    /// The campaign journal/watchdog options these flags describe.
+    /// The campaign journal/watchdog options these flags describe. The
+    /// worker pool stays `None`: the campaign builds its own from the
+    /// config's isolation knobs (tests inject a pool directly).
     pub fn campaign_options(&self) -> CampaignOptions {
         CampaignOptions {
             journal: self.journal.clone(),
@@ -95,6 +115,7 @@ impl ReportArgs {
             fresh: self.fresh,
             retry_failed: self.retry_failed,
             hang_factor: self.hang_factor,
+            pool: None,
         }
     }
 
@@ -170,9 +191,10 @@ pub fn finish_profile(sink: &Option<ProfileSink>) {
 
 /// Parses `--jobs N`, `--slice on|off`, `--retries N`, `--timeout SECS`,
 /// `--poll-interval N`, `--profile PATH`, `--depth N`, `--stable`,
-/// `--detailed`, and the journal flags (`--journal PATH`, `--resume`,
-/// `--fresh`, `--retry-failed`, `--hang-factor N`) from `argv`. Unknown
-/// flags print `usage` and exit with status 2.
+/// `--detailed`, the journal flags (`--journal PATH`, `--resume`,
+/// `--fresh`, `--retry-failed`, `--hang-factor N`), and the isolation
+/// flags (`--isolate`, `--memory-limit-mb N`, `--worker-heartbeat-ms N`)
+/// from `argv`. Unknown flags print `usage` and exit with status 2.
 pub fn parse_report_args(usage: &str) -> ReportArgs {
     parse_report_arg_list(usage, std::env::args().skip(1))
 }
@@ -245,6 +267,27 @@ fn parse_report_arg_list(usage: &str, args: impl Iterator<Item = String>) -> Rep
                     .next()
                     .and_then(|v| v.parse::<u32>().ok())
                     .unwrap_or_else(|| die(usage, "--hang-factor needs a non-negative integer"));
+            }
+            "--isolate" => parsed.isolate = true,
+            "--memory-limit-mb" => {
+                parsed.memory_limit_mb = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .filter(|&m| m >= 1)
+                        .unwrap_or_else(|| {
+                            die(usage, "--memory-limit-mb needs a positive integer")
+                        }),
+                );
+            }
+            "--worker-heartbeat-ms" => {
+                parsed.worker_heartbeat_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .filter(|&m| m >= 1)
+                        .unwrap_or_else(|| {
+                            die(usage, "--worker-heartbeat-ms needs a positive integer")
+                        }),
+                );
             }
             "--stable" => parsed.stable = true,
             "--detailed" => parsed.detailed = true,
@@ -337,6 +380,29 @@ mod tests {
         assert_eq!(o.hang_factor, 2);
         let c = a.configure(CheckConfig::default().depth(20));
         assert_eq!(c.max_depth, 9, "--depth overrides the experiment default");
+    }
+
+    #[test]
+    fn isolation_flags_parse_and_configure() {
+        use autocc_bmc::Isolation;
+        let a = parse(&[]);
+        assert!(!a.isolate);
+        let c = a.configure(CheckConfig::default());
+        assert_eq!(c.isolation, Isolation::InProcess);
+
+        let a = parse(&[
+            "--isolate",
+            "--memory-limit-mb",
+            "512",
+            "--worker-heartbeat-ms",
+            "50",
+        ]);
+        assert!(a.isolate);
+        let c = a.configure(CheckConfig::default());
+        assert_eq!(c.isolation, Isolation::Subprocess);
+        assert_eq!(c.memory_limit_mb, Some(512));
+        assert_eq!(c.heartbeat_ms, 50);
+        assert!(a.campaign_options().pool.is_none());
     }
 
     #[test]

@@ -12,8 +12,10 @@
 pub mod campaign;
 pub mod cli;
 pub mod experiments;
+pub mod workers;
 pub use campaign::{
     run_campaign, CampaignError, CampaignOptions, CampaignOutcome, CampaignStats, CampaignTask,
 };
 pub use cli::{finish_profile, parse_report_args, ProfileSink, ReportArgs};
 pub use experiments::*;
+pub use workers::{maybe_run_worker, ProcEngine, WorkerLimits, WorkerPool};

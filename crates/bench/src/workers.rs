@@ -1,0 +1,474 @@
+//! Process-isolated check execution: a [`CheckEngine`] that runs each
+//! attempt in a supervised worker subprocess.
+//!
+//! In-process fault containment (panic catching, in-solver budgets) can
+//! not survive the faults that kill the *process*: an OOM kill, a
+//! runaway allocation, an `abort` in a dependency, a wedged solver that
+//! stops polling its budgets. [`ProcEngine`] moves the blast radius of
+//! one check attempt into a child process: the campaign supervisor
+//! ships the COI-relevant miter over the [`autocc_journal::ipc`]
+//! protocol, watches heartbeats for liveness and RSS, and maps every
+//! way a worker can die onto the existing failure taxonomy
+//! ([`FailureReason::WorkerDied`], [`FailureReason::MemoryLimit`],
+//! [`FailureReason::Hang`]) so a dead worker degrades one table row and
+//! nothing else.
+//!
+//! The [`WorkerPool`] holds the policy shared by every isolated attempt
+//! — worker command line, resource limits, and the **quarantine**
+//! ledger: a check (identified by its [`content_key`], the same
+//! identity the journal uses) that kills `quarantine_after` workers is
+//! presumed check-shaped poison, not worker bad luck. Further attempts
+//! short-circuit to [`FailureReason::Quarantined`] without spawning
+//! anything, the journal records the quarantine durably, and `--resume`
+//! skips it while `--retry-failed` reopens it.
+//!
+//! Isolation never changes answers — the worker runs the same engine on
+//! the same spec with the same deterministic budgets — so
+//! `content_key`/`config_fingerprint` deliberately exclude every knob in
+//! here, and journals interoperate across `--isolate` modes.
+
+use autocc_bmc::{
+    content_key, CancelToken, CheckConfig, CheckEngine, CheckMode, CheckSpec, ContentKey,
+    EngineOutcome, EngineRun, FailureReason, JobFailure, UnknownCause,
+};
+use autocc_journal::ipc::{parse_worker_frame, read_frame, request_json, write_frame, WorkerFrame};
+use std::collections::{HashMap, HashSet};
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Resource limits and supervision policy for isolated workers.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerLimits {
+    /// RSS ceiling per worker, in MiB; `None` = unlimited. Enforced from
+    /// the parent on every heartbeat, so a worker past the limit is
+    /// killed within one heartbeat period.
+    pub memory_limit_mb: Option<u64>,
+    /// Expected heartbeat period, in milliseconds.
+    pub heartbeat_ms: u64,
+    /// A worker silent for `heartbeat_ms * stall_factor` is declared
+    /// wedged and killed.
+    pub stall_factor: u64,
+    /// A check that kills this many workers is quarantined.
+    pub quarantine_after: u32,
+}
+
+impl Default for WorkerLimits {
+    fn default() -> WorkerLimits {
+        WorkerLimits {
+            memory_limit_mb: None,
+            heartbeat_ms: 250,
+            stall_factor: 20,
+            quarantine_after: 2,
+        }
+    }
+}
+
+impl WorkerLimits {
+    /// Limits derived from a check config's isolation knobs.
+    pub fn from_config(config: &CheckConfig) -> WorkerLimits {
+        WorkerLimits {
+            memory_limit_mb: config.memory_limit_mb,
+            heartbeat_ms: config.heartbeat_ms.max(1),
+            ..WorkerLimits::default()
+        }
+    }
+}
+
+/// Shared supervisor state for a campaign's isolated workers: how to
+/// spawn them, how hard to police them, and which checks are quarantined.
+#[derive(Debug)]
+pub struct WorkerPool {
+    limits: WorkerLimits,
+    command: PathBuf,
+    args: Vec<String>,
+    env: Vec<(String, String)>,
+    kills: Mutex<HashMap<ContentKey, u32>>,
+    quarantined: Mutex<HashSet<ContentKey>>,
+}
+
+impl WorkerPool {
+    /// A pool spawning `current_exe() worker` — the hidden subcommand
+    /// every report binary answers (see `maybe_run_worker`).
+    pub fn new(limits: WorkerLimits) -> WorkerPool {
+        let command = std::env::current_exe().unwrap_or_else(|_| PathBuf::from("autocc"));
+        WorkerPool {
+            limits,
+            command,
+            args: vec!["worker".to_string()],
+            env: Vec::new(),
+            kills: Mutex::new(HashMap::new()),
+            quarantined: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// Overrides the worker executable (tests point this at a report
+    /// binary; the default is the current executable).
+    pub fn with_command(mut self, command: impl Into<PathBuf>) -> WorkerPool {
+        self.command = command.into();
+        self
+    }
+
+    /// Adds an environment variable to every spawned worker. The
+    /// fault-injection suite uses this for `AUTOCC_WORKER_FAULT` instead
+    /// of mutating the test process's own environment.
+    pub fn with_env(mut self, key: &str, value: &str) -> WorkerPool {
+        self.env.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// The pool's supervision policy.
+    pub fn limits(&self) -> WorkerLimits {
+        self.limits
+    }
+
+    /// Whether `key` has been quarantined.
+    pub fn is_quarantined(&self, key: ContentKey) -> bool {
+        lock_clean(&self.quarantined).contains(&key)
+    }
+
+    /// Number of quarantined checks so far.
+    pub fn quarantined_count(&self) -> usize {
+        lock_clean(&self.quarantined).len()
+    }
+
+    /// Records that a worker running `key` was killed (died, stalled, or
+    /// exceeded memory). Returns the updated kill count and quarantines
+    /// the key once it reaches `quarantine_after`.
+    fn record_kill(&self, key: ContentKey) -> u32 {
+        let count = {
+            let mut kills = lock_clean(&self.kills);
+            let count = kills.entry(key).or_insert(0);
+            *count += 1;
+            *count
+        };
+        if count >= self.limits.quarantine_after {
+            lock_clean(&self.quarantined).insert(key);
+        }
+        count
+    }
+
+    fn spawn(&self) -> std::io::Result<Child> {
+        let mut cmd = Command::new(&self.command);
+        cmd.args(&self.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        for (k, v) in &self.env {
+            cmd.env(k, v);
+        }
+        cmd.spawn()
+    }
+}
+
+/// Mutex access that shrugs off poisoning: pool bookkeeping must stay
+/// usable even if some other attempt panicked mid-update.
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// How one worker attempt ended, before failure-taxonomy mapping.
+enum Attempt {
+    /// The worker answered; its result frame.
+    Finished(EngineRun),
+    /// The supervisor observed a cancellation and killed the worker.
+    Cancelled { proven_depth: usize },
+    /// The worker died (crash, SIGKILL, malformed stream, refused spawn).
+    Died(String),
+    /// The worker exceeded the RSS limit and was killed.
+    OverMemory { rss_kb: u64 },
+    /// The worker stopped heartbeating and was killed.
+    Stalled { silent_ms: u64 },
+}
+
+/// A [`CheckEngine`] that runs each attempt in a supervised subprocess.
+///
+/// Same trait, same determinism, different blast radius: `check` ships
+/// the spec to a worker, supervises it, and maps worker death onto
+/// [`EngineOutcome::Failed`] instead of taking down the campaign.
+/// Worker-killing retries are handled *here* (the in-process retry loop
+/// only sees the final mapped outcome), so `attempts` in a reported
+/// failure counts real subprocess attempts.
+#[derive(Clone)]
+pub struct ProcEngine {
+    pool: Arc<WorkerPool>,
+    wire_engine: &'static str,
+    engine_name: &'static str,
+    mode: CheckMode,
+}
+
+impl ProcEngine {
+    /// Isolated BMC: the engine behind `--isolate` check campaigns.
+    pub fn for_check(pool: Arc<WorkerPool>) -> ProcEngine {
+        ProcEngine {
+            pool,
+            wire_engine: "bmc",
+            engine_name: "bmc",
+            mode: CheckMode::Check,
+        }
+    }
+
+    /// Isolated k-induction for prove campaigns.
+    pub fn for_prove(pool: Arc<WorkerPool>) -> ProcEngine {
+        ProcEngine {
+            pool,
+            wire_engine: "k-induction",
+            engine_name: "k-induction",
+            mode: CheckMode::Prove,
+        }
+    }
+
+    /// Isolated falsifier (BMC hunting a counterexample inside a proof
+    /// race; reports as "bmc", like its in-process counterpart).
+    pub fn falsifier(pool: Arc<WorkerPool>) -> ProcEngine {
+        ProcEngine {
+            pool,
+            wire_engine: "falsifier-bmc",
+            engine_name: "bmc",
+            mode: CheckMode::Prove,
+        }
+    }
+
+    fn failure(&self, reason: FailureReason, detail: String, attempts: u32) -> EngineRun {
+        EngineRun::from(EngineOutcome::Failed(JobFailure {
+            engine: self.engine_name.to_string(),
+            property: None,
+            depth: 0,
+            reason,
+            detail,
+            attempts,
+        }))
+    }
+
+    /// Runs one worker to completion (or death) for `spec` under
+    /// `config`, with `conflicts` as the (possibly escalated) budget.
+    fn run_attempt(
+        &self,
+        spec: &CheckSpec<'_>,
+        config: &CheckConfig,
+        cancel: &CancelToken,
+        conflicts: Option<u64>,
+        rss_peak_kb: &mut u64,
+    ) -> Attempt {
+        let limits = self.pool.limits;
+        let heartbeat_ms = limits.heartbeat_ms.max(1);
+        let wire_config = config
+            .clone()
+            .conflicts(conflicts)
+            .heartbeat_ms(heartbeat_ms);
+        let request = request_json(
+            self.wire_engine,
+            spec.module,
+            &spec.properties,
+            &spec.constraints,
+            &wire_config,
+        );
+
+        let mut child = match self.pool.spawn() {
+            Ok(child) => child,
+            Err(e) => return Attempt::Died(format!("failed to spawn worker: {e}")),
+        };
+        // Ship the request. A write error means the worker is already
+        // dying; the reader thread observes the same death, so ignore it.
+        if let Some(mut stdin) = child.stdin.take() {
+            let _ = write_frame(&mut stdin, &request);
+        }
+        let stdout = match child.stdout.take() {
+            Some(stdout) => stdout,
+            None => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Attempt::Died("worker stdout was not captured".to_string());
+            }
+        };
+
+        let (frames, from_worker) = mpsc::channel();
+        let reader = std::thread::spawn(move || {
+            let mut input = BufReader::new(stdout);
+            while let Ok(Some(frame)) = read_frame(&mut input) {
+                if frames.send(frame).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let reap = |mut child: Child, reader: std::thread::JoinHandle<()>| {
+            let _ = child.kill();
+            let _ = child.wait();
+            let _ = reader.join();
+        };
+        let quantum = Duration::from_millis(heartbeat_ms.min(100));
+        let stall_limit = Duration::from_millis(heartbeat_ms.saturating_mul(limits.stall_factor));
+        let mut last_heartbeat = Instant::now();
+        loop {
+            match from_worker.recv_timeout(quantum) {
+                Ok(frame) => match parse_worker_frame(&frame) {
+                    Ok(WorkerFrame::Heartbeat { rss_kb }) => {
+                        last_heartbeat = Instant::now();
+                        *rss_peak_kb = (*rss_peak_kb).max(rss_kb);
+                        if let Some(limit_mb) = limits.memory_limit_mb {
+                            if rss_kb > limit_mb.saturating_mul(1024) {
+                                reap(child, reader);
+                                return Attempt::OverMemory { rss_kb };
+                            }
+                        }
+                    }
+                    Ok(WorkerFrame::Result(run)) => {
+                        let _ = child.wait();
+                        let _ = reader.join();
+                        return Attempt::Finished(run);
+                    }
+                    Err(e) => {
+                        reap(child, reader);
+                        return Attempt::Died(format!("malformed worker frame: {e}"));
+                    }
+                },
+                Err(RecvTimeoutError::Timeout) => {
+                    if cancel.is_cancelled() {
+                        reap(child, reader);
+                        return Attempt::Cancelled { proven_depth: 0 };
+                    }
+                    let silent = last_heartbeat.elapsed();
+                    if silent > stall_limit {
+                        reap(child, reader);
+                        return Attempt::Stalled {
+                            silent_ms: silent.as_millis() as u64,
+                        };
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Stream ended without a result frame: the worker is
+                    // dead. (Buffered frames drain before this arm fires,
+                    // so a completed result is never misread as a death.)
+                    let status = child
+                        .wait()
+                        .map(|s| s.to_string())
+                        .unwrap_or_else(|e| format!("unwaitable: {e}"));
+                    let _ = reader.join();
+                    return Attempt::Died(format!(
+                        "worker exited without a result frame ({status})"
+                    ));
+                }
+            }
+        }
+    }
+}
+
+impl CheckEngine for ProcEngine {
+    fn name(&self) -> &'static str {
+        self.engine_name
+    }
+
+    fn check(&self, spec: &CheckSpec<'_>, config: &CheckConfig, cancel: &CancelToken) -> EngineRun {
+        let key = content_key(
+            spec.module,
+            &spec.properties,
+            &spec.constraints,
+            config,
+            self.mode,
+        );
+        if self.pool.is_quarantined(key) {
+            return self.failure(
+                FailureReason::Quarantined,
+                format!(
+                    "check quarantined after killing {} worker(s); \
+                     --retry-failed reopens it",
+                    self.pool.limits.quarantine_after
+                ),
+                0,
+            );
+        }
+
+        let telemetry = &config.telemetry;
+        let policy = config.retry_policy();
+        let mut spawned = 0u32;
+        let mut rss_peak_kb = 0u64;
+        let mut counters_total = autocc_telemetry::SolverCounters::default();
+        let mut run = loop {
+            let attempt = spawned;
+            let conflicts = policy.escalated_budget(config.conflict_budget, attempt);
+            spawned += 1;
+            let kill = match self.run_attempt(spec, config, cancel, conflicts, &mut rss_peak_kb) {
+                Attempt::Finished(run) => {
+                    counters_total.add(&run.counters);
+                    // A worker that *answered* FAILED(panic) is a healthy
+                    // process reporting a contained engine fault; retry it
+                    // like the in-process scheduler retries panics.
+                    let panicked = matches!(
+                        &run.outcome,
+                        EngineOutcome::Failed(f) if f.reason == FailureReason::Panic
+                    );
+                    if panicked && attempt < policy.max_retries {
+                        continue;
+                    }
+                    break run;
+                }
+                Attempt::Cancelled { proven_depth } => {
+                    break EngineRun::from(EngineOutcome::Unknown {
+                        depth: proven_depth,
+                        cause: UnknownCause::Cancelled,
+                    });
+                }
+                Attempt::Died(detail) => (FailureReason::WorkerDied, detail),
+                Attempt::OverMemory { rss_kb } => (
+                    FailureReason::MemoryLimit,
+                    format!(
+                        "worker RSS {rss_kb} KiB exceeded the {} MiB limit",
+                        self.pool.limits.memory_limit_mb.unwrap_or(0)
+                    ),
+                ),
+                Attempt::Stalled { silent_ms } => (
+                    FailureReason::Hang,
+                    format!("worker heartbeat silent for {silent_ms} ms; killed"),
+                ),
+            };
+
+            // The worker was killed (died / over memory / stalled):
+            // quarantine bookkeeping, then retry or give up.
+            let (reason, detail) = kill;
+            let kill_count = self.pool.record_kill(key);
+            if kill_count >= self.pool.limits.quarantine_after {
+                break self.failure(
+                    FailureReason::Quarantined,
+                    format!(
+                        "quarantined: {kill_count} workers killed by this check \
+                         (last: {detail})"
+                    ),
+                    spawned,
+                );
+            }
+            if attempt < policy.max_retries {
+                continue; // respawn and requeue the same attempt
+            }
+            break self.failure(reason, detail, spawned);
+        };
+
+        if telemetry.enabled() {
+            telemetry.gauge("worker_spawned", u64::from(spawned));
+            if spawned > 1 {
+                telemetry.gauge("worker_respawns", u64::from(spawned - 1));
+            }
+            if rss_peak_kb > 0 {
+                telemetry.gauge("worker_rss_peak_kb", rss_peak_kb);
+            }
+        }
+        if let EngineOutcome::Failed(f) = &mut run.outcome {
+            f.attempts = f.attempts.max(spawned);
+        }
+        run.counters = counters_total;
+        run
+    }
+}
+
+/// Dispatches the hidden `worker` subcommand: every report binary (and
+/// the `autocc` CLI) calls this first thing in `main`, so any of them
+/// can serve as the worker executable for its own isolated campaign.
+/// Never returns when invoked as a worker.
+pub fn maybe_run_worker() {
+    if std::env::args().nth(1).as_deref() == Some("worker") {
+        autocc_journal::ipc::worker_main();
+    }
+}

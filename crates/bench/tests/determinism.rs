@@ -8,9 +8,12 @@
 //! load-dependent (the stable table format omits runtimes for the same
 //! reason).
 
-use autocc_bench::{table1, table2};
+use autocc_bench::{
+    run_campaign, table1, table1_tasks, table2, CampaignOptions, WorkerLimits, WorkerPool,
+};
 use autocc_bmc::CheckConfig;
 use autocc_core::format_table_stable;
+use std::sync::Arc;
 
 fn options(max_depth: usize) -> CheckConfig {
     CheckConfig::default().depth(max_depth).no_timeout()
@@ -30,6 +33,34 @@ fn table2_is_jobs_invariant() {
         render(4, true),
         "jobs=4 with slicing changed Table 2"
     );
+}
+
+/// `--isolate` must be invisible in the results: the same experiments
+/// run through subprocess workers render a byte-identical stable table.
+/// (This is also why the isolation knobs stay out of `content_key` and
+/// `config_fingerprint` — journals interoperate across modes.)
+#[test]
+fn table1_is_isolation_invariant() {
+    let base = options(5);
+    let in_process = format_table_stable("Table 1 (isolation check)", &table1(&base));
+
+    let pool = Arc::new(
+        WorkerPool::new(WorkerLimits::from_config(&base))
+            .with_command(env!("CARGO_BIN_EXE_report_table1")),
+    );
+    let isolated_rows = run_campaign(
+        "table1",
+        table1_tasks(),
+        &base.isolate(),
+        &CampaignOptions {
+            pool: Some(pool),
+            ..CampaignOptions::default()
+        },
+    )
+    .expect("isolated campaign starts")
+    .rows;
+    let isolated = format_table_stable("Table 1 (isolation check)", &isolated_rows);
+    assert_eq!(in_process, isolated, "--isolate changed Table 1");
 }
 
 #[test]

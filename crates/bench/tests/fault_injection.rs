@@ -4,16 +4,19 @@
 //! smuggle an uncertified CEX into a report, and never perturb the
 //! deterministic `jobs = 1` vs `jobs = N` merge.
 
+use autocc_bench::{
+    run_campaign, CampaignOptions, CampaignTask, ProcEngine, WorkerLimits, WorkerPool,
+};
 use autocc_bmc::{
     BmcEngine, CancelToken, Cex, CheckConfig, CheckEngine, CheckSpec, EngineOutcome, EngineRun,
     FailureReason, Trace, UnknownCause,
 };
-use autocc_core::{AutoCcOutcome, FtSpec};
+use autocc_core::{report_exit_code, AutoCcOutcome, FtSpec, RowStatus};
 use autocc_duts::aes::{build_aes, AesConfig};
 use autocc_duts::demo::config_device;
 use autocc_hdl::{Bv, Module, ModuleBuilder};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 fn options(max_depth: usize) -> CheckConfig {
@@ -244,6 +247,208 @@ fn hung_check_is_stopped_by_the_wall_clock_budget() {
         elapsed < Duration::from_secs(30),
         "hung check ran {elapsed:?} past a 50 ms budget"
     );
+}
+
+// ---------------------------------------------------------------------
+// Process-isolated workers: deaths the in-process containment cannot
+// survive (SIGKILL, abort, runaway memory, wedged heartbeats) must each
+// degrade to a contained failure — or recover through a respawn.
+// ---------------------------------------------------------------------
+
+/// A pool whose workers are the `report_table1` binary's hidden `worker`
+/// subcommand — the same executable the isolated-mode CI job uses.
+fn worker_pool(limits: WorkerLimits) -> WorkerPool {
+    WorkerPool::new(limits).with_command(env!("CARGO_BIN_EXE_report_table1"))
+}
+
+#[test]
+fn sigkilled_worker_degrades_to_a_contained_failure() {
+    let dut = config_device(false);
+    let ft = FtSpec::new(&dut).generate();
+    let config = options(12).retries(0);
+    let pool =
+        Arc::new(worker_pool(WorkerLimits::default()).with_env("AUTOCC_WORKER_FAULT", "sigkill"));
+    let report = ft.check_portfolio_with(&config, &ProcEngine::for_check(pool));
+    match report.outcome {
+        AutoCcOutcome::Failed { failures } => {
+            assert!(!failures.is_empty());
+            for f in &failures {
+                assert_eq!(f.reason, FailureReason::WorkerDied, "got: {f}");
+                assert!(
+                    f.detail.contains("without a result frame"),
+                    "death is diagnosed, not mislabelled: {}",
+                    f.detail
+                );
+            }
+        }
+        other => panic!("expected a contained worker death, got {other:?}"),
+    }
+}
+
+#[test]
+fn over_memory_worker_is_killed_and_reported() {
+    let dut = config_device(false);
+    let ft = FtSpec::new(&dut).generate();
+    let config = options(12).retries(0);
+    let limits = WorkerLimits {
+        memory_limit_mb: Some(64),
+        heartbeat_ms: 20,
+        ..WorkerLimits::default()
+    };
+    // The fault makes every heartbeat claim ~1 GiB of RSS; the
+    // supervisor must kill within one heartbeat of the first report.
+    let pool = Arc::new(worker_pool(limits).with_env("AUTOCC_WORKER_FAULT", "rss:1048576"));
+    let report = ft.check_portfolio_with(&config, &ProcEngine::for_check(pool));
+    match report.outcome {
+        AutoCcOutcome::Failed { failures } => {
+            assert!(!failures.is_empty());
+            for f in &failures {
+                assert_eq!(f.reason, FailureReason::MemoryLimit, "got: {f}");
+                assert!(f.detail.contains("exceeded"), "detail: {}", f.detail);
+            }
+        }
+        other => panic!("expected a memory-limit kill, got {other:?}"),
+    }
+}
+
+#[test]
+fn stalled_worker_is_reaped_as_hang() {
+    let dut = mirror_device();
+    let ft = FtSpec::new(&dut).generate();
+    let config = options(6).retries(0);
+    let limits = WorkerLimits {
+        heartbeat_ms: 10,
+        stall_factor: 5, // 50 ms of silence = wedged
+        ..WorkerLimits::default()
+    };
+    let pool = Arc::new(worker_pool(limits).with_env("AUTOCC_WORKER_FAULT", "stall"));
+    let report = ft.check_portfolio_with(&config, &ProcEngine::for_check(pool));
+    match report.outcome {
+        AutoCcOutcome::Failed { failures } => {
+            assert!(!failures.is_empty());
+            for f in &failures {
+                assert_eq!(f.reason, FailureReason::Hang, "got: {f}");
+                assert!(f.detail.contains("silent"), "detail: {}", f.detail);
+            }
+        }
+        other => panic!("expected a heartbeat-stall kill, got {other:?}"),
+    }
+}
+
+#[test]
+fn worker_death_respawns_and_recovers() {
+    let dut = config_device(false);
+    let ft = FtSpec::new(&dut).generate();
+    let config = options(12); // default policy: one retry
+    let baseline = ft.check_portfolio(&config);
+    let baseline_cex = baseline.outcome.cex().expect("cfg register leaks");
+
+    // `abort_if:<path>` kills exactly one worker (the flag file is
+    // consumed); the respawned worker must requeue and finish the check.
+    let flag =
+        std::env::temp_dir().join(format!("autocc-fault-respawn-{}.flag", std::process::id()));
+    std::fs::write(&flag, b"die once").expect("write flag file");
+    let pool = Arc::new(worker_pool(WorkerLimits::default()).with_env(
+        "AUTOCC_WORKER_FAULT",
+        &format!("abort_if:{}", flag.display()),
+    ));
+    let report = ft.check_portfolio_with(&config, &ProcEngine::for_check(Arc::clone(&pool)));
+    let _ = std::fs::remove_file(&flag);
+
+    let cex = report
+        .outcome
+        .cex()
+        .expect("respawned worker recovers the genuine counterexample");
+    assert_eq!(cex.property, baseline_cex.property);
+    assert_eq!(cex.depth, baseline_cex.depth);
+    assert_eq!(
+        pool.quarantined_count(),
+        0,
+        "a single death must not trip the circuit breaker"
+    );
+}
+
+#[test]
+fn repeated_killer_is_quarantined_and_resume_skips_it() {
+    let dir = std::env::temp_dir().join(format!("autocc-fault-quarantine-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let journal = dir.join("run.jsonl");
+    let config = options(12).isolate().retries(1);
+    let task = || {
+        CampaignTask::check("Q1", "worker killer", "demo", || {
+            FtSpec::new(&config_device(false)).generate()
+        })
+    };
+
+    // Every worker aborts: two kills per check trip the default circuit
+    // breaker, the row lands FAILED (quarantined), and the campaign's
+    // exit code is the soft 3, not the hard 1.
+    let killer =
+        Arc::new(worker_pool(WorkerLimits::default()).with_env("AUTOCC_WORKER_FAULT", "abort"));
+    let outcome = run_campaign(
+        "fault-quarantine",
+        vec![task()],
+        &config,
+        &CampaignOptions {
+            journal: Some(journal.clone()),
+            pool: Some(Arc::clone(&killer)),
+            ..CampaignOptions::default()
+        },
+    )
+    .expect("campaign starts");
+    assert_eq!(outcome.rows.len(), 1);
+    assert_eq!(outcome.rows[0].status, RowStatus::Quarantined);
+    assert!(
+        outcome.rows[0].outcome.contains("quarantined"),
+        "label: {}",
+        outcome.rows[0].outcome
+    );
+    assert!(killer.quarantined_count() >= 1);
+    assert_eq!(report_exit_code(&outcome.rows), 3);
+
+    // --resume with a healthy pool: the quarantined row is served from
+    // the journal — no live check, no worker spawned for it.
+    let healthy = Arc::new(worker_pool(WorkerLimits::default()));
+    let resumed = run_campaign(
+        "fault-quarantine",
+        vec![task()],
+        &config,
+        &CampaignOptions {
+            journal: Some(journal.clone()),
+            resume: true,
+            pool: Some(Arc::clone(&healthy)),
+            ..CampaignOptions::default()
+        },
+    )
+    .expect("resume starts");
+    assert_eq!(resumed.stats.cached, 1);
+    assert_eq!(resumed.stats.skipped_failed, 1);
+    assert_eq!(resumed.stats.live, 0);
+    assert_eq!(resumed.rows[0].status, RowStatus::Quarantined);
+
+    // --retry-failed reopens the quarantined check; healthy workers find
+    // the genuine counterexample.
+    let retried = run_campaign(
+        "fault-quarantine",
+        vec![task()],
+        &config,
+        &CampaignOptions {
+            journal: Some(journal),
+            resume: true,
+            retry_failed: true,
+            pool: Some(healthy),
+            ..CampaignOptions::default()
+        },
+    )
+    .expect("retry starts");
+    assert_eq!(retried.stats.live, 1);
+    assert_eq!(retried.rows[0].status, RowStatus::Ok);
+    assert!(
+        retried.rows[0].outcome.starts_with("CEX"),
+        "healthy rerun finds the leak: {}",
+        retried.rows[0].outcome
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -137,6 +137,12 @@ fn lit_u64(l: AigLit) -> u64 {
 /// legitimately record, so resuming under a different configuration would
 /// mix regimes. Scheduling-only knobs (`jobs`, `poll_interval`) are
 /// excluded — the portfolio merge is jobs-invariant by construction.
+/// Process-isolation knobs (`isolation`, `memory_limit_mb`,
+/// `heartbeat_ms`) are likewise excluded: an isolated worker runs the
+/// identical deterministic solve, so a journal written in-process resumes
+/// under `--isolate` (and vice versa) without mixing regimes; a
+/// memory-killed check records a *failed* row, which `--retry-failed`
+/// already knows how to reopen.
 pub fn config_fingerprint(config: &CheckConfig) -> u64 {
     let mut h = Fnv::new();
     h.str("autocc-config-fingerprint-v1");
@@ -355,6 +361,22 @@ mod tests {
             config_fingerprint(&base.clone().timeout(Duration::from_secs(9)))
         );
         assert_ne!(f, config_fingerprint(&base.clone().slice(true)));
+    }
+
+    #[test]
+    fn isolation_moves_neither_key_nor_fingerprint() {
+        // Subprocess isolation runs the identical deterministic solve, so
+        // a journal written in-process must resume under --isolate (and
+        // vice versa): the isolation knobs enter neither hash.
+        let (m, props) = device(0);
+        let base = CheckConfig::default().depth(8);
+        let isolated = base
+            .clone()
+            .isolate()
+            .memory_limit_mb(Some(512))
+            .heartbeat_ms(50);
+        assert_eq!(key(&m, &props, &base), key(&m, &props, &isolated));
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&isolated));
     }
 
     #[test]

@@ -91,6 +91,17 @@ pub enum FailureReason {
     /// multiple of its configured time budget) and was abandoned — a hang
     /// in a phase the in-solver deadline poll cannot see.
     Hang,
+    /// An isolated check worker died without reporting a result (abort,
+    /// OOM-kill, SIGKILL, or a crash the in-process containment cannot
+    /// see). The parent survives; the attempt is the only casualty.
+    WorkerDied,
+    /// An isolated check worker exceeded its RSS memory budget and was
+    /// killed by the supervisor before it could take the host down.
+    MemoryLimit,
+    /// The check killed enough workers to trip the per-content-key
+    /// circuit breaker and is quarantined: journaled as failed, skipped
+    /// on `--resume`, reopened only by `--retry-failed`.
+    Quarantined,
 }
 
 impl std::fmt::Display for FailureReason {
@@ -100,6 +111,9 @@ impl std::fmt::Display for FailureReason {
             FailureReason::InternalInconsistency => "internal inconsistency",
             FailureReason::Panic => "panic",
             FailureReason::Hang => "hang",
+            FailureReason::WorkerDied => "worker died",
+            FailureReason::MemoryLimit => "memory limit",
+            FailureReason::Quarantined => "quarantined",
         })
     }
 }

@@ -38,6 +38,25 @@ pub fn solver_counters(stats: &autocc_sat::Stats) -> SolverCounters {
     }
 }
 
+/// Where a check attempt executes: on a thread of this process, or in a
+/// supervised worker subprocess.
+///
+/// Subprocess isolation changes *survivability*, never answers: the worker
+/// runs the identical deterministic solve, so outcomes (and therefore
+/// content keys and stable tables) are byte-identical across the two
+/// modes. What subprocess mode buys is blast-radius containment — a
+/// solver OOM, stack overflow, or `abort()` kills one worker, not the
+/// campaign — plus an enforceable RSS budget and heartbeat liveness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Isolation {
+    /// Run check attempts on threads of the calling process (default).
+    #[default]
+    InProcess,
+    /// Run each check attempt in a supervised worker subprocess speaking
+    /// the length-prefixed JSON IPC protocol (`--isolate`).
+    Subprocess,
+}
+
 /// Unified configuration for a check or proof run — budgets, scheduling,
 /// solver tuning, and the telemetry handle — consumed by the checker, the
 /// engines, the portfolio scheduler, the testbench, and every binary.
@@ -65,6 +84,20 @@ pub struct CheckConfig {
     /// How many conflicts pass between solver deadline/hook polls
     /// (min 1). Smaller values tighten interruption latency.
     pub poll_interval: u64,
+    /// Where check attempts execute (in-process threads or supervised
+    /// worker subprocesses). Excluded from the content key *and* the
+    /// config fingerprint: isolation never changes answers, so journals
+    /// written in either mode resume interchangeably.
+    pub isolation: Isolation,
+    /// RSS budget per worker subprocess, in MiB (`None` = unlimited).
+    /// Only enforced under [`Isolation::Subprocess`]: a worker whose
+    /// heartbeat reports more RSS is killed and the attempt degrades to
+    /// a contained [`crate::FailureReason::MemoryLimit`] failure.
+    pub memory_limit_mb: Option<u64>,
+    /// Worker heartbeat period in milliseconds (min 1). A worker whose
+    /// heartbeat goes silent for a supervisor-chosen multiple of this
+    /// period is presumed wedged and killed.
+    pub heartbeat_ms: u64,
     /// Telemetry handle; spans opened by the pipeline become children of
     /// its current span. Disabled ([`Telemetry::off`]) by default, in
     /// which case instrumentation is a no-op with no clock reads.
@@ -82,6 +115,9 @@ impl Default for CheckConfig {
             retries: 1,
             retry_escalation: 2,
             poll_interval: 128,
+            isolation: Isolation::InProcess,
+            memory_limit_mb: None,
+            heartbeat_ms: 250,
             telemetry: Telemetry::off(),
         }
     }
@@ -139,6 +175,29 @@ impl CheckConfig {
     /// Sets the solver poll interval (clamped to at least 1).
     pub fn poll_interval(mut self, conflicts: u64) -> Self {
         self.poll_interval = conflicts.max(1);
+        self
+    }
+
+    /// Sets where check attempts execute.
+    pub fn isolation(mut self, isolation: Isolation) -> Self {
+        self.isolation = isolation;
+        self
+    }
+
+    /// Shorthand for [`Isolation::Subprocess`] (the `--isolate` flag).
+    pub fn isolate(self) -> Self {
+        self.isolation(Isolation::Subprocess)
+    }
+
+    /// Sets (or clears) the per-worker RSS budget, in MiB.
+    pub fn memory_limit_mb(mut self, limit: Option<u64>) -> Self {
+        self.memory_limit_mb = limit;
+        self
+    }
+
+    /// Sets the worker heartbeat period (clamped to at least 1 ms).
+    pub fn heartbeat_ms(mut self, ms: u64) -> Self {
+        self.heartbeat_ms = ms.max(1);
         self
     }
 
@@ -206,6 +265,18 @@ mod tests {
         let policy = c.retry_policy();
         assert_eq!(policy.max_retries, 3);
         assert_eq!(policy.escalation, 4);
+    }
+
+    #[test]
+    fn isolation_knobs_compose_and_clamp() {
+        let c = CheckConfig::default();
+        assert_eq!(c.isolation, Isolation::InProcess);
+        assert_eq!(c.memory_limit_mb, None);
+        assert_eq!(c.heartbeat_ms, 250);
+        let c = c.isolate().memory_limit_mb(Some(512)).heartbeat_ms(0);
+        assert_eq!(c.isolation, Isolation::Subprocess);
+        assert_eq!(c.memory_limit_mb, Some(512));
+        assert_eq!(c.heartbeat_ms, 1, "heartbeat clamps to 1 ms");
     }
 
     #[test]

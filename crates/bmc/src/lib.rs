@@ -63,7 +63,7 @@ pub use checker::BmcOptions;
 pub use checker::{
     Bmc, BmcStats, Cex, CheckFailure, CheckOutcome, FailureReason, ProveOutcome, StopCause,
 };
-pub use config::{solver_counters, CheckConfig};
+pub use config::{solver_counters, CheckConfig, Isolation};
 #[allow(deprecated)]
 pub use engine::EngineOptions;
 pub use engine::{

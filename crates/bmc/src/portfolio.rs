@@ -153,7 +153,10 @@ fn run_engine_job(job: &EngineJob<'_, '_>) -> EngineRun {
                 counters += &run.counters;
                 let outcome = match run.outcome {
                     EngineOutcome::Failed(mut failure) => {
-                        failure.attempts = attempt;
+                        // An engine may have retried internally (e.g. a
+                        // process-isolated engine respawning dead
+                        // workers); keep the larger count.
+                        failure.attempts = failure.attempts.max(attempt);
                         if failure.property.is_none() {
                             failure.property.clone_from(&job.property);
                         }
@@ -180,6 +183,20 @@ fn run_engine_job(job: &EngineJob<'_, '_>) -> EngineRun {
             }
         }
     }
+}
+
+/// A degraded run for a scheduler-level fault (poisoned lock, vanished
+/// result slot): the batch carries on and the affected slot reports
+/// FAILED instead of tearing the scheduler down.
+fn scheduler_failure(engine: &str, detail: &str) -> EngineRun {
+    EngineRun::from(EngineOutcome::Failed(JobFailure {
+        engine: engine.to_string(),
+        property: None,
+        depth: 0,
+        reason: FailureReason::InternalInconsistency,
+        detail: detail.to_string(),
+        attempts: 1,
+    }))
 }
 
 /// A fixed-width pool of check workers.
@@ -237,18 +254,39 @@ impl Portfolio {
                     if i >= n {
                         break;
                     }
-                    let task = slots[i].lock().unwrap().take().expect("task claimed once");
+                    // Poisoned slot locks still yield their data (a plain
+                    // `Option` either way): panics are contained inside
+                    // `contain`, so poison can only come from a crashed
+                    // sibling claim, and refusing to proceed would wedge
+                    // the whole batch over one slot.
+                    let task = match slots[i].lock() {
+                        Ok(mut slot) => slot.take(),
+                        Err(poisoned) => poisoned.into_inner().take(),
+                    };
+                    let Some(task) = task else { continue };
                     let result = contain(i, task);
-                    *results[i].lock().unwrap() = Some(result);
+                    match results[i].lock() {
+                        Ok(mut slot) => *slot = Some(result),
+                        Err(poisoned) => *poisoned.into_inner() = Some(result),
+                    }
                 });
             }
         });
         results
             .into_iter()
-            .map(|slot| {
+            .enumerate()
+            .map(|(i, slot)| {
                 slot.into_inner()
-                    .expect("result mutex never poisoned: workers contain panics")
-                    .expect("every claimed task stores a result")
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .unwrap_or_else(|| {
+                        // The claiming worker vanished between taking the
+                        // task and storing a result; degrade the slot
+                        // instead of panicking the scheduler.
+                        Err(JobPanic {
+                            index: i,
+                            payload: "scheduler lost the job result".to_string(),
+                        })
+                    })
             })
             .collect()
     }
@@ -310,7 +348,12 @@ impl Portfolio {
             .collect();
         self.try_run(tasks)
             .into_iter()
-            .map(|r| r.expect("run_engine_job contains panics internally"))
+            .map(|r| {
+                // `run_engine_job` contains panics internally, so an `Err`
+                // here is a scheduler-level fault; degrade the slot to
+                // FAILED rather than panicking the batch.
+                r.unwrap_or_else(|p| scheduler_failure("portfolio", &p.payload))
+            })
             .collect()
     }
 
@@ -338,7 +381,12 @@ impl Portfolio {
         spec: &CheckSpec<'_>,
         config: &CheckConfig,
     ) -> (usize, EngineRun) {
-        assert!(!engines.is_empty(), "race needs at least one engine");
+        if engines.is_empty() {
+            return (
+                0,
+                scheduler_failure("portfolio", "race needs at least one engine"),
+            );
+        }
         let tokens: Vec<CancelToken> = engines.iter().map(|_| CancelToken::new()).collect();
         // Each racer runs under its own attempt span; all spans are opened
         // up front so their ids are deterministic in the profile even
@@ -380,13 +428,26 @@ impl Portfolio {
                             }
                         }
                     }
-                    *runs[i].lock().unwrap() = Some(run);
+                    match runs[i].lock() {
+                        Ok(mut slot) => *slot = Some(run),
+                        Err(poisoned) => *poisoned.into_inner() = Some(run),
+                    }
                 });
             }
         });
         let runs: Vec<EngineRun> = runs
             .into_iter()
-            .map(|slot| slot.into_inner().unwrap().expect("every racer reports"))
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .unwrap_or_else(|| {
+                        scheduler_failure(
+                            engines[i].name(),
+                            "racer vanished without reporting a result",
+                        )
+                    })
+            })
             .collect();
         // The race's total work (every racer, winners and cancelled
         // losers alike) is charged to the winning run.
@@ -423,7 +484,10 @@ impl Portfolio {
             });
         config.telemetry.gauge("race_winner", idx as u64);
         config.telemetry.gauge("race_cancelled", cancelled);
-        let mut run = runs.into_iter().nth(idx).expect("winner index valid");
+        let mut run = runs
+            .into_iter()
+            .nth(idx)
+            .unwrap_or_else(|| scheduler_failure("portfolio", "race winner index out of range"));
         run.counters = total;
         (idx, run)
     }

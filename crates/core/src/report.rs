@@ -20,6 +20,11 @@ pub enum RowStatus {
     Unknown,
     /// A contained fault (panic, replay mismatch, ...).
     Failed,
+    /// Quarantined: the check repeatedly killed isolated workers and was
+    /// benched by the circuit breaker. Softer than [`RowStatus::Failed`]
+    /// — the campaign chose to stop retrying, nothing crashed unhandled —
+    /// so it gets its own exit code (3) and `--retry-failed` reopens it.
+    Quarantined,
 }
 
 /// One row of an experiment table.
@@ -91,7 +96,16 @@ impl TableRow {
                     .map(|f| f.to_string())
                     .collect::<Vec<_>>()
                     .join("\n");
-                (None, label, RowStatus::Failed, Some(detail))
+                let status = if !failures.is_empty()
+                    && failures
+                        .iter()
+                        .all(|f| f.reason == autocc_bmc::FailureReason::Quarantined)
+                {
+                    RowStatus::Quarantined
+                } else {
+                    RowStatus::Failed
+                };
+                (None, label, status, Some(detail))
             }
         };
         TableRow {
@@ -178,10 +192,21 @@ pub fn failure_summary(rows: &[TableRow]) -> Option<String> {
     Some(out)
 }
 
-/// Process exit code for a finished report: non-zero iff any row degraded
-/// to `UNKNOWN` or `FAILED` (deterministic exhaustion is still an answer).
+/// Process exit code for a finished report: `0` when every row answered
+/// (deterministic exhaustion is still an answer), `1` when any row
+/// degraded to `UNKNOWN` or a genuine `FAILED`, and the softer `3` when
+/// the only degradation is quarantined checks — the circuit breaker
+/// benched them deliberately; re-run with `--retry-failed` to reopen.
 pub fn report_exit_code(rows: &[TableRow]) -> i32 {
-    i32::from(rows.iter().any(|r| r.status != RowStatus::Ok))
+    let hard = rows
+        .iter()
+        .any(|r| matches!(r.status, RowStatus::Unknown | RowStatus::Failed));
+    let soft = rows.iter().any(|r| r.status == RowStatus::Quarantined);
+    match (hard, soft) {
+        (true, _) => 1,
+        (false, true) => 3,
+        (false, false) => 0,
+    }
 }
 
 /// Formats a duration the way the paper's tables do (coarse buckets for
@@ -471,6 +496,39 @@ mod tests {
         assert!(summary.contains("1 of 2 experiments degraded"));
         assert!(summary.contains("V2: FAILED (panic)"));
         assert!(summary.contains("boom"));
+    }
+
+    #[test]
+    fn quarantine_is_a_soft_failure_with_its_own_exit_code() {
+        use autocc_bmc::{FailureReason, JobFailure};
+        let quarantine = |id: &str| {
+            TableRow::from_outcome(
+                id,
+                "worker killer",
+                &AutoCcOutcome::Failed {
+                    failures: vec![JobFailure {
+                        engine: "bmc".into(),
+                        property: None,
+                        depth: 0,
+                        reason: FailureReason::Quarantined,
+                        detail: "2 workers killed by this check".into(),
+                        attempts: 2,
+                    }],
+                },
+                Duration::ZERO,
+            )
+        };
+        let row = quarantine("V3");
+        assert_eq!(row.status, RowStatus::Quarantined);
+        assert_eq!(row.outcome, "FAILED (quarantined)");
+        assert_eq!(report_exit_code(std::slice::from_ref(&row)), 3);
+        let summary =
+            failure_summary(std::slice::from_ref(&row)).expect("quarantine still summarized");
+        assert!(summary.contains("V3: FAILED (quarantined)"));
+
+        // A genuine failure outranks the soft code.
+        let rows = vec![quarantine("V3"), TableRow::failed("V4", "broken", "boom")];
+        assert_eq!(report_exit_code(&rows), 1);
     }
 
     #[test]

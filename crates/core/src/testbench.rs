@@ -506,6 +506,23 @@ impl FpvTestbench {
     /// [`BmcEngine`] over the whole assertion set (first conclusive result
     /// wins, the loser is cancelled); serially it runs k-induction alone.
     pub fn prove_portfolio(&self, config: &CheckConfig) -> CheckReport {
+        let falsifier = Falsifier(BmcEngine);
+        if config.jobs > 1 {
+            self.prove_portfolio_with(config, &[&KInductionEngine, &falsifier])
+        } else {
+            self.prove_portfolio_with(config, &[&KInductionEngine])
+        }
+    }
+
+    /// [`FpvTestbench::prove_portfolio`] with caller-chosen engines: the
+    /// seam the process-isolation layer uses to substitute subprocess
+    /// engines. A single engine runs serially; several race (first
+    /// conclusive result wins, losers are cancelled).
+    pub fn prove_portfolio_with(
+        &self,
+        config: &CheckConfig,
+        engines: &[&dyn CheckEngine],
+    ) -> CheckReport {
         let start = Instant::now();
         let span = config.telemetry.child(SpanKind::Check, "prove");
         let spec = CheckSpec {
@@ -515,16 +532,16 @@ impl FpvTestbench {
         };
         let mut run_config = config.clone();
         run_config.telemetry = span.clone();
-        let run = if config.jobs > 1 {
-            let falsifier = Falsifier(BmcEngine);
-            let (_, run) = Portfolio::new(config.jobs).race(
-                &[&KInductionEngine, &falsifier],
-                &spec,
-                &run_config,
-            );
-            run
-        } else {
-            KInductionEngine.check(&spec, &run_config, &CancelToken::new())
+        let run = match engines {
+            [only] => only.check(&spec, &run_config, &CancelToken::new()),
+            _ => {
+                let (_, run) = Portfolio::new(config.jobs.max(engines.len())).race(
+                    engines,
+                    &spec,
+                    &run_config,
+                );
+                run
+            }
         };
         let outcome = match run.outcome {
             EngineOutcome::Proved { induction_depth } => AutoCcOutcome::Proved { induction_depth },

@@ -466,4 +466,134 @@ impl Module {
             }
         }
     }
+
+    /// Reconstructs a module from its flat parts, recomputing node widths
+    /// under the same rules [`crate::ModuleBuilder`] enforces during
+    /// construction. This is the deserialization entry point for wire
+    /// formats that ship a netlist across a process boundary: the width
+    /// table is derived, never trusted from the wire.
+    ///
+    /// Combinational nodes must reference strictly earlier nodes (the
+    /// builder's append order); only register next-state and memory write
+    /// ports may point forward. Returns a descriptive error instead of
+    /// panicking on malformed input, then runs the full
+    /// [`Module::validate`] pass on the accepted result.
+    #[allow(clippy::result_large_err)]
+    pub fn from_parts(
+        name: String,
+        nodes: Vec<Node>,
+        inputs: Vec<Port>,
+        outputs: Vec<OutputPort>,
+        regs: Vec<Register>,
+        mems: Vec<Memory>,
+        transactions: Vec<Transaction>,
+    ) -> Result<Module, String> {
+        let mut widths: Vec<u32> = Vec::with_capacity(nodes.len());
+        let width_of = |widths: &[u32], id: NodeId, i: usize| -> Result<u32, String> {
+            widths
+                .get(id.index())
+                .copied()
+                .ok_or_else(|| format!("node n{i}: forward or dangling reference n{}", id.index()))
+        };
+        for (i, node) in nodes.iter().enumerate() {
+            let w = match node {
+                Node::Input { port } => inputs
+                    .get(*port)
+                    .map(|p| p.width)
+                    .ok_or_else(|| format!("node n{i}: bad input port {port}"))?,
+                Node::Const(v) => v.width(),
+                Node::Not(a) => width_of(&widths, *a, i)?,
+                Node::Binary { op, a, b } => {
+                    let (wa, wb) = (width_of(&widths, *a, i)?, width_of(&widths, *b, i)?);
+                    match op {
+                        BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Add | BinOp::Sub => {
+                            if wa != wb {
+                                return Err(format!("node n{i}: {op:?} width {wa} vs {wb}"));
+                            }
+                            wa
+                        }
+                        BinOp::Eq | BinOp::Ult => {
+                            if wa != wb {
+                                return Err(format!("node n{i}: {op:?} width {wa} vs {wb}"));
+                            }
+                            1
+                        }
+                        BinOp::Shl | BinOp::Shr => wa,
+                    }
+                }
+                Node::Mux { sel, t, e } => {
+                    let ws = width_of(&widths, *sel, i)?;
+                    let (wt, we) = (width_of(&widths, *t, i)?, width_of(&widths, *e, i)?);
+                    if ws != 1 {
+                        return Err(format!("node n{i}: mux select is {ws} bits"));
+                    }
+                    if wt != we {
+                        return Err(format!("node n{i}: mux arm width {wt} vs {we}"));
+                    }
+                    wt
+                }
+                Node::Slice { a, hi, lo } => {
+                    let w = width_of(&widths, *a, i)?;
+                    if !(hi >= lo && *hi < w) {
+                        return Err(format!("node n{i}: bad slice [{hi}:{lo}] of width {w}"));
+                    }
+                    hi - lo + 1
+                }
+                Node::Concat { hi, lo } => {
+                    let w = width_of(&widths, *hi, i)? + width_of(&widths, *lo, i)?;
+                    if w > 64 {
+                        return Err(format!("node n{i}: concat width {w} exceeds 64"));
+                    }
+                    w
+                }
+                Node::Zext { a, width } | Node::Sext { a, width } => {
+                    let w = width_of(&widths, *a, i)?;
+                    if *width < w {
+                        return Err(format!("node n{i}: extension target {width} below {w}"));
+                    }
+                    *width
+                }
+                Node::ReduceOr(a) | Node::ReduceAnd(a) | Node::ReduceXor(a) => {
+                    width_of(&widths, *a, i)?;
+                    1
+                }
+                Node::RegOut(r) => regs
+                    .get(r.index())
+                    .map(|reg| reg.width)
+                    .ok_or_else(|| format!("node n{i}: bad register r{}", r.index()))?,
+                Node::MemRead { mem, addr } => {
+                    width_of(&widths, *addr, i)?;
+                    mems.get(mem.index())
+                        .map(|m| m.width)
+                        .ok_or_else(|| format!("node n{i}: bad memory m{}", mem.index()))?
+                }
+            };
+            if !(1..=64).contains(&w) {
+                return Err(format!("node n{i}: width {w} out of range"));
+            }
+            widths.push(w);
+        }
+        let module = Module {
+            name,
+            nodes,
+            widths,
+            inputs,
+            outputs,
+            regs,
+            mems,
+            transactions,
+        };
+        let checked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            module.validate();
+            module
+        }));
+        checked.map_err(|payload| {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "module validation failed".to_string());
+            format!("invalid module: {msg}")
+        })
+    }
 }

@@ -1,0 +1,1026 @@
+//! Length-prefixed JSON IPC between a check supervisor and its worker
+//! subprocess, plus the worker-side serve loop.
+//!
+//! The process-isolation layer runs one check attempt per worker
+//! subprocess: the parent serializes the (COI-relevant) miter, the
+//! property set, and the deterministic check budgets into a single
+//! request frame on the worker's stdin; the worker streams heartbeat
+//! frames (liveness + RSS) on stdout while it solves and finishes with
+//! exactly one result frame. Everything rides on the journal's
+//! hand-rolled [`Json`] (u64-exact, no floats), reusing the same
+//! outcome/trace/failure serde as the on-disk records so the wire format
+//! and the journal cannot drift apart.
+//!
+//! ## Framing
+//!
+//! Each frame is `LLLLLLLL` (eight lowercase ASCII hex digits, the
+//! payload byte length) followed by exactly that many bytes of compact
+//! JSON. No delimiters, no escaping concerns, resynchronization is never
+//! attempted: a malformed frame kills the stream, and the supervisor
+//! treats a dead stream as a dead worker.
+//!
+//! ## Protocol
+//!
+//! ```text
+//! parent -> worker   {"kind":"request", engine, config, module, properties, constraints}
+//! worker -> parent   {"kind":"heartbeat","rss_kb":N}     (every heartbeat_ms)
+//! worker -> parent   {"kind":"result", outcome, counters} (exactly once, last)
+//! ```
+//!
+//! The worker never reads again after the request and the parent never
+//! writes again, so neither side can deadlock on a full pipe. Budgets
+//! (conflicts, wall clock, depth) are enforced *inside* the worker's
+//! solver exactly as in-process; the parent additionally enforces the
+//! RSS budget and heartbeat liveness from the outside, where a wedged or
+//! dying worker cannot evade them.
+//!
+//! ## Fault injection
+//!
+//! The worker honours the `AUTOCC_WORKER_FAULT` environment variable so
+//! the fault-injection suite can stage worker deaths deterministically:
+//! `abort` (die before solving), `abort_if:<path>` (die once, removing
+//! the flag file first), `sigkill` (SIGKILL self), `stall` (stop
+//! heartbeating and hang), `rss:<kb>` (report an inflated RSS). Real
+//! campaigns never set it.
+
+use crate::json::Json;
+use crate::record::{
+    counters_json, failure_json, field, parse_cause, parse_counters, parse_failure, parse_trace,
+    str_field, trace_json, u64_field, usize_field,
+};
+use autocc_bmc::{
+    BmcEngine, CancelToken, CheckConfig, CheckEngine, CheckSpec, EngineOutcome, EngineRun,
+    FailureReason, Falsifier, JobFailure, KInductionEngine,
+};
+use autocc_hdl::{
+    BinOp, Bv, Direction, MemId, Memory, Module, Node, NodeId, OutputPort, Port, RegId, Register,
+    Transaction, WritePort,
+};
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Hard ceiling on a single frame's payload (64 MiB). Real miters are
+/// well under a megabyte; anything bigger is a corrupt length prefix.
+const MAX_FRAME_BYTES: u64 = 64 << 20;
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Writes one frame: an 8-hex-digit byte length, then the compact JSON.
+pub fn write_frame(out: &mut dyn Write, payload: &Json) -> std::io::Result<()> {
+    let body = payload.to_string_compact();
+    write!(out, "{:08x}", body.len())?;
+    out.write_all(body.as_bytes())?;
+    out.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean end of stream (EOF exactly at
+/// a frame boundary); a truncated or malformed frame is an error.
+pub fn read_frame(input: &mut dyn BufRead) -> std::io::Result<Option<Json>> {
+    let mut prefix = [0u8; 8];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        let n = input.read(&mut prefix[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(bad_data("truncated frame length prefix"));
+        }
+        filled += n;
+    }
+    let text = std::str::from_utf8(&prefix).map_err(|_| bad_data("non-ASCII length prefix"))?;
+    let len = u64::from_str_radix(text, 16).map_err(|_| bad_data("non-hex length prefix"))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(bad_data("frame length exceeds the 64 MiB ceiling"));
+    }
+    let mut body = vec![0u8; len as usize];
+    input.read_exact(&mut body)?;
+    let text = String::from_utf8(body).map_err(|_| bad_data("frame payload is not UTF-8"))?;
+    Json::parse(&text).map(Some).map_err(|e| bad_data(&e))
+}
+
+fn bad_data(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+// ---------------------------------------------------------------------
+// Module wire form
+// ---------------------------------------------------------------------
+
+fn bv_json(v: Bv) -> Json {
+    Json::Arr(vec![Json::Num(u64::from(v.width())), Json::Num(v.value())])
+}
+
+fn parse_bv(v: &Json) -> Result<Bv, String> {
+    let a = v.as_arr().ok_or("bv is not an array")?;
+    match a {
+        [w, val] => {
+            let w = w.as_u64().ok_or("bv width is not a number")?;
+            let val = val.as_u64().ok_or("bv value is not a number")?;
+            if !(1..=64).contains(&w) {
+                return Err(format!("bv width {w} out of range"));
+            }
+            Ok(Bv::new(w as u32, val))
+        }
+        _ => Err("bv is not a [width, value] pair".to_string()),
+    }
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Eq => "eq",
+        BinOp::Ult => "ult",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+    }
+}
+
+fn parse_binop(s: &str) -> Option<BinOp> {
+    Some(match s {
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "eq" => BinOp::Eq,
+        "ult" => BinOp::Ult,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        _ => return None,
+    })
+}
+
+fn id(n: NodeId) -> Json {
+    Json::Num(n.index() as u64)
+}
+
+fn node_json(node: &Node) -> Json {
+    let tag = |t: &str| Json::Str(t.to_string());
+    let n = |v: usize| Json::Num(v as u64);
+    Json::Arr(match node {
+        Node::Input { port } => vec![tag("in"), n(*port)],
+        Node::Const(v) => vec![tag("const"), bv_json(*v)],
+        Node::Not(a) => vec![tag("not"), id(*a)],
+        Node::Binary { op, a, b } => vec![tag(binop_str(*op)), id(*a), id(*b)],
+        Node::Mux { sel, t, e } => vec![tag("mux"), id(*sel), id(*t), id(*e)],
+        Node::Slice { a, hi, lo } => vec![
+            tag("slice"),
+            id(*a),
+            Json::Num(u64::from(*hi)),
+            Json::Num(u64::from(*lo)),
+        ],
+        Node::Concat { hi, lo } => vec![tag("cat"), id(*hi), id(*lo)],
+        Node::Zext { a, width } => vec![tag("zext"), id(*a), Json::Num(u64::from(*width))],
+        Node::Sext { a, width } => vec![tag("sext"), id(*a), Json::Num(u64::from(*width))],
+        Node::ReduceOr(a) => vec![tag("ror"), id(*a)],
+        Node::ReduceAnd(a) => vec![tag("rand"), id(*a)],
+        Node::ReduceXor(a) => vec![tag("rxor"), id(*a)],
+        Node::RegOut(r) => vec![tag("reg"), n(r.index())],
+        Node::MemRead { mem, addr } => vec![tag("mem"), n(mem.index()), id(*addr)],
+    })
+}
+
+fn arr_num(a: &[Json], i: usize, what: &str) -> Result<u64, String> {
+    a.get(i)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{what}: operand {i} is not a number"))
+}
+
+fn arr_id(a: &[Json], i: usize, what: &str) -> Result<NodeId, String> {
+    Ok(NodeId::from_index(arr_num(a, i, what)? as usize))
+}
+
+fn parse_node(v: &Json) -> Result<Node, String> {
+    let a = v.as_arr().ok_or("node is not an array")?;
+    let tag = a
+        .first()
+        .and_then(Json::as_str)
+        .ok_or("node has no string tag")?;
+    if let Some(op) = parse_binop(tag) {
+        return Ok(Node::Binary {
+            op,
+            a: arr_id(a, 1, tag)?,
+            b: arr_id(a, 2, tag)?,
+        });
+    }
+    Ok(match tag {
+        "in" => Node::Input {
+            port: arr_num(a, 1, tag)? as usize,
+        },
+        "const" => Node::Const(parse_bv(a.get(1).ok_or("const without value")?)?),
+        "not" => Node::Not(arr_id(a, 1, tag)?),
+        "mux" => Node::Mux {
+            sel: arr_id(a, 1, tag)?,
+            t: arr_id(a, 2, tag)?,
+            e: arr_id(a, 3, tag)?,
+        },
+        "slice" => Node::Slice {
+            a: arr_id(a, 1, tag)?,
+            hi: arr_num(a, 2, tag)? as u32,
+            lo: arr_num(a, 3, tag)? as u32,
+        },
+        "cat" => Node::Concat {
+            hi: arr_id(a, 1, tag)?,
+            lo: arr_id(a, 2, tag)?,
+        },
+        "zext" => Node::Zext {
+            a: arr_id(a, 1, tag)?,
+            width: arr_num(a, 2, tag)? as u32,
+        },
+        "sext" => Node::Sext {
+            a: arr_id(a, 1, tag)?,
+            width: arr_num(a, 2, tag)? as u32,
+        },
+        "ror" => Node::ReduceOr(arr_id(a, 1, tag)?),
+        "rand" => Node::ReduceAnd(arr_id(a, 1, tag)?),
+        "rxor" => Node::ReduceXor(arr_id(a, 1, tag)?),
+        "reg" => Node::RegOut(RegId::from_index(arr_num(a, 1, tag)? as usize)),
+        "mem" => Node::MemRead {
+            mem: MemId::from_index(arr_num(a, 1, tag)? as usize),
+            addr: arr_id(a, 2, tag)?,
+        },
+        other => return Err(format!("unknown node tag `{other}`")),
+    })
+}
+
+/// Serializes a module for the wire. Node widths are *not* shipped: the
+/// receiver recomputes them via [`Module::from_parts`], so a corrupted
+/// width table cannot smuggle an ill-typed netlist across the boundary.
+pub fn module_json(m: &Module) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str(m.name().to_string())),
+        (
+            "nodes".to_string(),
+            Json::Arr(m.nodes().iter().map(node_json).collect()),
+        ),
+        (
+            "inputs".to_string(),
+            Json::Arr(
+                m.inputs()
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("name".to_string(), Json::Str(p.name.clone())),
+                            ("width".to_string(), Json::Num(u64::from(p.width))),
+                            ("common".to_string(), Json::Bool(p.common)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "outputs".to_string(),
+            Json::Arr(
+                m.outputs()
+                    .iter()
+                    .map(|o| Json::Arr(vec![Json::Str(o.name.clone()), id(o.node)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "regs".to_string(),
+            Json::Arr(
+                m.regs()
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("name".to_string(), Json::Str(r.name.clone())),
+                            ("width".to_string(), Json::Num(u64::from(r.width))),
+                            ("init".to_string(), bv_json(r.init)),
+                            ("next".to_string(), r.next.map_or(Json::Null, id)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "mems".to_string(),
+            Json::Arr(
+                m.mems()
+                    .iter()
+                    .map(|mem| {
+                        Json::Obj(vec![
+                            ("name".to_string(), Json::Str(mem.name.clone())),
+                            ("depth".to_string(), Json::Num(mem.depth as u64)),
+                            ("width".to_string(), Json::Num(u64::from(mem.width))),
+                            (
+                                "init".to_string(),
+                                Json::Arr(mem.init.iter().map(|v| bv_json(*v)).collect()),
+                            ),
+                            (
+                                "writes".to_string(),
+                                Json::Arr(
+                                    mem.writes
+                                        .iter()
+                                        .map(|w| Json::Arr(vec![id(w.en), id(w.addr), id(w.data)]))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "transactions".to_string(),
+            Json::Arr(
+                m.transactions()
+                    .iter()
+                    .map(|t| {
+                        Json::Obj(vec![
+                            ("name".to_string(), Json::Str(t.name.clone())),
+                            (
+                                "dir".to_string(),
+                                Json::Str(
+                                    match t.direction {
+                                        Direction::Input => "in",
+                                        Direction::Output => "out",
+                                    }
+                                    .to_string(),
+                                ),
+                            ),
+                            ("valid".to_string(), Json::Str(t.valid.clone())),
+                            (
+                                "payload".to_string(),
+                                Json::Arr(t.payload.iter().map(|p| Json::Str(p.clone())).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Deserializes [`module_json`], recomputing and re-validating widths.
+pub fn parse_module(v: &Json) -> Result<Module, String> {
+    let list = |key: &str| -> Result<&[Json], String> {
+        field(v, key)?
+            .as_arr()
+            .ok_or_else(|| format!("module {key} is not an array"))
+    };
+    let nodes = list("nodes")?
+        .iter()
+        .map(parse_node)
+        .collect::<Result<Vec<_>, _>>()?;
+    let inputs = list("inputs")?
+        .iter()
+        .map(|p| {
+            Ok(Port {
+                name: str_field(p, "name")?,
+                width: u64_field(p, "width")? as u32,
+                common: matches!(field(p, "common")?, Json::Bool(true)),
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let outputs = list("outputs")?
+        .iter()
+        .map(|o| match o.as_arr() {
+            Some([name, node]) => Ok(OutputPort {
+                name: name
+                    .as_str()
+                    .ok_or("output name is not a string")?
+                    .to_string(),
+                node: NodeId::from_index(
+                    node.as_u64().ok_or("output node is not a number")? as usize
+                ),
+            }),
+            _ => Err("output is not a [name, node] pair".to_string()),
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let regs = list("regs")?
+        .iter()
+        .map(|r| {
+            let next = match field(r, "next")? {
+                Json::Null => None,
+                n => Some(NodeId::from_index(
+                    n.as_u64().ok_or("register next is not a number")? as usize,
+                )),
+            };
+            Ok(Register {
+                name: str_field(r, "name")?,
+                width: u64_field(r, "width")? as u32,
+                init: parse_bv(field(r, "init")?)?,
+                next,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let mems = list("mems")?
+        .iter()
+        .map(|m| {
+            let init = field(m, "init")?
+                .as_arr()
+                .ok_or("memory init is not an array")?
+                .iter()
+                .map(parse_bv)
+                .collect::<Result<Vec<_>, _>>()?;
+            let writes = field(m, "writes")?
+                .as_arr()
+                .ok_or("memory writes is not an array")?
+                .iter()
+                .map(|w| {
+                    let a = w.as_arr().ok_or("write port is not an array")?;
+                    Ok(WritePort {
+                        en: arr_id(a, 0, "write")?,
+                        addr: arr_id(a, 1, "write")?,
+                        data: arr_id(a, 2, "write")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(Memory {
+                name: str_field(m, "name")?,
+                depth: usize_field(m, "depth")?,
+                width: u64_field(m, "width")? as u32,
+                init,
+                writes,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let transactions = list("transactions")?
+        .iter()
+        .map(|t| {
+            let dir = str_field(t, "dir")?;
+            Ok(Transaction {
+                name: str_field(t, "name")?,
+                direction: match dir.as_str() {
+                    "in" => Direction::Input,
+                    "out" => Direction::Output,
+                    other => return Err(format!("unknown transaction direction `{other}`")),
+                },
+                valid: str_field(t, "valid")?,
+                payload: field(t, "payload")?
+                    .as_arr()
+                    .ok_or("transaction payload is not an array")?
+                    .iter()
+                    .map(|p| {
+                        p.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| "payload entry is not a string".to_string())
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Module::from_parts(
+        str_field(v, "name")?,
+        nodes,
+        inputs,
+        outputs,
+        regs,
+        mems,
+        transactions,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Request / response frames
+// ---------------------------------------------------------------------
+
+/// A parsed worker request: which engine to run over which spec.
+pub struct WireRequest {
+    /// Wire engine selector (see [`wire_engine`]).
+    pub engine: String,
+    /// Budgets and switches for the solve (telemetry off, jobs 1).
+    pub config: CheckConfig,
+    /// The reconstructed miter.
+    pub module: Module,
+    /// `(name, node)` properties, indices into the module's node table.
+    pub properties: Vec<(String, NodeId)>,
+    /// Constraint nodes.
+    pub constraints: Vec<NodeId>,
+}
+
+/// Builds the engine named by a wire request: `bmc`, `k-induction`, or
+/// `falsifier-bmc` (a [`Falsifier`]-wrapped [`BmcEngine`], the proof
+/// race's counterexample hunter).
+pub fn wire_engine(name: &str) -> Option<Box<dyn CheckEngine + Send + Sync>> {
+    Some(match name {
+        "bmc" => Box::new(BmcEngine),
+        "k-induction" => Box::new(KInductionEngine),
+        "falsifier-bmc" => Box::new(Falsifier(BmcEngine)),
+        _ => return None,
+    })
+}
+
+/// Serializes a check request frame.
+pub fn request_json(
+    engine: &str,
+    module: &Module,
+    properties: &[(String, NodeId)],
+    constraints: &[NodeId],
+    config: &CheckConfig,
+) -> Json {
+    Json::Obj(vec![
+        ("kind".to_string(), Json::Str("request".to_string())),
+        ("engine".to_string(), Json::Str(engine.to_string())),
+        (
+            "config".to_string(),
+            Json::Obj(vec![
+                ("depth".to_string(), Json::Num(config.max_depth as u64)),
+                (
+                    "conflicts".to_string(),
+                    config.conflict_budget.map_or(Json::Null, Json::Num),
+                ),
+                (
+                    "time_us".to_string(),
+                    config
+                        .time_budget
+                        .map_or(Json::Null, |d| Json::Num(d.as_micros() as u64)),
+                ),
+                ("slice".to_string(), Json::Bool(config.slice)),
+                ("poll".to_string(), Json::Num(config.poll_interval)),
+                ("heartbeat_ms".to_string(), Json::Num(config.heartbeat_ms)),
+            ]),
+        ),
+        ("module".to_string(), module_json(module)),
+        (
+            "properties".to_string(),
+            Json::Arr(
+                properties
+                    .iter()
+                    .map(|(name, p)| Json::Arr(vec![Json::Str(name.clone()), id(*p)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "constraints".to_string(),
+            Json::Arr(constraints.iter().map(|c| id(*c)).collect()),
+        ),
+    ])
+}
+
+/// Parses a request frame back into its parts. The returned config has
+/// telemetry off and `jobs = 1`: the worker is exactly one attempt.
+pub fn parse_request(v: &Json) -> Result<WireRequest, String> {
+    if str_field(v, "kind")? != "request" {
+        return Err("not a request frame".to_string());
+    }
+    let c = field(v, "config")?;
+    let opt_num = |key: &str| -> Result<Option<u64>, String> {
+        match field(c, key)? {
+            Json::Null => Ok(None),
+            n => n
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| format!("config {key} is neither null nor a number")),
+        }
+    };
+    let config = CheckConfig::default()
+        .depth(usize_field(c, "depth")?)
+        .conflicts(opt_num("conflicts")?)
+        .slice(matches!(field(c, "slice")?, Json::Bool(true)))
+        .poll_interval(u64_field(c, "poll")?)
+        .heartbeat_ms(u64_field(c, "heartbeat_ms")?)
+        .jobs(1)
+        .retries(0);
+    let config = match opt_num("time_us")? {
+        Some(us) => config.timeout(Duration::from_micros(us)),
+        None => config.no_timeout(),
+    };
+    let module = parse_module(field(v, "module")?)?;
+    let properties = field(v, "properties")?
+        .as_arr()
+        .ok_or("properties is not an array")?
+        .iter()
+        .map(|p| match p.as_arr() {
+            Some([name, node]) => Ok((
+                name.as_str()
+                    .ok_or("property name is not a string")?
+                    .to_string(),
+                NodeId::from_index(node.as_u64().ok_or("property node is not a number")? as usize),
+            )),
+            _ => Err("property is not a [name, node] pair".to_string()),
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let constraints = field(v, "constraints")?
+        .as_arr()
+        .ok_or("constraints is not an array")?
+        .iter()
+        .map(|c| {
+            c.as_u64()
+                .map(|n| NodeId::from_index(n as usize))
+                .ok_or_else(|| "constraint is not a number".to_string())
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(WireRequest {
+        engine: str_field(v, "engine")?,
+        config,
+        module,
+        properties,
+        constraints,
+    })
+}
+
+fn outcome_json(outcome: &EngineOutcome) -> Json {
+    let kind = |k: &str| ("kind".to_string(), Json::Str(k.to_string()));
+    match outcome {
+        EngineOutcome::Cex(cex) => Json::Obj(vec![
+            kind("cex"),
+            ("property".to_string(), Json::Str(cex.property.clone())),
+            ("depth".to_string(), Json::Num(cex.depth as u64)),
+            (
+                "trace".to_string(),
+                trace_json(&cex.trace, cex.trace.num_ports()),
+            ),
+        ]),
+        EngineOutcome::BoundReached { depth } => Json::Obj(vec![
+            kind("bound"),
+            ("depth".to_string(), Json::Num(*depth as u64)),
+        ]),
+        EngineOutcome::Proved { induction_depth } => Json::Obj(vec![
+            kind("proved"),
+            ("k".to_string(), Json::Num(*induction_depth as u64)),
+        ]),
+        EngineOutcome::Exhausted { depth } => Json::Obj(vec![
+            kind("exhausted"),
+            ("depth".to_string(), Json::Num(*depth as u64)),
+        ]),
+        EngineOutcome::Unknown { depth, cause } => Json::Obj(vec![
+            kind("unknown"),
+            ("depth".to_string(), Json::Num(*depth as u64)),
+            (
+                "cause".to_string(),
+                Json::Str(crate::record::cause_str(*cause).to_string()),
+            ),
+        ]),
+        EngineOutcome::Failed(f) => Json::Obj(vec![
+            kind("failed"),
+            ("failure".to_string(), failure_json(f)),
+        ]),
+    }
+}
+
+fn parse_engine_outcome(v: &Json) -> Result<EngineOutcome, String> {
+    Ok(match str_field(v, "kind")?.as_str() {
+        "cex" => EngineOutcome::Cex(autocc_bmc::Cex {
+            property: str_field(v, "property")?,
+            depth: usize_field(v, "depth")?,
+            trace: parse_trace(field(v, "trace")?)?,
+        }),
+        "bound" => EngineOutcome::BoundReached {
+            depth: usize_field(v, "depth")?,
+        },
+        "proved" => EngineOutcome::Proved {
+            induction_depth: usize_field(v, "k")?,
+        },
+        "exhausted" => EngineOutcome::Exhausted {
+            depth: usize_field(v, "depth")?,
+        },
+        "unknown" => {
+            let cause = str_field(v, "cause")?;
+            EngineOutcome::Unknown {
+                depth: usize_field(v, "depth")?,
+                cause: parse_cause(&cause).ok_or_else(|| format!("unknown cause `{cause}`"))?,
+            }
+        }
+        "failed" => EngineOutcome::Failed(parse_failure(field(v, "failure")?)?),
+        other => return Err(format!("unknown outcome kind `{other}`")),
+    })
+}
+
+/// One frame from worker to supervisor.
+pub enum WorkerFrame {
+    /// Liveness: the worker is solving and currently holds `rss_kb` KiB.
+    Heartbeat {
+        /// Resident set size in KiB (0 when `/proc` is unavailable).
+        rss_kb: u64,
+    },
+    /// The final answer; the worker exits after sending it.
+    Result(EngineRun),
+}
+
+/// Serializes a heartbeat frame.
+pub fn heartbeat_json(rss_kb: u64) -> Json {
+    Json::Obj(vec![
+        ("kind".to_string(), Json::Str("heartbeat".to_string())),
+        ("rss_kb".to_string(), Json::Num(rss_kb)),
+    ])
+}
+
+/// Serializes a result frame.
+pub fn result_json(run: &EngineRun) -> Json {
+    Json::Obj(vec![
+        ("kind".to_string(), Json::Str("result".to_string())),
+        ("outcome".to_string(), outcome_json(&run.outcome)),
+        ("counters".to_string(), counters_json(&run.counters)),
+    ])
+}
+
+/// Parses a worker-to-supervisor frame.
+pub fn parse_worker_frame(v: &Json) -> Result<WorkerFrame, String> {
+    match str_field(v, "kind")?.as_str() {
+        "heartbeat" => Ok(WorkerFrame::Heartbeat {
+            rss_kb: u64_field(v, "rss_kb")?,
+        }),
+        "result" => Ok(WorkerFrame::Result(EngineRun {
+            outcome: parse_engine_outcome(field(v, "outcome")?)?,
+            counters: parse_counters(field(v, "counters")?)?,
+        })),
+        other => Err(format!("unknown worker frame kind `{other}`")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker runtime
+// ---------------------------------------------------------------------
+
+/// The current process's resident set size in KiB, from
+/// `/proc/self/status` (`VmRSS`); 0 where that is unavailable.
+pub fn current_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmRSS:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Applies the staged `AUTOCC_WORKER_FAULT` death, if any. Returns the
+/// RSS override for `rss:<kb>`; diverges (never returns) for the
+/// death-shaped faults.
+fn apply_fault(fault: Option<&str>) -> Option<u64> {
+    match fault {
+        Some("abort") => std::process::abort(),
+        Some("sigkill") => {
+            let _ = std::process::Command::new("kill")
+                .args(["-9", &std::process::id().to_string()])
+                .status();
+            // SIGKILL is not maskable; give delivery a moment.
+            loop {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+        Some(spec) if spec.starts_with("abort_if:") => {
+            let path = &spec["abort_if:".len()..];
+            if std::fs::remove_file(path).is_ok() {
+                std::process::abort();
+            }
+            None
+        }
+        Some(spec) => spec.strip_prefix("rss:").and_then(|kb| kb.parse().ok()),
+        None => None,
+    }
+}
+
+/// Serves exactly one check request: read the request frame from
+/// `input`, heartbeat on `output` every `heartbeat_ms` while solving,
+/// write the result frame, return. Panics inside the engine are
+/// contained and reported as a `FAILED (panic)` result frame, exactly as
+/// the in-process scheduler would classify them.
+pub fn serve_worker<W: Write + Send + 'static>(
+    input: &mut dyn BufRead,
+    output: W,
+) -> Result<(), String> {
+    let frame = read_frame(input)
+        .map_err(|e| format!("reading request: {e}"))?
+        .ok_or("empty request stream")?;
+    let req = parse_request(&frame)?;
+    let fault = std::env::var("AUTOCC_WORKER_FAULT").ok();
+    if fault.as_deref() == Some("stall") {
+        // A wedged worker: alive, silent, never answering. The
+        // supervisor's heartbeat-stall detection must reap it.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    let engine =
+        wire_engine(&req.engine).ok_or_else(|| format!("unknown wire engine `{}`", req.engine))?;
+    let output: Arc<Mutex<W>> = Arc::new(Mutex::new(output));
+    let done = Arc::new(AtomicBool::new(false));
+    let rss_override = apply_fault(fault.as_deref());
+
+    let heartbeat = {
+        let output = Arc::clone(&output);
+        let done = Arc::clone(&done);
+        let period = Duration::from_millis(req.config.heartbeat_ms);
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Acquire) {
+                let rss = rss_override.unwrap_or_else(current_rss_kb);
+                let sent = match output.lock() {
+                    Ok(mut out) => write_frame(&mut *out, &heartbeat_json(rss)).is_ok(),
+                    Err(_) => false,
+                };
+                if !sent {
+                    break; // supervisor is gone; nobody left to reassure
+                }
+                std::thread::sleep(period);
+            }
+        })
+    };
+
+    let spec = CheckSpec {
+        module: &req.module,
+        properties: req.properties.clone(),
+        constraints: req.constraints.clone(),
+    };
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.check(&spec, &req.config, &CancelToken::new())
+    }))
+    .unwrap_or_else(|payload| {
+        let detail = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        EngineRun::from(EngineOutcome::Failed(JobFailure {
+            engine: req.engine.clone(),
+            property: None,
+            depth: 0,
+            reason: FailureReason::Panic,
+            detail,
+            attempts: 1,
+        }))
+    });
+    done.store(true, Ordering::Release);
+    let result = match output.lock() {
+        Ok(mut out) => {
+            write_frame(&mut *out, &result_json(&run)).map_err(|e| format!("writing result: {e}"))
+        }
+        Err(_) => Err("output poisoned".to_string()),
+    };
+    let _ = heartbeat.join();
+    result
+}
+
+/// The `worker` subcommand entry point: serve one request on
+/// stdin/stdout, then exit. Exit code 0 even for FAILED outcomes — those
+/// are *results*; a nonzero exit means the worker itself broke (and the
+/// supervisor classifies that as a dead worker).
+pub fn worker_main() -> ! {
+    let stdin = std::io::stdin();
+    let mut input = stdin.lock();
+    match serve_worker(&mut input, std::io::stdout()) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("worker: {e}");
+            std::process::exit(70);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocc_hdl::ModuleBuilder;
+
+    fn leaky_module() -> Module {
+        let mut b = ModuleBuilder::new("dev");
+        let inc = b.input("inc", 1);
+        let ra = b.reg("a", 4, Bv::zero(4));
+        let one = b.lit(4, 1);
+        let na = b.add(ra, one);
+        let next = b.mux(inc, na, ra);
+        b.set_next(ra, next);
+        let five = b.lit(4, 5);
+        let ok = b.ult(ra, five);
+        b.output("small", ok);
+        b.build()
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_pipe_shaped_buffer() {
+        let payload = heartbeat_json(4096);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        write_frame(&mut buf, &heartbeat_json(8192)).unwrap();
+        let mut cursor = std::io::BufReader::new(&buf[..]);
+        let first = read_frame(&mut cursor).unwrap().unwrap();
+        let second = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(first.to_string_compact(), payload.to_string_compact());
+        assert_eq!(second.get("rss_kb").and_then(Json::as_u64), Some(8192));
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_frames_are_errors_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &heartbeat_json(1)).unwrap();
+        for cut in 1..buf.len() {
+            let mut cursor = std::io::BufReader::new(&buf[..cut]);
+            assert!(
+                read_frame(&mut cursor).is_err(),
+                "cut at {cut} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn module_round_trips_with_recomputed_widths() {
+        let m = leaky_module();
+        let wire = module_json(&m);
+        let back = parse_module(&wire).expect("round trip");
+        assert_eq!(back.name(), m.name());
+        assert_eq!(back.num_nodes(), m.num_nodes());
+        for i in 0..m.num_nodes() {
+            let id = NodeId::from_index(i);
+            assert_eq!(back.width(id), m.width(id), "width of n{i}");
+        }
+        assert_eq!(back.regs().len(), m.regs().len());
+        assert_eq!(back.state_bits(), m.state_bits());
+    }
+
+    #[test]
+    fn corrupt_modules_are_rejected_not_panicked() {
+        let m = leaky_module();
+        let wire = module_json(&m);
+        // Break the output node index far out of range.
+        let Json::Obj(mut fields) = wire else {
+            panic!("module wire form is an object")
+        };
+        for (k, field) in &mut fields {
+            if k == "outputs" {
+                *field = Json::Arr(vec![Json::Arr(vec![
+                    Json::Str("small".to_string()),
+                    Json::Num(9999),
+                ])]);
+            }
+        }
+        assert!(parse_module(&Json::Obj(fields)).is_err());
+    }
+
+    #[test]
+    fn request_and_result_round_trip() {
+        let m = leaky_module();
+        let p = m.output_node("small").unwrap();
+        let config = CheckConfig::default()
+            .depth(9)
+            .conflicts(Some(1234))
+            .no_timeout()
+            .slice(true)
+            .heartbeat_ms(77);
+        let props = vec![("small".to_string(), p)];
+        let wire = request_json("bmc", &m, &props, &[], &config);
+        let req = parse_request(&wire).expect("parse request");
+        assert_eq!(req.engine, "bmc");
+        assert_eq!(req.config.max_depth, 9);
+        assert_eq!(req.config.conflict_budget, Some(1234));
+        assert_eq!(req.config.time_budget, None);
+        assert!(req.config.slice);
+        assert_eq!(req.config.heartbeat_ms, 77);
+        assert_eq!(req.properties, props);
+
+        let run = EngineRun::from(EngineOutcome::BoundReached { depth: 9 });
+        match parse_worker_frame(&result_json(&run)).expect("parse result") {
+            WorkerFrame::Result(back) => match back.outcome {
+                EngineOutcome::BoundReached { depth: 9 } => {}
+                other => panic!("expected BoundReached, got {other:?}"),
+            },
+            WorkerFrame::Heartbeat { .. } => panic!("expected a result frame"),
+        }
+    }
+
+    #[test]
+    fn worker_serves_a_request_end_to_end_in_memory() {
+        let m = leaky_module();
+        let p = m.output_node("small").unwrap();
+        let config = CheckConfig::default().depth(8).no_timeout();
+        let wire = request_json("bmc", &m, &[("small".to_string(), p)], &[], &config);
+        let mut request_bytes = Vec::new();
+        write_frame(&mut request_bytes, &wire).unwrap();
+
+        let out: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct SharedOut(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedOut {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut input = std::io::BufReader::new(&request_bytes[..]);
+        serve_worker(&mut input, SharedOut(Arc::clone(&out))).expect("serve");
+
+        let bytes = out.lock().unwrap().clone();
+        let mut cursor = std::io::BufReader::new(&bytes[..]);
+        let mut result = None;
+        while let Some(frame) = read_frame(&mut cursor).unwrap() {
+            match parse_worker_frame(&frame).unwrap() {
+                WorkerFrame::Heartbeat { .. } => {}
+                WorkerFrame::Result(run) => result = Some(run),
+            }
+        }
+        // The device counts to 5 and violates `small`: a CEX at depth 6,
+        // exactly what the in-process engine reports.
+        match result.expect("worker must emit a result frame").outcome {
+            EngineOutcome::Cex(cex) => {
+                assert_eq!(cex.property, "small");
+                assert!(cex.depth > 0);
+            }
+            other => panic!("expected a CEX, got {other:?}"),
+        }
+    }
+}

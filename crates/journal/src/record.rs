@@ -63,11 +63,11 @@ fn hex16(v: u64) -> Json {
     Json::Str(format!("{v:016x}"))
 }
 
-fn bv_json(v: Bv) -> Json {
+pub(crate) fn bv_json(v: Bv) -> Json {
     Json::Arr(vec![Json::Num(u64::from(v.width())), Json::Num(v.value())])
 }
 
-fn counters_json(c: &SolverCounters) -> Json {
+pub(crate) fn counters_json(c: &SolverCounters) -> Json {
     Json::Arr(vec![
         Json::Num(c.solve_calls),
         Json::Num(c.conflicts),
@@ -79,7 +79,7 @@ fn counters_json(c: &SolverCounters) -> Json {
     ])
 }
 
-fn trace_json(trace: &Trace, num_ports: usize) -> Json {
+pub(crate) fn trace_json(trace: &Trace, num_ports: usize) -> Json {
     Json::Arr(
         (0..trace.len())
             .map(|t| Json::Arr((0..num_ports).map(|p| bv_json(trace.input(t, p))).collect()))
@@ -97,33 +97,39 @@ fn divergence_json(d: &StateDivergence) -> Json {
     ])
 }
 
-fn reason_str(r: FailureReason) -> &'static str {
+pub(crate) fn reason_str(r: FailureReason) -> &'static str {
     match r {
         FailureReason::ReplayMismatch => "replay-mismatch",
         FailureReason::InternalInconsistency => "internal-inconsistency",
         FailureReason::Panic => "panic",
         FailureReason::Hang => "hang",
+        FailureReason::WorkerDied => "worker-died",
+        FailureReason::MemoryLimit => "memory-limit",
+        FailureReason::Quarantined => "quarantined",
     }
 }
 
-fn parse_reason(s: &str) -> Option<FailureReason> {
+pub(crate) fn parse_reason(s: &str) -> Option<FailureReason> {
     Some(match s {
         "replay-mismatch" => FailureReason::ReplayMismatch,
         "internal-inconsistency" => FailureReason::InternalInconsistency,
         "panic" => FailureReason::Panic,
         "hang" => FailureReason::Hang,
+        "worker-died" => FailureReason::WorkerDied,
+        "memory-limit" => FailureReason::MemoryLimit,
+        "quarantined" => FailureReason::Quarantined,
         _ => return None,
     })
 }
 
-fn cause_str(c: UnknownCause) -> &'static str {
+pub(crate) fn cause_str(c: UnknownCause) -> &'static str {
     match c {
         UnknownCause::TimeBudget => "time-budget",
         UnknownCause::Cancelled => "cancelled",
     }
 }
 
-fn parse_cause(s: &str) -> Option<UnknownCause> {
+pub(crate) fn parse_cause(s: &str) -> Option<UnknownCause> {
     Some(match s {
         "time-budget" => UnknownCause::TimeBudget,
         "cancelled" => UnknownCause::Cancelled,
@@ -131,7 +137,7 @@ fn parse_cause(s: &str) -> Option<UnknownCause> {
     })
 }
 
-fn failure_json(f: &JobFailure) -> Json {
+pub(crate) fn failure_json(f: &JobFailure) -> Json {
     Json::Obj(vec![
         ("engine".to_string(), Json::Str(f.engine.clone())),
         (
@@ -236,24 +242,24 @@ pub fn entry_line(entry: &JournalEntry) -> String {
 // Decoding
 // ---------------------------------------------------------------------
 
-fn field<'j>(v: &'j Json, key: &str) -> Result<&'j Json, String> {
+pub(crate) fn field<'j>(v: &'j Json, key: &str) -> Result<&'j Json, String> {
     v.get(key).ok_or_else(|| format!("missing field `{key}`"))
 }
 
-fn str_field(v: &Json, key: &str) -> Result<String, String> {
+pub(crate) fn str_field(v: &Json, key: &str) -> Result<String, String> {
     Ok(field(v, key)?
         .as_str()
         .ok_or_else(|| format!("field `{key}` is not a string"))?
         .to_string())
 }
 
-fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
+pub(crate) fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
     field(v, key)?
         .as_u64()
         .ok_or_else(|| format!("field `{key}` is not an integer"))
 }
 
-fn usize_field(v: &Json, key: &str) -> Result<usize, String> {
+pub(crate) fn usize_field(v: &Json, key: &str) -> Result<usize, String> {
     Ok(u64_field(v, key)? as usize)
 }
 
@@ -264,7 +270,7 @@ fn hex_field(v: &Json, key: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("field `{key}` is not a 16-hex-digit value"))
 }
 
-fn parse_bv(v: &Json) -> Result<Bv, String> {
+pub(crate) fn parse_bv(v: &Json) -> Result<Bv, String> {
     let pair = v.as_arr().ok_or("bit-vector is not a [width,value] pair")?;
     let (w, val) = match pair {
         [w, val] => (
@@ -279,7 +285,7 @@ fn parse_bv(v: &Json) -> Result<Bv, String> {
     Ok(Bv::new(w as u32, val))
 }
 
-fn parse_counters(v: &Json) -> Result<SolverCounters, String> {
+pub(crate) fn parse_counters(v: &Json) -> Result<SolverCounters, String> {
     let items = v.as_arr().ok_or("stats is not an array")?;
     let get = |i: usize| -> Result<u64, String> {
         items
@@ -301,7 +307,7 @@ fn parse_counters(v: &Json) -> Result<SolverCounters, String> {
     })
 }
 
-fn parse_trace(v: &Json) -> Result<Trace, String> {
+pub(crate) fn parse_trace(v: &Json) -> Result<Trace, String> {
     let cycles = v.as_arr().ok_or("trace is not an array")?;
     let mut inputs = Vec::with_capacity(cycles.len());
     for cycle in cycles {
@@ -321,7 +327,7 @@ fn parse_divergence(v: &Json) -> Result<StateDivergence, String> {
     })
 }
 
-fn parse_failure(v: &Json) -> Result<JobFailure, String> {
+pub(crate) fn parse_failure(v: &Json) -> Result<JobFailure, String> {
     let property = match field(v, "property")? {
         Json::Null => None,
         p => Some(

@@ -15,7 +15,10 @@
 //! * [`telemetry`] — check-pipeline observability: spans, solver
 //!   counters, run profiles.
 //! * [`journal`] — crash-safe run journal: append-only fsync'd check
-//!   records, torn-tail recovery, content-addressed resume.
+//!   records, torn-tail recovery, content-addressed resume; plus the
+//!   worker IPC protocol for process-isolated checks.
+//! * [`bench`] — experiment harness: campaign runner, report tables,
+//!   and the process-isolation supervisor (worker pools, quarantine).
 //!
 //! See the repository README for a quickstart, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -24,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub use autocc_aig as aig;
+pub use autocc_bench as bench;
 pub use autocc_bmc as bmc;
 pub use autocc_core as core;
 pub use autocc_duts as duts;

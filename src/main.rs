@@ -6,6 +6,7 @@
 //! ```text
 //! autocc <dut> [--depth N] [--threshold N] [--jobs N] [--slice on|off]
 //!              [--retries N] [--timeout SECS] [--poll-interval N]
+//!              [--isolate] [--memory-limit-mb N] [--worker-heartbeat-ms N]
 //!              [--profile FILE]
 //!              [--journal FILE] [--resume | --fresh]
 //!              [--prove] [--minimize] [--sva] [--verilog] [--vcd FILE]
@@ -23,7 +24,8 @@
 //! `maple`, `maple-fixed`, `aes`, `aes-refined`, `config-device`,
 //! `config-device-fixed`.
 
-use autocc::bmc::{config_fingerprint, content_key, CheckConfig, CheckMode};
+use autocc::bench::{maybe_run_worker, ProcEngine, WorkerLimits, WorkerPool};
+use autocc::bmc::{config_fingerprint, content_key, CheckConfig, CheckMode, Isolation};
 use autocc::core::{format_duration, to_sva, AutoCcOutcome, CheckReport, FpvTestbench, FtSpec};
 use autocc::duts::aes::{build_aes, stage_valid_names, AesConfig};
 use autocc::duts::cva6::{build_cva6, Cva6Config, ARCH_REGS};
@@ -67,6 +69,9 @@ struct Args {
     journal: Option<String>,
     resume: bool,
     fresh: bool,
+    isolate: bool,
+    memory_limit_mb: Option<u64>,
+    worker_heartbeat_ms: Option<u64>,
     prove: bool,
     minimize: bool,
     dump_sva: bool,
@@ -78,6 +83,7 @@ fn usage() -> ExitCode {
     eprintln!("usage: autocc <dut> [--depth N] [--threshold N] [--jobs N]");
     eprintln!("              [--slice on|off] [--retries N] [--timeout SECS]");
     eprintln!("              [--poll-interval N] [--profile FILE]");
+    eprintln!("              [--isolate] [--memory-limit-mb N] [--worker-heartbeat-ms N]");
     eprintln!("              [--journal FILE] [--resume | --fresh]");
     eprintln!("              [--prove] [--minimize]");
     eprintln!("              [--sva] [--verilog] [--vcd FILE]");
@@ -100,6 +106,9 @@ fn parse_args() -> Result<Args, ExitCode> {
         journal: None,
         resume: false,
         fresh: false,
+        isolate: false,
+        memory_limit_mb: None,
+        worker_heartbeat_ms: None,
         prove: false,
         minimize: false,
         dump_sva: false,
@@ -152,6 +161,23 @@ fn parse_args() -> Result<Args, ExitCode> {
                     .and_then(|v| v.parse().ok())
                     .filter(|&p| p >= 1)
                     .ok_or_else(usage)?;
+            }
+            "--isolate" => args.isolate = true,
+            "--memory-limit-mb" => {
+                args.memory_limit_mb = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&m| m >= 1)
+                        .ok_or_else(usage)?,
+                );
+            }
+            "--worker-heartbeat-ms" => {
+                args.worker_heartbeat_ms = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&m| m >= 1)
+                        .ok_or_else(usage)?,
+                );
             }
             "--profile" => args.profile = Some(argv.next().ok_or_else(usage)?),
             "--journal" => args.journal = Some(argv.next().ok_or_else(usage)?),
@@ -349,6 +375,35 @@ fn report(
     }
 }
 
+/// Runs the check or proof live, substituting process-isolated engines
+/// when a worker pool is present (`--isolate`). Isolation never changes
+/// answers — the worker runs the same engine with the same deterministic
+/// budgets — it only shrinks the blast radius of a crashing or runaway
+/// check to one subprocess.
+fn solve(
+    ft: &FpvTestbench,
+    config: &CheckConfig,
+    prove: bool,
+    pool: Option<&Arc<WorkerPool>>,
+) -> CheckReport {
+    match (prove, pool) {
+        (false, None) => ft.check_portfolio(config),
+        (false, Some(pool)) => {
+            ft.check_portfolio_with(config, &ProcEngine::for_check(Arc::clone(pool)))
+        }
+        (true, None) => ft.prove_portfolio(config),
+        (true, Some(pool)) => {
+            let induction = ProcEngine::for_prove(Arc::clone(pool));
+            if config.jobs > 1 {
+                let falsifier = ProcEngine::falsifier(Arc::clone(pool));
+                ft.prove_portfolio_with(config, &[&induction, &falsifier])
+            } else {
+                ft.prove_portfolio_with(config, &[&induction])
+            }
+        }
+    }
+}
+
 /// Runs the check through the crash-safe journal: an identical completed
 /// check (same content key: COI-sliced miter, properties, deterministic
 /// budgets, mode) is served from the journal — replay-certifying any
@@ -358,6 +413,7 @@ fn run_journaled(
     ft: &FpvTestbench,
     config: &CheckConfig,
     args: &Args,
+    pool: Option<&Arc<WorkerPool>>,
     path: &Path,
 ) -> Result<CheckReport, String> {
     let mode = if args.prove {
@@ -444,11 +500,7 @@ fn run_journaled(
             }
         }
     }
-    let run = if args.prove {
-        ft.prove_portfolio(config)
-    } else {
-        ft.check_portfolio(config)
-    };
+    let run = solve(ft, config, args.prove, pool);
     let entry = JournalEntry {
         key,
         id: args.dut.clone(),
@@ -466,6 +518,10 @@ fn run_journaled(
 }
 
 fn main() -> ExitCode {
+    // `autocc worker` is the hidden subcommand isolated campaigns spawn:
+    // serve one check request on stdin/stdout, then exit. Never returns
+    // when invoked that way.
+    maybe_run_worker();
     let args = match parse_args() {
         Ok(a) => a,
         Err(code) => return code,
@@ -508,6 +564,12 @@ fn main() -> ExitCode {
         .slice(args.slice)
         .retries(args.retries)
         .poll_interval(args.poll_interval);
+    if args.isolate {
+        config = config.isolate().memory_limit_mb(args.memory_limit_mb);
+    }
+    if let Some(ms) = args.worker_heartbeat_ms {
+        config = config.heartbeat_ms(ms);
+    }
     // `--profile` attaches a recorder; without it telemetry stays a no-op
     // and the run is bit-identical to an uninstrumented build.
     let recorder = args
@@ -517,16 +579,21 @@ fn main() -> ExitCode {
     if let Some(recorder) = &recorder {
         config.telemetry = Telemetry::root(recorder.clone(), &args.dut);
     }
+    let pool = match config.isolation {
+        Isolation::InProcess => None,
+        Isolation::Subprocess => Some(Arc::new(WorkerPool::new(WorkerLimits::from_config(
+            &config,
+        )))),
+    };
     let run = match &args.journal {
-        Some(path) => match run_journaled(&ft, &config, &args, Path::new(path)) {
+        Some(path) => match run_journaled(&ft, &config, &args, pool.as_ref(), Path::new(path)) {
             Ok(run) => run,
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         },
-        None if args.prove => ft.prove_portfolio(&config),
-        None => ft.check_portfolio(&config),
+        None => solve(&ft, &config, args.prove, pool.as_ref()),
     };
     report(&ft, &run.outcome, run.elapsed, args.minimize, &args.vcd);
     if let (Some(path), Some(recorder)) = (&args.profile, &recorder) {
