@@ -40,6 +40,104 @@ impl SeqCoi {
     pub fn keeps_all(&self) -> bool {
         self.state_keep.iter().all(|&k| k) && self.port_keep.iter().all(|&k| k)
     }
+
+    /// Total bits (state + input-port) inside the cone.
+    pub fn num_kept_bits(&self) -> usize {
+        self.num_kept_state() + self.num_kept_ports()
+    }
+
+    /// Grows this cone to also cover everything `other` covers.
+    ///
+    /// Both cones must come from the same [`SeqAig`] (same bit layout);
+    /// mismatched lengths panic.
+    pub fn union_with(&mut self, other: &SeqCoi) {
+        assert_eq!(self.state_keep.len(), other.state_keep.len());
+        assert_eq!(self.port_keep.len(), other.port_keep.len());
+        for (k, o) in self.state_keep.iter_mut().zip(&other.state_keep) {
+            *k |= *o;
+        }
+        for (k, o) in self.port_keep.iter_mut().zip(&other.port_keep) {
+            *k |= *o;
+        }
+    }
+
+    /// Jaccard overlap of two cones over the combined state + port bit
+    /// sets: `|A ∩ B| / |A ∪ B|`. Two empty cones overlap fully (1.0).
+    pub fn jaccard(&self, other: &SeqCoi) -> f64 {
+        assert_eq!(self.state_keep.len(), other.state_keep.len());
+        assert_eq!(self.port_keep.len(), other.port_keep.len());
+        let mut inter = 0usize;
+        let mut union = 0usize;
+        let bits = self
+            .state_keep
+            .iter()
+            .zip(&other.state_keep)
+            .chain(self.port_keep.iter().zip(&other.port_keep));
+        for (&a, &b) in bits {
+            if a || b {
+                union += 1;
+                if a && b {
+                    inter += 1;
+                }
+            }
+        }
+        if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+}
+
+/// A group of properties whose sequential cones overlap enough to be
+/// sliced and bit-blasted as one sub-model.
+#[derive(Clone, Debug)]
+pub struct ConeCluster {
+    /// Indices into the cone slice handed to [`cluster_cones`] (i.e. the
+    /// caller's property ordinals), in ascending order.
+    pub members: Vec<usize>,
+    /// Union cone of every member — the slice the cluster is checked
+    /// under.
+    pub cone: SeqCoi,
+}
+
+impl ConeCluster {
+    /// State + port bits of the cluster's union cone.
+    pub fn cone_bits(&self) -> usize {
+        self.cone.num_kept_bits()
+    }
+}
+
+/// Groups per-property cones into clusters by Jaccard overlap.
+///
+/// Greedy first-fit in input order: each cone joins the first existing
+/// cluster whose *union* cone overlaps it by at least `overlap`
+/// (Jaccard), else it opens a new cluster. The pass is deterministic —
+/// cluster membership depends only on the input order and the threshold —
+/// so downstream content keys and schedules are stable across runs.
+///
+/// `overlap` is clamped to `[0, 1]`. At `0.0` every cone joins the first
+/// cluster (one cluster total); at `1.0` only identical cones share a
+/// cluster.
+pub fn cluster_cones(cones: &[SeqCoi], overlap: f64) -> Vec<ConeCluster> {
+    let overlap = overlap.clamp(0.0, 1.0);
+    let mut clusters: Vec<ConeCluster> = Vec::new();
+    for (i, cone) in cones.iter().enumerate() {
+        let slot = clusters
+            .iter()
+            .position(|c| c.cone.jaccard(cone) >= overlap);
+        match slot {
+            Some(s) => {
+                clusters[s].members.push(i);
+                clusters[s].cone.union_with(cone);
+            }
+            None => clusters.push(ConeCluster {
+                members: vec![i],
+                cone: cone.clone(),
+            }),
+        }
+    }
+    clusters
 }
 
 /// Computes the sequential COI of `roots` over `seq`.
@@ -168,5 +266,61 @@ mod tests {
 
         assert_eq!(coi.num_kept_state(), 2, "s1 and s2 kept, `unused` dropped");
         assert_eq!(coi.num_kept_ports(), 1, "d kept via s1's next-state");
+    }
+
+    fn cone(state: &[bool], ports: &[bool]) -> SeqCoi {
+        SeqCoi {
+            state_keep: state.to_vec(),
+            port_keep: ports.to_vec(),
+        }
+    }
+
+    #[test]
+    fn jaccard_and_union_compose() {
+        let a = cone(&[true, true, false, false], &[true]);
+        let b = cone(&[false, true, true, false], &[true]);
+        // |A ∩ B| = {s1, p0} = 2, |A ∪ B| = {s0, s1, s2, p0} = 4.
+        assert!((a.jaccard(&b) - 0.5).abs() < 1e-12);
+        assert!((a.jaccard(&a) - 1.0).abs() < 1e-12);
+        let empty = cone(&[false; 4], &[false]);
+        assert!((empty.jaccard(&empty) - 1.0).abs() < 1e-12);
+        assert!((empty.jaccard(&a) - 0.0).abs() < 1e-12);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.num_kept_state(), 3);
+        assert_eq!(u.num_kept_ports(), 1);
+        assert_eq!(u.num_kept_bits(), 4);
+    }
+
+    #[test]
+    fn clustering_groups_overlapping_cones() {
+        // Two near-identical cones, one disjoint cone.
+        let c0 = cone(&[true, true, true, false, false, false], &[]);
+        let c1 = cone(&[true, true, true, true, false, false], &[]);
+        let c2 = cone(&[false, false, false, false, true, true], &[]);
+        let clusters = cluster_cones(&[c0, c1, c2], 0.7);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].members, vec![0, 1]);
+        assert_eq!(clusters[0].cone.num_kept_state(), 4, "union of c0 and c1");
+        assert_eq!(clusters[1].members, vec![2]);
+        assert_eq!(clusters[1].cone_bits(), 2);
+    }
+
+    #[test]
+    fn clustering_threshold_extremes() {
+        let c0 = cone(&[true, false], &[]);
+        let c1 = cone(&[false, true], &[]);
+        let c2 = cone(&[true, false], &[]);
+        // Threshold 0: everything joins the first cluster.
+        let all = cluster_cones(&[c0.clone(), c1.clone(), c2.clone()], 0.0);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].members, vec![0, 1, 2]);
+        // Threshold 1: only identical cones merge. Cluster 0's union is
+        // still {s0} (c1 never joined it), so c2 matches it exactly.
+        let strict = cluster_cones(&[c0, c1, c2], 1.0);
+        assert_eq!(strict.len(), 2);
+        assert_eq!(strict[0].members, vec![0, 2]);
+        assert_eq!(strict[1].members, vec![1]);
     }
 }

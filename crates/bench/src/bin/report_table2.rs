@@ -1,18 +1,25 @@
 //! Regenerates Table 2: the Vscale CEX ladder (description, depth, time).
 
 use autocc_bench::{
-    default_options, finish_profile, parse_report_args, run_campaign, table2_tasks,
+    default_options, finish_profile, parse_report_args, run_campaign, table2_tasks_with,
 };
 use autocc_core::{failure_summary, report_exit_code};
 
 const USAGE: &str = "usage: report_table2 [--jobs N] [--slice on|off] [--stable] [--detailed]
                      [--retries N] [--timeout SECS] [--poll-interval N]
+                     [--granularity monolithic|output|register]
+                     [--cluster-overlap FRACTION]
                      [--depth N] [--profile PATH]
                      [--journal PATH] [--resume | --fresh] [--retry-failed]
                      [--hang-factor N] [--isolate] [--memory-limit-mb N]
                      [--worker-heartbeat-ms N]
   --jobs N          fan ladder stages across N portfolio workers (default 1)
   --slice on|off    per-property cone-of-influence slicing (default off)
+  --granularity G   property decomposition: monolithic (default), output
+                    (clustered per-output checks), register (adds per-state
+                    attribution properties naming the leaking signal)
+  --cluster-overlap F  minimum Jaccard cone overlap for two decomposed
+                    properties to share a sliced cluster (default 0.9)
   --stable          omit the Time column (byte-reproducible output)
   --detailed        per-row solver-work columns (solves, conflicts, src)
   --retries N       retry panicked engine jobs up to N times (default 1)
@@ -36,7 +43,12 @@ fn main() {
     let args = parse_report_args(USAGE);
     let (config, sink) = args.instrument(default_options(16), "table2");
     let options = args.campaign_options();
-    let outcome = match run_campaign("table2", table2_tasks(), &config, &options) {
+    let outcome = match run_campaign(
+        "table2",
+        table2_tasks_with(args.granularity),
+        &config,
+        &options,
+    ) {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("error: {e}");

@@ -23,10 +23,12 @@
 
 use crate::workers::{ProcEngine, WorkerLimits, WorkerPool};
 use autocc_bmc::{
-    config_fingerprint, content_key, CheckConfig, CheckEngine, CheckMode, ContentKey,
+    config_fingerprint, content_key, BmcEngine, CheckConfig, CheckEngine, CheckMode, ContentKey,
     FailureReason, Isolation, JobFailure, Portfolio,
 };
-use autocc_core::{AutoCcOutcome, CheckReport, FpvTestbench, TableRow};
+use autocc_core::{
+    AutoCcOutcome, CheckReport, FpvTestbench, PropertyCluster, PropertyVerdict, TableRow,
+};
 use autocc_journal::{Journal, JournalEntry, JournalError, JournalHeader, JOURNAL_SCHEMA_VERSION};
 use autocc_telemetry::{SolverCounters, SpanKind};
 use std::collections::HashMap;
@@ -419,6 +421,30 @@ fn run_task(
             TableRow::from_report(id, &description, &report)
         }
         Some(shared) => {
+            // Decomposed bounded checks journal per cluster, so a resume
+            // re-runs only the clusters whose cones changed. Engine
+            // overrides (the fault-injection seam) keep the task-level
+            // path: their misbehaviour is part of the task's identity.
+            let ft = if *mode == CheckMode::Check && engine.is_none() {
+                match run_task_clustered(
+                    id,
+                    &description,
+                    ft,
+                    &scoped,
+                    options,
+                    shared,
+                    pool,
+                    counters,
+                ) {
+                    Ok(row) => {
+                        span.close();
+                        return row;
+                    }
+                    Err(ft) => *ft,
+                }
+            } else {
+                ft
+            };
             let key = content_key(
                 ft.miter(),
                 ft.properties(),
@@ -450,20 +476,7 @@ fn run_task(
                         attempt,
                         report: report.clone(),
                     };
-                    match shared.journal.lock() {
-                        Ok(mut journal) => {
-                            if let Err(e) = journal.append(&entry) {
-                                eprintln!(
-                                    "warning: journal append failed for {id}: {e}; \
-                                     this check will re-run on resume"
-                                );
-                            }
-                        }
-                        Err(_) => eprintln!(
-                            "warning: journal poisoned by a panicked worker; \
-                             {id} will re-run on resume"
-                        ),
-                    }
+                    append_entry(shared, &entry, id);
                     TableRow::from_report(id, &description, &report)
                 }
             }
@@ -471,6 +484,144 @@ fn run_task(
     };
     span.close();
     row
+}
+
+/// Appends one record, degrading to a warning (re-run on resume) when
+/// the journal cannot take it.
+fn append_entry(shared: &SharedJournal, entry: &JournalEntry, id: &str) {
+    match shared.journal.lock() {
+        Ok(mut journal) => {
+            if let Err(e) = journal.append(entry) {
+                eprintln!(
+                    "warning: journal append failed for {id}: {e}; \
+                     this check will re-run on resume"
+                );
+            }
+        }
+        Err(_) => eprintln!(
+            "warning: journal poisoned by a panicked worker; \
+             {id} will re-run on resume"
+        ),
+    }
+}
+
+/// Runs a decomposed bounded check with per-cluster journaling: each
+/// cone cluster is served from the cache (CEXs replay-certified first),
+/// or run live under its own watchdog and appended as its own record
+/// keyed by the cluster's content. Returns `Err(ft)` — handing the
+/// testbench back (boxed, so the happy path isn't taxed with the full
+/// struct) for the task-level path — at monolithic granularity.
+#[allow(clippy::too_many_arguments)]
+fn run_task_clustered(
+    id: &str,
+    description: &str,
+    ft: FpvTestbench,
+    scoped: &CheckConfig,
+    options: &CampaignOptions,
+    shared: &SharedJournal,
+    pool: Option<&Arc<WorkerPool>>,
+    counters: &Counters,
+) -> Result<TableRow, Box<FpvTestbench>> {
+    let Some(plan) = ft.cluster_plan(scoped) else {
+        return Err(Box::new(ft));
+    };
+    let keys = ft.cluster_keys(&plan, scoped, CheckMode::Check);
+    // The watchdog abandons a wedged cluster by detaching its thread, so
+    // the solve closure must own the testbench: share it.
+    let ft = Arc::new(ft);
+    let mut reports = Vec::with_capacity(plan.clusters.len());
+    for (cluster, key) in plan.clusters.iter().zip(keys) {
+        let cached = shared.cache.get(&key);
+        if let Some(report) = serve_cached(cached, &ft, options, scoped, counters) {
+            reports.push(report);
+            continue;
+        }
+        counters.live.fetch_add(1, Ordering::Relaxed);
+        let attempt = cached.map_or(1, |e| e.attempt + 1);
+        let (report, hung) =
+            run_cluster_live(&ft, cluster, scoped, pool, options, attempt, counters);
+        let entry = JournalEntry {
+            key,
+            id: format!("{id}:{}", cluster.label),
+            mode: CheckMode::Check,
+            engine: if hung { "watchdog" } else { "portfolio" }.to_string(),
+            attempt,
+            report: report.clone(),
+        };
+        append_entry(shared, &entry, id);
+        reports.push(report);
+    }
+    let report = ft.merge_cluster_reports(&plan, reports, scoped);
+    Ok(TableRow::from_report(id, description, &report))
+}
+
+/// Runs one cluster live, under the supervisor watchdog when armed.
+/// Returns the cluster report and whether the watchdog fired.
+fn run_cluster_live(
+    ft: &Arc<FpvTestbench>,
+    cluster: &PropertyCluster,
+    scoped: &CheckConfig,
+    pool: Option<&Arc<WorkerPool>>,
+    options: &CampaignOptions,
+    attempt: u32,
+    counters: &Counters,
+) -> (CheckReport, bool) {
+    // A cluster's members share one solve, but depth still deepens per
+    // property violation candidate; scale the hard limit by member count
+    // exactly as the task-level watchdog scales by property count.
+    let limit = scoped
+        .time_budget
+        .filter(|_| options.hang_factor >= 1)
+        .map(|budget| budget * options.hang_factor * cluster.members.len().max(1) as u32);
+    let config = scoped.clone();
+    let pool = pool.map(Arc::clone);
+    let ft_run = Arc::clone(ft);
+    let cluster_run = cluster.clone();
+    let solve = move || match &pool {
+        Some(pool) => ft_run.check_cluster(
+            &cluster_run,
+            &config,
+            &ProcEngine::for_check(Arc::clone(pool)),
+        ),
+        None => ft_run.check_cluster(&cluster_run, &config, &BmcEngine),
+    };
+    let Some(limit) = limit else {
+        return (solve(), false);
+    };
+    match run_under_watchdog(limit, solve) {
+        Some(report) => (report, false),
+        None => {
+            counters.hangs.fetch_add(1, Ordering::Relaxed);
+            let failure = JobFailure {
+                engine: "watchdog".to_string(),
+                property: None,
+                depth: 0,
+                reason: FailureReason::Hang,
+                detail: format!(
+                    "cluster {}: no result within {}x the configured time budget \
+                     ({}s hard limit)",
+                    cluster.label,
+                    options.hang_factor,
+                    limit.as_secs()
+                ),
+                attempts: attempt,
+            };
+            let verdicts = cluster
+                .members
+                .iter()
+                .map(|&i| (ft.properties()[i].0.clone(), PropertyVerdict::Failed))
+                .collect();
+            let report = CheckReport {
+                outcome: AutoCcOutcome::Failed {
+                    failures: vec![failure],
+                },
+                elapsed: limit,
+                stats: SolverCounters::default(),
+                verdicts,
+            };
+            (report, true)
+        }
+    }
 }
 
 /// Decides whether a journaled entry can answer this check. Returns the
@@ -502,6 +653,7 @@ fn serve_cached(
                     outcome: AutoCcOutcome::Cex(Box::new(certified)),
                     elapsed: entry.report.elapsed,
                     stats: entry.report.stats,
+                    verdicts: entry.report.verdicts.clone(),
                 },
                 Err(failure) => {
                     eprintln!(
@@ -599,6 +751,7 @@ fn run_live(
                 },
                 elapsed: limit,
                 stats: SolverCounters::default(),
+                verdicts: Vec::new(),
             };
             (report, true)
         }

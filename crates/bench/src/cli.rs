@@ -1,7 +1,7 @@
 //! Tiny flag parser shared by the report binaries.
 
 use crate::campaign::CampaignOptions;
-use autocc_bmc::CheckConfig;
+use autocc_bmc::{CheckConfig, Granularity};
 use autocc_core::{format_table, format_table_detailed, format_table_stable, TableRow};
 use autocc_telemetry::{ProfileRecorder, Telemetry};
 use std::path::{Path, PathBuf};
@@ -15,6 +15,14 @@ pub struct ReportArgs {
     pub jobs: usize,
     /// `--slice on|off`: per-property cone-of-influence slicing.
     pub slice: bool,
+    /// `--granularity monolithic|output|register`: property decomposition
+    /// level. `output` checks each output-equality assertion through the
+    /// cone-clustered path; `register` also emits per-arch-state
+    /// attribution properties naming the leaking signal.
+    pub granularity: Granularity,
+    /// `--cluster-overlap FRACTION`: minimum Jaccard cone overlap for two
+    /// decomposed properties to share a sliced cluster.
+    pub cluster_overlap: Option<f64>,
     /// `--retries N`: retries for panicked check jobs.
     pub retries: u32,
     /// `--timeout SECS`: wall-clock budget per check job; overrides the
@@ -63,6 +71,8 @@ impl Default for ReportArgs {
         ReportArgs {
             jobs: 1,
             slice: false,
+            granularity: Granularity::Monolithic,
+            cluster_overlap: None,
             retries: 1,
             timeout: None,
             poll_interval: 128,
@@ -88,8 +98,12 @@ impl ReportArgs {
         let mut config = base
             .jobs(self.jobs)
             .slice(self.slice)
+            .granularity(self.granularity)
             .retries(self.retries)
             .poll_interval(self.poll_interval);
+        if let Some(overlap) = self.cluster_overlap {
+            config = config.cluster_overlap(overlap);
+        }
         if let Some(t) = self.timeout {
             config = config.timeout(t);
         }
@@ -217,6 +231,25 @@ fn parse_report_arg_list(usage: &str, args: impl Iterator<Item = String>) -> Rep
                     Some("off") => false,
                     _ => die(usage, "--slice needs `on` or `off`"),
                 };
+            }
+            "--granularity" => {
+                parsed.granularity = args
+                    .next()
+                    .as_deref()
+                    .and_then(Granularity::parse)
+                    .unwrap_or_else(|| {
+                        die(usage, "--granularity needs monolithic, output, or register")
+                    });
+            }
+            "--cluster-overlap" => {
+                parsed.cluster_overlap = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|f| f.is_finite() && (0.0..=1.0).contains(f))
+                        .unwrap_or_else(|| {
+                            die(usage, "--cluster-overlap needs a fraction in [0, 1]")
+                        }),
+                );
             }
             "--retries" => {
                 parsed.retries = args
@@ -380,6 +413,26 @@ mod tests {
         assert_eq!(o.hang_factor, 2);
         let c = a.configure(CheckConfig::default().depth(20));
         assert_eq!(c.max_depth, 9, "--depth overrides the experiment default");
+    }
+
+    #[test]
+    fn granularity_flags_parse_and_configure() {
+        let a = parse(&[]);
+        assert_eq!(a.granularity, Granularity::Monolithic);
+        assert!(a.cluster_overlap.is_none());
+        let c = a.configure(CheckConfig::default());
+        assert_eq!(c.granularity, Granularity::Monolithic);
+
+        let a = parse(&["--granularity", "register", "--cluster-overlap", "0.75"]);
+        assert_eq!(a.granularity, Granularity::Register);
+        let c = a.configure(CheckConfig::default());
+        assert_eq!(c.granularity, Granularity::Register);
+        assert!((c.cluster_overlap - 0.75).abs() < 1e-9);
+
+        let a = parse(&["--granularity", "output"]);
+        let c = a.configure(CheckConfig::default());
+        assert_eq!(c.granularity, Granularity::Output);
+        assert!((c.cluster_overlap - 0.9).abs() < 1e-9, "default overlap");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! same rows.
 
 use crate::campaign::{run_campaign, CampaignOptions, CampaignTask};
-use autocc_bmc::CheckConfig;
+use autocc_bmc::{CheckConfig, Granularity};
 use autocc_core::{CheckReport, FpvTestbench, FtSpec, MonitorHandles, TableRow};
 use autocc_duts::aes::{build_aes, stage_valid_names, AesConfig};
 use autocc_duts::cva6::{build_cva6, Cva6Config, ARCH_REGS};
@@ -98,11 +98,16 @@ pub const VSCALE_STAGES: [VscaleStage; 5] = [
 /// Builds the Vscale testbench for a ladder stage (the check itself runs
 /// separately — see [`run_vscale_stage`] / [`table2_tasks`]).
 pub fn vscale_stage_testbench(stage: &VscaleStage) -> FpvTestbench {
+    vscale_stage_testbench_with(stage, Granularity::Monolithic)
+}
+
+/// [`vscale_stage_testbench`] at an explicit property granularity.
+pub fn vscale_stage_testbench_with(stage: &VscaleStage, granularity: Granularity) -> FpvTestbench {
     let dut = build_vscale(&VscaleConfig {
         blackbox_csr: stage.blackbox_csr,
         ..VscaleConfig::default()
     });
-    let mut spec = FtSpec::new(&dut);
+    let mut spec = FtSpec::new(&dut).granularity(granularity);
     if stage.level >= 1 {
         spec = spec.arch_mem(arch::REGFILE_MEM);
     }
@@ -137,11 +142,18 @@ pub fn run_vscale_stage(stage: &VscaleStage, config: &CheckConfig) -> CheckRepor
 
 /// The Table-2 ladder as campaign tasks, one per stage.
 pub fn table2_tasks() -> Vec<CampaignTask> {
+    table2_tasks_with(Granularity::Monolithic)
+}
+
+/// [`table2_tasks`] at an explicit property granularity: the testbenches
+/// emit their property sets (and, at `register`, the observer monitor and
+/// attribution assertions) to match.
+pub fn table2_tasks_with(granularity: Granularity) -> Vec<CampaignTask> {
     VSCALE_STAGES
         .iter()
         .map(|stage| {
             let span = format!("vscale:{}", stage.id);
-            let build = move || vscale_stage_testbench(stage);
+            let build = move || vscale_stage_testbench_with(stage, granularity);
             if stage.level >= 4 {
                 CampaignTask::prove(stage.id, stage.description, span, build)
             } else {
@@ -194,8 +206,14 @@ pub fn maple_assume_obuf_empty(
 
 /// Builds the MAPLE testbench with the M1 assumption in place.
 pub fn maple_testbench(config: &MapleConfig) -> FpvTestbench {
+    maple_testbench_with(config, Granularity::Monolithic)
+}
+
+/// [`maple_testbench`] at an explicit property granularity.
+pub fn maple_testbench_with(config: &MapleConfig, granularity: Granularity) -> FpvTestbench {
     let dut = build_maple(config);
     FtSpec::new(&dut)
+        .granularity(granularity)
         .flush_done(maple_flush_done)
         .assume(maple_assume_obuf_empty)
         .generate()
@@ -234,8 +252,15 @@ pub fn cva6_flush_done(b: &mut ModuleBuilder, ua: &Instance, ub: &Instance) -> N
 
 /// Builds the CVA6 frontend testbench for a given configuration.
 pub fn cva6_testbench(config: &Cva6Config) -> FpvTestbench {
+    cva6_testbench_with(config, Granularity::Monolithic)
+}
+
+/// [`cva6_testbench`] at an explicit property granularity.
+pub fn cva6_testbench_with(config: &Cva6Config, granularity: Granularity) -> FpvTestbench {
     let dut = build_cva6(config);
-    let mut spec = FtSpec::new(&dut).flush_done(cva6_flush_done);
+    let mut spec = FtSpec::new(&dut)
+        .granularity(granularity)
+        .flush_done(cva6_flush_done);
     for r in ARCH_REGS {
         spec = spec.arch_reg(r);
     }
@@ -278,8 +303,13 @@ pub fn cva6_cex_config(which: &str) -> Cva6Config {
 
 /// Builds the default AES testbench (the one that finds A1).
 pub fn aes_a1_testbench() -> FpvTestbench {
+    aes_a1_testbench_with(Granularity::Monolithic)
+}
+
+/// [`aes_a1_testbench`] at an explicit property granularity.
+pub fn aes_a1_testbench_with(granularity: Granularity) -> FpvTestbench {
     let dut = build_aes(&AesConfig::default());
-    FtSpec::new(&dut).generate()
+    FtSpec::new(&dut).granularity(granularity).generate()
 }
 
 /// Builds the refined AES testbench used for the full proof:
@@ -359,6 +389,13 @@ pub fn run_aes_proof(check: &CheckConfig) -> CheckReport {
 /// Table 1 (the valuable CEXs V5, C1, C2, C3, M2, M3, A1) as campaign
 /// tasks, in table order.
 pub fn table1_tasks() -> Vec<CampaignTask> {
+    table1_tasks_with(Granularity::Monolithic)
+}
+
+/// [`table1_tasks`] at an explicit property granularity: the testbenches
+/// emit their property sets (and, at `register`, the observer monitor and
+/// attribution assertions) to match.
+pub fn table1_tasks_with(granularity: Granularity) -> Vec<CampaignTask> {
     let mut tasks = Vec::new();
 
     // V5: the Vscale pending-interrupt channel (ladder stage 3).
@@ -366,7 +403,7 @@ pub fn table1_tasks() -> Vec<CampaignTask> {
         "V5",
         "Interrupt in the WB stage stalls pipeline",
         "vscale:V5",
-        || vscale_stage_testbench(&VSCALE_STAGES[2]),
+        move || vscale_stage_testbench_with(&VSCALE_STAGES[2], granularity),
     ));
 
     for (id, desc) in [
@@ -375,7 +412,7 @@ pub fn table1_tasks() -> Vec<CampaignTask> {
         ("C3", "Valid D$ line after flush caused by PTW"),
     ] {
         tasks.push(CampaignTask::check(id, desc, "cva6", move || {
-            cva6_testbench(&cva6_cex_config(id))
+            cva6_testbench_with(&cva6_cex_config(id), granularity)
         }));
     }
 
@@ -384,11 +421,14 @@ pub fn table1_tasks() -> Vec<CampaignTask> {
         "M2",
         "Leak whether the TLB was disabled",
         "maple",
-        || {
-            maple_testbench(&MapleConfig {
-                fix_tlb_enable: false,
-                fix_array_base: true,
-            })
+        move || {
+            maple_testbench_with(
+                &MapleConfig {
+                    fix_tlb_enable: false,
+                    fix_array_base: true,
+                },
+                granularity,
+            )
         },
     ));
     // M3: fix M2 so the array-base channel is the target.
@@ -396,11 +436,14 @@ pub fn table1_tasks() -> Vec<CampaignTask> {
         "M3",
         "Leak the value of a configuration register",
         "maple",
-        || {
-            maple_testbench(&MapleConfig {
-                fix_tlb_enable: true,
-                fix_array_base: false,
-            })
+        move || {
+            maple_testbench_with(
+                &MapleConfig {
+                    fix_tlb_enable: true,
+                    fix_array_base: false,
+                },
+                granularity,
+            )
         },
     ));
 
@@ -408,7 +451,7 @@ pub fn table1_tasks() -> Vec<CampaignTask> {
         "A1",
         "Request in the pipeline during the switch",
         "aes-a1",
-        aes_a1_testbench,
+        move || aes_a1_testbench_with(granularity),
     ));
     tasks
 }

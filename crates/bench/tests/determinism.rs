@@ -9,9 +9,10 @@
 //! reason).
 
 use autocc_bench::{
-    run_campaign, table1, table1_tasks, table2, CampaignOptions, WorkerLimits, WorkerPool,
+    run_campaign, table1, table1_tasks, table1_tasks_with, table2, CampaignOptions, WorkerLimits,
+    WorkerPool,
 };
-use autocc_bmc::CheckConfig;
+use autocc_bmc::{CheckConfig, Granularity};
 use autocc_core::format_table_stable;
 use std::sync::Arc;
 
@@ -61,6 +62,76 @@ fn table1_is_isolation_invariant() {
     .rows;
     let isolated = format_table_stable("Table 1 (isolation check)", &isolated_rows);
     assert_eq!(in_process, isolated, "--isolate changed Table 1");
+}
+
+/// Property decomposition must be invisible in the paper table: running
+/// Table 1 at `--granularity register` (hundreds of per-bit attribution
+/// properties, clustered and scheduled largest-cone-first) renders a
+/// stable table that is byte-identical across `--jobs 1` and `--jobs 4`
+/// *and* byte-identical to the monolithic run. Exact-class outcomes alone
+/// decide each row; attribution verdicts live in the per-property verdict
+/// map, never in the table.
+#[test]
+fn table1_register_granularity_is_jobs_invariant_and_verdict_equivalent() {
+    let title = "Table 1 (granularity check)";
+    let base = options(5);
+    let render = |granularity: Granularity, jobs: usize| {
+        let config = base.clone().granularity(granularity).jobs(jobs);
+        let rows = run_campaign(
+            "table1",
+            table1_tasks_with(granularity),
+            &config,
+            &CampaignOptions::off(),
+        )
+        .expect("campaign without a journal cannot fail to start")
+        .rows;
+        format_table_stable(title, &rows)
+    };
+    let decomposed_serial = render(Granularity::Register, 1);
+    assert_eq!(
+        decomposed_serial,
+        render(Granularity::Register, 4),
+        "jobs=4 changed the decomposed Table 1"
+    );
+    assert_eq!(
+        decomposed_serial,
+        render(Granularity::Monolithic, 1),
+        "register granularity changed Table 1 verdicts vs monolithic"
+    );
+}
+
+/// Witness-property parity at a depth where counterexamples actually
+/// fire. The M2/M3 maple rows report their CEXs at depth 8 — below that
+/// every row is clean and parity is vacuous. This is the regression that
+/// motivated singleton exact clusters: a batched exact solve reported
+/// whichever member the SAT model happened to violate (`as__fault_eq`)
+/// instead of the monolithic winner (`as__noc_req_addr_eq`). Restricted
+/// to the maple rows so the suite stays affordable.
+#[test]
+fn maple_register_granularity_matches_monolithic_cex_witnesses() {
+    let title = "Table 1 maple rows (witness parity)";
+    let base = options(8);
+    let render = |granularity: Granularity| {
+        let config = base.clone().granularity(granularity);
+        let mut tasks = table1_tasks_with(granularity);
+        tasks.retain(|t| t.id.starts_with('M'));
+        assert_eq!(tasks.len(), 2, "expected the M2/M3 maple rows");
+        let rows = run_campaign("table1-maple", tasks, &config, &CampaignOptions::off())
+            .expect("campaign without a journal cannot fail to start")
+            .rows;
+        format_table_stable(title, &rows)
+    };
+    let monolithic = render(Granularity::Monolithic);
+    eprintln!("{monolithic}");
+    assert!(
+        monolithic.contains("CEX"),
+        "depth 8 must be deep enough to fire the maple CEXs:\n{monolithic}"
+    );
+    assert_eq!(
+        monolithic,
+        render(Granularity::Register),
+        "register granularity changed a maple CEX witness"
+    );
 }
 
 #[test]

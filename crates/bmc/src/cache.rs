@@ -145,13 +145,18 @@ fn lit_u64(l: AigLit) -> u64 {
 /// already knows how to reopen.
 pub fn config_fingerprint(config: &CheckConfig) -> u64 {
     let mut h = Fnv::new();
-    h.str("autocc-config-fingerprint-v1");
+    h.str("autocc-config-fingerprint-v2");
     h.u64(config.max_depth as u64);
     h.opt_u64(config.conflict_budget);
     h.opt_u64(config.time_budget.map(|d| d.as_micros() as u64));
     h.u64(u64::from(config.slice));
     h.u64(u64::from(config.retries));
     h.u64(u64::from(config.retry_escalation));
+    h.str(config.granularity.as_str());
+    // The overlap threshold only matters on the decomposed path, but
+    // hashing it unconditionally keeps the fingerprint a pure function of
+    // the config. Milli-units: f64 bit patterns are not a stable identity.
+    h.u64((config.cluster_overlap * 1000.0).round() as u64);
     h.finish()
 }
 
@@ -168,6 +173,19 @@ pub fn content_key(
     mode: CheckMode,
 ) -> ContentKey {
     let seq = SeqAig::from_module(module);
+    content_key_with_seq(&seq, properties, constraints, config, mode)
+}
+
+/// Like [`content_key`], but over an already-blasted [`SeqAig`] of the
+/// module, so per-cluster key computation bit-blasts the miter once and
+/// reuses it for every cluster's (property subset, constraint set) pair.
+pub fn content_key_with_seq(
+    seq: &SeqAig,
+    properties: &[(String, NodeId)],
+    constraints: &[NodeId],
+    config: &CheckConfig,
+    mode: CheckMode,
+) -> ContentKey {
     let mut roots: Vec<AigLit> = Vec::new();
     for (_, p) in properties {
         roots.extend_from_slice(&seq.node_lits[p.index()]);
@@ -175,7 +193,7 @@ pub fn content_key(
     for c in constraints {
         roots.extend_from_slice(&seq.node_lits[c.index()]);
     }
-    let coi = sequential_coi(&seq, &roots);
+    let coi = sequential_coi(seq, &roots);
 
     // Combinational reachability of the sliced design: the cones of the
     // roots plus the next-state functions of every kept state bit (the
@@ -361,6 +379,34 @@ mod tests {
             config_fingerprint(&base.clone().timeout(Duration::from_secs(9)))
         );
         assert_ne!(f, config_fingerprint(&base.clone().slice(true)));
+    }
+
+    #[test]
+    fn fingerprint_tracks_granularity_and_overlap() {
+        use crate::config::Granularity;
+        let base = CheckConfig::default().depth(8);
+        let f = config_fingerprint(&base);
+        assert_ne!(
+            f,
+            config_fingerprint(&base.clone().granularity(Granularity::Register)),
+            "granularity changes which rows a journal can hold"
+        );
+        assert_ne!(
+            f,
+            config_fingerprint(&base.clone().cluster_overlap(0.5)),
+            "overlap moves cluster boundaries and thus recorded shapes"
+        );
+    }
+
+    #[test]
+    fn shared_seq_key_matches_the_direct_key() {
+        let (m, props) = device(0);
+        let c = CheckConfig::default().depth(8);
+        let seq = SeqAig::from_module(&m);
+        assert_eq!(
+            content_key(&m, &props, &[], &c, CheckMode::Check),
+            content_key_with_seq(&seq, &props, &[], &c, CheckMode::Check)
+        );
     }
 
     #[test]

@@ -57,6 +57,63 @@ pub enum Isolation {
     Subprocess,
 }
 
+/// How finely the FT miter's equality obligation is decomposed into
+/// individual properties.
+///
+/// Decomposition never changes the paper-table verdict: the Listing-1
+/// monitor assertions are checked under identical semantics at every
+/// granularity. What finer granularities add is *attribution* — extra
+/// per-state-element properties with small cones — and a clustered,
+/// per-cone-sliced check path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Granularity {
+    /// The legacy path: the monitor's per-output assertions checked as
+    /// one flat property list, each job encoding the full miter cone.
+    #[default]
+    Monolithic,
+    /// The same property set, but routed through cone clustering: each
+    /// cluster of overlapping-cone properties is sliced and bit-blasted
+    /// once and cached under its own content key.
+    Output,
+    /// Additionally emit one equality property per DUT register and per
+    /// memory word (`st__*` attribution properties), clustered and
+    /// sliced the same way. Verdicts then name the leaking state element.
+    Register,
+}
+
+impl Granularity {
+    /// Stable lower-case name (CLI value and fingerprint token).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Granularity::Monolithic => "monolithic",
+            Granularity::Output => "output",
+            Granularity::Register => "register",
+        }
+    }
+
+    /// Inverse of [`Granularity::as_str`].
+    pub fn parse(s: &str) -> Option<Granularity> {
+        Some(match s {
+            "monolithic" => Granularity::Monolithic,
+            "output" => Granularity::Output,
+            "register" => Granularity::Register,
+            _ => return None,
+        })
+    }
+
+    /// Whether this granularity uses the clustered (decomposed) check
+    /// path instead of the flat per-property portfolio.
+    pub fn is_decomposed(self) -> bool {
+        !matches!(self, Granularity::Monolithic)
+    }
+}
+
+impl std::fmt::Display for Granularity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Unified configuration for a check or proof run — budgets, scheduling,
 /// solver tuning, and the telemetry handle — consumed by the checker, the
 /// engines, the portfolio scheduler, the testbench, and every binary.
@@ -98,6 +155,14 @@ pub struct CheckConfig {
     /// heartbeat goes silent for a supervisor-chosen multiple of this
     /// period is presumed wedged and killed.
     pub heartbeat_ms: u64,
+    /// Property decomposition level for check runs. Decomposed
+    /// granularities route checks through per-cluster slicing and
+    /// caching; `Monolithic` (default) keeps the legacy flat path.
+    pub granularity: Granularity,
+    /// Jaccard overlap threshold (`0.0 ..= 1.0`) above which two
+    /// properties' sequential cones share a cluster. Higher values make
+    /// smaller, more numerous clusters.
+    pub cluster_overlap: f64,
     /// Telemetry handle; spans opened by the pipeline become children of
     /// its current span. Disabled ([`Telemetry::off`]) by default, in
     /// which case instrumentation is a no-op with no clock reads.
@@ -118,6 +183,8 @@ impl Default for CheckConfig {
             isolation: Isolation::InProcess,
             memory_limit_mb: None,
             heartbeat_ms: 250,
+            granularity: Granularity::Monolithic,
+            cluster_overlap: 0.9,
             telemetry: Telemetry::off(),
         }
     }
@@ -201,6 +268,22 @@ impl CheckConfig {
         self
     }
 
+    /// Sets the property decomposition level.
+    pub fn granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Sets the cone-clustering Jaccard threshold (clamped to `[0, 1]`).
+    pub fn cluster_overlap(mut self, overlap: f64) -> Self {
+        self.cluster_overlap = if overlap.is_nan() {
+            0.9
+        } else {
+            overlap.clamp(0.0, 1.0)
+        };
+        self
+    }
+
     /// Attaches a telemetry handle.
     pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
@@ -265,6 +348,33 @@ mod tests {
         let policy = c.retry_policy();
         assert_eq!(policy.max_retries, 3);
         assert_eq!(policy.escalation, 4);
+    }
+
+    #[test]
+    fn granularity_knobs_compose_and_clamp() {
+        let c = CheckConfig::default();
+        assert_eq!(c.granularity, Granularity::Monolithic);
+        assert!((c.cluster_overlap - 0.9).abs() < 1e-12);
+        let c = c.granularity(Granularity::Register).cluster_overlap(1.5);
+        assert_eq!(c.granularity, Granularity::Register);
+        assert!((c.cluster_overlap - 1.0).abs() < 1e-12, "overlap clamps");
+        let c = c.cluster_overlap(f64::NAN);
+        assert!((c.cluster_overlap - 0.9).abs() < 1e-12, "NaN falls back");
+    }
+
+    #[test]
+    fn granularity_round_trips() {
+        for g in [
+            Granularity::Monolithic,
+            Granularity::Output,
+            Granularity::Register,
+        ] {
+            assert_eq!(Granularity::parse(g.as_str()), Some(g));
+        }
+        assert_eq!(Granularity::parse("bogus"), None);
+        assert!(!Granularity::Monolithic.is_decomposed());
+        assert!(Granularity::Output.is_decomposed());
+        assert!(Granularity::Register.is_decomposed());
     }
 
     #[test]

@@ -66,6 +66,11 @@ pub struct CheckSpec<'m> {
     pub properties: Vec<(String, NodeId)>,
     /// 1-bit constraint nodes assumed 1 on every cycle.
     pub constraints: Vec<NodeId>,
+    /// Optional property-group label. Set by the decomposed check path to
+    /// name the cone cluster this spec carries (e.g. the first member
+    /// property); engines treat it as opaque metadata for telemetry and
+    /// failure reports.
+    pub group: Option<String>,
 }
 
 impl<'m> CheckSpec<'m> {
@@ -75,6 +80,7 @@ impl<'m> CheckSpec<'m> {
             module,
             properties: Vec::new(),
             constraints: Vec::new(),
+            group: None,
         }
     }
 
@@ -93,6 +99,12 @@ impl<'m> CheckSpec<'m> {
     /// Adds a batch of constraints (builder style).
     pub fn constraints(mut self, nodes: &[NodeId]) -> Self {
         self.constraints.extend_from_slice(nodes);
+        self
+    }
+
+    /// Labels the spec with its property-group (cluster) name.
+    pub fn group(mut self, label: impl Into<String>) -> Self {
+        self.group = Some(label.into());
         self
     }
 }

@@ -57,13 +57,13 @@ pub mod engine;
 pub mod portfolio;
 mod trace;
 
-pub use cache::{config_fingerprint, content_key, CheckMode, ContentKey};
+pub use cache::{config_fingerprint, content_key, content_key_with_seq, CheckMode, ContentKey};
 #[allow(deprecated)]
 pub use checker::BmcOptions;
 pub use checker::{
     Bmc, BmcStats, Cex, CheckFailure, CheckOutcome, FailureReason, ProveOutcome, StopCause,
 };
-pub use config::{solver_counters, CheckConfig, Isolation};
+pub use config::{solver_counters, CheckConfig, Granularity, Isolation};
 #[allow(deprecated)]
 pub use engine::EngineOptions;
 pub use engine::{

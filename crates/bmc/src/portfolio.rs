@@ -229,6 +229,26 @@ impl Portfolio {
         T: Send,
         F: FnOnce() -> T + Send,
     {
+        self.try_run_ordered(tasks, None)
+    }
+
+    /// Like [`Portfolio::try_run`], but workers *claim* tasks in the given
+    /// priority order (a permutation of `0..tasks.len()`) instead of
+    /// submission order. Results still come back positionally — index `i`
+    /// of the return value is task `i` — so the execution order affects
+    /// wall-clock load balance only, never what is reported. The
+    /// decomposed check path uses this to start the largest-cone clusters
+    /// first so a big cluster never lands last on an otherwise drained
+    /// pool.
+    pub fn try_run_ordered<T, F>(
+        &self,
+        tasks: Vec<F>,
+        priority: Option<&[usize]>,
+    ) -> Vec<Result<T, JobPanic>>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
         let contain = |i: usize, task: F| {
             catch_unwind(AssertUnwindSafe(task)).map_err(|payload| JobPanic {
                 index: i,
@@ -236,11 +256,26 @@ impl Portfolio {
             })
         };
         let n = tasks.len();
+        if let Some(order) = priority {
+            assert_eq!(
+                order.len(),
+                n,
+                "priority must be a permutation of the batch"
+            );
+        }
+        let claim = |rank: usize| priority.map_or(rank, |order| order[rank]);
         if self.jobs == 1 || n <= 1 {
-            return tasks
+            let mut slots: Vec<Option<F>> = tasks.into_iter().map(Some).collect();
+            let mut results: Vec<Option<Result<T, JobPanic>>> = (0..n).map(|_| None).collect();
+            for rank in 0..n {
+                let i = claim(rank);
+                if let Some(task) = slots[i].take() {
+                    results[i] = Some(contain(i, task));
+                }
+            }
+            return results
                 .into_iter()
-                .enumerate()
-                .map(|(i, task)| contain(i, task))
+                .map(|r| r.expect("every slot was claimed exactly once"))
                 .collect();
         }
         let next = AtomicUsize::new(0);
@@ -250,10 +285,11 @@ impl Portfolio {
         thread::scope(|s| {
             for _ in 0..self.jobs.min(n) {
                 s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+                    let rank = next.fetch_add(1, Ordering::Relaxed);
+                    if rank >= n {
                         break;
                     }
+                    let i = claim(rank);
                     // Poisoned slot locks still yield their data (a plain
                     // `Option` either way): panics are contained inside
                     // `contain`, so poison can only come from a crashed
@@ -327,6 +363,18 @@ impl Portfolio {
     /// `queue_wait_us` gauge: how long the job sat in the queue before a
     /// worker picked it up. The clock is read only on the enabled path.
     pub fn run_engine_jobs(&self, jobs: Vec<EngineJob<'_, '_>>) -> Vec<EngineRun> {
+        self.run_engine_jobs_prioritized(jobs, None)
+    }
+
+    /// [`Portfolio::run_engine_jobs`] with an optional claim-priority
+    /// permutation (see [`Portfolio::try_run_ordered`]). The decomposed
+    /// check path passes the clusters sorted largest-cone-first; results
+    /// are still returned in submission order.
+    pub fn run_engine_jobs_prioritized(
+        &self,
+        jobs: Vec<EngineJob<'_, '_>>,
+        priority: Option<&[usize]>,
+    ) -> Vec<EngineRun> {
         let submitted = jobs
             .iter()
             .any(|j| j.config.telemetry.enabled())
@@ -346,7 +394,7 @@ impl Portfolio {
                 }
             })
             .collect();
-        self.try_run(tasks)
+        self.try_run_ordered(tasks, priority)
             .into_iter()
             .map(|r| {
                 // `run_engine_job` contains panics internally, so an `Err`
@@ -531,6 +579,36 @@ mod tests {
             assert!(p.payload.contains("boom in slot 1"));
             assert_eq!(*results[2].as_ref().unwrap(), 30);
         }
+    }
+
+    #[test]
+    fn ordered_run_executes_by_priority_but_returns_positionally() {
+        // Serial path: the recorded execution order must follow the
+        // priority permutation exactly, while results stay positional.
+        let executed = Mutex::new(Vec::new());
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..4usize)
+            .map(|i| {
+                let executed = &executed;
+                Box::new(move || {
+                    executed.lock().unwrap().push(i);
+                    i * 10
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let priority = [2, 0, 3, 1];
+        let results = Portfolio::new(1).try_run_ordered(tasks, Some(&priority));
+        assert_eq!(*executed.lock().unwrap(), vec![2, 0, 3, 1]);
+        let values: Vec<usize> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(values, vec![0, 10, 20, 30]);
+
+        // Threaded path: execution order is racy, but results must still
+        // come back positionally (and completely).
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..4usize)
+            .map(|i| Box::new(move || i * 10) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let results = Portfolio::new(3).try_run_ordered(tasks, Some(&priority));
+        let values: Vec<usize> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(values, vec![0, 10, 20, 30]);
     }
 
     #[test]

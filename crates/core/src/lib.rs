@@ -78,8 +78,8 @@ pub use report::{
 pub use spec::{AssumeHook, FlushDone, FtSpec, MiterHook};
 pub use sva::to_sva;
 pub use testbench::{
-    AutoCcOutcome, CheckReport, CovertChannelCex, FpvTestbench, MonitorHandles, PortRole,
-    StateDivergence,
+    property_class, AutoCcOutcome, CheckReport, ClusterPlan, CovertChannelCex, FpvTestbench,
+    MonitorHandles, PortRole, PropertyClass, PropertyCluster, PropertyVerdict, StateDivergence,
 };
 #[allow(deprecated)]
 pub use testbench::{CheckSettings, RunReport};

@@ -14,11 +14,23 @@
 //! 4. one *assertion* per DUT output (`spy_mode |-> output_eq`, payload
 //!    assertions gated by the universe-a valid).
 //!
+//! At [`Granularity::Register`] the spec additionally emits one
+//! *attribution* property per DUT register and memory word
+//! (`st__<state>_eq`), guarded by a second, slimmer *observer* monitor
+//! whose transfer condition omits output equality. Each attribution
+//! property's sequential cone therefore reaches only the observed state
+//! element's own fan-in (plus the input-only observer), not the whole
+//! DUT through `output_signal_eq` — which is what lets the clustered
+//! check path slice them into small sub-models. The Listing-1 properties
+//! keep their exact semantics untouched, so paper-table verdicts never
+//! depend on the attribution class.
+//!
 //! The default spec needs nothing but the DUT — matching the paper's
 //! "no upfront user input" flow. Refinements are added as counterexamples
 //! are found, mirroring Sec. 4.1's workflow.
 
 use crate::testbench::{FpvTestbench, MonitorHandles, PortRole};
+use autocc_bmc::Granularity;
 use autocc_hdl::{Bv, Direction, Instance, Module, ModuleBuilder, NodeId};
 use std::collections::HashMap;
 
@@ -80,6 +92,10 @@ pub struct FtSpec<'d> {
     state_equality_invariants: bool,
     /// Custom auxiliary assertions (checked like generated properties).
     assert_hooks: Vec<(String, AssumeHook)>,
+    /// Property decomposition level. At [`Granularity::Register`] the
+    /// generated testbench carries `st__*` attribution properties under
+    /// the observer monitor; other levels change nothing here.
+    granularity: Granularity,
 }
 
 impl<'d> FtSpec<'d> {
@@ -96,7 +112,17 @@ impl<'d> FtSpec<'d> {
             assume_hooks: Vec::new(),
             state_equality_invariants: false,
             assert_hooks: Vec::new(),
+            granularity: Granularity::Monolithic,
         }
+    }
+
+    /// Sets the property decomposition level the testbench is generated
+    /// for. [`Granularity::Register`] adds per-register / per-memory-word
+    /// `st__*` attribution properties (and the observer monitor guarding
+    /// them); the Listing-1 property set is identical at every level.
+    pub fn granularity(mut self, granularity: Granularity) -> FtSpec<'d> {
+        self.granularity = granularity;
+        self
     }
 
     /// Sets the transfer-period length (Listing 1's `THRESHOLD`).
@@ -288,12 +314,10 @@ impl<'d> FtSpec<'d> {
         // --- 5. Interface equality conditions ---------------------------
         // Transaction lookup: output/input name -> (is_valid, valid name).
         let mut out_payload_valid: HashMap<String, String> = HashMap::new();
-        let mut out_valids: Vec<String> = Vec::new();
         let mut in_payload_valid: HashMap<String, String> = HashMap::new();
         for t in dut.transactions() {
             match t.direction {
                 Direction::Output => {
-                    out_valids.push(t.valid.clone());
                     for p in &t.payload {
                         out_payload_valid.insert(p.clone(), t.valid.clone());
                     }
@@ -399,6 +423,52 @@ impl<'d> FtSpec<'d> {
             output_signal_eq,
         };
 
+        // --- 6b. Observer monitor (attribution class) -------------------
+        // A second copy of the Listing-1 counter whose transfer condition
+        // keeps only `input_signal_eq`: it observes "an input-quiesced
+        // window completed after a flush". Because `transfer_cond` implies
+        // `input_signal_eq`, every exact context switch is also an observer
+        // window, so the observer over-approximates the exact switch and
+        // any state surviving an exact switch is also flagged here.
+        // Crucially the observer's sequential cone is only the input pairs
+        // plus `flush_done` — including `arch_state_eq` (let alone
+        // `output_signal_eq`) would drag the architectural registers and,
+        // through their next-state closure, the entire DUT into every
+        // attribution property's cone, defeating the point of slicing.
+        // The price is that architectural state itself shows up in the
+        // attribution map (it legitimately differs across universes);
+        // readers filter it against the arch-state set.
+        let observer = (self.granularity == Granularity::Register).then(|| {
+            let transfer_obs = input_signal_eq;
+            let obs_cnt = b.reg("autocc.obs_cnt", cnt_width, Bv::zero(cnt_width));
+            let obs_mode = b.reg("autocc.obs_mode", 1, Bv::zero(1));
+
+            let obs_at_threshold = b.ule(threshold_lit, obs_cnt);
+            let obs_starts = b.and(transfer_obs, obs_at_threshold);
+            let obs_next = b.or(obs_starts, obs_mode);
+            b.set_next(obs_mode, obs_next);
+
+            let obs_nonzero = {
+                let zero = b.lit(cnt_width, 0);
+                b.ne(obs_cnt, zero)
+            };
+            let counting_obs = {
+                let armed = b.or(flush_done, obs_nonzero);
+                b.and(armed, transfer_obs)
+            };
+            let one = b.lit(cnt_width, 1);
+            let inc = b.add(obs_cnt, one);
+            let saturated = b.ult(obs_cnt, threshold_lit);
+            let inc_or_hold = b.mux(saturated, inc, obs_cnt);
+            let zero = b.lit(cnt_width, 0);
+            let obs_cnt_next = b.mux(counting_obs, inc_or_hold, zero);
+            b.set_next(obs_cnt, obs_cnt_next);
+
+            b.output("autocc.obs_mode", obs_mode);
+            b.output("autocc.obs_cnt", obs_cnt);
+            obs_mode
+        });
+
         // --- 7. Assumptions ----------------------------------------------
         // spy_mode |-> input_eq, one per duplicated input.
         let mut constraints: Vec<NodeId> = Vec::new();
@@ -406,10 +476,24 @@ impl<'d> FtSpec<'d> {
         for (_, eq) in &input_eq_by_name {
             constraints.push(b.or(not_spy, *eq));
         }
+        // The attribution class mirrors them under the observer monitor.
+        let mut obs_constraints: Vec<NodeId> = Vec::new();
+        if let Some(obs_mode) = observer {
+            let not_obs = b.not(obs_mode);
+            for (_, eq) in &input_eq_by_name {
+                obs_constraints.push(b.or(not_obs, *eq));
+            }
+        }
         for hook in &self.assume_hooks {
             let n = hook(&mut b, &inst_a, &inst_b, &monitor);
             assert_eq!(b.width(n), 1, "assumptions must be 1 bit");
             constraints.push(n);
+            // User assumptions state environment legality; they bind the
+            // attribution class too (at the cost of whatever cone they
+            // reference).
+            if observer.is_some() {
+                obs_constraints.push(n);
+            }
         }
 
         // --- 8. Assertions -----------------------------------------------
@@ -418,7 +502,6 @@ impl<'d> FtSpec<'d> {
             let prop = b.or(not_spy, *eq);
             properties.push((format!("as__{name}_eq"), prop));
         }
-        let _ = out_valids;
 
         for (name, hook) in &self.assert_hooks {
             let n = hook(&mut b, &inst_a, &inst_b, &monitor);
@@ -448,11 +531,70 @@ impl<'d> FtSpec<'d> {
             }
         }
 
+        // --- 8b. Attribution properties (st__*) -------------------------
+        // One equality property per DUT state *bit* under the observer
+        // monitor: `obs_mode |-> state_bit_eq`. A violated `st__` property
+        // names a bit that can carry distinct values across an
+        // input-quiesced context switch — the per-state attribution of
+        // fence.t-style analyses — while the `as__`/`inv__` class above
+        // keeps the exact Listing-1 semantics. Bit granularity keeps each
+        // property's backward cone minimal (a single flop pair plus the
+        // slim observer) and is what lets cone clustering shrink the
+        // sliced checks well below the monolithic cone.
+        //
+        // Naming: `st__<reg>_eq` (1-bit reg), `st__<reg>[<b>]_eq` (bit of a
+        // wider reg), `st__<mem>[<w>]_eq` (1-bit memory word) and
+        // `st__<mem>[<w>][<b>]_eq` (bit of a wider word). `certify_cex`
+        // parses these back to the raw state pair.
+        if let Some(obs_mode) = observer {
+            let not_obs = b.not(obs_mode);
+            let reg_names: Vec<String> = dut.regs().iter().map(|r| r.name.clone()).collect();
+            for name in reg_names {
+                let (ra, rb) = (inst_a.regs[&name], inst_b.regs[&name]);
+                let (na, nb) = (b.read_reg(ra), b.read_reg(rb));
+                let width = b.width(na);
+                if width == 1 {
+                    let eq = b.eq(na, nb);
+                    let prop = b.or(not_obs, eq);
+                    properties.push((format!("st__{name}_eq"), prop));
+                } else {
+                    for i in 0..width {
+                        let (ba, bb) = (b.bit(na, i), b.bit(nb, i));
+                        let eq = b.eq(ba, bb);
+                        let prop = b.or(not_obs, eq);
+                        properties.push((format!("st__{name}[{i}]_eq"), prop));
+                    }
+                }
+            }
+            let mem_names: Vec<String> = dut.mems().iter().map(|m| m.name.clone()).collect();
+            for name in mem_names {
+                let (ma, mb) = (inst_a.mems[&name], inst_b.mems[&name]);
+                let depth = b.mem_depth(ma);
+                for w in 0..depth {
+                    let (wa, wb) = (b.read_mem_word(ma, w), b.read_mem_word(mb, w));
+                    let width = b.width(wa);
+                    if width == 1 {
+                        let eq = b.eq(wa, wb);
+                        let prop = b.or(not_obs, eq);
+                        properties.push((format!("st__{name}[{w}]_eq"), prop));
+                    } else {
+                        for i in 0..width {
+                            let (ba, bb) = (b.bit(wa, i), b.bit(wb, i));
+                            let eq = b.eq(ba, bb);
+                            let prop = b.or(not_obs, eq);
+                            properties.push((format!("st__{name}[{w}][{i}]_eq"), prop));
+                        }
+                    }
+                }
+            }
+        }
+
         let miter = b.build();
         FpvTestbench::new(
             miter,
             properties,
             constraints,
+            obs_constraints,
             monitor,
             inst_a,
             inst_b,

@@ -6,12 +6,14 @@
 //! root-cause analysis of Sec. 4 already applied: the microarchitectural
 //! state that differed between universes when the spy process started.
 
+use autocc_aig::{cluster_cones, sequential_coi, AigLit, ConeCluster, SeqAig};
 #[allow(deprecated)]
 use autocc_bmc::BmcOptions;
 use autocc_bmc::{
-    Bmc, BmcEngine, CancelToken, CheckConfig, CheckEngine, CheckFailure, CheckOutcome, CheckSpec,
-    EngineJob, EngineOutcome, FailureReason, Falsifier, JobFailure, KInductionEngine, Portfolio,
-    ProveOutcome, ReplayedTrace, RetryPolicy, StopCause, Trace, UnknownCause,
+    content_key_with_seq, Bmc, BmcEngine, CancelToken, CheckConfig, CheckEngine, CheckFailure,
+    CheckMode, CheckOutcome, CheckSpec, ContentKey, EngineJob, EngineOutcome, EngineRun,
+    FailureReason, Falsifier, JobFailure, KInductionEngine, Portfolio, ProveOutcome, ReplayedTrace,
+    RetryPolicy, StopCause, Trace, UnknownCause,
 };
 use autocc_hdl::{Bv, Instance, Module, NodeId, RegId, Waveform};
 use autocc_telemetry::{SolverCounters, SpanKind, Telemetry};
@@ -159,6 +161,130 @@ impl AutoCcOutcome {
     }
 }
 
+/// Which semantic class a generated property belongs to.
+///
+/// The class decides which constraint set a property is checked under and
+/// whether its result may move the table-level outcome. Exact-class
+/// results fully determine the row; attribution-class results feed the
+/// per-property verdict map (and degrade the row only on internal
+/// failures, never on ordinary found/not-found answers), so paper-table
+/// verdicts are identical at every granularity *by construction*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PropertyClass {
+    /// Listing-1 monitor properties (`as__*`, `inv__*`): exact covert-
+    /// channel semantics under the `spy_mode` constraints.
+    Exact,
+    /// Per-state attribution properties (`st__*`): observer-monitor
+    /// semantics under the `obs_mode` constraints.
+    Attribution,
+}
+
+/// The class of a generated property, derived from its name prefix.
+pub fn property_class(name: &str) -> PropertyClass {
+    if name.starts_with("st__") {
+        PropertyClass::Attribution
+    } else {
+        PropertyClass::Exact
+    }
+}
+
+/// Splits an attribution state name like `regfile[2][7]` or `pc_f[3]` into
+/// its base name and trailing bracketed indices. Returns `None` when the
+/// bracket syntax is malformed (unterminated, non-numeric, or trailing
+/// garbage after the last `]`).
+fn parse_state_indices(state_name: &str) -> Option<(&str, Vec<usize>)> {
+    let Some(open) = state_name.find('[') else {
+        return Some((state_name, Vec::new()));
+    };
+    let (base, mut rest) = state_name.split_at(open);
+    let mut indices = Vec::new();
+    while !rest.is_empty() {
+        let inner = rest.strip_prefix('[')?;
+        let (idx, tail) = inner.split_once(']')?;
+        indices.push(idx.parse().ok()?);
+        rest = tail;
+    }
+    Some((base, indices))
+}
+
+/// Per-property outcome recorded in a [`CheckReport`]'s verdict map.
+///
+/// A compact projection of [`AutoCcOutcome`] — one number per verdict —
+/// so hundreds of fine-grained verdicts stay cheap to journal and
+/// render. The CEX *trace* lives only in the report-level outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PropertyVerdict {
+    /// The property is violated at this depth.
+    Cex {
+        /// Trace length in cycles.
+        depth: usize,
+    },
+    /// The property holds up to this bound.
+    Clean {
+        /// Proven bound, in cycles.
+        bound: usize,
+    },
+    /// The property holds for unbounded executions.
+    Proved {
+        /// Induction depth that closed the proof.
+        induction_depth: usize,
+    },
+    /// Conflict budget exhausted first (deterministic).
+    Exhausted {
+        /// Deepest fully-proven depth.
+        bound: usize,
+    },
+    /// Stopped by wall clock or cancellation (machine-dependent).
+    Unknown {
+        /// Deepest fully-proven depth.
+        bound: usize,
+    },
+    /// The check job failed internally.
+    Failed,
+}
+
+impl PropertyVerdict {
+    /// Stable lower-case tag used in journal records.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PropertyVerdict::Cex { .. } => "cex",
+            PropertyVerdict::Clean { .. } => "clean",
+            PropertyVerdict::Proved { .. } => "proved",
+            PropertyVerdict::Exhausted { .. } => "exhausted",
+            PropertyVerdict::Unknown { .. } => "unknown",
+            PropertyVerdict::Failed => "failed",
+        }
+    }
+
+    /// The verdict's single numeric payload (depth or bound; 0 for
+    /// failures).
+    pub fn num(&self) -> usize {
+        match *self {
+            PropertyVerdict::Cex { depth } => depth,
+            PropertyVerdict::Clean { bound } => bound,
+            PropertyVerdict::Proved { induction_depth } => induction_depth,
+            PropertyVerdict::Exhausted { bound } => bound,
+            PropertyVerdict::Unknown { bound } => bound,
+            PropertyVerdict::Failed => 0,
+        }
+    }
+
+    /// Inverse of the `(kind, num)` encoding.
+    pub fn from_kind(kind: &str, num: usize) -> Option<PropertyVerdict> {
+        Some(match kind {
+            "cex" => PropertyVerdict::Cex { depth: num },
+            "clean" => PropertyVerdict::Clean { bound: num },
+            "proved" => PropertyVerdict::Proved {
+                induction_depth: num,
+            },
+            "exhausted" => PropertyVerdict::Exhausted { bound: num },
+            "unknown" => PropertyVerdict::Unknown { bound: num },
+            "failed" => PropertyVerdict::Failed,
+            _ => return None,
+        })
+    }
+}
+
 /// Result of a testbench run: the outcome, its wall-clock time (Table
 /// 1/2's "Time"), and the solver work behind it. `stats` is collected
 /// unconditionally (a struct copy per job, no clock reads), so reports can
@@ -171,6 +297,11 @@ pub struct CheckReport {
     pub elapsed: Duration,
     /// Aggregate solver counters across every job of the run.
     pub stats: SolverCounters,
+    /// Per-property verdicts in property-registration order, naming
+    /// which signal or state element each answer is about. Populated by
+    /// the portfolio check paths; single-`Bmc` paths record what their
+    /// one solve can attribute.
+    pub verdicts: Vec<(String, PropertyVerdict)>,
 }
 
 /// The former name of [`CheckReport`].
@@ -251,6 +382,52 @@ fn stop_to_outcome(bound: usize, cause: StopCause) -> AutoCcOutcome {
     }
 }
 
+/// Projects one batch-level outcome onto per-property verdicts. The
+/// batch's properties share a single solve, so a counterexample pins its
+/// own property at the violation depth and bounds every sibling one frame
+/// shy (all earlier frames were UNSAT for the whole batch); every other
+/// outcome applies to each property uniformly.
+fn batch_verdicts(names: &[String], outcome: &AutoCcOutcome) -> Vec<(String, PropertyVerdict)> {
+    names
+        .iter()
+        .map(|n| {
+            let v = match outcome {
+                AutoCcOutcome::Cex(cc) => {
+                    if *n == cc.property {
+                        PropertyVerdict::Cex { depth: cc.depth }
+                    } else {
+                        PropertyVerdict::Clean {
+                            bound: cc.depth.saturating_sub(1),
+                        }
+                    }
+                }
+                AutoCcOutcome::Clean { bound } => PropertyVerdict::Clean { bound: *bound },
+                AutoCcOutcome::Proved { induction_depth } => PropertyVerdict::Proved {
+                    induction_depth: *induction_depth,
+                },
+                AutoCcOutcome::Exhausted { bound } => PropertyVerdict::Exhausted { bound: *bound },
+                AutoCcOutcome::Unknown { bound, .. } => PropertyVerdict::Unknown { bound: *bound },
+                AutoCcOutcome::Failed { .. } => PropertyVerdict::Failed,
+            };
+            (n.clone(), v)
+        })
+        .collect()
+}
+
+/// The verdict of a single-property engine run.
+fn run_verdict(outcome: &EngineOutcome) -> PropertyVerdict {
+    match outcome {
+        EngineOutcome::Cex(cex) => PropertyVerdict::Cex { depth: cex.depth },
+        EngineOutcome::BoundReached { depth } => PropertyVerdict::Clean { bound: *depth },
+        EngineOutcome::Proved { induction_depth } => PropertyVerdict::Proved {
+            induction_depth: *induction_depth,
+        },
+        EngineOutcome::Exhausted { depth } => PropertyVerdict::Exhausted { bound: *depth },
+        EngineOutcome::Unknown { depth, .. } => PropertyVerdict::Unknown { bound: *depth },
+        EngineOutcome::Failed(_) => PropertyVerdict::Failed,
+    }
+}
+
 /// Lifts a checker-level failure into a job failure for reporting.
 fn check_failure_to_job(engine: &str, failure: CheckFailure) -> JobFailure {
     JobFailure {
@@ -263,11 +440,80 @@ fn check_failure_to_job(engine: &str, failure: CheckFailure) -> JobFailure {
     }
 }
 
+/// One group of same-class properties whose sequential cones overlap
+/// enough (Jaccard, [`CheckConfig::cluster_overlap`]) to be sliced and
+/// bit-blasted as a single sub-miter.
+#[derive(Clone, Debug)]
+pub struct PropertyCluster {
+    /// Indices into [`FpvTestbench::properties`], ascending.
+    pub members: Vec<usize>,
+    /// The class every member shares (clusters never mix classes: the
+    /// two classes run under different constraint sets).
+    pub class: PropertyClass,
+    /// State bits in the cluster's union cone (properties plus the class
+    /// constraint set — exactly what the cluster's job slices to).
+    pub cone_state_bits: usize,
+    /// Input-port bits in the cluster's union cone.
+    pub cone_port_bits: usize,
+    /// Display label: the first member's property name, with a `+N`
+    /// suffix when N more properties share the cluster.
+    pub label: String,
+}
+
+impl PropertyCluster {
+    /// Total bits (state + ports) of the sliced cone.
+    pub fn cone_bits(&self) -> usize {
+        self.cone_state_bits + self.cone_port_bits
+    }
+}
+
+/// The decomposed check plan for a testbench under one config: every
+/// property assigned to exactly one cluster, exact-class clusters first.
+#[derive(Clone, Debug)]
+pub struct ClusterPlan {
+    /// The clusters, in deterministic plan order (exact class first,
+    /// then attribution, each in first-member order).
+    pub clusters: Vec<PropertyCluster>,
+    /// State bits of the whole (unsliced) miter, for cone-size ratios.
+    pub total_state_bits: usize,
+    /// Input-port bits of the whole miter.
+    pub total_port_bits: usize,
+}
+
+impl ClusterPlan {
+    /// Number of properties across all clusters.
+    pub fn num_properties(&self) -> usize {
+        self.clusters.iter().map(|c| c.members.len()).sum()
+    }
+
+    /// Mean union-cone size over clusters, in bits.
+    pub fn mean_cone_bits(&self) -> f64 {
+        if self.clusters.is_empty() {
+            return 0.0;
+        }
+        let sum: usize = self.clusters.iter().map(|c| c.cone_bits()).sum();
+        sum as f64 / self.clusters.len() as f64
+    }
+
+    /// Largest union cone over clusters, in bits.
+    pub fn max_cone_bits(&self) -> usize {
+        self.clusters
+            .iter()
+            .map(|c| c.cone_bits())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// A generated AutoCC FPV testbench (Sec. 3.3).
 pub struct FpvTestbench {
     miter: Module,
     properties: Vec<(String, NodeId)>,
     constraints: Vec<NodeId>,
+    /// Attribution-class assumptions (`obs_mode |-> input_eq` plus user
+    /// hooks); empty unless the spec was generated at
+    /// [`autocc_bmc::Granularity::Register`].
+    obs_constraints: Vec<NodeId>,
     monitor: MonitorHandles,
     inst_a: Instance,
     inst_b: Instance,
@@ -281,6 +527,7 @@ impl FpvTestbench {
         miter: Module,
         properties: Vec<(String, NodeId)>,
         constraints: Vec<NodeId>,
+        obs_constraints: Vec<NodeId>,
         monitor: MonitorHandles,
         inst_a: Instance,
         inst_b: Instance,
@@ -291,6 +538,7 @@ impl FpvTestbench {
             miter,
             properties,
             constraints,
+            obs_constraints,
             monitor,
             inst_a,
             inst_b,
@@ -304,14 +552,43 @@ impl FpvTestbench {
         &self.miter
     }
 
-    /// Generated assertions: `(name, 1-bit node)`, one per DUT output.
+    /// Generated assertions: `(name, 1-bit node)`, one per DUT output —
+    /// plus, at register granularity, one `st__*` attribution property
+    /// per DUT state element.
     pub fn properties(&self) -> &[(String, NodeId)] {
         &self.properties
+    }
+
+    /// The exact-class (`as__`/`inv__`) subset of [`Self::properties`],
+    /// with original `(global index, name, node)` positions. These are
+    /// the properties whose answers decide the table-level outcome.
+    pub fn exact_properties(&self) -> Vec<(usize, String, NodeId)> {
+        self.properties
+            .iter()
+            .enumerate()
+            .filter(|(_, (n, _))| property_class(n) == PropertyClass::Exact)
+            .map(|(i, (n, p))| (i, n.clone(), *p))
+            .collect()
     }
 
     /// Generated assumptions (including `spy_mode |-> input_eq`).
     pub fn constraints(&self) -> &[NodeId] {
         &self.constraints
+    }
+
+    /// Attribution-class assumptions (`obs_mode |-> input_eq` plus user
+    /// hooks); empty unless generated at register granularity.
+    pub fn obs_constraints(&self) -> &[NodeId] {
+        &self.obs_constraints
+    }
+
+    /// The constraint set a property of the given name is checked (and
+    /// replayed) under.
+    pub fn class_constraints(&self, property: &str) -> &[NodeId] {
+        match property_class(property) {
+            PropertyClass::Exact => &self.constraints,
+            PropertyClass::Attribution => &self.obs_constraints,
+        }
     }
 
     /// Monitor signal handles.
@@ -340,12 +617,17 @@ impl FpvTestbench {
     }
 
     fn configure<'t>(&'t self, telemetry: Telemetry) -> Bmc<'t> {
+        // Single-`Bmc` paths check the exact class only: one solver
+        // instance has one constraint set, and mixing the observer
+        // assumptions into it would restrict the exact properties'
+        // traces. Attribution properties are checked by the clustered
+        // path, each cluster under its own class constraints.
         let mut bmc = Bmc::with_telemetry(&self.miter, telemetry);
         for &c in &self.constraints {
             bmc.add_constraint(c);
         }
-        for (name, p) in &self.properties {
-            bmc.add_property(name.clone(), *p);
+        for (_, name, p) in self.exact_properties() {
+            bmc.add_property(name, p);
         }
         bmc
     }
@@ -368,10 +650,17 @@ impl FpvTestbench {
         };
         let stats = bmc.counters();
         span.close();
+        let names: Vec<String> = self
+            .exact_properties()
+            .into_iter()
+            .map(|(_, n, _)| n)
+            .collect();
+        let verdicts = batch_verdicts(&names, &outcome);
         CheckReport {
             outcome,
             elapsed: start.elapsed(),
             stats,
+            verdicts,
         }
     }
 
@@ -397,19 +686,28 @@ impl FpvTestbench {
     /// [`FpvTestbench::check_portfolio`] with an explicit engine — the
     /// seam the fault-injection tests use to exercise panic containment,
     /// hang interruption, and CEX certification with misbehaving engines.
+    ///
+    /// At a decomposed [`CheckConfig::granularity`] the property set is
+    /// routed through [`FpvTestbench::cluster_plan`]: one engine job per
+    /// cone cluster (sliced and bit-blasted once per cluster), scheduled
+    /// largest-cone-first, merged class-aware so the table-level outcome
+    /// still derives exclusively from the exact-class properties.
     pub fn check_portfolio_with(
         &self,
         config: &CheckConfig,
         engine: &dyn CheckEngine,
     ) -> CheckReport {
+        if let Some(plan) = self.cluster_plan(config) {
+            return self.check_clustered(&plan, config, engine);
+        }
         let start = Instant::now();
+        let exact = self.exact_properties();
         // One check span per generated assertion; the spans stay open
         // while the scheduler runs and close once their job has reported.
-        let mut spans: Vec<Telemetry> = Vec::with_capacity(self.properties.len());
-        let jobs: Vec<EngineJob<'_, '_>> = self
-            .properties
+        let mut spans: Vec<Telemetry> = Vec::with_capacity(exact.len());
+        let jobs: Vec<EngineJob<'_, '_>> = exact
             .iter()
-            .map(|(name, p)| {
+            .map(|(_, name, p)| {
                 let span = config.telemetry.child(SpanKind::Check, name);
                 spans.push(span.clone());
                 let mut job_config = config.clone();
@@ -435,12 +733,14 @@ impl FpvTestbench {
         }
 
         // Deterministic merge, in property-registration order.
+        let mut verdicts: Vec<(String, PropertyVerdict)> = Vec::with_capacity(runs.len());
         let mut best_cex: Option<(usize, usize, autocc_bmc::Cex)> = None;
         let mut failures: Vec<JobFailure> = Vec::new();
         let mut unknown: Option<(usize, UnknownCause)> = None;
         let mut exhausted_bound: Option<usize> = None;
         let mut clean_bound: Option<usize> = None;
         for (i, run) in runs.into_iter().enumerate() {
+            verdicts.push((exact[i].1.clone(), run_verdict(&run.outcome)));
             match run.outcome {
                 EngineOutcome::Cex(cex) => {
                     if best_cex
@@ -498,6 +798,404 @@ impl FpvTestbench {
             outcome,
             elapsed: start.elapsed(),
             stats,
+            verdicts,
+        }
+    }
+
+    /// Computes the decomposed check plan for this testbench under
+    /// `config`, or `None` at [`autocc_bmc::Granularity::Monolithic`].
+    ///
+    /// Per property, the plan computes the sequential COI of the property
+    /// root *plus its class constraint set* — exactly the slice the
+    /// cluster's engine job encodes. Attribution properties are then
+    /// greedily clustered when their cones overlap by at least
+    /// [`CheckConfig::cluster_overlap`] (Jaccard); exact properties stay
+    /// singleton clusters so the decomposed table reproduces the
+    /// monolithic path's per-property witness choice. Exact and
+    /// attribution properties never share a cluster: they run under
+    /// different constraint sets. The plan is deterministic in property
+    /// registration order.
+    pub fn cluster_plan(&self, config: &CheckConfig) -> Option<ClusterPlan> {
+        if !config.granularity.is_decomposed() {
+            return None;
+        }
+        let seq = SeqAig::from_module(&self.miter);
+        let constraint_roots = |constraints: &[NodeId]| -> Vec<AigLit> {
+            constraints
+                .iter()
+                .flat_map(|c| seq.node_lits[c.index()].iter().copied())
+                .collect()
+        };
+        let exact_roots = constraint_roots(&self.constraints);
+        let obs_roots = constraint_roots(&self.obs_constraints);
+
+        let mut clusters: Vec<PropertyCluster> = Vec::new();
+        for class in [PropertyClass::Exact, PropertyClass::Attribution] {
+            let members: Vec<usize> = (0..self.properties.len())
+                .filter(|&i| property_class(&self.properties[i].0) == class)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let class_roots = match class {
+                PropertyClass::Exact => &exact_roots,
+                PropertyClass::Attribution => &obs_roots,
+            };
+            let cones: Vec<_> = members
+                .iter()
+                .map(|&i| {
+                    let (_, p) = self.properties[i];
+                    let mut roots: Vec<AigLit> = seq.node_lits[p.index()].to_vec();
+                    roots.extend_from_slice(class_roots);
+                    sequential_coi(&seq, &roots)
+                })
+                .collect();
+            // Exact-class properties are never batched: each gets its own
+            // singleton cluster, so the decomposed path runs the same
+            // one-property-per-solve jobs as the monolithic path and the
+            // merge reproduces its `(depth, property index)` witness choice
+            // exactly. A batched solve reports whichever member the SAT
+            // model happens to violate — a model-dependent witness that can
+            // diverge from the monolithic table. Attribution properties
+            // carry no such parity obligation and cluster by cone overlap.
+            let groups: Vec<ConeCluster> = match class {
+                PropertyClass::Exact => cones
+                    .iter()
+                    .enumerate()
+                    .map(|(local, cone)| ConeCluster {
+                        members: vec![local],
+                        cone: cone.clone(),
+                    })
+                    .collect(),
+                PropertyClass::Attribution => cluster_cones(&cones, config.cluster_overlap),
+            };
+            for cluster in groups {
+                let global: Vec<usize> = cluster.members.iter().map(|&l| members[l]).collect();
+                let first = &self.properties[global[0]].0;
+                let label = if global.len() == 1 {
+                    first.clone()
+                } else {
+                    format!("{first}+{}", global.len() - 1)
+                };
+                clusters.push(PropertyCluster {
+                    members: global,
+                    class,
+                    cone_state_bits: cluster.cone.num_kept_state(),
+                    cone_port_bits: cluster.cone.num_kept_ports(),
+                    label,
+                });
+            }
+        }
+        Some(ClusterPlan {
+            clusters,
+            total_state_bits: seq.state_cur.len(),
+            total_port_bits: seq.input_lits.iter().map(|p| p.len()).sum(),
+        })
+    }
+
+    /// Per-cluster content keys (bit-blasting the miter once): the key of
+    /// cluster `i` covers its sliced sub-miter, member properties, and
+    /// class constraints, so a DUT edit re-solves only the clusters whose
+    /// cones it actually touched.
+    pub fn cluster_keys(
+        &self,
+        plan: &ClusterPlan,
+        config: &CheckConfig,
+        mode: CheckMode,
+    ) -> Vec<ContentKey> {
+        let seq = SeqAig::from_module(&self.miter);
+        plan.clusters
+            .iter()
+            .map(|cluster| {
+                let props: Vec<(String, NodeId)> = cluster
+                    .members
+                    .iter()
+                    .map(|&i| self.properties[i].clone())
+                    .collect();
+                let constraints = self.cluster_constraints(cluster);
+                content_key_with_seq(&seq, &props, constraints, config, mode)
+            })
+            .collect()
+    }
+
+    /// The constraint set a cluster's job runs under.
+    fn cluster_constraints(&self, cluster: &PropertyCluster) -> &[NodeId] {
+        match cluster.class {
+            PropertyClass::Exact => &self.constraints,
+            PropertyClass::Attribution => &self.obs_constraints,
+        }
+    }
+
+    /// Runs one cluster of the plan as a single engine job — the miter
+    /// sliced to the cluster's cone, member properties checked together
+    /// under the class constraint set — and converts the result into a
+    /// cluster-level report with per-member verdicts. Counterexamples are
+    /// certified before being reported. Cluster jobs always slice
+    /// regardless of `config.slice`: the cluster exists precisely to
+    /// confine the encoding to its cone, slicing is verdict-invariant,
+    /// and without it every cluster would re-encode the full miter.
+    pub fn check_cluster(
+        &self,
+        cluster: &PropertyCluster,
+        config: &CheckConfig,
+        engine: &dyn CheckEngine,
+    ) -> CheckReport {
+        let start = Instant::now();
+        let span = config.telemetry.child(SpanKind::Check, &cluster.label);
+        span.gauge("cone_state_bits", cluster.cone_state_bits as u64);
+        span.gauge("cone_port_bits", cluster.cone_port_bits as u64);
+        span.gauge("cluster_properties", cluster.members.len() as u64);
+        let mut job_config = config.clone().slice(true);
+        job_config.telemetry = span.clone();
+        let job = EngineJob {
+            engine,
+            spec: self.cluster_spec(cluster),
+            config: job_config,
+            property: Some(cluster.label.clone()),
+            cancel: CancelToken::new(),
+        };
+        let runs = Portfolio::new(1).run_engine_jobs(vec![job]);
+        let run = runs.into_iter().next().expect("one job yields one run");
+        let report = self.cluster_report(cluster, run, &span);
+        span.close();
+        CheckReport {
+            elapsed: start.elapsed(),
+            ..report
+        }
+    }
+
+    /// The check spec of one cluster: member properties in registration
+    /// order plus the class constraint set, labelled with the cluster.
+    fn cluster_spec(&self, cluster: &PropertyCluster) -> CheckSpec<'_> {
+        let mut spec = CheckSpec::new(&self.miter)
+            .constraints(self.cluster_constraints(cluster))
+            .group(cluster.label.clone());
+        for &i in &cluster.members {
+            let (name, p) = &self.properties[i];
+            spec = spec.property(name.clone(), *p);
+        }
+        spec
+    }
+
+    /// Converts one cluster's engine run into a cluster-level report:
+    /// per-member verdicts plus an outcome (with certification for
+    /// counterexamples). `elapsed` is left zero for the caller to fill.
+    fn cluster_report(
+        &self,
+        cluster: &PropertyCluster,
+        run: EngineRun,
+        telemetry: &Telemetry,
+    ) -> CheckReport {
+        let names: Vec<String> = cluster
+            .members
+            .iter()
+            .map(|&i| self.properties[i].0.clone())
+            .collect();
+        let outcome = match run.outcome {
+            EngineOutcome::Cex(cex) => self.certified_outcome(&cex, telemetry),
+            EngineOutcome::BoundReached { depth } => AutoCcOutcome::Clean { bound: depth },
+            EngineOutcome::Proved { induction_depth } => AutoCcOutcome::Proved { induction_depth },
+            EngineOutcome::Exhausted { depth } => AutoCcOutcome::Exhausted { bound: depth },
+            EngineOutcome::Unknown { depth, cause } => AutoCcOutcome::Unknown {
+                bound: depth,
+                cause,
+            },
+            EngineOutcome::Failed(f) => AutoCcOutcome::Failed { failures: vec![f] },
+        };
+        let mut verdicts = batch_verdicts(&names, &outcome);
+        if let AutoCcOutcome::Cex(cc) = &outcome {
+            self.widen_batch_cex(cluster, cc, &mut verdicts);
+        }
+        CheckReport {
+            outcome,
+            elapsed: Duration::ZERO,
+            stats: run.counters,
+            verdicts,
+        }
+    }
+
+    /// A batched solve certifies one member's counterexample, but the same
+    /// witness trace often violates sibling members too (several bits of
+    /// one diverging register, say). Replaying the certified trace once and
+    /// re-evaluating every member keeps the verdict map honest: without
+    /// this, clustering would mask all but one leaking bit behind
+    /// `Clean { bound: depth - 1 }`.
+    fn widen_batch_cex(
+        &self,
+        cluster: &PropertyCluster,
+        cc: &CovertChannelCex,
+        verdicts: &mut [(String, PropertyVerdict)],
+    ) {
+        if cluster.members.len() < 2 {
+            return;
+        }
+        let replay = cc.trace.replay(&self.miter);
+        // Certification already rejected empty traces, so `depth >= 1`.
+        let last = cc.depth - 1;
+        for (&i, v) in cluster.members.iter().zip(verdicts.iter_mut()) {
+            let (_, prop) = &self.properties[i];
+            if !replay.node(last, *prop).as_bool() {
+                v.1 = PropertyVerdict::Cex { depth: cc.depth };
+            }
+        }
+    }
+
+    /// Merges per-cluster reports (in plan order) into the task-level
+    /// report. The merge is class-aware: exact-class outcomes alone
+    /// decide the row — best certified CEX by `(depth, global property
+    /// index)`, then failures, then minimum unknown/exhausted/clean
+    /// bounds — while attribution-class answers only populate the verdict
+    /// map. Attribution *failures* (contained panics, replay mismatches)
+    /// still degrade the row: a broken check must never read as clean.
+    pub fn merge_cluster_reports(
+        &self,
+        plan: &ClusterPlan,
+        reports: Vec<CheckReport>,
+        config: &CheckConfig,
+    ) -> CheckReport {
+        assert_eq!(plan.clusters.len(), reports.len());
+        let mut stats = SolverCounters::default();
+        let mut elapsed = Duration::ZERO;
+        let mut indexed_verdicts: Vec<(usize, (String, PropertyVerdict))> = Vec::new();
+        let mut best_cex: Option<(usize, usize, CovertChannelCex)> = None;
+        let mut failures: Vec<JobFailure> = Vec::new();
+        let mut unknown: Option<(usize, UnknownCause)> = None;
+        let mut exhausted_bound: Option<usize> = None;
+        let mut clean_bound: Option<usize> = None;
+        for (cluster, report) in plan.clusters.iter().zip(reports) {
+            stats += &report.stats;
+            elapsed += report.elapsed;
+            for (&i, v) in cluster.members.iter().zip(report.verdicts) {
+                indexed_verdicts.push((i, v));
+            }
+            let exact = cluster.class == PropertyClass::Exact;
+            match report.outcome {
+                AutoCcOutcome::Cex(cc) if exact => {
+                    let index = self
+                        .properties
+                        .iter()
+                        .position(|(n, _)| *n == cc.property)
+                        .unwrap_or(usize::MAX);
+                    if best_cex
+                        .as_ref()
+                        .is_none_or(|(d, j, _)| (cc.depth, index) < (*d, *j))
+                    {
+                        best_cex = Some((cc.depth, index, *cc));
+                    }
+                }
+                // An attribution CEX is the attribution itself — it names
+                // the leaking state element in the verdict map — but it
+                // is not an exact-semantics channel witness, so it never
+                // decides the row.
+                AutoCcOutcome::Cex(_) => {}
+                AutoCcOutcome::Clean { bound }
+                | AutoCcOutcome::Proved {
+                    induction_depth: bound,
+                } if exact => {
+                    clean_bound = Some(clean_bound.map_or(bound, |b| b.min(bound)));
+                }
+                AutoCcOutcome::Clean { .. } | AutoCcOutcome::Proved { .. } => {}
+                AutoCcOutcome::Exhausted { bound } if exact => {
+                    exhausted_bound = Some(exhausted_bound.map_or(bound, |b| b.min(bound)));
+                }
+                AutoCcOutcome::Exhausted { .. } => {}
+                AutoCcOutcome::Unknown { bound, cause } if exact => {
+                    unknown = Some(match unknown {
+                        None => (bound, cause),
+                        Some((b, c)) => (b.min(bound), c),
+                    });
+                }
+                AutoCcOutcome::Unknown { .. } => {}
+                // Failures degrade the row whatever the class.
+                AutoCcOutcome::Failed { failures: f } => failures.extend(f),
+            }
+        }
+        indexed_verdicts.sort_by_key(|(i, _)| *i);
+        let verdicts = indexed_verdicts.into_iter().map(|(_, v)| v).collect();
+        let outcome = if let Some((_, _, cc)) = best_cex {
+            AutoCcOutcome::Cex(Box::new(cc))
+        } else if !failures.is_empty() {
+            AutoCcOutcome::Failed { failures }
+        } else if let Some((bound, cause)) = unknown {
+            AutoCcOutcome::Unknown { bound, cause }
+        } else if let Some(bound) = exhausted_bound {
+            AutoCcOutcome::Exhausted { bound }
+        } else {
+            AutoCcOutcome::Clean {
+                bound: clean_bound.unwrap_or(config.max_depth),
+            }
+        };
+        CheckReport {
+            outcome,
+            elapsed,
+            stats,
+            verdicts,
+        }
+    }
+
+    /// The decomposed check path: one engine job per cluster, scheduled
+    /// largest-cone-first across `config.jobs` workers, merged
+    /// class-aware. Records `clusters` / `cluster_properties` gauges and
+    /// per-cluster cone sizes when telemetry is on.
+    fn check_clustered(
+        &self,
+        plan: &ClusterPlan,
+        config: &CheckConfig,
+        engine: &dyn CheckEngine,
+    ) -> CheckReport {
+        let start = Instant::now();
+        config
+            .telemetry
+            .gauge("clusters", plan.clusters.len() as u64);
+        config
+            .telemetry
+            .gauge("cluster_properties", plan.num_properties() as u64);
+        let mut spans: Vec<Telemetry> = Vec::with_capacity(plan.clusters.len());
+        let jobs: Vec<EngineJob<'_, '_>> = plan
+            .clusters
+            .iter()
+            .map(|cluster| {
+                let span = config.telemetry.child(SpanKind::Check, &cluster.label);
+                span.gauge("cone_state_bits", cluster.cone_state_bits as u64);
+                span.gauge("cone_port_bits", cluster.cone_port_bits as u64);
+                span.gauge("cluster_properties", cluster.members.len() as u64);
+                spans.push(span.clone());
+                // Clusters always slice; see `check_cluster`.
+                let mut job_config = config.clone().slice(true);
+                job_config.telemetry = span;
+                EngineJob {
+                    engine,
+                    spec: self.cluster_spec(cluster),
+                    config: job_config,
+                    property: Some(cluster.label.clone()),
+                    cancel: CancelToken::new(),
+                }
+            })
+            .collect();
+        // Execute largest-cone-first for load balance; results come back
+        // positionally, so the merge stays jobs-invariant.
+        let mut priority: Vec<usize> = (0..plan.clusters.len()).collect();
+        priority.sort_by_key(|&i| {
+            (
+                std::cmp::Reverse(plan.clusters[i].cone_bits()),
+                plan.clusters[i].members[0],
+            )
+        });
+        let runs = Portfolio::new(config.jobs).run_engine_jobs_prioritized(jobs, Some(&priority));
+        let reports: Vec<CheckReport> = plan
+            .clusters
+            .iter()
+            .zip(runs)
+            .zip(&spans)
+            .map(|((cluster, run), span)| self.cluster_report(cluster, run, span))
+            .collect();
+        for span in &spans {
+            span.close();
+        }
+        let merged = self.merge_cluster_reports(plan, reports, config);
+        CheckReport {
+            elapsed: start.elapsed(),
+            ..merged
         }
     }
 
@@ -525,10 +1223,19 @@ impl FpvTestbench {
     ) -> CheckReport {
         let start = Instant::now();
         let span = config.telemetry.child(SpanKind::Check, "prove");
+        // Proofs run under the exact constraint set only, so only the
+        // exact-class assertions are sound to include (see `configure`).
+        let exact: Vec<(String, NodeId)> = self
+            .exact_properties()
+            .into_iter()
+            .map(|(_, n, p)| (n, p))
+            .collect();
+        let names: Vec<String> = exact.iter().map(|(n, _)| n.clone()).collect();
         let spec = CheckSpec {
             module: &self.miter,
-            properties: self.properties.clone(),
+            properties: exact,
             constraints: self.constraints.clone(),
+            group: None,
         };
         let mut run_config = config.clone();
         run_config.telemetry = span.clone();
@@ -555,10 +1262,12 @@ impl FpvTestbench {
             EngineOutcome::Failed(f) => AutoCcOutcome::Failed { failures: vec![f] },
         };
         span.close();
+        let verdicts = batch_verdicts(&names, &outcome);
         CheckReport {
             outcome,
             elapsed: start.elapsed(),
             stats: run.counters,
+            verdicts,
         }
     }
 
@@ -579,10 +1288,17 @@ impl FpvTestbench {
         };
         let stats = bmc.counters();
         span.close();
+        let names: Vec<String> = self
+            .exact_properties()
+            .into_iter()
+            .map(|(_, n, _)| n)
+            .collect();
+        let verdicts = batch_verdicts(&names, &outcome);
         CheckReport {
             outcome,
             elapsed: start.elapsed(),
             stats,
+            verdicts,
         }
     }
 
@@ -611,8 +1327,11 @@ impl FpvTestbench {
         }
         let replay = cex.trace.replay(&self.miter);
         let last = cex.depth - 1;
+        // Each property class runs under its own assumption set; replay
+        // certification must check the same set the solver used.
+        let constraints = self.class_constraints(&cex.property);
         for t in 0..cex.depth {
-            for (ci, &c) in self.constraints.iter().enumerate() {
+            for (ci, &c) in constraints.iter().enumerate() {
                 if !replay.node(t, c).as_bool() {
                     return Err(fail(format!(
                         "assumption {ci} violated at cycle {t} on replay"
@@ -652,6 +1371,61 @@ impl FpvTestbench {
                 }
             }
         }
+        // The attribution assertion is `obs_mode |-> <state_bit>_eq`, so
+        // the named state bit must itself diverge at the violation cycle.
+        // Grammar (see spec.rs section 8b): `st__<reg>_eq`,
+        // `st__<reg>[<b>]_eq`, `st__<mem>[<w>]_eq`, `st__<mem>[<w>][<b>]_eq`
+        // — the base name decides whether the first index is a register bit
+        // or a memory word.
+        if let Some(state_name) = cex
+            .property
+            .strip_prefix("st__")
+            .and_then(|s| s.strip_suffix("_eq"))
+        {
+            let (base, indices) = parse_state_indices(state_name)
+                .ok_or_else(|| fail(format!("malformed state index in `{}`", cex.property)))?;
+            let (va, vb, bit) = if let (Some(&ma), Some(&mb)) =
+                (self.inst_a.mems.get(base), self.inst_b.mems.get(base))
+            {
+                let (Some(&w), bit) = (indices.first(), indices.get(1).copied()) else {
+                    return Err(fail(format!(
+                        "attribution property `{}` names memory `{base}` without a word index",
+                        cex.property
+                    )));
+                };
+                (
+                    replay.mem_word(last, ma, w),
+                    replay.mem_word(last, mb, w),
+                    bit,
+                )
+            } else if let (Some(&ra), Some(&rb)) =
+                (self.inst_a.regs.get(base), self.inst_b.regs.get(base))
+            {
+                (
+                    replay.reg(last, ra),
+                    replay.reg(last, rb),
+                    indices.first().copied(),
+                )
+            } else {
+                return Err(fail(format!(
+                    "attribution property names unknown state element `{base}`"
+                )));
+            };
+            let diverges = match bit {
+                Some(i) => {
+                    let i = u32::try_from(i)
+                        .map_err(|_| fail(format!("bit index overflow in `{}`", cex.property)))?;
+                    va.get_bit(i) != vb.get_bit(i)
+                }
+                None => va != vb,
+            };
+            if !diverges {
+                return Err(fail(format!(
+                    "state pair `{state_name}` does not diverge at cycle {last} \
+                     (both universes hold {va})"
+                )));
+            }
+        }
         Ok(self.analyze_cex(cex))
     }
 
@@ -671,9 +1445,15 @@ impl FpvTestbench {
     /// diff all DUT state between universes at the spy-start cycle.
     fn analyze_cex(&self, cex: &autocc_bmc::Cex) -> CovertChannelCex {
         let replay = cex.trace.replay(&self.miter);
+        // Exact-class violations anchor on Listing-1 `spy_mode`;
+        // attribution-class ones on the observer's `obs_mode`.
+        let mode_reg = match property_class(&cex.property) {
+            PropertyClass::Exact => "autocc.spy_mode",
+            PropertyClass::Attribution => "autocc.obs_mode",
+        };
         let spy_reg = self
             .miter
-            .find_reg("autocc.spy_mode")
+            .find_reg(mode_reg)
             .expect("monitor register exists");
         let spy_start_cycle = (0..replay.len())
             .find(|&t| replay.reg(t, spy_reg).as_bool())
@@ -777,17 +1557,15 @@ impl FpvTestbench {
             .map(|t| (0..num_ports).map(|p| cex.trace.input(t, p)).collect())
             .collect();
 
+        let constraints = self.class_constraints(&cex.property);
         let still_fails = |inputs: &Vec<Vec<Bv>>| -> bool {
             let trace = Trace::new(inputs.clone());
             let replay = trace.replay(&self.miter);
             let last = cycles - 1;
-            // All constraints must hold and the original property must
-            // still be violated at the final cycle.
-            let constraints_ok = (0..cycles).all(|t| {
-                self.constraints
-                    .iter()
-                    .all(|&c| replay.node(t, c).as_bool())
-            });
+            // The class's constraints must hold and the original property
+            // must still be violated at the final cycle.
+            let constraints_ok =
+                (0..cycles).all(|t| constraints.iter().all(|&c| replay.node(t, c).as_bool()));
             let violated = self
                 .properties
                 .iter()

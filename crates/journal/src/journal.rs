@@ -245,6 +245,7 @@ mod tests {
                 outcome: AutoCcOutcome::Clean { bound },
                 elapsed: Duration::from_micros(77),
                 stats: SolverCounters::default(),
+                verdicts: Vec::new(),
             },
         }
     }

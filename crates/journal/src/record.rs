@@ -15,14 +15,16 @@
 
 use crate::json::Json;
 use autocc_bmc::{CheckMode, ContentKey, FailureReason, JobFailure, Trace, UnknownCause};
-use autocc_core::{AutoCcOutcome, CheckReport, CovertChannelCex, StateDivergence};
+use autocc_core::{AutoCcOutcome, CheckReport, CovertChannelCex, PropertyVerdict, StateDivergence};
 use autocc_hdl::Bv;
 use autocc_telemetry::SolverCounters;
 use std::time::Duration;
 
 /// Version of the journal line format. Bump on any encoding change; the
 /// recovery loader refuses journals from other versions.
-pub const JOURNAL_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the per-property `verdicts` field to check records.
+pub const JOURNAL_SCHEMA_VERSION: u64 = 2;
 
 /// The journal's first record: schema + campaign-config identity.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -201,6 +203,43 @@ pub fn outcome_json(outcome: &AutoCcOutcome) -> Json {
     }
 }
 
+/// Encodes a per-property verdict map as `[[name, kind, num], ...]`.
+fn verdicts_json(verdicts: &[(String, PropertyVerdict)]) -> Json {
+    Json::Arr(
+        verdicts
+            .iter()
+            .map(|(name, v)| {
+                Json::Arr(vec![
+                    Json::Str(name.clone()),
+                    Json::Str(v.kind().to_string()),
+                    Json::Num(v.num() as u64),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn parse_verdicts(v: &Json) -> Result<Vec<(String, PropertyVerdict)>, String> {
+    v.as_arr()
+        .ok_or("verdicts is not an array")?
+        .iter()
+        .map(|item| {
+            let triple = item
+                .as_arr()
+                .ok_or("verdict is not a [name,kind,num] triple")?;
+            let [name, kind, num] = triple else {
+                return Err("verdict is not a 3-element array".to_string());
+            };
+            let name = name.as_str().ok_or("verdict name is not a string")?;
+            let kind = kind.as_str().ok_or("verdict kind is not a string")?;
+            let num = num.as_u64().ok_or("verdict num is not an integer")? as usize;
+            let verdict = PropertyVerdict::from_kind(kind, num)
+                .ok_or_else(|| format!("unknown verdict kind `{kind}`"))?;
+            Ok((name.to_string(), verdict))
+        })
+        .collect()
+}
+
 /// Serializes the header as one newline-terminated JSON line.
 pub fn header_line(header: &JournalHeader) -> String {
     let mut out = Json::Obj(vec![
@@ -232,6 +271,10 @@ pub fn entry_line(entry: &JournalEntry) -> String {
         ),
         ("stats".to_string(), counters_json(&entry.report.stats)),
         ("outcome".to_string(), outcome_json(&entry.report.outcome)),
+        (
+            "verdicts".to_string(),
+            verdicts_json(&entry.report.verdicts),
+        ),
     ])
     .to_string_compact();
     out.push('\n');
@@ -423,6 +466,7 @@ pub fn parse_entry(line: &str) -> Result<JournalEntry, String> {
             outcome: parse_outcome(field(&v, "outcome")?)?,
             elapsed: Duration::from_micros(u64_field(&v, "elapsed_us")?),
             stats: parse_counters(field(&v, "stats")?)?,
+            verdicts: parse_verdicts(field(&v, "verdicts")?)?,
         },
     })
 }
@@ -481,6 +525,10 @@ mod tests {
                     conflicts: 99,
                     ..SolverCounters::default()
                 },
+                verdicts: vec![
+                    ("as__q_eq".to_string(), PropertyVerdict::Cex { depth: 2 }),
+                    ("as__r_eq".to_string(), PropertyVerdict::Clean { bound: 1 }),
+                ],
             },
         };
         let line = entry_line(&entry);
@@ -533,7 +581,7 @@ mod tests {
     fn pinned_bytes_guard_the_schema() {
         // Byte-exact golden lines: if this test fails, the on-disk format
         // changed — bump JOURNAL_SCHEMA_VERSION and update the goldens.
-        assert_eq!(JOURNAL_SCHEMA_VERSION, 1);
+        assert_eq!(JOURNAL_SCHEMA_VERSION, 2);
         let header = JournalHeader {
             schema: JOURNAL_SCHEMA_VERSION,
             fingerprint: 0x0123_4567_89ab_cdef,
@@ -541,7 +589,7 @@ mod tests {
         };
         assert_eq!(
             header_line(&header),
-            "{\"kind\":\"header\",\"schema\":1,\"fingerprint\":\"0123456789abcdef\",\
+            "{\"kind\":\"header\",\"schema\":2,\"fingerprint\":\"0123456789abcdef\",\
              \"root\":\"table1\"}\n"
         );
         let entry = JournalEntry {
@@ -554,6 +602,7 @@ mod tests {
                 outcome: AutoCcOutcome::Clean { bound: 20 },
                 elapsed: Duration::from_micros(250),
                 stats: SolverCounters::default(),
+                verdicts: vec![("as__q_eq".to_string(), PropertyVerdict::Clean { bound: 20 })],
             },
         };
         assert_eq!(
@@ -561,7 +610,8 @@ mod tests {
             "{\"kind\":\"check\",\"key\":\"feedfacecafef00d\",\"id\":\"V5\",\
              \"mode\":\"check\",\"engine\":\"portfolio\",\"attempt\":1,\
              \"elapsed_us\":250,\"stats\":[0,0,0,0,0,0,0],\
-             \"outcome\":{\"kind\":\"clean\",\"bound\":20}}\n"
+             \"outcome\":{\"kind\":\"clean\",\"bound\":20},\
+             \"verdicts\":[[\"as__q_eq\",\"clean\",20]]}\n"
         );
     }
 

@@ -4,7 +4,7 @@
 //! heals the file so the lost check can be recommitted.
 
 use autocc_bmc::{CheckMode, ContentKey};
-use autocc_core::{AutoCcOutcome, CheckReport};
+use autocc_core::{AutoCcOutcome, CheckReport, PropertyVerdict};
 use autocc_journal::{
     entry_line, header_line, recover, Journal, JournalEntry, JournalHeader, JOURNAL_SCHEMA_VERSION,
 };
@@ -36,6 +36,14 @@ fn entry(n: u64) -> JournalEntry {
                 conflicts: 2 * n,
                 ..SolverCounters::default()
             },
+            // A verdict map makes the torn-tail sweep also cut through the
+            // per-property verdict bytes.
+            verdicts: vec![(
+                format!("as__q{n}_eq"),
+                PropertyVerdict::Clean {
+                    bound: 8 + n as usize,
+                },
+            )],
         },
     }
 }

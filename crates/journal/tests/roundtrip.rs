@@ -4,7 +4,7 @@
 //! is canonical, so re-encoded equality is full structural equality.
 
 use autocc_bmc::{CheckMode, ContentKey, FailureReason, JobFailure, Trace, UnknownCause};
-use autocc_core::{AutoCcOutcome, CheckReport, CovertChannelCex, StateDivergence};
+use autocc_core::{AutoCcOutcome, CheckReport, CovertChannelCex, PropertyVerdict, StateDivergence};
 use autocc_hdl::Bv;
 use autocc_journal::{
     entry_line, header_line, outcome_json, parse_entry, parse_header, parse_outcome, JournalEntry,
@@ -123,6 +123,20 @@ fn arb_outcome() -> BoxedStrategy<AutoCcOutcome> {
     .boxed()
 }
 
+fn arb_verdict() -> impl Strategy<Value = (String, PropertyVerdict)> {
+    (
+        arb_string(),
+        prop_oneof![
+            (0usize..1024).prop_map(|depth| PropertyVerdict::Cex { depth }),
+            (0usize..1024).prop_map(|bound| PropertyVerdict::Clean { bound }),
+            (0usize..1024).prop_map(|induction_depth| PropertyVerdict::Proved { induction_depth }),
+            (0usize..1024).prop_map(|bound| PropertyVerdict::Exhausted { bound }),
+            (0usize..1024).prop_map(|bound| PropertyVerdict::Unknown { bound }),
+            Just(PropertyVerdict::Failed),
+        ],
+    )
+}
+
 fn arb_entry() -> impl Strategy<Value = JournalEntry> {
     (
         (
@@ -132,20 +146,28 @@ fn arb_entry() -> impl Strategy<Value = JournalEntry> {
             arb_string(),
             any::<u32>(),
         ),
-        (arb_outcome(), any::<u64>(), arb_counters()),
+        (
+            arb_outcome(),
+            any::<u64>(),
+            arb_counters(),
+            vec(arb_verdict(), 0..4),
+        ),
     )
         .prop_map(
-            |((key, id, mode, engine, attempt), (outcome, elapsed_us, stats))| JournalEntry {
-                key: ContentKey(key),
-                id,
-                mode,
-                engine,
-                attempt,
-                report: CheckReport {
-                    outcome,
-                    elapsed: Duration::from_micros(elapsed_us),
-                    stats,
-                },
+            |((key, id, mode, engine, attempt), (outcome, elapsed_us, stats, verdicts))| {
+                JournalEntry {
+                    key: ContentKey(key),
+                    id,
+                    mode,
+                    engine,
+                    attempt,
+                    report: CheckReport {
+                        outcome,
+                        elapsed: Duration::from_micros(elapsed_us),
+                        stats,
+                        verdicts,
+                    },
+                }
             },
         )
 }

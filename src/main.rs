@@ -25,8 +25,12 @@
 //! `config-device-fixed`.
 
 use autocc::bench::{maybe_run_worker, ProcEngine, WorkerLimits, WorkerPool};
-use autocc::bmc::{config_fingerprint, content_key, CheckConfig, CheckMode, Isolation};
-use autocc::core::{format_duration, to_sva, AutoCcOutcome, CheckReport, FpvTestbench, FtSpec};
+use autocc::bmc::{
+    config_fingerprint, content_key, CheckConfig, CheckMode, Granularity, Isolation,
+};
+use autocc::core::{
+    format_duration, to_sva, AutoCcOutcome, CheckReport, FpvTestbench, FtSpec, PropertyVerdict,
+};
 use autocc::duts::aes::{build_aes, stage_valid_names, AesConfig};
 use autocc::duts::cva6::{build_cva6, Cva6Config, ARCH_REGS};
 use autocc::duts::demo::config_device;
@@ -62,6 +66,8 @@ struct Args {
     threshold: Option<u32>,
     jobs: usize,
     slice: bool,
+    granularity: Granularity,
+    cluster_overlap: Option<f64>,
     retries: u32,
     timeout: Duration,
     poll_interval: u64,
@@ -82,6 +88,8 @@ struct Args {
 fn usage() -> ExitCode {
     eprintln!("usage: autocc <dut> [--depth N] [--threshold N] [--jobs N]");
     eprintln!("              [--slice on|off] [--retries N] [--timeout SECS]");
+    eprintln!("              [--granularity monolithic|output|register]");
+    eprintln!("              [--cluster-overlap FRACTION]");
     eprintln!("              [--poll-interval N] [--profile FILE]");
     eprintln!("              [--isolate] [--memory-limit-mb N] [--worker-heartbeat-ms N]");
     eprintln!("              [--journal FILE] [--resume | --fresh]");
@@ -99,6 +107,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         threshold: None,
         jobs: 1,
         slice: false,
+        granularity: Granularity::Monolithic,
+        cluster_overlap: None,
         retries: 1,
         timeout: Duration::from_secs(3600),
         poll_interval: 128,
@@ -143,6 +153,18 @@ fn parse_args() -> Result<Args, ExitCode> {
                     Some("off") => false,
                     _ => return Err(usage()),
                 };
+            }
+            "--granularity" => {
+                let v = argv.next().ok_or_else(usage)?;
+                args.granularity = Granularity::parse(&v).ok_or_else(usage)?;
+            }
+            "--cluster-overlap" => {
+                args.cluster_overlap = Some(
+                    argv.next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|f| f.is_finite() && (0.0..=1.0).contains(f))
+                        .ok_or_else(usage)?,
+                );
             }
             "--retries" => {
                 args.retries = argv.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
@@ -295,13 +317,9 @@ fn build(name: &str) -> Option<(Module, SpecRefiner)> {
     }
 }
 
-fn report(
-    ft: &FpvTestbench,
-    outcome: &AutoCcOutcome,
-    elapsed: Duration,
-    minimize: bool,
-    vcd: &Option<String>,
-) {
+fn report(ft: &FpvTestbench, run: &CheckReport, minimize: bool, vcd: &Option<String>) {
+    let outcome = &run.outcome;
+    let elapsed = run.elapsed;
     match outcome {
         AutoCcOutcome::Cex(cex) => {
             let minimized;
@@ -371,6 +389,51 @@ fn report(
             for f in failures {
                 println!("  {f}");
             }
+        }
+    }
+    // At `--granularity register` the attribution properties name the
+    // state bits that survive an input-quiesced context switch — the
+    // candidate storage of any channel. Per-bit verdicts are aggregated
+    // back to their state element for display: `pc_f[3]` and `pc_f[9]`
+    // render as one `pc_f` row with a bit count and the shallowest
+    // witness depth.
+    let mut leaking: Vec<(String, usize, usize)> = Vec::new();
+    for (name, v) in &run.verdicts {
+        let (PropertyVerdict::Cex { depth }, Some(stripped)) = (
+            v,
+            name.strip_prefix("st__")
+                .and_then(|s| s.strip_suffix("_eq")),
+        ) else {
+            continue;
+        };
+        // `<reg>`, `<reg>[b]` and `<mem>[w]` aggregate on the element
+        // (last index stripped unless it is a memory word); keeping it
+        // simple, group on everything before the final `[...]` when more
+        // than one index is present, else on the bare base name.
+        let element = match stripped.match_indices('[').count() {
+            0 => stripped.to_string(),
+            1 => stripped[..stripped.find('[').unwrap()].to_string(),
+            _ => stripped[..stripped.rfind('[').unwrap()].to_string(),
+        };
+        match leaking.iter_mut().find(|(e, _, _)| *e == element) {
+            Some((_, bits, min_depth)) => {
+                *bits += 1;
+                *min_depth = (*min_depth).min(*depth);
+            }
+            None => leaking.push((element, 1, *depth)),
+        }
+    }
+    if !leaking.is_empty() {
+        println!();
+        println!(
+            "attribution: {} state element(s) survive a context switch:",
+            leaking.len()
+        );
+        for (element, bits, depth) in leaking {
+            println!(
+                "  {:<32} {} bit(s) witnessed, shallowest at depth {}",
+                element, bits, depth
+            );
         }
     }
 }
@@ -486,6 +549,7 @@ fn run_journaled(
                             outcome: AutoCcOutcome::Cex(Box::new(certified)),
                             elapsed: entry.report.elapsed,
                             stats: entry.report.stats,
+                            verdicts: entry.report.verdicts.clone(),
                         });
                     }
                     Err(failure) => eprintln!(
@@ -542,7 +606,7 @@ fn main() -> ExitCode {
         println!("\n{}", to_verilog(&dut));
     }
 
-    let mut spec = FtSpec::new(&dut);
+    let mut spec = FtSpec::new(&dut).granularity(args.granularity);
     if let Some(t) = args.threshold {
         spec = spec.threshold(t);
     }
@@ -562,8 +626,12 @@ fn main() -> ExitCode {
         .timeout(args.timeout)
         .jobs(args.jobs)
         .slice(args.slice)
+        .granularity(args.granularity)
         .retries(args.retries)
         .poll_interval(args.poll_interval);
+    if let Some(overlap) = args.cluster_overlap {
+        config = config.cluster_overlap(overlap);
+    }
     if args.isolate {
         config = config.isolate().memory_limit_mb(args.memory_limit_mb);
     }
@@ -595,7 +663,7 @@ fn main() -> ExitCode {
         },
         None => solve(&ft, &config, args.prove, pool.as_ref()),
     };
-    report(&ft, &run.outcome, run.elapsed, args.minimize, &args.vcd);
+    report(&ft, &run, args.minimize, &args.vcd);
     if let (Some(path), Some(recorder)) = (&args.profile, &recorder) {
         config.telemetry.close();
         match std::fs::write(path, recorder.profile().to_json()) {
