@@ -3,7 +3,7 @@
 use autocc_bench::{
     default_options, finish_profile, parse_report_args, run_campaign, table1_tasks_with,
 };
-use autocc_core::{failure_summary, report_exit_code};
+use autocc_core::{certificate_summary, failure_summary, report_exit_code};
 
 const USAGE: &str = "usage: report_table1 [--jobs N] [--slice on|off] [--stable] [--detailed]
                      [--retries N] [--timeout SECS] [--poll-interval N]
@@ -12,7 +12,7 @@ const USAGE: &str = "usage: report_table1 [--jobs N] [--slice on|off] [--stable]
                      [--depth N] [--profile PATH]
                      [--journal PATH] [--resume | --fresh] [--retry-failed]
                      [--hang-factor N] [--isolate] [--memory-limit-mb N]
-                     [--worker-heartbeat-ms N]
+                     [--worker-heartbeat-ms N] [--certify]
   --jobs N          fan experiments across N portfolio workers (default 1)
   --slice on|off    per-property cone-of-influence slicing (default off)
   --granularity G   property decomposition: monolithic (default), output
@@ -36,7 +36,11 @@ const USAGE: &str = "usage: report_table1 [--jobs N] [--slice on|off] [--stable]
   --isolate         run each check attempt in a supervised worker subprocess
   --memory-limit-mb N  kill (and quarantine repeat offenders) any worker
                     whose RSS exceeds N MiB (needs --isolate)
-  --worker-heartbeat-ms N  isolated-worker heartbeat period (default 250)";
+  --worker-heartbeat-ms N  isolated-worker heartbeat period (default 250)
+  --certify         demand an independently checked certificate for every
+                    conclusive verdict (DRAT proof for UNSAT answers,
+                    replayed trace for CEXs); missing/failed certificates
+                    degrade the row to FAILED (certification)";
 
 fn main() {
     autocc_bench::maybe_run_worker();
@@ -62,6 +66,9 @@ fn main() {
     println!("  M2 depth 21 <30min | M3 depth 23 <3h | A1 depth 42 <1min");
     if options.journal.is_some() {
         eprintln!("journal: {}", outcome.stats);
+    }
+    if args.certify {
+        eprintln!("{}", certificate_summary(&outcome.rows));
     }
     if let Some(summary) = failure_summary(&outcome.rows) {
         eprintln!("\n{summary}");

@@ -23,8 +23,8 @@
 
 use crate::workers::{ProcEngine, WorkerLimits, WorkerPool};
 use autocc_bmc::{
-    config_fingerprint, content_key, BmcEngine, CheckConfig, CheckEngine, CheckMode, ContentKey,
-    FailureReason, Isolation, JobFailure, Portfolio,
+    config_fingerprint, content_key, BmcEngine, CertificateStatus, CheckConfig, CheckEngine,
+    CheckMode, ContentKey, FailureReason, Isolation, JobFailure, Portfolio,
 };
 use autocc_core::{
     AutoCcOutcome, CheckReport, FpvTestbench, PropertyCluster, PropertyVerdict, TableRow,
@@ -618,6 +618,7 @@ fn run_cluster_live(
                 elapsed: limit,
                 stats: SolverCounters::default(),
                 verdicts,
+                certificate: CertificateStatus::Uncertified,
             };
             (report, true)
         }
@@ -638,6 +639,17 @@ fn serve_cached(
     if failed && options.retry_failed {
         return None;
     }
+    // Under --certify a conclusive verdict must carry a certificate. A
+    // cached row recorded without one (an uncertified campaign's journal)
+    // cannot be served as certified — re-run it live to mint the proof.
+    let conclusive = matches!(
+        entry.report.outcome,
+        AutoCcOutcome::Cex(_) | AutoCcOutcome::Clean { .. } | AutoCcOutcome::Proved { .. }
+    );
+    if scoped.certify && conclusive && !entry.report.certificate.is_certified() {
+        counters.stale.fetch_add(1, Ordering::Relaxed);
+        return None;
+    }
     let report = match &entry.report.outcome {
         AutoCcOutcome::Cex(cex) => {
             // Never trust a cached counterexample: replay-certify it
@@ -654,6 +666,7 @@ fn serve_cached(
                     elapsed: entry.report.elapsed,
                     stats: entry.report.stats,
                     verdicts: entry.report.verdicts.clone(),
+                    certificate: entry.report.certificate,
                 },
                 Err(failure) => {
                     eprintln!(
@@ -752,6 +765,7 @@ fn run_live(
                 elapsed: limit,
                 stats: SolverCounters::default(),
                 verdicts: Vec::new(),
+                certificate: CertificateStatus::Uncertified,
             };
             (report, true)
         }

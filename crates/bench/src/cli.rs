@@ -64,6 +64,12 @@ pub struct ReportArgs {
     pub memory_limit_mb: Option<u64>,
     /// `--worker-heartbeat-ms N`: heartbeat period for isolated workers.
     pub worker_heartbeat_ms: Option<u64>,
+    /// `--certify`: demand an independently checked certificate for every
+    /// conclusive verdict — a DRAT proof (checked by the self-contained
+    /// forward RUP checker) for UNSAT-backed answers, a replay-validated
+    /// trace hash for counterexamples. A missing or failed certificate
+    /// degrades the row to FAILED (certification), never to a PASS.
+    pub certify: bool,
 }
 
 impl Default for ReportArgs {
@@ -88,6 +94,7 @@ impl Default for ReportArgs {
             isolate: false,
             memory_limit_mb: None,
             worker_heartbeat_ms: None,
+            certify: false,
         }
     }
 }
@@ -116,7 +123,7 @@ impl ReportArgs {
         if let Some(ms) = self.worker_heartbeat_ms {
             config = config.heartbeat_ms(ms);
         }
-        config
+        config.certify(self.certify)
     }
 
     /// The campaign journal/watchdog options these flags describe. The
@@ -206,9 +213,10 @@ pub fn finish_profile(sink: &Option<ProfileSink>) {
 /// Parses `--jobs N`, `--slice on|off`, `--retries N`, `--timeout SECS`,
 /// `--poll-interval N`, `--profile PATH`, `--depth N`, `--stable`,
 /// `--detailed`, the journal flags (`--journal PATH`, `--resume`,
-/// `--fresh`, `--retry-failed`, `--hang-factor N`), and the isolation
-/// flags (`--isolate`, `--memory-limit-mb N`, `--worker-heartbeat-ms N`)
-/// from `argv`. Unknown flags print `usage` and exit with status 2.
+/// `--fresh`, `--retry-failed`, `--hang-factor N`), the isolation
+/// flags (`--isolate`, `--memory-limit-mb N`, `--worker-heartbeat-ms N`),
+/// and `--certify` from `argv`. Unknown flags print `usage` and exit
+/// with status 2.
 pub fn parse_report_args(usage: &str) -> ReportArgs {
     parse_report_arg_list(usage, std::env::args().skip(1))
 }
@@ -302,6 +310,7 @@ fn parse_report_arg_list(usage: &str, args: impl Iterator<Item = String>) -> Rep
                     .unwrap_or_else(|| die(usage, "--hang-factor needs a non-negative integer"));
             }
             "--isolate" => parsed.isolate = true,
+            "--certify" => parsed.certify = true,
             "--memory-limit-mb" => {
                 parsed.memory_limit_mb = Some(
                     args.next()
@@ -456,6 +465,26 @@ mod tests {
         assert_eq!(c.memory_limit_mb, Some(512));
         assert_eq!(c.heartbeat_ms, 50);
         assert!(a.campaign_options().pool.is_none());
+    }
+
+    #[test]
+    fn certify_flag_parses_without_perturbing_the_fingerprint() {
+        let a = parse(&[]);
+        assert!(!a.certify);
+        let plain = a.configure(CheckConfig::default());
+        assert!(!plain.certify);
+
+        let a = parse(&["--certify"]);
+        assert!(a.certify);
+        let certified = a.configure(CheckConfig::default());
+        assert!(certified.certify);
+        // Certification only adds evidence; it never changes answers, so
+        // certified and uncertified campaigns share journals and produce
+        // byte-identical stable tables.
+        assert_eq!(
+            autocc_bmc::config_fingerprint(&plain),
+            autocc_bmc::config_fingerprint(&certified),
+        );
     }
 
     #[test]

@@ -193,6 +193,7 @@ fn tampered_cached_cex_fails_certification_and_reruns() {
             elapsed: entry.report.elapsed,
             stats: entry.report.stats,
             verdicts: entry.report.verdicts.clone(),
+            certificate: entry.report.certificate,
         },
         ..entry.clone()
     };

@@ -160,6 +160,20 @@ pub fn config_fingerprint(config: &CheckConfig) -> u64 {
     h.finish()
 }
 
+/// Binding digest tying a certificate hash to the content key it
+/// certifies. Journals store `(status, certificate hash, binding)` per
+/// record; on resume, a row claiming `certified` is only trusted if
+/// recomputing this digest from the row's own key and certificate hash
+/// reproduces the stored binding — a flipped or transplanted hash fails
+/// the check and the row degrades to FAILED(certification), never PASS.
+pub fn certificate_digest(key: ContentKey, certificate_hash: u64) -> u64 {
+    let mut h = Fnv::new();
+    h.str("autocc-cert-binding-v1");
+    h.u64(key.0);
+    h.u64(certificate_hash);
+    h.finish()
+}
+
 /// Computes the content key of one check over `module`: the COI-sliced
 /// AIG reachable from `properties` and `constraints`, the property and
 /// constraint identities, the deterministic budgets of `config`, and the
@@ -423,6 +437,32 @@ mod tests {
             .heartbeat_ms(50);
         assert_eq!(key(&m, &props, &base), key(&m, &props, &isolated));
         assert_eq!(config_fingerprint(&base), config_fingerprint(&isolated));
+    }
+
+    #[test]
+    fn certify_moves_neither_key_nor_fingerprint() {
+        // Certification only *checks* answers, never changes them: the
+        // search is bit-identical with proof logging on or off. Stable
+        // tables must therefore stay byte-identical under --certify, and
+        // certified/uncertified journals must resume interchangeably.
+        let (m, props) = device(0);
+        let base = CheckConfig::default().depth(8);
+        let certified = base.clone().certify(true);
+        assert_eq!(key(&m, &props, &base), key(&m, &props, &certified));
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&certified));
+    }
+
+    #[test]
+    fn certificate_digest_binds_key_and_hash() {
+        let k = ContentKey(0xdead_beef_0123_4567);
+        let d = certificate_digest(k, 42);
+        assert_eq!(d, certificate_digest(k, 42), "digest is stable");
+        assert_ne!(d, certificate_digest(k, 43), "hash is bound");
+        assert_ne!(
+            d,
+            certificate_digest(ContentKey(k.0 ^ 1), 42),
+            "key is bound"
+        );
     }
 
     #[test]

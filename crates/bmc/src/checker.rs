@@ -12,6 +12,7 @@
 //! are returned as input traces and are *replay-validated* against the
 //! word-level interpreter before being reported.
 
+use crate::certify::{CertificateStatus, UnsatCertifier};
 use crate::config::{solver_counters, CheckConfig};
 use crate::engine::CancelToken;
 use crate::trace::Trace;
@@ -102,6 +103,12 @@ pub enum FailureReason {
     /// circuit breaker and is quarantined: journaled as failed, skipped
     /// on `--resume`, reopened only by `--retry-failed`.
     Quarantined,
+    /// Under `--certify`, an UNSAT solve produced a proof the independent
+    /// checker rejected, produced no certificate at all, or a journaled
+    /// certificate failed its binding check. A certification failure is
+    /// reported as FAILED — never silently downgraded to PASS — because
+    /// it means the verdict cannot be independently trusted.
+    Certification,
 }
 
 impl std::fmt::Display for FailureReason {
@@ -114,6 +121,7 @@ impl std::fmt::Display for FailureReason {
             FailureReason::WorkerDied => "worker died",
             FailureReason::MemoryLimit => "memory limit",
             FailureReason::Quarantined => "quarantined",
+            FailureReason::Certification => "certification",
         })
     }
 }
@@ -223,6 +231,15 @@ pub struct Bmc<'m> {
     /// Solver work done outside the base solver (the k-induction step
     /// solver), folded into [`Bmc::counters`].
     aux_counters: SolverCounters,
+    /// DRAT certification state for the base solver, armed by
+    /// `CheckConfig::certify` before the first solve.
+    certifier: Option<UnsatCertifier>,
+    /// Certificate status of the last `prove` call's induction-step
+    /// solver, folded into [`Bmc::prove_certificate`].
+    step_cert: CertificateStatus,
+    /// (proof steps, check µs) spent by the last `prove` call's
+    /// induction-step certifier.
+    step_effort: (u64, u64),
 }
 
 impl<'m> Bmc<'m> {
@@ -246,6 +263,9 @@ impl<'m> Bmc<'m> {
             cancel: CancelToken::new(),
             telemetry: Telemetry::off(),
             aux_counters: SolverCounters::default(),
+            certifier: None,
+            step_cert: CertificateStatus::Uncertified,
+            step_effort: (0, 0),
         }
     }
 
@@ -330,6 +350,69 @@ impl<'m> Bmc<'m> {
         let mut c = solver_counters(&self.solver.stats());
         c += &self.aux_counters;
         c
+    }
+
+    /// Arms DRAT certification when `config.certify` asks for it: enables
+    /// proof logging on the base solver (retro-logging clauses already
+    /// encoded) and creates the independent checker. Logging must start
+    /// before any search so the transcript is complete; a certify request
+    /// arriving after a solve already ran cannot be honoured and degrades
+    /// to a certification failure rather than silently passing.
+    fn arm_certifier(&mut self, config: &CheckConfig) -> Result<(), CheckFailure> {
+        if !config.certify || self.certifier.is_some() {
+            return Ok(());
+        }
+        if self.solver.stats().solve_calls > 0 {
+            return Err(CheckFailure {
+                reason: FailureReason::Certification,
+                detail: "certification requested after search already started; \
+                         create the checker with certify enabled from the start"
+                    .to_string(),
+                depth: self.frames.len(),
+            });
+        }
+        self.solver.enable_proof_logging();
+        self.certifier = Some(UnsatCertifier::new());
+        Ok(())
+    }
+
+    /// Certificate status of the base (bounded) side: `Certified` with the
+    /// cumulative DRAT transcript hash when certification is armed — in
+    /// which case every UNSAT solve so far was independently checked
+    /// (failures return early as FAILED(certification)).
+    pub fn certificate(&self) -> CertificateStatus {
+        match &self.certifier {
+            Some(c) => CertificateStatus::Certified {
+                hash: c.transcript_hash(),
+            },
+            None => CertificateStatus::Uncertified,
+        }
+    }
+
+    /// Certificate status of the last [`Bmc::prove`] call: base-case and
+    /// induction-step certificates combined (certified only if both are).
+    pub fn prove_certificate(&self) -> CertificateStatus {
+        self.certificate().combine(&self.step_cert)
+    }
+
+    /// Total proof steps checked and microseconds spent checking, across
+    /// the base and (after `prove`) induction-step certifiers. `None` when
+    /// certification is off.
+    pub fn certification_effort(&self) -> Option<(u64, u64)> {
+        self.certifier.as_ref().map(|c| {
+            (
+                c.steps() + self.step_effort.0,
+                c.check_us() + self.step_effort.1,
+            )
+        })
+    }
+
+    /// Test-only tamper hook: injects a raw step into the base solver's
+    /// proof transcript, so tests can prove that a corrupted proof stream
+    /// degrades the verdict to FAILED(certification) and never PASS.
+    #[doc(hidden)]
+    pub fn inject_proof_step_for_test(&mut self, step: autocc_sat::ProofStep) {
+        self.solver.inject_proof_step(step);
     }
 
     /// Adds an environment constraint: `node` (1-bit) is assumed 1 on every
@@ -450,6 +533,9 @@ impl<'m> Bmc<'m> {
             !self.properties.is_empty(),
             "no properties registered before check"
         );
+        if let Err(failure) = self.arm_certifier(config) {
+            return CheckOutcome::Failed(failure);
+        }
         let start = Instant::now();
         // Budgets are enforced *inside* the solver: the deadline and the
         // cancellation hook are polled every few conflicts, so a single
@@ -533,6 +619,21 @@ impl<'m> Bmc<'m> {
                     };
                 }
                 SolveResult::Unsat => {
+                    // Under --certify, the bounded proof of this depth is
+                    // only accepted once the independent checker validates
+                    // the DRAT transcript and the assumption certificate.
+                    if let Some(certifier) = &mut self.certifier {
+                        if let Err(detail) =
+                            certifier.certify_unsat(&mut self.solver, &[frame_bad], &self.telemetry)
+                        {
+                            self.stats.solve_time += start.elapsed();
+                            return CheckOutcome::Failed(CheckFailure {
+                                reason: FailureReason::Certification,
+                                detail,
+                                depth,
+                            });
+                        }
+                    }
                     depth += 1;
                 }
                 SolveResult::Unknown => {
@@ -639,10 +740,14 @@ impl<'m> Bmc<'m> {
             self.cancel.clone(),
             config.poll_interval,
             self.telemetry.clone(),
+            config.certify,
         );
         let outcome = self.prove_loop(config, &mut induction, start);
-        // Step-solver work counts toward this checker's totals.
+        // Step-solver work counts toward this checker's totals, and its
+        // certificate toward this prove call's combined certificate.
         self.aux_counters += &solver_counters(&induction.solver.stats());
+        self.step_cert = induction.certificate();
+        self.step_effort = induction.certification_effort();
         outcome
     }
 
@@ -706,6 +811,13 @@ impl<'m> Bmc<'m> {
                     };
                     return ProveOutcome::Exhausted { bound: k, cause };
                 }
+                StepResult::CertificationFailed(detail) => {
+                    return ProveOutcome::Failed(CheckFailure {
+                        reason: FailureReason::Certification,
+                        detail,
+                        depth: k,
+                    })
+                }
             }
         }
         ProveOutcome::Exhausted {
@@ -720,6 +832,8 @@ enum StepResult {
     Fails,
     Unknown,
     Stopped,
+    /// The step case is UNSAT but its certificate did not check.
+    CertificationFailed(String),
 }
 
 /// Incremental encoding of the k-induction step case: frames with a free
@@ -737,6 +851,9 @@ struct InductionStep {
     /// Cone-of-influence restriction shared with the base case, if slicing.
     coi: Option<SeqCoi>,
     telemetry: Telemetry,
+    /// DRAT certification state for the step solver, armed alongside the
+    /// base solver's when the run is certified.
+    certifier: Option<UnsatCertifier>,
 }
 
 impl InductionStep {
@@ -758,6 +875,7 @@ impl InductionStep {
             frame_states: Vec::new(),
             coi,
             telemetry: Telemetry::off(),
+            certifier: None,
         }
     }
 
@@ -770,12 +888,36 @@ impl InductionStep {
         cancel: CancelToken,
         poll_interval: u64,
         telemetry: Telemetry,
+        certify: bool,
     ) {
         self.solver.set_poll_interval(poll_interval);
         self.solver.set_deadline(deadline);
         self.solver
             .set_interrupt_hook(Some(Box::new(move || cancel.is_cancelled())));
         self.telemetry = telemetry;
+        if certify && self.certifier.is_none() {
+            // The step solver is fresh at this point (only the constant-
+            // true unit exists), so retro-logging captures everything.
+            self.solver.enable_proof_logging();
+            self.certifier = Some(UnsatCertifier::new());
+        }
+    }
+
+    /// Certificate status of the step side (cumulative transcript hash).
+    fn certificate(&self) -> CertificateStatus {
+        match &self.certifier {
+            Some(c) => CertificateStatus::Certified {
+                hash: c.transcript_hash(),
+            },
+            None => CertificateStatus::Uncertified,
+        }
+    }
+
+    /// (proof steps, check µs) spent by the step certifier so far.
+    fn certification_effort(&self) -> (u64, u64) {
+        self.certifier
+            .as_ref()
+            .map_or((0, 0), |c| (c.steps(), c.check_us()))
     }
 
     fn keep_state(&self, j: usize) -> bool {
@@ -903,7 +1045,19 @@ impl InductionStep {
         span.counters(&solver_counters(&self.solver.stats().diff(&before)));
         span.close();
         match r {
-            SolveResult::Unsat => StepResult::Holds,
+            SolveResult::Unsat => {
+                // A closing step case is an UNSAT verdict that becomes a
+                // full proof — exactly the answer that most needs an
+                // independent certificate.
+                if let Some(certifier) = &mut self.certifier {
+                    if let Err(detail) =
+                        certifier.certify_unsat(&mut self.solver, &[bad], &self.telemetry)
+                    {
+                        return StepResult::CertificationFailed(detail);
+                    }
+                }
+                StepResult::Holds
+            }
             SolveResult::Sat => StepResult::Fails,
             SolveResult::Unknown => StepResult::Unknown,
             SolveResult::Stopped => StepResult::Stopped,

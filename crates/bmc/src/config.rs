@@ -163,6 +163,14 @@ pub struct CheckConfig {
     /// properties' sequential cones share a cluster. Higher values make
     /// smaller, more numerous clusters.
     pub cluster_overlap: f64,
+    /// Certify every UNSAT solve with a DRAT proof checked by the
+    /// independent forward RUP checker (`--certify`). A failed or missing
+    /// certificate degrades the outcome to FAILED(certification), never
+    /// PASS. Like [`CheckConfig::isolation`], this knob is excluded from
+    /// the content key *and* the config fingerprint: certification never
+    /// changes answers, so stable tables stay byte-identical and journals
+    /// written in either mode resume interchangeably.
+    pub certify: bool,
     /// Telemetry handle; spans opened by the pipeline become children of
     /// its current span. Disabled ([`Telemetry::off`]) by default, in
     /// which case instrumentation is a no-op with no clock reads.
@@ -185,6 +193,7 @@ impl Default for CheckConfig {
             heartbeat_ms: 250,
             granularity: Granularity::Monolithic,
             cluster_overlap: 0.9,
+            certify: false,
             telemetry: Telemetry::off(),
         }
     }
@@ -281,6 +290,12 @@ impl CheckConfig {
         } else {
             overlap.clamp(0.0, 1.0)
         };
+        self
+    }
+
+    /// Switches DRAT certification of UNSAT solves on or off.
+    pub fn certify(mut self, certify: bool) -> Self {
+        self.certify = certify;
         self
     }
 
@@ -387,6 +402,15 @@ mod tests {
         assert_eq!(c.isolation, Isolation::Subprocess);
         assert_eq!(c.memory_limit_mb, Some(512));
         assert_eq!(c.heartbeat_ms, 1, "heartbeat clamps to 1 ms");
+    }
+
+    #[test]
+    fn certify_knob_composes() {
+        let c = CheckConfig::default();
+        assert!(!c.certify, "certification is opt-in");
+        let c = c.certify(true);
+        assert!(c.certify);
+        assert!(!c.certify(false).certify);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! [`EngineOutcome::Unknown`] (machine-dependent), while conflict-budget
 //! exhaustion stays [`EngineOutcome::Exhausted`] (deterministic).
 
+use crate::certify::{cex_hash, CertificateStatus};
 use crate::checker::{Bmc, Cex, CheckOutcome, FailureReason, ProveOutcome, StopCause};
 use crate::config::CheckConfig;
 use autocc_hdl::{Module, NodeId};
@@ -304,6 +305,11 @@ pub struct EngineRun {
     pub outcome: EngineOutcome,
     /// Solver work spent reaching it.
     pub counters: SolverCounters,
+    /// Whether the outcome carries an independently-checked certificate
+    /// (DRAT transcript for UNSAT-backed verdicts, replayed trace for
+    /// counterexamples). Always `Uncertified` without `--certify` and for
+    /// inconclusive outcomes.
+    pub certificate: CertificateStatus,
 }
 
 impl From<EngineOutcome> for EngineRun {
@@ -311,7 +317,30 @@ impl From<EngineOutcome> for EngineRun {
         EngineRun {
             outcome,
             counters: SolverCounters::default(),
+            certificate: CertificateStatus::Uncertified,
         }
+    }
+}
+
+/// The certificate a conclusive outcome earned: the checker's transcript
+/// hash for UNSAT-backed verdicts, the replayed-trace hash for
+/// counterexamples, `Uncertified` for everything inconclusive.
+fn certificate_for(
+    outcome: &EngineOutcome,
+    config: &CheckConfig,
+    unsat: CertificateStatus,
+) -> CertificateStatus {
+    if !config.certify {
+        return CertificateStatus::Uncertified;
+    }
+    match outcome {
+        EngineOutcome::BoundReached { .. } | EngineOutcome::Proved { .. } => unsat,
+        // A Cex has, by construction, already been replay-validated
+        // against the interpreter; its trace is the certificate.
+        EngineOutcome::Cex(cex) => CertificateStatus::Certified {
+            hash: cex_hash(cex),
+        },
+        _ => CertificateStatus::Uncertified,
     }
 }
 
@@ -361,9 +390,11 @@ impl CheckEngine for BmcEngine {
                 attempts: 1,
             }),
         };
+        let certificate = certificate_for(&outcome, config, bmc.certificate());
         EngineRun {
             outcome,
             counters: bmc.counters(),
+            certificate,
         }
     }
 }
@@ -393,9 +424,11 @@ impl CheckEngine for KInductionEngine {
                 attempts: 1,
             }),
         };
+        let certificate = certificate_for(&outcome, config, bmc.prove_certificate());
         EngineRun {
             outcome,
             counters: bmc.counters(),
+            certificate,
         }
     }
 }
@@ -417,7 +450,10 @@ impl<E: CheckEngine> CheckEngine for Falsifier<E> {
     fn check(&self, spec: &CheckSpec<'_>, config: &CheckConfig, cancel: &CancelToken) -> EngineRun {
         let mut run = self.0.check(spec, config, cancel);
         if let EngineOutcome::BoundReached { depth } = run.outcome {
+            // The demoted outcome is inconclusive; it carries no
+            // certificate even if the bounded proof checked.
             run.outcome = EngineOutcome::Exhausted { depth };
+            run.certificate = CertificateStatus::Uncertified;
         }
         run
     }

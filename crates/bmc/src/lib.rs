@@ -51,13 +51,18 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+mod certify;
 mod checker;
 pub mod config;
 pub mod engine;
 pub mod portfolio;
 mod trace;
 
-pub use cache::{config_fingerprint, content_key, content_key_with_seq, CheckMode, ContentKey};
+pub use cache::{
+    certificate_digest, config_fingerprint, content_key, content_key_with_seq, CheckMode,
+    ContentKey,
+};
+pub use certify::{cex_hash, CertificateStatus};
 #[allow(deprecated)]
 pub use checker::BmcOptions;
 pub use checker::{

@@ -164,7 +164,11 @@ fn run_engine_job(job: &EngineJob<'_, '_>) -> EngineRun {
                     }
                     outcome => outcome,
                 };
-                return EngineRun { outcome, counters };
+                return EngineRun {
+                    outcome,
+                    counters,
+                    certificate: run.certificate,
+                };
             }
             Err(payload) => {
                 if attempt > retry.max_retries {
@@ -178,6 +182,7 @@ fn run_engine_job(job: &EngineJob<'_, '_>) -> EngineRun {
                             attempts: attempt,
                         }),
                         counters,
+                        certificate: crate::CertificateStatus::Uncertified,
                     };
                 }
             }

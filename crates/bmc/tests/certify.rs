@@ -1,0 +1,171 @@
+//! End-to-end UNSAT certification through the checker and engine layers:
+//! certified runs return the identical outcome plus a checked certificate,
+//! and every tampering or misuse path degrades to FAILED(certification) —
+//! never PASS.
+
+use autocc_bmc::{
+    Bmc, BmcEngine, CancelToken, CertificateStatus, CheckConfig, CheckEngine, CheckOutcome,
+    CheckSpec, EngineOutcome, FailureReason, Falsifier, KInductionEngine,
+};
+use autocc_hdl::{Bv, Module, ModuleBuilder};
+use autocc_sat::{Lit, ProofStep, Var};
+
+/// A 3-bit free-running counter with `small = count < limit`.
+fn counter(limit: u64) -> Module {
+    let mut b = ModuleBuilder::new("counter");
+    let c = b.reg("count", 3, Bv::zero(3));
+    let one = b.lit(3, 1);
+    let next = b.add(c, one);
+    b.set_next(c, next);
+    let lim = b.lit(4, limit);
+    let cz = b.zext(c, 4);
+    let below = b.ult(cz, lim);
+    b.output("small", below);
+    b.build()
+}
+
+/// A register that holds its value forever: `zero = (r == 0)` is
+/// inductive at k = 1, so k-induction proves it outright.
+fn latch() -> Module {
+    let mut b = ModuleBuilder::new("latch");
+    let r = b.reg("r", 4, Bv::zero(4));
+    b.set_next(r, r);
+    let z = b.lit(4, 0);
+    let eq = b.eq(r, z);
+    b.output("zero", eq);
+    b.build()
+}
+
+fn spec<'m>(m: &'m Module, out: &str) -> CheckSpec<'m> {
+    CheckSpec::new(m).property(out, m.output_node(out).unwrap())
+}
+
+#[test]
+fn certified_bounded_proof_matches_uncertified_and_carries_a_hash() {
+    // count < 8 is a tautology for a 3-bit counter: every depth is UNSAT.
+    let m = counter(8);
+    let base = CheckConfig::default().depth(12).no_timeout();
+    let plain = BmcEngine.check(&spec(&m, "small"), &base, &CancelToken::new());
+    let cert = BmcEngine.check(
+        &spec(&m, "small"),
+        &base.clone().certify(true),
+        &CancelToken::new(),
+    );
+    match (&plain.outcome, &cert.outcome) {
+        (EngineOutcome::BoundReached { depth: a }, EngineOutcome::BoundReached { depth: b }) => {
+            assert_eq!(a, b, "certification must not change the verdict")
+        }
+        other => panic!("expected matching bounded proofs, got {other:?}"),
+    }
+    assert_eq!(
+        plain.counters.conflicts, cert.counters.conflicts,
+        "proof logging must not alter the search"
+    );
+    assert_eq!(plain.certificate, CertificateStatus::Uncertified);
+    assert!(
+        cert.certificate.is_certified(),
+        "certified bounded proof carries a certificate: {:?}",
+        cert.certificate
+    );
+}
+
+#[test]
+fn certified_kinduction_proof_combines_base_and_step_certificates() {
+    let m = latch();
+    let config = CheckConfig::default().depth(8).no_timeout().certify(true);
+    let run = KInductionEngine.check(&spec(&m, "zero"), &config, &CancelToken::new());
+    match run.outcome {
+        EngineOutcome::Proved { induction_depth } => assert_eq!(induction_depth, 1),
+        other => panic!("expected full proof, got {other:?}"),
+    }
+    assert!(run.certificate.is_certified(), "{:?}", run.certificate);
+}
+
+#[test]
+fn certified_cex_is_the_replayed_trace() {
+    // count < 5 fails at depth 6; the trace is the SAT-side certificate.
+    let m = counter(5);
+    let base = CheckConfig::default().depth(16).no_timeout();
+    let plain = BmcEngine.check(&spec(&m, "small"), &base, &CancelToken::new());
+    let cert = BmcEngine.check(
+        &spec(&m, "small"),
+        &base.clone().certify(true),
+        &CancelToken::new(),
+    );
+    match (&plain.outcome, &cert.outcome) {
+        (EngineOutcome::Cex(a), EngineOutcome::Cex(b)) => {
+            assert_eq!(a.depth, b.depth);
+            assert_eq!(a.property, b.property);
+        }
+        other => panic!("expected matching counterexamples, got {other:?}"),
+    }
+    assert_eq!(plain.certificate, CertificateStatus::Uncertified);
+    assert!(cert.certificate.is_certified());
+    assert_eq!(
+        cert.certificate.hash(),
+        match &cert.outcome {
+            EngineOutcome::Cex(cex) => Some(autocc_bmc::cex_hash(cex)),
+            _ => None,
+        },
+        "cex certificate hash is the trace hash"
+    );
+}
+
+#[test]
+fn tampered_proof_stream_degrades_to_failed_certification() {
+    let m = counter(8);
+    let mut bmc = Bmc::new(&m);
+    bmc.add_property("small", m.output_node("small").unwrap());
+    let config = CheckConfig::default().depth(2).no_timeout().certify(true);
+    match bmc.check(&config) {
+        CheckOutcome::BoundReached { depth: 2 } => {}
+        other => panic!("expected certified bound, got {other:?}"),
+    }
+    // Inject a clause no resolution chain derives (a unit over a fresh
+    // variable): the next certification pass must reject the transcript.
+    bmc.inject_proof_step_for_test(ProofStep::Add(vec![Lit::new(Var::from_index(4000), true)]));
+    match bmc.check(&config.clone().depth(4)) {
+        CheckOutcome::Failed(failure) => {
+            assert_eq!(failure.reason, FailureReason::Certification);
+            assert!(
+                failure.detail.contains("rejected"),
+                "diagnostic names the rejection: {}",
+                failure.detail
+            );
+        }
+        other => panic!("tampered proof must fail certification, got {other:?}"),
+    }
+}
+
+#[test]
+fn late_certify_request_fails_closed() {
+    // Asking for certification after the search already ran cannot be
+    // honoured (the transcript is incomplete); it must fail, not pass.
+    let m = counter(8);
+    let mut bmc = Bmc::new(&m);
+    bmc.add_property("small", m.output_node("small").unwrap());
+    let plain = CheckConfig::default().depth(2).no_timeout();
+    assert!(matches!(
+        bmc.check(&plain),
+        CheckOutcome::BoundReached { depth: 2 }
+    ));
+    match bmc.check(&plain.certify(true).depth(4)) {
+        CheckOutcome::Failed(failure) => {
+            assert_eq!(failure.reason, FailureReason::Certification)
+        }
+        other => panic!("late certify must fail closed, got {other:?}"),
+    }
+}
+
+#[test]
+fn falsifier_demotion_drops_the_certificate() {
+    let m = counter(8);
+    let config = CheckConfig::default().depth(4).no_timeout().certify(true);
+    let run = Falsifier(BmcEngine).check(&spec(&m, "small"), &config, &CancelToken::new());
+    assert!(matches!(run.outcome, EngineOutcome::Exhausted { depth: 4 }));
+    assert_eq!(
+        run.certificate,
+        CertificateStatus::Uncertified,
+        "an inconclusive (demoted) outcome carries no certificate"
+    );
+}

@@ -72,8 +72,8 @@ pub use flush::{
     FlushSynthesisResult,
 };
 pub use report::{
-    failure_summary, format_duration, format_table, format_table_detailed, format_table_stable,
-    report_exit_code, RowStatus, TableRow,
+    certificate_summary, failure_summary, format_duration, format_table, format_table_detailed,
+    format_table_stable, report_exit_code, RowStatus, TableRow,
 };
 pub use spec::{AssumeHook, FlushDone, FtSpec, MiterHook};
 pub use sva::to_sva;

@@ -5,6 +5,7 @@
 //! shape as Tables 1 and 2.
 
 use crate::testbench::{AutoCcOutcome, CheckReport};
+use autocc_bmc::CertificateStatus;
 use autocc_telemetry::SolverCounters;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -53,6 +54,11 @@ pub struct TableRow {
     /// `Src` column); the plain and stable tables ignore it so a resumed
     /// campaign stays byte-identical to an uninterrupted one.
     pub cached: bool,
+    /// The row's verdict certificate (a checked DRAT transcript hash for
+    /// UNSAT-backed verdicts, a replay-validated trace hash for CEXs).
+    /// Rendered only by [`certificate_summary`]; the tables ignore it so
+    /// certified and uncertified runs stay byte-identical.
+    pub certificate: CertificateStatus,
 }
 
 impl TableRow {
@@ -118,6 +124,7 @@ impl TableRow {
             detail,
             stats: None,
             cached: false,
+            certificate: CertificateStatus::Uncertified,
         }
     }
 
@@ -128,8 +135,10 @@ impl TableRow {
         description: impl Into<String>,
         report: &CheckReport,
     ) -> TableRow {
-        TableRow::from_outcome(id, description, &report.outcome, report.elapsed)
-            .with_stats(report.stats)
+        let mut row = TableRow::from_outcome(id, description, &report.outcome, report.elapsed)
+            .with_stats(report.stats);
+        row.certificate = report.certificate;
+        row
     }
 
     /// Attaches solver counters to the row (shown by
@@ -163,8 +172,35 @@ impl TableRow {
             detail: Some(detail.into()),
             stats: None,
             cached: false,
+            certificate: CertificateStatus::Uncertified,
         }
     }
+}
+
+/// A per-row certificate-status summary for certified campaigns: which
+/// rows carry an independently checked certificate (and its hash), and
+/// which conclusive rows do not. Report binaries print this to stderr
+/// under `--certify`; it is also the artifact CI archives to cross-check
+/// certified runs.
+pub fn certificate_summary(rows: &[TableRow]) -> String {
+    let certified = rows.iter().filter(|r| r.certificate.is_certified()).count();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "certificates: {certified} of {} rows independently checked",
+        rows.len()
+    );
+    for r in rows {
+        match r.certificate {
+            CertificateStatus::Certified { hash } => {
+                let _ = writeln!(out, "  {:<4} certified {hash:016x}", r.id);
+            }
+            CertificateStatus::Uncertified => {
+                let _ = writeln!(out, "  {:<4} uncertified ({})", r.id, r.outcome);
+            }
+        }
+    }
+    out
 }
 
 /// A human-readable summary of every degraded row, or `None` when the
@@ -385,6 +421,7 @@ mod tests {
                 detail: None,
                 stats: None,
                 cached: false,
+                certificate: CertificateStatus::Uncertified,
             },
             TableRow {
                 id: "V5".into(),
@@ -396,6 +433,7 @@ mod tests {
                 detail: None,
                 stats: None,
                 cached: false,
+                certificate: CertificateStatus::Uncertified,
             },
         ];
         let table = format_table("Table 2: Vscale", &rows);
@@ -417,6 +455,7 @@ mod tests {
             detail: None,
             stats: None,
             cached: false,
+            certificate: CertificateStatus::Uncertified,
         };
         let fast = format_table_stable("Table 2: Vscale", &[row(Duration::from_millis(3))]);
         let slow = format_table_stable("Table 2: Vscale", &[row(Duration::from_secs(90))]);
@@ -436,6 +475,7 @@ mod tests {
             detail: None,
             stats: None,
             cached: false,
+            certificate: CertificateStatus::Uncertified,
         }
         .with_stats(SolverCounters {
             solve_calls: 12,
@@ -452,6 +492,7 @@ mod tests {
             detail: None,
             stats: None,
             cached: false,
+            certificate: CertificateStatus::Uncertified,
         };
         let table = format_table_detailed("Detailed", &[with, without]);
         assert!(table.contains("Solves"));
@@ -485,6 +526,7 @@ mod tests {
             detail: None,
             stats: None,
             cached: false,
+            certificate: CertificateStatus::Uncertified,
         };
         assert_eq!(report_exit_code(std::slice::from_ref(&ok)), 0);
         assert!(failure_summary(std::slice::from_ref(&ok)).is_none());

@@ -10,10 +10,10 @@ use autocc_aig::{cluster_cones, sequential_coi, AigLit, ConeCluster, SeqAig};
 #[allow(deprecated)]
 use autocc_bmc::BmcOptions;
 use autocc_bmc::{
-    content_key_with_seq, Bmc, BmcEngine, CancelToken, CheckConfig, CheckEngine, CheckFailure,
-    CheckMode, CheckOutcome, CheckSpec, ContentKey, EngineJob, EngineOutcome, EngineRun,
-    FailureReason, Falsifier, JobFailure, KInductionEngine, Portfolio, ProveOutcome, ReplayedTrace,
-    RetryPolicy, StopCause, Trace, UnknownCause,
+    cex_hash, content_key_with_seq, Bmc, BmcEngine, CancelToken, CertificateStatus, CheckConfig,
+    CheckEngine, CheckFailure, CheckMode, CheckOutcome, CheckSpec, ContentKey, EngineJob,
+    EngineOutcome, EngineRun, FailureReason, Falsifier, JobFailure, KInductionEngine, Portfolio,
+    ProveOutcome, ReplayedTrace, RetryPolicy, StopCause, Trace, UnknownCause,
 };
 use autocc_hdl::{Bv, Instance, Module, NodeId, RegId, Waveform};
 use autocc_telemetry::{SolverCounters, SpanKind, Telemetry};
@@ -302,6 +302,13 @@ pub struct CheckReport {
     /// the portfolio check paths; single-`Bmc` paths record what their
     /// one solve can attribute.
     pub verdicts: Vec<(String, PropertyVerdict)>,
+    /// Whether the outcome deciding this row carries an independently
+    /// checked certificate: a DRAT-checked proof transcript for
+    /// UNSAT-backed verdicts (Clean, Proved), the replay-validated trace
+    /// hash for counterexamples. Always `Uncertified` unless the run was
+    /// made with [`CheckConfig::certify`]; inconclusive or failed rows
+    /// never carry one.
+    pub certificate: CertificateStatus,
 }
 
 /// The former name of [`CheckReport`].
@@ -429,6 +436,19 @@ fn run_verdict(outcome: &EngineOutcome) -> PropertyVerdict {
 }
 
 /// Lifts a checker-level failure into a job failure for reporting.
+/// Restricts a candidate certificate to conclusive outcomes: a failed row
+/// (contained panic, replay mismatch, rejected proof) or an inconclusive
+/// one (budget stop) must never look certified, whatever was collected
+/// along the way.
+fn gate_certificate(outcome: &AutoCcOutcome, candidate: CertificateStatus) -> CertificateStatus {
+    match outcome {
+        AutoCcOutcome::Cex(_) | AutoCcOutcome::Clean { .. } | AutoCcOutcome::Proved { .. } => {
+            candidate
+        }
+        _ => CertificateStatus::Uncertified,
+    }
+}
+
 fn check_failure_to_job(engine: &str, failure: CheckFailure) -> JobFailure {
     JobFailure {
         engine: engine.to_string(),
@@ -640,9 +660,20 @@ impl FpvTestbench {
         let mut run_config = config.clone();
         run_config.telemetry = span.clone();
         let mut bmc = self.configure(span.clone());
+        let mut certificate = CertificateStatus::Uncertified;
         let outcome = match bmc.check(&run_config) {
-            CheckOutcome::Cex(cex) => self.certified_outcome(&cex, &span),
-            CheckOutcome::BoundReached { depth } => AutoCcOutcome::Clean { bound: depth },
+            CheckOutcome::Cex(cex) => {
+                if run_config.certify {
+                    certificate = CertificateStatus::Certified {
+                        hash: cex_hash(&cex),
+                    };
+                }
+                self.certified_outcome(&cex, &span)
+            }
+            CheckOutcome::BoundReached { depth } => {
+                certificate = bmc.certificate();
+                AutoCcOutcome::Clean { bound: depth }
+            }
             CheckOutcome::Exhausted { depth, cause } => stop_to_outcome(depth, cause),
             CheckOutcome::Failed(failure) => AutoCcOutcome::Failed {
                 failures: vec![check_failure_to_job("bmc", failure)],
@@ -657,6 +688,7 @@ impl FpvTestbench {
             .collect();
         let verdicts = batch_verdicts(&names, &outcome);
         CheckReport {
+            certificate: gate_certificate(&outcome, certificate),
             outcome,
             elapsed: start.elapsed(),
             stats,
@@ -734,20 +766,25 @@ impl FpvTestbench {
 
         // Deterministic merge, in property-registration order.
         let mut verdicts: Vec<(String, PropertyVerdict)> = Vec::with_capacity(runs.len());
-        let mut best_cex: Option<(usize, usize, autocc_bmc::Cex)> = None;
+        let mut best_cex: Option<(usize, usize, autocc_bmc::Cex, CertificateStatus)> = None;
         let mut failures: Vec<JobFailure> = Vec::new();
         let mut unknown: Option<(usize, UnknownCause)> = None;
         let mut exhausted_bound: Option<usize> = None;
         let mut clean_bound: Option<usize> = None;
+        // A Clean row claims every property held, so its certificate folds
+        // every job's certificate (in property order): one uncertified
+        // member makes the row uncertified.
+        let mut unsat_cert: Option<CertificateStatus> = None;
         for (i, run) in runs.into_iter().enumerate() {
             verdicts.push((exact[i].1.clone(), run_verdict(&run.outcome)));
+            let run_cert = run.certificate;
             match run.outcome {
                 EngineOutcome::Cex(cex) => {
                     if best_cex
                         .as_ref()
-                        .is_none_or(|(d, j, _)| (cex.depth, i) < (*d, *j))
+                        .is_none_or(|(d, j, _, _)| (cex.depth, i) < (*d, *j))
                     {
-                        best_cex = Some((cex.depth, i, cex));
+                        best_cex = Some((cex.depth, i, cex, run_cert));
                     }
                 }
                 EngineOutcome::Exhausted { depth } => {
@@ -767,16 +804,24 @@ impl FpvTestbench {
                     induction_depth: depth,
                 } => {
                     clean_bound = Some(clean_bound.map_or(depth, |b| b.min(depth)));
+                    unsat_cert = Some(match unsat_cert {
+                        None => run_cert,
+                        Some(prev) => prev.combine(&run_cert),
+                    });
                 }
             }
         }
         // A certified counterexample outranks everything; a CEX that fails
         // certification is a checker fault and joins the failures instead.
         let mut certified: Option<CovertChannelCex> = None;
-        if let Some((_, _, cex)) = best_cex {
+        let mut cex_cert = CertificateStatus::Uncertified;
+        if let Some((_, _, cex, cert)) = best_cex {
             let certify = config.telemetry.child(SpanKind::Phase, "certify");
             match self.certify_cex(&cex) {
-                Ok(cc) => certified = Some(cc),
+                Ok(cc) => {
+                    certified = Some(cc);
+                    cex_cert = cert;
+                }
                 Err(f) => failures.push(f),
             }
             certify.close();
@@ -794,7 +839,12 @@ impl FpvTestbench {
                 bound: clean_bound.unwrap_or(config.max_depth),
             }
         };
+        let candidate = match &outcome {
+            AutoCcOutcome::Cex(_) => cex_cert,
+            _ => unsat_cert.unwrap_or(CertificateStatus::Uncertified),
+        };
         CheckReport {
+            certificate: gate_certificate(&outcome, candidate),
             outcome,
             elapsed: start.elapsed(),
             stats,
@@ -1007,6 +1057,11 @@ impl FpvTestbench {
             self.widen_batch_cex(cluster, cc, &mut verdicts);
         }
         CheckReport {
+            // The engine stamped the certificate (transcript hash for
+            // UNSAT answers, trace hash for counterexamples); a replay
+            // mismatch turned the outcome into Failed and the gate drops
+            // the stale certificate with it.
+            certificate: gate_certificate(&outcome, run.certificate),
             outcome,
             elapsed: Duration::ZERO,
             stats: run.counters,
@@ -1057,14 +1112,21 @@ impl FpvTestbench {
         let mut stats = SolverCounters::default();
         let mut elapsed = Duration::ZERO;
         let mut indexed_verdicts: Vec<(usize, (String, PropertyVerdict))> = Vec::new();
-        let mut best_cex: Option<(usize, usize, CovertChannelCex)> = None;
+        let mut best_cex: Option<(usize, usize, CovertChannelCex, CertificateStatus)> = None;
         let mut failures: Vec<JobFailure> = Vec::new();
         let mut unknown: Option<(usize, UnknownCause)> = None;
         let mut exhausted_bound: Option<usize> = None;
         let mut clean_bound: Option<usize> = None;
+        // The row certificate certifies the row outcome, and exact-class
+        // clusters alone decide the row — so a Clean row folds the exact
+        // clusters' certificates (in plan order). Attribution clusters are
+        // still individually checked; a failed attribution certification
+        // degrades the row through the failures path like any failure.
+        let mut unsat_cert: Option<CertificateStatus> = None;
         for (cluster, report) in plan.clusters.iter().zip(reports) {
             stats += &report.stats;
             elapsed += report.elapsed;
+            let report_cert = report.certificate;
             for (&i, v) in cluster.members.iter().zip(report.verdicts) {
                 indexed_verdicts.push((i, v));
             }
@@ -1078,9 +1140,9 @@ impl FpvTestbench {
                         .unwrap_or(usize::MAX);
                     if best_cex
                         .as_ref()
-                        .is_none_or(|(d, j, _)| (cc.depth, index) < (*d, *j))
+                        .is_none_or(|(d, j, _, _)| (cc.depth, index) < (*d, *j))
                     {
-                        best_cex = Some((cc.depth, index, *cc));
+                        best_cex = Some((cc.depth, index, *cc, report_cert));
                     }
                 }
                 // An attribution CEX is the attribution itself — it names
@@ -1093,6 +1155,10 @@ impl FpvTestbench {
                     induction_depth: bound,
                 } if exact => {
                     clean_bound = Some(clean_bound.map_or(bound, |b| b.min(bound)));
+                    unsat_cert = Some(match unsat_cert {
+                        None => report_cert,
+                        Some(prev) => prev.combine(&report_cert),
+                    });
                 }
                 AutoCcOutcome::Clean { .. } | AutoCcOutcome::Proved { .. } => {}
                 AutoCcOutcome::Exhausted { bound } if exact => {
@@ -1112,7 +1178,9 @@ impl FpvTestbench {
         }
         indexed_verdicts.sort_by_key(|(i, _)| *i);
         let verdicts = indexed_verdicts.into_iter().map(|(_, v)| v).collect();
-        let outcome = if let Some((_, _, cc)) = best_cex {
+        let mut cex_cert = CertificateStatus::Uncertified;
+        let outcome = if let Some((_, _, cc, cert)) = best_cex {
+            cex_cert = cert;
             AutoCcOutcome::Cex(Box::new(cc))
         } else if !failures.is_empty() {
             AutoCcOutcome::Failed { failures }
@@ -1125,7 +1193,12 @@ impl FpvTestbench {
                 bound: clean_bound.unwrap_or(config.max_depth),
             }
         };
+        let candidate = match &outcome {
+            AutoCcOutcome::Cex(_) => cex_cert,
+            _ => unsat_cert.unwrap_or(CertificateStatus::Uncertified),
+        };
         CheckReport {
+            certificate: gate_certificate(&outcome, candidate),
             outcome,
             elapsed,
             stats,
@@ -1264,6 +1337,7 @@ impl FpvTestbench {
         span.close();
         let verdicts = batch_verdicts(&names, &outcome);
         CheckReport {
+            certificate: gate_certificate(&outcome, run.certificate),
             outcome,
             elapsed: start.elapsed(),
             stats: run.counters,
@@ -1278,9 +1352,20 @@ impl FpvTestbench {
         let mut run_config = config.clone();
         run_config.telemetry = span.clone();
         let mut bmc = self.configure(span.clone());
+        let mut certificate = CertificateStatus::Uncertified;
         let outcome = match bmc.prove(&run_config) {
-            ProveOutcome::Proved { induction_depth } => AutoCcOutcome::Proved { induction_depth },
-            ProveOutcome::Cex(cex) => self.certified_outcome(&cex, &span),
+            ProveOutcome::Proved { induction_depth } => {
+                certificate = bmc.prove_certificate();
+                AutoCcOutcome::Proved { induction_depth }
+            }
+            ProveOutcome::Cex(cex) => {
+                if run_config.certify {
+                    certificate = CertificateStatus::Certified {
+                        hash: cex_hash(&cex),
+                    };
+                }
+                self.certified_outcome(&cex, &span)
+            }
             ProveOutcome::Exhausted { bound, cause } => stop_to_outcome(bound, cause),
             ProveOutcome::Failed(failure) => AutoCcOutcome::Failed {
                 failures: vec![check_failure_to_job("k-induction", failure)],
@@ -1295,6 +1380,7 @@ impl FpvTestbench {
             .collect();
         let verdicts = batch_verdicts(&names, &outcome);
         CheckReport {
+            certificate: gate_certificate(&outcome, certificate),
             outcome,
             elapsed: start.elapsed(),
             stats,

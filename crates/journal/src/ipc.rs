@@ -45,12 +45,12 @@
 
 use crate::json::Json;
 use crate::record::{
-    counters_json, failure_json, field, parse_cause, parse_counters, parse_failure, parse_trace,
-    str_field, trace_json, u64_field, usize_field,
+    counters_json, failure_json, field, hex16, parse_cause, parse_counters, parse_failure,
+    parse_trace, str_field, trace_json, u64_field, usize_field,
 };
 use autocc_bmc::{
-    BmcEngine, CancelToken, CheckConfig, CheckEngine, CheckSpec, EngineOutcome, EngineRun,
-    FailureReason, Falsifier, JobFailure, KInductionEngine,
+    BmcEngine, CancelToken, CertificateStatus, CheckConfig, CheckEngine, CheckSpec, ContentKey,
+    EngineOutcome, EngineRun, FailureReason, Falsifier, JobFailure, KInductionEngine,
 };
 use autocc_hdl::{
     BinOp, Bv, Direction, MemId, Memory, Module, Node, NodeId, OutputPort, Port, RegId, Register,
@@ -539,6 +539,7 @@ pub fn request_json(
                 ("slice".to_string(), Json::Bool(config.slice)),
                 ("poll".to_string(), Json::Num(config.poll_interval)),
                 ("heartbeat_ms".to_string(), Json::Num(config.heartbeat_ms)),
+                ("certify".to_string(), Json::Bool(config.certify)),
             ]),
         ),
         ("module".to_string(), module_json(module)),
@@ -580,6 +581,7 @@ pub fn parse_request(v: &Json) -> Result<WireRequest, String> {
         .slice(matches!(field(c, "slice")?, Json::Bool(true)))
         .poll_interval(u64_field(c, "poll")?)
         .heartbeat_ms(u64_field(c, "heartbeat_ms")?)
+        .certify(matches!(field(c, "certify")?, Json::Bool(true)))
         .jobs(1)
         .retries(0);
     let config = match opt_num("time_us")? {
@@ -706,13 +708,33 @@ pub fn heartbeat_json(rss_kb: u64) -> Json {
     ])
 }
 
-/// Serializes a result frame.
+/// Serializes a result frame. Only the certificate *status and hash*
+/// cross the process boundary — the proof transcript itself stays inside
+/// the worker, where it was already checked.
 pub fn result_json(run: &EngineRun) -> Json {
     Json::Obj(vec![
         ("kind".to_string(), Json::Str("result".to_string())),
         ("outcome".to_string(), outcome_json(&run.outcome)),
         ("counters".to_string(), counters_json(&run.counters)),
+        (
+            "cert".to_string(),
+            match run.certificate {
+                CertificateStatus::Uncertified => Json::Null,
+                CertificateStatus::Certified { hash } => hex16(hash),
+            },
+        ),
     ])
+}
+
+fn parse_certificate(v: &Json) -> Result<CertificateStatus, String> {
+    match v {
+        Json::Null => Ok(CertificateStatus::Uncertified),
+        other => other
+            .as_str()
+            .and_then(ContentKey::parse_hex)
+            .map(|k| CertificateStatus::Certified { hash: k.0 })
+            .ok_or_else(|| "cert is neither null nor a 16-hex-digit hash".to_string()),
+    }
 }
 
 /// Parses a worker-to-supervisor frame.
@@ -724,6 +746,7 @@ pub fn parse_worker_frame(v: &Json) -> Result<WorkerFrame, String> {
         "result" => Ok(WorkerFrame::Result(EngineRun {
             outcome: parse_engine_outcome(field(v, "outcome")?)?,
             counters: parse_counters(field(v, "counters")?)?,
+            certificate: parse_certificate(field(v, "cert")?)?,
         })),
         other => Err(format!("unknown worker frame kind `{other}`")),
     }
@@ -962,7 +985,8 @@ mod tests {
             .conflicts(Some(1234))
             .no_timeout()
             .slice(true)
-            .heartbeat_ms(77);
+            .heartbeat_ms(77)
+            .certify(true);
         let props = vec![("small".to_string(), p)];
         let wire = request_json("bmc", &m, &props, &[], &config);
         let req = parse_request(&wire).expect("parse request");
@@ -972,14 +996,29 @@ mod tests {
         assert_eq!(req.config.time_budget, None);
         assert!(req.config.slice);
         assert_eq!(req.config.heartbeat_ms, 77);
+        assert!(req.config.certify, "certify knob crosses the wire");
         assert_eq!(req.properties, props);
 
-        let run = EngineRun::from(EngineOutcome::BoundReached { depth: 9 });
+        let mut run = EngineRun::from(EngineOutcome::BoundReached { depth: 9 });
+        run.certificate = CertificateStatus::Certified {
+            hash: 0xdead_beef_0bad_f00d,
+        };
         match parse_worker_frame(&result_json(&run)).expect("parse result") {
-            WorkerFrame::Result(back) => match back.outcome {
-                EngineOutcome::BoundReached { depth: 9 } => {}
-                other => panic!("expected BoundReached, got {other:?}"),
-            },
+            WorkerFrame::Result(back) => {
+                match back.outcome {
+                    EngineOutcome::BoundReached { depth: 9 } => {}
+                    other => panic!("expected BoundReached, got {other:?}"),
+                }
+                assert_eq!(back.certificate, run.certificate);
+            }
+            WorkerFrame::Heartbeat { .. } => panic!("expected a result frame"),
+        }
+        // An uncertified run crosses as null and comes back uncertified.
+        run.certificate = CertificateStatus::Uncertified;
+        match parse_worker_frame(&result_json(&run)).expect("parse result") {
+            WorkerFrame::Result(back) => {
+                assert_eq!(back.certificate, CertificateStatus::Uncertified)
+            }
             WorkerFrame::Heartbeat { .. } => panic!("expected a result frame"),
         }
     }
@@ -988,7 +1027,7 @@ mod tests {
     fn worker_serves_a_request_end_to_end_in_memory() {
         let m = leaky_module();
         let p = m.output_node("small").unwrap();
-        let config = CheckConfig::default().depth(8).no_timeout();
+        let config = CheckConfig::default().depth(8).no_timeout().certify(true);
         let wire = request_json("bmc", &m, &[("small".to_string(), p)], &[], &config);
         let mut request_bytes = Vec::new();
         write_frame(&mut request_bytes, &wire).unwrap();
@@ -1018,7 +1057,12 @@ mod tests {
         }
         // The device counts to 5 and violates `small`: a CEX at depth 6,
         // exactly what the in-process engine reports.
-        match result.expect("worker must emit a result frame").outcome {
+        let run = result.expect("worker must emit a result frame");
+        assert!(
+            run.certificate.is_certified(),
+            "certified request yields a certified result over the wire"
+        );
+        match run.outcome {
             EngineOutcome::Cex(cex) => {
                 assert_eq!(cex.property, "small");
                 assert!(cex.depth > 0);

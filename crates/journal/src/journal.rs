@@ -17,7 +17,7 @@
 
 use crate::record::{
     entry_line, header_line, parse_entry, parse_header, JournalEntry, JournalHeader,
-    JOURNAL_SCHEMA_VERSION,
+    JOURNAL_MIN_SCHEMA_VERSION, JOURNAL_SCHEMA_VERSION,
 };
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -117,10 +117,10 @@ pub fn recover(bytes: &[u8]) -> Result<RecoveredJournal, JournalError> {
         ));
     }
     let header = parse_header(header_text).map_err(JournalError::Header)?;
-    if header.schema != JOURNAL_SCHEMA_VERSION {
+    if header.schema < JOURNAL_MIN_SCHEMA_VERSION || header.schema > JOURNAL_SCHEMA_VERSION {
         return Err(JournalError::Header(format!(
-            "schema version {} (this build reads version {})",
-            header.schema, JOURNAL_SCHEMA_VERSION
+            "schema version {} (this build reads versions {}..={})",
+            header.schema, JOURNAL_MIN_SCHEMA_VERSION, JOURNAL_SCHEMA_VERSION
         )));
     }
 
@@ -246,6 +246,7 @@ mod tests {
                 elapsed: Duration::from_micros(77),
                 stats: SolverCounters::default(),
                 verdicts: Vec::new(),
+                certificate: autocc_bmc::CertificateStatus::Uncertified,
             },
         }
     }
@@ -283,11 +284,33 @@ mod tests {
 
     #[test]
     fn wrong_schema_version_is_rejected() {
+        for schema in [JOURNAL_MIN_SCHEMA_VERSION - 1, JOURNAL_SCHEMA_VERSION + 1] {
+            let mut h = header();
+            h.schema = schema;
+            let bytes = header_line(&h).into_bytes();
+            let err = recover(&bytes).unwrap_err();
+            assert!(err.to_string().contains("schema version"), "{err}");
+        }
+    }
+
+    #[test]
+    fn v2_journals_resume_uncertified_under_v3_readers() {
+        // A v2 journal (no `cert` fields anywhere) is a valid v3 journal:
+        // every row resumes, all of them uncertified.
         let mut h = header();
-        h.schema = JOURNAL_SCHEMA_VERSION + 1;
-        let bytes = header_line(&h).into_bytes();
-        let err = recover(&bytes).unwrap_err();
-        assert!(err.to_string().contains("schema version"), "{err}");
+        h.schema = 2;
+        let mut bytes = header_line(&h).into_bytes();
+        bytes.extend_from_slice(entry_line(&entry("A", 1, 5)).as_bytes());
+        bytes.extend_from_slice(entry_line(&entry("B", 2, 6)).as_bytes());
+        let rec = recover(&bytes).expect("v2 journal resumes");
+        assert_eq!(rec.header.schema, 2);
+        assert_eq!(rec.entries.len(), 2);
+        for e in &rec.entries {
+            assert_eq!(
+                e.report.certificate,
+                autocc_bmc::CertificateStatus::Uncertified
+            );
+        }
     }
 
     #[test]

@@ -14,17 +14,32 @@
 //! [`config_fingerprint`]: autocc_bmc::config_fingerprint
 
 use crate::json::Json;
-use autocc_bmc::{CheckMode, ContentKey, FailureReason, JobFailure, Trace, UnknownCause};
+use autocc_bmc::{
+    certificate_digest, CertificateStatus, CheckMode, ContentKey, FailureReason, JobFailure, Trace,
+    UnknownCause,
+};
 use autocc_core::{AutoCcOutcome, CheckReport, CovertChannelCex, PropertyVerdict, StateDivergence};
 use autocc_hdl::Bv;
 use autocc_telemetry::SolverCounters;
 use std::time::Duration;
 
 /// Version of the journal line format. Bump on any encoding change; the
-/// recovery loader refuses journals from other versions.
+/// recovery loader refuses journals from other versions (except the
+/// additive v2 → v3 step, which v3 readers still accept).
 ///
-/// v2 added the per-property `verdicts` field to check records.
-pub const JOURNAL_SCHEMA_VERSION: u64 = 2;
+/// v2 added the per-property `verdicts` field to check records. v3 added
+/// the optional `cert` field — `[hash, binding]` of a checked certificate,
+/// present only on certified records, where `binding` ties the hash to the
+/// record's content key so a tampered journal cannot re-attach a
+/// certificate to a different check. Uncertified v3 records are
+/// byte-identical to v2 records, and v3 readers resume v2 journals
+/// (every record uncertified).
+pub const JOURNAL_SCHEMA_VERSION: u64 = 3;
+
+/// The oldest schema version v3 readers still resume. v2 records are a
+/// strict subset of v3 records (no `cert` field), so nothing is lost:
+/// the rows simply carry no certificate.
+pub const JOURNAL_MIN_SCHEMA_VERSION: u64 = 2;
 
 /// The journal's first record: schema + campaign-config identity.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -61,7 +76,7 @@ pub struct JournalEntry {
 // Encoding
 // ---------------------------------------------------------------------
 
-fn hex16(v: u64) -> Json {
+pub(crate) fn hex16(v: u64) -> Json {
     Json::Str(format!("{v:016x}"))
 }
 
@@ -108,6 +123,7 @@ pub(crate) fn reason_str(r: FailureReason) -> &'static str {
         FailureReason::WorkerDied => "worker-died",
         FailureReason::MemoryLimit => "memory-limit",
         FailureReason::Quarantined => "quarantined",
+        FailureReason::Certification => "certification",
     }
 }
 
@@ -120,6 +136,7 @@ pub(crate) fn parse_reason(s: &str) -> Option<FailureReason> {
         "worker-died" => FailureReason::WorkerDied,
         "memory-limit" => FailureReason::MemoryLimit,
         "quarantined" => FailureReason::Quarantined,
+        "certification" => FailureReason::Certification,
         _ => return None,
     })
 }
@@ -254,8 +271,13 @@ pub fn header_line(header: &JournalHeader) -> String {
 }
 
 /// Serializes a check record as one newline-terminated JSON line.
+///
+/// Certified records append a `cert` field: `[hash, binding]`, where
+/// `binding = certificate_digest(key, hash)` ties the certificate to this
+/// record's content key. Uncertified records omit the field entirely and
+/// stay byte-identical to the v2 encoding.
 pub fn entry_line(entry: &JournalEntry) -> String {
-    let mut out = Json::Obj(vec![
+    let mut fields = vec![
         ("kind".to_string(), Json::Str("check".to_string())),
         ("key".to_string(), Json::Str(entry.key.to_string())),
         ("id".to_string(), Json::Str(entry.id.clone())),
@@ -275,8 +297,17 @@ pub fn entry_line(entry: &JournalEntry) -> String {
             "verdicts".to_string(),
             verdicts_json(&entry.report.verdicts),
         ),
-    ])
-    .to_string_compact();
+    ];
+    if let CertificateStatus::Certified { hash } = entry.report.certificate {
+        fields.push((
+            "cert".to_string(),
+            Json::Arr(vec![
+                hex16(hash),
+                hex16(certificate_digest(entry.key, hash)),
+            ]),
+        ));
+    }
+    let mut out = Json::Obj(fields).to_string_compact();
     out.push('\n');
     out
 }
@@ -448,7 +479,22 @@ pub fn parse_header(line: &str) -> Result<JournalHeader, String> {
     })
 }
 
+/// Parses the hex payload of one `cert` array element.
+fn parse_cert_word(v: &Json, what: &str) -> Result<u64, String> {
+    v.as_str()
+        .and_then(ContentKey::parse_hex)
+        .map(|k| k.0)
+        .ok_or_else(|| format!("cert {what} is not a 16-hex-digit value"))
+}
+
 /// Decodes a check-record line.
+///
+/// A present `cert` field is verified against the record's content key:
+/// `binding` must equal `certificate_digest(key, hash)`. A mismatch —
+/// a flipped hash, an edited binding, or a certificate copied from a
+/// different record — does not reject the line; it degrades the decoded
+/// report to `FAILED(certification)` so a tampered journal resumes as a
+/// visible failure, never as a certified PASS.
 pub fn parse_entry(line: &str) -> Result<JournalEntry, String> {
     let v = Json::parse(line)?;
     let kind = str_field(&v, "kind")?;
@@ -456,17 +502,46 @@ pub fn parse_entry(line: &str) -> Result<JournalEntry, String> {
         return Err(format!("record has kind `{kind}`, expected `check`"));
     }
     let mode_s = str_field(&v, "mode")?;
+    let key = ContentKey(hex_field(&v, "key")?);
+    let mut outcome = parse_outcome(field(&v, "outcome")?)?;
+    let mut certificate = CertificateStatus::Uncertified;
+    if let Some(cert) = v.get("cert") {
+        let pair = cert.as_arr().ok_or("cert is not a [hash,binding] pair")?;
+        let [hash, binding] = pair else {
+            return Err("cert is not a 2-element array".to_string());
+        };
+        let hash = parse_cert_word(hash, "hash")?;
+        let binding = parse_cert_word(binding, "binding")?;
+        if binding == certificate_digest(key, hash) {
+            certificate = CertificateStatus::Certified { hash };
+        } else {
+            outcome = AutoCcOutcome::Failed {
+                failures: vec![JobFailure {
+                    engine: "journal".to_string(),
+                    property: None,
+                    depth: 0,
+                    reason: FailureReason::Certification,
+                    detail: format!(
+                        "journaled certificate binding does not match key {key} \
+                         (hash {hash:016x}): record tampered or miscopied"
+                    ),
+                    attempts: 1,
+                }],
+            };
+        }
+    }
     Ok(JournalEntry {
-        key: ContentKey(hex_field(&v, "key")?),
+        key,
         id: str_field(&v, "id")?,
         mode: CheckMode::parse(&mode_s).ok_or_else(|| format!("unknown mode `{mode_s}`"))?,
         engine: str_field(&v, "engine")?,
         attempt: u64_field(&v, "attempt")? as u32,
         report: CheckReport {
-            outcome: parse_outcome(field(&v, "outcome")?)?,
+            outcome,
             elapsed: Duration::from_micros(u64_field(&v, "elapsed_us")?),
             stats: parse_counters(field(&v, "stats")?)?,
             verdicts: parse_verdicts(field(&v, "verdicts")?)?,
+            certificate,
         },
     })
 }
@@ -529,6 +604,9 @@ mod tests {
                     ("as__q_eq".to_string(), PropertyVerdict::Cex { depth: 2 }),
                     ("as__r_eq".to_string(), PropertyVerdict::Clean { bound: 1 }),
                 ],
+                certificate: CertificateStatus::Certified {
+                    hash: 0x1122_3344_5566_7788,
+                },
             },
         };
         let line = entry_line(&entry);
@@ -542,6 +620,13 @@ mod tests {
         assert_eq!(cex.diverging_state[0].name, "bank0");
         assert_eq!(decoded.report.elapsed, Duration::from_micros(12345));
         assert_eq!(decoded.report.stats.conflicts, 99);
+        assert_eq!(
+            decoded.report.certificate,
+            CertificateStatus::Certified {
+                hash: 0x1122_3344_5566_7788
+            },
+            "a valid binding restores the certificate"
+        );
     }
 
     #[test]
@@ -581,7 +666,7 @@ mod tests {
     fn pinned_bytes_guard_the_schema() {
         // Byte-exact golden lines: if this test fails, the on-disk format
         // changed — bump JOURNAL_SCHEMA_VERSION and update the goldens.
-        assert_eq!(JOURNAL_SCHEMA_VERSION, 2);
+        assert_eq!(JOURNAL_SCHEMA_VERSION, 3);
         let header = JournalHeader {
             schema: JOURNAL_SCHEMA_VERSION,
             fingerprint: 0x0123_4567_89ab_cdef,
@@ -589,9 +674,49 @@ mod tests {
         };
         assert_eq!(
             header_line(&header),
-            "{\"kind\":\"header\",\"schema\":2,\"fingerprint\":\"0123456789abcdef\",\
+            "{\"kind\":\"header\",\"schema\":3,\"fingerprint\":\"0123456789abcdef\",\
              \"root\":\"table1\"}\n"
         );
+        let mut entry = JournalEntry {
+            key: ContentKey(0xfeed_face_cafe_f00d),
+            id: "V5".to_string(),
+            mode: CheckMode::Check,
+            engine: "portfolio".to_string(),
+            attempt: 1,
+            report: CheckReport {
+                outcome: AutoCcOutcome::Clean { bound: 20 },
+                elapsed: Duration::from_micros(250),
+                stats: SolverCounters::default(),
+                verdicts: vec![("as__q_eq".to_string(), PropertyVerdict::Clean { bound: 20 })],
+                certificate: CertificateStatus::Uncertified,
+            },
+        };
+        // Uncertified records are byte-identical to the v2 encoding.
+        let v2_line = "{\"kind\":\"check\",\"key\":\"feedfacecafef00d\",\"id\":\"V5\",\
+             \"mode\":\"check\",\"engine\":\"portfolio\",\"attempt\":1,\
+             \"elapsed_us\":250,\"stats\":[0,0,0,0,0,0,0],\
+             \"outcome\":{\"kind\":\"clean\",\"bound\":20},\
+             \"verdicts\":[[\"as__q_eq\",\"clean\",20]]}\n";
+        assert_eq!(entry_line(&entry), v2_line);
+        let decoded = parse_entry(v2_line.trim_end()).expect("v2 line decodes");
+        assert_eq!(decoded.report.certificate, CertificateStatus::Uncertified);
+        // Certified records append `cert`: [hash, binding(key, hash)].
+        entry.report.certificate = CertificateStatus::Certified {
+            hash: 0x1122_3344_5566_7788,
+        };
+        assert_eq!(
+            entry_line(&entry),
+            "{\"kind\":\"check\",\"key\":\"feedfacecafef00d\",\"id\":\"V5\",\
+             \"mode\":\"check\",\"engine\":\"portfolio\",\"attempt\":1,\
+             \"elapsed_us\":250,\"stats\":[0,0,0,0,0,0,0],\
+             \"outcome\":{\"kind\":\"clean\",\"bound\":20},\
+             \"verdicts\":[[\"as__q_eq\",\"clean\",20]],\
+             \"cert\":[\"1122334455667788\",\"f18b8e5871770321\"]}\n"
+        );
+    }
+
+    #[test]
+    fn flipped_cert_hash_degrades_to_failed_certification() {
         let entry = JournalEntry {
             key: ContentKey(0xfeed_face_cafe_f00d),
             id: "V5".to_string(),
@@ -603,16 +728,47 @@ mod tests {
                 elapsed: Duration::from_micros(250),
                 stats: SolverCounters::default(),
                 verdicts: vec![("as__q_eq".to_string(), PropertyVerdict::Clean { bound: 20 })],
+                certificate: CertificateStatus::Certified {
+                    hash: 0x1122_3344_5566_7788,
+                },
             },
         };
-        assert_eq!(
-            entry_line(&entry),
-            "{\"kind\":\"check\",\"key\":\"feedfacecafef00d\",\"id\":\"V5\",\
-             \"mode\":\"check\",\"engine\":\"portfolio\",\"attempt\":1,\
-             \"elapsed_us\":250,\"stats\":[0,0,0,0,0,0,0],\
-             \"outcome\":{\"kind\":\"clean\",\"bound\":20},\
-             \"verdicts\":[[\"as__q_eq\",\"clean\",20]]}\n"
+        let line = entry_line(&entry);
+        // Flip one digit of the journaled certificate hash; the binding
+        // no longer matches, so the row must resume as FAILED, not PASS.
+        let tampered = line.replace("1122334455667788", "f122334455667788");
+        assert_ne!(tampered, line, "tamper target present in the line");
+        let decoded = parse_entry(tampered.trim_end()).expect("tampered line still decodes");
+        assert_eq!(decoded.report.certificate, CertificateStatus::Uncertified);
+        match &decoded.report.outcome {
+            AutoCcOutcome::Failed { failures } => {
+                assert_eq!(failures[0].reason, FailureReason::Certification);
+                assert!(
+                    failures[0].detail.contains("binding"),
+                    "{}",
+                    failures[0].detail
+                );
+            }
+            other => panic!("tampered certificate must degrade the row, got {other:?}"),
+        }
+        // Re-binding the certificate to a different record's key must
+        // fail the same way: the binding covers the content key.
+        let mut moved = parse_entry(line.trim_end()).expect("decode");
+        moved.key = ContentKey(0x0bad_0bad_0bad_0bad);
+        let moved_line = entry_line(&moved);
+        let reattached = line
+            .trim_end()
+            .replace("feedfacecafef00d", "0bad0bad0bad0bad");
+        assert_ne!(
+            moved_line.trim_end(),
+            reattached,
+            "binding moved with the key"
         );
+        let decoded = parse_entry(&reattached).expect("decode");
+        assert!(matches!(
+            decoded.report.outcome,
+            AutoCcOutcome::Failed { .. }
+        ));
     }
 
     #[test]
@@ -623,6 +779,15 @@ mod tests {
             "{\"kind\":\"check\",\"key\":\"zz\",\"id\":\"a\",\"mode\":\"check\",\
              \"engine\":\"e\",\"attempt\":1,\"elapsed_us\":0,\
              \"stats\":[0,0,0,0,0,0,0],\"outcome\":{\"kind\":\"clean\",\"bound\":1}}",
+            // Malformed cert payloads are corruption, not tampering.
+            "{\"kind\":\"check\",\"key\":\"0000000000000001\",\"id\":\"a\",\
+             \"mode\":\"check\",\"engine\":\"e\",\"attempt\":1,\"elapsed_us\":0,\
+             \"stats\":[0,0,0,0,0,0,0],\"outcome\":{\"kind\":\"clean\",\"bound\":1},\
+             \"verdicts\":[],\"cert\":\"not-a-pair\"}",
+            "{\"kind\":\"check\",\"key\":\"0000000000000001\",\"id\":\"a\",\
+             \"mode\":\"check\",\"engine\":\"e\",\"attempt\":1,\"elapsed_us\":0,\
+             \"stats\":[0,0,0,0,0,0,0],\"outcome\":{\"kind\":\"clean\",\"bound\":1},\
+             \"verdicts\":[],\"cert\":[\"xyz\",\"0000000000000000\"]}",
         ] {
             assert!(parse_entry(bad).is_err(), "accepted {bad}");
         }

@@ -3,7 +3,7 @@
 //! entry, reports exactly the torn tail, and that a resumed journal
 //! heals the file so the lost check can be recommitted.
 
-use autocc_bmc::{CheckMode, ContentKey};
+use autocc_bmc::{CertificateStatus, CheckMode, ContentKey};
 use autocc_core::{AutoCcOutcome, CheckReport, PropertyVerdict};
 use autocc_journal::{
     entry_line, header_line, recover, Journal, JournalEntry, JournalHeader, JOURNAL_SCHEMA_VERSION,
@@ -44,6 +44,11 @@ fn entry(n: u64) -> JournalEntry {
                     bound: 8 + n as usize,
                 },
             )],
+            // A certificate makes the sweep also cut through the trailing
+            // `cert` field (hash and binding bytes).
+            certificate: CertificateStatus::Certified {
+                hash: 0xc0de_0000_0000_0000 + n,
+            },
         },
     }
 }
@@ -72,6 +77,14 @@ fn truncation_at_every_offset_keeps_exactly_the_intact_entries() {
         assert_eq!(entry_line(&recovered.entries[0]), entry_line(&entry(1)));
         assert_eq!(entry_line(&recovered.entries[1]), entry_line(&entry(2)));
         assert_eq!(recovered.header, header());
+        // Intact certified records keep their certificate through
+        // recovery; the torn record's certificate dies with it.
+        for (i, e) in recovered.entries.iter().enumerate() {
+            assert!(
+                e.report.certificate.is_certified(),
+                "entry {i}, kept={kept}"
+            );
+        }
     }
 }
 

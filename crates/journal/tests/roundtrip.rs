@@ -3,7 +3,9 @@
 //! decodes to a value whose re-encoding is byte-identical. The encoding
 //! is canonical, so re-encoded equality is full structural equality.
 
-use autocc_bmc::{CheckMode, ContentKey, FailureReason, JobFailure, Trace, UnknownCause};
+use autocc_bmc::{
+    CertificateStatus, CheckMode, ContentKey, FailureReason, JobFailure, Trace, UnknownCause,
+};
 use autocc_core::{AutoCcOutcome, CheckReport, CovertChannelCex, PropertyVerdict, StateDivergence};
 use autocc_hdl::Bv;
 use autocc_journal::{
@@ -63,6 +65,14 @@ fn arb_reason() -> impl Strategy<Value = FailureReason> {
         Just(FailureReason::InternalInconsistency),
         Just(FailureReason::Panic),
         Just(FailureReason::Hang),
+        Just(FailureReason::Certification),
+    ]
+}
+
+fn arb_certificate() -> impl Strategy<Value = CertificateStatus> {
+    prop_oneof![
+        Just(CertificateStatus::Uncertified),
+        any::<u64>().prop_map(|hash| CertificateStatus::Certified { hash }),
     ]
 }
 
@@ -151,10 +161,14 @@ fn arb_entry() -> impl Strategy<Value = JournalEntry> {
             any::<u64>(),
             arb_counters(),
             vec(arb_verdict(), 0..4),
+            arb_certificate(),
         ),
     )
         .prop_map(
-            |((key, id, mode, engine, attempt), (outcome, elapsed_us, stats, verdicts))| {
+            |(
+                (key, id, mode, engine, attempt),
+                (outcome, elapsed_us, stats, verdicts, certificate),
+            )| {
                 JournalEntry {
                     key: ContentKey(key),
                     id,
@@ -166,6 +180,7 @@ fn arb_entry() -> impl Strategy<Value = JournalEntry> {
                         elapsed: Duration::from_micros(elapsed_us),
                         stats,
                         verdicts,
+                        certificate,
                     },
                 }
             },
@@ -181,6 +196,9 @@ proptest! {
         let decoded = parse_entry(&line)
             .unwrap_or_else(|e| panic!("parse failed: {e}\nline: {line}"));
         prop_assert_eq!(entry_line(&decoded), line);
+        // The binding is recomputed from the record's own key, so a
+        // faithful copy always restores the certificate exactly.
+        prop_assert_eq!(decoded.report.certificate, entry.report.certificate);
     }
 
     #[test]

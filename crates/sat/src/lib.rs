@@ -19,6 +19,10 @@
 //! * Activity/LBD-driven learnt-clause database reduction.
 //! * Incremental solving under assumptions with failed-assumption cores —
 //!   this is what makes iterative BMC deepening cheap.
+//! * DRAT proof logging with a self-contained forward RUP checker, so
+//!   every `Unsat` answer (the paper's PASS verdicts) can be certified
+//!   independently of the search code ([`Solver::enable_proof_logging`],
+//!   [`DratChecker`]).
 //! * DIMACS I/O and a brute-force reference solver for differential testing.
 //!
 //! ## Example
@@ -45,10 +49,15 @@ mod clause;
 mod dimacs;
 mod heap;
 mod lit;
+mod proof;
 mod solver;
 
 pub use brute::{check_model, solve_brute_force, BRUTE_FORCE_VAR_LIMIT};
 pub use clause::{Clause, ClauseDb, ClauseRef};
 pub use dimacs::{Cnf, ParseDimacsError};
 pub use lit::{LBool, Lit, Var};
+pub use proof::{
+    proof_from_bytes, proof_hash, proof_to_bytes, DratChecker, ParseProofError, ProofError,
+    ProofHasher, ProofStep,
+};
 pub use solver::{ProgressHook, SolveResult, Solver, Stats};

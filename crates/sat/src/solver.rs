@@ -18,6 +18,7 @@
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
 use crate::lit::{LBool, Lit, Var};
+use crate::proof::ProofStep;
 use std::time::Instant;
 
 /// Outcome of a [`Solver::solve`] call.
@@ -159,6 +160,16 @@ pub struct Solver {
     /// Conflicts since the last poll.
     conflicts_since_poll: u64,
     stats: Stats,
+    /// DRAT transcript buffer; `None` while proof logging is disabled.
+    /// Logging only appends to this buffer, so search behaviour (and every
+    /// statistic) is bit-identical with or without it.
+    proof: Option<Vec<ProofStep>>,
+    /// Certificate clause of the most recent [`SolveResult::Unsat`] answer:
+    /// the negation of the failed-assumption core (empty for unconditional
+    /// unsatisfiability). `None` after any other answer — in particular a
+    /// [`SolveResult::Stopped`] or [`SolveResult::Unknown`] solve leaves no
+    /// stale certificate for a later caller to mistake as proven.
+    last_unsat: Option<Vec<Lit>>,
 }
 
 impl Default for Solver {
@@ -197,6 +208,66 @@ impl Solver {
             poll_interval: DEFAULT_POLL_INTERVAL,
             conflicts_since_poll: 0,
             stats: Stats::default(),
+            proof: None,
+            last_unsat: None,
+        }
+    }
+
+    /// Switches DRAT proof logging on. From here on, every clause event
+    /// (original additions, learnt additions, reduction deletions) is
+    /// recorded as a [`ProofStep`]; drain the transcript with
+    /// [`Solver::take_proof_steps`]. Clauses added *before* enabling are
+    /// retro-logged from [`Solver::dump_original`], so the transcript is
+    /// self-contained as long as no search has happened yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solver has already searched (conflicts or learnt
+    /// clauses exist) or is already root-level unsatisfiable — transcripts
+    /// started there would be missing derivation steps.
+    pub fn enable_proof_logging(&mut self) {
+        assert!(
+            self.ok && self.stats.conflicts == 0 && self.learnts.is_empty(),
+            "proof logging must be enabled before any search"
+        );
+        if self.proof.is_some() {
+            return;
+        }
+        let originals = self.dump_original();
+        self.proof = Some(originals.into_iter().map(ProofStep::Original).collect());
+    }
+
+    /// Whether DRAT proof logging is enabled.
+    pub fn proof_logging_enabled(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    /// Drains the DRAT transcript accumulated since the last drain (empty
+    /// when logging is disabled). Feed the steps, in order, to a
+    /// [`crate::DratChecker`] that persists across drains.
+    pub fn take_proof_steps(&mut self) -> Vec<ProofStep> {
+        match &mut self.proof {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
+    }
+
+    /// After a [`SolveResult::Unsat`] answer, the certificate clause: the
+    /// negation of the failed-assumption core, empty for unconditional
+    /// unsatisfiability. Validate it with
+    /// [`crate::DratChecker::check_certificate`] once the transcript is
+    /// applied. `None` after Sat/Unknown/Stopped answers.
+    pub fn unsat_certificate(&self) -> Option<&[Lit]> {
+        self.last_unsat.as_deref()
+    }
+
+    /// Appends an arbitrary step to the proof transcript (no-op while
+    /// logging is disabled). Test hook for tamper-rejection coverage; never
+    /// called by the solver itself.
+    #[doc(hidden)]
+    pub fn inject_proof_step(&mut self, step: ProofStep) {
+        if let Some(buf) = &mut self.proof {
+            buf.push(step);
         }
     }
 
@@ -347,6 +418,12 @@ impl Solver {
                 LBool::Undef => cleaned.push(l),
             }
             prev = Some(l);
+        }
+        // Log the deduplicated clause *before* root-level stripping: the
+        // checker re-derives the stripped literals' falsity itself, so the
+        // stored (stripped) clause propagates identically on its side.
+        if let Some(buf) = &mut self.proof {
+            buf.push(ProofStep::Original(sorted));
         }
         match cleaned.len() {
             0 => {
@@ -670,6 +747,12 @@ impl Solver {
             if i < keep_from || locked || c.len() <= 2 || c.lbd <= 2 {
                 kept.push(cref);
             } else {
+                if self.proof.is_some() {
+                    let lits = self.clauses.get(cref).lits().to_vec();
+                    if let Some(buf) = &mut self.proof {
+                        buf.push(ProofStep::Delete(lits));
+                    }
+                }
                 self.detach(cref);
                 self.clauses.remove(cref);
                 self.stats.deleted_clauses += 1;
@@ -708,7 +791,9 @@ impl Solver {
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.stats.solve_calls += 1;
         self.conflict_core.clear();
+        self.last_unsat = None;
         if !self.ok {
+            self.last_unsat = Some(Vec::new());
             return SolveResult::Unsat;
         }
         // An already-expired deadline or already-fired hook stops the solve
@@ -737,6 +822,10 @@ impl Solver {
                     return SolveResult::Sat;
                 }
                 SearchOutcome::Unsat => {
+                    // Certificate clause: negation of the failed-assumption
+                    // core; empty (= the empty clause) for unconditional
+                    // unsatisfiability.
+                    self.last_unsat = Some(self.conflict_core.iter().map(|&l| !l).collect());
                     self.cancel_until(0);
                     return SolveResult::Unsat;
                 }
@@ -837,6 +926,11 @@ impl Solver {
     }
 
     fn backjump_and_learn(&mut self, learnt: Vec<Lit>, bt_level: usize) {
+        // Every learnt clause — including root-level units — is a trivial
+        // resolvent of live clauses, hence RUP: log it as a DRAT addition.
+        if let Some(buf) = &mut self.proof {
+            buf.push(ProofStep::Add(learnt.clone()));
+        }
         self.cancel_until(bt_level);
         if learnt.len() == 1 {
             self.unchecked_enqueue(learnt[0], None);
@@ -1170,5 +1264,186 @@ mod tests {
         assert!(s.add_clause(&[lit(&v, 2), lit(&v, 2)])); // dedup to unit
         assert_eq!(s.solve(), SolveResult::Sat);
         assert_eq!(s.value(v[1]), Some(true));
+    }
+
+    mod proof {
+        use super::*;
+        use crate::proof::{DratChecker, ProofStep};
+
+        /// Drains the transcript into `checker` and validates the solver's
+        /// current certificate against it.
+        fn certify(s: &mut Solver, checker: &mut DratChecker, assumptions: &[Lit]) {
+            let steps = s.take_proof_steps();
+            assert!(!steps.is_empty() || checker.steps() > 0, "transcript empty");
+            checker.apply_all(&steps).expect("transcript must check");
+            let cert = s
+                .unsat_certificate()
+                .expect("Unsat answers carry a certificate")
+                .to_vec();
+            checker
+                .check_certificate(assumptions, &cert)
+                .expect("certificate must check");
+        }
+
+        #[test]
+        fn pigeonhole_unsat_produces_a_checkable_proof() {
+            // PHP(6) forces real search: learning, minimisation, restarts.
+            let holes = 5;
+            let mut s = Solver::new();
+            s.enable_proof_logging();
+            let vars: Vec<Var> = (0..6 * holes).map(|_| s.new_var()).collect();
+            let p = |i: usize, j: usize| vars[i * holes + j].positive();
+            for i in 0..6 {
+                let row: Vec<Lit> = (0..holes).map(|j| p(i, j)).collect();
+                s.add_clause(&row);
+            }
+            for j in 0..holes {
+                for a in 0..6 {
+                    for b in (a + 1)..6 {
+                        s.add_clause(&[!p(a, j), !p(b, j)]);
+                    }
+                }
+            }
+            assert_eq!(s.solve(), SolveResult::Unsat);
+            let mut checker = DratChecker::new();
+            certify(&mut s, &mut checker, &[]);
+            assert!(checker.root_conflict());
+        }
+
+        #[test]
+        fn database_reduction_deletions_keep_the_proof_checkable() {
+            // A learnt-clause budget low enough to force reduce_db during
+            // the solve, exercising Delete steps mid-transcript.
+            let base = pigeonhole(7);
+            let mut logged = Solver::new();
+            logged.enable_proof_logging();
+            for _ in 0..base.num_vars() {
+                logged.new_var();
+            }
+            for c in base.dump_original() {
+                logged.add_clause(&c);
+            }
+            logged.max_learnts = 16.0; // force frequent database reductions
+            assert_eq!(logged.solve(), SolveResult::Unsat);
+            assert!(
+                logged.stats().deleted_clauses > 0,
+                "test must exercise the deletion path"
+            );
+            let mut checker = DratChecker::new();
+            certify(&mut logged, &mut checker, &[]);
+        }
+
+        #[test]
+        fn assumption_unsat_certificates_check_incrementally() {
+            let mut s = Solver::new();
+            s.enable_proof_logging();
+            let a = s.new_var().positive();
+            let b = s.new_var().positive();
+            s.add_clause(&[a, b]);
+            let mut checker = DratChecker::new();
+
+            // Solve 1: UNSAT under assumptions; core certificate.
+            assert_eq!(s.solve_with(&[!a, !b]), SolveResult::Unsat);
+            certify(&mut s, &mut checker, &[!a, !b]);
+
+            // Solve 2: SAT — no certificate.
+            assert_eq!(s.solve_with(&[!a]), SolveResult::Sat);
+            assert!(s.unsat_certificate().is_none());
+            checker.apply_all(&s.take_proof_steps()).unwrap();
+
+            // Solve 3: clause added between solves, unconditional UNSAT.
+            s.add_clause(&[!a]);
+            s.add_clause(&[!b]);
+            assert_eq!(s.solve(), SolveResult::Unsat);
+            certify(&mut s, &mut checker, &[]);
+
+            // Solve 4: root-level unsat fast path still certifies.
+            assert_eq!(s.solve(), SolveResult::Unsat);
+            certify(&mut s, &mut checker, &[]);
+        }
+
+        #[test]
+        fn stopped_and_unknown_solves_leave_no_certificate() {
+            let mut s = Solver::new();
+            s.enable_proof_logging();
+            let built = pigeonhole(7);
+            for _ in 0..built.num_vars() {
+                s.new_var();
+            }
+            for c in built.dump_original() {
+                s.add_clause(&c);
+            }
+            // Unknown: budget exhausted.
+            s.set_conflict_budget(Some(3));
+            assert_eq!(s.solve(), SolveResult::Unknown);
+            assert!(s.unsat_certificate().is_none());
+            // Stopped: pre-fired interrupt.
+            s.set_conflict_budget(None);
+            s.set_interrupt_hook(Some(Box::new(|| true)));
+            assert_eq!(s.solve(), SolveResult::Stopped);
+            assert!(s.unsat_certificate().is_none());
+            // The interrupted solves' learnt clauses stay in the transcript;
+            // a later completed solve still certifies end to end.
+            s.set_interrupt_hook(None);
+            assert_eq!(s.solve(), SolveResult::Unsat);
+            let mut checker = DratChecker::new();
+            certify(&mut s, &mut checker, &[]);
+        }
+
+        #[test]
+        fn logging_never_alters_the_search() {
+            let mut plain = pigeonhole(7);
+            let mut logged = Solver::new();
+            logged.enable_proof_logging();
+            for _ in 0..plain.num_vars() {
+                logged.new_var();
+            }
+            for c in plain.dump_original() {
+                logged.add_clause(&c);
+            }
+            assert_eq!(plain.solve(), SolveResult::Unsat);
+            assert_eq!(logged.solve(), SolveResult::Unsat);
+            assert_eq!(plain.stats(), logged.stats());
+        }
+
+        #[test]
+        fn retro_logging_captures_clauses_added_before_enabling() {
+            let mut s = Solver::new();
+            let a = s.new_var().positive();
+            let b = s.new_var().positive();
+            s.add_clause(&[a, b]);
+            s.add_clause(&[!a]);
+            s.enable_proof_logging();
+            s.add_clause(&[!b]);
+            assert_eq!(s.solve(), SolveResult::Unsat);
+            let mut checker = DratChecker::new();
+            certify(&mut s, &mut checker, &[]);
+        }
+
+        #[test]
+        fn injected_non_rup_step_is_rejected_by_the_checker() {
+            let mut s = Solver::new();
+            s.enable_proof_logging();
+            let a = s.new_var().positive();
+            let b = s.new_var().positive();
+            s.add_clause(&[a, b]);
+            // A clause no resolution derives: the checker must refuse it.
+            s.inject_proof_step(ProofStep::Add(vec![!b]));
+            let steps = s.take_proof_steps();
+            let mut checker = DratChecker::new();
+            assert!(checker.apply_all(&steps).is_err());
+        }
+
+        #[test]
+        fn take_proof_steps_is_empty_when_logging_is_disabled() {
+            let mut s = Solver::new();
+            let a = s.new_var().positive();
+            s.add_clause(&[a]);
+            assert!(!s.proof_logging_enabled());
+            assert_eq!(s.solve_with(&[!a]), SolveResult::Unsat);
+            assert!(s.take_proof_steps().is_empty());
+            // Certificates are still produced — only the transcript is off.
+            assert_eq!(s.unsat_certificate(), Some(&[a][..]));
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Differential tests: CDCL vs exhaustive enumeration on random formulas.
 
-use autocc_sat::{check_model, solve_brute_force, Cnf, Lit, SolveResult, Var};
+use autocc_sat::{check_model, solve_brute_force, Cnf, DratChecker, Lit, SolveResult, Solver, Var};
 use proptest::prelude::*;
 
 /// Strategy producing a random CNF with up to `max_vars` variables.
@@ -84,6 +84,70 @@ proptest! {
                 solve_brute_force(&core_cnf).is_none(),
                 "failed-assumption core is not actually inconsistent"
             );
+        }
+    }
+
+    /// Certification closure of the solver: with proof logging on, every
+    /// UNSAT answer must emit a transcript the forward RUP checker accepts
+    /// plus a certificate that validates against the assumptions, and every
+    /// SAT answer must return a model `check_model` accepts. Solves run as
+    /// an incremental sequence (assumptions, then unconditioned) against
+    /// one persistent checker, covering the learnt-clause minimisation and
+    /// incremental paths where a logging gap would hide.
+    #[test]
+    fn proofs_certify_every_unsat(
+        cnf in arb_cnf(9, 36),
+        asmpt in proptest::collection::vec((0..9usize, any::<bool>()), 0..4),
+    ) {
+        let mut solver = Solver::new();
+        solver.enable_proof_logging();
+        let vars: Vec<Var> = (0..cnf.num_vars).map(|_| solver.new_var()).collect();
+        for clause in &cnf.clauses {
+            solver.add_clause(clause);
+        }
+        let assumptions: Vec<Lit> = asmpt
+            .into_iter()
+            .filter(|(v, _)| *v < cnf.num_vars)
+            .map(|(v, pos)| Lit::new(Var::from_index(v), pos))
+            .collect();
+
+        let mut checker = DratChecker::new();
+        for pass in 0..2 {
+            let asms: Vec<Lit> = if pass == 0 { assumptions.clone() } else { Vec::new() };
+            let result = solver.solve_with(&asms);
+            // The transcript must always check, answer or no answer.
+            let steps = solver.take_proof_steps();
+            if let Err(e) = checker.apply_all(&steps) {
+                prop_assert!(false, "transcript rejected on pass {pass}: {e}");
+            }
+            match result {
+                SolveResult::Sat => {
+                    prop_assert!(solver.unsat_certificate().is_none());
+                    let model: Vec<bool> = vars
+                        .iter()
+                        .map(|&v| solver.value(v).unwrap_or(false))
+                        .collect();
+                    prop_assert!(check_model(&cnf, &model), "model fails the formula");
+                    for l in &asms {
+                        prop_assert!(
+                            model[l.var().index()] == l.is_positive(),
+                            "model violates assumption {l:?}"
+                        );
+                    }
+                }
+                SolveResult::Unsat => {
+                    let cert = solver
+                        .unsat_certificate()
+                        .expect("UNSAT answers carry a certificate")
+                        .to_vec();
+                    if let Err(e) = checker.check_certificate(&asms, &cert) {
+                        prop_assert!(false, "certificate rejected on pass {pass}: {e}");
+                    }
+                }
+                SolveResult::Unknown | SolveResult::Stopped => {
+                    prop_assert!(false, "no budget or interrupt was set");
+                }
+            }
         }
     }
 

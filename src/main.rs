@@ -7,11 +7,17 @@
 //! autocc <dut> [--depth N] [--threshold N] [--jobs N] [--slice on|off]
 //!              [--retries N] [--timeout SECS] [--poll-interval N]
 //!              [--isolate] [--memory-limit-mb N] [--worker-heartbeat-ms N]
-//!              [--profile FILE]
+//!              [--certify] [--profile FILE]
 //!              [--journal FILE] [--resume | --fresh]
 //!              [--prove] [--minimize] [--sva] [--verilog] [--vcd FILE]
 //!              [--list]
 //! ```
+//!
+//! `--certify` makes every verdict independently checkable: UNSAT-backed
+//! answers (CLEAN, PROVED) carry a DRAT proof checked by a self-contained
+//! forward RUP checker, and counterexamples carry their replay-validated
+//! trace hash. A missing or failed certificate degrades the verdict to
+//! FAILED (certification) — never to a silent PASS.
 //!
 //! Checks run through the portfolio scheduler: one check-engine job per
 //! generated assertion, fanned across `--jobs` worker threads, each
@@ -26,7 +32,8 @@
 
 use autocc::bench::{maybe_run_worker, ProcEngine, WorkerLimits, WorkerPool};
 use autocc::bmc::{
-    config_fingerprint, content_key, CheckConfig, CheckMode, Granularity, Isolation,
+    config_fingerprint, content_key, CertificateStatus, CheckConfig, CheckMode, Granularity,
+    Isolation,
 };
 use autocc::core::{
     format_duration, to_sva, AutoCcOutcome, CheckReport, FpvTestbench, FtSpec, PropertyVerdict,
@@ -78,6 +85,7 @@ struct Args {
     isolate: bool,
     memory_limit_mb: Option<u64>,
     worker_heartbeat_ms: Option<u64>,
+    certify: bool,
     prove: bool,
     minimize: bool,
     dump_sva: bool,
@@ -92,7 +100,7 @@ fn usage() -> ExitCode {
     eprintln!("              [--cluster-overlap FRACTION]");
     eprintln!("              [--poll-interval N] [--profile FILE]");
     eprintln!("              [--isolate] [--memory-limit-mb N] [--worker-heartbeat-ms N]");
-    eprintln!("              [--journal FILE] [--resume | --fresh]");
+    eprintln!("              [--certify] [--journal FILE] [--resume | --fresh]");
     eprintln!("              [--prove] [--minimize]");
     eprintln!("              [--sva] [--verilog] [--vcd FILE]");
     eprintln!("       autocc --list");
@@ -119,6 +127,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         isolate: false,
         memory_limit_mb: None,
         worker_heartbeat_ms: None,
+        certify: false,
         prove: false,
         minimize: false,
         dump_sva: false,
@@ -185,6 +194,7 @@ fn parse_args() -> Result<Args, ExitCode> {
                     .ok_or_else(usage)?;
             }
             "--isolate" => args.isolate = true,
+            "--certify" => args.certify = true,
             "--memory-limit-mb" => {
                 args.memory_limit_mb = Some(
                     argv.next()
@@ -391,6 +401,9 @@ fn report(ft: &FpvTestbench, run: &CheckReport, minimize: bool, vcd: &Option<Str
             }
         }
     }
+    if let CertificateStatus::Certified { hash } = run.certificate {
+        println!("certificate: {hash:016x} (independently checked)");
+    }
     // At `--granularity register` the attribution properties name the
     // state bits that survive an input-quiesced context switch — the
     // candidate storage of any channel. Per-bit verdicts are aggregated
@@ -532,7 +545,21 @@ fn run_journaled(
         ));
     };
     let attempt = cached.as_ref().map_or(1, |e| e.attempt + 1);
-    if let Some(entry) = &cached {
+    // Under --certify a conclusive cached verdict must carry its
+    // certificate; a row journaled by an uncertified run re-runs live to
+    // mint one rather than being served as if it were certified.
+    let conclusive_uncertified = cached.as_ref().is_some_and(|e| {
+        args.certify
+            && matches!(
+                e.report.outcome,
+                AutoCcOutcome::Cex(_) | AutoCcOutcome::Clean { .. } | AutoCcOutcome::Proved { .. }
+            )
+            && !e.report.certificate.is_certified()
+    });
+    if conclusive_uncertified {
+        println!("journal: cached result has no certificate; re-running under --certify ({key})");
+    }
+    if let Some(entry) = cached.as_ref().filter(|_| !conclusive_uncertified) {
         match &entry.report.outcome {
             AutoCcOutcome::Cex(cex) => {
                 // Never trust a cached counterexample: replay-certify it
@@ -550,6 +577,7 @@ fn run_journaled(
                             elapsed: entry.report.elapsed,
                             stats: entry.report.stats,
                             verdicts: entry.report.verdicts.clone(),
+                            certificate: entry.report.certificate,
                         });
                     }
                     Err(failure) => eprintln!(
@@ -628,7 +656,8 @@ fn main() -> ExitCode {
         .slice(args.slice)
         .granularity(args.granularity)
         .retries(args.retries)
-        .poll_interval(args.poll_interval);
+        .poll_interval(args.poll_interval)
+        .certify(args.certify);
     if let Some(overlap) = args.cluster_overlap {
         config = config.cluster_overlap(overlap);
     }
