@@ -12,7 +12,9 @@ const USAGE: &str = "usage: report_aes_proof [--jobs N] [--slice on|off]
   --retries N       retry panicked engine jobs up to N times (default 1)
   --timeout SECS    wall-clock budget per check job (degrades to UNKNOWN)
   --poll-interval N solver conflicts between deadline polls (default 128)
-  --profile PATH    write a JSON run profile (span tree + rollups)";
+  --profile PATH    write a JSON run profile (span tree + rollups)
+As `report_aes_proof worker --connect HOST:PORT [--backoff-ms N]
+[--backoff-max-ms N] [--max-retries N]`, serves a remote fleet instead.";
 
 fn main() {
     autocc_bench::maybe_run_worker();

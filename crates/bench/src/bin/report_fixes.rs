@@ -11,7 +11,9 @@ const USAGE: &str = "usage: report_fixes [--jobs N] [--slice on|off] [--stable] 
                      [--depth N] [--profile PATH]
                      [--journal PATH] [--resume | --fresh] [--retry-failed]
                      [--hang-factor N] [--isolate] [--memory-limit-mb N]
-                     [--worker-heartbeat-ms N]
+                     [--worker-heartbeat-ms N] [--listen ADDR]
+                     [--lease-factor N] [--fleet-grace-ms N]
+                     [--fleet-lease-ms N]
   --jobs N          fan experiments across N portfolio workers (default 1)
   --slice on|off    per-property cone-of-influence slicing (default off)
   --stable          omit the Time column (byte-reproducible output)
@@ -30,7 +32,17 @@ const USAGE: &str = "usage: report_fixes [--jobs N] [--slice on|off] [--stable] 
   --isolate         run each check attempt in a supervised worker subprocess
   --memory-limit-mb N  kill (and quarantine repeat offenders) any worker
                     whose RSS exceeds N MiB (needs --isolate)
-  --worker-heartbeat-ms N  isolated-worker heartbeat period (default 250)";
+  --worker-heartbeat-ms N  isolated-worker heartbeat period (default 250)
+  --listen ADDR     accept remote `worker --connect` processes on ADDR and
+                    dispatch checks to them under lease-based ownership;
+                    degrades to local workers when the fleet drains
+  --lease-factor N  remote lease = time budget x N x property count
+                    (default 4)
+  --fleet-grace-ms N  with zero workers connected, fall back to local
+                    execution after this long (default 2000)
+  --fleet-lease-ms N  fixed remote lease in ms (overrides --lease-factor)
+As `report_fixes worker --connect HOST:PORT [--backoff-ms N]
+[--backoff-max-ms N] [--max-retries N]`, serves a remote fleet instead.";
 
 fn main() {
     autocc_bench::maybe_run_worker();
@@ -52,6 +64,7 @@ fn main() {
     if let Some(summary) = failure_summary(&outcome.rows) {
         eprintln!("\n{summary}");
     }
+    autocc_bench::finish_fleet(&options);
     finish_profile(&sink);
     std::process::exit(report_exit_code(&outcome.rows));
 }

@@ -13,6 +13,8 @@ const USAGE: &str = "usage: report_table2 [--jobs N] [--slice on|off] [--stable]
                      [--journal PATH] [--resume | --fresh] [--retry-failed]
                      [--hang-factor N] [--isolate] [--memory-limit-mb N]
                      [--worker-heartbeat-ms N] [--certify]
+                     [--listen ADDR] [--lease-factor N]
+                     [--fleet-grace-ms N] [--fleet-lease-ms N]
   --jobs N          fan ladder stages across N portfolio workers (default 1)
   --slice on|off    per-property cone-of-influence slicing (default off)
   --granularity G   property decomposition: monolithic (default), output
@@ -40,7 +42,17 @@ const USAGE: &str = "usage: report_table2 [--jobs N] [--slice on|off] [--stable]
   --certify         demand an independently checked certificate for every
                     conclusive verdict (DRAT proof for UNSAT answers,
                     replayed trace for CEXs); missing/failed certificates
-                    degrade the row to FAILED (certification)";
+                    degrade the row to FAILED (certification)
+  --listen ADDR     accept remote `worker --connect` processes on ADDR and
+                    dispatch checks to them under lease-based ownership;
+                    degrades to local workers when the fleet drains
+  --lease-factor N  remote lease = time budget x N x property count
+                    (default 4)
+  --fleet-grace-ms N  with zero workers connected, fall back to local
+                    execution after this long (default 2000)
+  --fleet-lease-ms N  fixed remote lease in ms (overrides --lease-factor)
+As `report_table2 worker --connect HOST:PORT [--backoff-ms N]
+[--backoff-max-ms N] [--max-retries N]`, serves a remote fleet instead.";
 
 fn main() {
     autocc_bench::maybe_run_worker();
@@ -73,6 +85,7 @@ fn main() {
     if let Some(summary) = failure_summary(&outcome.rows) {
         eprintln!("\n{summary}");
     }
+    autocc_bench::finish_fleet(&options);
     finish_profile(&sink);
     std::process::exit(report_exit_code(&outcome.rows));
 }

@@ -21,6 +21,7 @@
 //! campaign continues. On resume such rows are served from the journal
 //! (skipped) unless `--retry-failed` asks for another attempt.
 
+use crate::fleet::{Fleet, FleetEngine};
 use crate::workers::{ProcEngine, WorkerLimits, WorkerPool};
 use autocc_bmc::{
     config_fingerprint, content_key, BmcEngine, CertificateStatus, CheckConfig, CheckEngine,
@@ -112,11 +113,18 @@ pub struct CampaignOptions {
     /// watchdog; it is also disarmed when no time budget is configured.
     pub hang_factor: u32,
     /// Worker pool for process-isolated checks. Only consulted when the
-    /// campaign config asks for [`Isolation::Subprocess`]; `None` then
-    /// builds a default pool (`current_exe() worker`, limits from the
-    /// config). Tests inject pools pointing at a report binary or
-    /// carrying fault-injection environment.
+    /// campaign config asks for [`Isolation::Subprocess`] or a fleet is
+    /// attached; `None` then builds a default pool (`current_exe()
+    /// worker`, limits from the config). Tests inject pools pointing at
+    /// a report binary or carrying fault-injection environment.
     pub pool: Option<Arc<WorkerPool>>,
+    /// Remote worker fleet (`--listen`). When set, live checks dispatch
+    /// to connected `worker --connect` processes under lease-based
+    /// ownership, degrading to the local pool (and in-process) when the
+    /// fleet cannot answer. Never changes answers — fleet knobs stay
+    /// out of `content_key`, and remote workers run the same engines on
+    /// the same deterministic budgets.
+    pub fleet: Option<Arc<Fleet>>,
 }
 
 impl Default for CampaignOptions {
@@ -128,6 +136,7 @@ impl Default for CampaignOptions {
             retry_failed: false,
             hang_factor: 4,
             pool: None,
+            fleet: None,
         }
     }
 }
@@ -280,15 +289,19 @@ pub fn run_campaign(
     };
     let counters = Counters::default();
     // One pool supervises the whole campaign, so kill counts and the
-    // quarantine ledger aggregate across tasks and retries.
-    let pool: Option<Arc<WorkerPool>> = match config.isolation {
-        Isolation::InProcess => None,
-        Isolation::Subprocess => Some(
+    // quarantine ledger aggregate across tasks and retries. A fleet
+    // always gets a pool: it is the fallback rung when remote workers
+    // drain out.
+    let want_pool = matches!(config.isolation, Isolation::Subprocess) || options.fleet.is_some();
+    let pool: Option<Arc<WorkerPool>> = if want_pool {
+        Some(
             options
                 .pool
                 .clone()
                 .unwrap_or_else(|| Arc::new(WorkerPool::new(WorkerLimits::from_config(config)))),
-        ),
+        )
+    } else {
+        None
     };
 
     let meta: Vec<(String, String)> = tasks
@@ -321,6 +334,29 @@ pub fn run_campaign(
         config.telemetry.gauge("journal_cache_hits", stats.cached);
         config.telemetry.gauge("journal_live_checks", stats.live);
         config.telemetry.gauge("journal_hangs", stats.hangs);
+        if let Some(fleet) = &options.fleet {
+            use autocc_telemetry::gauges;
+            let fs = fleet.stats();
+            config
+                .telemetry
+                .gauge(gauges::WORKERS_CONNECTED, fs.workers_seen);
+            config
+                .telemetry
+                .gauge(gauges::WORKERS_PEAK, fs.workers_peak);
+            config
+                .telemetry
+                .gauge(gauges::LEASES_EXPIRED, fs.leases_expired);
+            config
+                .telemetry
+                .gauge(gauges::JOBS_REASSIGNED, fs.jobs_reassigned);
+            config
+                .telemetry
+                .gauge(gauges::DUPLICATE_RESULTS, fs.duplicate_results);
+            config.telemetry.gauge(gauges::JOBS_REMOTE, fs.jobs_remote);
+            config
+                .telemetry
+                .gauge(gauges::FALLBACK_ENGAGED, fs.fallback_jobs);
+        }
     }
     Ok(CampaignOutcome { rows, stats })
 }
@@ -575,15 +611,21 @@ fn run_cluster_live(
         .map(|budget| budget * options.hang_factor * cluster.members.len().max(1) as u32);
     let config = scoped.clone();
     let pool = pool.map(Arc::clone);
+    let fleet = options.fleet.clone();
     let ft_run = Arc::clone(ft);
     let cluster_run = cluster.clone();
-    let solve = move || match &pool {
-        Some(pool) => ft_run.check_cluster(
+    let solve = move || match (&fleet, &pool) {
+        (Some(fleet), pool) => ft_run.check_cluster(
+            &cluster_run,
+            &config,
+            &FleetEngine::for_check(Arc::clone(fleet), pool.clone()),
+        ),
+        (None, Some(pool)) => ft_run.check_cluster(
             &cluster_run,
             &config,
             &ProcEngine::for_check(Arc::clone(pool)),
         ),
-        None => ft_run.check_cluster(&cluster_run, &config, &BmcEngine),
+        (None, None) => ft_run.check_cluster(&cluster_run, &config, &BmcEngine),
     };
     let Some(limit) = limit else {
         return (solve(), false);
@@ -716,18 +758,34 @@ fn run_live(
         .map(|budget| budget * options.hang_factor * serial_jobs);
     let config = scoped.clone();
     let pool = pool.map(Arc::clone);
+    let fleet = options.fleet.clone();
     let solve = move || match mode {
         // An explicit engine override (the test seam) wins even over
-        // isolation; otherwise a pool substitutes the subprocess engines.
-        CheckMode::Check => match (engine, &pool) {
-            (Some(engine), _) => ft.check_portfolio_with(&config, &*engine),
-            (None, Some(pool)) => {
+        // the fleet and isolation; then the fleet (with the pool as its
+        // fallback rung); then a pool substitutes the subprocess
+        // engines.
+        CheckMode::Check => match (engine, &fleet, &pool) {
+            (Some(engine), _, _) => ft.check_portfolio_with(&config, &*engine),
+            (None, Some(fleet), pool) => ft.check_portfolio_with(
+                &config,
+                &FleetEngine::for_check(Arc::clone(fleet), pool.clone()),
+            ),
+            (None, None, Some(pool)) => {
                 ft.check_portfolio_with(&config, &ProcEngine::for_check(Arc::clone(pool)))
             }
-            (None, None) => ft.check_portfolio(&config),
+            (None, None, None) => ft.check_portfolio(&config),
         },
-        CheckMode::Prove => match &pool {
-            Some(pool) => {
+        CheckMode::Prove => match (&fleet, &pool) {
+            (Some(fleet), pool) => {
+                let induction = FleetEngine::for_prove(Arc::clone(fleet), pool.clone());
+                if config.jobs > 1 {
+                    let falsifier = FleetEngine::falsifier(Arc::clone(fleet), pool.clone());
+                    ft.prove_portfolio_with(&config, &[&induction, &falsifier])
+                } else {
+                    ft.prove_portfolio_with(&config, &[&induction])
+                }
+            }
+            (None, Some(pool)) => {
                 let induction = ProcEngine::for_prove(Arc::clone(pool));
                 if config.jobs > 1 {
                     let falsifier = ProcEngine::falsifier(Arc::clone(pool));
@@ -736,7 +794,7 @@ fn run_live(
                     ft.prove_portfolio_with(&config, &[&induction])
                 }
             }
-            None => ft.prove_portfolio(&config),
+            (None, None) => ft.prove_portfolio(&config),
         },
     };
     let Some(limit) = limit else {

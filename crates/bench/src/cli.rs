@@ -1,6 +1,8 @@
 //! Tiny flag parser shared by the report binaries.
 
 use crate::campaign::CampaignOptions;
+use crate::fleet::{Fleet, FleetConfig};
+use crate::workers::WorkerLimits;
 use autocc_bmc::{CheckConfig, Granularity};
 use autocc_core::{format_table, format_table_detailed, format_table_stable, TableRow};
 use autocc_telemetry::{ProfileRecorder, Telemetry};
@@ -70,6 +72,20 @@ pub struct ReportArgs {
     /// trace hash for counterexamples. A missing or failed certificate
     /// degrades the row to FAILED (certification), never to a PASS.
     pub certify: bool,
+    /// `--listen ADDR`: accept remote `worker --connect` processes on
+    /// `ADDR` (e.g. `127.0.0.1:0`) and dispatch checks to them under
+    /// lease-based ownership, degrading to local execution when the
+    /// fleet drains. Never changes answers.
+    pub listen: Option<String>,
+    /// `--lease-factor N`: lease = time budget × N × property count.
+    pub lease_factor: Option<u64>,
+    /// `--fleet-grace-ms N`: with zero workers connected, jobs queued
+    /// longer than this fall back to local execution.
+    pub fleet_grace_ms: Option<u64>,
+    /// `--fleet-lease-ms N`: fixed per-dispatch lease, overriding the
+    /// budget-derived formula (fault-injection tests use this to expire
+    /// leases quickly).
+    pub fleet_lease_ms: Option<u64>,
 }
 
 impl Default for ReportArgs {
@@ -95,6 +111,10 @@ impl Default for ReportArgs {
             memory_limit_mb: None,
             worker_heartbeat_ms: None,
             certify: false,
+            listen: None,
+            lease_factor: None,
+            fleet_grace_ms: None,
+            fleet_lease_ms: None,
         }
     }
 }
@@ -128,8 +148,39 @@ impl ReportArgs {
 
     /// The campaign journal/watchdog options these flags describe. The
     /// worker pool stays `None`: the campaign builds its own from the
-    /// config's isolation knobs (tests inject a pool directly).
+    /// config's isolation knobs (tests inject a pool directly). With
+    /// `--listen`, binds the fleet listener here — a bind failure is
+    /// fatal before any check runs.
     pub fn campaign_options(&self) -> CampaignOptions {
+        let fleet = self.listen.as_deref().map(|addr| {
+            let mut fc = FleetConfig {
+                limits: WorkerLimits {
+                    memory_limit_mb: self.memory_limit_mb,
+                    heartbeat_ms: self.worker_heartbeat_ms.unwrap_or(250).max(1),
+                    ..WorkerLimits::default()
+                },
+                ..FleetConfig::default()
+            };
+            if let Some(f) = self.lease_factor {
+                fc.lease_factor = f.max(1);
+            }
+            if let Some(ms) = self.fleet_grace_ms {
+                fc.fallback_grace = Duration::from_millis(ms);
+            }
+            if let Some(ms) = self.fleet_lease_ms {
+                fc.lease_override = Some(Duration::from_millis(ms.max(1)));
+            }
+            match Fleet::listen(addr, fc) {
+                Ok(fleet) => {
+                    eprintln!("fleet: listening on {}", fleet.addr());
+                    fleet
+                }
+                Err(e) => {
+                    eprintln!("error: cannot listen on {addr}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        });
         CampaignOptions {
             journal: self.journal.clone(),
             resume: self.resume,
@@ -137,6 +188,7 @@ impl ReportArgs {
             retry_failed: self.retry_failed,
             hang_factor: self.hang_factor,
             pool: None,
+            fleet,
         }
     }
 
@@ -194,6 +246,16 @@ impl ProfileSink {
     /// The destination path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+}
+
+/// Shuts a `--listen` fleet down (closing worker connections at the
+/// next job boundary) and prints its one-line summary. Idempotent; a
+/// no-op for local campaigns.
+pub fn finish_fleet(options: &CampaignOptions) {
+    if let Some(fleet) = &options.fleet {
+        fleet.shutdown();
+        eprintln!("fleet: {}", fleet.stats());
     }
 }
 
@@ -329,6 +391,37 @@ fn parse_report_arg_list(usage: &str, args: impl Iterator<Item = String>) -> Rep
                         .unwrap_or_else(|| {
                             die(usage, "--worker-heartbeat-ms needs a positive integer")
                         }),
+                );
+            }
+            "--listen" => {
+                parsed.listen = Some(
+                    args.next()
+                        .unwrap_or_else(|| die(usage, "--listen needs an address (host:port)")),
+                );
+            }
+            "--lease-factor" => {
+                parsed.lease_factor = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .filter(|&f| f >= 1)
+                        .unwrap_or_else(|| die(usage, "--lease-factor needs a positive integer")),
+                );
+            }
+            "--fleet-grace-ms" => {
+                parsed.fleet_grace_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .unwrap_or_else(|| {
+                            die(usage, "--fleet-grace-ms needs a non-negative integer")
+                        }),
+                );
+            }
+            "--fleet-lease-ms" => {
+                parsed.fleet_lease_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .filter(|&m| m >= 1)
+                        .unwrap_or_else(|| die(usage, "--fleet-lease-ms needs a positive integer")),
                 );
             }
             "--stable" => parsed.stable = true,

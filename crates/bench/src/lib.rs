@@ -12,10 +12,12 @@
 pub mod campaign;
 pub mod cli;
 pub mod experiments;
+pub mod fleet;
 pub mod workers;
 pub use campaign::{
     run_campaign, CampaignError, CampaignOptions, CampaignOutcome, CampaignStats, CampaignTask,
 };
-pub use cli::{finish_profile, parse_report_args, ProfileSink, ReportArgs};
+pub use cli::{finish_fleet, finish_profile, parse_report_args, ProfileSink, ReportArgs};
 pub use experiments::*;
+pub use fleet::{Fleet, FleetConfig, FleetEngine, FleetStats, FleetVerdict};
 pub use workers::{maybe_run_worker, ProcEngine, WorkerLimits, WorkerPool};

@@ -308,11 +308,16 @@ impl ProcEngine {
                 Ok(frame) => match parse_worker_frame(&frame) {
                     Ok(WorkerFrame::Heartbeat { rss_kb }) => {
                         last_heartbeat = Instant::now();
-                        *rss_peak_kb = (*rss_peak_kb).max(rss_kb);
-                        if let Some(limit_mb) = limits.memory_limit_mb {
-                            if rss_kb > limit_mb.saturating_mul(1024) {
-                                reap(child, reader);
-                                return Attempt::OverMemory { rss_kb };
+                        // `None` = the worker's platform has no readable
+                        // `/proc`: liveness still counts, RSS enforcement
+                        // gracefully degrades to "not enforced".
+                        if let Some(rss_kb) = rss_kb {
+                            *rss_peak_kb = (*rss_peak_kb).max(rss_kb);
+                            if let Some(limit_mb) = limits.memory_limit_mb {
+                                if rss_kb > limit_mb.saturating_mul(1024) {
+                                    reap(child, reader);
+                                    return Attempt::OverMemory { rss_kb };
+                                }
                             }
                         }
                     }
@@ -465,10 +470,57 @@ impl CheckEngine for ProcEngine {
 
 /// Dispatches the hidden `worker` subcommand: every report binary (and
 /// the `autocc` CLI) calls this first thing in `main`, so any of them
-/// can serve as the worker executable for its own isolated campaign.
-/// Never returns when invoked as a worker.
+/// can serve as the worker executable for its own isolated campaign —
+/// or, with `worker --connect <addr>`, attach to a remote fleet
+/// supervisor over TCP. Never returns when invoked as a worker.
+///
+/// Remote form:
+/// `worker --connect HOST:PORT [--backoff-ms N] [--backoff-max-ms N]
+///  [--max-retries N]`
 pub fn maybe_run_worker() {
-    if std::env::args().nth(1).as_deref() == Some("worker") {
+    if std::env::args().nth(1).as_deref() != Some("worker") {
+        return;
+    }
+    let rest: Vec<String> = std::env::args().skip(2).collect();
+    if rest.is_empty() {
         autocc_journal::ipc::worker_main();
     }
+    let mut opts = autocc_journal::ipc::RemoteWorkerOptions::default();
+    let die = |msg: &str| -> ! {
+        eprintln!("worker: {msg}");
+        eprintln!(
+            "usage: worker [--connect HOST:PORT [--backoff-ms N] \
+             [--backoff-max-ms N] [--max-retries N]]"
+        );
+        std::process::exit(64);
+    };
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = rest[i].as_str();
+        let value_u64 = |i: &mut usize| -> u64 {
+            *i += 1;
+            match rest.get(*i).and_then(|v| v.parse().ok()) {
+                Some(v) => v,
+                None => die(&format!("{arg} needs a number")),
+            }
+        };
+        match arg {
+            "--connect" => {
+                i += 1;
+                match rest.get(i) {
+                    Some(addr) => opts.addr = addr.clone(),
+                    None => die("--connect needs HOST:PORT"),
+                }
+            }
+            "--backoff-ms" => opts.backoff_base_ms = value_u64(&mut i).max(1),
+            "--backoff-max-ms" => opts.backoff_max_ms = value_u64(&mut i).max(1),
+            "--max-retries" => opts.max_connect_attempts = Some(value_u64(&mut i).max(1)),
+            other => die(&format!("unknown worker flag `{other}`")),
+        }
+        i += 1;
+    }
+    if opts.addr.is_empty() {
+        die("remote mode needs --connect HOST:PORT");
+    }
+    autocc_journal::ipc::remote_worker_main(&opts);
 }

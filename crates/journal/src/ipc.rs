@@ -34,14 +34,40 @@
 //! RSS budget and heartbeat liveness from the outside, where a wedged or
 //! dying worker cannot evade them.
 //!
+//! ## Remote transport
+//!
+//! The same frames ride TCP for the remote worker fleet (`autocc worker
+//! --connect <addr>`). A remote connection is long-lived and multi-job,
+//! so the wire grows four frames on top of the single-shot protocol:
+//!
+//! ```text
+//! worker -> fleet   {"kind":"hello","proto":1,"worker":NAME}
+//! fleet  -> worker  {"kind":"job","job":N,"lease_ms":M, ...request fields}
+//! worker -> fleet   {"kind":"heartbeat","rss_kb":K,"job":N}
+//! worker -> fleet   {"kind":"result","job":N, ...result fields}
+//! fleet  -> worker  {"kind":"ack","job":N}
+//! ```
+//!
+//! Every result and heartbeat is tagged with the job id it answers, so
+//! the fleet supervisor can enforce at-most-once accounting: a job whose
+//! lease expired is re-dispatched, and a late result from the original
+//! worker is recognized (same id, stale assignment) and dropped instead
+//! of double-reporting. TCP reads go through [`NetFrameReader`], which
+//! enforces the frame-length ceiling *before* allocating and bounds
+//! every read with a deadline so a stalled or half-open socket can never
+//! wedge a supervisor thread.
+//!
 //! ## Fault injection
 //!
 //! The worker honours the `AUTOCC_WORKER_FAULT` environment variable so
 //! the fault-injection suite can stage worker deaths deterministically:
 //! `abort` (die before solving), `abort_if:<path>` (die once, removing
 //! the flag file first), `sigkill` (SIGKILL self), `stall` (stop
-//! heartbeating and hang), `rss:<kb>` (report an inflated RSS). Real
-//! campaigns never set it.
+//! heartbeating and hang), `rss:<kb>` (report an inflated RSS). Remote
+//! workers add the network shapes: `net_drop_result` (write half a
+//! result frame, then sever the connection), `net_dup_result` (send the
+//! result frame twice), `net_slow:<ms>` (keep heartbeating but delay the
+//! result — the lease-expiry shape). Real campaigns never set it.
 
 use crate::json::Json;
 use crate::record::{
@@ -56,14 +82,23 @@ use autocc_hdl::{
     BinOp, Bv, Direction, MemId, Memory, Module, Node, NodeId, OutputPort, Port, RegId, Register,
     Transaction, WritePort,
 };
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Hard ceiling on a single frame's payload (64 MiB). Real miters are
 /// well under a megabyte; anything bigger is a corrupt length prefix.
-const MAX_FRAME_BYTES: u64 = 64 << 20;
+/// Enforced on every transport *before* the payload buffer is allocated,
+/// so a corrupt or hostile length prefix cannot trigger a giant
+/// allocation.
+pub const MAX_FRAME_BYTES: u64 = 64 << 20;
+
+/// Remote wire-protocol version carried in the hello frame. A fleet
+/// supervisor refuses workers speaking a different version rather than
+/// guessing at frame semantics.
+pub const WIRE_PROTO: u64 = 1;
 
 // ---------------------------------------------------------------------
 // Framing
@@ -105,6 +140,174 @@ pub fn read_frame(input: &mut dyn BufRead) -> std::io::Result<Option<Json>> {
 
 fn bad_data(msg: &str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+// ---------------------------------------------------------------------
+// Deadline-bounded TCP framing
+// ---------------------------------------------------------------------
+
+/// Outcome of one bounded read poll on a TCP frame stream.
+pub enum NetRead {
+    /// A complete frame arrived.
+    Frame(Json),
+    /// The deadline elapsed with no complete frame; partial bytes (if
+    /// any) stay buffered for the next poll, so polling is lossless.
+    Timeout,
+    /// The peer closed the connection cleanly, exactly at a frame
+    /// boundary. A close mid-frame is an error instead.
+    Eof,
+}
+
+/// Incremental frame reader over a [`TcpStream`] whose every read is
+/// bounded by a caller-supplied deadline.
+///
+/// Two hardening guarantees, both load-bearing for the fleet supervisor:
+///
+/// * the declared frame length is validated against [`MAX_FRAME_BYTES`]
+///   as soon as the 8-byte prefix is in, **before** any payload buffer
+///   is allocated — a corrupt prefix costs a closed connection, not an
+///   out-of-memory; and
+/// * [`NetFrameReader::poll_frame`] never blocks past its `wait`
+///   argument — a stalled, wedged, or half-open socket surfaces as
+///   [`NetRead::Timeout`] ticks the caller can count against a lease or
+///   heartbeat budget, never as a hung supervisor thread.
+pub struct NetFrameReader {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl NetFrameReader {
+    /// Wraps a connected stream. The reader owns its (cloned) handle;
+    /// writes go through a separate clone.
+    pub fn new(stream: TcpStream) -> NetFrameReader {
+        NetFrameReader {
+            stream,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Tries to parse one complete frame out of the buffered bytes.
+    fn try_extract(&mut self) -> std::io::Result<Option<Json>> {
+        if self.pending.len() < 8 {
+            return Ok(None);
+        }
+        let text = std::str::from_utf8(&self.pending[..8])
+            .map_err(|_| bad_data("non-ASCII length prefix"))?;
+        let len = u64::from_str_radix(text, 16).map_err(|_| bad_data("non-hex length prefix"))?;
+        if len > MAX_FRAME_BYTES {
+            return Err(bad_data("frame length exceeds the 64 MiB ceiling"));
+        }
+        let total = 8 + len as usize;
+        if self.pending.len() < total {
+            return Ok(None);
+        }
+        let text = std::str::from_utf8(&self.pending[8..total])
+            .map_err(|_| bad_data("frame payload is not UTF-8"))?;
+        let json = Json::parse(text).map_err(|e| bad_data(&e))?;
+        self.pending.drain(..total);
+        Ok(Some(json))
+    }
+
+    /// Waits up to `wait` for one complete frame. Partial frames carry
+    /// over between polls; a peer close mid-frame is an error.
+    pub fn poll_frame(&mut self, wait: Duration) -> std::io::Result<NetRead> {
+        let deadline = Instant::now() + wait;
+        loop {
+            if let Some(frame) = self.try_extract()? {
+                return Ok(NetRead::Frame(frame));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(NetRead::Timeout);
+            }
+            // set_read_timeout(0) would mean "block forever"; the max(1ms)
+            // costs at most one extra millisecond on the final poll.
+            self.stream
+                .set_read_timeout(Some((deadline - now).max(Duration::from_millis(1))))?;
+            let mut buf = [0u8; 4096];
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    if self.pending.is_empty() {
+                        return Ok(NetRead::Eof);
+                    }
+                    return Err(bad_data("connection closed mid-frame"));
+                }
+                Ok(n) => self.pending.extend_from_slice(&buf[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(NetRead::Timeout);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reconnect backoff
+// ---------------------------------------------------------------------
+
+/// Exponential backoff with bounded, deterministic jitter for worker
+/// reconnects.
+///
+/// The delay doubles from `base` up to `max`; each delay then gains a
+/// jitter of up to 25%, derived by hashing the process id and attempt
+/// counter (FNV-1a) so a fleet of workers restarted together does not
+/// reconnect in lockstep, while any single worker's schedule stays
+/// reproducible. No randomness source is consulted.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    base: Duration,
+    max: Duration,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A backoff schedule from `base` doubling up to `max`.
+    pub fn new(base: Duration, max: Duration) -> Backoff {
+        Backoff {
+            base: base.max(Duration::from_millis(1)),
+            max: max.max(base),
+            attempt: 0,
+        }
+    }
+
+    /// Number of delays handed out since the last [`Backoff::reset`].
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Returns the next delay and advances the schedule.
+    pub fn next_delay(&mut self) -> Duration {
+        let shift = self.attempt.min(20);
+        self.attempt = self.attempt.saturating_add(1);
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(shift).unwrap_or(u32::MAX))
+            .min(self.max);
+        // Bounded jitter: up to a quarter of the current delay, keyed on
+        // (pid, attempt) so concurrent workers spread out.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in std::process::id()
+            .to_le_bytes()
+            .into_iter()
+            .chain(self.attempt.to_le_bytes())
+        {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let quarter = (exp / 4).as_millis() as u64;
+        let jitter = if quarter == 0 { 0 } else { h % quarter };
+        (exp + Duration::from_millis(jitter)).min(self.max)
+    }
+
+    /// Restarts the schedule from `base` (after a successful connection).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -691,20 +894,25 @@ fn parse_engine_outcome(v: &Json) -> Result<EngineOutcome, String> {
 
 /// One frame from worker to supervisor.
 pub enum WorkerFrame {
-    /// Liveness: the worker is solving and currently holds `rss_kb` KiB.
+    /// Liveness: the worker is solving and (where measurable) currently
+    /// holds `rss_kb` KiB.
     Heartbeat {
-        /// Resident set size in KiB (0 when `/proc` is unavailable).
-        rss_kb: u64,
+        /// Resident set size in KiB; `None` where the platform offers no
+        /// `/proc`-style RSS reading. A supervisor receiving `None` keeps
+        /// the liveness signal but skips RSS enforcement — an
+        /// unmeasurable worker is degraded, not dead.
+        rss_kb: Option<u64>,
     },
     /// The final answer; the worker exits after sending it.
     Result(EngineRun),
 }
 
-/// Serializes a heartbeat frame.
-pub fn heartbeat_json(rss_kb: u64) -> Json {
+/// Serializes a heartbeat frame. `rss_kb: None` (RSS unmeasurable on
+/// this platform) crosses the wire as `null`.
+pub fn heartbeat_json(rss_kb: Option<u64>) -> Json {
     Json::Obj(vec![
         ("kind".to_string(), Json::Str("heartbeat".to_string())),
-        ("rss_kb".to_string(), Json::Num(rss_kb)),
+        ("rss_kb".to_string(), rss_kb.map_or(Json::Null, Json::Num)),
     ])
 }
 
@@ -737,18 +945,182 @@ fn parse_certificate(v: &Json) -> Result<CertificateStatus, String> {
     }
 }
 
+fn parse_rss(v: &Json) -> Result<Option<u64>, String> {
+    match field(v, "rss_kb")? {
+        Json::Null => Ok(None),
+        n => n
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| "rss_kb is neither null nor a number".to_string()),
+    }
+}
+
 /// Parses a worker-to-supervisor frame.
 pub fn parse_worker_frame(v: &Json) -> Result<WorkerFrame, String> {
     match str_field(v, "kind")?.as_str() {
         "heartbeat" => Ok(WorkerFrame::Heartbeat {
-            rss_kb: u64_field(v, "rss_kb")?,
+            rss_kb: parse_rss(v)?,
         }),
-        "result" => Ok(WorkerFrame::Result(EngineRun {
-            outcome: parse_engine_outcome(field(v, "outcome")?)?,
-            counters: parse_counters(field(v, "counters")?)?,
-            certificate: parse_certificate(field(v, "cert")?)?,
-        })),
+        "result" => Ok(WorkerFrame::Result(parse_result_body(v)?)),
         other => Err(format!("unknown worker frame kind `{other}`")),
+    }
+}
+
+fn parse_result_body(v: &Json) -> Result<EngineRun, String> {
+    Ok(EngineRun {
+        outcome: parse_engine_outcome(field(v, "outcome")?)?,
+        counters: parse_counters(field(v, "counters")?)?,
+        certificate: parse_certificate(field(v, "cert")?)?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Remote fleet frames (hello / job / ack / job-tagged worker frames)
+// ---------------------------------------------------------------------
+
+/// Serializes the registration frame a remote worker sends on connect.
+pub fn hello_json(worker: &str) -> Json {
+    Json::Obj(vec![
+        ("kind".to_string(), Json::Str("hello".to_string())),
+        ("proto".to_string(), Json::Num(WIRE_PROTO)),
+        ("worker".to_string(), Json::Str(worker.to_string())),
+    ])
+}
+
+/// Parses a hello frame, returning the worker's self-reported name.
+/// Rejects protocol-version mismatches outright.
+pub fn parse_hello(v: &Json) -> Result<String, String> {
+    if str_field(v, "kind")? != "hello" {
+        return Err("not a hello frame".to_string());
+    }
+    let proto = u64_field(v, "proto")?;
+    if proto != WIRE_PROTO {
+        return Err(format!(
+            "worker speaks wire protocol {proto}, supervisor speaks {WIRE_PROTO}"
+        ));
+    }
+    str_field(v, "worker")
+}
+
+/// Wraps a request payload as a dispatched job: the request fields plus
+/// a job id and the lease deadline (milliseconds) the supervisor grants.
+pub fn job_json(job: u64, lease_ms: Option<u64>, request: &Json) -> Json {
+    let mut fields = vec![
+        ("kind".to_string(), Json::Str("job".to_string())),
+        ("job".to_string(), Json::Num(job)),
+        (
+            "lease_ms".to_string(),
+            lease_ms.map_or(Json::Null, Json::Num),
+        ),
+    ];
+    if let Json::Obj(request_fields) = request {
+        fields.extend(request_fields.iter().filter(|(k, _)| k != "kind").cloned());
+    }
+    Json::Obj(fields)
+}
+
+/// Parses a job frame into its id, lease, and embedded request.
+pub fn parse_job(v: &Json) -> Result<(u64, Option<u64>, WireRequest), String> {
+    if str_field(v, "kind")? != "job" {
+        return Err("not a job frame".to_string());
+    }
+    let job = u64_field(v, "job")?;
+    let lease_ms = match field(v, "lease_ms")? {
+        Json::Null => None,
+        n => Some(n.as_u64().ok_or("lease_ms is neither null nor a number")?),
+    };
+    // Re-tag the remaining fields as a request and reuse its parser.
+    let Json::Obj(fields) = v else {
+        return Err("job frame is not an object".to_string());
+    };
+    let mut request_fields: Vec<(String, Json)> = fields
+        .iter()
+        .filter(|(k, _)| k != "kind" && k != "job" && k != "lease_ms")
+        .cloned()
+        .collect();
+    request_fields.insert(0, ("kind".to_string(), Json::Str("request".to_string())));
+    let request = parse_request(&Json::Obj(request_fields))?;
+    Ok((job, lease_ms, request))
+}
+
+/// Serializes the supervisor's acknowledgement of a result frame.
+pub fn ack_json(job: u64) -> Json {
+    Json::Obj(vec![
+        ("kind".to_string(), Json::Str("ack".to_string())),
+        ("job".to_string(), Json::Num(job)),
+    ])
+}
+
+/// Parses an ack frame, returning the acknowledged job id.
+pub fn parse_ack(v: &Json) -> Result<u64, String> {
+    if str_field(v, "kind")? != "ack" {
+        return Err("not an ack frame".to_string());
+    }
+    u64_field(v, "job")
+}
+
+/// Tags a frame object with the job id it belongs to.
+fn tag_job(frame: Json, job: u64) -> Json {
+    match frame {
+        Json::Obj(mut fields) => {
+            fields.push(("job".to_string(), Json::Num(job)));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
+}
+
+/// A job-tagged heartbeat for the remote transport.
+pub fn heartbeat_json_tagged(job: u64, rss_kb: Option<u64>) -> Json {
+    tag_job(heartbeat_json(rss_kb), job)
+}
+
+/// A job-tagged result for the remote transport.
+pub fn result_json_tagged(job: u64, run: &EngineRun) -> Json {
+    tag_job(result_json(run), job)
+}
+
+/// One frame a fleet supervisor can receive from a remote worker.
+pub enum RemoteFrame {
+    /// Registration (first frame on a fresh connection).
+    Hello {
+        /// The worker's self-reported name.
+        worker: String,
+    },
+    /// Liveness for the named job.
+    Heartbeat {
+        /// The job this heartbeat answers.
+        job: u64,
+        /// RSS in KiB; `None` where unmeasurable (no enforcement).
+        rss_kb: Option<u64>,
+    },
+    /// The final answer for the named job.
+    Result {
+        /// The job this result answers.
+        job: u64,
+        /// The engine's verdict.
+        run: EngineRun,
+    },
+}
+
+/// Parses a worker-to-supervisor frame on the remote transport. Job tags
+/// are mandatory there — an untagged heartbeat or result is a protocol
+/// violation, because at-most-once accounting needs to know which
+/// assignment a frame answers.
+pub fn parse_remote_frame(v: &Json) -> Result<RemoteFrame, String> {
+    match str_field(v, "kind")?.as_str() {
+        "hello" => Ok(RemoteFrame::Hello {
+            worker: parse_hello(v)?,
+        }),
+        "heartbeat" => Ok(RemoteFrame::Heartbeat {
+            job: u64_field(v, "job")?,
+            rss_kb: parse_rss(v)?,
+        }),
+        "result" => Ok(RemoteFrame::Result {
+            job: u64_field(v, "job")?,
+            run: parse_result_body(v)?,
+        }),
+        other => Err(format!("unknown remote frame kind `{other}`")),
     }
 }
 
@@ -757,22 +1129,23 @@ pub fn parse_worker_frame(v: &Json) -> Result<WorkerFrame, String> {
 // ---------------------------------------------------------------------
 
 /// The current process's resident set size in KiB, from
-/// `/proc/self/status` (`VmRSS`); 0 where that is unavailable.
-pub fn current_rss_kb() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
+/// `/proc/self/status` (`VmRSS`). Returns `None` on platforms without a
+/// readable `/proc` — the worker then heartbeats without an RSS reading
+/// (liveness intact, memory enforcement gracefully skipped) instead of
+/// failing.
+pub fn current_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
     status
         .lines()
         .find_map(|line| line.strip_prefix("VmRSS:"))
         .and_then(|rest| rest.split_whitespace().next())
         .and_then(|kb| kb.parse().ok())
-        .unwrap_or(0)
 }
 
 /// Applies the staged `AUTOCC_WORKER_FAULT` death, if any. Returns the
 /// RSS override for `rss:<kb>`; diverges (never returns) for the
-/// death-shaped faults.
+/// death-shaped faults. Network-shaped faults (`net_*`) are handled by
+/// the remote serve loop, not here.
 fn apply_fault(fault: Option<&str>) -> Option<u64> {
     match fault {
         Some("abort") => std::process::abort(),
@@ -797,48 +1170,49 @@ fn apply_fault(fault: Option<&str>) -> Option<u64> {
     }
 }
 
-/// Serves exactly one check request: read the request frame from
-/// `input`, heartbeat on `output` every `heartbeat_ms` while solving,
-/// write the result frame, return. Panics inside the engine are
-/// contained and reported as a `FAILED (panic)` result frame, exactly as
-/// the in-process scheduler would classify them.
-pub fn serve_worker<W: Write + Send + 'static>(
-    input: &mut dyn BufRead,
-    output: W,
-) -> Result<(), String> {
-    let frame = read_frame(input)
-        .map_err(|e| format!("reading request: {e}"))?
-        .ok_or("empty request stream")?;
-    let req = parse_request(&frame)?;
-    let fault = std::env::var("AUTOCC_WORKER_FAULT").ok();
-    if fault.as_deref() == Some("stall") {
-        // A wedged worker: alive, silent, never answering. The
-        // supervisor's heartbeat-stall detection must reap it.
-        loop {
-            std::thread::sleep(Duration::from_secs(3600));
-        }
-    }
+/// Runs one parsed request to completion while a sibling thread
+/// heartbeats on `output` every `heartbeat_ms`. Shared by the one-shot
+/// stdio worker and the multi-job remote worker: `job` tags the frames
+/// on the remote transport, `result_delay` is the `net_slow` fault's
+/// hook, and panics inside the engine come back as `FAILED (panic)`
+/// results exactly as the in-process scheduler would classify them.
+fn solve_request<W: Write + Send + 'static>(
+    req: &WireRequest,
+    output: &Arc<Mutex<W>>,
+    job: Option<u64>,
+    rss_override: Option<u64>,
+    result_delay: Option<Duration>,
+) -> Result<EngineRun, String> {
     let engine =
         wire_engine(&req.engine).ok_or_else(|| format!("unknown wire engine `{}`", req.engine))?;
-    let output: Arc<Mutex<W>> = Arc::new(Mutex::new(output));
     let done = Arc::new(AtomicBool::new(false));
-    let rss_override = apply_fault(fault.as_deref());
-
     let heartbeat = {
-        let output = Arc::clone(&output);
+        let output = Arc::clone(output);
         let done = Arc::clone(&done);
         let period = Duration::from_millis(req.config.heartbeat_ms);
         std::thread::spawn(move || {
             while !done.load(Ordering::Acquire) {
-                let rss = rss_override.unwrap_or_else(current_rss_kb);
+                let rss = rss_override.map_or_else(current_rss_kb, Some);
+                let frame = match job {
+                    Some(job) => heartbeat_json_tagged(job, rss),
+                    None => heartbeat_json(rss),
+                };
                 let sent = match output.lock() {
-                    Ok(mut out) => write_frame(&mut *out, &heartbeat_json(rss)).is_ok(),
+                    Ok(mut out) => write_frame(&mut *out, &frame).is_ok(),
                     Err(_) => false,
                 };
                 if !sent {
                     break; // supervisor is gone; nobody left to reassure
                 }
-                std::thread::sleep(period);
+                // Sleep in short slices so the post-solve join returns
+                // promptly even under long heartbeat periods — the result
+                // frame must not wait out a full period.
+                let mut remaining = period;
+                while !done.load(Ordering::Acquire) && remaining > Duration::ZERO {
+                    let slice = remaining.min(Duration::from_millis(25));
+                    std::thread::sleep(slice);
+                    remaining = remaining.saturating_sub(slice);
+                }
             }
         })
     };
@@ -869,15 +1243,47 @@ pub fn serve_worker<W: Write + Send + 'static>(
             attempts: 1,
         }))
     });
+    // `net_slow`: hold the answer while the heartbeats keep flowing — a
+    // healthy-but-slow worker, the shape that expires a lease.
+    if let Some(delay) = result_delay {
+        std::thread::sleep(delay);
+    }
     done.store(true, Ordering::Release);
-    let result = match output.lock() {
+    let _ = heartbeat.join();
+    Ok(run)
+}
+
+/// Serves exactly one check request: read the request frame from
+/// `input`, heartbeat on `output` every `heartbeat_ms` while solving,
+/// write the result frame, return. Panics inside the engine are
+/// contained and reported as a `FAILED (panic)` result frame, exactly as
+/// the in-process scheduler would classify them.
+pub fn serve_worker<W: Write + Send + 'static>(
+    input: &mut dyn BufRead,
+    output: W,
+) -> Result<(), String> {
+    let frame = read_frame(input)
+        .map_err(|e| format!("reading request: {e}"))?
+        .ok_or("empty request stream")?;
+    let req = parse_request(&frame)?;
+    let fault = std::env::var("AUTOCC_WORKER_FAULT").ok();
+    if fault.as_deref() == Some("stall") {
+        // A wedged worker: alive, silent, never answering. The
+        // supervisor's heartbeat-stall detection must reap it.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    let output: Arc<Mutex<W>> = Arc::new(Mutex::new(output));
+    let rss_override = apply_fault(fault.as_deref());
+    let run = solve_request(&req, &output, None, rss_override, None)?;
+    let written = match output.lock() {
         Ok(mut out) => {
             write_frame(&mut *out, &result_json(&run)).map_err(|e| format!("writing result: {e}"))
         }
         Err(_) => Err("output poisoned".to_string()),
     };
-    let _ = heartbeat.join();
-    result
+    written
 }
 
 /// The `worker` subcommand entry point: serve one request on
@@ -892,6 +1298,187 @@ pub fn worker_main() -> ! {
         Err(e) => {
             eprintln!("worker: {e}");
             std::process::exit(70);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Remote worker runtime
+// ---------------------------------------------------------------------
+
+/// Configuration for a `worker --connect <addr>` process.
+#[derive(Debug, Clone)]
+pub struct RemoteWorkerOptions {
+    /// The fleet supervisor's `host:port`.
+    pub addr: String,
+    /// First reconnect delay.
+    pub backoff_base_ms: u64,
+    /// Reconnect delay ceiling.
+    pub backoff_max_ms: u64,
+    /// Give up (clean exit) after this many consecutive failed connect
+    /// attempts; `None` retries forever.
+    pub max_connect_attempts: Option<u64>,
+}
+
+impl Default for RemoteWorkerOptions {
+    fn default() -> RemoteWorkerOptions {
+        RemoteWorkerOptions {
+            addr: String::new(),
+            backoff_base_ms: 200,
+            backoff_max_ms: 10_000,
+            max_connect_attempts: None,
+        }
+    }
+}
+
+/// How long a remote worker waits for the post-result `ack` before
+/// treating the supervisor as gone and reconnecting.
+const ACK_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Serves jobs on one established fleet connection until the supervisor
+/// closes it (clean shutdown) or something breaks. Returns the number of
+/// jobs answered on this connection.
+fn serve_remote_connection(stream: TcpStream) -> Result<u64, String> {
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_write_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| format!("set_write_timeout: {e}"))?;
+    let writer = stream
+        .try_clone()
+        .map_err(|e| format!("cloning stream: {e}"))?;
+    let output: Arc<Mutex<TcpStream>> = Arc::new(Mutex::new(writer));
+    let worker_id = format!("pid-{}", std::process::id());
+    {
+        let mut out = output.lock().map_err(|_| "output poisoned".to_string())?;
+        write_frame(&mut *out, &hello_json(&worker_id)).map_err(|e| format!("hello: {e}"))?;
+    }
+    let mut reader = NetFrameReader::new(stream);
+    let fault = std::env::var("AUTOCC_WORKER_FAULT").ok();
+    let mut served = 0u64;
+    loop {
+        let frame = match reader.poll_frame(Duration::from_secs(1)) {
+            Ok(NetRead::Frame(frame)) => frame,
+            Ok(NetRead::Timeout) => continue, // idle between jobs
+            Ok(NetRead::Eof) => return Ok(served), // supervisor done with us
+            Err(e) => return Err(format!("reading job: {e}")),
+        };
+        let (job, _lease_ms, req) = parse_job(&frame)?;
+        if fault.as_deref() == Some("stall") {
+            // Wedged after accepting the job: heartbeats stop, the
+            // supervisor's stall clock must reap the lease.
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        let rss_override = apply_fault(fault.as_deref());
+        let result_delay = fault
+            .as_deref()
+            .and_then(|spec| spec.strip_prefix("net_slow:"))
+            .and_then(|ms| ms.parse().ok())
+            .map(Duration::from_millis);
+        let run = solve_request(&req, &output, Some(job), rss_override, result_delay)?;
+        let result = result_json_tagged(job, &run);
+        match fault.as_deref() {
+            Some("net_drop_result") => {
+                // Mid-frame connection drop: declare the full length,
+                // ship half the payload, sever. The supervisor must
+                // classify this as a dead worker and requeue the job.
+                let payload = result.to_string_compact();
+                let bytes = payload.as_bytes();
+                let half = &bytes[..bytes.len() / 2];
+                if let Ok(mut out) = output.lock() {
+                    let _ = write!(out, "{:08x}", bytes.len());
+                    let _ = out.write_all(half);
+                    let _ = out.flush();
+                    let _ = out.shutdown(std::net::Shutdown::Both);
+                }
+                return Err("injected mid-frame drop".to_string());
+            }
+            Some("net_dup_result") => {
+                // Duplicate result: the at-most-once ledger must accept
+                // exactly one copy and count the other as a duplicate.
+                let mut out = output.lock().map_err(|_| "output poisoned".to_string())?;
+                write_frame(&mut *out, &result).map_err(|e| format!("writing result: {e}"))?;
+                write_frame(&mut *out, &result).map_err(|e| format!("writing result: {e}"))?;
+            }
+            _ => {
+                let mut out = output.lock().map_err(|_| "output poisoned".to_string())?;
+                write_frame(&mut *out, &result).map_err(|e| format!("writing result: {e}"))?;
+            }
+        }
+        served += 1;
+        // Wait for the ack before taking another job: it confirms the
+        // supervisor accounted the result (or tells us, via EOF, that it
+        // no longer wants this connection).
+        let ack_deadline = Instant::now() + ACK_DEADLINE;
+        loop {
+            match reader.poll_frame(Duration::from_secs(1)) {
+                Ok(NetRead::Frame(frame)) => {
+                    let acked = parse_ack(&frame)?;
+                    if acked != job {
+                        return Err(format!("ack for job {acked}, expected {job}"));
+                    }
+                    break;
+                }
+                Ok(NetRead::Timeout) => {
+                    if Instant::now() >= ack_deadline {
+                        return Err("ack deadline exceeded".to_string());
+                    }
+                }
+                Ok(NetRead::Eof) => return Ok(served),
+                Err(e) => return Err(format!("reading ack: {e}")),
+            }
+        }
+    }
+}
+
+/// The connect/serve/backoff loop of a remote worker. Returns total jobs
+/// served once the supervisor closes the connection cleanly, or an error
+/// once `max_connect_attempts` consecutive connection failures pile up.
+pub fn run_remote_worker(opts: &RemoteWorkerOptions) -> Result<u64, String> {
+    let mut backoff = Backoff::new(
+        Duration::from_millis(opts.backoff_base_ms),
+        Duration::from_millis(opts.backoff_max_ms),
+    );
+    loop {
+        match TcpStream::connect(&opts.addr) {
+            Ok(stream) => match serve_remote_connection(stream) {
+                Ok(served) => {
+                    // Clean close from the supervisor: fleet shutdown.
+                    return Ok(served);
+                }
+                Err(e) => {
+                    eprintln!("worker: connection to {} failed: {e}", opts.addr);
+                    if std::env::var("AUTOCC_WORKER_FAULT").is_ok() {
+                        // Injected faults are one-shot: a faulted worker
+                        // that reconnected would re-fault forever.
+                        return Err(e);
+                    }
+                    backoff.reset(); // the connect itself worked
+                    std::thread::sleep(backoff.next_delay());
+                }
+            },
+            Err(e) => {
+                if let Some(max) = opts.max_connect_attempts {
+                    if u64::from(backoff.attempts()) + 1 >= max {
+                        return Err(format!("connect to {}: {e}", opts.addr));
+                    }
+                }
+                std::thread::sleep(backoff.next_delay());
+            }
+        }
+    }
+}
+
+/// The `worker --connect <addr>` entry point. Exit code 0 when the
+/// supervisor hangs up cleanly; 69 (EX_UNAVAILABLE) when the fleet was
+/// never reachable or the connection broke irrecoverably.
+pub fn remote_worker_main(opts: &RemoteWorkerOptions) -> ! {
+    match run_remote_worker(opts) {
+        Ok(_) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("worker: {e}");
+            std::process::exit(69);
         }
     }
 }
@@ -917,10 +1504,10 @@ mod tests {
 
     #[test]
     fn frames_round_trip_through_a_pipe_shaped_buffer() {
-        let payload = heartbeat_json(4096);
+        let payload = heartbeat_json(Some(4096));
         let mut buf = Vec::new();
         write_frame(&mut buf, &payload).unwrap();
-        write_frame(&mut buf, &heartbeat_json(8192)).unwrap();
+        write_frame(&mut buf, &heartbeat_json(Some(8192))).unwrap();
         let mut cursor = std::io::BufReader::new(&buf[..]);
         let first = read_frame(&mut cursor).unwrap().unwrap();
         let second = read_frame(&mut cursor).unwrap().unwrap();
@@ -932,7 +1519,7 @@ mod tests {
     #[test]
     fn truncated_frames_are_errors_not_eof() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, &heartbeat_json(1)).unwrap();
+        write_frame(&mut buf, &heartbeat_json(Some(1))).unwrap();
         for cut in 1..buf.len() {
             let mut cursor = std::io::BufReader::new(&buf[..cut]);
             assert!(

@@ -24,6 +24,27 @@ pub use profile::{
     RunProfile, PROFILE_VERSION,
 };
 
+/// Canonical gauge names for the remote worker fleet, recorded once per
+/// campaign so profiles from fleet runs can be compared and asserted on
+/// without string drift between the supervisor and its tests.
+pub mod gauges {
+    /// Distinct remote worker registrations over the campaign.
+    pub const WORKERS_CONNECTED: &str = "fleet_workers_connected";
+    /// Peak simultaneously-connected remote workers.
+    pub const WORKERS_PEAK: &str = "fleet_workers_peak";
+    /// Job leases that expired and triggered re-dispatch.
+    pub const LEASES_EXPIRED: &str = "fleet_leases_expired";
+    /// Jobs returned to the queue for re-dispatch (any cause).
+    pub const JOBS_REASSIGNED: &str = "fleet_jobs_reassigned";
+    /// Late or double-reported results dropped by at-most-once
+    /// accounting.
+    pub const DUPLICATE_RESULTS: &str = "fleet_duplicate_results";
+    /// Jobs answered by remote workers.
+    pub const JOBS_REMOTE: &str = "fleet_jobs_remote";
+    /// Jobs that degraded to local execution (pool or in-process).
+    pub const FALLBACK_ENGAGED: &str = "fleet_fallback_engaged";
+}
+
 use std::fmt;
 use std::sync::Arc;
 

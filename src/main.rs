@@ -30,7 +30,9 @@
 //! `maple`, `maple-fixed`, `aes`, `aes-refined`, `config-device`,
 //! `config-device-fixed`.
 
-use autocc::bench::{maybe_run_worker, ProcEngine, WorkerLimits, WorkerPool};
+use autocc::bench::{
+    maybe_run_worker, Fleet, FleetConfig, FleetEngine, ProcEngine, WorkerLimits, WorkerPool,
+};
 use autocc::bmc::{
     config_fingerprint, content_key, CertificateStatus, CheckConfig, CheckMode, Granularity,
     Isolation,
@@ -85,6 +87,10 @@ struct Args {
     isolate: bool,
     memory_limit_mb: Option<u64>,
     worker_heartbeat_ms: Option<u64>,
+    listen: Option<String>,
+    lease_factor: Option<u64>,
+    fleet_grace_ms: Option<u64>,
+    fleet_lease_ms: Option<u64>,
     certify: bool,
     prove: bool,
     minimize: bool,
@@ -100,6 +106,8 @@ fn usage() -> ExitCode {
     eprintln!("              [--cluster-overlap FRACTION]");
     eprintln!("              [--poll-interval N] [--profile FILE]");
     eprintln!("              [--isolate] [--memory-limit-mb N] [--worker-heartbeat-ms N]");
+    eprintln!("              [--listen ADDR] [--lease-factor N] [--fleet-grace-ms N]");
+    eprintln!("              [--fleet-lease-ms N]");
     eprintln!("              [--certify] [--journal FILE] [--resume | --fresh]");
     eprintln!("              [--prove] [--minimize]");
     eprintln!("              [--sva] [--verilog] [--vcd FILE]");
@@ -127,6 +135,10 @@ fn parse_args() -> Result<Args, ExitCode> {
         isolate: false,
         memory_limit_mb: None,
         worker_heartbeat_ms: None,
+        listen: None,
+        lease_factor: None,
+        fleet_grace_ms: None,
+        fleet_lease_ms: None,
         certify: false,
         prove: false,
         minimize: false,
@@ -205,6 +217,27 @@ fn parse_args() -> Result<Args, ExitCode> {
             }
             "--worker-heartbeat-ms" => {
                 args.worker_heartbeat_ms = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&m| m >= 1)
+                        .ok_or_else(usage)?,
+                );
+            }
+            "--listen" => args.listen = Some(argv.next().ok_or_else(usage)?),
+            "--lease-factor" => {
+                args.lease_factor = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&f| f >= 1)
+                        .ok_or_else(usage)?,
+                );
+            }
+            "--fleet-grace-ms" => {
+                args.fleet_grace_ms =
+                    Some(argv.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
+            "--fleet-lease-ms" => {
+                args.fleet_lease_ms = Some(
                     argv.next()
                         .and_then(|v| v.parse().ok())
                         .filter(|&m| m >= 1)
@@ -451,24 +484,38 @@ fn report(ft: &FpvTestbench, run: &CheckReport, minimize: bool, vcd: &Option<Str
     }
 }
 
-/// Runs the check or proof live, substituting process-isolated engines
-/// when a worker pool is present (`--isolate`). Isolation never changes
-/// answers — the worker runs the same engine with the same deterministic
-/// budgets — it only shrinks the blast radius of a crashing or runaway
-/// check to one subprocess.
+/// Runs the check or proof live, dispatching to the remote fleet when
+/// one is listening (`--listen`), else substituting process-isolated
+/// engines when a worker pool is present (`--isolate`). Neither changes
+/// answers — every rung runs the same engine with the same deterministic
+/// budgets — they only move the blast radius (and the CPU) elsewhere.
 fn solve(
     ft: &FpvTestbench,
     config: &CheckConfig,
     prove: bool,
+    fleet: Option<&Arc<Fleet>>,
     pool: Option<&Arc<WorkerPool>>,
 ) -> CheckReport {
-    match (prove, pool) {
-        (false, None) => ft.check_portfolio(config),
-        (false, Some(pool)) => {
+    let pool_arc = pool.map(Arc::clone);
+    match (prove, fleet, pool) {
+        (false, Some(fleet), _) => {
+            ft.check_portfolio_with(config, &FleetEngine::for_check(Arc::clone(fleet), pool_arc))
+        }
+        (false, None, None) => ft.check_portfolio(config),
+        (false, None, Some(pool)) => {
             ft.check_portfolio_with(config, &ProcEngine::for_check(Arc::clone(pool)))
         }
-        (true, None) => ft.prove_portfolio(config),
-        (true, Some(pool)) => {
+        (true, Some(fleet), _) => {
+            let induction = FleetEngine::for_prove(Arc::clone(fleet), pool_arc.clone());
+            if config.jobs > 1 {
+                let falsifier = FleetEngine::falsifier(Arc::clone(fleet), pool_arc);
+                ft.prove_portfolio_with(config, &[&induction, &falsifier])
+            } else {
+                ft.prove_portfolio_with(config, &[&induction])
+            }
+        }
+        (true, None, None) => ft.prove_portfolio(config),
+        (true, None, Some(pool)) => {
             let induction = ProcEngine::for_prove(Arc::clone(pool));
             if config.jobs > 1 {
                 let falsifier = ProcEngine::falsifier(Arc::clone(pool));
@@ -489,6 +536,7 @@ fn run_journaled(
     ft: &FpvTestbench,
     config: &CheckConfig,
     args: &Args,
+    fleet: Option<&Arc<Fleet>>,
     pool: Option<&Arc<WorkerPool>>,
     path: &Path,
 ) -> Result<CheckReport, String> {
@@ -592,7 +640,7 @@ fn run_journaled(
             }
         }
     }
-    let run = solve(ft, config, args.prove, pool);
+    let run = solve(ft, config, args.prove, fleet, pool);
     let entry = JournalEntry {
         key,
         id: args.dut.clone(),
@@ -676,22 +724,61 @@ fn main() -> ExitCode {
     if let Some(recorder) = &recorder {
         config.telemetry = Telemetry::root(recorder.clone(), &args.dut);
     }
-    let pool = match config.isolation {
-        Isolation::InProcess => None,
-        Isolation::Subprocess => Some(Arc::new(WorkerPool::new(WorkerLimits::from_config(
-            &config,
-        )))),
+    // A fleet always gets a local pool: it is the fallback rung when the
+    // remote workers drain out.
+    let want_pool = matches!(config.isolation, Isolation::Subprocess) || args.listen.is_some();
+    let pool = want_pool.then(|| Arc::new(WorkerPool::new(WorkerLimits::from_config(&config))));
+    let fleet = match &args.listen {
+        None => None,
+        Some(addr) => {
+            let mut fc = FleetConfig {
+                limits: WorkerLimits::from_config(&config),
+                ..FleetConfig::default()
+            };
+            if let Some(f) = args.lease_factor {
+                fc.lease_factor = f;
+            }
+            if let Some(ms) = args.fleet_grace_ms {
+                fc.fallback_grace = Duration::from_millis(ms);
+            }
+            if let Some(ms) = args.fleet_lease_ms {
+                fc.lease_override = Some(Duration::from_millis(ms));
+            }
+            match Fleet::listen(addr, fc) {
+                Ok(fleet) => {
+                    eprintln!("fleet: listening on {}", fleet.addr());
+                    Some(fleet)
+                }
+                Err(e) => {
+                    eprintln!("error: cannot listen on {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
     };
     let run = match &args.journal {
-        Some(path) => match run_journaled(&ft, &config, &args, pool.as_ref(), Path::new(path)) {
-            Ok(run) => run,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
+        Some(path) => {
+            match run_journaled(
+                &ft,
+                &config,
+                &args,
+                fleet.as_ref(),
+                pool.as_ref(),
+                Path::new(path),
+            ) {
+                Ok(run) => run,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-        },
-        None => solve(&ft, &config, args.prove, pool.as_ref()),
+        }
+        None => solve(&ft, &config, args.prove, fleet.as_ref(), pool.as_ref()),
     };
+    if let Some(fleet) = &fleet {
+        fleet.shutdown();
+        eprintln!("fleet: {}", fleet.stats());
+    }
     report(&ft, &run, args.minimize, &args.vcd);
     if let (Some(path), Some(recorder)) = (&args.profile, &recorder) {
         config.telemetry.close();
